@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-full bench figures figures-fast clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+# Unit tests only (integration-scale experiment sweeps skipped).
+test:
+	go test -short ./...
+
+# Everything, including the figure-shape integration tests (~2 min).
+test-full:
+	go test ./...
+
+# One iteration of every benchmark, including the per-figure harness.
+bench:
+	go test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every paper figure at full scale (several minutes).
+figures:
+	go run ./cmd/expsim | tee expsim_full.txt
+
+figures-fast:
+	go run ./cmd/expsim -fast
+
+clean:
+	go clean ./...

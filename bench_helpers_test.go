@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/loadgen"
+	"repro/internal/mtserver"
+	"repro/internal/surge"
+)
+
+// liveLoopbackRepliesPerSec starts a real server, drives it briefly with
+// the real load generator, and returns the measured reply rate.
+func liveLoopbackRepliesPerSec(b *testing.B, kind string, duration time.Duration) float64 {
+	b.Helper()
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = 200
+	scfg.MaxObjectBytes = 128 << 10
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := core.NewSurgeStore(set, scfg.MaxObjectBytes, 6)
+
+	var addr string
+	var stop func()
+	switch kind {
+	case "nio":
+		srv, err := core.NewServer(core.DefaultConfig(store))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		addr, stop = srv.Addr(), srv.Stop
+	default:
+		cfg := mtserver.DefaultConfig(store)
+		cfg.Threads = 32
+		srv, err := mtserver.NewServer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		addr, stop = srv.Addr(), srv.Stop
+	}
+	defer stop()
+
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:       addr,
+		Clients:    16,
+		Warmup:     100 * time.Millisecond,
+		Duration:   duration,
+		Timeout:    5 * time.Second,
+		ThinkScale: 0.01,
+		Seed:       42,
+		Workload:   scfg,
+		Objects:    set,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.RepliesPerSec
+}

@@ -1,0 +1,265 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/simclient"
+)
+
+// The figure benchmarks regenerate each paper figure's operating points
+// on the simulated testbed. Every benchmark reports the figure's
+// headline metric via b.ReportMetric, so `go test -bench=.` prints the
+// numbers EXPERIMENTS.md records. Points are scaled down from the paper
+// sweep (one representative load level per series) to keep a full bench
+// run in minutes; cmd/expsim regenerates the complete sweeps.
+
+// benchScenario runs one scenario point inside a benchmark iteration.
+func benchScenario(b *testing.B, sc experiments.Scenario) simclient.Report {
+	b.Helper()
+	sc.WarmupSec = 5
+	sc.MeasureSec = 15
+	var rep simclient.Report
+	for i := 0; i < b.N; i++ {
+		sc.Seed = uint64(i + 1)
+		rep = sc.Run()
+	}
+	return rep
+}
+
+func reportServer(b *testing.B, rep simclient.Report) {
+	b.Helper()
+	b.ReportMetric(rep.RepliesPerSec, "replies/s")
+	b.ReportMetric(rep.MeanResponseSec*1000, "resp-ms")
+	b.ReportMetric(rep.MeanConnectSec*1000, "conn-ms")
+	b.ReportMetric(rep.TimeoutErrPerSec, "timeouts/s")
+	b.ReportMetric(rep.ResetErrPerSec, "resets/s")
+}
+
+// BenchmarkFig01_UPThroughput — figure 1: throughput on a uniprocessor,
+// nio worker counts vs httpd pool sizes, at the top of the client sweep.
+func BenchmarkFig01_UPThroughput(b *testing.B) {
+	cases := []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.NIO, Workers: 4, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.NIO, Workers: 8, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.HTTPD, Threads: 128, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.HTTPD, Threads: 896, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.HTTPD, Threads: 6000, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+	}
+	for _, sc := range cases {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkFig02_UPResponseTime — figure 2: response time on a
+// uniprocessor at moderate load, best config of each server.
+func BenchmarkFig02_UPResponseTime(b *testing.B) {
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 1800},
+		{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 1800},
+	} {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkFig03_ConnectionErrors — figure 3: client-timeout and
+// connection-reset rates at high load.
+func BenchmarkFig03_ConnectionErrors(b *testing.B) {
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 4200},
+		{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 4200},
+	} {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkFig04_ConnectTime — figure 4: connection-establishment time;
+// the httpd-896 pool shows the knee once clients exceed the pool.
+func BenchmarkFig04_ConnectTime(b *testing.B) {
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.HTTPD, Threads: 896, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000},
+	} {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkFig05_BandwidthThroughput — figure 5: throughput under the
+// three link configurations at high load.
+func BenchmarkFig05_BandwidthThroughput(b *testing.B) {
+	type bwCase struct {
+		name string
+		bps  float64
+	}
+	for _, bw := range []bwCase{{"100Mbps", experiments.Mbit100}, {"200Mbps", experiments.Mbit200}, {"1Gbit", experiments.Gigabit}} {
+		for _, sc := range []experiments.Scenario{
+			{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: bw.bps, Clients: 3000},
+			{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: bw.bps, Clients: 3000},
+		} {
+			b.Run(fmt.Sprintf("%s-%s", sc.Kind, bw.name), func(b *testing.B) {
+				rep := benchScenario(b, sc)
+				reportServer(b, rep)
+				b.ReportMetric(rep.BandwidthBps/1e6, "MB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig06_BandwidthResponse — figure 6: response time under the
+// 100 Mbit/s link, where both servers converge.
+func BenchmarkFig06_BandwidthResponse(b *testing.B) {
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: experiments.Mbit100, Clients: 1800},
+		{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: experiments.Mbit100, Clients: 1800},
+	} {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkFig07_SMPThroughput — figure 7: 4-way SMP throughput across
+// the paper's configuration sweeps.
+func BenchmarkFig07_SMPThroughput(b *testing.B) {
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 2, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000},
+		{Kind: experiments.NIO, Workers: 3, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000},
+		{Kind: experiments.NIO, Workers: 4, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000},
+		{Kind: experiments.HTTPD, Threads: 2000, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000},
+		{Kind: experiments.HTTPD, Threads: 4000, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000},
+		{Kind: experiments.HTTPD, Threads: 6000, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000},
+	} {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkFig08_SMPResponseTime — figure 8: SMP response time, best
+// configurations.
+func BenchmarkFig08_SMPResponseTime(b *testing.B) {
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 2, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 3000},
+		{Kind: experiments.HTTPD, Threads: 4096, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 3000},
+	} {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkFig09_CPUScalingThroughput — figure 9: UP vs SMP throughput
+// for the best configuration of each server.
+func BenchmarkFig09_CPUScalingThroughput(b *testing.B) {
+	cases := []struct {
+		name string
+		sc   experiments.Scenario
+	}{
+		{"nio-UP", experiments.Scenario{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 6000}},
+		{"nio-SMP", experiments.Scenario{Kind: experiments.NIO, Workers: 2, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000}},
+		{"httpd-UP", experiments.Scenario{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 6000}},
+		{"httpd-SMP", experiments.Scenario{Kind: experiments.HTTPD, Threads: 4096, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 6000}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			reportServer(b, benchScenario(b, c.sc))
+		})
+	}
+}
+
+// BenchmarkFig10_CPUScalingResponse — figure 10: UP vs SMP response time
+// for the best configuration of each server.
+func BenchmarkFig10_CPUScalingResponse(b *testing.B) {
+	cases := []struct {
+		name string
+		sc   experiments.Scenario
+	}{
+		{"nio-UP", experiments.Scenario{Kind: experiments.NIO, Workers: 1, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000}},
+		{"nio-SMP", experiments.Scenario{Kind: experiments.NIO, Workers: 2, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 3000}},
+		{"httpd-UP", experiments.Scenario{Kind: experiments.HTTPD, Threads: 4096, Processors: 1, Bandwidth: experiments.Gigabit, Clients: 3000}},
+		{"httpd-SMP", experiments.Scenario{Kind: experiments.HTTPD, Threads: 4096, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 3000}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			reportServer(b, benchScenario(b, c.sc))
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations — design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationKeepAlive varies httpd's keep-alive timeout: shorter
+// timeouts recycle threads faster but reset more clients. The paper
+// fixes 15 s; this shows the trade-off around that choice.
+func BenchmarkAblationKeepAlive(b *testing.B) {
+	for _, ka := range []float64{5, 15, 60} {
+		sc := experiments.Scenario{
+			Kind: experiments.HTTPD, Threads: 4096, Processors: 1,
+			Bandwidth: experiments.Gigabit, Clients: 3000, KeepAliveSec: ka,
+		}
+		b.Run(fmt.Sprintf("keepalive-%gs", ka), func(b *testing.B) {
+			rep := benchScenario(b, sc)
+			b.ReportMetric(rep.RepliesPerSec, "replies/s")
+			b.ReportMetric(rep.ResetErrPerSec, "resets/s")
+			b.ReportMetric(rep.TimeoutErrPerSec, "timeouts/s")
+		})
+	}
+}
+
+// BenchmarkAblationStagedAffinity compares the flat reactor against the
+// §6 staged pipeline with and without per-stage processor affinity.
+func BenchmarkAblationStagedAffinity(b *testing.B) {
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 2, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 4200},
+		{Kind: experiments.STAGED, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 4200},
+		{Kind: experiments.STAGEDAFF, Processors: 4, Bandwidth: experiments.Gigabit, Clients: 4200},
+	} {
+		b.Run(sc.Label(), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkAblationSelectorWorkers sweeps nio worker counts on the SMP
+// testbed — the paper's "2 workers suffice" claim.
+func BenchmarkAblationSelectorWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		sc := experiments.Scenario{
+			Kind: experiments.NIO, Workers: w, Processors: 4,
+			Bandwidth: experiments.Gigabit, Clients: 4200,
+		}
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			reportServer(b, benchScenario(b, sc))
+		})
+	}
+}
+
+// BenchmarkLiveLoopback is the live-system smoke bench: both real
+// servers under the real load generator on loopback for one short burst
+// per iteration.
+func BenchmarkLiveLoopback(b *testing.B) {
+	for _, kind := range []string{"nio", "threadpool"} {
+		b.Run(kind, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total += liveLoopbackRepliesPerSec(b, kind, 400*time.Millisecond)
+			}
+			b.ReportMetric(total/float64(b.N), "replies/s")
+		})
+	}
+}

@@ -1,0 +1,93 @@
+// Command expsim regenerates the paper's evaluation figures (1–10) on the
+// simulated testbed and prints each as a text table.
+//
+// Usage:
+//
+//	expsim                    # all ten figures at paper scale (minutes)
+//	expsim -fig 1             # one figure (11 = E1 bandwidth, 12 = E2 staged)
+//	expsim -fast              # reduced sweep for a quick look (seconds)
+//	expsim -format plot       # terminal ASCII charts instead of tables
+//	expsim -format csv        # CSV for external plotting
+//	expsim -replicates 3      # average each point over 3 seeds
+//	expsim -v                 # print per-run progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 1-10, 11=E1 … 14=E4 (0 = all paper figures)")
+	fast := flag.Bool("fast", false, "reduced sweep and shorter runs")
+	format := flag.String("format", "table", "output format: table, csv, plot")
+	outDir := flag.String("out", "", "also write one CSV file per figure into this directory")
+	replicates := flag.Int("replicates", 1, "seeds averaged per point")
+	verbose := flag.Bool("v", false, "print one line per completed run")
+	flag.Parse()
+
+	writeCSV := func(f experiments.Figure) {
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*outDir, "fig"+f.ID+".csv")
+		if err := os.WriteFile(path, []byte(f.RenderCSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	render := func(f experiments.Figure) string {
+		switch *format {
+		case "csv":
+			return f.RenderCSV()
+		case "plot":
+			return f.RenderPlot()
+		case "table":
+			return f.Render()
+		default:
+			log.Fatalf("unknown -format %q (want table, csv, or plot)", *format)
+			return ""
+		}
+	}
+
+	var suite *experiments.Suite
+	if *fast {
+		suite = experiments.NewFastSuite()
+	} else {
+		suite = experiments.NewSuite()
+	}
+	suite.Replicates = *replicates
+	if *verbose {
+		suite.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if *fig == 0 {
+		for n := 1; n <= 10; n++ {
+			figs, err := suite.Figures(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, f := range figs {
+				fmt.Println(render(f))
+				writeCSV(f)
+			}
+		}
+		return
+	}
+	figs, err := suite.Figures(*fig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range figs {
+		fmt.Println(render(f))
+		writeCSV(f)
+	}
+}

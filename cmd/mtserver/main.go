@@ -1,0 +1,62 @@
+// Command mtserver runs the live thread-pool baseline (the paper's
+// "httpd2" analogue: Apache 2 worker-MPM behaviour) on a SURGE object
+// population.
+//
+// Usage:
+//
+//	mtserver -port 8081 -threads 64 -keepalive 15s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mtserver"
+	"repro/internal/surge"
+)
+
+func main() {
+	port := flag.Int("port", 8081, "port to listen on (0 picks a free port)")
+	threads := flag.Int("threads", 64, "worker-pool size")
+	keepAlive := flag.Duration("keepalive", 15*time.Second, "idle keep-alive timeout")
+	objects := flag.Int("objects", 2000, "SURGE object population size")
+	seed := flag.Uint64("seed", 7, "object-set seed")
+	flag.Parse()
+
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = *objects
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(*seed))
+	if err != nil {
+		log.Fatalf("building object set: %v", err)
+	}
+	store := core.NewSurgeStore(set, scfg.MaxObjectBytes, *seed+1)
+
+	cfg := mtserver.DefaultConfig(store)
+	cfg.Port = *port
+	cfg.Threads = *threads
+	cfg.KeepAlive = *keepAlive
+	srv, err := mtserver.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("starting server: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatalf("starting server: %v", err)
+	}
+	fmt.Printf("thread-pool server listening on %s (%d threads, keep-alive %v)\n",
+		srv.Addr(), *threads, *keepAlive)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Stop()
+	st := srv.Stats()
+	fmt.Printf("accepted=%d replies=%d bytes=%d idle-closes=%d 400s=%d\n",
+		st.Accepted, st.Replies, st.BytesOut, st.IdleCloses, st.BadRequest)
+}

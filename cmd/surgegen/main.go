@@ -1,0 +1,43 @@
+// Command surgegen inspects the SURGE workload model: it builds an object
+// population, samples sessions, and prints the statistics that matter for
+// reproducing the paper (mean reply size, session length, think times).
+//
+// Usage:
+//
+//	surgegen -objects 2000 -sessions 10000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/dist"
+	"repro/internal/surge"
+)
+
+func main() {
+	objects := flag.Int("objects", 2000, "object population size")
+	sessions := flag.Int("sessions", 10000, "sessions to sample")
+	seed := flag.Uint64("seed", 7, "seed")
+	flag.Parse()
+
+	cfg := surge.DefaultConfig()
+	cfg.NumObjects = *objects
+	rng := dist.NewRNG(*seed)
+	set, err := surge.BuildObjectSet(cfg, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := surge.NewGenerator(cfg, set, rng.Split())
+	st := surge.SampleStats(gen, *sessions)
+
+	fmt.Printf("objects:             %d\n", set.Len())
+	fmt.Printf("total bytes:         %d\n", set.TotalBytes())
+	fmt.Printf("mean object size:    %.0f B\n", set.MeanBytes())
+	fmt.Printf("sessions sampled:    %d\n", st.Sessions)
+	fmt.Printf("requests:            %d\n", st.Requests)
+	fmt.Printf("mean session length: %.2f requests (paper: ~6.5)\n", st.MeanSessionLen)
+	fmt.Printf("mean reply size:     %.0f B\n", st.MeanObjectBytes)
+	fmt.Printf("mean think time:     %.2f s\n", st.MeanThink)
+}

@@ -1,0 +1,110 @@
+// Command wload is the httperf-equivalent load generator: it drives a
+// live server (nioserver or mtserver) with SURGE-distributed sessions and
+// prints the measurements the paper's figures are built from.
+//
+// Usage:
+//
+//	wload -addr 127.0.0.1:8080 -clients 50 -duration 30s
+//
+// The -objects and -seed flags must match the server's so the generator
+// requests paths that exist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/loadgen"
+	"repro/internal/sesslog"
+	"repro/internal/surge"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "server address")
+	clients := flag.Int("clients", 50, "concurrent emulated clients (closed loop)")
+	rate := flag.Float64("rate", 0, "open-loop session arrival rate/s (overrides -clients)")
+	duration := flag.Duration("duration", 30*time.Second, "measurement window")
+	warmup := flag.Duration("warmup", 3*time.Second, "warmup before measuring")
+	timeout := flag.Duration("timeout", 10*time.Second, "client watchdog (httperf --timeout)")
+	thinkScale := flag.Float64("think-scale", 1.0, "multiplier on SURGE OFF times")
+	objects := flag.Int("objects", 2000, "SURGE object population size (match the server)")
+	seed := flag.Uint64("seed", 7, "object-set seed (match the server)")
+	genSeed := flag.Uint64("gen-seed", 99, "request-stream seed")
+	record := flag.String("record", "", "record N sessions to this file and exit (see -record-sessions)")
+	recordN := flag.Int("record-sessions", 100, "sessions to record with -record")
+	replay := flag.String("replay", "", "replay sessions from this log (httperf --wsesslog)")
+	flag.Parse()
+
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = *objects
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(*seed))
+	if err != nil {
+		log.Fatalf("building object set: %v", err)
+	}
+	if *record != "" {
+		gen := surge.NewGenerator(scfg, set, dist.NewRNG(*genSeed))
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sesslog.Write(f, sesslog.Record(gen, *recordN)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d sessions to %s\n", *recordN, *record)
+		return
+	}
+	var sourceFactory func(int, *dist.RNG) surge.SessionSource
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions, err := sesslog.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %d sessions (%d requests, %d bytes) from %s\n",
+			len(sessions), sesslog.TotalRequests(sessions), sesslog.TotalBytes(sessions), *replay)
+		sourceFactory = func(client int, _ *dist.RNG) surge.SessionSource {
+			return sesslog.NewReplayer(sessions, client)
+		}
+	}
+
+	if *rate > 0 {
+		*clients = 0
+	}
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:          *addr,
+		Clients:       *clients,
+		SessionRate:   *rate,
+		Warmup:        *warmup,
+		Duration:      *duration,
+		Timeout:       *timeout,
+		ThinkScale:    *thinkScale,
+		Seed:          *genSeed,
+		Workload:      scfg,
+		Objects:       set,
+		SourceFactory: sourceFactory,
+	})
+	if err != nil {
+		log.Fatalf("load run: %v", err)
+	}
+	fmt.Printf("clients:            %d\n", res.Clients)
+	fmt.Printf("duration:           %v\n", res.Duration)
+	fmt.Printf("replies:            %d (%.1f/s)\n", res.Replies, res.RepliesPerSec)
+	fmt.Printf("response time mean: %.4fs  p50: %.4fs  p90: %.4fs  p99: %.4fs\n",
+		res.MeanResponseSec, res.P50ResponseSec, res.P90ResponseSec, res.P99ResponseSec)
+	fmt.Printf("connect time mean:  %.4fs  p90: %.4fs\n", res.MeanConnectSec, res.P90ConnectSec)
+	fmt.Printf("client timeouts:    %d (%.2f/s)\n", res.TimeoutErrors, res.TimeoutErrPerSec)
+	fmt.Printf("connection resets:  %d (%.2f/s)\n", res.ResetErrors, res.ResetErrPerSec)
+	fmt.Printf("bandwidth:          %.2f MB/s\n", res.BandwidthBps/1e6)
+	fmt.Printf("sessions completed: %d\n", res.Sessions)
+}

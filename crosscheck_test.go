@@ -1,0 +1,119 @@
+//go:build linux
+
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+	"repro/internal/sesslog"
+	"repro/internal/sim"
+	"repro/internal/simclient"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+	"repro/internal/simsrv"
+	"repro/internal/surge"
+)
+
+// TestCrossSubstrateAgreement drives the *same recorded session log*
+// through both execution substrates — the live epoll server over real
+// TCP, and the simulated event-driven server on the virtual testbed —
+// and checks they agree on what the workload transfers. This is the
+// repository's strongest validity check: if the simulator's notion of a
+// session, pipelining, or reply bytes drifted from the live stack, the
+// totals would split.
+func TestCrossSubstrateAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	// A fixed log: recorded once from the SURGE model with gaps and
+	// thinks zeroed so both substrates can replay it quickly and the
+	// byte totals are deterministic.
+	cfg := surge.DefaultConfig()
+	cfg.NumObjects = 64
+	cfg.MaxObjectBytes = 64 << 10
+	set, err := surge.BuildObjectSet(cfg, dist.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := sesslog.Record(surge.NewGenerator(cfg, set, dist.NewRNG(18)), 8)
+	for i := range sessions {
+		sessions[i].ThinkAfter = 0 // back-to-back sessions, one pass
+		for j := range sessions[i].Requests {
+			sessions[i].Requests[j].Gap = 0
+		}
+	}
+	// Park the client after the final session so the replayer never
+	// wraps around within the measurement window.
+	sessions[len(sessions)-1].ThinkAfter = 100000
+	wantBytes := sesslog.TotalBytes(sessions)
+	wantReqs := sesslog.TotalRequests(sessions)
+
+	// --- Live: one client replays all 8 sessions sequentially. ---
+	liveBytes := func() int64 {
+		store := core.NewSurgeStore(set, cfg.MaxObjectBytes, 19)
+		srv, err := core.NewServer(core.DefaultConfig(store))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Stop()
+		res, err := loadgen.Run(loadgen.Options{
+			Addr:     srv.Addr(),
+			Clients:  1,
+			Warmup:   0,
+			Duration: 5 * time.Second,
+			Timeout:  5 * time.Second,
+			Seed:     1,
+			Workload: cfg,
+			SourceFactory: func(int, *dist.RNG) surge.SessionSource {
+				return sesslog.NewReplayer(sessions, 0)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Replies != int64(wantReqs) {
+			t.Fatalf("live replies = %d, want %d", res.Replies, wantReqs)
+		}
+		return res.BytesReceived
+	}()
+
+	// --- Simulated: same replay on the virtual testbed. ---
+	simBytes := func() int64 {
+		engine := sim.NewEngine()
+		net := simnet.NewNetwork(engine, experiments.PaperNet(experiments.Gigabit))
+		cpu := simcpu.NewPool(engine, experiments.PaperCPU(1))
+		simsrv.NewEventDriven(engine, net, cpu, experiments.PaperCosts(), 1).Start()
+		fleet, err := simclient.NewFleet(engine, net, cfg, set, dist.NewRNG(1), simclient.Options{
+			Clients: 1, Timeout: 10, RampOver: 0, Warmup: 0, Duration: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet.SourceFactory = func(int, *dist.RNG) surge.SessionSource {
+			return sesslog.NewReplayer(sessions, 0)
+		}
+		rep := fleet.Run()
+		if got := int64(rep.RepliesPerSec * rep.Duration); got != int64(wantReqs) {
+			t.Fatalf("sim replies = %d, want %d", got, wantReqs)
+		}
+		return int64(rep.BandwidthBps * rep.Duration)
+	}()
+
+	if liveBytes != wantBytes {
+		t.Errorf("live bytes = %d, log says %d", liveBytes, wantBytes)
+	}
+	if simBytes != wantBytes {
+		t.Errorf("sim bytes = %d, log says %d", simBytes, wantBytes)
+	}
+	if liveBytes != simBytes {
+		t.Errorf("substrates disagree: live %d vs sim %d", liveBytes, simBytes)
+	}
+}

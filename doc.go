@@ -1,0 +1,12 @@
+// Package repro reproduces "Evaluating the Scalability of Java
+// Event-Driven Web Servers" (Beltran, Carrera, Torres, Ayguadé; ICPP
+// 2004) in Go.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per figure of the paper's evaluation, each
+// regenerating the figure's series on the simulated testbed and
+// reporting the headline metric, plus ablation benches for the design
+// choices DESIGN.md calls out. The implementation lives under internal/
+// (see DESIGN.md for the map) and runnable entry points under cmd/ and
+// examples/.
+package repro

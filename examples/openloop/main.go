@@ -1,0 +1,60 @@
+// Openloop: drive the live event-driven server with httperf's open-loop
+// mode — sessions arrive at a fixed Poisson rate regardless of how the
+// server keeps up — and sweep the offered rate through saturation to
+// print a goodput curve. A well-conditioned server's goodput plateaus
+// instead of collapsing; this is the miniature live analogue of the
+// extended experiment E3 (`go run ./cmd/expsim -fast -fig 13`).
+//
+//	go run ./examples/openloop
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/loadgen"
+	"repro/internal/surge"
+)
+
+func main() {
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = 300
+	scfg.MaxObjectBytes = 128 << 10
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := core.NewSurgeStore(set, scfg.MaxObjectBytes, 8)
+	srv, err := core.NewServer(core.DefaultConfig(store))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	fmt.Println("open-loop sweep against the live nio server (loopback)")
+	fmt.Printf("%-22s %12s %12s %10s\n", "offered sessions/s", "replies/s", "resp p90", "timeouts")
+	for _, rate := range []float64{20, 60, 120} {
+		res, err := loadgen.Run(loadgen.Options{
+			Addr:        srv.Addr(),
+			SessionRate: rate,
+			Warmup:      300 * time.Millisecond,
+			Duration:    3 * time.Second,
+			Timeout:     5 * time.Second,
+			ThinkScale:  0.01,
+			Seed:        42,
+			Workload:    scfg,
+			Objects:     set,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22.0f %12.1f %11.4fs %10d\n",
+			rate, res.RepliesPerSec, res.P90ResponseSec, res.TimeoutErrors)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: start the event-driven server on an in-memory store, fetch
+// a URL through a plain HTTP client, and print the server's counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// 1. Content: any Store implementation works; MapStore is the
+	//    simplest. The paper's experiments use a SURGE store instead
+	//    (see examples/loadtest).
+	store := core.MapStore{
+		"/":      []byte("<html><body>hello from the nio server</body></html>"),
+		"/about": []byte("event-driven web server, 1 acceptor + N reactor workers"),
+	}
+
+	// 2. Server: one reactor worker is the paper's best uniprocessor
+	//    configuration. Port 0 picks a free port.
+	cfg := core.DefaultConfig(store)
+	srv, err := core.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+	fmt.Println("serving on", srv.Addr())
+
+	// 3. Client: the server speaks ordinary HTTP/1.1.
+	for _, path := range []string{"/", "/about", "/missing"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GET %-8s → %d %q\n", path, resp.StatusCode, body)
+	}
+
+	st := srv.Stats()
+	fmt.Printf("server stats: accepted=%d replies=%d bytes=%d notFound=%d\n",
+		st.Accepted, st.Replies, st.BytesOut, st.NotFound)
+}

@@ -1,0 +1,66 @@
+// Simulation: run one point of the paper's uniprocessor experiment on the
+// simulated testbed and print the httperf-style report — the smallest
+// end-to-end use of the simulation stack (engine, CPUs, network, server
+// model, client fleet). A second section drives one traced run and dumps
+// the slowest replies from the lifecycle trace.
+//
+//	go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/simclient"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+	"repro/internal/simsrv"
+	"repro/internal/surge"
+	"repro/internal/trace"
+)
+
+func main() {
+	fmt.Println("simulated testbed: 1 CPU, 1 Gbit/s link, 3000 httperf clients")
+	for _, sc := range []experiments.Scenario{
+		{Kind: experiments.NIO, Workers: 1, Processors: 1,
+			Bandwidth: experiments.Gigabit, Clients: 3000, Seed: 1,
+			WarmupSec: 5, MeasureSec: 20},
+		{Kind: experiments.HTTPD, Threads: 4096, Processors: 1,
+			Bandwidth: experiments.Gigabit, Clients: 3000, Seed: 1,
+			WarmupSec: 5, MeasureSec: 20},
+	} {
+		rep := sc.Run()
+		fmt.Printf("%-14s %8.1f replies/s   resp %.4fs   conn %.4fs   timeouts %.2f/s   resets %.2f/s   %.1f MB/s\n",
+			sc.Label(), rep.RepliesPerSec, rep.MeanResponseSec, rep.MeanConnectSec,
+			rep.TimeoutErrPerSec, rep.ResetErrPerSec, rep.BandwidthBps/1e6)
+	}
+
+	// Tracing: rebuild the nio point by hand with a lifecycle trace
+	// attached, then ask the ring for the slowest replies.
+	fmt.Println("\ntraced run — three slowest replies:")
+	engine := sim.NewEngine()
+	cfg := experiments.PaperWorkload()
+	set, err := surge.BuildObjectSet(cfg, dist.NewRNG(7))
+	if err != nil {
+		panic(err)
+	}
+	net := simnet.NewNetwork(engine, experiments.PaperNet(experiments.Gigabit))
+	cpu := simcpu.NewPool(engine, experiments.PaperCPU(1))
+	simsrv.NewEventDriven(engine, net, cpu, experiments.PaperCosts(), 1).Start()
+	fleet, err := simclient.NewFleet(engine, net, cfg, set, dist.NewRNG(2), simclient.Options{
+		Clients: 1500, Timeout: 10, RampOver: 2, Warmup: 3, Duration: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ring := trace.NewRing(1 << 16)
+	fleet.Trace = ring
+	fleet.Run()
+	for _, ev := range ring.SlowestReplies(3) {
+		fmt.Printf("  t=%8.3fs client=%-5d response took %.4fs\n", ev.At, ev.Client, ev.Value)
+	}
+
+	fmt.Println("\nfull figure sweeps: go run ./cmd/expsim -fast")
+}

@@ -1,0 +1,8 @@
+package core
+
+import "sync/atomic"
+
+// Thin wrappers keep the counter type readable at its call sites.
+
+func atomicAdd(p *int64, d int64) { atomic.AddInt64(p, d) }
+func atomicLoad(p *int64) int64   { return atomic.LoadInt64(p) }

@@ -1,0 +1,493 @@
+//go:build linux
+
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/reactor"
+)
+
+// Config parameterizes the event-driven server.
+type Config struct {
+	// Port to listen on (0 picks a free port; see Server.Port).
+	Port int
+	// Workers is the number of reactor worker threads (the paper's key
+	// knob: 1–2 suffice on a uniprocessor, 2 on the 4-way SMP).
+	Workers int
+	// Backlog is the listen(2) backlog.
+	Backlog int
+	// ReadBuf is the per-read buffer size.
+	ReadBuf int
+	// Store serves the content; required.
+	Store Store
+	// IdleTimeout, when positive, disconnects connections with no
+	// activity for this long — the policy a thread-pool server is
+	// *forced* to adopt to recycle threads. The event-driven
+	// architecture does not need it (a paper headline), so the default
+	// is 0 = never; the knob exists for the live ablation that shows
+	// the reset errors appear with the policy, not the architecture.
+	IdleTimeout time.Duration
+}
+
+// DefaultConfig returns the paper's best uniprocessor configuration.
+func DefaultConfig(store Store) Config {
+	return Config{
+		Workers: 1,
+		Backlog: 1024,
+		ReadBuf: 16 << 10,
+		Store:   store,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers <= 0:
+		return fmt.Errorf("core: Workers must be positive, got %d", c.Workers)
+	case c.Backlog <= 0:
+		return fmt.Errorf("core: Backlog must be positive, got %d", c.Backlog)
+	case c.ReadBuf < 256:
+		return fmt.Errorf("core: ReadBuf must be at least 256, got %d", c.ReadBuf)
+	case c.Store == nil:
+		return fmt.Errorf("core: Store is required")
+	case c.Port < 0 || c.Port > 65535:
+		return fmt.Errorf("core: invalid port %d", c.Port)
+	case c.IdleTimeout < 0:
+		return fmt.Errorf("core: negative IdleTimeout %v", c.IdleTimeout)
+	}
+	return nil
+}
+
+// Stats are the server's counters (all atomic; safe to read live).
+type Stats struct {
+	Accepted   int64
+	Replies    int64
+	BytesOut   int64
+	NotFound   int64
+	BadRequest int64
+	ConnsOpen  int64
+	IdleCloses int64
+}
+
+// Server is the live event-driven web server.
+type Server struct {
+	cfg  Config
+	lfd  int
+	port int
+
+	workers  []*worker
+	acceptor *reactor.Poller
+	wg       sync.WaitGroup
+	stopping chan struct{}
+	stopOnce sync.Once
+
+	accepted   counter
+	replies    counter
+	bytesOut   counter
+	notFound   counter
+	badRequest counter
+	connsOpen  counter
+	idleCloses counter
+}
+
+// counter is a tiny atomic counter (avoids importing metrics here).
+type counter struct{ v int64 }
+
+func (c *counter) add(d int64) { atomicAdd(&c.v, d) }
+func (c *counter) get() int64  { return atomicLoad(&c.v) }
+
+// NewServer validates the configuration and binds the listener; call
+// Start to begin serving.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lfd, port, err := reactor.Listen(cfg.Port, cfg.Backlog)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, lfd: lfd, port: port, stopping: make(chan struct{})}
+	return s, nil
+}
+
+// Port returns the bound port.
+func (s *Server) Port() int { return s.port }
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return fmt.Sprintf("127.0.0.1:%d", s.port) }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:   s.accepted.get(),
+		Replies:    s.replies.get(),
+		BytesOut:   s.bytesOut.get(),
+		NotFound:   s.notFound.get(),
+		BadRequest: s.badRequest.get(),
+		ConnsOpen:  s.connsOpen.get(),
+		IdleCloses: s.idleCloses.get(),
+	}
+}
+
+// Start launches the acceptor and worker threads.
+func (s *Server) Start() error {
+	ap, err := reactor.NewPoller(64)
+	if err != nil {
+		return err
+	}
+	s.acceptor = ap
+	if err := ap.Add(s.lfd, true, false); err != nil {
+		ap.Close()
+		return err
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		w, err := newWorker(s)
+		if err != nil {
+			ap.Close()
+			for _, prev := range s.workers {
+				prev.poller.Close()
+			}
+			return err
+		}
+		s.workers = append(s.workers, w)
+	}
+	// Date-header ticker: one refresh per second, server-wide.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopping:
+				return
+			case now := <-t.C:
+				httpwire.RefreshDate(now)
+			}
+		}
+	}()
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.loop()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Stop shuts the server down and waits for all threads to exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopping)
+		s.acceptor.Wakeup()
+		for _, w := range s.workers {
+			w.poller.Wakeup()
+		}
+	})
+	s.wg.Wait()
+}
+
+// acceptLoop is the acceptor thread: it blocks in readiness selection on
+// the listener and hands accepted fds to workers round-robin — the same
+// split the paper's nio server uses (one acceptor + N workers).
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	defer s.acceptor.Close()
+	defer reactor.CloseFD(s.lfd)
+	// The loop blocks in raw epoll_wait, which parks an OS thread; pin
+	// the goroutine so it owns that thread outright (a reactor thread in
+	// the paper's sense) instead of bouncing through scheduler handoffs.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	rr := 0
+	for {
+		select {
+		case <-s.stopping:
+			return
+		default:
+		}
+		evs, err := s.acceptor.Wait(-1)
+		if err != nil {
+			return
+		}
+		_ = evs
+		for {
+			fd, done, err := reactor.Accept(s.lfd)
+			if err != nil {
+				return // listener closed
+			}
+			if done {
+				break
+			}
+			s.accepted.add(1)
+			w := s.workers[rr%len(s.workers)]
+			rr++
+			w.give(fd)
+		}
+	}
+}
+
+// conn is the per-connection state owned by exactly one worker.
+type conn struct {
+	fd     int
+	parser httpwire.Parser
+	// out is the pending response byte queue: each element is written
+	// non-blockingly; when the socket fills we keep the offset and wait
+	// for writability.
+	out      [][]byte
+	outOff   int
+	writeArm bool // EPOLLOUT currently requested
+	closing  bool // close once out drains (400 or Connection: close)
+	replies  int64
+	// lastActive is when the connection last made progress; the idle
+	// sweeper (only armed when Config.IdleTimeout > 0) compares it.
+	lastActive time.Time
+}
+
+// worker is one reactor thread.
+type worker struct {
+	srv    *Server
+	poller *reactor.Poller
+	conns  map[int]*conn
+	inbox  chan int
+	buf    []byte
+	reqs   []*httpwire.Request
+}
+
+func newWorker(s *Server) (*worker, error) {
+	p, err := reactor.NewPoller(1024)
+	if err != nil {
+		return nil, err
+	}
+	return &worker{
+		srv:    s,
+		poller: p,
+		conns:  make(map[int]*conn),
+		inbox:  make(chan int, 4096),
+		buf:    make([]byte, s.cfg.ReadBuf),
+	}, nil
+}
+
+// give transfers an accepted fd to this worker (called from the acceptor
+// thread; Selector.wakeup semantics).
+func (w *worker) give(fd int) {
+	select {
+	case w.inbox <- fd:
+		w.poller.Wakeup()
+	default:
+		// Inbox overflow: shed the connection rather than block the
+		// acceptor; this mirrors a full pending-registration queue.
+		reactor.CloseFD(fd)
+	}
+}
+
+// loop is the worker thread body: a classic reactor loop.
+func (w *worker) loop() {
+	defer w.srv.wg.Done()
+	defer w.shutdown()
+	// Dedicated reactor thread (see acceptLoop).
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	// With an idle timeout configured, the selector wait is bounded so
+	// the worker can sweep idle connections (Selector.select(timeout)).
+	waitMs := -1
+	if d := w.srv.cfg.IdleTimeout; d > 0 {
+		waitMs = int(d.Milliseconds() / 2)
+		if waitMs < 10 {
+			waitMs = 10
+		}
+	}
+	for {
+		w.drainInbox()
+		select {
+		case <-w.srv.stopping:
+			return
+		default:
+		}
+		evs, err := w.poller.Wait(waitMs)
+		if err != nil {
+			return
+		}
+		if w.srv.cfg.IdleTimeout > 0 {
+			w.sweepIdle()
+		}
+		for _, ev := range evs {
+			c, ok := w.conns[ev.FD]
+			if !ok {
+				continue
+			}
+			if ev.Hangup {
+				w.closeConn(c)
+				continue
+			}
+			if ev.Readable {
+				w.readable(c)
+			}
+			if c2, still := w.conns[ev.FD]; still && c2 == c && ev.Writable {
+				w.writable(c)
+			}
+		}
+	}
+}
+
+func (w *worker) shutdown() {
+	for _, c := range w.conns {
+		reactor.CloseFD(c.fd)
+		w.srv.connsOpen.add(-1)
+	}
+	w.conns = nil
+	w.poller.Close()
+}
+
+func (w *worker) drainInbox() {
+	for {
+		select {
+		case fd := <-w.inbox:
+			c := &conn{fd: fd, lastActive: time.Now()}
+			if err := w.poller.Add(fd, true, false); err != nil {
+				reactor.CloseFD(fd)
+				continue
+			}
+			w.conns[fd] = c
+			w.srv.connsOpen.add(1)
+		default:
+			return
+		}
+	}
+}
+
+// readable drains the socket and serves every parsed request.
+func (w *worker) readable(c *conn) {
+	c.lastActive = time.Now()
+	for {
+		n, eof, again, err := reactor.Read(c.fd, w.buf)
+		if err != nil || eof {
+			w.closeConn(c)
+			return
+		}
+		if again {
+			break
+		}
+		w.reqs = w.reqs[:0]
+		reqs, perr := c.parser.Feed(w.reqs, w.buf[:n])
+		w.reqs = reqs
+		for _, req := range reqs {
+			w.serve(c, req)
+		}
+		if perr != nil {
+			w.srv.badRequest.add(1)
+			c.out = append(c.out, httpwire.AppendResponseHeader(nil, 400, "text/plain", 0, false))
+			c.closing = true
+			break
+		}
+	}
+	w.flush(c)
+}
+
+// serve appends one response to the connection's output queue.
+func (w *worker) serve(c *conn, req *httpwire.Request) {
+	switch {
+	case req.Method != "GET" && req.Method != "HEAD":
+		c.out = append(c.out, httpwire.AppendResponseHeader(nil, 501, "text/plain", 0, req.KeepAlive))
+	default:
+		w.serveStore(c, req)
+	}
+	c.replies++
+	w.srv.replies.add(1)
+	if !req.KeepAlive {
+		c.closing = true
+	}
+}
+
+// serveStore resolves the path against the store and queues 200/404.
+func (w *worker) serveStore(c *conn, req *httpwire.Request) {
+	body, ctype, ok := w.srv.cfg.Store.Get(req.Path)
+	if !ok {
+		w.srv.notFound.add(1)
+		c.out = append(c.out, httpwire.AppendResponseHeader(nil, 404, "text/plain", 0, req.KeepAlive))
+	} else {
+		c.out = append(c.out, httpwire.AppendResponseHeader(nil, 200, ctype, int64(len(body)), req.KeepAlive))
+		if req.Method == "GET" && len(body) > 0 {
+			c.out = append(c.out, body)
+		}
+	}
+}
+
+// flush writes queued output until the socket would block, then toggles
+// write interest accordingly — the NIO write-readiness pattern.
+func (w *worker) flush(c *conn) {
+	for len(c.out) > 0 {
+		head := c.out[0][c.outOff:]
+		n, again, err := reactor.Write(c.fd, head)
+		if err != nil {
+			w.closeConn(c)
+			return
+		}
+		w.srv.bytesOut.add(int64(n))
+		if n == len(head) {
+			c.out[0] = nil
+			c.out = c.out[1:]
+			c.outOff = 0
+			continue
+		}
+		c.outOff += n
+		if again || n < len(head) {
+			if !c.writeArm {
+				c.writeArm = true
+				_ = w.poller.Modify(c.fd, true, true)
+			}
+			return
+		}
+	}
+	// Drained.
+	if c.closing {
+		w.closeConn(c)
+		return
+	}
+	if c.writeArm {
+		c.writeArm = false
+		_ = w.poller.Modify(c.fd, true, false)
+	}
+}
+
+// writable continues a blocked flush.
+func (w *worker) writable(c *conn) { w.flush(c) }
+
+// sweepIdle force-closes connections idle past the configured timeout,
+// with an RST — the recycling policy of the thread-pool world, here only
+// as an opt-in ablation knob.
+func (w *worker) sweepIdle() {
+	deadline := time.Now().Add(-w.srv.cfg.IdleTimeout)
+	for _, c := range w.conns {
+		if len(c.out) == 0 && c.lastActive.Before(deadline) {
+			w.srv.idleCloses.add(1)
+			w.resetConn(c)
+		}
+	}
+}
+
+// resetConn tears a connection down with an RST.
+func (w *worker) resetConn(c *conn) {
+	if _, ok := w.conns[c.fd]; !ok {
+		return
+	}
+	delete(w.conns, c.fd)
+	w.poller.Remove(c.fd)
+	reactor.CloseWithReset(c.fd)
+	w.srv.connsOpen.add(-1)
+}
+
+func (w *worker) closeConn(c *conn) {
+	if _, ok := w.conns[c.fd]; !ok {
+		return
+	}
+	delete(w.conns, c.fd)
+	w.poller.Remove(c.fd)
+	reactor.CloseFD(c.fd)
+	w.srv.connsOpen.add(-1)
+}

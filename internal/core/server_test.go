@@ -1,0 +1,444 @@
+//go:build linux
+
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/surge"
+)
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func testStore() MapStore {
+	return MapStore{
+		"/hello": []byte("hello world"),
+		"/big":   make([]byte, 300<<10),
+	}
+}
+
+func httpGet(t *testing.T, addr, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestServeBasicGet(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	resp, body := httpGet(t, s.Addr(), "/hello")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if string(body) != "hello world" {
+		t.Fatalf("body = %q", body)
+	}
+	if resp.Header.Get("Server") == "" || resp.Header.Get("Date") == "" {
+		t.Fatalf("missing standard headers: %+v", resp.Header)
+	}
+	st := s.Stats()
+	if st.Replies < 1 || st.Accepted < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServe404(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	resp, _ := httpGet(t, s.Addr(), "/missing")
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if s.Stats().NotFound != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestLargeResponse(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	resp, body := httpGet(t, s.Addr(), "/big")
+	if resp.StatusCode != 200 || len(body) != 300<<10 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(body))
+	}
+}
+
+func TestKeepAliveSequentialRequests(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	for i := 0; i < 5; i++ {
+		if _, err := fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.ReadResponse(r, nil)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) != "hello world" {
+			t.Fatalf("request %d body %q", i, b)
+		}
+	}
+	if acc := s.Stats().Accepted; acc != 1 {
+		t.Fatalf("accepted = %d, want 1 (keep-alive reuse)", acc)
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Three requests in one write.
+	wire := strings.Repeat("GET /hello HTTP/1.1\r\nHost: x\r\n\r\n", 3)
+	if _, err := c.Write([]byte(wire)); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(c)
+	for i := 0; i < 3; i++ {
+		resp, err := http.ReadResponse(r, nil)
+		if err != nil {
+			t.Fatalf("pipelined response %d: %v", i, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) != "hello world" {
+			t.Fatalf("pipelined response %d body %q", i, b)
+		}
+	}
+}
+
+func TestConnectionCloseHonored(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nConnection: close\r\n\r\n")
+	data, err := io.ReadAll(c) // server must close after the response
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "hello world") {
+		t.Fatalf("response: %q", data)
+	}
+}
+
+func TestBadRequestGets400(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "NONSENSE\r\n\r\n")
+	data, _ := io.ReadAll(c)
+	if !strings.Contains(string(data), "400 Bad Request") {
+		t.Fatalf("response: %q", data)
+	}
+	if s.Stats().BadRequest != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestUnsupportedMethodGets501(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "DELETE /hello HTTP/1.1\r\nConnection: close\r\n\r\n")
+	data, _ := io.ReadAll(c)
+	if !strings.Contains(string(data), "501") {
+		t.Fatalf("response: %q", data)
+	}
+}
+
+func TestHeadOmitsBody(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "HEAD /hello HTTP/1.1\r\nConnection: close\r\n\r\n")
+	data, _ := io.ReadAll(c)
+	out := string(data)
+	if !strings.Contains(out, "Content-Length: 11") {
+		t.Fatalf("HEAD missing length: %q", out)
+	}
+	if strings.Contains(out, "hello world") {
+		t.Fatalf("HEAD leaked body: %q", out)
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	const clients = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get("http://" + s.Addr() + "/hello")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(b) != "hello world" {
+				errs <- fmt.Errorf("bad body %q", b)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Stats().Replies; got < clients {
+		t.Fatalf("replies = %d, want >= %d", got, clients)
+	}
+}
+
+func TestMultipleWorkers(t *testing.T) {
+	cfg := DefaultConfig(testStore())
+	cfg.Workers = 4
+	s := startServer(t, cfg)
+	for i := 0; i < 12; i++ {
+		resp, _ := httpGet(t, s.Addr(), "/hello")
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestAbruptClientCloseCleansUp(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	for i := 0; i < 10; i++ {
+		c, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(c, "GET /big HTTP/1.1\r\n\r\n")
+		c.(*net.TCPConn).SetLinger(0)
+		c.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().ConnsOpen == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("connections leaked: %+v", s.Stats())
+}
+
+func TestConfigValidation(t *testing.T) {
+	store := testStore()
+	bad := []Config{
+		{Workers: 0, Backlog: 1, ReadBuf: 4096, Store: store},
+		{Workers: 1, Backlog: 0, ReadBuf: 4096, Store: store},
+		{Workers: 1, Backlog: 1, ReadBuf: 8, Store: store},
+		{Workers: 1, Backlog: 1, ReadBuf: 4096, Store: nil},
+		{Workers: 1, Backlog: 1, ReadBuf: 4096, Store: store, Port: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSurgeStoreServesObjects(t *testing.T) {
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = 50
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewSurgeStore(set, scfg.MaxObjectBytes, 2)
+	s := startServer(t, DefaultConfig(store))
+	for _, id := range []int{0, 7, 49} {
+		resp, body := httpGet(t, s.Addr(), store.PathFor(id))
+		if resp.StatusCode != 200 {
+			t.Fatalf("obj %d: status %d", id, resp.StatusCode)
+		}
+		if int64(len(body)) != set.Object(id).Size {
+			t.Fatalf("obj %d: got %d bytes, want %d", id, len(body), set.Object(id).Size)
+		}
+	}
+	if _, _, ok := store.Get("/obj/9999"); ok {
+		t.Fatal("out-of-range object served")
+	}
+	if _, _, ok := store.Get("/obj/abc"); ok {
+		t.Fatal("non-numeric object served")
+	}
+	if _, _, ok := store.Get("/other"); ok {
+		t.Fatal("non-obj path served")
+	}
+	if store.Hits() != 3 {
+		t.Fatalf("hits = %d", store.Hits())
+	}
+}
+
+func TestParseObjPath(t *testing.T) {
+	cases := []struct {
+		in string
+		id int
+		ok bool
+	}{
+		{"/obj/0", 0, true},
+		{"/obj/123", 123, true},
+		{"/obj/", 0, false},
+		{"/obj", 0, false},
+		{"/obj/12a", 0, false},
+		{"/object/1", 0, false},
+		{"/obj/99999999999999999999", 0, false},
+	}
+	for _, c := range cases {
+		id, ok := parseObjPath(c.in)
+		if ok != c.ok || (ok && id != c.id) {
+			t.Errorf("parseObjPath(%q) = %d,%v want %d,%v", c.in, id, ok, c.id, c.ok)
+		}
+	}
+}
+
+func TestStopIsIdempotentAndReleasesPort(t *testing.T) {
+	cfg := DefaultConfig(testStore())
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	port := s.Port()
+	s.Stop()
+	s.Stop()
+	// The port must be reusable immediately (SO_REUSEADDR + real close).
+	cfg.Port = port
+	s2, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("rebind failed: %v", err)
+	}
+	if err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Stop()
+}
+
+func TestIdleTimeoutDisabledByDefault(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\n\r\n")
+	r := bufio.NewReader(c)
+	resp, err := http.ReadResponse(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// Wait well past any plausible timeout; the connection must survive
+	// (the paper's nio server never disconnects idle clients).
+	time.Sleep(600 * time.Millisecond)
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\n\r\n")
+	if _, err := http.ReadResponse(r, nil); err != nil {
+		t.Fatalf("idle connection died without IdleTimeout: %v", err)
+	}
+	if s.Stats().IdleCloses != 0 {
+		t.Fatalf("idle closes without the knob: %+v", s.Stats())
+	}
+}
+
+func TestIdleTimeoutAblation(t *testing.T) {
+	// The live ablation: give the event-driven server the thread-pool
+	// world's recycling policy and the reset behaviour appears — the
+	// errors come from the policy, not the architecture.
+	cfg := DefaultConfig(testStore())
+	cfg.IdleTimeout = 150 * time.Millisecond
+	s := startServer(t, cfg)
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\n\r\n")
+	r := bufio.NewReader(c)
+	resp, err := http.ReadResponse(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().IdleCloses == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s.Stats().IdleCloses == 0 {
+		t.Fatal("idle sweeper never fired")
+	}
+	// The next use of the connection fails (RST or EOF).
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\n\r\n")
+	if _, err := r.ReadByte(); err == nil {
+		t.Fatal("connection survived the idle timeout")
+	}
+	if got := s.Stats().ConnsOpen; got != 0 {
+		t.Fatalf("swept connection still accounted: %+v", s.Stats())
+	}
+}
+
+func TestIdleTimeoutValidation(t *testing.T) {
+	cfg := DefaultConfig(testStore())
+	cfg.IdleTimeout = -time.Second
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("negative IdleTimeout accepted")
+	}
+}

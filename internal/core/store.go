@@ -1,0 +1,99 @@
+// Package core implements the paper's primary contribution as a live
+// system: an event-driven ("nio") HTTP server built on explicit readiness
+// selection (internal/reactor) with one acceptor thread and a small fixed
+// set of single-threaded reactor workers. Architecture, terminology and
+// defaults follow the paper's experimental server: non-blocking reads and
+// writes, write-interest toggling, no per-connection threads, and no
+// idle-connection timeouts.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/surge"
+)
+
+// Store serves the static content. Implementations must be safe for
+// concurrent readers (every worker consults the store).
+type Store interface {
+	// Get returns the body and content type for a URL path. ok=false
+	// produces a 404.
+	Get(path string) (body []byte, contentType string, ok bool)
+}
+
+// MapStore is a trivial in-memory store for examples and tests.
+type MapStore map[string][]byte
+
+// Get implements Store.
+func (m MapStore) Get(path string) ([]byte, string, bool) {
+	b, ok := m[path]
+	return b, "application/octet-stream", ok
+}
+
+// SurgeStore exposes a surge.ObjectSet as URL paths /obj/<id>. All object
+// bodies are views into one shared pseudo-random blob, so a 2000-object
+// SURGE population costs one allocation of MaxObjectBytes instead of the
+// sum of sizes.
+type SurgeStore struct {
+	set  *surge.ObjectSet
+	blob []byte
+	hits atomic.Int64
+}
+
+// NewSurgeStore builds the store; blob contents are deterministic in seed.
+func NewSurgeStore(set *surge.ObjectSet, maxObjectBytes int64, seed uint64) *SurgeStore {
+	blob := make([]byte, maxObjectBytes)
+	rng := dist.NewRNG(seed)
+	for i := 0; i+8 <= len(blob); i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8; j++ {
+			blob[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return &SurgeStore{set: set, blob: blob}
+}
+
+// Get implements Store: paths of the form /obj/<id>.
+func (s *SurgeStore) Get(path string) ([]byte, string, bool) {
+	id, ok := parseObjPath(path)
+	if !ok || id < 0 || id >= s.set.Len() {
+		return nil, "", false
+	}
+	s.hits.Add(1)
+	size := s.set.Object(id).Size
+	if size > int64(len(s.blob)) {
+		size = int64(len(s.blob))
+	}
+	return s.blob[:size], "application/octet-stream", true
+}
+
+// Hits returns the number of successful lookups.
+func (s *SurgeStore) Hits() int64 { return s.hits.Load() }
+
+// Len returns the object count.
+func (s *SurgeStore) Len() int { return s.set.Len() }
+
+// PathFor returns the canonical URL for object id.
+func (s *SurgeStore) PathFor(id int) string { return fmt.Sprintf("/obj/%d", id) }
+
+// parseObjPath extracts <id> from "/obj/<id>" without allocating.
+func parseObjPath(path string) (int, bool) {
+	const prefix = "/obj/"
+	if len(path) <= len(prefix) || path[:len(prefix)] != prefix {
+		return 0, false
+	}
+	id := 0
+	for i := len(prefix); i < len(path); i++ {
+		c := path[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + int(c-'0')
+		if id > 1<<30 {
+			return 0, false
+		}
+	}
+	return id, true
+}

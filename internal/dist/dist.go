@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sampler is a source of float64 variates. All distributions in this
+// package implement it, so workload models can be composed generically.
+type Sampler interface {
+	// Sample draws the next variate using r as the randomness source.
+	Sample(r *RNG) float64
+	// Mean returns the analytic mean of the distribution, or NaN if the
+	// mean does not exist (e.g. Pareto with alpha <= 1).
+	Mean() float64
+}
+
+// Constant is a degenerate distribution that always returns Value.
+type Constant struct{ Value float64 }
+
+// Sample implements Sampler.
+func (c Constant) Sample(*RNG) float64 { return c.Value }
+
+// Mean implements Sampler.
+func (c Constant) Mean() float64 { return c.Value }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Sampler.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// Mean implements Sampler.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exponential is the exponential distribution with the given MeanVal.
+type Exponential struct{ MeanVal float64 }
+
+// Sample implements Sampler.
+func (e Exponential) Sample(r *RNG) float64 { return e.MeanVal * r.ExpFloat64() }
+
+// Mean implements Sampler.
+func (e Exponential) Mean() float64 { return e.MeanVal }
+
+// Lognormal is the distribution of exp(N(Mu, Sigma^2)). SURGE uses it for
+// the body of the file-size distribution.
+type Lognormal struct{ Mu, Sigma float64 }
+
+// Sample implements Sampler.
+func (l Lognormal) Sample(r *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean implements Sampler.
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Pareto is the (unbounded) Pareto distribution with scale K (minimum
+// value) and shape Alpha. SURGE uses it for the heavy tail of file sizes
+// and for OFF (think) times.
+type Pareto struct{ K, Alpha float64 }
+
+// Sample implements Sampler.
+func (p Pareto) Sample(r *RNG) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return p.K / math.Pow(u, 1/p.Alpha)
+		}
+	}
+}
+
+// Mean implements Sampler. The mean is infinite for Alpha <= 1; NaN is
+// returned in that case.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.NaN()
+	}
+	return p.Alpha * p.K / (p.Alpha - 1)
+}
+
+// BoundedPareto is a Pareto distribution truncated to [K, H]. Workload
+// models use it so a single pathological draw cannot exceed buffer or
+// transfer budgets while the distribution remains heavy-tailed.
+type BoundedPareto struct{ K, H, Alpha float64 }
+
+// Sample implements Sampler (inversion of the truncated CDF).
+func (p BoundedPareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	ka := math.Pow(p.K, p.Alpha)
+	ha := math.Pow(p.H, p.Alpha)
+	x := -(u*ha - u*ka - ha) / (ha * ka)
+	return math.Pow(1/x, 1/p.Alpha)
+}
+
+// Mean implements Sampler.
+func (p BoundedPareto) Mean() float64 {
+	if p.Alpha == 1 {
+		return p.K * p.H / (p.H - p.K) * math.Log(p.H/p.K)
+	}
+	ka := math.Pow(p.K, p.Alpha)
+	num := ka / (1 - math.Pow(p.K/p.H, p.Alpha)) * p.Alpha / (p.Alpha - 1)
+	return num * (1/math.Pow(p.K, p.Alpha-1) - 1/math.Pow(p.H, p.Alpha-1))
+}
+
+// Weibull is the Weibull distribution with the given Scale and Shape.
+// SURGE uses it for active OFF times between embedded-object requests.
+type Weibull struct{ Scale, Shape float64 }
+
+// Sample implements Sampler.
+func (w Weibull) Sample(r *RNG) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return w.Scale * math.Pow(-math.Log(u), 1/w.Shape)
+		}
+	}
+}
+
+// Mean implements Sampler.
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+// Mixture draws from Components[i] with probability Weights[i]. SURGE's
+// file-size model is a lognormal/Pareto mixture.
+type Mixture struct {
+	Weights    []float64
+	Components []Sampler
+	cum        []float64
+}
+
+// NewMixture validates and returns a mixture distribution. Weights need
+// not sum exactly to one; they are normalized.
+func NewMixture(weights []float64, components []Sampler) (*Mixture, error) {
+	if len(weights) != len(components) || len(weights) == 0 {
+		return nil, fmt.Errorf("dist: mixture needs equal, non-zero numbers of weights and components (got %d, %d)", len(weights), len(components))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("dist: mixture weight %v is invalid", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("dist: mixture weights sum to %v", total)
+	}
+	m := &Mixture{Weights: weights, Components: components, cum: make([]float64, len(weights))}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		m.cum[i] = acc
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against rounding
+	return m, nil
+}
+
+// Sample implements Sampler.
+func (m *Mixture) Sample(r *RNG) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.Components) {
+		i = len(m.Components) - 1
+	}
+	return m.Components[i].Sample(r)
+}
+
+// Mean implements Sampler.
+func (m *Mixture) Mean() float64 {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	mean := 0.0
+	for i, c := range m.Components {
+		mean += m.Weights[i] / total * c.Mean()
+	}
+	return mean
+}
+
+// Zipf draws integers in [0, N) with probability proportional to
+// 1/(rank+1)^S — the web-object popularity model SURGE (and most web
+// caching literature) uses. It precomputes the CDF, so Sample is a binary
+// search: O(log N) with zero allocation.
+type Zipf struct {
+	N   int
+	S   float64
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over ranks [0, n) with exponent s. It
+// panics if n <= 0 or s < 0, which are programming errors.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("dist: Zipf with non-positive n")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("dist: Zipf with negative exponent")
+	}
+	z := &Zipf{N: n, S: s, cdf: make([]float64, n)}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = acc
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= acc
+	}
+	z.cdf[n-1] = 1
+	return z
+}
+
+// Rank draws a popularity rank in [0, N); rank 0 is the most popular.
+func (z *Zipf) Rank(r *RNG) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= z.N {
+		i = z.N - 1
+	}
+	return i
+}
+
+// Prob returns the probability mass of the given rank.
+func (z *Zipf) Prob(rank int) float64 {
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}

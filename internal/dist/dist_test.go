@@ -1,0 +1,352 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMean(t *testing.T, s Sampler, r *RNG, n int) float64 {
+	t.Helper()
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// Drawing from the child must not perturb a sibling split taken later
+	// from an identically-seeded parent that never consulted the child.
+	parent2 := NewRNG(7)
+	_ = parent2.Split() // discard the child stream
+	for i := 0; i < 100; i++ {
+		child.Uint64()
+	}
+	if parent.Uint64() != parent2.Uint64() {
+		t.Fatal("consuming a split child perturbed the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(4)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn biased: bucket %d has %d/70000 draws", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(6)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(8)
+	e := Exponential{MeanVal: 2.5}
+	m := sampleMean(t, e, r, 200000)
+	if math.Abs(m-2.5) > 0.1 {
+		t.Errorf("exponential sample mean = %v, want ~2.5", m)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	r := NewRNG(9)
+	l := Lognormal{Mu: 7, Sigma: 1}
+	want := l.Mean()
+	got := sampleMean(t, l, r, 400000)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("lognormal sample mean = %v, analytic %v", got, want)
+	}
+}
+
+func TestParetoBoundsAndMean(t *testing.T) {
+	r := NewRNG(10)
+	p := Pareto{K: 100, Alpha: 2.5}
+	n := 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := p.Sample(r)
+		if v < p.K {
+			t.Fatalf("Pareto draw %v below scale %v", v, p.K)
+		}
+		sum += v
+	}
+	want := p.Mean()
+	got := sum / float64(n)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Pareto sample mean = %v, analytic %v", got, want)
+	}
+}
+
+func TestParetoInfiniteMeanIsNaN(t *testing.T) {
+	if !math.IsNaN((Pareto{K: 1, Alpha: 0.9}).Mean()) {
+		t.Error("Pareto mean with alpha<=1 should be NaN")
+	}
+}
+
+func TestBoundedParetoStaysInBounds(t *testing.T) {
+	r := NewRNG(11)
+	p := BoundedPareto{K: 10, H: 1e6, Alpha: 1.1}
+	for i := 0; i < 100000; i++ {
+		v := p.Sample(r)
+		if v < p.K || v > p.H {
+			t.Fatalf("BoundedPareto draw %v outside [%v, %v]", v, p.K, p.H)
+		}
+	}
+}
+
+func TestBoundedParetoMeanMatchesSamples(t *testing.T) {
+	r := NewRNG(12)
+	p := BoundedPareto{K: 10, H: 10000, Alpha: 1.5}
+	want := p.Mean()
+	got := sampleMean(t, p, r, 400000)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("BoundedPareto sample mean = %v, analytic %v", got, want)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	r := NewRNG(13)
+	w := Weibull{Scale: 1.46, Shape: 0.382}
+	want := w.Mean()
+	got := sampleMean(t, w, r, 500000)
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("Weibull sample mean = %v, analytic %v", got, want)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture should fail")
+	}
+	if _, err := NewMixture([]float64{1}, []Sampler{Constant{1}, Constant{2}}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewMixture([]float64{-1, 2}, []Sampler{Constant{1}, Constant{2}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewMixture([]float64{0, 0}, []Sampler{Constant{1}, Constant{2}}); err == nil {
+		t.Error("zero-sum weights should fail")
+	}
+}
+
+func TestMixtureProportions(t *testing.T) {
+	m, err := NewMixture([]float64{0.3, 0.7}, []Sampler{Constant{1}, Constant{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(14)
+	n := 200000
+	ones := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("component-1 fraction = %v, want ~0.3", frac)
+	}
+	if math.Abs(m.Mean()-1.7) > 1e-9 {
+		t.Errorf("mixture mean = %v, want 1.7", m.Mean())
+	}
+}
+
+func TestZipfRankZeroMostPopular(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	r := NewRNG(15)
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[z.Rank(r)]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Errorf("Zipf counts not monotone at head: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+	// Rank 0 should carry about 1/H(1000) of the mass (~13.4%).
+	frac := float64(counts[0]) / 200000
+	if frac < 0.11 || frac > 0.16 {
+		t.Errorf("rank-0 mass = %v, want ~0.134", frac)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(500, 0.8)
+	sum := 0.0
+	for i := 0; i < 500; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Zipf probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Intn(n) is always in [0, n) for arbitrary positive n and seeds.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BoundedPareto samples always land within [K, H].
+func TestQuickBoundedPareto(t *testing.T) {
+	f := func(seed uint64, kRaw, spanRaw uint16) bool {
+		k := float64(kRaw%1000) + 1
+		h := k + float64(spanRaw%10000) + 1
+		p := BoundedPareto{K: k, H: h, Alpha: 1.2}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := p.Sample(r)
+			if v < k || v > h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Zipf ranks stay in range for arbitrary sizes.
+func TestQuickZipfRankInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		z := NewZipf(n, 1.0)
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			rank := z.Rank(r)
+			if rank < 0 || rank >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(10000, 1.0)
+	r := NewRNG(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = z.Rank(r)
+	}
+	_ = sink
+}

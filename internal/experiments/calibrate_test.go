@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestCalibrationProbe prints the key operating points; run with
+//
+//	CALIBRATE=1 go test ./internal/experiments/ -run Probe -v
+//
+// It is skipped in normal runs (it is a diagnostic, not an assertion).
+func TestCalibrationProbe(t *testing.T) {
+	if os.Getenv("CALIBRATE") == "" {
+		t.Skip("calibration probe disabled (set CALIBRATE=1 to enable)")
+	}
+	points := []Scenario{
+		{Kind: HTTPD, Threads: 128, Processors: 1, Bandwidth: Gigabit, Clients: 3000, Seed: 1},
+		{Kind: HTTPD, Threads: 896, Processors: 1, Bandwidth: Gigabit, Clients: 3000, Seed: 1},
+		{Kind: HTTPD, Threads: 896, Processors: 1, Bandwidth: Gigabit, Clients: 6000, Seed: 1},
+		{Kind: HTTPD, Threads: 6000, Processors: 1, Bandwidth: Gigabit, Clients: 6000, Seed: 1},
+		{Kind: NIO, Workers: 4, Processors: 1, Bandwidth: Gigabit, Clients: 3000, Seed: 1},
+		{Kind: NIO, Workers: 8, Processors: 1, Bandwidth: Gigabit, Clients: 3000, Seed: 1},
+		{Kind: NIO, Workers: 3, Processors: 4, Bandwidth: Gigabit, Clients: 6000, Seed: 1},
+		{Kind: NIO, Workers: 4, Processors: 4, Bandwidth: Gigabit, Clients: 6000, Seed: 1},
+		{Kind: HTTPD, Threads: 2000, Processors: 4, Bandwidth: Gigabit, Clients: 6000, Seed: 1},
+		{Kind: HTTPD, Threads: 6000, Processors: 4, Bandwidth: Gigabit, Clients: 6000, Seed: 1},
+		{Kind: NIO, Workers: 1, Processors: 1, Bandwidth: Mbit200, Clients: 3000, Seed: 1},
+		{Kind: HTTPD, Threads: 4096, Processors: 1, Bandwidth: Mbit200, Clients: 3000, Seed: 1},
+	}
+	for _, s := range points {
+		start := time.Now()
+		rep := s.Run()
+		t.Logf("%s cpus=%d bw=%.0fMbit clients=%d → %.0f rep/s resp=%.3fs conn=%.4fs to=%.2f/s rst=%.2f/s bw=%.1fMB/s [wall %.1fs]",
+			s.Label(), s.Processors, s.Bandwidth*8/0.94/1e6, s.Clients,
+			rep.RepliesPerSec, rep.MeanResponseSec, rep.MeanConnectSec,
+			rep.TimeoutErrPerSec, rep.ResetErrPerSec, rep.BandwidthBps/1e6,
+			time.Since(start).Seconds())
+	}
+}

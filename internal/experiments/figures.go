@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/simclient"
+)
+
+// Figure is one rendered panel: the series one of the paper's plots shows.
+type Figure struct {
+	ID     string // e.g. "1a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*metrics.Series
+}
+
+// Render returns the figure as an aligned text table.
+func (f Figure) Render() string {
+	title := fmt.Sprintf("Figure %s — %s [y: %s]", f.ID, f.Title, f.YLabel)
+	return metrics.Table(title, f.XLabel, f.Series...)
+}
+
+// RenderCSV returns the figure as CSV (one column per series).
+func (f Figure) RenderCSV() string {
+	return fmt.Sprintf("# Figure %s — %s [y: %s]\n%s",
+		f.ID, f.Title, f.YLabel, metrics.CSV(f.XLabel, f.Series...))
+}
+
+// RenderPlot returns the figure as a terminal ASCII chart.
+func (f Figure) RenderPlot() string {
+	title := fmt.Sprintf("Figure %s — %s [y: %s, x: %s]", f.ID, f.Title, f.YLabel, f.XLabel)
+	return metrics.ASCIIPlot(title, 72, 18, f.Series...)
+}
+
+// Suite runs the paper's evaluation. Results are memoized, so figures
+// sharing a run matrix (1&2, 7&8, …) pay for it once.
+type Suite struct {
+	// ClientPoints is the x-axis of every sweep (paper: 600–6000).
+	ClientPoints []int
+	// WarmupSec/MeasureSec override the run durations (0 = paper values).
+	WarmupSec  float64
+	MeasureSec float64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+	// Replicates averages each point over this many seeds (0/1 = one
+	// run per point; the paper reports single 5-minute runs).
+	Replicates int
+
+	cache map[string]simclient.Report
+}
+
+// NewSuite returns a suite with the paper's sweep: 600 to 6000 clients in
+// steps of 600.
+func NewSuite() *Suite {
+	s := &Suite{cache: map[string]simclient.Report{}}
+	for c := 600; c <= 6000; c += 600 {
+		s.ClientPoints = append(s.ClientPoints, c)
+	}
+	return s
+}
+
+// NewFastSuite returns a reduced suite for tests: fewer, smaller points
+// and shorter runs. The shapes the paper reports survive the reduction.
+func NewFastSuite() *Suite {
+	return &Suite{
+		ClientPoints: []int{600, 1800, 3000, 4200},
+		WarmupSec:    5,
+		MeasureSec:   20,
+		cache:        map[string]simclient.Report{},
+	}
+}
+
+// The paper's configuration sweeps.
+var (
+	// UPNIOWorkers are the nio worker counts of figure 1a/2a.
+	UPNIOWorkers = []int{1, 4, 8}
+	// UPHTTPDThreads are the httpd pool sizes of figure 1b/2b. (The
+	// OCR'd legends drop trailing zeros; these are the values consistent
+	// with the prose: the best pool is 4096, 896 is the mid knee, 6000
+	// is the unstable top, and a small pool anchors the bottom.)
+	UPHTTPDThreads = []int{128, 896, 4096, 6000}
+	// SMPNIOWorkers are the nio worker counts of figure 7a/8a.
+	SMPNIOWorkers = []int{2, 3, 4}
+	// SMPHTTPDThreads are the httpd pool sizes of figure 7b/8b.
+	SMPHTTPDThreads = []int{2000, 4000, 6000}
+)
+
+// Best-performing configurations (paper §4.1, §5.1).
+var (
+	BestUPNIO    = Scenario{Kind: NIO, Workers: 1, Processors: 1, Bandwidth: Gigabit}
+	BestSMPNIO   = Scenario{Kind: NIO, Workers: 2, Processors: 4, Bandwidth: Gigabit}
+	BestUPHTTPD  = Scenario{Kind: HTTPD, Threads: 4096, Processors: 1, Bandwidth: Gigabit}
+	BestSMPHTTPD = Scenario{Kind: HTTPD, Threads: 4096, Processors: 4, Bandwidth: Gigabit}
+)
+
+// run executes (or recalls) one scenario point.
+func (s *Suite) run(sc Scenario) simclient.Report {
+	sc.WarmupSec = s.WarmupSec
+	sc.MeasureSec = s.MeasureSec
+	key := fmt.Sprintf("%s/p%d/bw%.0f/c%d/r%g/w%g/m%g",
+		sc.Label(), sc.Processors, sc.Bandwidth, sc.Clients, sc.SessionRate, sc.WarmupSec, sc.MeasureSec)
+	if rep, ok := s.cache[key]; ok {
+		return rep
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	base := h.Sum64()
+	n := s.Replicates
+	if n < 1 {
+		n = 1
+	}
+	reps := make([]simclient.Report, 0, n)
+	for i := 0; i < n; i++ {
+		sc.Seed = base + uint64(i)*0x9e3779b9
+		reps = append(reps, sc.Run())
+	}
+	rep := averageReports(reps)
+	s.cache[key] = rep
+	if s.Progress != nil {
+		s.Progress(fmt.Sprintf("%-60s %8.0f rep/s  resp %7.4fs  conn %7.4fs  to %6.2f/s  rst %6.2f/s",
+			key, rep.RepliesPerSec, rep.MeanResponseSec, rep.MeanConnectSec,
+			rep.TimeoutErrPerSec, rep.ResetErrPerSec))
+	}
+	return rep
+}
+
+// sweep runs the scenario at every client point and extracts y.
+func (s *Suite) sweep(base Scenario, y func(simclient.Report) float64) *metrics.Series {
+	series := &metrics.Series{Label: base.Label()}
+	for _, clients := range s.ClientPoints {
+		sc := base
+		sc.Clients = clients
+		series.Add(float64(clients), y(s.run(sc)))
+	}
+	return series
+}
+
+func throughput(r simclient.Report) float64 { return r.RepliesPerSec }
+func response(r simclient.Report) float64   { return r.MeanResponseSec * 1000 } // ms
+func connectMS(r simclient.Report) float64  { return r.MeanConnectSec * 1000 }  // ms
+func timeouts(r simclient.Report) float64   { return r.TimeoutErrPerSec }
+func resets(r simclient.Report) float64     { return r.ResetErrPerSec }
+
+// upNIO returns the figure-1a scenario set.
+func upNIO() []Scenario {
+	var out []Scenario
+	for _, w := range UPNIOWorkers {
+		out = append(out, Scenario{Kind: NIO, Workers: w, Processors: 1, Bandwidth: Gigabit})
+	}
+	return out
+}
+
+func upHTTPD() []Scenario {
+	var out []Scenario
+	for _, th := range UPHTTPDThreads {
+		out = append(out, Scenario{Kind: HTTPD, Threads: th, Processors: 1, Bandwidth: Gigabit})
+	}
+	return out
+}
+
+func smpNIO() []Scenario {
+	var out []Scenario
+	for _, w := range SMPNIOWorkers {
+		out = append(out, Scenario{Kind: NIO, Workers: w, Processors: 4, Bandwidth: Gigabit})
+	}
+	return out
+}
+
+func smpHTTPD() []Scenario {
+	var out []Scenario
+	for _, th := range SMPHTTPDThreads {
+		out = append(out, Scenario{Kind: HTTPD, Threads: th, Processors: 4, Bandwidth: Gigabit})
+	}
+	return out
+}
+
+func (s *Suite) panel(id, title, ylabel string, scenarios []Scenario, y func(simclient.Report) float64) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "clients", YLabel: ylabel}
+	for _, sc := range scenarios {
+		f.Series = append(f.Series, s.sweep(sc, y))
+	}
+	return f
+}
+
+// Fig1 — throughput comparison on a uniprocessor (panels a: nio, b: httpd).
+func (s *Suite) Fig1() []Figure {
+	return []Figure{
+		s.panel("1a", "NIO UP throughput", "replies/s", upNIO(), throughput),
+		s.panel("1b", "Httpd UP throughput", "replies/s", upHTTPD(), throughput),
+	}
+}
+
+// Fig2 — response time comparison on a uniprocessor.
+func (s *Suite) Fig2() []Figure {
+	return []Figure{
+		s.panel("2a", "NIO UP response time", "ms", upNIO(), response),
+		s.panel("2b", "Httpd UP response time", "ms", upHTTPD(), response),
+	}
+}
+
+// Fig3 — connection errors, best configs (a: client timeouts, b: resets).
+func (s *Suite) Fig3() []Figure {
+	best := []Scenario{BestUPNIO, BestUPHTTPD}
+	return []Figure{
+		s.panel("3a", "Client timeout errors", "errors/s", best, timeouts),
+		s.panel("3b", "Connection reset errors", "errors/s", best, resets),
+	}
+}
+
+// Fig4 — connection establishment time, nio best vs httpd pool sizes.
+func (s *Suite) Fig4() []Figure {
+	scenarios := []Scenario{BestUPNIO}
+	for _, th := range []int{896, 4096, 6000} {
+		scenarios = append(scenarios, Scenario{Kind: HTTPD, Threads: th, Processors: 1, Bandwidth: Gigabit})
+	}
+	return []Figure{s.panel("4", "NIO vs httpd UP connection time", "ms", scenarios, connectMS)}
+}
+
+// bwScenarios returns the figure-5/6 set: each server's best UP config on
+// the three network configurations.
+func bwScenarios() []Scenario {
+	var out []Scenario
+	for _, bw := range []struct {
+		label string
+		bps   float64
+	}{
+		{"100Mbps", Mbit100},
+		{"200Mbps", Mbit200},
+		{"1Gbit", Gigabit},
+	} {
+		nio := BestUPNIO
+		nio.Bandwidth = bw.bps
+		httpd := BestUPHTTPD
+		httpd.Bandwidth = bw.bps
+		out = append(out, nio, httpd)
+	}
+	return out
+}
+
+// bwLabel distinguishes the six series of figures 5 and 6.
+func bwLabel(sc Scenario) string {
+	var bw string
+	switch sc.Bandwidth {
+	case Mbit100:
+		bw = "100Mbps"
+	case Mbit200:
+		bw = "200Mbps"
+	default:
+		bw = "1Gbit"
+	}
+	return fmt.Sprintf("%s-%s", sc.Kind, bw)
+}
+
+func (s *Suite) bwPanel(id, title, ylabel string, y func(simclient.Report) float64) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "clients", YLabel: ylabel}
+	for _, sc := range bwScenarios() {
+		series := s.sweep(sc, y)
+		series.Label = bwLabel(sc)
+		f.Series = append(f.Series, series)
+	}
+	return f
+}
+
+// Fig5 — throughput under bandwidth limits (100/200/1000 Mbit).
+func (s *Suite) Fig5() []Figure {
+	return []Figure{s.bwPanel("5", "NIO vs Httpd throughput by link", "replies/s", throughput)}
+}
+
+// Fig6 — response time under bandwidth limits.
+func (s *Suite) Fig6() []Figure {
+	return []Figure{s.bwPanel("6", "NIO vs Httpd response time by link", "ms", response)}
+}
+
+// Fig7 — throughput comparison on the 4-way SMP.
+func (s *Suite) Fig7() []Figure {
+	return []Figure{
+		s.panel("7a", "NIO SMP throughput", "replies/s", smpNIO(), throughput),
+		s.panel("7b", "Httpd SMP throughput", "replies/s", smpHTTPD(), throughput),
+	}
+}
+
+// Fig8 — response time comparison on the 4-way SMP.
+func (s *Suite) Fig8() []Figure {
+	return []Figure{
+		s.panel("8a", "NIO SMP response time", "ms", smpNIO(), response),
+		s.panel("8b", "Httpd SMP response time", "ms", smpHTTPD(), response),
+	}
+}
+
+// upsmp builds the figure-9/10 panels: best UP config vs best SMP config
+// for one server kind.
+func (s *Suite) upsmp(id, title, ylabel string, up, smp Scenario, y func(simclient.Report) float64) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "clients", YLabel: ylabel}
+	a := s.sweep(up, y)
+	a.Label = "UP"
+	b := s.sweep(smp, y)
+	b.Label = "SMP"
+	f.Series = append(f.Series, a, b)
+	return f
+}
+
+// Fig9 — throughput scalability from 1 to 4 CPUs.
+func (s *Suite) Fig9() []Figure {
+	return []Figure{
+		s.upsmp("9a", "NIO throughput UP vs SMP", "replies/s", BestUPNIO, BestSMPNIO, throughput),
+		s.upsmp("9b", "Httpd throughput UP vs SMP", "replies/s", BestUPHTTPD, BestSMPHTTPD, throughput),
+	}
+}
+
+// Fig10 — response time scalability from 1 to 4 CPUs.
+func (s *Suite) Fig10() []Figure {
+	return []Figure{
+		s.upsmp("10a", "NIO response time UP vs SMP", "ms", BestUPNIO, BestSMPNIO, response),
+		s.upsmp("10b", "Httpd response time UP vs SMP", "ms", BestUPHTTPD, BestSMPHTTPD, response),
+	}
+}
+
+// Figures maps figure numbers to runners.
+func (s *Suite) Figures(n int) ([]Figure, error) {
+	switch n {
+	case 1:
+		return s.Fig1(), nil
+	case 2:
+		return s.Fig2(), nil
+	case 3:
+		return s.Fig3(), nil
+	case 4:
+		return s.Fig4(), nil
+	case 5:
+		return s.Fig5(), nil
+	case 6:
+		return s.Fig6(), nil
+	case 7:
+		return s.Fig7(), nil
+	case 8:
+		return s.Fig8(), nil
+	case 9:
+		return s.Fig9(), nil
+	case 10:
+		return s.Fig10(), nil
+	case 11:
+		return s.FigE1(), nil
+	case 12:
+		return s.FigE2(), nil
+	case 13:
+		return s.FigE3(), nil
+	case 14:
+		return s.FigE4(), nil
+	default:
+		return nil, fmt.Errorf("experiments: figures are 1–10 (paper) plus 11=E1 bandwidth, 12=E2 staged ablation, 13=E3 open-loop overload, 14=E4 worker-vs-prefork; not %d", n)
+	}
+}
+
+// All runs every figure and renders the full report.
+func (s *Suite) All() string {
+	var b strings.Builder
+	for n := 1; n <= 10; n++ {
+		figs, err := s.Figures(n)
+		if err != nil {
+			panic(err) // unreachable: the loop stays in range
+		}
+		for _, f := range figs {
+			b.WriteString(f.Render())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CacheKeys lists memoized runs (diagnostic).
+func (s *Suite) CacheKeys() []string {
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// sharedSuite memoizes the fast run matrix across all shape tests in this
+// package, so the full file costs one matrix, not one per test.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+)
+
+func fastSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment shape tests are integration-scale; skipped with -short")
+	}
+	suiteOnce.Do(func() {
+		suite = NewFastSuite()
+		suite.ClientPoints = []int{600, 1800, 3000, 6000}
+	})
+	return suite
+}
+
+// last returns the y value at the largest x of the series.
+func last(t *testing.T, f Figure, label string) float64 {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			if len(s.Y) == 0 {
+				t.Fatalf("series %q empty", label)
+			}
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	t.Fatalf("figure %s has no series %q (have %v)", f.ID, label, labels(f))
+	return 0
+}
+
+func at(t *testing.T, f Figure, label string, x float64) float64 {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s.YAt(x)
+		}
+	}
+	t.Fatalf("figure %s has no series %q", f.ID, label)
+	return 0
+}
+
+func labels(f Figure) []string {
+	var out []string
+	for _, s := range f.Series {
+		out = append(out, s.Label)
+	}
+	return out
+}
+
+func TestFig1Shapes(t *testing.T) {
+	s := fastSuite(t)
+	figs := s.Fig1()
+	nio, httpd := figs[0], figs[1]
+
+	// httpd throughput grows with offered load up to saturation.
+	lo := at(t, httpd, "httpd-4096t", 600)
+	hi := last(t, httpd, "httpd-4096t")
+	if hi <= lo*2 {
+		t.Errorf("httpd-4096 did not scale with load: %v → %v", lo, hi)
+	}
+	// nio with one worker matches httpd's best peak within 25%.
+	nioPeak := last(t, nio, "nio-1w")
+	if nioPeak < hi*0.75 || nioPeak > hi*1.25 {
+		t.Errorf("nio-1w peak %v not within 25%% of httpd-4096 peak %v", nioPeak, hi)
+	}
+	// More workers never help on one CPU.
+	if w8 := last(t, nio, "nio-8w"); w8 > nioPeak*1.05 {
+		t.Errorf("nio-8w (%v) outperforms nio-1w (%v) on a uniprocessor", w8, nioPeak)
+	}
+	// A tiny pool is the worst httpd configuration at high load.
+	if small := last(t, httpd, "httpd-128t"); small >= hi {
+		t.Errorf("httpd-128t (%v) not below httpd-4096t (%v)", small, hi)
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	s := fastSuite(t)
+	figs := s.Fig2()
+	nio, httpd := figs[0], figs[1]
+	// nio response time grows with load (fair sharing across all clients).
+	lo, hi := at(t, nio, "nio-1w", 600), last(t, nio, "nio-1w")
+	if hi <= lo {
+		t.Errorf("nio response time did not grow with load: %v → %v ms", lo, hi)
+	}
+	// httpd's average (successes only) stays below nio's at mid load.
+	nioMid, httpdMid := at(t, nio, "nio-1w", 3000), at(t, httpd, "httpd-4096t", 3000)
+	if httpdMid >= nioMid {
+		t.Errorf("httpd mean response (%v ms) not below nio (%v ms) at 3000 clients", httpdMid, nioMid)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	s := fastSuite(t)
+	figs := s.Fig3()
+	to, rst := figs[0], figs[1]
+	// nio never produces connection resets (it never disconnects idles).
+	for _, x := range s.ClientPoints {
+		if v := at(t, rst, "nio-1w", float64(x)); v != 0 {
+			t.Errorf("nio resets at %d clients: %v/s (must be 0)", x, v)
+		}
+	}
+	// httpd resets grow with client count.
+	rlo, rhi := at(t, rst, "httpd-4096t", 600), last(t, rst, "httpd-4096t")
+	if !(rhi > rlo && rhi > 0) {
+		t.Errorf("httpd resets not growing: %v → %v", rlo, rhi)
+	}
+	// httpd client timeouts exceed nio's at the top of the sweep.
+	if ht, nt := last(t, to, "httpd-4096t"), last(t, to, "nio-1w"); ht <= nt {
+		t.Errorf("httpd timeouts (%v/s) not above nio (%v/s)", ht, nt)
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	s := fastSuite(t)
+	fig := s.Fig4()[0]
+	// nio connection time stays flat and sub-millisecond.
+	for _, x := range s.ClientPoints {
+		if v := at(t, fig, "nio-1w", float64(x)); v > 1.0 {
+			t.Errorf("nio connect time %v ms at %d clients (want < 1ms)", v, x)
+		}
+	}
+	// httpd-896: connect time explodes once clients greatly exceed pool.
+	before := at(t, fig, "httpd-896t", 600)
+	after := last(t, fig, "httpd-896t")
+	if after < 100 || after < before*10 {
+		t.Errorf("httpd-896 connect time knee missing: %v → %v ms", before, after)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	s := fastSuite(t)
+	fig := s.Fig5()[0]
+	// On the 100 Mbit link both servers hit the same wire-speed ceiling.
+	nio, httpd := last(t, fig, "nio-100Mbps"), last(t, fig, "httpd-100Mbps")
+	if nio < httpd*0.9 || nio > httpd*1.15 {
+		t.Errorf("100Mbit ceilings differ: nio %v, httpd %v", nio, httpd)
+	}
+	// nio is at or slightly above httpd at link saturation (reset waste).
+	if nio < httpd*0.98 {
+		t.Errorf("nio (%v) below httpd (%v) at 100Mbit saturation", nio, httpd)
+	}
+	// Faster links raise the ceiling.
+	g := last(t, fig, "nio-1Gbit")
+	m2 := last(t, fig, "nio-200Mbps")
+	if !(g > m2 && m2 > nio) {
+		t.Errorf("ceilings not ordered: 1Gbit %v, 200Mbit %v, 100Mbit %v", g, m2, nio)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	s := fastSuite(t)
+	fig := s.Fig6()[0]
+	// When bandwidth is the bottleneck, response times converge.
+	nio, httpd := last(t, fig, "nio-100Mbps"), last(t, fig, "httpd-100Mbps")
+	if nio > httpd*3 || httpd > nio*3 {
+		t.Errorf("bandwidth-bound response times diverge: nio %v ms, httpd %v ms", nio, httpd)
+	}
+	// On the gigabit link (CPU-bound) they clearly differ, nio higher.
+	gn, gh := last(t, fig, "nio-1Gbit"), last(t, fig, "httpd-1Gbit")
+	if gn <= gh {
+		t.Errorf("CPU-bound: nio response (%v ms) not above httpd (%v ms)", gn, gh)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	s := fastSuite(t)
+	figs := s.Fig7()
+	nio, httpd := figs[0], figs[1]
+	// On 4 CPUs the nio worker count barely matters (2 ≈ 3 ≈ 4).
+	w2, w3, w4 := last(t, nio, "nio-2w"), last(t, nio, "nio-3w"), last(t, nio, "nio-4w")
+	for _, v := range []float64{w3, w4} {
+		if v < w2*0.9 || v > w2*1.1 {
+			t.Errorf("SMP nio configs diverge: 2w=%v 3w=%v 4w=%v", w2, w3, w4)
+		}
+	}
+	// httpd with a large pool is in the same range as nio (paper: "the
+	// difference is pretty short").
+	h6 := last(t, httpd, "httpd-6000t")
+	if h6 < w2*0.8 || h6 > w2*1.3 {
+		t.Errorf("SMP httpd-6000t (%v) not comparable to nio-2w (%v)", h6, w2)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	s := fastSuite(t)
+	figs := s.Fig8()
+	nio := figs[0]
+	// SMP response times for the best config stay moderate (well under
+	// the client timeout) across the sweep.
+	for _, x := range s.ClientPoints {
+		if v := at(t, nio, "nio-2w", float64(x)); v > 5000 {
+			t.Errorf("SMP nio-2w response %v ms at %d clients", v, x)
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	s := fastSuite(t)
+	figs := s.Fig9()
+	for _, f := range figs {
+		up, smp := last(t, f, "UP"), last(t, f, "SMP")
+		if smp < up*1.5 {
+			t.Errorf("figure %s: SMP (%v) not ≥1.5× UP (%v) at peak load", f.ID, smp, up)
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	s := fastSuite(t)
+	figs := s.Fig10()
+	for _, f := range figs {
+		up, smp := last(t, f, "UP"), last(t, f, "SMP")
+		if smp > up {
+			t.Errorf("figure %s: SMP response (%v ms) above UP (%v ms)", f.ID, smp, up)
+		}
+	}
+}
+
+func TestFiguresDispatch(t *testing.T) {
+	s := NewFastSuite()
+	if _, err := s.Figures(0); err == nil {
+		t.Error("figure 0 accepted")
+	}
+	if _, err := s.Figures(15); err == nil {
+		t.Error("figure 15 accepted")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{ID: "1a", Title: "demo", XLabel: "clients", YLabel: "replies/s"}
+	sr := &metrics.Series{Label: "s"}
+	sr.Add(600, 42)
+	f.Series = append(f.Series, sr)
+	out := f.Render()
+	for _, want := range []string{"Figure 1a", "demo", "clients", "replies/s", "600", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScenarioLabels(t *testing.T) {
+	if got := (Scenario{Kind: NIO, Workers: 2}).Label(); got != "nio-2w" {
+		t.Errorf("label = %q", got)
+	}
+	if got := (Scenario{Kind: HTTPD, Threads: 4096}).Label(); got != "httpd-4096t" {
+		t.Errorf("label = %q", got)
+	}
+	if NIO.String() != "nio" || HTTPD.String() != "httpd" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestMbitConversion(t *testing.T) {
+	if Mbit(100) >= 100e6/8 || Mbit(100) < 100e6/8*0.9 {
+		t.Errorf("Mbit(100) = %v", Mbit(100))
+	}
+}

@@ -1,0 +1,267 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (figures 1–10) on the simulated testbed: it builds scenarios (server
+// architecture + configuration + processor count + link bandwidth + client
+// population), runs them, and renders the same series the paper plots.
+//
+// Calibration: the cost constants in PaperCosts/PaperCPU/PaperWorkload are
+// set so the uniprocessor CPU-bound peak lands near the paper's httpd2
+// peak (~2500 replies/s) and 6000 clients offer roughly twice the
+// uniprocessor capacity — which is what makes the paper's 4-way SMP runs
+// stabilize at about 2× the UP throughput (figure 9). Absolute values are
+// testbed-specific; the experiments assert and report shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/simclient"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+	"repro/internal/simsrv"
+	"repro/internal/surge"
+)
+
+// ServerKind selects the architecture under test.
+type ServerKind int
+
+// The two architectures the paper compares, plus the §6 staged pipeline
+// in its two variants (shared processors vs per-stage affinity).
+const (
+	NIO       ServerKind = iota // event-driven reactor ("nio server")
+	HTTPD                       // thread-pool worker MPM ("httpd2")
+	STAGED                      // §6 pipeline, stages share all processors
+	STAGEDAFF                   // §6 pipeline, stages pinned to processors
+	PREFORK                     // process-per-connection MPM (Apache 1.3)
+)
+
+// String implements fmt.Stringer.
+func (k ServerKind) String() string {
+	switch k {
+	case NIO:
+		return "nio"
+	case HTTPD:
+		return "httpd"
+	case STAGED:
+		return "staged"
+	case STAGEDAFF:
+		return "staged-aff"
+	case PREFORK:
+		return "prefork"
+	default:
+		return "unknown"
+	}
+}
+
+// Mbit converts megabits/s of nominal Ethernet rate into effective
+// payload bytes/s (~94% after TCP/IP framing overhead).
+func Mbit(m float64) float64 { return m * 1e6 / 8 * 0.94 }
+
+// Standard link speeds of the paper's three network configurations.
+var (
+	Gigabit = Mbit(1000)
+	Mbit100 = Mbit(100)
+	Mbit200 = Mbit(200)
+)
+
+// PaperCosts returns the per-operation CPU prices calibrated to the
+// paper's 4-way 1.4 GHz Xeon SUT (see package comment).
+func PaperCosts() simsrv.Costs {
+	return simsrv.Costs{
+		Accept:       50e-6,
+		Parse:        150e-6,
+		WriteSyscall: 30e-6,
+		PerByte:      8e-9,
+		SelectWakeup: 8e-6,
+		SynProcess:   10e-6,
+		ChunkBytes:   64 << 10,
+	}
+}
+
+// NIOCPUFactor inflates the event-driven server's CPU costs relative to
+// httpd: the paper's nio server runs on a JVM (IBM JRE 1.4), httpd2 is
+// native-compiled. This is what makes nio flatten slightly earlier on a
+// uniprocessor (figure 1) while still matching httpd's peak with 1–2
+// worker threads.
+const NIOCPUFactor = 1.15
+
+// SelectorContention is the per-extra-worker inflation of selector
+// dispatch cost: Java NIO selectors serialize key-set access, so adding
+// workers on the same selector infrastructure costs coordination. It is
+// why 8 workers are no better than 1 on a uniprocessor (figure 1a) and
+// why 2 workers suffice on the 4-way SMP (figure 7a).
+const SelectorContention = 0.3
+
+// scaledCosts returns costs multiplied by f (JVM factor), with the
+// selector cost additionally inflated for multi-worker contention.
+func scaledCosts(base simsrv.Costs, f float64, workers int) simsrv.Costs {
+	c := base
+	c.Accept *= f
+	c.Parse *= f
+	c.WriteSyscall *= f
+	c.PerByte *= f
+	c.SelectWakeup *= f * (1 + SelectorContention*float64(workers-1))
+	c.SynProcess *= 1 // kernel-side, not JVM code
+	return c
+}
+
+// PaperCPU returns the processor model for the given CPU count.
+func PaperCPU(processors int) simcpu.Params {
+	return simcpu.Params{
+		Processors:     processors,
+		SwitchOverhead: 0.02,
+		MemThreshold:   3000,
+		MemPenaltyPerK: 0.05,
+	}
+}
+
+// PaperNet returns the network path for the given bandwidth.
+func PaperNet(bandwidthBps float64) simnet.Params {
+	return simnet.Params{
+		BandwidthBps: bandwidthBps,
+		Latency:      100e-6,
+		Backlog:      1024,
+		SynRetries:   5,
+	}
+}
+
+// PaperWorkload returns the SURGE configuration used for every figure:
+// the published SURGE shape with the OFF-time scales tightened so that
+// 6000 clients offer ≈2× the uniprocessor capacity (the paper's figure 9
+// shows SMP stabilizing at twice the UP throughput, which requires the
+// offered load to sit between 1× and 2× UP capacity at the top of the
+// client sweep).
+// In addition to the OFF-time scaling, the reply-size body is raised
+// (mean ≈ 19 KB total) so that the 200 Mbit/s link's reply ceiling sits
+// clearly below the gigabit CPU-bound ceiling even though congestion
+// skews the completed-reply mix toward small objects (big transfers are
+// the ones that hit the 10 s watchdog first).
+func PaperWorkload() surge.Config {
+	cfg := surge.DefaultConfig()
+	cfg.SizeBody = dist.Lognormal{Mu: 9.0, Sigma: 1.0}
+	cfg.ActiveOff = dist.Weibull{Scale: 0.55, Shape: 0.382}
+	cfg.InactiveOff = dist.Pareto{K: 0.8, Alpha: 1.5}
+	return cfg
+}
+
+// KeepAliveSec is httpd2's configured idle timeout (paper §4.2).
+const KeepAliveSec = 15
+
+// Durations of one simulated run. The paper runs 5 minutes per point; 60
+// measured seconds after a 10 s warmup gives the same steady-state means
+// at a tenth of the event count.
+const (
+	WarmupSec  = 10
+	MeasureSec = 60
+)
+
+// Scenario is one figure point: a fully specified run.
+type Scenario struct {
+	Kind       ServerKind
+	Workers    int     // NIO: reactor workers
+	Threads    int     // HTTPD: pool size
+	Processors int     // 1 (UP) or 4 (SMP)
+	Bandwidth  float64 // link bytes/s
+	Clients    int
+	// SessionRate > 0 selects httperf's open-loop mode: sessions arrive
+	// as a Poisson process at this rate instead of a fixed closed-loop
+	// population (Clients is then ignored).
+	SessionRate float64
+	Seed        uint64
+
+	// Overrides for fast tests; zero means use the paper defaults.
+	WarmupSec  float64
+	MeasureSec float64
+
+	// Optional model overrides (nil/zero = paper values). They exist for
+	// ablation and sensitivity studies; the figure runners never set them.
+	KeepAliveSec float64
+	CPUOverride  *simcpu.Params
+	CostOverride *simsrv.Costs
+}
+
+// Label returns the series label the paper's legends use.
+func (s Scenario) Label() string {
+	switch s.Kind {
+	case NIO:
+		return fmt.Sprintf("nio-%dw", s.Workers)
+	case HTTPD:
+		return fmt.Sprintf("httpd-%dt", s.Threads)
+	case PREFORK:
+		return fmt.Sprintf("prefork-%dp", s.Threads)
+	default:
+		return s.Kind.String()
+	}
+}
+
+// Run executes the scenario and returns the httperf-style report.
+func (s Scenario) Run() simclient.Report {
+	engine := sim.NewEngine()
+	rng := dist.NewRNG(s.Seed ^ 0x5eed5eed)
+	cfg := PaperWorkload()
+	set, err := surge.BuildObjectSet(cfg, dist.NewRNG(7)) // one fixed population for all runs
+	if err != nil {
+		panic(err)
+	}
+	net := simnet.NewNetwork(engine, PaperNet(s.Bandwidth))
+	cpuParams := PaperCPU(s.Processors)
+	if s.CPUOverride != nil {
+		cpuParams = *s.CPUOverride
+		cpuParams.Processors = s.Processors
+	}
+	baseCosts := PaperCosts()
+	if s.CostOverride != nil {
+		baseCosts = *s.CostOverride
+	}
+	keepAlive := float64(KeepAliveSec)
+	if s.KeepAliveSec > 0 {
+		keepAlive = s.KeepAliveSec
+	}
+
+	switch s.Kind {
+	case NIO:
+		cpu := simcpu.NewPool(engine, cpuParams)
+		costs := scaledCosts(baseCosts, NIOCPUFactor, s.Workers)
+		simsrv.NewEventDriven(engine, net, cpu, costs, s.Workers).Start()
+	case HTTPD:
+		cpu := simcpu.NewPool(engine, cpuParams)
+		simsrv.NewThreaded(engine, net, cpu, baseCosts, s.Threads, keepAlive).Start()
+	case PREFORK:
+		cpu := simcpu.NewPool(engine, cpuParams)
+		pcfg := simsrv.DefaultPreforkConfig()
+		pcfg.MaxClients = s.Threads // the scenario's pool bound
+		pcfg.KeepAlive = keepAlive
+		simsrv.NewPrefork(engine, net, cpu, baseCosts, pcfg).Start()
+	case STAGED, STAGEDAFF:
+		// The staged pipeline is a Java event-driven server too: it
+		// inherits the JVM cost factor. Stage specs follow
+		// DefaultStagedSpec; SharedProcessors tracks the scenario.
+		spec := simsrv.DefaultStagedSpec(s.Kind == STAGEDAFF)
+		spec.SharedProcessors = s.Processors
+		costs := scaledCosts(baseCosts, NIOCPUFactor, 1)
+		simsrv.NewStaged(engine, net, cpuParams, costs, spec).Start()
+	default:
+		panic(fmt.Sprintf("experiments: unknown server kind %d", s.Kind))
+	}
+
+	opts := simclient.Options{
+		Clients:     s.Clients,
+		SessionRate: s.SessionRate,
+		Timeout:     10,
+		RampOver:    5,
+		Warmup:      WarmupSec,
+		Duration:    MeasureSec,
+	}
+	if s.WarmupSec > 0 {
+		opts.Warmup = s.WarmupSec
+	}
+	if s.MeasureSec > 0 {
+		opts.Duration = s.MeasureSec
+	}
+	fleet, err := simclient.NewFleet(engine, net, cfg, set, rng, opts)
+	if err != nil {
+		panic(err)
+	}
+	return fleet.Run()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/simcpu"
+	"repro/internal/simsrv"
+)
+
+// Sensitivity analyses for the calibration knobs DESIGN.md §5 documents.
+// Each test checks the *direction* a knob moves the results, so a future
+// recalibration cannot silently invert a mechanism the figures rely on.
+
+func sensScenario() Scenario {
+	return Scenario{
+		Kind: HTTPD, Threads: 4096, Processors: 1,
+		Bandwidth: Gigabit, Clients: 3000, Seed: 77,
+		WarmupSec: 5, MeasureSec: 15,
+	}
+}
+
+func TestSensitivityKeepAlive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	// Shorter keep-alive ⇒ more connection resets (thinking clients get
+	// disconnected more often).
+	short := sensScenario()
+	short.KeepAliveSec = 5
+	long := sensScenario()
+	long.KeepAliveSec = 60
+	rs, rl := short.Run(), long.Run()
+	if rs.ResetErrPerSec <= rl.ResetErrPerSec {
+		t.Errorf("resets: keepalive-5s %v/s not above keepalive-60s %v/s",
+			rs.ResetErrPerSec, rl.ResetErrPerSec)
+	}
+}
+
+func TestSensitivitySwitchOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	// Higher run-queue overhead ⇒ lower saturated throughput.
+	lo := sensScenario()
+	loCPU := PaperCPU(1)
+	loCPU.SwitchOverhead = 0
+	lo.CPUOverride = &loCPU
+
+	hi := sensScenario()
+	hiCPU := PaperCPU(1)
+	hiCPU.SwitchOverhead = 0.10
+	hi.CPUOverride = &hiCPU
+
+	rlo, rhi := lo.Run(), hi.Run()
+	if rhi.RepliesPerSec >= rlo.RepliesPerSec {
+		t.Errorf("throughput with 10%% switch overhead (%v) not below zero-overhead (%v)",
+			rhi.RepliesPerSec, rlo.RepliesPerSec)
+	}
+}
+
+func TestSensitivityMemoryPenalty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	// The memory penalty only bites pools above the threshold: a 6000-
+	// thread server slows down when the penalty is turned up, a 896-
+	// thread server does not.
+	run := func(threads int, penalty float64) float64 {
+		sc := sensScenario()
+		sc.Threads = threads
+		cpu := PaperCPU(1)
+		cpu.MemPenaltyPerK = penalty
+		sc.CPUOverride = &cpu
+		return sc.Run().RepliesPerSec
+	}
+	bigNone, bigHigh := run(6000, 0), run(6000, 0.4)
+	if bigHigh >= bigNone {
+		t.Errorf("6000-thread throughput with penalty (%v) not below without (%v)", bigHigh, bigNone)
+	}
+	smallNone, smallHigh := run(896, 0), run(896, 0.4)
+	diff := smallHigh - smallNone
+	if diff < 0 {
+		diff = -diff
+	}
+	if smallNone > 0 && diff/smallNone > 0.05 {
+		t.Errorf("896-thread throughput moved %v%% under a penalty that should not apply",
+			100*diff/smallNone)
+	}
+}
+
+func TestSensitivityCostScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	// Doubling per-request CPU costs roughly halves saturated throughput.
+	base := sensScenario()
+	slow := sensScenario()
+	costs := PaperCosts()
+	costs.Parse *= 2
+	costs.WriteSyscall *= 2
+	costs.PerByte *= 2
+	slow.CostOverride = &costs
+	rb, rs := base.Run(), slow.Run()
+	ratio := rs.RepliesPerSec / rb.RepliesPerSec
+	if ratio > 0.75 || ratio < 0.3 {
+		t.Errorf("2x CPU costs gave throughput ratio %v, want ~0.5", ratio)
+	}
+}
+
+func TestSensitivityOverridesDoNotLeakIntoFigures(t *testing.T) {
+	// The figure scenarios never set overrides; guard the zero values.
+	for _, sc := range []Scenario{BestUPNIO, BestUPHTTPD, BestSMPNIO, BestSMPHTTPD} {
+		if sc.KeepAliveSec != 0 || sc.CPUOverride != nil || sc.CostOverride != nil {
+			t.Errorf("figure scenario %s carries overrides", sc.Label())
+		}
+	}
+	var zero simcpu.Params
+	_ = zero
+	var zeroCosts simsrv.Costs
+	_ = zeroCosts
+}

@@ -1,0 +1,77 @@
+package httpwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets. `go test` runs the seed corpus as regular tests;
+// `go test -fuzz=FuzzRequestParser ./internal/httpwire` explores further.
+
+func FuzzRequestParser(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		[]byte("GET /obj/1 HTTP/1.1\r\nHost: a\r\nConnection: close\r\n\r\n"),
+		[]byte("POST /f HTTP/1.0\r\nContent-Length: 4\r\n\r\nbody"),
+		[]byte("GET / HTTP/1.1\r\nX: " + string(bytes.Repeat([]byte("a"), 100)) + "\r\n\r\n"),
+		[]byte("\r\n\r\nGET / HTTP/1.1\r\n\r\n"),
+		[]byte{0x00, 0xff, '\n', '\n'},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Parser
+		// Must not panic; on success, every parsed request has a method
+		// and a path beginning with '/' (or '*').
+		reqs, err := p.Feed(nil, data)
+		for _, r := range reqs {
+			if r.Method == "" {
+				t.Fatalf("empty method from %q", data)
+			}
+			if r.Path != "*" && (len(r.Path) == 0 || r.Path[0] != '/') {
+				t.Fatalf("bad path %q from %q", r.Path, data)
+			}
+		}
+		_ = err
+		// Feeding the same input split in two must never yield more
+		// requests than feeding it whole.
+		if len(data) > 1 {
+			var p2 Parser
+			half := len(data) / 2
+			reqs2, err2 := p2.Feed(nil, data[:half])
+			if err2 == nil {
+				reqs2, _ = p2.Feed(reqs2, data[half:])
+			}
+			if err == nil && err2 == nil && len(reqs2) != len(reqs) {
+				t.Fatalf("fragmentation changed request count: %d vs %d for %q",
+					len(reqs), len(reqs2), data)
+			}
+		}
+	})
+}
+
+func FuzzResponseParser(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc"),
+		[]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n"),
+		[]byte("HTTP/1.0 204 No Content\r\n\r\n"),
+		[]byte("HTTP/1.1 500 Oops\r\nConnection: close\r\n\r\n"),
+		[]byte{0x00, '\r', '\n'},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p RespParser
+		resps, _ := p.Feed(nil, data)
+		for _, r := range resps {
+			if r.StatusCode < 100 || r.StatusCode > 599 {
+				t.Fatalf("bad status %d from %q", r.StatusCode, data)
+			}
+			if r.BodyBytes < 0 {
+				t.Fatalf("negative body bytes from %q", data)
+			}
+		}
+	})
+}

@@ -1,0 +1,354 @@
+// Package httpwire is the HTTP/1.x wire substrate shared by both live
+// servers: an *incremental* request parser that can be fed arbitrary byte
+// fragments (which a non-blocking reactor requires — a read may end in the
+// middle of a header), and a response serializer with a cached Date
+// header. Persistent connections and pipelining are supported, because
+// the workload the paper generates uses both.
+//
+// The parser is deliberately restricted to what a static web server
+// needs: request line + headers, no request bodies beyond an optional
+// Content-Length skip, bounded line and header sizes.
+package httpwire
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Limits protecting the parser from hostile or corrupt input.
+const (
+	// MaxLineBytes bounds the request line and any single header line.
+	MaxLineBytes = 8 << 10
+	// MaxHeaderCount bounds the number of headers per request.
+	MaxHeaderCount = 64
+	// MaxBodyBytes bounds an optional request body we are asked to skip.
+	MaxBodyBytes = 1 << 20
+)
+
+// Request is one parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string // "HTTP/1.0" or "HTTP/1.1"
+	Headers []Header
+	// KeepAlive reports whether the connection should persist after the
+	// response, per the HTTP/1.0 and 1.1 rules.
+	KeepAlive bool
+}
+
+// Header is a single header field.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Get returns the first header with the given case-insensitive name.
+func (r *Request) Get(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if equalFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// equalFold is an allocation-free ASCII case-insensitive compare.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseError describes malformed input; servers answer it with 400.
+type ParseError struct {
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return "httpwire: " + e.Reason }
+
+func parseErr(format string, args ...any) error {
+	return &ParseError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// parserState is the incremental parser's position in the grammar.
+type parserState int
+
+const (
+	stRequestLine parserState = iota
+	stHeaders
+	stBody
+)
+
+// Parser converts a byte stream into requests. Feed it whatever the
+// socket produced; it buffers partial lines internally. Not safe for
+// concurrent use — each connection owns one parser.
+type Parser struct {
+	state    parserState
+	buf      []byte
+	cur      Request
+	bodyLeft int64
+	// counters for diagnostics
+	parsed int64
+}
+
+// Reset returns the parser to its initial state, retaining the buffer's
+// capacity (connection reuse in a pool).
+func (p *Parser) Reset() {
+	p.state = stRequestLine
+	p.buf = p.buf[:0]
+	p.cur = Request{}
+	p.bodyLeft = 0
+}
+
+// Parsed returns how many complete requests this parser has produced.
+func (p *Parser) Parsed() int64 { return p.parsed }
+
+// Feed consumes data and appends any completed requests to dst, returning
+// the extended slice. A non-nil error means the stream is unrecoverable
+// (the connection should be answered with 400 and closed).
+func (p *Parser) Feed(dst []*Request, data []byte) ([]*Request, error) {
+	p.buf = append(p.buf, data...)
+	for {
+		switch p.state {
+		case stBody:
+			n := int64(len(p.buf))
+			if n >= p.bodyLeft {
+				p.buf = p.buf[p.bodyLeft:]
+				p.bodyLeft = 0
+				p.state = stRequestLine
+				continue
+			}
+			p.bodyLeft -= n
+			p.buf = p.buf[:0]
+			return dst, nil
+		default:
+			line, rest, ok := cutLine(p.buf)
+			if !ok {
+				if len(p.buf) > MaxLineBytes {
+					return dst, parseErr("line exceeds %d bytes", MaxLineBytes)
+				}
+				return dst, nil
+			}
+			p.buf = rest
+			done, err := p.consumeLine(line)
+			if err != nil {
+				return dst, err
+			}
+			if done {
+				req := p.cur
+				p.cur = Request{}
+				p.parsed++
+				dst = append(dst, &req)
+			}
+		}
+	}
+}
+
+// cutLine splits buf at the first LF, trimming an optional CR. ok is
+// false when no complete line is buffered yet.
+func cutLine(buf []byte) (line, rest []byte, ok bool) {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return nil, buf, false
+	}
+	line = buf[:i]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, buf[i+1:], true
+}
+
+// consumeLine advances the state machine by one line; done reports a
+// completed request.
+func (p *Parser) consumeLine(line []byte) (done bool, err error) {
+	if len(line) > MaxLineBytes {
+		return false, parseErr("line exceeds %d bytes", MaxLineBytes)
+	}
+	switch p.state {
+	case stRequestLine:
+		if len(line) == 0 {
+			return false, nil // tolerate leading blank lines (RFC 9112 §2.2)
+		}
+		if err := parseRequestLine(line, &p.cur); err != nil {
+			return false, err
+		}
+		p.state = stHeaders
+		return false, nil
+	case stHeaders:
+		if len(line) == 0 {
+			p.finishHeaders()
+			if p.bodyLeft > 0 {
+				p.state = stBody
+			} else {
+				p.state = stRequestLine
+			}
+			return true, nil
+		}
+		if len(p.cur.Headers) >= MaxHeaderCount {
+			return false, parseErr("more than %d headers", MaxHeaderCount)
+		}
+		name, value, err := parseHeaderLine(line)
+		if err != nil {
+			return false, err
+		}
+		p.cur.Headers = append(p.cur.Headers, Header{Name: name, Value: value})
+		if equalFold(name, "Content-Length") {
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil || n < 0 || n > MaxBodyBytes {
+				return false, parseErr("bad Content-Length %q", value)
+			}
+			p.bodyLeft = n
+		}
+		return false, nil
+	default:
+		return false, parseErr("internal: consumeLine in body state")
+	}
+}
+
+func parseRequestLine(line []byte, req *Request) error {
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 <= 0 {
+		return parseErr("malformed request line %q", line)
+	}
+	sp2 := bytes.IndexByte(line[sp1+1:], ' ')
+	if sp2 <= 0 {
+		return parseErr("malformed request line %q", line)
+	}
+	sp2 += sp1 + 1
+	req.Method = string(line[:sp1])
+	req.Path = string(line[sp1+1 : sp2])
+	req.Proto = string(line[sp2+1:])
+	switch req.Proto {
+	case "HTTP/1.1", "HTTP/1.0":
+	default:
+		return parseErr("unsupported protocol %q", req.Proto)
+	}
+	if len(req.Path) == 0 || req.Path[0] != '/' && req.Path != "*" {
+		return parseErr("bad request target %q", req.Path)
+	}
+	return nil
+}
+
+func parseHeaderLine(line []byte) (name, value string, err error) {
+	i := bytes.IndexByte(line, ':')
+	if i <= 0 {
+		return "", "", parseErr("malformed header %q", line)
+	}
+	name = string(line[:i])
+	v := line[i+1:]
+	for len(v) > 0 && (v[0] == ' ' || v[0] == '\t') {
+		v = v[1:]
+	}
+	for len(v) > 0 && (v[len(v)-1] == ' ' || v[len(v)-1] == '\t') {
+		v = v[:len(v)-1]
+	}
+	return name, string(v), nil
+}
+
+// finishHeaders resolves keep-alive per the protocol rules.
+func (p *Parser) finishHeaders() {
+	conn, _ := p.cur.Get("Connection")
+	switch p.cur.Proto {
+	case "HTTP/1.1":
+		p.cur.KeepAlive = !equalFold(conn, "close")
+	default: // HTTP/1.0
+		p.cur.KeepAlive = equalFold(conn, "keep-alive")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Response serialization
+// ---------------------------------------------------------------------
+
+// StatusText returns the reason phrase for the handful of statuses a
+// static server emits.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 408:
+		return "Request Timeout"
+	case 500:
+		return "Internal Server Error"
+	case 501:
+		return "Not Implemented"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}
+
+// dateCache caches the formatted Date header; formatting RFC 1123 on
+// every response measurably costs under load.
+type dateCache struct {
+	v atomic.Value // string
+}
+
+var httpDate dateCache
+
+// DateString returns the current RFC 1123 date, refreshed at most once a
+// second by RefreshDate (the servers tick it); it is initialized lazily.
+func DateString() string {
+	if s, ok := httpDate.v.Load().(string); ok && s != "" {
+		return s
+	}
+	return RefreshDate(time.Now())
+}
+
+// RefreshDate formats and caches the Date header for t.
+func RefreshDate(t time.Time) string {
+	s := t.UTC().Format(time.RFC1123)
+	// RFC 9110 wants "GMT", Go's RFC1123 produces "UTC".
+	if len(s) >= 3 && s[len(s)-3:] == "UTC" {
+		s = s[:len(s)-3] + "GMT"
+	}
+	httpDate.v.Store(s)
+	return s
+}
+
+// AppendResponseHeader serializes a response head into dst and returns
+// the extended slice. keepAlive controls the Connection header;
+// contentLen is required (static server — always known).
+func AppendResponseHeader(dst []byte, code int, contentType string, contentLen int64, keepAlive bool) []byte {
+	dst = append(dst, "HTTP/1.1 "...)
+	dst = strconv.AppendInt(dst, int64(code), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, StatusText(code)...)
+	dst = append(dst, "\r\nServer: nio-go/1.0\r\nDate: "...)
+	dst = append(dst, DateString()...)
+	dst = append(dst, "\r\nContent-Type: "...)
+	if contentType == "" {
+		contentType = "application/octet-stream"
+	}
+	dst = append(dst, contentType...)
+	dst = append(dst, "\r\nContent-Length: "...)
+	dst = strconv.AppendInt(dst, contentLen, 10)
+	if keepAlive {
+		dst = append(dst, "\r\nConnection: keep-alive\r\n\r\n"...)
+	} else {
+		dst = append(dst, "\r\nConnection: close\r\n\r\n"...)
+	}
+	return dst
+}

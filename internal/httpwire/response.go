@@ -1,0 +1,286 @@
+package httpwire
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// This file is the client side of the wire: an incremental HTTP/1.x
+// *response* parser. httperf parses responses itself rather than using a
+// client library (it needs to count bytes and detect stalls precisely);
+// the load generator here does the same, so both directions of the
+// protocol are owned by this package.
+
+// Response is one parsed response head plus body accounting. The body is
+// not retained — the load generator only needs its length — but every
+// body byte must be fed through the parser for framing.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Headers    []Header
+	// ContentLength is the declared body size (-1 if absent).
+	ContentLength int64
+	// BodyBytes is how many body bytes have been consumed so far.
+	BodyBytes int64
+	// KeepAlive reports whether the connection may be reused.
+	KeepAlive bool
+	// Chunked reports Transfer-Encoding: chunked framing.
+	Chunked bool
+}
+
+// Get returns the first header with the given case-insensitive name.
+func (r *Response) Get(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if equalFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// respState is the response parser's position in the grammar.
+type respState int
+
+const (
+	rsStatusLine respState = iota
+	rsHeaders
+	rsBody
+	rsChunkSize
+	rsChunkData
+	rsChunkCRLF
+	rsTrailer
+	rsDone
+)
+
+// RespParser converts a response byte stream into Responses. Feed it
+// whatever the socket produced. Not safe for concurrent use.
+type RespParser struct {
+	state    respState
+	buf      []byte
+	cur      *Response
+	bodyLeft int64
+	parsed   int64
+}
+
+// Reset clears parser state for connection reuse.
+func (p *RespParser) Reset() {
+	p.state = rsStatusLine
+	p.buf = p.buf[:0]
+	p.cur = nil
+	p.bodyLeft = 0
+}
+
+// Parsed returns how many complete responses have been produced.
+func (p *RespParser) Parsed() int64 { return p.parsed }
+
+// Feed consumes data and appends completed responses to dst. Responses
+// appear once fully framed (headers + body consumed). A non-nil error is
+// unrecoverable for the connection.
+func (p *RespParser) Feed(dst []*Response, data []byte) ([]*Response, error) {
+	p.buf = append(p.buf, data...)
+	for {
+		switch p.state {
+		case rsStatusLine, rsHeaders, rsChunkSize, rsChunkCRLF, rsTrailer:
+			line, rest, ok := cutLine(p.buf)
+			if !ok {
+				if len(p.buf) > MaxLineBytes {
+					return dst, parseErr("response line exceeds %d bytes", MaxLineBytes)
+				}
+				return dst, nil
+			}
+			p.buf = rest
+			done, err := p.consumeLine(line)
+			if err != nil {
+				return dst, err
+			}
+			if done {
+				dst = append(dst, p.finish())
+			}
+		case rsBody:
+			if p.bodyLeft < 0 { // read-to-EOF body: consume everything
+				p.cur.BodyBytes += int64(len(p.buf))
+				p.buf = p.buf[:0]
+				return dst, nil
+			}
+			n := int64(len(p.buf))
+			if n >= p.bodyLeft {
+				p.cur.BodyBytes += p.bodyLeft
+				p.buf = p.buf[p.bodyLeft:]
+				p.bodyLeft = 0
+				dst = append(dst, p.finish())
+				continue
+			}
+			p.cur.BodyBytes += n
+			p.bodyLeft -= n
+			p.buf = p.buf[:0]
+			return dst, nil
+		case rsChunkData:
+			n := int64(len(p.buf))
+			if n >= p.bodyLeft {
+				p.cur.BodyBytes += p.bodyLeft
+				p.buf = p.buf[p.bodyLeft:]
+				p.bodyLeft = 0
+				p.state = rsChunkCRLF
+				continue
+			}
+			p.cur.BodyBytes += n
+			p.bodyLeft -= n
+			p.buf = p.buf[:0]
+			return dst, nil
+		default:
+			return dst, parseErr("internal: bad response parser state %d", p.state)
+		}
+	}
+}
+
+// finish emits the current response and resets for the next one.
+func (p *RespParser) finish() *Response {
+	resp := p.cur
+	p.cur = nil
+	p.state = rsStatusLine
+	p.parsed++
+	return resp
+}
+
+func (p *RespParser) consumeLine(line []byte) (done bool, err error) {
+	switch p.state {
+	case rsStatusLine:
+		if len(line) == 0 {
+			return false, nil // tolerate stray CRLF between responses
+		}
+		resp, err := parseStatusLine(line)
+		if err != nil {
+			return false, err
+		}
+		p.cur = resp
+		p.state = rsHeaders
+		return false, nil
+
+	case rsHeaders:
+		if len(line) != 0 {
+			if len(p.cur.Headers) >= MaxHeaderCount {
+				return false, parseErr("more than %d headers", MaxHeaderCount)
+			}
+			name, value, err := parseHeaderLine(line)
+			if err != nil {
+				return false, err
+			}
+			p.cur.Headers = append(p.cur.Headers, Header{Name: name, Value: value})
+			return false, nil
+		}
+		// Blank line: resolve framing.
+		p.resolveFraming()
+		switch {
+		case p.cur.Chunked:
+			p.state = rsChunkSize
+			return false, nil
+		case p.cur.ContentLength == 0 || noBody(p.cur.StatusCode):
+			return true, nil
+		case p.cur.ContentLength > 0:
+			p.bodyLeft = p.cur.ContentLength
+			p.state = rsBody
+			return false, nil
+		default:
+			// No length, not chunked: body runs to connection close.
+			p.bodyLeft = -1
+			p.state = rsBody
+			return false, nil
+		}
+
+	case rsChunkSize:
+		size, err := parseChunkSize(line)
+		if err != nil {
+			return false, err
+		}
+		if size == 0 {
+			p.state = rsTrailer
+			return false, nil
+		}
+		p.bodyLeft = size
+		p.state = rsChunkData
+		return false, nil
+
+	case rsChunkCRLF:
+		if len(line) != 0 {
+			return false, parseErr("missing CRLF after chunk data")
+		}
+		p.state = rsChunkSize
+		return false, nil
+
+	case rsTrailer:
+		if len(line) == 0 {
+			return true, nil // end of trailers: response complete
+		}
+		return false, nil // ignore trailer fields
+
+	default:
+		return false, parseErr("internal: consumeLine in state %d", p.state)
+	}
+}
+
+// resolveFraming inspects the headers once they are complete.
+func (p *RespParser) resolveFraming() {
+	p.cur.ContentLength = -1
+	if v, ok := p.cur.Get("Content-Length"); ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			p.cur.ContentLength = n
+		}
+	}
+	if v, ok := p.cur.Get("Transfer-Encoding"); ok && equalFold(v, "chunked") {
+		p.cur.Chunked = true
+	}
+	conn, _ := p.cur.Get("Connection")
+	if p.cur.Proto == "HTTP/1.1" {
+		p.cur.KeepAlive = !equalFold(conn, "close")
+	} else {
+		p.cur.KeepAlive = equalFold(conn, "keep-alive")
+	}
+	// A read-to-EOF body forbids reuse regardless of headers.
+	if !p.cur.Chunked && p.cur.ContentLength < 0 && !noBody(p.cur.StatusCode) {
+		p.cur.KeepAlive = false
+	}
+}
+
+// noBody reports statuses that never carry a body.
+func noBody(code int) bool {
+	return code/100 == 1 || code == 204 || code == 304
+}
+
+func parseStatusLine(line []byte) (*Response, error) {
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 <= 0 {
+		return nil, parseErr("malformed status line %q", line)
+	}
+	proto := string(line[:sp1])
+	if proto != "HTTP/1.1" && proto != "HTTP/1.0" {
+		return nil, parseErr("unsupported protocol %q", proto)
+	}
+	rest := line[sp1+1:]
+	if len(rest) < 3 {
+		return nil, parseErr("malformed status line %q", line)
+	}
+	code, err := strconv.Atoi(string(rest[:3]))
+	if err != nil || code < 100 || code > 599 {
+		return nil, parseErr("bad status code in %q", line)
+	}
+	return &Response{Proto: proto, StatusCode: code}, nil
+}
+
+func parseChunkSize(line []byte) (int64, error) {
+	// Chunk extensions (";...") are permitted and ignored.
+	if i := bytes.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 || len(line) > 16 {
+		return 0, parseErr("bad chunk size %q", line)
+	}
+	n, err := strconv.ParseInt(string(line), 16, 64)
+	if err != nil || n < 0 {
+		return 0, parseErr("bad chunk size %q", line)
+	}
+	if n > MaxBodyBytes*64 {
+		return 0, parseErr("chunk size %d too large", n)
+	}
+	return n, nil
+}

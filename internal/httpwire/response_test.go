@@ -1,0 +1,249 @@
+package httpwire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func feedResp(t *testing.T, p *RespParser, s string) []*Response {
+	t.Helper()
+	resps, err := p.Feed(nil, []byte(s))
+	if err != nil {
+		t.Fatalf("Feed(%q): %v", s, err)
+	}
+	return resps
+}
+
+func TestParseSimpleResponse(t *testing.T) {
+	var p RespParser
+	resps := feedResp(t, &p, "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello")
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	r := resps[0]
+	if r.StatusCode != 200 || r.ContentLength != 5 || r.BodyBytes != 5 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if !r.KeepAlive {
+		t.Fatal("HTTP/1.1 with length should be reusable")
+	}
+}
+
+func TestParsePipelinedResponses(t *testing.T) {
+	var p RespParser
+	wire := "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc" +
+		"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n" +
+		"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nxy"
+	resps := feedResp(t, &p, wire)
+	if len(resps) != 3 {
+		t.Fatalf("got %d responses, want 3", len(resps))
+	}
+	if resps[1].StatusCode != 404 || resps[2].BodyBytes != 2 {
+		t.Fatalf("parsed %+v %+v", resps[1], resps[2])
+	}
+	if p.Parsed() != 3 {
+		t.Fatalf("Parsed = %d", p.Parsed())
+	}
+}
+
+func TestParseFragmentedResponse(t *testing.T) {
+	var p RespParser
+	var resps []*Response
+	var err error
+	wire := "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n0123456789"
+	for i := 0; i < len(wire); i += 3 {
+		end := i + 3
+		if end > len(wire) {
+			end = len(wire)
+		}
+		resps, err = p.Feed(resps, []byte(wire[i:end]))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(resps) != 1 || resps[0].BodyBytes != 10 {
+		t.Fatalf("fragmented parse: %+v", resps)
+	}
+}
+
+func TestParseChunkedResponse(t *testing.T) {
+	var p RespParser
+	wire := "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n"
+	resps := feedResp(t, &p, wire)
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	if resps[0].BodyBytes != 9 || !resps[0].Chunked {
+		t.Fatalf("chunked parse: %+v", resps[0])
+	}
+	if !resps[0].KeepAlive {
+		t.Fatal("chunked HTTP/1.1 should be reusable")
+	}
+}
+
+func TestParseChunkedWithExtensionAndTrailer(t *testing.T) {
+	var p RespParser
+	wire := "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"5;ext=1\r\nhello\r\n0\r\nX-Trailer: v\r\n\r\n"
+	resps := feedResp(t, &p, wire)
+	if len(resps) != 1 || resps[0].BodyBytes != 5 {
+		t.Fatalf("parse: %+v", resps)
+	}
+}
+
+func TestNoBodyStatuses(t *testing.T) {
+	var p RespParser
+	wire := "HTTP/1.1 304 Not Modified\r\n\r\nHTTP/1.1 204 No Content\r\n\r\n"
+	resps := feedResp(t, &p, wire)
+	if len(resps) != 2 {
+		t.Fatalf("got %d responses, want 2", len(resps))
+	}
+	for _, r := range resps {
+		if r.BodyBytes != 0 {
+			t.Fatalf("no-body status carried bytes: %+v", r)
+		}
+	}
+}
+
+func TestReadToEOFBody(t *testing.T) {
+	var p RespParser
+	resps := feedResp(t, &p, "HTTP/1.0 200 OK\r\n\r\nsome data")
+	// Body runs to EOF: no complete response yet.
+	if len(resps) != 0 {
+		t.Fatalf("premature completion: %+v", resps)
+	}
+	resps, err := p.Feed(resps, []byte(" and more"))
+	if err != nil || len(resps) != 0 {
+		t.Fatalf("still streaming: %v %v", resps, err)
+	}
+}
+
+func TestConnectionCloseHeader(t *testing.T) {
+	var p RespParser
+	resps := feedResp(t, &p, "HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+	if resps[0].KeepAlive {
+		t.Fatal("Connection: close ignored")
+	}
+}
+
+func TestResponseHeaderLookup(t *testing.T) {
+	var p RespParser
+	resps := feedResp(t, &p, "HTTP/1.1 200 OK\r\nContent-Length: 0\r\nServer: nio-go/1.0\r\n\r\n")
+	if v, ok := resps[0].Get("SERVER"); !ok || v != "nio-go/1.0" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := resps[0].Get("Missing"); ok {
+		t.Fatal("missing header found")
+	}
+}
+
+func TestMalformedResponses(t *testing.T) {
+	bad := []string{
+		"NONSENSE 200 OK\r\n\r\n",
+		"HTTP/2.0 200 OK\r\n\r\n",
+		"HTTP/1.1 99 Low\r\n\r\n",
+		"HTTP/1.1 banana\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloX",
+	}
+	for _, wire := range bad {
+		var p RespParser
+		resps, err := p.Feed(nil, []byte(wire))
+		if err == nil && len(resps) > 0 {
+			t.Errorf("accepted malformed response %q", wire)
+		}
+	}
+}
+
+func TestRespParserReset(t *testing.T) {
+	var p RespParser
+	if _, err := p.Feed(nil, []byte("HTTP/1.1 200 OK\r\nPartial")); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	resps := feedResp(t, &p, "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")
+	if len(resps) != 1 {
+		t.Fatalf("reset parser broken: %+v", resps)
+	}
+}
+
+func TestRoundTripWithRequestSerializer(t *testing.T) {
+	// The response writer's output must parse with the response parser —
+	// the two halves of this package agree on the wire format.
+	body := strings.Repeat("x", 1234)
+	wire := string(AppendResponseHeader(nil, 200, "text/plain", int64(len(body)), true)) + body
+	var p RespParser
+	resps := feedResp(t, &p, wire)
+	if len(resps) != 1 {
+		t.Fatalf("round trip: %d responses", len(resps))
+	}
+	r := resps[0]
+	if r.StatusCode != 200 || r.BodyBytes != 1234 || !r.KeepAlive {
+		t.Fatalf("round trip: %+v", r)
+	}
+	if ct, _ := r.Get("Content-Type"); ct != "text/plain" {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+// Property: the response stream parses identically under any
+// fragmentation.
+func TestQuickResponseFragmentation(t *testing.T) {
+	wire := []byte("HTTP/1.1 200 OK\r\nContent-Length: 7\r\n\r\npayload" +
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n")
+	f := func(cuts []uint8) bool {
+		var p RespParser
+		var got []*Response
+		var err error
+		prev := 0
+		for _, c := range cuts {
+			at := prev + int(c)%(len(wire)-prev)
+			if at <= prev {
+				continue
+			}
+			got, err = p.Feed(got, wire[prev:at])
+			if err != nil {
+				return false
+			}
+			prev = at
+		}
+		got, err = p.Feed(got, wire[prev:])
+		if err != nil || len(got) != 2 {
+			return false
+		}
+		return got[0].BodyBytes == 7 && got[1].BodyBytes == 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary bytes never panic the response parser.
+func TestQuickResponseGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		var p RespParser
+		_, _ = p.Feed(nil, data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseResponse(b *testing.B) {
+	wire := []byte(fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: nio-go/1.0\r\nContent-Length: %d\r\n\r\n%s",
+		4096, strings.Repeat("y", 4096)))
+	var p RespParser
+	out := make([]*Response, 0, 1)
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = p.Feed(out[:0], wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package loadgen is the live httperf equivalent: it drives real TCP
+// connections against a real server with SURGE-distributed sessions and
+// collects the same measurements the paper's benchmark reports —
+// replies/s, response time, connection time, and the two error classes
+// (client timeout, connection reset).
+//
+// It exists so the two live servers (internal/core, internal/mtserver)
+// can be compared head-to-head on a loopback link (see examples/loadtest
+// and the integration tests); the controlled-bandwidth and multi-CPU
+// figures come from the simulator instead.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/httpwire"
+	"repro/internal/metrics"
+	"repro/internal/surge"
+)
+
+// Options configures a load run.
+type Options struct {
+	// Addr is the server's host:port.
+	Addr string
+	// Clients is the number of concurrent emulated clients (closed
+	// loop). Ignored when SessionRate is set.
+	Clients int
+	// SessionRate, when positive, selects httperf's open-loop mode:
+	// single-session clients arrive as a Poisson process at this rate
+	// (sessions/second) for the whole run, however the server keeps up.
+	SessionRate float64
+	// Warmup and Duration delimit the measurement window.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Timeout is the httperf watchdog (per activity).
+	Timeout time.Duration
+	// ThinkScale multiplies SURGE OFF times; loopback tests use small
+	// values so sessions turn over quickly. 0 means 1.0.
+	ThinkScale float64
+	// Seed makes the request streams reproducible.
+	Seed uint64
+	// Workload and Objects define what to request. Objects must match
+	// the server's store.
+	Workload surge.Config
+	Objects  *surge.ObjectSet
+	// SourceFactory, when non-nil, supplies each client's session stream
+	// instead of the SURGE generator (e.g. a sesslog.Replayer). Objects
+	// is then optional.
+	SourceFactory func(client int, rng *dist.RNG) surge.SessionSource
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	switch {
+	case o.Addr == "":
+		return fmt.Errorf("loadgen: Addr is required")
+	case o.Clients <= 0 && o.SessionRate <= 0:
+		return fmt.Errorf("loadgen: need Clients > 0 (closed loop) or SessionRate > 0 (open loop)")
+	case o.SessionRate < 0:
+		return fmt.Errorf("loadgen: negative SessionRate %v", o.SessionRate)
+	case o.Duration <= 0:
+		return fmt.Errorf("loadgen: Duration must be positive, got %v", o.Duration)
+	case o.Timeout <= 0:
+		return fmt.Errorf("loadgen: Timeout must be positive, got %v", o.Timeout)
+	case o.Warmup < 0:
+		return fmt.Errorf("loadgen: negative Warmup %v", o.Warmup)
+	case o.ThinkScale < 0:
+		return fmt.Errorf("loadgen: negative ThinkScale %v", o.ThinkScale)
+	case o.Objects == nil && o.SourceFactory == nil:
+		return fmt.Errorf("loadgen: Objects (or a SourceFactory) is required")
+	}
+	return nil
+}
+
+// Result is the run summary (the live analogue of simclient.Report).
+type Result struct {
+	Clients          int
+	Duration         time.Duration
+	Replies          int64
+	RepliesPerSec    float64
+	MeanResponseSec  float64
+	P50ResponseSec   float64
+	P90ResponseSec   float64
+	P99ResponseSec   float64
+	MeanConnectSec   float64
+	P90ConnectSec    float64
+	TimeoutErrors    int64
+	ResetErrors      int64
+	TimeoutErrPerSec float64
+	ResetErrPerSec   float64
+	BytesReceived    int64
+	BandwidthBps     float64
+	Sessions         int64
+}
+
+// Run executes the load test and blocks until the window closes.
+func Run(opts Options) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.ThinkScale == 0 {
+		opts.ThinkScale = 1
+	}
+	g := &generator{
+		opts:         opts,
+		respTimes:    metrics.NewLatencyHistogram(),
+		connectTimes: metrics.NewLatencyHistogram(),
+		stop:         make(chan struct{}),
+	}
+	root := dist.NewRNG(opts.Seed)
+	var wg sync.WaitGroup
+	if opts.SessionRate > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.arrivalLoop(root, &wg)
+		}()
+	} else {
+		for i := 0; i < opts.Clients; i++ {
+			i := i
+			rng := root.Split()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.clientLoop(i, rng)
+			}()
+		}
+	}
+	time.Sleep(opts.Warmup)
+	g.mu.Lock()
+	g.measuring = true
+	g.mu.Unlock()
+	time.Sleep(opts.Duration)
+	g.mu.Lock()
+	g.measuring = false
+	g.mu.Unlock()
+	close(g.stop)
+	wg.Wait()
+
+	d := opts.Duration.Seconds()
+	res := Result{
+		Clients:         opts.Clients,
+		Duration:        opts.Duration,
+		Replies:         g.replies.Value(),
+		MeanResponseSec: g.respTimes.Mean(),
+		P50ResponseSec:  g.respTimes.Quantile(0.50),
+		P90ResponseSec:  g.respTimes.Quantile(0.90),
+		P99ResponseSec:  g.respTimes.Quantile(0.99),
+		MeanConnectSec:  g.connectTimes.Mean(),
+		P90ConnectSec:   g.connectTimes.Quantile(0.90),
+		TimeoutErrors:   g.timeouts.Value(),
+		ResetErrors:     g.resets.Value(),
+		BytesReceived:   g.bytes.Value(),
+		Sessions:        g.sessions.Value(),
+	}
+	res.RepliesPerSec = float64(res.Replies) / d
+	res.TimeoutErrPerSec = float64(res.TimeoutErrors) / d
+	res.ResetErrPerSec = float64(res.ResetErrors) / d
+	res.BandwidthBps = float64(res.BytesReceived) / d
+	return res, nil
+}
+
+type generator struct {
+	opts         Options
+	respTimes    *metrics.Histogram
+	connectTimes *metrics.Histogram
+	replies      metrics.Counter
+	timeouts     metrics.Counter
+	resets       metrics.Counter
+	bytes        metrics.Counter
+	sessions     metrics.Counter
+
+	mu        sync.Mutex
+	measuring bool
+	stop      chan struct{}
+}
+
+func (g *generator) inWindow() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.measuring
+}
+
+func (g *generator) stopped() bool {
+	select {
+	case <-g.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// classify buckets an I/O error the way httperf does.
+func classify(err error) (timeout, reset bool) {
+	if err == nil {
+		return false, false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true, false
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return false, true
+	}
+	// A close from the server mid-read surfaces as unexpected EOF.
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return false, true
+	}
+	if strings.Contains(err.Error(), "connection reset") {
+		return false, true
+	}
+	return false, false
+}
+
+// arrivalLoop spawns open-loop sessions as a Poisson process.
+func (g *generator) arrivalLoop(rng *dist.RNG, wg *sync.WaitGroup) {
+	for {
+		gap := time.Duration(rng.ExpFloat64() / g.opts.SessionRate * float64(time.Second))
+		select {
+		case <-g.stop:
+			return
+		case <-time.After(gap):
+		}
+		session := g.newSource(-1, rng.Split()).NextSession()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.runSession(session)
+		}()
+	}
+}
+
+// newSource builds one client's session stream.
+func (g *generator) newSource(client int, rng *dist.RNG) surge.SessionSource {
+	if g.opts.SourceFactory != nil {
+		return g.opts.SourceFactory(client, rng)
+	}
+	return surge.NewGenerator(g.opts.Workload, g.opts.Objects, rng)
+}
+
+// clientLoop emulates one user forever (until stop).
+func (g *generator) clientLoop(client int, rng *dist.RNG) {
+	gen := g.newSource(client, rng)
+	for !g.stopped() {
+		session := gen.NextSession()
+		g.runSession(session)
+		think := time.Duration(session.ThinkAfter * g.opts.ThinkScale * float64(time.Second))
+		select {
+		case <-g.stop:
+			return
+		case <-time.After(think):
+		}
+	}
+}
+
+// runSession opens one connection and plays the session over it.
+func (g *generator) runSession(session surge.Session) {
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", g.opts.Addr, g.opts.Timeout)
+	if err != nil {
+		if to, _ := classify(err); to && g.inWindow() {
+			g.timeouts.Inc()
+		}
+		return
+	}
+	defer conn.Close()
+	if g.inWindow() {
+		g.connectTimes.Observe(time.Since(start).Seconds())
+	}
+	// The generator owns its response parsing (like httperf): raw reads
+	// through httpwire.RespParser, so byte accounting and stall detection
+	// do not depend on a client library's buffering.
+	var parser httpwire.RespParser
+	buf := make([]byte, 32<<10)
+	resps := make([]*httpwire.Response, 0, 4)
+
+	i := 0
+	for i < len(session.Requests) {
+		// Issue a batch: this request plus immediately-pipelined ones.
+		batch := 1
+		for i+batch < len(session.Requests) && session.Requests[i+batch].Pipelined {
+			batch++
+		}
+		issued := time.Now()
+		var wire []byte
+		for j := 0; j < batch; j++ {
+			wire = append(wire, "GET "...)
+			wire = append(wire, session.Requests[i+j].Object.Path()...)
+			wire = append(wire, " HTTP/1.1\r\nHost: sut\r\nUser-Agent: loadgen/1.0\r\n\r\n"...)
+		}
+		conn.SetWriteDeadline(time.Now().Add(g.opts.Timeout))
+		if _, err := conn.Write(wire); err != nil {
+			g.record(err)
+			return
+		}
+		pending := batch
+		for pending > 0 {
+			conn.SetReadDeadline(time.Now().Add(g.opts.Timeout))
+			n, err := conn.Read(buf)
+			if n > 0 {
+				var perr error
+				resps, perr = parser.Feed(resps[:0], buf[:n])
+				for _, resp := range resps {
+					pending--
+					if g.inWindow() {
+						g.bytes.Add(resp.BodyBytes)
+						g.replies.Inc()
+						g.respTimes.Observe(time.Since(issued).Seconds())
+					}
+					if !resp.KeepAlive {
+						// Server will close; the session cannot go on.
+						return
+					}
+				}
+				if perr != nil {
+					g.record(perr)
+					return
+				}
+			}
+			if err != nil {
+				g.record(err)
+				return
+			}
+		}
+		i += batch
+		if i < len(session.Requests) {
+			gap := time.Duration(session.Requests[i].Gap * g.opts.ThinkScale * float64(time.Second))
+			select {
+			case <-g.stop:
+				return
+			case <-time.After(gap):
+			}
+		}
+	}
+	if g.inWindow() {
+		g.sessions.Inc()
+	}
+}
+
+// record classifies and counts a session-fatal error.
+func (g *generator) record(err error) {
+	if !g.inWindow() {
+		return
+	}
+	timeout, reset := classify(err)
+	switch {
+	case timeout:
+		g.timeouts.Inc()
+	case reset:
+		g.resets.Inc()
+	}
+}

@@ -1,0 +1,202 @@
+//go:build linux
+
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mtserver"
+	"repro/internal/surge"
+)
+
+// workload builds a small, fast SURGE population for loopback tests.
+func workload(t *testing.T) (surge.Config, *surge.ObjectSet) {
+	t.Helper()
+	cfg := surge.DefaultConfig()
+	cfg.NumObjects = 100
+	cfg.MaxObjectBytes = 256 << 10
+	set, err := surge.BuildObjectSet(cfg, dist.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, set
+}
+
+func options(addr string, cfg surge.Config, set *surge.ObjectSet, clients int) Options {
+	return Options{
+		Addr:       addr,
+		Clients:    clients,
+		Warmup:     200 * time.Millisecond,
+		Duration:   1500 * time.Millisecond,
+		Timeout:    5 * time.Second,
+		ThinkScale: 0.01, // compress think times for a fast test
+		Seed:       99,
+		Workload:   cfg,
+		Objects:    set,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg, set := workload(t)
+	good := options("127.0.0.1:1", cfg, set, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.Addr = "" },
+		func(o *Options) { o.Clients = 0 },
+		func(o *Options) { o.Duration = 0 },
+		func(o *Options) { o.Timeout = 0 },
+		func(o *Options) { o.Warmup = -time.Second },
+		func(o *Options) { o.ThinkScale = -1 },
+		func(o *Options) { o.Objects = nil },
+	}
+	for i, mutate := range bad {
+		o := good
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAgainstEventDrivenServer(t *testing.T) {
+	cfg, set := workload(t)
+	store := core.NewSurgeStore(set, cfg.MaxObjectBytes, 3)
+	srv, err := core.NewServer(core.DefaultConfig(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	res, err := Run(options(srv.Addr(), cfg, set, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replies == 0 {
+		t.Fatalf("no replies: %+v", res)
+	}
+	if res.ResetErrors != 0 {
+		t.Fatalf("event-driven server produced %d resets", res.ResetErrors)
+	}
+	if res.MeanResponseSec <= 0 || res.MeanResponseSec > 1 {
+		t.Fatalf("implausible loopback response time %v", res.MeanResponseSec)
+	}
+	if res.BytesReceived == 0 || res.Sessions == 0 {
+		t.Fatalf("missing accounting: %+v", res)
+	}
+}
+
+func TestAgainstThreadPoolServer(t *testing.T) {
+	cfg, set := workload(t)
+	store := core.NewSurgeStore(set, cfg.MaxObjectBytes, 3)
+	mcfg := mtserver.DefaultConfig(store)
+	mcfg.Threads = 16
+	srv, err := mtserver.NewServer(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	res, err := Run(options(srv.Addr(), cfg, set, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replies == 0 {
+		t.Fatalf("no replies: %+v", res)
+	}
+}
+
+func TestThreadServerShortKeepAliveCausesResets(t *testing.T) {
+	cfg, set := workload(t)
+	store := core.NewSurgeStore(set, cfg.MaxObjectBytes, 3)
+	mcfg := mtserver.DefaultConfig(store)
+	mcfg.Threads = 8
+	mcfg.KeepAlive = 30 * time.Millisecond // far below intra-session gaps
+	srv, err := mtserver.NewServer(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	opts := options(srv.Addr(), cfg, set, 8)
+	opts.ThinkScale = 0.05 // gaps ~100ms > 30ms keep-alive
+	opts.Duration = 2 * time.Second
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResetErrors == 0 {
+		t.Fatalf("expected resets with a 30ms keep-alive: %+v", res)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	if to, rst := classify(nil); to || rst {
+		t.Fatal("nil misclassified")
+	}
+	if to, _ := classify(timeoutErr{}); !to {
+		t.Fatal("timeout not classified")
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "deadline exceeded" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestOpenLoopAgainstEventDriven(t *testing.T) {
+	cfg, set := workload(t)
+	store := core.NewSurgeStore(set, cfg.MaxObjectBytes, 3)
+	srv, err := core.NewServer(core.DefaultConfig(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	opts := options(srv.Addr(), cfg, set, 0)
+	opts.Clients = 0
+	opts.SessionRate = 40 // sessions/s
+	opts.Duration = 2 * time.Second
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replies == 0 {
+		t.Fatalf("open-loop produced no replies: %+v", res)
+	}
+	// ~40 sessions/s × ~6.5 requests ≈ 260 replies/s; accept a wide
+	// window for scheduling noise on a loaded CI box.
+	if res.RepliesPerSec < 60 || res.RepliesPerSec > 700 {
+		t.Fatalf("open-loop rate %v far from expectation (~260)", res.RepliesPerSec)
+	}
+}
+
+func TestOpenLoopValidationLive(t *testing.T) {
+	cfg, set := workload(t)
+	o := options("127.0.0.1:1", cfg, set, 1)
+	o.Clients = 0
+	if err := o.Validate(); err == nil {
+		t.Fatal("no clients and no rate accepted")
+	}
+	o.SessionRate = -2
+	if err := o.Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}

@@ -1,0 +1,260 @@
+// Package metrics provides the measurement primitives shared by the live
+// servers, the load generator, and the simulator: counters, rate meters,
+// log-scale latency histograms with quantile estimation, and labelled
+// series that render as the rows the paper's figures plot.
+//
+// The hot-path types (Counter, Histogram) are safe for concurrent use and
+// designed to stay off the allocator: recording a sample is an atomic add
+// into a fixed bucket array.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count, safe for concurrent
+// use. The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (delta may be any non-negative
+// value; negative deltas are a programming error and are ignored so a
+// misbehaving caller cannot make a monotonic counter go backwards).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records positive durations (or any positive values) into
+// logarithmically spaced buckets and answers count/mean/quantile queries.
+// It is safe for concurrent recording. The bucket layout is fixed at
+// construction: `perDecade` buckets per factor of 10 between min and max.
+type Histogram struct {
+	min, max  float64
+	perDecade int
+	factor    float64 // log-space width of one bucket
+	counts    []atomic.Int64
+	sum       atomic.Int64 // fixed point, micro-units (value * 1e6, rounded)
+	n         atomic.Int64
+	under     atomic.Int64
+	over      atomic.Int64
+}
+
+// NewHistogram returns a histogram covering [min, max] with perDecade
+// buckets per decade. min must be > 0 and max > min.
+func NewHistogram(min, max float64, perDecade int) *Histogram {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		panic(fmt.Sprintf("metrics: invalid histogram bounds (%v, %v, %d)", min, max, perDecade))
+	}
+	decades := math.Log10(max / min)
+	nb := int(math.Ceil(decades*float64(perDecade))) + 1
+	return &Histogram{
+		min:       min,
+		max:       max,
+		perDecade: perDecade,
+		factor:    math.Ln10 / float64(perDecade),
+		counts:    make([]atomic.Int64, nb),
+	}
+}
+
+// NewLatencyHistogram returns a histogram sized for request latencies:
+// 10 microseconds to 1000 seconds, 20 buckets per decade (~12% relative
+// resolution), which matches the precision of the paper's plots.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(10e-6, 1000, 20)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.n.Add(1)
+	h.sum.Add(int64(math.Round(v * 1e6)))
+	switch {
+	case v < h.min:
+		h.under.Add(1)
+	case v >= h.max:
+		h.over.Add(1)
+	default:
+		i := int(math.Log(v/h.min) / h.factor)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i].Add(1)
+	}
+}
+
+// ObserveDuration records a time.Duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Mean returns the arithmetic mean of all samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / 1e6 / float64(n)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) using the
+// geometric midpoint of the containing bucket. Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n))
+	acc := h.under.Load()
+	if acc > target {
+		return h.min
+	}
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		if acc > target {
+			lo := h.min * math.Exp(float64(i)*h.factor)
+			hi := h.min * math.Exp(float64(i+1)*h.factor)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return h.max
+}
+
+// Snapshot returns a point-in-time copy suitable for reporting while
+// recording continues.
+type Snapshot struct {
+	Count int64
+	Mean  float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+}
+
+// Snapshot captures the current distribution summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Quantile(1.0),
+	}
+}
+
+// Meter converts a counter into a rate over an explicit observation
+// window; the simulator and the live harness both use it to report
+// replies/s and errors/s exactly the way httperf does (events divided by
+// test duration).
+type Meter struct {
+	Events Counter
+}
+
+// Rate returns events per second over the given elapsed window.
+func (m *Meter) Rate(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Events.Value()) / elapsed.Seconds()
+}
+
+// Series is one labelled curve of (x, y) points — e.g. "nio 1 thread"
+// throughput versus number of clients. The figure runners accumulate
+// Series and render them with Table.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// YAt returns the y value for the given x, or NaN if absent.
+func (s *Series) YAt(x float64) float64 {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Table renders a set of series sharing an x-axis as an aligned text
+// table: one row per x value, one column per series. This is the textual
+// equivalent of one paper figure.
+func Table(title, xName string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	fmt.Fprintf(&b, "%-12s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %20s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				fmt.Fprintf(&b, " %20s", "-")
+			} else {
+				fmt.Fprintf(&b, " %20.3f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 80000 {
+		t.Fatalf("counter = %d, want 80000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, v := range []float64{0.001, 0.002, 0.003} {
+		h.Observe(v)
+	}
+	if got := h.Mean(); math.Abs(got-0.002) > 1e-6 {
+		t.Fatalf("mean = %v, want 0.002", got)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 1000 samples uniformly log-spaced between 1ms and 1s.
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001 * math.Pow(1000, float64(i)/999))
+	}
+	p50 := h.Quantile(0.5)
+	// True median ~ sqrt(0.001*1) ~ 0.0316; the histogram has ~12%
+	// resolution so accept 25% error.
+	if p50 < 0.024 || p50 > 0.040 {
+		t.Errorf("p50 = %v, want ~0.0316", p50)
+	}
+	if q0 := h.Quantile(0); q0 > h.Quantile(1) {
+		t.Errorf("quantiles not monotone: q0=%v q1=%v", q0, h.Quantile(1))
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0.01, 10, 10)
+	h.Observe(0.000001) // under
+	h.Observe(1e9)      // over
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if q := h.Quantile(0.0); q != h.min {
+		t.Errorf("low quantile with underflow sample = %v, want min %v", q, h.min)
+	}
+	if q := h.Quantile(0.99); q != h.max {
+		t.Errorf("high quantile with overflow sample = %v, want max %v", q, h.max)
+	}
+}
+
+func TestHistogramEmptyIsZero(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 10) },
+		func() { NewHistogram(1, 1, 10) },
+		func() { NewHistogram(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5000; j++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d, want 20000", h.Count())
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveDuration(150 * time.Millisecond)
+	if m := h.Mean(); math.Abs(m-0.15) > 1e-6 {
+		t.Fatalf("mean = %v, want 0.15", m)
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	h := NewLatencyHistogram()
+	r := []float64{0.001, 0.005, 0.010, 0.050, 0.100, 0.500, 1, 2, 5}
+	for _, v := range r {
+		for i := 0; i < 100; i++ {
+			h.Observe(v)
+		}
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("snapshot quantiles not ordered: %+v", s)
+	}
+	if s.Count != int64(100*len(r)) {
+		t.Errorf("snapshot count = %d", s.Count)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	var m Meter
+	m.Events.Add(500)
+	if rate := m.Rate(10 * time.Second); math.Abs(rate-50) > 1e-9 {
+		t.Fatalf("rate = %v, want 50", rate)
+	}
+	if rate := m.Rate(0); rate != 0 {
+		t.Fatalf("rate over empty window = %v, want 0", rate)
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Label: "nio"}
+	b := &Series{Label: "httpd"}
+	a.Add(600, 100)
+	a.Add(1200, 200)
+	b.Add(600, 90)
+	// httpd has no 1200 point: the table should render "-".
+	out := Table("Fig 1", "clients", a, b)
+	if !strings.Contains(out, "Fig 1") || !strings.Contains(out, "nio") {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("table should mark missing points with '-':\n%s", out)
+	}
+	if got := a.YAt(600); got != 100 {
+		t.Fatalf("YAt(600) = %v, want 100", got)
+	}
+	if !math.IsNaN(b.YAt(999)) {
+		t.Fatal("YAt on missing x should be NaN")
+	}
+}
+
+// Property: histogram quantiles are monotone in q for arbitrary samples.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewLatencyHistogram()
+		for _, v := range raw {
+			h.Observe(float64(v%1000000)/1000 + 0.0001)
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mean always lies within [min sample, max sample].
+func TestQuickMeanWithinRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewLatencyHistogram()
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			x := float64(v)/100 + 0.001
+			h.Observe(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := h.Mean()
+		return m >= lo-1e-5 && m <= hi+1e-5 // 1e-6 fixed-point resolution
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewLatencyHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0123)
+	}
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file renders series in the two formats the figure tooling offers
+// besides the aligned table: CSV (for external plotting) and a terminal
+// ASCII chart (for eyeballing curve shapes without leaving the shell).
+
+// CSV renders series sharing an x-axis as comma-separated values with a
+// header row. Missing points are empty cells.
+func CSV(xName string, series ...*Series) string {
+	var b strings.Builder
+	b.WriteString(csvEscape(xName))
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	for _, x := range mergedXs(series) {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			b.WriteByte(',')
+			if y := s.YAt(x); !math.IsNaN(y) {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func mergedXs(series []*Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// ASCIIPlot renders the series as a fixed-size terminal chart: one glyph
+// per series, linear axes, y auto-scaled. It is intentionally simple —
+// good enough to recognize the paper's curve shapes (knees, plateaus,
+// crossovers) at a glance.
+func ASCIIPlot(title string, width, height int, series ...*Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // anchor y at zero: these are rates/times
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) || xmax == xmin {
+		return fmt.Sprintf("# %s\n(no data)\n", title)
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, g byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = g
+		}
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		// Draw line segments by sampling between consecutive points, so
+		// the shape reads as a curve rather than scattered dots.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := width / max(1, len(s.X)-1)
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(max(1, steps))
+				plot(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, g)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], g)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.3g |%s\n", ymax, row)
+		case height - 1:
+			fmt.Fprintf(&b, "%10.3g |%s\n", ymin, row)
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", row)
+		}
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", width/2, xmin, width-width/2, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

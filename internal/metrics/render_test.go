@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() (*Series, *Series) {
+	a := &Series{Label: "nio"}
+	b := &Series{Label: "httpd,4096"} // comma forces CSV quoting
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i*600), float64(i*400))
+		if i != 3 { // hole in b
+			b.Add(float64(i*600), float64(i*380))
+		}
+	}
+	return a, b
+}
+
+func TestCSVBasic(t *testing.T) {
+	a, b := twoSeries()
+	out := CSV("clients", a, b)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != `clients,nio,"httpd,4096"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "600,400,380" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// The hole at x=1800 must be an empty cell, not a zero.
+	if lines[3] != "1800,1200," {
+		t.Fatalf("hole row = %q", lines[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	if got := csvEscape(`plain`); got != "plain" {
+		t.Errorf("plain escaped: %q", got)
+	}
+	if got := csvEscape(`a"b`); got != `"a""b"` {
+		t.Errorf("quote escape = %q", got)
+	}
+}
+
+func TestASCIIPlotContainsShape(t *testing.T) {
+	a, b := twoSeries()
+	out := ASCIIPlot("Fig 1", 60, 12, a, b)
+	for _, want := range []string{"Fig 1", "* = nio", "o = httpd,4096", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data glyphs plotted")
+	}
+	// Rising series: the first data row (max y) should contain a glyph
+	// near the right edge, the bottom row near the left.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if i := strings.LastIndexByte(top, '*'); i < len(top)/2 {
+		t.Fatalf("rising curve has its max on the left:\n%s", out)
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	out := ASCIIPlot("empty", 40, 8, &Series{Label: "x"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output:\n%s", out)
+	}
+}
+
+func TestASCIIPlotSinglePoint(t *testing.T) {
+	s := &Series{Label: "p"}
+	s.Add(1, 1)
+	out := ASCIIPlot("single", 40, 8, s)
+	if !strings.Contains(out, "no data") {
+		// single x means xmax == xmin; plot degrades to "no data"
+		t.Fatalf("expected degenerate handling:\n%s", out)
+	}
+}
+
+func TestASCIIPlotClampsTinyDimensions(t *testing.T) {
+	a, _ := twoSeries()
+	out := ASCIIPlot("tiny", 1, 1, a)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}

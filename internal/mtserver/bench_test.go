@@ -1,0 +1,60 @@
+package mtserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchServer starts a thread-pool server with a fixed-size object.
+func benchServer(b *testing.B, threads, bodyBytes int) (*Server, net.Conn, *bufio.Reader) {
+	b.Helper()
+	store := core.MapStore{"/obj": make([]byte, bodyBytes)}
+	cfg := DefaultConfig(store)
+	cfg.Threads = threads
+	s, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Stop)
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return s, c, bufio.NewReaderSize(c, 64<<10)
+}
+
+// BenchmarkSequentialRequests mirrors the core package's bench so the
+// two live architectures are directly comparable at the syscall level.
+func BenchmarkSequentialRequests(b *testing.B) {
+	for _, size := range []int{1 << 10, 16 << 10, 128 << 10} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			_, c, r := benchServer(b, 4, size)
+			req := []byte("GET /obj HTTP/1.1\r\nHost: x\r\n\r\n")
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Write(req); err != nil {
+					b.Fatal(err)
+				}
+				resp, err := http.ReadResponse(r, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+// Package mtserver is the live baseline the paper compares against: a
+// multithreaded web server in the style of Apache 2's worker MPM. A
+// bounded pool of worker threads each handles one connection at a time
+// with blocking reads and writes, and a keep-alive idle timeout
+// disconnects inactive clients to recycle threads — the behaviour the
+// paper identifies as the source of httpd2's connection-reset errors.
+//
+// Threads are goroutines here; the architectural property under study —
+// one connection bound to one execution context, blocking I/O, a hard
+// pool limit — is preserved exactly: when all workers are busy, accepted
+// connections wait and new ones pile up in the kernel backlog.
+package mtserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpwire"
+)
+
+// Config parameterizes the thread-pool server.
+type Config struct {
+	// Port to listen on (0 picks a free port).
+	Port int
+	// Threads is the worker-pool size (the paper sweeps 128–6000).
+	Threads int
+	// KeepAlive is the idle timeout after which the server closes a
+	// connection (the paper configures 15 s).
+	KeepAlive time.Duration
+	// ReadBuf is the per-thread read buffer size.
+	ReadBuf int
+	// Store serves the content; required.
+	Store core.Store
+}
+
+// DefaultConfig returns the paper's best configuration (scaled pool).
+func DefaultConfig(store core.Store) Config {
+	return Config{
+		Threads:   64,
+		KeepAlive: 15 * time.Second,
+		ReadBuf:   16 << 10,
+		Store:     store,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Threads <= 0:
+		return fmt.Errorf("mtserver: Threads must be positive, got %d", c.Threads)
+	case c.KeepAlive <= 0:
+		return fmt.Errorf("mtserver: KeepAlive must be positive, got %v", c.KeepAlive)
+	case c.ReadBuf < 256:
+		return fmt.Errorf("mtserver: ReadBuf must be at least 256, got %d", c.ReadBuf)
+	case c.Store == nil:
+		return fmt.Errorf("mtserver: Store is required")
+	case c.Port < 0 || c.Port > 65535:
+		return fmt.Errorf("mtserver: invalid port %d", c.Port)
+	}
+	return nil
+}
+
+// Stats are the server's counters.
+type Stats struct {
+	Accepted   int64
+	Replies    int64
+	BytesOut   int64
+	IdleCloses int64
+	BadRequest int64
+	ConnsOpen  int64
+}
+
+// Server is the live thread-pool web server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	// handoff carries accepted connections to worker threads. It is
+	// unbuffered: when every thread is busy the acceptor blocks, exactly
+	// like Apache with a saturated pool — further connections queue in
+	// the kernel's accept backlog.
+	handoff chan net.Conn
+
+	wg       sync.WaitGroup
+	stopping chan struct{}
+	stopOnce sync.Once
+
+	mu     sync.Mutex
+	active map[net.Conn]struct{}
+
+	accepted   atomic.Int64
+	replies    atomic.Int64
+	bytesOut   atomic.Int64
+	idleCloses atomic.Int64
+	badRequest atomic.Int64
+	connsOpen  atomic.Int64
+}
+
+// NewServer validates the configuration and binds the listener.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", cfg.Port))
+	if err != nil {
+		return nil, fmt.Errorf("mtserver: listen: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		ln:       ln,
+		handoff:  make(chan net.Conn),
+		stopping: make(chan struct{}),
+		active:   make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Port returns the bound port.
+func (s *Server) Port() int { return s.ln.Addr().(*net.TCPAddr).Port }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:   s.accepted.Load(),
+		Replies:    s.replies.Load(),
+		BytesOut:   s.bytesOut.Load(),
+		IdleCloses: s.idleCloses.Load(),
+		BadRequest: s.badRequest.Load(),
+		ConnsOpen:  s.connsOpen.Load(),
+	}
+}
+
+// Start launches the worker pool and the acceptor.
+func (s *Server) Start() error {
+	for i := 0; i < s.cfg.Threads; i++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Stop closes the listener and all active connections, then waits for
+// every thread to exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopping)
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.active {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-s.stopping:
+				return
+			default:
+				continue // transient accept error
+			}
+		}
+		s.accepted.Add(1)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		select {
+		case s.handoff <- conn: // blocks while the pool is saturated
+		case <-s.stopping:
+			conn.Close()
+			return
+		}
+	}
+}
+
+func (s *Server) track(c net.Conn, on bool) {
+	s.mu.Lock()
+	if on {
+		s.active[c] = struct{}{}
+	} else {
+		delete(s.active, c)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, s.cfg.ReadBuf)
+	var out []byte
+	for {
+		select {
+		case conn := <-s.handoff:
+			s.connsOpen.Add(1)
+			s.track(conn, true)
+			s.handleConn(conn, buf, &out)
+			s.track(conn, false)
+			s.connsOpen.Add(-1)
+		case <-s.stopping:
+			return
+		}
+	}
+}
+
+// handleConn serves one connection to completion — the thread is bound to
+// it for the connection's whole lifetime, requests are served strictly
+// sequentially, and responses are written with blocking writes.
+func (s *Server) handleConn(conn net.Conn, buf []byte, out *[]byte) {
+	defer conn.Close()
+	var parser httpwire.Parser
+	reqs := make([]*httpwire.Request, 0, 4)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.KeepAlive)); err != nil {
+			return
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// Keep-alive expired: disconnect the idle client. The
+				// client that writes later gets a reset — the paper's
+				// connection-reset error class.
+				s.idleCloses.Add(1)
+				if tc, ok := conn.(*net.TCPConn); ok {
+					_ = tc.SetLinger(0) // force RST, as a full Apache accept queue would
+				}
+			}
+			return
+		}
+		var perr error
+		reqs, perr = parser.Feed(reqs[:0], buf[:n])
+		for _, req := range reqs {
+			if !s.serve(conn, req, out) {
+				return
+			}
+		}
+		if perr != nil {
+			s.badRequest.Add(1)
+			*out = httpwire.AppendResponseHeader((*out)[:0], 400, "text/plain", 0, false)
+			s.write(conn, *out)
+			return
+		}
+	}
+}
+
+// serve writes one response; the return value reports whether the
+// connection should stay open.
+func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
+	switch {
+	case req.Method != "GET" && req.Method != "HEAD":
+		*out = httpwire.AppendResponseHeader((*out)[:0], 501, "text/plain", 0, req.KeepAlive)
+	default:
+		body, ctype, ok := s.cfg.Store.Get(req.Path)
+		if !ok {
+			*out = httpwire.AppendResponseHeader((*out)[:0], 404, "text/plain", 0, req.KeepAlive)
+		} else {
+			*out = httpwire.AppendResponseHeader((*out)[:0], 200, ctype, int64(len(body)), req.KeepAlive)
+			if req.Method == "GET" {
+				*out = append(*out, body...)
+			}
+		}
+	}
+	if !s.write(conn, *out) {
+		return false
+	}
+	s.replies.Add(1)
+	return req.KeepAlive
+}
+
+// write performs the blocking write of a complete response — the
+// architectural signature of the multithreaded server: nothing else
+// happens on this thread until the whole response is in the socket.
+func (s *Server) write(conn net.Conn, data []byte) bool {
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.KeepAlive)); err != nil {
+		return false
+	}
+	n, err := conn.Write(data)
+	s.bytesOut.Add(int64(n))
+	return err == nil
+}

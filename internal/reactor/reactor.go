@@ -1,0 +1,257 @@
+//go:build linux
+
+// Package reactor is an explicit readiness-selection loop built directly
+// on epoll(7) and non-blocking sockets via the syscall package — the Go
+// equivalent of a Java NIO Selector. The Go runtime's own netpoller hides
+// non-blocking I/O behind goroutines; the paper's contribution is the
+// *explicit* event-driven architecture, so this package deliberately
+// bypasses net.Conn and exposes readiness events and raw file
+// descriptors to a single-threaded event loop.
+//
+// One Poller per reactor worker thread; the Wakeup pipe lets other
+// threads (e.g. the acceptor handing over a new connection) interrupt a
+// blocking Wait, exactly like Selector.wakeup().
+package reactor
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// Event is one readiness notification.
+type Event struct {
+	FD       int
+	Readable bool
+	Writable bool
+	// Hangup reports EPOLLHUP/EPOLLERR: the peer closed or the socket
+	// failed; the connection should be torn down after draining.
+	Hangup bool
+}
+
+// Poller wraps one epoll instance plus a wakeup pipe.
+type Poller struct {
+	epfd   int
+	wakeR  int
+	wakeW  int
+	events []syscall.EpollEvent
+	closed bool
+}
+
+// NewPoller creates an epoll instance sized for n simultaneous events per
+// Wait call (n <= 0 selects a default of 1024).
+func NewPoller(n int) (*Poller, error) {
+	if n <= 0 {
+		n = 1024
+	}
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, fmt.Errorf("reactor: epoll_create1: %w", err)
+	}
+	var pipeFDs [2]int
+	if err := syscall.Pipe2(pipeFDs[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, fmt.Errorf("reactor: pipe2: %w", err)
+	}
+	p := &Poller{epfd: epfd, wakeR: pipeFDs[0], wakeW: pipeFDs[1], events: make([]syscall.EpollEvent, n)}
+	if err := p.Add(p.wakeR, true, false); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func mask(readable, writable bool) uint32 {
+	var m uint32 = syscall.EPOLLRDHUP
+	if readable {
+		m |= syscall.EPOLLIN
+	}
+	if writable {
+		m |= syscall.EPOLLOUT
+	}
+	return m
+}
+
+// Add registers fd for the given interest set (level-triggered).
+func (p *Poller) Add(fd int, readable, writable bool) error {
+	ev := syscall.EpollEvent{Events: mask(readable, writable), Fd: int32(fd)}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		return fmt.Errorf("reactor: epoll_ctl add fd %d: %w", fd, err)
+	}
+	return nil
+}
+
+// Modify changes fd's interest set — the reactor's write-interest dance:
+// enable EPOLLOUT only while a response has unsent bytes.
+func (p *Poller) Modify(fd int, readable, writable bool) error {
+	ev := syscall.EpollEvent{Events: mask(readable, writable), Fd: int32(fd)}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, fd, &ev); err != nil {
+		return fmt.Errorf("reactor: epoll_ctl mod fd %d: %w", fd, err)
+	}
+	return nil
+}
+
+// Remove deregisters fd. Removing an fd that was already closed is
+// harmless (the kernel removed it automatically).
+func (p *Poller) Remove(fd int) {
+	_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+}
+
+// Wait blocks until at least one registered fd is ready, the timeout (in
+// ms, -1 = forever) elapses, or Wakeup is called. Wakeup drains
+// internally and produces no Event.
+func (p *Poller) Wait(timeoutMs int) ([]Event, error) {
+	for {
+		n, err := syscall.EpollWait(p.epfd, p.events, timeoutMs)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reactor: epoll_wait: %w", err)
+		}
+		out := make([]Event, 0, n)
+		for i := 0; i < n; i++ {
+			ev := p.events[i]
+			fd := int(ev.Fd)
+			if fd == p.wakeR {
+				p.drainWake()
+				continue
+			}
+			out = append(out, Event{
+				FD:       fd,
+				Readable: ev.Events&(syscall.EPOLLIN|syscall.EPOLLRDHUP) != 0,
+				Writable: ev.Events&syscall.EPOLLOUT != 0,
+				Hangup:   ev.Events&(syscall.EPOLLHUP|syscall.EPOLLERR) != 0,
+			})
+		}
+		return out, nil
+	}
+}
+
+// Wakeup interrupts a concurrent Wait. Safe to call from any thread.
+func (p *Poller) Wakeup() {
+	var b [1]byte
+	_, _ = syscall.Write(p.wakeW, b[:]) // EAGAIN means a wakeup is already pending
+}
+
+func (p *Poller) drainWake() {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(p.wakeR, buf[:])
+		if n <= 0 || err != nil {
+			return
+		}
+	}
+}
+
+// Close releases the epoll instance and the wakeup pipe.
+func (p *Poller) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	syscall.Close(p.epfd)
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+}
+
+// ---------------------------------------------------------------------
+// Socket helpers
+// ---------------------------------------------------------------------
+
+// Listen opens a non-blocking IPv4 listening socket on 127.0.0.1:port
+// (port 0 picks a free port; the chosen port is returned).
+func Listen(port, backlog int) (fd, boundPort int, err error) {
+	fd, err = syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		return -1, 0, fmt.Errorf("reactor: socket: %w", err)
+	}
+	if err = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1); err != nil {
+		syscall.Close(fd)
+		return -1, 0, fmt.Errorf("reactor: SO_REUSEADDR: %w", err)
+	}
+	sa := &syscall.SockaddrInet4{Port: port, Addr: [4]byte{127, 0, 0, 1}}
+	if err = syscall.Bind(fd, sa); err != nil {
+		syscall.Close(fd)
+		return -1, 0, fmt.Errorf("reactor: bind: %w", err)
+	}
+	if err = syscall.Listen(fd, backlog); err != nil {
+		syscall.Close(fd)
+		return -1, 0, fmt.Errorf("reactor: listen: %w", err)
+	}
+	got, err := syscall.Getsockname(fd)
+	if err != nil {
+		syscall.Close(fd)
+		return -1, 0, fmt.Errorf("reactor: getsockname: %w", err)
+	}
+	inet, ok := got.(*syscall.SockaddrInet4)
+	if !ok {
+		syscall.Close(fd)
+		return -1, 0, fmt.Errorf("reactor: unexpected sockaddr %T", got)
+	}
+	return fd, inet.Port, nil
+}
+
+// Accept accepts one pending connection from a non-blocking listener.
+// done reports EAGAIN (nothing pending).
+func Accept(lfd int) (fd int, done bool, err error) {
+	fd, _, err = syscall.Accept4(lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+	switch err {
+	case nil:
+		// Disable Nagle: the servers write complete responses.
+		_ = syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
+		return fd, false, nil
+	case syscall.EAGAIN:
+		return -1, true, nil
+	case syscall.ECONNABORTED, syscall.EINTR:
+		return -1, false, nil // transient; caller loops
+	default:
+		return -1, false, fmt.Errorf("reactor: accept4: %w", err)
+	}
+}
+
+// Read performs one non-blocking read. n == 0 with eof=true is a clean
+// peer close; again=true means no data available now.
+func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
+	n, err = syscall.Read(fd, buf)
+	switch {
+	case err == syscall.EAGAIN:
+		return 0, false, true, nil
+	case err == syscall.EINTR:
+		return 0, false, true, nil
+	case err != nil:
+		return 0, false, false, err
+	case n == 0:
+		return 0, true, false, nil
+	default:
+		return n, false, false, nil
+	}
+}
+
+// Write performs one non-blocking write; again=true means the socket
+// buffer is full (register write interest and come back later).
+func Write(fd int, buf []byte) (n int, again bool, err error) {
+	n, err = syscall.Write(fd, buf)
+	switch err {
+	case nil:
+		return n, false, nil
+	case syscall.EAGAIN:
+		return 0, true, nil
+	case syscall.EINTR:
+		return 0, true, nil
+	default:
+		return 0, false, err
+	}
+}
+
+// CloseFD closes a socket.
+func CloseFD(fd int) { _ = syscall.Close(fd) }
+
+// CloseWithReset sets SO_LINGER to zero and closes, so the peer receives
+// an RST instead of an orderly FIN — how a server sheds a connection it
+// no longer wants to account for (Apache's keep-alive recycling surfaces
+// to clients exactly this way).
+func CloseWithReset(fd int) {
+	_ = syscall.SetsockoptLinger(fd, syscall.SOL_SOCKET, syscall.SO_LINGER,
+		&syscall.Linger{Onoff: 1, Linger: 0})
+	_ = syscall.Close(fd)
+}

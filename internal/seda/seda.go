@@ -1,0 +1,203 @@
+// Package seda implements the paper's §6 proposal: a staged event-driven
+// pipeline ("dividing the server in pipelined stages, adding one or more
+// threads to each stage") in the style of Welsh et al.'s SEDA. Each stage
+// owns a bounded event queue and a private worker pool; stages are
+// chained so a request flows queue → handler → next queue. Bounded queues
+// give per-stage admission control: when a stage is overloaded, Submit
+// sheds load at the front instead of collapsing the whole server — the
+// "well-conditioned" property.
+//
+// The package is execution-substrate-agnostic: handlers run on real
+// goroutines, so the pipeline can front a live server (see
+// examples/staged) or be driven synthetically by the ablation benches.
+package seda
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is the unit of work flowing through the pipeline.
+type Event any
+
+// Handler processes one event for a stage. Calling emit forwards an
+// event to the next stage (emit may be called zero or more times).
+type Handler func(ev Event, emit func(Event))
+
+// StageConfig describes one pipeline stage.
+type StageConfig struct {
+	// Name identifies the stage in stats.
+	Name string
+	// Workers is the stage's thread-pool size.
+	Workers int
+	// QueueCap bounds the stage's event queue; a full queue sheds load.
+	QueueCap int
+	// Handler is the stage body.
+	Handler Handler
+}
+
+// Validate reports configuration errors.
+func (c StageConfig) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("seda: stage name required")
+	case c.Workers <= 0:
+		return fmt.Errorf("seda: stage %q needs at least one worker", c.Name)
+	case c.QueueCap <= 0:
+		return fmt.Errorf("seda: stage %q needs a positive queue capacity", c.Name)
+	case c.Handler == nil:
+		return fmt.Errorf("seda: stage %q has no handler", c.Name)
+	}
+	return nil
+}
+
+// StageStats is a point-in-time view of one stage.
+type StageStats struct {
+	Name      string
+	Processed int64
+	Dropped   int64
+	QueueLen  int
+	Workers   int
+}
+
+// stage is the runtime state of one pipeline stage.
+type stage struct {
+	cfg       StageConfig
+	queue     chan Event
+	next      *stage
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	processed atomic.Int64
+	dropped   atomic.Int64
+}
+
+// Pipeline is a chain of stages. Events submitted to the pipeline enter
+// the first stage; events a handler emits enter the following stage;
+// events emitted by the last stage go to the sink.
+type Pipeline struct {
+	stages  []*stage
+	sink    func(Event)
+	once    sync.Once
+	runOnce sync.Once
+}
+
+// NewPipeline builds a pipeline from the given stages; sink receives
+// events emitted by the final stage (nil discards them).
+func NewPipeline(sink func(Event), configs ...StageConfig) (*Pipeline, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("seda: pipeline needs at least one stage")
+	}
+	p := &Pipeline{sink: sink}
+	if p.sink == nil {
+		p.sink = func(Event) {}
+	}
+	for _, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		p.stages = append(p.stages, &stage{
+			cfg:   cfg,
+			queue: make(chan Event, cfg.QueueCap),
+			stop:  make(chan struct{}),
+		})
+	}
+	for i := 0; i < len(p.stages)-1; i++ {
+		p.stages[i].next = p.stages[i+1]
+	}
+	return p, nil
+}
+
+// Start launches every stage's worker pool. Call once.
+func (p *Pipeline) Start() {
+	p.runOnce.Do(func() {
+		for _, st := range p.stages {
+			for w := 0; w < st.cfg.Workers; w++ {
+				st.wg.Add(1)
+				go p.workerLoop(st)
+			}
+		}
+	})
+}
+
+// workerLoop is one stage thread.
+func (p *Pipeline) workerLoop(st *stage) {
+	defer st.wg.Done()
+	emit := func(ev Event) { p.forward(st.next, ev) }
+	for {
+		select {
+		case ev := <-st.queue:
+			st.cfg.Handler(ev, emit)
+			st.processed.Add(1)
+		case <-st.stop:
+			// Drain what is already queued, then exit.
+			for {
+				select {
+				case ev := <-st.queue:
+					st.cfg.Handler(ev, emit)
+					st.processed.Add(1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// forward moves an event to the target stage (or the sink past the end).
+// Inter-stage forwarding blocks rather than drops: load shedding happens
+// at admission (Submit), which is where SEDA applies its controllers.
+// Blocking is safe during shutdown because Stop drains stages in pipeline
+// order — a downstream stage always outlives its upstream.
+func (p *Pipeline) forward(st *stage, ev Event) {
+	if st == nil {
+		p.sink(ev)
+		return
+	}
+	st.queue <- ev
+}
+
+// Submit offers an event to the first stage. It returns false — shedding
+// the event — when the stage's queue is full (admission control).
+func (p *Pipeline) Submit(ev Event) bool {
+	st := p.stages[0]
+	select {
+	case st.queue <- ev:
+		return true
+	default:
+		st.dropped.Add(1)
+		return false
+	}
+}
+
+// Stop shuts the pipeline down after draining queued events, and waits
+// for all stage threads to exit. Stages drain in pipeline order, so every
+// event already admitted flows through to the sink. Idempotent.
+func (p *Pipeline) Stop() {
+	p.once.Do(func() {
+		for _, st := range p.stages {
+			close(st.stop)
+			st.wg.Wait()
+		}
+	})
+	// After once: all stages have been waited on; later calls return
+	// immediately because wg counters are already zero.
+	for _, st := range p.stages {
+		st.wg.Wait()
+	}
+}
+
+// Stats returns a snapshot per stage, in pipeline order.
+func (p *Pipeline) Stats() []StageStats {
+	out := make([]StageStats, 0, len(p.stages))
+	for _, st := range p.stages {
+		out = append(out, StageStats{
+			Name:      st.cfg.Name,
+			Processed: st.processed.Load(),
+			Dropped:   st.dropped.Load(),
+			QueueLen:  len(st.queue),
+			Workers:   st.cfg.Workers,
+		})
+	}
+	return out
+}

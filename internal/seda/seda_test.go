@@ -1,0 +1,234 @@
+package seda
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func passthrough(ev Event, emit func(Event)) { emit(ev) }
+
+func mustPipeline(t *testing.T, sink func(Event), cfgs ...StageConfig) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(sink, cfgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	t.Cleanup(p.Stop)
+	return p
+}
+
+func TestSingleStageFlow(t *testing.T) {
+	var got atomic.Int64
+	p := mustPipeline(t, func(Event) { got.Add(1) },
+		StageConfig{Name: "s", Workers: 1, QueueCap: 16, Handler: passthrough})
+	for i := 0; i < 10; i++ {
+		if !p.Submit(i) {
+			t.Fatal("submit shed under light load")
+		}
+	}
+	p.Stop()
+	if got.Load() != 10 {
+		t.Fatalf("sink saw %d events, want 10", got.Load())
+	}
+}
+
+func TestMultiStageOrderOfStages(t *testing.T) {
+	// Each stage tags the event; the sink verifies the pipeline order.
+	var mu sync.Mutex
+	var paths []string
+	tag := func(name string) Handler {
+		return func(ev Event, emit func(Event)) {
+			emit(ev.(string) + name)
+		}
+	}
+	p := mustPipeline(t, func(ev Event) {
+		mu.Lock()
+		paths = append(paths, ev.(string))
+		mu.Unlock()
+	},
+		StageConfig{Name: "a", Workers: 1, QueueCap: 8, Handler: tag("a")},
+		StageConfig{Name: "b", Workers: 1, QueueCap: 8, Handler: tag("b")},
+		StageConfig{Name: "c", Workers: 1, QueueCap: 8, Handler: tag("c")},
+	)
+	for i := 0; i < 5; i++ {
+		p.Submit("")
+	}
+	p.Stop()
+	if len(paths) != 5 {
+		t.Fatalf("got %d events", len(paths))
+	}
+	for _, s := range paths {
+		if s != "abc" {
+			t.Fatalf("event traversed %q, want abc", s)
+		}
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	release := make(chan struct{})
+	p := mustPipeline(t, nil,
+		StageConfig{Name: "slow", Workers: 1, QueueCap: 2, Handler: func(ev Event, emit func(Event)) {
+			<-release
+		}})
+	// Fill: 1 in the worker + 2 in the queue; further submits shed.
+	deadline := time.Now().Add(2 * time.Second)
+	accepted := 0
+	for accepted < 3 && time.Now().Before(deadline) {
+		if p.Submit(accepted) {
+			accepted++
+		}
+	}
+	shed := false
+	for i := 0; i < 100; i++ {
+		if !p.Submit(i) {
+			shed = true
+			break
+		}
+	}
+	close(release)
+	if !shed {
+		t.Fatal("full stage never shed load")
+	}
+	st := p.Stats()[0]
+	if st.Dropped == 0 {
+		t.Fatalf("dropped counter = 0: %+v", st)
+	}
+}
+
+func TestFanOutEmit(t *testing.T) {
+	var got atomic.Int64
+	p := mustPipeline(t, func(Event) { got.Add(1) },
+		StageConfig{Name: "fan", Workers: 2, QueueCap: 64, Handler: func(ev Event, emit func(Event)) {
+			emit(ev)
+			emit(ev) // duplicate every event
+		}})
+	for i := 0; i < 20; i++ {
+		p.Submit(i)
+	}
+	p.Stop()
+	if got.Load() != 40 {
+		t.Fatalf("sink saw %d, want 40", got.Load())
+	}
+}
+
+func TestFilterEmitNothing(t *testing.T) {
+	var got atomic.Int64
+	p := mustPipeline(t, func(Event) { got.Add(1) },
+		StageConfig{Name: "filter", Workers: 1, QueueCap: 16, Handler: func(ev Event, emit func(Event)) {
+			if ev.(int)%2 == 0 {
+				emit(ev)
+			}
+		}})
+	for i := 0; i < 10; i++ {
+		p.Submit(i)
+	}
+	p.Stop()
+	if got.Load() != 5 {
+		t.Fatalf("sink saw %d, want 5", got.Load())
+	}
+}
+
+func TestParallelWorkersProcessAll(t *testing.T) {
+	var got atomic.Int64
+	p := mustPipeline(t, func(Event) { got.Add(1) },
+		StageConfig{Name: "par", Workers: 8, QueueCap: 256, Handler: passthrough})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		for !p.Submit(i) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	p.Stop()
+	if got.Load() != n {
+		t.Fatalf("sink saw %d, want %d", got.Load(), n)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	p := mustPipeline(t, nil,
+		StageConfig{Name: "one", Workers: 2, QueueCap: 4, Handler: passthrough},
+		StageConfig{Name: "two", Workers: 3, QueueCap: 4, Handler: passthrough})
+	p.Submit(1)
+	p.Stop()
+	st := p.Stats()
+	if len(st) != 2 || st[0].Name != "one" || st[1].Name != "two" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].Workers != 2 || st[1].Workers != 3 {
+		t.Fatalf("worker counts wrong: %+v", st)
+	}
+	if st[0].Processed != 1 || st[1].Processed != 1 {
+		t.Fatalf("processed wrong: %+v", st)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []StageConfig{
+		{Name: "", Workers: 1, QueueCap: 1, Handler: passthrough},
+		{Name: "x", Workers: 0, QueueCap: 1, Handler: passthrough},
+		{Name: "x", Workers: 1, QueueCap: 0, Handler: passthrough},
+		{Name: "x", Workers: 1, QueueCap: 1, Handler: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPipeline(nil, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewPipeline(nil); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}
+
+func TestStopIsIdempotentAndDrains(t *testing.T) {
+	var got atomic.Int64
+	p, err := NewPipeline(func(Event) { got.Add(1) },
+		StageConfig{Name: "s", Workers: 1, QueueCap: 100, Handler: passthrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < 50; i++ {
+		p.Submit(i)
+	}
+	p.Stop()
+	p.Stop()
+	if got.Load() != 50 {
+		t.Fatalf("drain incomplete: %d/50", got.Load())
+	}
+}
+
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for _, stages := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "1stage", 2: "2stages", 4: "4stages"}[stages], func(b *testing.B) {
+			var cfgs []StageConfig
+			for i := 0; i < stages; i++ {
+				cfgs = append(cfgs, StageConfig{
+					Name: "s", Workers: 1, QueueCap: 1024, Handler: passthrough,
+				})
+			}
+			done := make(chan struct{}, 1)
+			var got atomic.Int64
+			target := int64(b.N)
+			p, err := NewPipeline(func(Event) {
+				if got.Add(1) == target {
+					done <- struct{}{}
+				}
+			}, cfgs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Start()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !p.Submit(i) {
+				}
+			}
+			<-done
+			b.StopTimer()
+			p.Stop()
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package sesslog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the log reader never panics and that anything it
+// accepts round-trips through Write/Read unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("S 1\nR 1 100 0 -\n")
+	f.Add("# c\nS 0\nR 2 64 0.5 P\nR 3 128 0 -\n")
+	f.Add("garbage")
+	f.Add("S\n")
+	f.Fuzz(func(t *testing.T, log string) {
+		sessions, err := Read(strings.NewReader(log))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := Write(&b, sessions); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nlog: %q", err, b.String())
+		}
+		if len(again) != len(sessions) {
+			t.Fatalf("round trip changed session count: %d vs %d", len(again), len(sessions))
+		}
+		if TotalBytes(again) != TotalBytes(sessions) {
+			t.Fatal("round trip changed byte total")
+		}
+	})
+}

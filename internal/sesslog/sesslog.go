@@ -1,0 +1,163 @@
+// Package sesslog records and replays session logs — the equivalent of
+// httperf's --wsesslog input. A recorded log makes the exact request
+// sequence portable: the same sessions can drive the live servers
+// (internal/loadgen) and the simulated testbed (internal/simclient),
+// which is how the repository cross-checks that the two substrates agree
+// byte-for-byte on what a workload transfers.
+//
+// The format is line-oriented text:
+//
+//	# comment
+//	S <think-after-seconds>
+//	R <object-id> <size-bytes> <gap-seconds> <P|->
+//
+// An "S" line opens a session; following "R" lines are its requests in
+// order ("P" marks a pipelined request). Object sizes are embedded so a
+// replayer needs no object set.
+package sesslog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/surge"
+)
+
+// Write serializes sessions to w.
+func Write(w io.Writer, sessions []surge.Session) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# sesslog v1: %d sessions\n", len(sessions))
+	for _, s := range sessions {
+		fmt.Fprintf(bw, "S %g\n", s.ThinkAfter)
+		for _, r := range s.Requests {
+			flag := "-"
+			if r.Pipelined {
+				flag = "P"
+			}
+			fmt.Fprintf(bw, "R %d %d %g %s\n", r.Object.ID, r.Object.Size, r.Gap, flag)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a session log.
+func Read(r io.Reader) ([]surge.Session, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var sessions []surge.Session
+	var cur *surge.Session
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "S":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sesslog: line %d: malformed session header %q", line, text)
+			}
+			think, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || think < 0 {
+				return nil, fmt.Errorf("sesslog: line %d: bad think time %q", line, fields[1])
+			}
+			sessions = append(sessions, surge.Session{ThinkAfter: think})
+			cur = &sessions[len(sessions)-1]
+		case "R":
+			if cur == nil {
+				return nil, fmt.Errorf("sesslog: line %d: request before any session", line)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("sesslog: line %d: malformed request %q", line, text)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			size, err2 := strconv.ParseInt(fields[2], 10, 64)
+			gap, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil || id < 0 || size <= 0 || gap < 0 {
+				return nil, fmt.Errorf("sesslog: line %d: bad request fields %q", line, text)
+			}
+			var pipelined bool
+			switch fields[4] {
+			case "P":
+				pipelined = true
+			case "-":
+			default:
+				return nil, fmt.Errorf("sesslog: line %d: bad pipeline flag %q", line, fields[4])
+			}
+			cur.Requests = append(cur.Requests, surge.Request{
+				Object:    surge.Object{ID: id, Size: size},
+				Gap:       gap,
+				Pipelined: pipelined,
+			})
+		default:
+			return nil, fmt.Errorf("sesslog: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sesslog: %w", err)
+	}
+	// Drop empty sessions (an S line with no requests is a recording
+	// artifact, not a playable session).
+	out := sessions[:0]
+	for _, s := range sessions {
+		if len(s.Requests) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Record samples n sessions from a generator into a log.
+func Record(g *surge.Generator, n int) []surge.Session {
+	out := make([]surge.Session, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.NextSession())
+	}
+	return out
+}
+
+// Replayer replays a fixed session list in order, wrapping around — a
+// surge.SessionSource. Each client should get its own Replayer (with a
+// distinct offset) so concurrent clients do not mirror each other.
+type Replayer struct {
+	sessions []surge.Session
+	next     int
+}
+
+// NewReplayer returns a source starting at the given offset.
+func NewReplayer(sessions []surge.Session, offset int) *Replayer {
+	if len(sessions) == 0 {
+		panic("sesslog: empty session log")
+	}
+	return &Replayer{sessions: sessions, next: offset % len(sessions)}
+}
+
+// NextSession implements surge.SessionSource.
+func (r *Replayer) NextSession() surge.Session {
+	s := r.sessions[r.next]
+	r.next = (r.next + 1) % len(r.sessions)
+	return s
+}
+
+// TotalBytes sums the response payloads of all sessions in the log.
+func TotalBytes(sessions []surge.Session) int64 {
+	var n int64
+	for _, s := range sessions {
+		n += s.TotalBytes()
+	}
+	return n
+}
+
+// TotalRequests counts the requests in the log.
+func TotalRequests(sessions []surge.Session) int {
+	n := 0
+	for _, s := range sessions {
+		n += len(s.Requests)
+	}
+	return n
+}

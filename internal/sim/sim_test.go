@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, d := range []Duration{5, 1, 3, 2, 4} {
+		e.Schedule(d, func() { order = append(order, e.Now()) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(0.5, tick)
+		}
+	}
+	e.Schedule(0.5, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+}
+
+func TestCancelOneOfSimultaneous(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(1, func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRescheduleExtendsTimer(t *testing.T) {
+	e := NewEngine()
+	var firedAt Time = -1
+	ev := e.Schedule(1, func() { firedAt = e.Now() })
+	e.Schedule(0.5, func() { e.Reschedule(ev, 2) })
+	e.Run()
+	if firedAt != 2 {
+		t.Fatalf("rescheduled event fired at %v, want 2", firedAt)
+	}
+}
+
+func TestRescheduleAfterFireCreatesNew(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	ev := e.Schedule(1, func() { count++ })
+	e.Run()
+	e.Reschedule(ev, e.Now()+1)
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (reschedule after fire should re-arm)", count)
+	}
+}
+
+func TestRunUntilLeavesClockAtDeadline(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestRunUntilInclusiveAtDeadline(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.RunUntil(5)
+	if !fired {
+		t.Fatal("event exactly at the deadline did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++; e.Stop() })
+	e.Schedule(2, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+	// A subsequent Run resumes.
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume, want 2", fired)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(3, func() {
+		e.Schedule(-0.5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 3 {
+		t.Fatalf("clamped event fired at %v, want 3", at)
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	NewEngine().Schedule(1, nil)
+}
+
+func TestProcessedAndPending(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Schedule(Duration(i+1), func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", e.Pending())
+	}
+	e.RunUntil(5)
+	if e.Processed() != 5 {
+		t.Fatalf("processed = %d, want 5", e.Processed())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := NewTicker(e, 1, func() {
+		ticks++
+		if ticks == 5 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	tk.Stop()
+	e.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestTickerStopFromOutside(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := NewTicker(e, 1, func() { ticks++ })
+	e.Schedule(3.5, func() { tk.Stop() })
+	e.RunUntil(10)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+}
+
+func TestTickerBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTicker(NewEngine(), 0, func() {})
+}
+
+// Property: for any set of non-negative delays, events fire in
+// nondecreasing time order and the clock ends at the max delay.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var max Duration
+		var last Time
+		ok := true
+		for _, r := range raw {
+			d := Duration(r) / 100
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		if len(raw) > 0 && e.Now() != Time(max) {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	var churn func()
+	n := 0
+	churn = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, churn)
+		}
+	}
+	e.Schedule(1, churn)
+	b.ResetTimer()
+	e.Run()
+}

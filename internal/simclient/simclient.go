@@ -1,0 +1,488 @@
+// Package simclient emulates the paper's load generator: httperf driving
+// SURGE-distributed sessions from emulated clients. Each client loops
+// forever: think, connect, issue ≈6.5 requests (some pipelined) over a
+// persistent connection, close, think again. A 10-second watchdog covers
+// every activity — connecting, sending, waiting, receiving — exactly like
+// httperf's --timeout; an expiry is a *client-timeout* error. A write on
+// a connection the server has idle-closed is a *connection-reset* error.
+// Both error classes, plus reply throughput, response times and
+// connection times, are what the paper's figures plot.
+package simclient
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/simsrv"
+	"repro/internal/surge"
+	"repro/internal/trace"
+)
+
+// Options configures a fleet of emulated clients.
+type Options struct {
+	// Clients is the number of concurrent emulated clients (the paper
+	// sweeps 600–6000). Closed-loop mode: each client loops sessions
+	// forever. Ignored when SessionRate is set.
+	Clients int
+	// SessionRate, when positive, selects httperf's open-loop mode
+	// instead: new single-session clients arrive as a Poisson process at
+	// this rate (sessions/second), regardless of how the server keeps
+	// up. Open-loop load is how httperf overloads a server past
+	// saturation without the think-time feedback of a fixed population.
+	SessionRate float64
+	// Timeout is the httperf watchdog in seconds (the paper uses 10).
+	Timeout float64
+	// RampOver staggers client start times uniformly over this many
+	// seconds so the SUT does not see one synchronized SYN flood.
+	RampOver float64
+	// Warmup is how long to run before measurement starts.
+	Warmup float64
+	// Duration is the measurement window length.
+	Duration float64
+}
+
+// DefaultOptions returns the paper's httperf settings with a short ramp.
+func DefaultOptions(clients int) Options {
+	return Options{
+		Clients:  clients,
+		Timeout:  10,
+		RampOver: 5,
+		Warmup:   10,
+		Duration: 60,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	switch {
+	case o.Clients <= 0 && o.SessionRate <= 0:
+		return fmt.Errorf("simclient: need Clients > 0 (closed loop) or SessionRate > 0 (open loop)")
+	case o.SessionRate < 0:
+		return fmt.Errorf("simclient: negative SessionRate %v", o.SessionRate)
+	case o.Timeout <= 0:
+		return fmt.Errorf("simclient: Timeout must be positive, got %v", o.Timeout)
+	case o.RampOver < 0:
+		return fmt.Errorf("simclient: negative RampOver %v", o.RampOver)
+	case o.Warmup < 0:
+		return fmt.Errorf("simclient: negative Warmup %v", o.Warmup)
+	case o.Duration <= 0:
+		return fmt.Errorf("simclient: Duration must be positive, got %v", o.Duration)
+	}
+	return nil
+}
+
+// Collector accumulates the httperf-style measurements over the
+// measurement window.
+type Collector struct {
+	Replies        metrics.Counter
+	BytesReceived  metrics.Counter
+	ConnectsOK     metrics.Counter
+	ClientTimeouts metrics.Counter
+	Resets         metrics.Counter
+	Sessions       metrics.Counter
+
+	ResponseTime *metrics.Histogram
+	ConnectTime  *metrics.Histogram
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		ResponseTime: metrics.NewLatencyHistogram(),
+		ConnectTime:  metrics.NewLatencyHistogram(),
+	}
+}
+
+// Report is the per-run summary a figure point is computed from.
+type Report struct {
+	Clients          int
+	Duration         float64
+	RepliesPerSec    float64
+	MeanResponseSec  float64
+	P50ResponseSec   float64
+	P90ResponseSec   float64
+	P99ResponseSec   float64
+	MeanConnectSec   float64
+	P90ConnectSec    float64
+	TimeoutErrPerSec float64
+	ResetErrPerSec   float64
+	BandwidthBps     float64
+	Sessions         int64
+}
+
+// Fleet is a population of emulated clients attached to one network.
+type Fleet struct {
+	engine *sim.Engine
+	net    *simnet.Network
+	cfg    surge.Config
+	set    *surge.ObjectSet
+	rng    *dist.RNG
+	opts   Options
+
+	collector *Collector
+	measuring bool
+	started   bool
+
+	// Trace, when non-nil, receives per-request lifecycle events (see
+	// internal/trace). Set it before Start; tracing is free when nil.
+	Trace *trace.Ring
+
+	// SourceFactory, when non-nil, supplies each client's session stream
+	// instead of the SURGE generator — e.g. a sesslog.Replayer for
+	// recorded workloads. Set it before Start.
+	SourceFactory func(client int, rng *dist.RNG) surge.SessionSource
+
+	nextClientID int
+}
+
+// NewFleet builds a fleet. The object set must be the one the server
+// advertises (sizes drive response lengths).
+func NewFleet(engine *sim.Engine, net *simnet.Network, cfg surge.Config, set *surge.ObjectSet, rng *dist.RNG, opts Options) (*Fleet, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fleet{
+		engine:    engine,
+		net:       net,
+		cfg:       cfg,
+		set:       set,
+		rng:       rng,
+		opts:      opts,
+		collector: NewCollector(),
+	}, nil
+}
+
+// Collector exposes the fleet's measurements.
+func (f *Fleet) Collector() *Collector { return f.collector }
+
+// Start launches every client and arms the measurement window. Call once.
+func (f *Fleet) Start() {
+	if f.started {
+		panic("simclient: Fleet.Start called twice")
+	}
+	f.started = true
+	if f.opts.SessionRate > 0 {
+		f.scheduleArrival(f.rng.Split())
+	} else {
+		for i := 0; i < f.opts.Clients; i++ {
+			c := &emuClient{
+				fleet: f,
+				id:    f.claimClientID(),
+				rng:   f.rng.Split(),
+			}
+			c.gen = f.newSource(c.id, c.rng)
+			start := c.rng.Float64() * f.opts.RampOver
+			f.engine.Schedule(start, c.startSession)
+		}
+	}
+	f.engine.Schedule(f.opts.Warmup, func() { f.measuring = true })
+	f.engine.Schedule(f.opts.Warmup+f.opts.Duration, func() {
+		f.measuring = false
+		f.engine.Stop()
+	})
+}
+
+// EndTime returns the simulated time at which measurement completes.
+func (f *Fleet) EndTime() sim.Time {
+	return sim.Time(f.opts.Warmup + f.opts.Duration)
+}
+
+// Run executes the whole experiment and returns the report.
+func (f *Fleet) Run() Report {
+	if !f.started {
+		f.Start()
+	}
+	f.engine.RunUntil(f.EndTime())
+	return f.Report()
+}
+
+// scheduleArrival arms the next open-loop session arrival (Poisson
+// process: exponential inter-arrival times).
+func (f *Fleet) scheduleArrival(arrivalRNG *dist.RNG) {
+	gap := arrivalRNG.ExpFloat64() / f.opts.SessionRate
+	f.engine.Schedule(gap, func() {
+		if f.engine.Now() >= f.EndTime() {
+			return
+		}
+		c := &emuClient{
+			fleet:   f,
+			id:      f.claimClientID(),
+			rng:     f.rng.Split(),
+			oneShot: true,
+		}
+		c.gen = f.newSource(c.id, c.rng)
+		c.startSession()
+		f.scheduleArrival(arrivalRNG)
+	})
+}
+
+// Report summarises the collector into figure-ready numbers.
+func (f *Fleet) Report() Report {
+	c := f.collector
+	d := f.opts.Duration
+	return Report{
+		Clients:          f.opts.Clients,
+		Duration:         d,
+		RepliesPerSec:    float64(c.Replies.Value()) / d,
+		MeanResponseSec:  c.ResponseTime.Mean(),
+		P50ResponseSec:   c.ResponseTime.Quantile(0.50),
+		P90ResponseSec:   c.ResponseTime.Quantile(0.90),
+		P99ResponseSec:   c.ResponseTime.Quantile(0.99),
+		MeanConnectSec:   c.ConnectTime.Mean(),
+		P90ConnectSec:    c.ConnectTime.Quantile(0.90),
+		TimeoutErrPerSec: float64(c.ClientTimeouts.Value()) / d,
+		ResetErrPerSec:   float64(c.Resets.Value()) / d,
+		BandwidthBps:     float64(c.BytesReceived.Value()) / d,
+		Sessions:         c.Sessions.Value(),
+	}
+}
+
+// clientState is the emulated client's lifecycle position.
+type clientState int
+
+const (
+	stateThinking clientState = iota
+	stateConnecting
+	stateInSession
+)
+
+// outstanding tracks one issued, unanswered request.
+type outstanding struct {
+	issuedAt sim.Time
+}
+
+// emuClient is one emulated user.
+type emuClient struct {
+	fleet *Fleet
+	id    int
+	rng   *dist.RNG
+	gen   surge.SessionSource
+	// oneShot clients (open-loop mode) run a single session and exit.
+	oneShot bool
+
+	state    clientState
+	conn     *simnet.Conn
+	session  surge.Session
+	nextReq  int // index into session.Requests of the next to issue
+	inflight []outstanding
+	gapTimer *sim.Event
+	watchdog *sim.Event
+}
+
+// newSource builds one client's session stream.
+func (f *Fleet) newSource(client int, rng *dist.RNG) surge.SessionSource {
+	if f.SourceFactory != nil {
+		return f.SourceFactory(client, rng)
+	}
+	return surge.NewGenerator(f.cfg, f.set, rng)
+}
+
+// claimClientID hands out stable client identifiers for tracing.
+func (f *Fleet) claimClientID() int {
+	f.nextClientID++
+	return f.nextClientID
+}
+
+// emit records a trace event when tracing is enabled.
+func (c *emuClient) emit(kind trace.Kind, value float64) {
+	if c.fleet.Trace == nil {
+		return
+	}
+	c.fleet.Trace.Record(trace.Event{
+		At:     float64(c.fleet.engine.Now()),
+		Client: c.id,
+		Kind:   kind,
+		Value:  value,
+	})
+}
+
+// startSession draws a new session and opens a fresh connection.
+func (c *emuClient) startSession() {
+	c.emit(trace.SessionStart, 0)
+	c.session = c.gen.NextSession()
+	c.nextReq = 0
+	c.inflight = c.inflight[:0]
+	c.state = stateConnecting
+	conn := &simnet.Conn{}
+	c.conn = conn
+	conn.OnConnected = func(d float64) { c.onConnected(conn, d) }
+	conn.OnClientRecv = func(bytes int64, meta any) { c.onRecv(conn, bytes, meta) }
+	conn.OnReset = func() { c.onReset(conn) }
+	c.armWatchdog()
+	c.emit(trace.ConnectStart, 0)
+	c.fleet.net.Connect(conn)
+}
+
+func (c *emuClient) onConnected(conn *simnet.Conn, dur float64) {
+	if conn != c.conn {
+		return // stale connection from an abandoned attempt
+	}
+	c.state = stateInSession
+	c.emit(trace.Connected, dur)
+	if c.fleet.measuring {
+		c.fleet.collector.ConnectsOK.Inc()
+		c.fleet.collector.ConnectTime.Observe(dur)
+	}
+	c.armWatchdog()
+	c.issueBatch()
+}
+
+// issueBatch sends the next request plus any immediately-pipelined
+// followers, httperf's burst behaviour.
+func (c *emuClient) issueBatch() {
+	if c.nextReq >= len(c.session.Requests) {
+		return
+	}
+	c.send(c.session.Requests[c.nextReq])
+	c.nextReq++
+	for c.nextReq < len(c.session.Requests) && c.session.Requests[c.nextReq].Pipelined {
+		c.send(c.session.Requests[c.nextReq])
+		c.nextReq++
+	}
+}
+
+// requestWireBytes approximates one HTTP/1.1 GET with headers.
+const requestWireBytes = 220
+
+func (c *emuClient) send(r surge.Request) {
+	c.inflight = append(c.inflight, outstanding{issuedAt: c.fleet.engine.Now()})
+	c.emit(trace.RequestSent, 0)
+	c.fleet.net.ClientSend(c.conn, requestWireBytes, &simsrv.Request{
+		ResponseBytes: r.Object.Size,
+		Tag:           nil,
+	})
+	c.armWatchdog()
+}
+
+// onRecv handles downlink bytes; the final chunk of a response carries a
+// *simsrv.ResponseDone meta.
+func (c *emuClient) onRecv(conn *simnet.Conn, bytes int64, meta any) {
+	if conn != c.conn || c.state != stateInSession {
+		return
+	}
+	if c.fleet.measuring {
+		c.fleet.collector.BytesReceived.Add(bytes)
+	}
+	// Any received byte is forward progress for the watchdog.
+	c.armWatchdog()
+	if _, ok := meta.(*simsrv.ResponseDone); !ok {
+		return
+	}
+	if len(c.inflight) == 0 {
+		return // response to a request from a previous life of the conn
+	}
+	issued := c.inflight[0]
+	c.inflight = c.inflight[1:]
+	c.emit(trace.ReplyDone, float64(c.fleet.engine.Now()-issued.issuedAt))
+	if c.fleet.measuring {
+		c.fleet.collector.Replies.Inc()
+		c.fleet.collector.ResponseTime.Observe(float64(c.fleet.engine.Now() - issued.issuedAt))
+	}
+	if len(c.inflight) > 0 {
+		return // still waiting for pipelined replies
+	}
+	if c.nextReq >= len(c.session.Requests) {
+		c.finishSession()
+		return
+	}
+	// Active OFF gap before the next page of the session.
+	gap := c.session.Requests[c.nextReq].Gap
+	c.emit(trace.GapStart, gap)
+	c.disarmWatchdog() // idle inside a session is not an activity timeout
+	c.gapTimer = c.fleet.engine.Schedule(gap, func() {
+		c.gapTimer = nil
+		if c.state == stateInSession && c.conn == conn {
+			c.armWatchdog()
+			c.issueBatch()
+		}
+	})
+}
+
+// nextLife schedules the next session for closed-loop clients; open-loop
+// one-shot clients simply end.
+func (c *emuClient) nextLife() {
+	if c.oneShot {
+		return
+	}
+	c.fleet.engine.Schedule(c.session.ThinkAfter, c.startSession)
+}
+
+// finishSession closes the connection gracefully and schedules the next
+// session after the inactive OFF (think) time.
+func (c *emuClient) finishSession() {
+	c.emit(trace.SessionEnd, 0)
+	if c.fleet.measuring {
+		c.fleet.collector.Sessions.Inc()
+	}
+	c.teardown(false)
+	c.nextLife()
+}
+
+// onReset records a connection-reset error and abandons the session.
+func (c *emuClient) onReset(conn *simnet.Conn) {
+	if conn != c.conn {
+		return
+	}
+	c.emit(trace.ConnReset, 0)
+	if c.fleet.measuring {
+		c.fleet.collector.Resets.Inc()
+	}
+	c.teardown(false)
+	c.nextLife()
+}
+
+// onWatchdog records a client-timeout error and abandons the session.
+func (c *emuClient) onWatchdog() {
+	c.watchdog = nil
+	c.emit(trace.ClientTimeout, 0)
+	if c.fleet.measuring {
+		c.fleet.collector.ClientTimeouts.Inc()
+	}
+	c.teardown(true)
+	c.nextLife()
+}
+
+// teardown abandons the current connection. abort distinguishes a
+// watchdog kill (may still be connecting) from a graceful finish.
+func (c *emuClient) teardown(abort bool) {
+	c.disarmWatchdog()
+	if c.gapTimer != nil {
+		c.fleet.engine.Cancel(c.gapTimer)
+		c.gapTimer = nil
+	}
+	conn := c.conn
+	c.conn = nil
+	c.inflight = c.inflight[:0]
+	if conn != nil {
+		if c.state == stateConnecting {
+			c.fleet.net.AbortConnect(conn)
+		} else {
+			c.fleet.net.ClientClose(conn)
+		}
+	}
+	_ = abort
+	c.state = stateThinking
+}
+
+func (c *emuClient) armWatchdog() {
+	now := c.fleet.engine.Now()
+	deadline := now + sim.Time(c.fleet.opts.Timeout)
+	if c.watchdog != nil && !c.watchdog.Canceled() {
+		c.watchdog = c.fleet.engine.Reschedule(c.watchdog, deadline)
+		return
+	}
+	c.watchdog = c.fleet.engine.At(deadline, c.onWatchdog)
+}
+
+func (c *emuClient) disarmWatchdog() {
+	if c.watchdog != nil {
+		c.fleet.engine.Cancel(c.watchdog)
+		c.watchdog = nil
+	}
+}

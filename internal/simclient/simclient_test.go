@@ -1,0 +1,328 @@
+package simclient
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+	"repro/internal/simsrv"
+	"repro/internal/surge"
+	"repro/internal/trace"
+)
+
+// testbed wires a full simulated experiment: network, CPUs, one server,
+// one fleet.
+type testbed struct {
+	engine *sim.Engine
+	net    *simnet.Network
+	cpu    *simcpu.Pool
+	cfg    surge.Config
+	set    *surge.ObjectSet
+	rng    *dist.RNG
+}
+
+func newTestbed(t testing.TB, seed uint64) *testbed {
+	t.Helper()
+	e := sim.NewEngine()
+	rng := dist.NewRNG(seed)
+	cfg := surge.DefaultConfig()
+	cfg.NumObjects = 200
+	set, err := surge.BuildObjectSet(cfg, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testbed{
+		engine: e,
+		net: simnet.NewNetwork(e, simnet.Params{
+			BandwidthBps: 117e6,
+			Latency:      100e-6,
+			Backlog:      1024,
+			SynRetries:   5,
+		}),
+		cpu: simcpu.NewPool(e, simcpu.Params{Processors: 1, SwitchOverhead: 0.01}),
+		cfg: cfg,
+		set: set,
+		rng: rng,
+	}
+}
+
+func (tb *testbed) fleet(t testing.TB, opts Options) *Fleet {
+	t.Helper()
+	f, err := NewFleet(tb.engine, tb.net, tb.cfg, tb.set, tb.rng.Split(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func shortOpts(clients int) Options {
+	return Options{Clients: clients, Timeout: 10, RampOver: 2, Warmup: 5, Duration: 20}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{Clients: 0, Timeout: 10, Duration: 1},
+		{Clients: 1, Timeout: 0, Duration: 1},
+		{Clients: 1, Timeout: 10, Duration: 0},
+		{Clients: 1, Timeout: 10, Duration: 1, RampOver: -1},
+		{Clients: 1, Timeout: 10, Duration: 1, Warmup: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFleetAgainstEventDriven(t *testing.T) {
+	tb := newTestbed(t, 1)
+	srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 1)
+	srv.Start()
+	f := tb.fleet(t, shortOpts(30))
+	rep := f.Run()
+
+	if rep.RepliesPerSec <= 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.ResetErrPerSec != 0 {
+		t.Fatalf("event-driven server produced resets: %+v", rep)
+	}
+	if rep.MeanResponseSec <= 0 || rep.MeanResponseSec > 5 {
+		t.Fatalf("implausible response time: %+v", rep)
+	}
+	if rep.MeanConnectSec <= 0 || rep.MeanConnectSec > 0.01 {
+		t.Fatalf("event-driven connect time should be ~2 latencies: %+v", rep)
+	}
+	if rep.Sessions == 0 {
+		t.Fatal("no sessions completed")
+	}
+}
+
+func TestFleetAgainstThreaded(t *testing.T) {
+	tb := newTestbed(t, 2)
+	srv := simsrv.NewThreaded(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 64, 15)
+	srv.Start()
+	f := tb.fleet(t, shortOpts(30))
+	rep := f.Run()
+	if rep.RepliesPerSec <= 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.MeanResponseSec <= 0 {
+		t.Fatalf("no response times: %+v", rep)
+	}
+}
+
+func TestThreadedProducesResetsOnLongThinks(t *testing.T) {
+	tb := newTestbed(t, 3)
+	// A 2-second keep-alive guarantees many intra-session gaps overrun it.
+	srv := simsrv.NewThreaded(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 64, 2)
+	srv.Start()
+	f := tb.fleet(t, Options{Clients: 40, Timeout: 10, RampOver: 2, Warmup: 5, Duration: 60})
+	rep := f.Run()
+	if rep.ResetErrPerSec <= 0 {
+		t.Fatalf("threaded server with short keep-alive produced no resets: %+v", rep)
+	}
+}
+
+func TestPoolExhaustionCausesClientTimeouts(t *testing.T) {
+	tb := newTestbed(t, 4)
+	// 2 threads, 40 clients: most clients can connect (backlog) but
+	// never get served before the 10 s watchdog.
+	srv := simsrv.NewThreaded(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 2, 15)
+	srv.Start()
+	f := tb.fleet(t, Options{Clients: 40, Timeout: 10, RampOver: 2, Warmup: 5, Duration: 40})
+	rep := f.Run()
+	if rep.TimeoutErrPerSec <= 0 {
+		t.Fatalf("expected client timeouts when pool ≪ clients: %+v", rep)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Report {
+		tb := newTestbed(t, 42)
+		srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 2)
+		srv.Start()
+		return tb.fleet(t, shortOpts(20)).Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	tb := newTestbed(t, 5)
+	srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 1)
+	srv.Start()
+	f := tb.fleet(t, shortOpts(10))
+	rep := f.Run()
+	// Mean reply ≈ set.MeanBytes; bandwidth should roughly equal
+	// replies/s × mean bytes (within 3x, since only measured-window
+	// replies are counted and tails are heavy).
+	if rep.RepliesPerSec > 0 {
+		perReply := rep.BandwidthBps / rep.RepliesPerSec
+		if perReply < tb.set.MeanBytes()/4 || perReply > tb.set.MeanBytes()*4 {
+			t.Fatalf("bytes per reply %v, object mean %v", perReply, tb.set.MeanBytes())
+		}
+	} else {
+		t.Fatal("no replies")
+	}
+}
+
+func TestMoreClientsMoreThroughputBelowSaturation(t *testing.T) {
+	run := func(clients int) Report {
+		tb := newTestbed(t, 6)
+		srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 1)
+		srv.Start()
+		return tb.fleet(t, shortOpts(clients)).Run()
+	}
+	lo, hi := run(5), run(40)
+	if hi.RepliesPerSec <= lo.RepliesPerSec {
+		t.Fatalf("throughput did not grow with offered load: %v → %v",
+			lo.RepliesPerSec, hi.RepliesPerSec)
+	}
+}
+
+func TestStartTwicePanics(t *testing.T) {
+	tb := newTestbed(t, 7)
+	srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 1)
+	srv.Start()
+	f := tb.fleet(t, shortOpts(2))
+	f.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double Start")
+		}
+	}()
+	f.Start()
+}
+
+func TestBadOptionsRejected(t *testing.T) {
+	tb := newTestbed(t, 8)
+	_, err := NewFleet(tb.engine, tb.net, tb.cfg, tb.set, tb.rng, Options{})
+	if err == nil {
+		t.Fatal("zero options accepted")
+	}
+}
+
+func TestOpenLoopSessionRate(t *testing.T) {
+	tb := newTestbed(t, 20)
+	srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 2)
+	srv.Start()
+	f, err := NewFleet(tb.engine, tb.net, tb.cfg, tb.set, tb.rng.Split(), Options{
+		SessionRate: 20, // sessions/s, Poisson
+		Timeout:     10,
+		Warmup:      5,
+		Duration:    30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Run()
+	if rep.RepliesPerSec <= 0 {
+		t.Fatalf("open-loop run produced no replies: %+v", rep)
+	}
+	// ~20 sessions/s × ~6.5 requests ≈ 130 replies/s expected; allow a
+	// broad window for Poisson + session-length variance.
+	if rep.RepliesPerSec < 60 || rep.RepliesPerSec > 260 {
+		t.Fatalf("open-loop reply rate %v far from expectation (~130)", rep.RepliesPerSec)
+	}
+	// Sessions completed per second should be near the arrival rate.
+	perSec := float64(rep.Sessions) / 30
+	if perSec < 10 || perSec > 30 {
+		t.Fatalf("completed sessions %.1f/s, offered 20/s", perSec)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	tb := newTestbed(t, 21)
+	if _, err := NewFleet(tb.engine, tb.net, tb.cfg, tb.set, tb.rng, Options{
+		SessionRate: -1, Timeout: 10, Duration: 10,
+	}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewFleet(tb.engine, tb.net, tb.cfg, tb.set, tb.rng, Options{
+		Timeout: 10, Duration: 10,
+	}); err == nil {
+		t.Fatal("neither clients nor rate accepted")
+	}
+}
+
+func TestReportPercentilesOrdered(t *testing.T) {
+	tb := newTestbed(t, 22)
+	srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 1)
+	srv.Start()
+	rep := tb.fleet(t, shortOpts(30)).Run()
+	if !(rep.P50ResponseSec <= rep.P90ResponseSec && rep.P90ResponseSec <= rep.P99ResponseSec) {
+		t.Fatalf("percentiles not ordered: %+v", rep)
+	}
+	if rep.P50ResponseSec <= 0 {
+		t.Fatalf("missing percentiles: %+v", rep)
+	}
+}
+
+func TestTraceIntegration(t *testing.T) {
+	tb := newTestbed(t, 23)
+	srv := simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 1)
+	srv.Start()
+	f := tb.fleet(t, shortOpts(5))
+	ring := trace.NewRing(4096)
+	f.Trace = ring
+	rep := f.Run()
+	if rep.RepliesPerSec <= 0 {
+		t.Fatal("no traffic")
+	}
+	sum := ring.Summary()
+	if sum[trace.SessionStart] == 0 || sum[trace.Connected] == 0 ||
+		sum[trace.RequestSent] == 0 || sum[trace.ReplyDone] == 0 {
+		t.Fatalf("lifecycle events missing: %v", sum)
+	}
+	// Requests sent must be >= replies observed.
+	if sum[trace.RequestSent] < sum[trace.ReplyDone] {
+		t.Fatalf("more replies than requests: %v", sum)
+	}
+	// Per-client timelines must be chronologically ordered.
+	evs := ring.ByClient(1)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("client timeline out of order: %+v", evs)
+		}
+	}
+	if slow := ring.SlowestReplies(3); len(slow) == 0 {
+		t.Fatal("no slowest replies")
+	}
+}
+
+func TestFairnessOfEventDrivenService(t *testing.T) {
+	// Paper §4.2: the event-driven server shares the network "in a more
+	// fair way" among clients, while the thread-pool server serializes
+	// whole responses and starves unbound clients. Proxy metric: the
+	// spread of the response-time distribution (p90/p50) under a pool
+	// far smaller than the client population.
+	spread := func(build func(tb *testbed)) float64 {
+		tb := newTestbed(t, 31)
+		build(tb)
+		rep := tb.fleet(t, Options{Clients: 60, Timeout: 30, RampOver: 2, Warmup: 5, Duration: 40}).Run()
+		if rep.P50ResponseSec <= 0 {
+			t.Fatalf("no percentiles: %+v", rep)
+		}
+		return rep.P90ResponseSec / rep.P50ResponseSec
+	}
+	edSpread := spread(func(tb *testbed) {
+		simsrv.NewEventDriven(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 1).Start()
+	})
+	thSpread := spread(func(tb *testbed) {
+		// 4 threads for 60 clients: most clients wait for a recycled
+		// thread; the lucky bound ones are served fast.
+		simsrv.NewThreaded(tb.engine, tb.net, tb.cpu, simsrv.DefaultCosts(), 4, 15).Start()
+	})
+	if edSpread >= thSpread {
+		t.Fatalf("event-driven response spread (p90/p50=%v) not tighter than thread-pool (%v)",
+			edSpread, thSpread)
+	}
+}

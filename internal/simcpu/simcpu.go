@@ -1,0 +1,247 @@
+// Package simcpu models the SUT's processors: P identical CPUs shared by
+// all runnable threads under processor sharing (the fluid limit of a
+// preemptive round-robin scheduler), with per-job overhead that grows with
+// the number of runnable threads (run-queue scanning + context switches)
+// and with the total thread population (memory footprint). These two
+// overheads are what make Apache's 4096- and 6000-thread configurations
+// degrade in the paper while the event-driven server's 1–2 workers do not.
+//
+// The implementation uses the classic virtual-time trick for processor
+// sharing: a global virtual clock V advances at the per-job service rate
+// min(1, P/n(t)); a job arriving with service demand S completes when V
+// reaches V_arrival + S. Every arrival and departure is O(log n), so
+// simulating thousands of threads is cheap.
+package simcpu
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Params are the machine's cost knobs. All times are seconds of CPU time.
+type Params struct {
+	// Processors is the number of CPUs (1 for the paper's UP runs, 4 for
+	// the SMP runs).
+	Processors int
+	// SwitchOverhead inflates each job by this fraction per e-fold of
+	// runnable threads: factor 1 + SwitchOverhead*ln(1+runnable). It
+	// models context-switch and run-queue-scan cost.
+	SwitchOverhead float64
+	// MemThreshold is the thread count beyond which the working set no
+	// longer fits and jobs slow down (thread stacks + connection state).
+	MemThreshold int
+	// MemPenaltyPerK inflates each job by this fraction per 1000 threads
+	// beyond MemThreshold.
+	MemPenaltyPerK float64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Processors <= 0 {
+		return fmt.Errorf("simcpu: Processors must be positive, got %d", p.Processors)
+	}
+	if p.SwitchOverhead < 0 || p.MemPenaltyPerK < 0 {
+		return fmt.Errorf("simcpu: overheads must be non-negative")
+	}
+	if p.MemThreshold < 0 {
+		return fmt.Errorf("simcpu: MemThreshold must be non-negative")
+	}
+	return nil
+}
+
+// Job is one CPU burst submitted to the pool.
+type Job struct {
+	targetV float64
+	index   int
+	done    func()
+}
+
+type jobHeap []*Job
+
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return h[i].targetV < h[j].targetV }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *jobHeap) Push(x any)        { j := x.(*Job); j.index = len(*h); *h = append(*h, j) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}
+
+// Pool is the shared-CPU execution resource. Not safe for concurrent use;
+// it lives inside a single-threaded simulation.
+type Pool struct {
+	engine Engine
+	params Params
+
+	jobs       jobHeap
+	v          float64 // virtual time
+	lastUpdate sim.Time
+	completion *sim.Event
+
+	totalThreads int
+
+	busyIntegral float64 // ∫ min(n, P) dt — for utilization reporting
+	doneJobs     uint64
+	doneWork     float64 // CPU-seconds actually charged (incl. overhead)
+}
+
+// Engine is the subset of sim.Engine the pool needs; declared as an
+// interface so tests can interpose, and satisfied by *sim.Engine.
+type Engine interface {
+	Now() sim.Time
+	Schedule(delay sim.Duration, fn func()) *sim.Event
+	Cancel(ev *sim.Event)
+}
+
+var _ Engine = (*sim.Engine)(nil)
+
+// NewPool returns a CPU pool on the given engine. It panics on invalid
+// params (construction-time programming error).
+func NewPool(engine Engine, params Params) *Pool {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Pool{engine: engine, params: params, lastUpdate: engine.Now()}
+}
+
+// SetThreadCount tells the pool how many OS threads exist in the server
+// process (runnable or not); it drives the memory-pressure penalty.
+func (p *Pool) SetThreadCount(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.totalThreads = n
+}
+
+// Runnable returns the number of jobs currently consuming CPU.
+func (p *Pool) Runnable() int { return len(p.jobs) }
+
+// Utilization returns mean busy processors over [0, now] divided by P.
+func (p *Pool) Utilization() float64 {
+	now := float64(p.engine.Now())
+	if now <= 0 {
+		return 0
+	}
+	p.advance()
+	return p.busyIntegral / now / float64(p.params.Processors)
+}
+
+// CompletedJobs returns the number of finished CPU bursts.
+func (p *Pool) CompletedJobs() uint64 { return p.doneJobs }
+
+// ChargedCPUSeconds returns total CPU time consumed including overhead.
+func (p *Pool) ChargedCPUSeconds() float64 { return p.doneWork }
+
+// OverheadFactor returns the inflation applied to a job submitted when
+// `runnable` threads are runnable and the configured thread population is
+// resident. Exposed for calibration tests.
+func (p *Pool) OverheadFactor(runnable int) float64 {
+	f := 1 + p.params.SwitchOverhead*math.Log1p(float64(runnable))
+	if p.totalThreads > p.params.MemThreshold && p.params.MemThreshold > 0 {
+		f += p.params.MemPenaltyPerK * float64(p.totalThreads-p.params.MemThreshold) / 1000
+	}
+	return f
+}
+
+// rate returns the current per-job service rate.
+func (p *Pool) rate() float64 {
+	n := len(p.jobs)
+	if n == 0 {
+		return 0
+	}
+	r := float64(p.params.Processors) / float64(n)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// advance moves the virtual clock up to engine.Now().
+func (p *Pool) advance() {
+	now := p.engine.Now()
+	dt := float64(now - p.lastUpdate)
+	if dt > 0 {
+		n := len(p.jobs)
+		if n > 0 {
+			p.v += p.rate() * dt
+			busy := float64(n)
+			if busy > float64(p.params.Processors) {
+				busy = float64(p.params.Processors)
+			}
+			p.busyIntegral += busy * dt
+		}
+	}
+	p.lastUpdate = now
+}
+
+// Submit queues a CPU burst of `service` CPU-seconds (pre-overhead) and
+// invokes done when it completes. Zero-service jobs complete on the next
+// event boundary. Returns the handle (opaque; jobs cannot be canceled —
+// a CPU burst, once started, runs to completion in this model).
+func (p *Pool) Submit(service float64, done func()) *Job {
+	if service < 0 || math.IsNaN(service) {
+		panic(fmt.Sprintf("simcpu: invalid service demand %v", service))
+	}
+	if done == nil {
+		panic("simcpu: nil completion callback")
+	}
+	p.advance()
+	charged := service * p.OverheadFactor(len(p.jobs)+1)
+	j := &Job{targetV: p.v + charged, done: done}
+	p.doneWork += charged
+	heap.Push(&p.jobs, j)
+	p.rearm()
+	return j
+}
+
+// rearm schedules the completion event for the earliest-finishing job.
+func (p *Pool) rearm() {
+	if p.completion != nil {
+		p.engine.Cancel(p.completion)
+		p.completion = nil
+	}
+	if len(p.jobs) == 0 {
+		return
+	}
+	remaining := p.jobs[0].targetV - p.v
+	if remaining < 0 {
+		remaining = 0
+	}
+	dt := remaining / p.rate()
+	p.completion = p.engine.Schedule(dt, p.complete)
+}
+
+// complete pops every job whose virtual target has been reached.
+func (p *Pool) complete() {
+	p.completion = nil
+	p.advance()
+	if len(p.jobs) == 0 {
+		return
+	}
+	// The completion event always corresponds to the current head (every
+	// arrival re-arms), so the head is done even if float rounding left
+	// p.v a hair short — without this, sub-ULP remainders at large
+	// simulation times would re-arm forever without advancing the clock.
+	head := heap.Pop(&p.jobs).(*Job)
+	if head.targetV > p.v {
+		p.v = head.targetV
+	}
+	finished := []*Job{head}
+	const eps = 1e-9
+	for len(p.jobs) > 0 && p.jobs[0].targetV <= p.v+eps {
+		finished = append(finished, heap.Pop(&p.jobs).(*Job))
+	}
+	p.rearm()
+	for _, j := range finished {
+		p.doneJobs++
+		j.done()
+	}
+}

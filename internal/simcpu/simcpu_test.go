@@ -1,0 +1,286 @@
+package simcpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newPool(t testing.TB, procs int) (*sim.Engine, *Pool) {
+	t.Helper()
+	e := sim.NewEngine()
+	p := NewPool(e, Params{Processors: procs})
+	return e, p
+}
+
+func TestSingleJobRunsAtFullSpeed(t *testing.T) {
+	e, p := newPool(t, 1)
+	var doneAt sim.Time = -1
+	p.Submit(2.0, func() { doneAt = e.Now() })
+	e.Run()
+	if math.Abs(float64(doneAt)-2.0) > 1e-9 {
+		t.Fatalf("job finished at %v, want 2.0", doneAt)
+	}
+}
+
+func TestTwoJobsShareOneCPU(t *testing.T) {
+	e, p := newPool(t, 1)
+	var first, second sim.Time = -1, -1
+	p.Submit(1.0, func() { first = e.Now() })
+	p.Submit(1.0, func() { second = e.Now() })
+	e.Run()
+	// Equal demands sharing one CPU both finish at t=2.
+	if math.Abs(float64(first)-2.0) > 1e-9 || math.Abs(float64(second)-2.0) > 1e-9 {
+		t.Fatalf("finish times %v, %v; want 2.0, 2.0", first, second)
+	}
+}
+
+func TestUnequalJobsProcessorSharing(t *testing.T) {
+	e, p := newPool(t, 1)
+	var short, long sim.Time = -1, -1
+	p.Submit(1.0, func() { short = e.Now() })
+	p.Submit(3.0, func() { long = e.Now() })
+	e.Run()
+	// Short job: shares until it has 1.0 of service at t=2. Long job then
+	// runs alone: has 1.0 done at t=2, needs 2 more → t=4.
+	if math.Abs(float64(short)-2.0) > 1e-9 {
+		t.Errorf("short finished at %v, want 2.0", short)
+	}
+	if math.Abs(float64(long)-4.0) > 1e-9 {
+		t.Errorf("long finished at %v, want 4.0", long)
+	}
+}
+
+func TestMultipleCPUsRunJobsInParallel(t *testing.T) {
+	e, p := newPool(t, 4)
+	times := make([]sim.Time, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		p.Submit(1.0, func() { times[i] = e.Now() })
+	}
+	e.Run()
+	for i, ft := range times {
+		if math.Abs(float64(ft)-1.0) > 1e-9 {
+			t.Fatalf("job %d finished at %v, want 1.0 (4 CPUs, 4 jobs)", i, ft)
+		}
+	}
+}
+
+func TestFiveJobsOnFourCPUs(t *testing.T) {
+	e, p := newPool(t, 4)
+	var last sim.Time
+	for i := 0; i < 5; i++ {
+		p.Submit(1.0, func() { last = e.Now() })
+	}
+	e.Run()
+	// 5 CPU-seconds of demand on 4 CPUs, perfectly shared: all at t=1.25.
+	if math.Abs(float64(last)-1.25) > 1e-9 {
+		t.Fatalf("last finished at %v, want 1.25", last)
+	}
+}
+
+func TestLateArrival(t *testing.T) {
+	e, p := newPool(t, 1)
+	var a, b sim.Time = -1, -1
+	p.Submit(2.0, func() { a = e.Now() })
+	e.Schedule(1.0, func() {
+		p.Submit(0.5, func() { b = e.Now() })
+	})
+	e.Run()
+	// Job A runs alone for 1s (1.0 done). Then shares: each gets 0.5/s.
+	// B needs 0.5 → finishes at t=2. A has 1.5 done at t=2, runs alone,
+	// finishes at t=2.5.
+	if math.Abs(float64(b)-2.0) > 1e-9 {
+		t.Errorf("B finished at %v, want 2.0", b)
+	}
+	if math.Abs(float64(a)-2.5) > 1e-9 {
+		t.Errorf("A finished at %v, want 2.5", a)
+	}
+}
+
+func TestZeroServiceJobCompletes(t *testing.T) {
+	e, p := newPool(t, 1)
+	done := false
+	p.Submit(0, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("zero-service job never completed")
+	}
+}
+
+func TestThroughputConservation(t *testing.T) {
+	// Work conservation: total demand D on P processors with jobs always
+	// available finishes in exactly D/P.
+	e, p := newPool(t, 4)
+	const jobs = 1000
+	const each = 0.01
+	finished := 0
+	for i := 0; i < jobs; i++ {
+		p.Submit(each, func() { finished++ })
+	}
+	e.Run()
+	want := jobs * each / 4
+	if math.Abs(float64(e.Now())-want) > 1e-6 {
+		t.Fatalf("all work done at %v, want %v", e.Now(), want)
+	}
+	if finished != jobs {
+		t.Fatalf("finished %d, want %d", finished, jobs)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e, p := newPool(t, 2)
+	p.Submit(1.0, func() {}) // one job on two CPUs: 50% utilization
+	e.Run()
+	if u := p.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestOverheadFactorGrowsWithRunnable(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewPool(e, Params{Processors: 1, SwitchOverhead: 0.05})
+	f1 := p.OverheadFactor(1)
+	f100 := p.OverheadFactor(100)
+	f5000 := p.OverheadFactor(5000)
+	if !(f1 < f100 && f100 < f5000) {
+		t.Fatalf("overhead not increasing: %v %v %v", f1, f100, f5000)
+	}
+	if f1 < 1 {
+		t.Fatalf("overhead factor below 1: %v", f1)
+	}
+}
+
+func TestMemoryPenaltyAppliesBeyondThreshold(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewPool(e, Params{Processors: 1, MemThreshold: 1000, MemPenaltyPerK: 0.5})
+	p.SetThreadCount(500)
+	below := p.OverheadFactor(1)
+	p.SetThreadCount(3000)
+	above := p.OverheadFactor(1)
+	if below != 1 {
+		t.Errorf("penalty below threshold: factor %v", below)
+	}
+	if math.Abs(above-(1+0.5*2)) > 1e-9 {
+		t.Errorf("penalty above threshold = %v, want 2.0", above)
+	}
+}
+
+func TestOverheadSlowsCompletion(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewPool(e, Params{Processors: 1, SwitchOverhead: 0.1})
+	var doneAt sim.Time
+	p.Submit(1.0, func() { doneAt = e.Now() })
+	e.Run()
+	want := 1 * (1 + 0.1*math.Log1p(1))
+	if math.Abs(float64(doneAt)-want) > 1e-9 {
+		t.Fatalf("job with overhead finished at %v, want %v", doneAt, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Processors: 0},
+		{Processors: 1, SwitchOverhead: -1},
+		{Processors: 1, MemPenaltyPerK: -1},
+		{Processors: 1, MemThreshold: -5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+	if err := (Params{Processors: 4}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestSubmitPanics(t *testing.T) {
+	e, p := newPool(t, 1)
+	_ = e
+	for _, fn := range []func(){
+		func() { p.Submit(-1, func() {}) },
+		func() { p.Submit(math.NaN(), func() {}) },
+		func() { p.Submit(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCountersAdvance(t *testing.T) {
+	e, p := newPool(t, 1)
+	for i := 0; i < 10; i++ {
+		p.Submit(0.1, func() {})
+	}
+	e.Run()
+	if p.CompletedJobs() != 10 {
+		t.Fatalf("completed = %d, want 10", p.CompletedJobs())
+	}
+	if math.Abs(p.ChargedCPUSeconds()-1.0) > 1e-9 {
+		t.Fatalf("charged = %v, want 1.0", p.ChargedCPUSeconds())
+	}
+}
+
+// Property: with any batch of job demands on one CPU and no overhead, the
+// makespan equals the sum of demands (work conservation) and every job's
+// completion time is at least its own demand.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 200 {
+			return true
+		}
+		e, p := sim.NewEngine(), (*Pool)(nil)
+		p = NewPool(e, Params{Processors: 1})
+		total := 0.0
+		type rec struct {
+			demand float64
+			at     sim.Time
+		}
+		recs := make([]*rec, len(raw))
+		for i, r := range raw {
+			d := float64(r%1000)/1000 + 0.001
+			total += d
+			rc := &rec{demand: d}
+			recs[i] = rc
+			p.Submit(d, func() { rc.at = e.Now() })
+		}
+		e.Run()
+		if math.Abs(float64(e.Now())-total) > 1e-6*float64(len(raw)) {
+			return false
+		}
+		for _, rc := range recs {
+			if float64(rc.at) < rc.demand-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSubmitComplete(b *testing.B) {
+	e := sim.NewEngine()
+	p := NewPool(e, Params{Processors: 4, SwitchOverhead: 0.02})
+	n := 0
+	var feed func()
+	feed = func() {
+		n++
+		if n < b.N {
+			p.Submit(0.001, feed)
+		}
+	}
+	p.Submit(0.001, feed)
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,581 @@
+// Package simnet models the testbed network: a duplex Ethernet link of
+// finite bandwidth between the client machines and the SUT, TCP-like
+// connection establishment with a finite accept backlog and SYN
+// retransmission, and reset-on-close semantics.
+//
+// Fidelity targets (what the paper's figures depend on):
+//
+//   - finite link bandwidth with fair sharing between concurrent
+//     transfers (the 100/200/1000 Mbit/s scenarios of figures 5–6);
+//   - connection time = SYN → SYN-ACK latency, which jumps to seconds
+//     when the accept backlog overflows and the client must retransmit
+//     its SYN after exponential backoff (figure 4);
+//   - a server close of an idle kept-alive connection surfaces at the
+//     client as a connection reset when it next writes (figure 3b).
+//
+// Like the CPU model, the link uses virtual-time processor sharing, so
+// cost per transfer is O(log n) regardless of how many transfers overlap.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describes one network path between the load generators and the
+// SUT.
+type Params struct {
+	// BandwidthBps is the usable link bandwidth in bytes per second for
+	// each direction (duplex). E.g. 100 Mbit/s ≈ 11.75e6 effective B/s.
+	BandwidthBps float64
+	// Latency is the one-way propagation + stack delay in seconds.
+	Latency float64
+	// Backlog is the server's accept queue capacity (SOMAXCONN).
+	Backlog int
+	// SynRetries is how many times a client retransmits a dropped SYN
+	// before giving up (Linux default 5; clients usually abort earlier).
+	SynRetries int
+}
+
+// DefaultParams returns a gigabit, LAN-latency path with the Linux
+// defaults the paper's testbed would have used.
+func DefaultParams() Params {
+	return Params{
+		BandwidthBps: 117e6, // ~1 Gbit/s of goodput
+		Latency:      100e-6,
+		Backlog:      1024,
+		SynRetries:   5,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.BandwidthBps <= 0:
+		return fmt.Errorf("simnet: BandwidthBps must be positive, got %v", p.BandwidthBps)
+	case p.Latency < 0:
+		return fmt.Errorf("simnet: negative latency %v", p.Latency)
+	case p.Backlog <= 0:
+		return fmt.Errorf("simnet: Backlog must be positive, got %d", p.Backlog)
+	case p.SynRetries < 0:
+		return fmt.Errorf("simnet: negative SynRetries %d", p.SynRetries)
+	}
+	return nil
+}
+
+// transfer is one in-flight message on a link.
+type transfer struct {
+	targetV float64
+	index   int
+	deliver func()
+}
+
+type transferHeap []*transfer
+
+func (h transferHeap) Len() int           { return len(h) }
+func (h transferHeap) Less(i, j int) bool { return h[i].targetV < h[j].targetV }
+func (h transferHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *transferHeap) Push(x any) {
+	tr := x.(*transfer)
+	tr.index = len(*h)
+	*h = append(*h, tr)
+}
+func (h *transferHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tr := old[n-1]
+	old[n-1] = nil
+	tr.index = -1
+	*h = old[:n-1]
+	return tr
+}
+
+// Link is one direction of the path: a shared channel of fixed bandwidth.
+type Link struct {
+	engine     *sim.Engine
+	bandwidth  float64
+	latency    float64
+	active     transferHeap
+	v          float64 // virtual bytes granted to every active transfer
+	lastUpdate sim.Time
+	completion *sim.Event
+	carried    int64
+}
+
+// NewLink returns a link with the given bandwidth (bytes/s) and one-way
+// latency (s).
+func NewLink(engine *sim.Engine, bandwidthBps, latency float64) *Link {
+	if bandwidthBps <= 0 || latency < 0 {
+		panic(fmt.Sprintf("simnet: invalid link (%v Bps, %v s)", bandwidthBps, latency))
+	}
+	return &Link{engine: engine, bandwidth: bandwidthBps, latency: latency, lastUpdate: engine.Now()}
+}
+
+// BytesCarried returns the total payload the link has delivered.
+func (l *Link) BytesCarried() int64 { return l.carried }
+
+// Utilization returns mean occupancy over [0, now]: bytes carried divided
+// by capacity×time.
+func (l *Link) Utilization() float64 {
+	now := float64(l.engine.Now())
+	if now <= 0 {
+		return 0
+	}
+	return float64(l.carried) / (l.bandwidth * now)
+}
+
+// InFlight returns the number of concurrent transfers.
+func (l *Link) InFlight() int { return len(l.active) }
+
+func (l *Link) rate() float64 {
+	n := len(l.active)
+	if n == 0 {
+		return 0
+	}
+	return l.bandwidth / float64(n)
+}
+
+func (l *Link) advance() {
+	now := l.engine.Now()
+	dt := float64(now - l.lastUpdate)
+	if dt > 0 && len(l.active) > 0 {
+		l.v += l.rate() * dt
+	}
+	l.lastUpdate = now
+}
+
+// Send enqueues a message of the given size; deliver fires once the last
+// byte has crossed the link plus propagation latency. Zero-byte sends are
+// delivered after latency only.
+func (l *Link) Send(bytes int64, deliver func()) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simnet: negative transfer size %d", bytes))
+	}
+	if deliver == nil {
+		panic("simnet: nil deliver callback")
+	}
+	l.carried += bytes
+	if bytes == 0 {
+		l.engine.Schedule(l.latency, deliver)
+		return
+	}
+	l.advance()
+	tr := &transfer{targetV: l.v + float64(bytes), deliver: deliver}
+	heap.Push(&l.active, tr)
+	l.rearm()
+}
+
+func (l *Link) rearm() {
+	if l.completion != nil {
+		l.engine.Cancel(l.completion)
+		l.completion = nil
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	remaining := l.active[0].targetV - l.v
+	if remaining < 0 {
+		remaining = 0
+	}
+	dt := remaining / l.rate()
+	l.completion = l.engine.Schedule(dt, l.complete)
+}
+
+func (l *Link) complete() {
+	l.completion = nil
+	l.advance()
+	if len(l.active) == 0 {
+		return
+	}
+	// The completion event always corresponds to the current head (every
+	// arrival re-arms), so the head is done even if float rounding left
+	// l.v a hair short — without this, sub-ULP remainders at large
+	// simulation times would re-arm forever without advancing the clock.
+	head := heap.Pop(&l.active).(*transfer)
+	if head.targetV > l.v {
+		l.v = head.targetV
+	}
+	done := []*transfer{head}
+	const eps = 1e-6 // a millionth of a byte
+	for len(l.active) > 0 && l.active[0].targetV <= l.v+eps {
+		done = append(done, heap.Pop(&l.active).(*transfer))
+	}
+	l.rearm()
+	for _, tr := range done {
+		// Propagation delay applies after the last byte is on the wire.
+		l.engine.Schedule(l.latency, tr.deliver)
+	}
+}
+
+// ConnState is the lifecycle of a simulated connection.
+type ConnState int
+
+// Connection lifecycle states.
+const (
+	StateConnecting ConnState = iota
+	StateEstablished
+	StateClosedByClient
+	StateClosedByServer // surfaces as RST on the client's next write
+	StateFailed         // handshake never completed
+)
+
+// String implements fmt.Stringer.
+func (s ConnState) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateEstablished:
+		return "established"
+	case StateClosedByClient:
+		return "closed-by-client"
+	case StateClosedByServer:
+		return "closed-by-server"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// queuedSend is one message waiting for the connection's stream to drain.
+type queuedSend struct {
+	bytes     int64
+	meta      any
+	delivered func()
+}
+
+// Conn is a simulated TCP connection between one emulated client and the
+// SUT. Message payloads are opaque to the network; the meta values let
+// the endpoints pass parsed requests/responses without re-encoding.
+//
+// Each direction is a FIFO byte stream: at most one message per direction
+// is on the link at a time and later messages queue behind it, so
+// same-connection messages can never be reordered (TCP semantics).
+type Conn struct {
+	ID    int
+	net   *Network
+	state ConnState
+
+	// Client-side callbacks (set before Connect).
+	OnConnected  func(connectDuration float64)
+	OnClientRecv func(bytes int64, meta any)
+	OnReset      func()
+
+	// Server-side callbacks. Set them via Network.AttachServer so that
+	// bytes that arrived before the server accepted (which a real kernel
+	// buffers) are replayed.
+	OnServerRecv   func(bytes int64, meta any)
+	OnClientClosed func() // FIN from the client (read returns EOF)
+
+	connectStart sim.Time
+	synAttempt   int
+	synTimer     *sim.Event
+	aborted      bool
+
+	// Stream serialization state.
+	upBusy   bool
+	upQ      []queuedSend
+	downBusy bool
+	downQ    []queuedSend
+
+	// Kernel receive buffering for data that beats accept().
+	serverInbox       []queuedSend
+	peerClosedPending bool
+}
+
+// State returns the connection's lifecycle state.
+func (c *Conn) State() ConnState { return c.state }
+
+// Network binds the two directional links and the listener together.
+type Network struct {
+	Engine *sim.Engine
+	Up     *Link // client -> server (requests)
+	Down   *Link // server -> client (responses)
+	params Params
+
+	// Listener state.
+	acceptQueue []*Conn
+	onPending   func() // server notification: backlog non-empty
+
+	// OnSyn, when set, is invoked for every SYN that reaches the SUT,
+	// whether it is queued or dropped. Server models use it to charge
+	// the kernel CPU cost of connection handling — the paper attributes
+	// httpd2's decline at extreme load partly to "the overhead of
+	// rejecting a huge number of connections per second".
+	OnSyn func(dropped bool)
+
+	nextID int
+
+	// Counters for reporting.
+	SynDrops    int64
+	Established int64
+	Resets      int64
+}
+
+// NewNetwork builds a network path. It panics on invalid params.
+func NewNetwork(engine *sim.Engine, params Params) *Network {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		Engine: engine,
+		Up:     NewLink(engine, params.BandwidthBps, params.Latency),
+		Down:   NewLink(engine, params.BandwidthBps, params.Latency),
+		params: params,
+	}
+}
+
+// Listen registers the server's "backlog non-empty" notification. The
+// server must then drain with Accept.
+func (n *Network) Listen(onPending func()) { n.onPending = onPending }
+
+// Backlog returns the number of connections waiting to be accepted.
+func (n *Network) Backlog() int { return len(n.acceptQueue) }
+
+// Accept dequeues one established-but-unaccepted connection, or nil.
+func (n *Network) Accept() *Conn {
+	if len(n.acceptQueue) == 0 {
+		return nil
+	}
+	c := n.acceptQueue[0]
+	n.acceptQueue[0] = nil
+	n.acceptQueue = n.acceptQueue[1:]
+	return c
+}
+
+// synBackoff returns the delay before SYN retransmission attempt i
+// (Linux-style exponential backoff: 3s, 6s, 12s, ...).
+func synBackoff(attempt int) float64 {
+	d := 3.0
+	for i := 0; i < attempt; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// Connect starts the three-way handshake for a new connection. The
+// returned Conn is in StateConnecting; OnConnected fires with the
+// measured connect duration when the handshake completes, and the
+// connection is placed in the accept backlog for the server.
+//
+// If the backlog is full the SYN is dropped and retransmitted with
+// exponential backoff, exactly the mechanism that makes httperf's
+// connection times jump from microseconds to seconds when a threaded
+// server stops accepting (paper §4.2, figure 4).
+func (n *Network) Connect(c *Conn) {
+	if c.OnConnected == nil {
+		panic("simnet: Connect without OnConnected")
+	}
+	n.nextID++
+	c.ID = n.nextID
+	c.net = n
+	c.state = StateConnecting
+	c.connectStart = n.Engine.Now()
+	c.synAttempt = 0
+	n.sendSyn(c)
+}
+
+func (n *Network) sendSyn(c *Conn) {
+	// SYN packets are tiny; model them as latency-only.
+	n.Engine.Schedule(n.params.Latency, func() {
+		if c.aborted {
+			return
+		}
+		dropped := len(n.acceptQueue) >= n.params.Backlog
+		if n.OnSyn != nil {
+			n.OnSyn(dropped)
+		}
+		if dropped {
+			// Backlog overflow: kernel drops the SYN silently.
+			n.SynDrops++
+			c.synAttempt++
+			if c.synAttempt > n.params.SynRetries {
+				c.state = StateFailed
+				return
+			}
+			c.synTimer = n.Engine.Schedule(synBackoff(c.synAttempt-1), func() { n.sendSyn(c) })
+			return
+		}
+		// SYN-ACK: connection established at the client one latency later;
+		// the connection sits in the accept queue until the server takes it.
+		n.acceptQueue = append(n.acceptQueue, c)
+		n.Established++
+		n.Engine.Schedule(n.params.Latency, func() {
+			if c.aborted {
+				return
+			}
+			c.state = StateEstablished
+			c.OnConnected(float64(n.Engine.Now() - c.connectStart))
+		})
+		if n.onPending != nil {
+			n.onPending()
+		}
+	})
+}
+
+// AbortConnect cancels an in-progress handshake (client gave up — a
+// client-timeout error in httperf terms).
+func (n *Network) AbortConnect(c *Conn) {
+	c.aborted = true
+	if c.synTimer != nil {
+		n.Engine.Cancel(c.synTimer)
+		c.synTimer = nil
+	}
+	if c.state == StateConnecting {
+		c.state = StateFailed
+	}
+}
+
+// AttachServer installs the server-side handlers on an accepted
+// connection and replays anything the kernel buffered while the
+// connection sat in the accept queue: data that already arrived, and a
+// FIN if the client has already gone away.
+func (n *Network) AttachServer(c *Conn, onRecv func(bytes int64, meta any), onClosed func()) {
+	c.OnServerRecv = onRecv
+	c.OnClientClosed = onClosed
+	for len(c.serverInbox) > 0 {
+		m := c.serverInbox[0]
+		c.serverInbox[0] = queuedSend{}
+		c.serverInbox = c.serverInbox[1:]
+		if c.OnServerRecv != nil {
+			c.OnServerRecv(m.bytes, m.meta)
+		}
+	}
+	if c.peerClosedPending {
+		c.peerClosedPending = false
+		if c.OnClientClosed != nil {
+			c.OnClientClosed()
+		}
+	}
+}
+
+// ClientSend transmits request bytes to the server. If the server already
+// closed its end, the client receives a reset instead (after one
+// latency) — the paper's "connection reset" error class.
+func (n *Network) ClientSend(c *Conn, bytes int64, meta any) {
+	switch c.state {
+	case StateClosedByServer:
+		n.Resets++
+		n.Engine.Schedule(n.params.Latency, func() {
+			if c.OnReset != nil {
+				c.OnReset()
+			}
+		})
+	case StateEstablished:
+		q := queuedSend{bytes: bytes, meta: meta}
+		if c.upBusy {
+			c.upQ = append(c.upQ, q)
+			return
+		}
+		c.upBusy = true
+		n.pumpUp(c, q)
+	default:
+		// Sending on a failed/closed-by-client connection is a client
+		// bug in the model; drop silently to match a discarded segment.
+	}
+}
+
+// pumpUp puts one uplink message on the wire and chains the next.
+func (n *Network) pumpUp(c *Conn, q queuedSend) {
+	n.Up.Send(q.bytes, func() {
+		// The server may have closed while the request was in flight.
+		switch {
+		case c.state == StateClosedByServer:
+			n.Resets++
+			if c.OnReset != nil {
+				c.OnReset()
+			}
+		case c.state == StateEstablished && c.OnServerRecv != nil:
+			c.OnServerRecv(q.bytes, q.meta)
+		case c.state == StateEstablished:
+			// Not accepted yet: the kernel buffers the data.
+			c.serverInbox = append(c.serverInbox, q)
+		}
+		if len(c.upQ) > 0 {
+			next := c.upQ[0]
+			c.upQ[0] = queuedSend{}
+			c.upQ = c.upQ[1:]
+			n.pumpUp(c, next)
+			return
+		}
+		c.upBusy = false
+	})
+}
+
+// ServerSend transmits response bytes to the client.
+func (n *Network) ServerSend(c *Conn, bytes int64, meta any) {
+	n.ServerSendCB(c, bytes, meta, nil)
+}
+
+// ServerSendCB is ServerSend with a drain notification: delivered fires
+// (if non-nil) when the last byte leaves the send buffer, i.e. when a
+// blocking write would return or a selector would report the socket
+// writable again. It fires even if the client has since closed, because
+// the kernel drains the buffer regardless.
+func (n *Network) ServerSendCB(c *Conn, bytes int64, meta any, delivered func()) {
+	if c.state != StateEstablished && c.state != StateClosedByClient {
+		if delivered != nil {
+			// Write to a dead connection completes immediately (EPIPE).
+			n.Engine.Schedule(0, delivered)
+		}
+		return
+	}
+	q := queuedSend{bytes: bytes, meta: meta, delivered: delivered}
+	if c.downBusy {
+		c.downQ = append(c.downQ, q)
+		return
+	}
+	c.downBusy = true
+	n.pumpDown(c, q)
+}
+
+// pumpDown puts one downlink message on the wire and chains the next.
+func (n *Network) pumpDown(c *Conn, q queuedSend) {
+	n.Down.Send(q.bytes, func() {
+		if c.state == StateEstablished && c.OnClientRecv != nil {
+			c.OnClientRecv(q.bytes, q.meta)
+		}
+		if q.delivered != nil {
+			q.delivered()
+		}
+		if len(c.downQ) > 0 {
+			next := c.downQ[0]
+			c.downQ[0] = queuedSend{}
+			c.downQ = c.downQ[1:]
+			n.pumpDown(c, next)
+			return
+		}
+		c.downBusy = false
+	})
+}
+
+// ServerClose closes the server's end. The client will observe a reset on
+// its next write (keep-alive timeout behaviour of a threaded server).
+func (n *Network) ServerClose(c *Conn) {
+	if c.state == StateEstablished || c.state == StateConnecting {
+		c.state = StateClosedByServer
+	}
+}
+
+// ClientClose closes the client's end gracefully. The server observes the
+// FIN one latency later (its next read returns EOF).
+func (n *Network) ClientClose(c *Conn) {
+	if c.state == StateEstablished {
+		c.state = StateClosedByClient
+		n.Engine.Schedule(n.params.Latency, func() {
+			if c.OnClientClosed != nil {
+				c.OnClientClosed()
+			} else {
+				// Not accepted yet: deliver the EOF when the server
+				// attaches (AttachServer replays it).
+				c.peerClosedPending = true
+			}
+		})
+	}
+}

@@ -1,0 +1,413 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newNet(t testing.TB, p Params) (*sim.Engine, *Network) {
+	t.Helper()
+	e := sim.NewEngine()
+	return e, NewNetwork(e, p)
+}
+
+func TestLinkSingleTransferTime(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 1000, 0.01) // 1000 B/s, 10ms latency
+	var at sim.Time = -1
+	l.Send(500, func() { at = e.Now() })
+	e.Run()
+	want := 500.0/1000 + 0.01
+	if math.Abs(float64(at)-want) > 1e-9 {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if l.BytesCarried() != 500 {
+		t.Fatalf("carried = %d", l.BytesCarried())
+	}
+}
+
+func TestLinkFairSharing(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 1000, 0)
+	var a, b sim.Time = -1, -1
+	l.Send(500, func() { a = e.Now() })
+	l.Send(500, func() { b = e.Now() })
+	e.Run()
+	// Two equal transfers sharing 1000 B/s finish together at t=1.
+	if math.Abs(float64(a)-1) > 1e-6 || math.Abs(float64(b)-1) > 1e-6 {
+		t.Fatalf("finish times %v %v, want 1 1", a, b)
+	}
+}
+
+func TestLinkShortTransferPreemptsShare(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 1000, 0)
+	var short, long sim.Time = -1, -1
+	l.Send(1500, func() { long = e.Now() })
+	e.Schedule(0.5, func() {
+		l.Send(250, func() { short = e.Now() })
+	})
+	e.Run()
+	// Long alone 0.5s (500B done). Then share 500/s each; short needs
+	// 0.5s → done at t=1. Long has 750B at t=1, finishes at 1.75.
+	if math.Abs(float64(short)-1.0) > 1e-6 {
+		t.Errorf("short done at %v, want 1.0", short)
+	}
+	if math.Abs(float64(long)-1.75) > 1e-6 {
+		t.Errorf("long done at %v, want 1.75", long)
+	}
+}
+
+func TestLinkZeroByteIsLatencyOnly(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 1000, 0.02)
+	var at sim.Time = -1
+	l.Send(0, func() { at = e.Now() })
+	e.Run()
+	if math.Abs(float64(at)-0.02) > 1e-9 {
+		t.Fatalf("zero-byte delivered at %v, want 0.02", at)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 1000, 0)
+	l.Send(500, func() {})
+	e.Run()
+	// 500 bytes in 0.5s on a 1000 B/s link → utilization 1.0 over [0,0.5].
+	if u := l.Utilization(); math.Abs(u-1.0) > 1e-6 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestLinkPanicsOnBadArgs(t *testing.T) {
+	e := sim.NewEngine()
+	for _, fn := range []func(){
+		func() { NewLink(e, 0, 0) },
+		func() { NewLink(e, 100, -1) },
+		func() { NewLink(e, 100, 0).Send(-1, func() {}) },
+		func() { NewLink(e, 100, 0).Send(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConnectHandshake(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.001, Backlog: 4, SynRetries: 3})
+	var dur float64 = -1
+	c := &Conn{OnConnected: func(d float64) { dur = d }}
+	n.Connect(c)
+	e.Run()
+	// SYN (1 latency) + SYN-ACK (1 latency) = 2ms.
+	if math.Abs(dur-0.002) > 1e-9 {
+		t.Fatalf("connect duration = %v, want 0.002", dur)
+	}
+	if c.State() != StateEstablished {
+		t.Fatalf("state = %v", c.State())
+	}
+	if n.Backlog() != 1 {
+		t.Fatalf("backlog = %d, want 1", n.Backlog())
+	}
+	if got := n.Accept(); got != c {
+		t.Fatal("Accept returned wrong conn")
+	}
+	if n.Accept() != nil {
+		t.Fatal("Accept on empty backlog should return nil")
+	}
+}
+
+func TestBacklogOverflowForcesSynRetransmit(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.001, Backlog: 1, SynRetries: 3})
+	var first, second float64 = -1, -1
+	c1 := &Conn{OnConnected: func(d float64) { first = d }}
+	c2 := &Conn{OnConnected: func(d float64) { second = d }}
+	n.Connect(c1)
+	n.Connect(c2) // backlog full; SYN dropped, retried after 3s
+	// Server drains the backlog at t=1s, freeing a slot for the retry.
+	e.Schedule(1, func() { n.Accept() })
+	e.Run()
+	if first > 0.01 {
+		t.Fatalf("first connect took %v, want fast", first)
+	}
+	if second < 3.0 {
+		t.Fatalf("second connect took %v, want >= 3s (one SYN backoff)", second)
+	}
+	if n.SynDrops != 1 {
+		t.Fatalf("SynDrops = %d, want 1", n.SynDrops)
+	}
+}
+
+func TestConnectGivesUpAfterRetries(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.001, Backlog: 1, SynRetries: 1})
+	ok1 := &Conn{OnConnected: func(float64) {}}
+	n.Connect(ok1) // occupies the only backlog slot
+	connected := false
+	c := &Conn{OnConnected: func(float64) { connected = true }}
+	n.Connect(c)
+	e.Run()
+	if connected {
+		t.Fatal("connection should have failed")
+	}
+	if c.State() != StateFailed {
+		t.Fatalf("state = %v, want failed", c.State())
+	}
+}
+
+func TestAbortConnect(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.001, Backlog: 1, SynRetries: 5})
+	blocker := &Conn{OnConnected: func(float64) {}}
+	n.Connect(blocker)
+	connected := false
+	c := &Conn{OnConnected: func(float64) { connected = true }}
+	n.Connect(c)
+	e.Schedule(1, func() { n.AbortConnect(c) })
+	e.Run()
+	if connected {
+		t.Fatal("aborted connection still connected")
+	}
+	if c.State() != StateFailed {
+		t.Fatalf("state = %v, want failed", c.State())
+	}
+}
+
+func establish(t *testing.T, e *sim.Engine, n *Network) *Conn {
+	t.Helper()
+	c := &Conn{OnConnected: func(float64) {}}
+	n.Connect(c)
+	e.Run()
+	if got := n.Accept(); got != c {
+		t.Fatal("failed to establish")
+	}
+	return c
+}
+
+func TestRequestResponseRoundTrip(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.0001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	var gotReq, gotResp any
+	c.OnServerRecv = func(b int64, meta any) {
+		gotReq = meta
+		n.ServerSend(c, 1000, "response")
+	}
+	c.OnClientRecv = func(b int64, meta any) { gotResp = meta }
+	n.ClientSend(c, 200, "request")
+	e.Run()
+	if gotReq != "request" || gotResp != "response" {
+		t.Fatalf("round trip failed: req=%v resp=%v", gotReq, gotResp)
+	}
+	if n.Up.BytesCarried() != 200 || n.Down.BytesCarried() != 1000 {
+		t.Fatalf("carried up=%d down=%d", n.Up.BytesCarried(), n.Down.BytesCarried())
+	}
+}
+
+func TestServerCloseCausesResetOnNextWrite(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.0001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	reset := false
+	c.OnReset = func() { reset = true }
+	n.ServerClose(c)
+	n.ClientSend(c, 100, nil)
+	e.Run()
+	if !reset {
+		t.Fatal("expected reset after writing to server-closed conn")
+	}
+	if n.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", n.Resets)
+	}
+}
+
+func TestServerCloseWhileRequestInFlight(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1000, Latency: 0.0001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	reset, served := false, false
+	c.OnReset = func() { reset = true }
+	c.OnServerRecv = func(int64, any) { served = true }
+	n.ClientSend(c, 1000, nil) // takes ~1s on the wire
+	e.Schedule(0.5, func() { n.ServerClose(c) })
+	e.Run()
+	if served {
+		t.Fatal("request served after server close")
+	}
+	if !reset {
+		t.Fatal("expected reset for in-flight request")
+	}
+}
+
+func TestClientCloseSilencesDelivery(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.0001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	got := false
+	c.OnClientRecv = func(int64, any) { got = true }
+	n.ServerSend(c, 100, nil)
+	n.ClientClose(c)
+	e.Run()
+	if got {
+		t.Fatal("delivery to a closed client")
+	}
+}
+
+func TestSendOnServerClosedConnDoesNotReachServer(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.0001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	served := false
+	c.OnServerRecv = func(int64, any) { served = true }
+	c.OnReset = func() {}
+	n.ServerClose(c)
+	n.ClientSend(c, 100, nil)
+	e.Run()
+	if served {
+		t.Fatal("server received data after closing")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{BandwidthBps: 0, Latency: 0, Backlog: 1},
+		{BandwidthBps: 1, Latency: -1, Backlog: 1},
+		{BandwidthBps: 1, Latency: 0, Backlog: 0},
+		{BandwidthBps: 1, Latency: 0, Backlog: 1, SynRetries: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+}
+
+func TestSynBackoffDoubles(t *testing.T) {
+	if synBackoff(0) != 3 || synBackoff(1) != 6 || synBackoff(2) != 12 {
+		t.Fatalf("backoffs: %v %v %v", synBackoff(0), synBackoff(1), synBackoff(2))
+	}
+}
+
+func TestConnStateString(t *testing.T) {
+	states := []ConnState{StateConnecting, StateEstablished, StateClosedByClient, StateClosedByServer, StateFailed, ConnState(99)}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+}
+
+// Property: on an uncontended link, delivery time is exactly
+// bytes/bandwidth + latency for any size.
+func TestQuickLinkTiming(t *testing.T) {
+	f := func(size uint32) bool {
+		e := sim.NewEngine()
+		l := NewLink(e, 1e6, 0.005)
+		b := int64(size % 10000000)
+		var at sim.Time = -1
+		l.Send(b, func() { at = e.Now() })
+		e.Run()
+		want := float64(b)/1e6 + 0.005
+		return math.Abs(float64(at)-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total bytes carried equals the sum of all sends regardless of
+// overlap pattern.
+func TestQuickBytesConserved(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		e := sim.NewEngine()
+		l := NewLink(e, 1000, 0.001)
+		var want int64
+		for i, s := range sizes {
+			b := int64(s)
+			want += b
+			delay := float64(i%7) / 100
+			e.Schedule(delay, func() { l.Send(b, func() {}) })
+		}
+		e.Run()
+		return l.BytesCarried() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLinkSend(b *testing.B) {
+	e := sim.NewEngine()
+	l := NewLink(e, 1e9, 0.0001)
+	n := 0
+	var feed func()
+	feed = func() {
+		n++
+		if n < b.N {
+			l.Send(16384, feed)
+		}
+	}
+	l.Send(16384, feed)
+	b.ResetTimer()
+	e.Run()
+}
+
+func TestOnSynHookSeesDrops(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.001, Backlog: 1, SynRetries: 0})
+	var accepted, dropped int
+	n.OnSyn = func(d bool) {
+		if d {
+			dropped++
+		} else {
+			accepted++
+		}
+	}
+	c1 := &Conn{OnConnected: func(float64) {}}
+	c2 := &Conn{OnConnected: func(float64) {}}
+	n.Connect(c1)
+	n.Connect(c2)
+	e.Run()
+	if accepted != 1 || dropped != 1 {
+		t.Fatalf("accepted=%d dropped=%d, want 1 and 1", accepted, dropped)
+	}
+}
+
+func TestServerSendCBDrainNotification(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1000, Latency: 0.0001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	var drainedAt sim.Time = -1
+	n.ServerSendCB(c, 1000, nil, func() { drainedAt = e.Now() })
+	e.Run()
+	if drainedAt < 1.0 {
+		t.Fatalf("drained at %v, want >= 1s (1000B at 1000B/s)", drainedAt)
+	}
+}
+
+func TestServerSendCBOnDeadConnStillCompletes(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1000, Latency: 0.0001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	n.ServerClose(c)
+	done := false
+	n.ServerSendCB(c, 1000, nil, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("write to dead conn never completed (thread would hang)")
+	}
+}
+
+func TestClientCloseNotifiesServer(t *testing.T) {
+	e, n := newNet(t, Params{BandwidthBps: 1e6, Latency: 0.001, Backlog: 4, SynRetries: 1})
+	c := establish(t, e, n)
+	notified := false
+	c.OnClientClosed = func() { notified = true }
+	n.ClientClose(c)
+	e.Run()
+	if !notified {
+		t.Fatal("server not notified of client FIN")
+	}
+}

@@ -1,0 +1,190 @@
+package simsrv
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// ---------------------------------------------------------------------
+// Event-driven server (the paper's "nio server")
+// ---------------------------------------------------------------------
+
+// task is one unit of reactor work: a CPU burst followed by an effect.
+type task struct {
+	cost   float64
+	effect func()
+}
+
+// worker is a single reactor thread: it owns a FIFO of tasks and executes
+// them one at a time (a thread can only use one CPU).
+type worker struct {
+	cpu   *simcpu.Pool
+	queue []task
+	busy  bool
+}
+
+func (w *worker) enqueue(cost float64, effect func()) {
+	w.queue = append(w.queue, task{cost: cost, effect: effect})
+	w.pump()
+}
+
+func (w *worker) pump() {
+	if w.busy || len(w.queue) == 0 {
+		return
+	}
+	w.busy = true
+	t := w.queue[0]
+	w.queue[0] = task{}
+	w.queue = w.queue[1:]
+	w.cpu.Submit(t.cost, func() {
+		t.effect()
+		w.busy = false
+		w.pump()
+	})
+}
+
+// edConn is the event-driven server's per-connection state.
+type edConn struct {
+	conn    *simnet.Conn
+	worker  *worker
+	pending []*Request
+	writing bool
+	closed  bool
+}
+
+// EventDriven is the reactor-based server model.
+type EventDriven struct {
+	engine   *sim.Engine
+	net      *simnet.Network
+	cpu      *simcpu.Pool
+	costs    Costs
+	acceptor *worker
+	workers  []*worker
+	rr       int
+	stats    Stats
+}
+
+// NewEventDriven builds the nio-server model with the given number of
+// reactor workers (the paper sweeps 1–8). Call Start to begin listening.
+func NewEventDriven(engine *sim.Engine, net *simnet.Network, cpu *simcpu.Pool, costs Costs, workers int) *EventDriven {
+	if err := costs.Validate(); err != nil {
+		panic(err)
+	}
+	if workers <= 0 {
+		panic(fmt.Sprintf("simsrv: EventDriven needs at least one worker, got %d", workers))
+	}
+	s := &EventDriven{
+		engine:   engine,
+		net:      net,
+		cpu:      cpu,
+		costs:    costs,
+		acceptor: &worker{cpu: cpu},
+	}
+	for i := 0; i < workers; i++ {
+		s.workers = append(s.workers, &worker{cpu: cpu})
+	}
+	return s
+}
+
+// Start registers with the network and sizes the thread population.
+func (s *EventDriven) Start() {
+	s.cpu.SetThreadCount(len(s.workers) + 1)
+	s.net.OnSyn = func(bool) {
+		// Kernel-side SYN handling is not attributable to a server
+		// thread; submit it directly to the pool.
+		s.cpu.Submit(s.costs.SynProcess, func() {})
+	}
+	s.net.Listen(s.onPending)
+}
+
+// Stats returns a copy of the server counters.
+func (s *EventDriven) Stats() Stats { return s.stats }
+
+// onPending: the acceptor thread wakes from select and accepts every
+// queued connection, paying the accept cost per connection.
+func (s *EventDriven) onPending() {
+	if b := s.net.Backlog(); b > s.stats.QueuedAtPeak {
+		s.stats.QueuedAtPeak = b
+	}
+	s.acceptor.enqueue(s.costs.SelectWakeup+s.costs.Accept, func() {
+		conn := s.net.Accept()
+		if conn == nil {
+			return
+		}
+		s.stats.Accepted++
+		ec := &edConn{conn: conn, worker: s.workers[s.rr%len(s.workers)]}
+		s.rr++
+		s.net.AttachServer(conn,
+			func(_ int64, meta any) { s.onRequest(ec, meta) },
+			func() {
+				ec.closed = true
+				s.stats.PeerCloses++
+			})
+		// More connections may still be queued.
+		if s.net.Backlog() > 0 {
+			s.onPending()
+		}
+	})
+}
+
+// onRequest queues a parsed request; responses on one connection are
+// serialized (HTTP/1.1 ordering) but interleave freely across connections.
+func (s *EventDriven) onRequest(ec *edConn, meta any) {
+	req, ok := meta.(*Request)
+	if !ok {
+		return
+	}
+	ec.pending = append(ec.pending, req)
+	if !ec.writing {
+		s.startResponse(ec)
+	}
+}
+
+func (s *EventDriven) startResponse(ec *edConn) {
+	if len(ec.pending) == 0 || ec.closed {
+		ec.writing = false
+		return
+	}
+	ec.writing = true
+	req := ec.pending[0]
+	ec.pending[0] = nil
+	ec.pending = ec.pending[1:]
+	ec.worker.enqueue(s.costs.SelectWakeup+s.costs.Parse, func() {
+		s.enqueueWrite(ec, req, req.ResponseBytes)
+	})
+}
+
+// enqueueWrite schedules one non-blocking write of up to ChunkBytes as a
+// reactor task: the worker pays the syscall + copy cost, issues the send,
+// and moves on. When the socket buffer drains, the continuation is queued
+// *behind* whatever else the worker has to do — this is the fair
+// interleaving the paper credits for nio's lack of client timeouts.
+func (s *EventDriven) enqueueWrite(ec *edConn, req *Request, remaining int64) {
+	if ec.closed {
+		s.startResponse(ec)
+		return
+	}
+	chunk := remaining
+	if chunk > s.costs.ChunkBytes {
+		chunk = s.costs.ChunkBytes
+	}
+	left := remaining - chunk
+	var meta any
+	if left == 0 {
+		meta = &ResponseDone{Tag: req.Tag}
+	}
+	ec.worker.enqueue(s.costs.SelectWakeup+s.costs.WriteSyscall+s.costs.PerByte*float64(chunk), func() {
+		s.net.ServerSendCB(ec.conn, chunk, meta, func() {
+			if left > 0 {
+				s.enqueueWrite(ec, req, left)
+				return
+			}
+			s.stats.Replies++
+			s.stats.BytesSent += req.ResponseBytes
+			s.startResponse(ec)
+		})
+	})
+}

@@ -1,0 +1,149 @@
+package simsrv
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// Prefork models the "multiprocess strategy" the paper mentions choosing
+// *against* when configuring Apache ("configured using a multithread
+// schema instead of a multiprocess strategy") — Apache 1.3 / prefork MPM
+// behaviour. It behaves like Threaded (one connection bound to one
+// execution context, blocking I/O, keep-alive recycling) with the two
+// properties that distinguish processes from threads:
+//
+//   - the pool resizes dynamically (StartServers / MinSpare / MaxSpare /
+//     MaxClients), paying a fork cost per new process; under a load spike
+//     clients wait for the spawner, which ramps one-two-four per second
+//     like Apache's;
+//   - each process is several times heavier than a thread (no shared
+//     heap, duplicated caches), so the CPU model's memory penalty bites
+//     at much lower population counts.
+type Prefork struct {
+	*Threaded
+	cfg    PreforkConfig
+	ticker *sim.Ticker
+	// spawnBatch is the current per-tick spawn count (exponential ramp,
+	// reset once the spare target is met — Apache's behaviour).
+	spawnBatch int
+	forks      int64
+	reaps      int64
+}
+
+// PreforkConfig mirrors Apache 1.3's process-management directives.
+type PreforkConfig struct {
+	StartServers int
+	MinSpare     int
+	MaxSpare     int
+	MaxClients   int
+	// ForkCost is the CPU time to fork and initialize one process.
+	ForkCost float64
+	// ProcessMemWeight is how many thread-equivalents of memory one
+	// process costs (≈4 for a typical 2004 Apache child vs a thread).
+	ProcessMemWeight int
+	// KeepAlive is the idle disconnect timeout, as in Threaded.
+	KeepAlive float64
+	// MaintenanceSec is the spawner period (Apache: 1 s).
+	MaintenanceSec float64
+}
+
+// DefaultPreforkConfig returns Apache-1.3-ish defaults scaled to the
+// paper's load range.
+func DefaultPreforkConfig() PreforkConfig {
+	return PreforkConfig{
+		StartServers:     32,
+		MinSpare:         16,
+		MaxSpare:         64,
+		MaxClients:       1024,
+		ForkCost:         2e-3,
+		ProcessMemWeight: 4,
+		KeepAlive:        15,
+		MaintenanceSec:   1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c PreforkConfig) Validate() error {
+	switch {
+	case c.StartServers <= 0:
+		return fmt.Errorf("simsrv: prefork StartServers must be positive, got %d", c.StartServers)
+	case c.MinSpare <= 0 || c.MaxSpare < c.MinSpare:
+		return fmt.Errorf("simsrv: prefork spare bounds invalid (%d, %d)", c.MinSpare, c.MaxSpare)
+	case c.MaxClients < c.StartServers:
+		return fmt.Errorf("simsrv: prefork MaxClients %d below StartServers %d", c.MaxClients, c.StartServers)
+	case c.ForkCost < 0:
+		return fmt.Errorf("simsrv: negative ForkCost %v", c.ForkCost)
+	case c.ProcessMemWeight <= 0:
+		return fmt.Errorf("simsrv: ProcessMemWeight must be positive, got %d", c.ProcessMemWeight)
+	case c.KeepAlive <= 0:
+		return fmt.Errorf("simsrv: prefork KeepAlive must be positive, got %v", c.KeepAlive)
+	case c.MaintenanceSec <= 0:
+		return fmt.Errorf("simsrv: MaintenanceSec must be positive, got %v", c.MaintenanceSec)
+	}
+	return nil
+}
+
+// NewPrefork builds the multiprocess server model.
+func NewPrefork(engine *sim.Engine, net *simnet.Network, cpu *simcpu.Pool, costs Costs, cfg PreforkConfig) *Prefork {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	base := NewThreaded(engine, net, cpu, costs, cfg.StartServers, cfg.KeepAlive)
+	base.memWeight = cfg.ProcessMemWeight
+	return &Prefork{Threaded: base, cfg: cfg, spawnBatch: 1}
+}
+
+// Start begins listening and arms the process-management ticker.
+func (p *Prefork) Start() {
+	p.Threaded.Start()
+	p.ticker = sim.NewTicker(p.engine, p.cfg.MaintenanceSec, p.maintain)
+}
+
+// Stop cancels the spawner (tests drain the engine afterwards).
+func (p *Prefork) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+	}
+}
+
+// Forks and Reaps expose the process-churn counters.
+func (p *Prefork) Forks() int64 { return p.forks }
+func (p *Prefork) Reaps() int64 { return p.reaps }
+
+// maintain is Apache's once-per-second process management: spawn toward
+// MinSpare with an exponential ramp, reap beyond MaxSpare.
+func (p *Prefork) maintain() {
+	idle := len(p.idle)
+	switch {
+	case idle < p.cfg.MinSpare && p.PoolSize() < p.cfg.MaxClients:
+		n := p.spawnBatch
+		if room := p.cfg.MaxClients - p.PoolSize(); n > room {
+			n = room
+		}
+		for i := 0; i < n; i++ {
+			p.fork()
+		}
+		if p.spawnBatch < 32 {
+			p.spawnBatch *= 2
+		}
+	case idle > p.cfg.MaxSpare:
+		p.spawnBatch = 1
+		if p.reapIdleThread() {
+			p.reaps++
+		}
+	default:
+		p.spawnBatch = 1
+	}
+}
+
+// fork pays the fork cost, then adds the process and pulls queued work.
+func (p *Prefork) fork() {
+	p.forks++
+	p.cpu.Submit(p.cfg.ForkCost, func() {
+		p.addThread()
+		p.dispatch()
+	})
+}

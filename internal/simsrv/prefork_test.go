@@ -1,0 +1,147 @@
+package simsrv
+
+import (
+	"testing"
+
+	"repro/internal/simcpu"
+)
+
+func preforkRig(t *testing.T, cfg PreforkConfig) (*rig, *Prefork) {
+	t.Helper()
+	r := newRig(t, 1)
+	p := NewPrefork(r.engine, r.net, r.cpu, DefaultCosts(), cfg)
+	p.Start()
+	return r, p
+}
+
+func TestPreforkServesRequests(t *testing.T) {
+	cfg := DefaultPreforkConfig()
+	cfg.StartServers = 4
+	cfg.MinSpare = 2
+	cfg.MaxSpare = 8
+	cfg.MaxClients = 16
+	r, p := preforkRig(t, cfg)
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(10000, "x") })
+	r.engine.RunUntil(5)
+	p.Stop()
+	if len(c.replies) != 1 || c.bytes != 10000 {
+		t.Fatalf("replies=%d bytes=%d", len(c.replies), c.bytes)
+	}
+}
+
+func TestPreforkGrowsUnderLoad(t *testing.T) {
+	cfg := DefaultPreforkConfig()
+	cfg.StartServers = 2
+	cfg.MinSpare = 2
+	cfg.MaxSpare = 50
+	cfg.MaxClients = 64
+	r, p := preforkRig(t, cfg)
+	// 20 concurrent keep-alive clients exceed the 2 starting processes;
+	// the spawner must grow the pool.
+	for i := 0; i < 20; i++ {
+		c := &client{rig: r}
+		c.connect(t, func() { c.get(5000, i) })
+	}
+	r.engine.RunUntil(30)
+	p.Stop()
+	if p.PoolSize() <= 2 {
+		t.Fatalf("pool never grew: %d processes", p.PoolSize())
+	}
+	if p.Forks() == 0 {
+		t.Fatal("no forks recorded")
+	}
+	if p.PoolSize() > cfg.MaxClients {
+		t.Fatalf("pool exceeded MaxClients: %d", p.PoolSize())
+	}
+}
+
+func TestPreforkReapsIdleProcesses(t *testing.T) {
+	cfg := DefaultPreforkConfig()
+	cfg.StartServers = 40
+	cfg.MinSpare = 2
+	cfg.MaxSpare = 4
+	cfg.MaxClients = 64
+	cfg.KeepAlive = 5
+	r, p := preforkRig(t, cfg)
+	// No load at all: the spare pool (40 idle) far exceeds MaxSpare (4);
+	// maintenance must reap toward the bound.
+	r.engine.RunUntil(120)
+	p.Stop()
+	if p.Reaps() == 0 {
+		t.Fatal("no reaps recorded")
+	}
+	if p.PoolSize() > 10 {
+		t.Fatalf("idle pool not shrunk: %d processes", p.PoolSize())
+	}
+}
+
+func TestPreforkRespectsMaxClients(t *testing.T) {
+	cfg := DefaultPreforkConfig()
+	cfg.StartServers = 2
+	cfg.MinSpare = 4
+	cfg.MaxSpare = 8
+	cfg.MaxClients = 6
+	r, p := preforkRig(t, cfg)
+	for i := 0; i < 30; i++ {
+		c := &client{rig: r}
+		c.connect(t, func() { c.get(2000, i) })
+	}
+	r.engine.RunUntil(60)
+	p.Stop()
+	if p.PoolSize() > 6 {
+		t.Fatalf("MaxClients violated: %d", p.PoolSize())
+	}
+}
+
+func TestPreforkMemoryWeightReported(t *testing.T) {
+	r := newRig(t, 1)
+	cpu := simcpu.NewPool(r.engine, simcpu.Params{Processors: 1, MemThreshold: 100, MemPenaltyPerK: 1})
+	cfg := DefaultPreforkConfig()
+	cfg.StartServers = 50
+	cfg.ProcessMemWeight = 4
+	p := NewPrefork(r.engine, r.net, cpu, DefaultCosts(), cfg)
+	p.Start()
+	p.Stop()
+	// 50 processes × weight 4 = 200 thread-equivalents > threshold 100:
+	// the overhead factor must exceed 1.
+	if f := cpu.OverheadFactor(1); f <= 1 {
+		t.Fatalf("memory weight not applied: factor %v", f)
+	}
+}
+
+func TestPreforkConfigValidate(t *testing.T) {
+	good := DefaultPreforkConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*PreforkConfig){
+		func(c *PreforkConfig) { c.StartServers = 0 },
+		func(c *PreforkConfig) { c.MinSpare = 0 },
+		func(c *PreforkConfig) { c.MaxSpare = c.MinSpare - 1 },
+		func(c *PreforkConfig) { c.MaxClients = c.StartServers - 1 },
+		func(c *PreforkConfig) { c.ForkCost = -1 },
+		func(c *PreforkConfig) { c.ProcessMemWeight = 0 },
+		func(c *PreforkConfig) { c.KeepAlive = 0 },
+		func(c *PreforkConfig) { c.MaintenanceSec = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultPreforkConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPreforkConstructorPanics(t *testing.T) {
+	r := newRig(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := DefaultPreforkConfig()
+	bad.StartServers = 0
+	NewPrefork(r.engine, r.net, r.cpu, DefaultCosts(), bad)
+}

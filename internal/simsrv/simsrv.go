@@ -1,0 +1,96 @@
+// Package simsrv contains the two simulated web-server architectures the
+// paper compares:
+//
+//   - EventDriven — the "nio server": one acceptor thread plus a small,
+//     fixed set of reactor worker threads. Workers multiplex all
+//     connections with readiness selection; writes are non-blocking and
+//     proceed one socket-buffer-sized chunk at a time, so a single worker
+//     interleaves thousands of in-progress responses. Idle connections
+//     are never closed.
+//
+//   - Threaded — the "httpd2" model of Apache 2's worker MPM: a bounded
+//     pool of threads, each bound to one connection at a time, blocking
+//     reads and writes, and a keep-alive idle timeout that force-closes
+//     inactive connections to recycle threads (the source of the paper's
+//     connection-reset errors).
+//
+// Both run on the same simulated CPUs (simcpu) and network (simnet) and
+// serve the same byte counts, so every measured difference is
+// architectural.
+package simsrv
+
+import "fmt"
+
+// Request is the uplink message meta: the client names the object (by its
+// response size — the simulated server has no need for a name) and passes
+// a correlation tag echoed on the final response chunk.
+type Request struct {
+	ResponseBytes int64
+	Tag           any
+}
+
+// ResponseDone is the meta carried by the final chunk of a response.
+type ResponseDone struct {
+	Tag any
+}
+
+// Costs are the per-operation CPU prices (seconds of CPU time) shared by
+// both server models. They abstract the 1.4 GHz Xeon testbed.
+type Costs struct {
+	// Accept is the cost of accept(2) plus connection setup.
+	Accept float64
+	// Parse is the cost of reading and parsing one request and locating
+	// the file (the paper's servers serve from cache, so no disk).
+	Parse float64
+	// WriteSyscall is the fixed cost of one write(2).
+	WriteSyscall float64
+	// PerByte is the copy cost per payload byte.
+	PerByte float64
+	// SelectWakeup is the event-driven server's cost of one selector
+	// dispatch (select/epoll return plus key iteration).
+	SelectWakeup float64
+	// SynProcess is the kernel cost of handling one SYN (also charged
+	// for SYNs that are dropped because the backlog is full).
+	SynProcess float64
+	// ChunkBytes is the socket send-buffer size: the granularity of
+	// blocking writes (Threaded) and of write-readiness rounds
+	// (EventDriven).
+	ChunkBytes int64
+}
+
+// DefaultCosts approximates the paper's 1.4 GHz Xeon: tens of
+// microseconds per syscall-ish operation, ~1 ns/byte copy, 64 KiB socket
+// buffers.
+func DefaultCosts() Costs {
+	return Costs{
+		Accept:       40e-6,
+		Parse:        110e-6,
+		WriteSyscall: 25e-6,
+		PerByte:      5.5e-9,
+		SelectWakeup: 8e-6,
+		SynProcess:   8e-6,
+		ChunkBytes:   64 << 10,
+	}
+}
+
+// Validate reports cost errors.
+func (c Costs) Validate() error {
+	if c.Accept < 0 || c.Parse < 0 || c.WriteSyscall < 0 || c.PerByte < 0 ||
+		c.SelectWakeup < 0 || c.SynProcess < 0 {
+		return fmt.Errorf("simsrv: costs must be non-negative: %+v", c)
+	}
+	if c.ChunkBytes <= 0 {
+		return fmt.Errorf("simsrv: ChunkBytes must be positive, got %d", c.ChunkBytes)
+	}
+	return nil
+}
+
+// Stats are server-side counters, exposed for tests and reports.
+type Stats struct {
+	Accepted     int64
+	Replies      int64
+	BytesSent    int64
+	IdleCloses   int64 // keep-alive timeouts fired (Threaded only)
+	PeerCloses   int64 // client FINs observed
+	QueuedAtPeak int   // max accept-backlog the server ever saw
+}

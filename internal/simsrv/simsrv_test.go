@@ -1,0 +1,420 @@
+package simsrv
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// rig is a complete simulated testbed for one server under test.
+type rig struct {
+	engine *sim.Engine
+	net    *simnet.Network
+	cpu    *simcpu.Pool
+}
+
+func newRig(t testing.TB, procs int) *rig {
+	t.Helper()
+	e := sim.NewEngine()
+	return &rig{
+		engine: e,
+		net: simnet.NewNetwork(e, simnet.Params{
+			BandwidthBps: 117e6,
+			Latency:      100e-6,
+			Backlog:      128,
+			SynRetries:   3,
+		}),
+		cpu: simcpu.NewPool(e, simcpu.Params{Processors: procs}),
+	}
+}
+
+// client is a minimal scripted client for server tests: it connects,
+// sends requests, and records what comes back.
+type client struct {
+	rig     *rig
+	conn    *simnet.Conn
+	replies []any
+	bytes   int64
+	resets  int
+}
+
+func (c *client) connect(t testing.TB, then func()) {
+	t.Helper()
+	c.conn = &simnet.Conn{
+		OnConnected: func(float64) { then() },
+		OnClientRecv: func(b int64, meta any) {
+			c.bytes += b
+			if meta != nil {
+				c.replies = append(c.replies, meta)
+			}
+		},
+		OnReset: func() { c.resets++ },
+	}
+	c.rig.net.Connect(c.conn)
+}
+
+func (c *client) get(size int64, tag any) {
+	c.rig.net.ClientSend(c.conn, 200, &Request{ResponseBytes: size, Tag: tag})
+}
+
+func TestEventDrivenServesOneRequest(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewEventDriven(r.engine, r.net, r.cpu, DefaultCosts(), 1)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(10000, "r1") })
+	r.engine.Run()
+	if len(c.replies) != 1 {
+		t.Fatalf("replies = %d, want 1", len(c.replies))
+	}
+	if done := c.replies[0].(*ResponseDone); done.Tag != "r1" {
+		t.Fatalf("wrong tag %v", done.Tag)
+	}
+	if c.bytes != 10000 {
+		t.Fatalf("client received %d bytes, want 10000", c.bytes)
+	}
+	st := srv.Stats()
+	if st.Accepted != 1 || st.Replies != 1 || st.BytesSent != 10000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEventDrivenMultiChunkResponse(t *testing.T) {
+	r := newRig(t, 1)
+	costs := DefaultCosts()
+	costs.ChunkBytes = 1024
+	srv := NewEventDriven(r.engine, r.net, r.cpu, costs, 1)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(10000, "big") })
+	r.engine.Run()
+	if c.bytes != 10000 {
+		t.Fatalf("received %d bytes, want 10000 across ~10 chunks", c.bytes)
+	}
+	if len(c.replies) != 1 {
+		t.Fatalf("final-chunk meta delivered %d times", len(c.replies))
+	}
+}
+
+func TestEventDrivenPipelinedOrdering(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewEventDriven(r.engine, r.net, r.cpu, DefaultCosts(), 1)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() {
+		c.get(5000, "a")
+		c.get(5000, "b")
+		c.get(5000, "c")
+	})
+	r.engine.Run()
+	if len(c.replies) != 3 {
+		t.Fatalf("replies = %d, want 3", len(c.replies))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got := c.replies[i].(*ResponseDone).Tag; got != want {
+			t.Fatalf("reply %d = %v, want %v (HTTP/1.1 ordering)", i, got, want)
+		}
+	}
+}
+
+func TestEventDrivenManyClientsOneWorker(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewEventDriven(r.engine, r.net, r.cpu, DefaultCosts(), 1)
+	srv.Start()
+	const n = 50
+	clients := make([]*client, n)
+	for i := range clients {
+		c := &client{rig: r}
+		clients[i] = c
+		c.connect(t, func() { c.get(20000, i) })
+	}
+	r.engine.Run()
+	for i, c := range clients {
+		if len(c.replies) != 1 {
+			t.Fatalf("client %d got %d replies", i, len(c.replies))
+		}
+	}
+	if st := srv.Stats(); st.Replies != n {
+		t.Fatalf("server replies = %d, want %d", st.Replies, n)
+	}
+}
+
+func TestEventDrivenNeverClosesIdleConnections(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewEventDriven(r.engine, r.net, r.cpu, DefaultCosts(), 1)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(1000, "first") })
+	r.engine.Run()
+	// Wait far beyond any keep-alive horizon, then reuse the connection.
+	r.engine.Schedule(300, func() { c.get(1000, "second") })
+	r.engine.Run()
+	if c.resets != 0 {
+		t.Fatalf("resets = %d; the nio server must never reset idle clients", c.resets)
+	}
+	if len(c.replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(c.replies))
+	}
+}
+
+func TestEventDrivenWorkersShareLoad(t *testing.T) {
+	// With 4 CPUs and 4 workers, 4 equal responses should complete in
+	// roughly a quarter of the serial CPU time. We check the parallel
+	// case is faster than the 1-worker case.
+	elapsed := func(workers int) sim.Time {
+		r := newRig(t, 4)
+		costs := DefaultCosts()
+		costs.PerByte = 1e-6 // make CPU dominate so parallelism shows
+		srv := NewEventDriven(r.engine, r.net, r.cpu, costs, workers)
+		srv.Start()
+		for i := 0; i < 8; i++ {
+			c := &client{rig: r}
+			c.connect(t, func() { c.get(60000, i) })
+		}
+		r.engine.Run()
+		return r.engine.Now()
+	}
+	t1, t4 := elapsed(1), elapsed(4)
+	if t4 >= t1 {
+		t.Fatalf("4 workers (%v) not faster than 1 worker (%v) on 4 CPUs", t4, t1)
+	}
+}
+
+func TestThreadedServesOneRequest(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 4, 15)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(10000, "r1") })
+	r.engine.RunUntil(10)
+	if len(c.replies) != 1 || c.bytes != 10000 {
+		t.Fatalf("replies=%d bytes=%d", len(c.replies), c.bytes)
+	}
+	if st := srv.Stats(); st.Accepted != 1 || st.Replies != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestThreadedKeepAliveTimeoutResetsIdleClient(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 4, 15)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(1000, "first") })
+	r.engine.RunUntil(5)
+	if len(c.replies) != 1 {
+		t.Fatalf("first reply missing")
+	}
+	// Think longer than the 15 s keep-alive, then write again: reset.
+	r.engine.Schedule(20, func() { c.get(1000, "second") })
+	r.engine.RunUntil(60)
+	if c.resets != 1 {
+		t.Fatalf("resets = %d, want 1 (keep-alive fired at 15s)", c.resets)
+	}
+	if len(c.replies) != 1 {
+		t.Fatalf("got a reply after reset")
+	}
+	if st := srv.Stats(); st.IdleCloses != 1 {
+		t.Fatalf("IdleCloses = %d, want 1", st.IdleCloses)
+	}
+}
+
+func TestThreadedThreadRecycledAfterIdleClose(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 1, 15)
+	srv.Start()
+	c1 := &client{rig: r}
+	c1.connect(t, func() { c1.get(1000, "a") })
+	r.engine.RunUntil(5)
+	// The single thread is bound to c1. A second client must wait for
+	// the keep-alive to free it.
+	c2 := &client{rig: r}
+	r.engine.Schedule(1, func() {
+		c2.connect(t, func() { c2.get(1000, "b") })
+	})
+	r.engine.RunUntil(120)
+	if len(c2.replies) != 1 {
+		t.Fatalf("second client never served after thread recycle")
+	}
+	if srv.IdleThreads() != 0 {
+		// c2 is now bound and idle-timer armed; after its keep-alive the
+		// thread frees again.
+	}
+	r.engine.RunUntil(200)
+	if srv.IdleThreads() != 1 {
+		t.Fatalf("thread not recycled: idle=%d", srv.IdleThreads())
+	}
+}
+
+func TestThreadedClientCloseFreesThread(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 1, 15)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(1000, "a") })
+	r.engine.RunUntil(2)
+	r.net.ClientClose(c.conn)
+	r.engine.RunUntil(5)
+	if srv.IdleThreads() != 1 {
+		t.Fatalf("thread not freed on client FIN: idle=%d", srv.IdleThreads())
+	}
+	if st := srv.Stats(); st.PeerCloses != 1 {
+		t.Fatalf("PeerCloses = %d", st.PeerCloses)
+	}
+}
+
+func TestThreadedPipelinedRequestsServedSequentially(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 2, 15)
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() {
+		c.get(5000, "a")
+		c.get(5000, "b")
+	})
+	r.engine.RunUntil(10)
+	if len(c.replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(c.replies))
+	}
+	if c.replies[0].(*ResponseDone).Tag != "a" || c.replies[1].(*ResponseDone).Tag != "b" {
+		t.Fatal("pipelined replies out of order")
+	}
+}
+
+func TestThreadedConnectionTimeExplodesWhenPoolExhausted(t *testing.T) {
+	r := newRig(t, 1)
+	// Small backlog so the overflow shows quickly.
+	r.net = simnet.NewNetwork(r.engine, simnet.Params{
+		BandwidthBps: 117e6, Latency: 100e-6, Backlog: 2, SynRetries: 5,
+	})
+	srv := NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 2, 15)
+	srv.Start()
+	var durs []float64
+	for i := 0; i < 8; i++ {
+		c := &client{rig: r}
+		conn := &simnet.Conn{}
+		conn.OnConnected = func(d float64) { durs = append(durs, d) }
+		conn.OnClientRecv = func(int64, any) {}
+		_ = c
+		r.net.Connect(conn)
+	}
+	r.engine.RunUntil(120)
+	// 2 threads + 2 backlog slots connect fast; later clients need SYN
+	// retransmits (>= 3 s) — figure 4's exponential connect-time blowup.
+	fast, slow := 0, 0
+	for _, d := range durs {
+		if d < 0.1 {
+			fast++
+		}
+		if d >= 3 {
+			slow++
+		}
+	}
+	if fast < 2 || slow < 1 {
+		t.Fatalf("connect durations %v: want some fast and some >= 3s", durs)
+	}
+}
+
+func TestEventDrivenConnectionTimeStaysFlat(t *testing.T) {
+	r := newRig(t, 1)
+	srv := NewEventDriven(r.engine, r.net, r.cpu, DefaultCosts(), 1)
+	srv.Start()
+	var worst float64
+	for i := 0; i < 100; i++ {
+		conn := &simnet.Conn{OnConnected: func(d float64) {
+			if d > worst {
+				worst = d
+			}
+		}}
+		r.net.Connect(conn)
+	}
+	r.engine.RunUntil(30)
+	if worst > 0.1 {
+		t.Fatalf("worst connect time %v; the acceptor should keep draining", worst)
+	}
+}
+
+func TestCostsValidate(t *testing.T) {
+	good := DefaultCosts()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Parse = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+	bad = good
+	bad.ChunkBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero chunk accepted")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	r := newRig(t, 1)
+	for _, fn := range []func(){
+		func() { NewEventDriven(r.engine, r.net, r.cpu, DefaultCosts(), 0) },
+		func() { NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 0, 15) },
+		func() { NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 1, 0) },
+		func() {
+			bad := DefaultCosts()
+			bad.Accept = -1
+			NewEventDriven(r.engine, r.net, r.cpu, bad, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBothServersDeliverSameBytes(t *testing.T) {
+	// Architectural equivalence check: for the same workload both
+	// servers must deliver exactly the same payload bytes.
+	run := func(build func(r *rig) interface{ Stats() Stats }) Stats {
+		r := newRig(t, 1)
+		srv := build(r)
+		sizes := []int64{100, 5000, 70000, 123, 64 << 10}
+		for i, sz := range sizes {
+			c := &client{rig: r}
+			sz := sz
+			delay := float64(i) * 0.01
+			r.engine.Schedule(delay, func() {
+				c.connect(t, func() { c.get(sz, i) })
+			})
+		}
+		r.engine.RunUntil(100)
+		return srv.Stats()
+	}
+	var edNet, thNet *simnet.Network
+	ed := run(func(r *rig) interface{ Stats() Stats } {
+		s := NewEventDriven(r.engine, r.net, r.cpu, DefaultCosts(), 2)
+		s.Start()
+		edNet = r.net
+		return s
+	})
+	th := run(func(r *rig) interface{ Stats() Stats } {
+		s := NewThreaded(r.engine, r.net, r.cpu, DefaultCosts(), 8, 15)
+		s.Start()
+		thNet = r.net
+		return s
+	})
+	if ed.BytesSent != th.BytesSent {
+		t.Fatalf("bytes differ: event-driven %d, threaded %d", ed.BytesSent, th.BytesSent)
+	}
+	if ed.Replies != th.Replies {
+		t.Fatalf("replies differ: %d vs %d", ed.Replies, th.Replies)
+	}
+	if edNet.Resets != 0 {
+		t.Fatalf("event-driven produced %d resets", edNet.Resets)
+	}
+	_ = thNet
+}

@@ -1,0 +1,261 @@
+package simsrv
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// This file implements the paper's §6 conjecture as a simulated server:
+// "Dividing the server in pipelined stages, adding one or more threads to
+// each stage and assigning a processor affinity to each thread can
+// convert a multiprocessor ... in a real high-scalable request processing
+// pipeline." The Staged server splits request handling into three stages
+// (accept → parse → write), each with a private worker pool. With
+// Affinity enabled, each stage's workers run on dedicated processors and
+// enjoy a locality discount on their CPU costs (hot i-cache and data
+// structures, as in Harizopoulos & Ailamaki's affinity-scheduling work
+// the paper cites); without it, all stages share the machine's
+// processors.
+
+// StageSpec sizes one pipeline stage.
+type StageSpec struct {
+	// Workers is the stage's thread count.
+	Workers int
+	// Processors is the number of CPUs dedicated to the stage when the
+	// pipeline runs with affinity. Ignored otherwise.
+	Processors int
+}
+
+// StagedSpec configures the staged server.
+type StagedSpec struct {
+	Accept StageSpec
+	Parse  StageSpec
+	Write  StageSpec
+	// Affinity pins each stage to its own processors and applies
+	// LocalityDiscount to stage costs.
+	Affinity bool
+	// LocalityDiscount multiplies CPU costs when Affinity is on
+	// (e.g. 0.85 = 15% cheaper thanks to cache locality). Must be in
+	// (0, 1].
+	LocalityDiscount float64
+	// SharedProcessors is the machine size when Affinity is off.
+	SharedProcessors int
+}
+
+// DefaultStagedSpec returns a 4-CPU pipeline: 1 accept + 1 parse + 2
+// write processors, mirroring where the per-request CPU time goes.
+func DefaultStagedSpec(affinity bool) StagedSpec {
+	return StagedSpec{
+		Accept:           StageSpec{Workers: 1, Processors: 1},
+		Parse:            StageSpec{Workers: 1, Processors: 1},
+		Write:            StageSpec{Workers: 2, Processors: 2},
+		Affinity:         affinity,
+		LocalityDiscount: 0.85,
+		SharedProcessors: 4,
+	}
+}
+
+// Validate reports spec errors.
+func (s StagedSpec) Validate() error {
+	for _, st := range []struct {
+		name string
+		sp   StageSpec
+	}{{"Accept", s.Accept}, {"Parse", s.Parse}, {"Write", s.Write}} {
+		if st.sp.Workers <= 0 {
+			return fmt.Errorf("simsrv: stage %s needs at least one worker", st.name)
+		}
+		if s.Affinity && st.sp.Processors <= 0 {
+			return fmt.Errorf("simsrv: stage %s needs processors under affinity", st.name)
+		}
+	}
+	if s.LocalityDiscount <= 0 || s.LocalityDiscount > 1 {
+		return fmt.Errorf("simsrv: LocalityDiscount %v outside (0,1]", s.LocalityDiscount)
+	}
+	if !s.Affinity && s.SharedProcessors <= 0 {
+		return fmt.Errorf("simsrv: SharedProcessors must be positive without affinity")
+	}
+	return nil
+}
+
+// stagePool is one stage's execution resource: a set of workers drawing
+// from one CPU pool.
+type stagePool struct {
+	workers []*worker
+	rr      int
+}
+
+func newStagePool(cpu *simcpu.Pool, n int) *stagePool {
+	sp := &stagePool{}
+	for i := 0; i < n; i++ {
+		sp.workers = append(sp.workers, &worker{cpu: cpu})
+	}
+	return sp
+}
+
+// pick returns a worker round-robin (per-connection stickiness is applied
+// by the caller where ordering matters).
+func (sp *stagePool) pick() *worker {
+	w := sp.workers[sp.rr%len(sp.workers)]
+	sp.rr++
+	return w
+}
+
+// Staged is the §6 pipelined server model.
+type Staged struct {
+	engine *sim.Engine
+	net    *simnet.Network
+	costs  Costs
+	spec   StagedSpec
+
+	acceptStage *stagePool
+	parseStage  *stagePool
+	writeStage  *stagePool
+
+	stats Stats
+}
+
+// NewStaged builds the staged server. CPU pools are created internally:
+// one per stage under affinity, one shared pool otherwise. cpuParams
+// supplies the overhead model (its Processors field is overridden per
+// the spec).
+func NewStaged(engine *sim.Engine, net *simnet.Network, cpuParams simcpu.Params, costs Costs, spec StagedSpec) *Staged {
+	if err := costs.Validate(); err != nil {
+		panic(err)
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Staged{engine: engine, net: net, costs: costs, spec: spec}
+	if spec.Affinity {
+		mk := func(procs, workers int) *stagePool {
+			p := cpuParams
+			p.Processors = procs
+			return newStagePool(simcpu.NewPool(engine, p), workers)
+		}
+		s.acceptStage = mk(spec.Accept.Processors, spec.Accept.Workers)
+		s.parseStage = mk(spec.Parse.Processors, spec.Parse.Workers)
+		s.writeStage = mk(spec.Write.Processors, spec.Write.Workers)
+	} else {
+		p := cpuParams
+		p.Processors = spec.SharedProcessors
+		shared := simcpu.NewPool(engine, p)
+		s.acceptStage = newStagePool(shared, spec.Accept.Workers)
+		s.parseStage = newStagePool(shared, spec.Parse.Workers)
+		s.writeStage = newStagePool(shared, spec.Write.Workers)
+	}
+	return s
+}
+
+// cost applies the locality discount when affinity is enabled.
+func (s *Staged) cost(c float64) float64 {
+	if s.spec.Affinity {
+		return c * s.spec.LocalityDiscount
+	}
+	return c
+}
+
+// Start registers with the network.
+func (s *Staged) Start() {
+	s.net.OnSyn = func(bool) {
+		s.acceptStage.workers[0].cpu.Submit(s.costs.SynProcess, func() {})
+	}
+	s.net.Listen(s.onPending)
+}
+
+// Stats returns a copy of the server counters.
+func (s *Staged) Stats() Stats { return s.stats }
+
+// stagedConn is the per-connection state; requests are serialized per
+// connection across stages to preserve HTTP ordering.
+type stagedConn struct {
+	conn    *simnet.Conn
+	parseW  *worker // sticky: one parse worker per connection
+	writeW  *worker // sticky: one write worker per connection
+	pending []*Request
+	writing bool
+	closed  bool
+}
+
+func (s *Staged) onPending() {
+	if b := s.net.Backlog(); b > s.stats.QueuedAtPeak {
+		s.stats.QueuedAtPeak = b
+	}
+	aw := s.acceptStage.pick()
+	aw.enqueue(s.cost(s.costs.SelectWakeup+s.costs.Accept), func() {
+		conn := s.net.Accept()
+		if conn == nil {
+			return
+		}
+		s.stats.Accepted++
+		sc := &stagedConn{
+			conn:   conn,
+			parseW: s.parseStage.pick(),
+			writeW: s.writeStage.pick(),
+		}
+		s.net.AttachServer(conn,
+			func(_ int64, meta any) { s.onRequest(sc, meta) },
+			func() {
+				sc.closed = true
+				s.stats.PeerCloses++
+			})
+		if s.net.Backlog() > 0 {
+			s.onPending()
+		}
+	})
+}
+
+// onRequest runs the parse stage, then hands off to the write stage.
+func (s *Staged) onRequest(sc *stagedConn, meta any) {
+	req, ok := meta.(*Request)
+	if !ok {
+		return
+	}
+	sc.parseW.enqueue(s.cost(s.costs.SelectWakeup+s.costs.Parse), func() {
+		sc.pending = append(sc.pending, req)
+		if !sc.writing {
+			s.startWrite(sc)
+		}
+	})
+}
+
+func (s *Staged) startWrite(sc *stagedConn) {
+	if len(sc.pending) == 0 || sc.closed {
+		sc.writing = false
+		return
+	}
+	sc.writing = true
+	req := sc.pending[0]
+	sc.pending[0] = nil
+	sc.pending = sc.pending[1:]
+	s.writeChunk(sc, req, req.ResponseBytes)
+}
+
+func (s *Staged) writeChunk(sc *stagedConn, req *Request, remaining int64) {
+	if sc.closed {
+		s.startWrite(sc)
+		return
+	}
+	chunk := remaining
+	if chunk > s.costs.ChunkBytes {
+		chunk = s.costs.ChunkBytes
+	}
+	left := remaining - chunk
+	var meta any
+	if left == 0 {
+		meta = &ResponseDone{Tag: req.Tag}
+	}
+	sc.writeW.enqueue(s.cost(s.costs.SelectWakeup+s.costs.WriteSyscall+s.costs.PerByte*float64(chunk)), func() {
+		s.net.ServerSendCB(sc.conn, chunk, meta, func() {
+			if left > 0 {
+				s.writeChunk(sc, req, left)
+				return
+			}
+			s.stats.Replies++
+			s.stats.BytesSent += req.ResponseBytes
+			s.startWrite(sc)
+		})
+	})
+}

@@ -1,0 +1,122 @@
+package simsrv
+
+import (
+	"testing"
+
+	"repro/internal/simcpu"
+)
+
+func TestStagedServesRequests(t *testing.T) {
+	r := newRig(t, 4)
+	srv := NewStaged(r.engine, r.net, simcpu.Params{Processors: 4}, DefaultCosts(), DefaultStagedSpec(false))
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() {
+		c.get(10000, "a")
+		c.get(5000, "b")
+	})
+	r.engine.Run()
+	if len(c.replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(c.replies))
+	}
+	if c.replies[0].(*ResponseDone).Tag != "a" || c.replies[1].(*ResponseDone).Tag != "b" {
+		t.Fatal("staged replies out of order")
+	}
+	if st := srv.Stats(); st.Replies != 2 || st.BytesSent != 15000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStagedAffinityServesRequests(t *testing.T) {
+	r := newRig(t, 4)
+	srv := NewStaged(r.engine, r.net, simcpu.Params{Processors: 4}, DefaultCosts(), DefaultStagedSpec(true))
+	srv.Start()
+	const n = 30
+	clients := make([]*client, n)
+	for i := range clients {
+		c := &client{rig: r}
+		clients[i] = c
+		c.connect(t, func() { c.get(20000, i) })
+	}
+	r.engine.Run()
+	for i, c := range clients {
+		if len(c.replies) != 1 {
+			t.Fatalf("client %d got %d replies", i, len(c.replies))
+		}
+	}
+	if r.net.Resets != 0 {
+		t.Fatal("staged server produced resets")
+	}
+}
+
+func TestStagedAffinityFasterUnderLocalityAssumption(t *testing.T) {
+	// With the locality discount, the affinity pipeline should finish a
+	// CPU-bound batch sooner than the shared-pool pipeline — the §6
+	// conjecture under its stated assumption.
+	elapsed := func(affinity bool) float64 {
+		r := newRig(t, 4)
+		costs := DefaultCosts()
+		costs.PerByte = 2e-7 // CPU-dominated
+		srv := NewStaged(r.engine, r.net, simcpu.Params{Processors: 4}, costs, DefaultStagedSpec(affinity))
+		srv.Start()
+		for i := 0; i < 40; i++ {
+			c := &client{rig: r}
+			c.connect(t, func() { c.get(60000, i) })
+		}
+		r.engine.Run()
+		return float64(r.engine.Now())
+	}
+	shared, affinity := elapsed(false), elapsed(true)
+	if affinity >= shared {
+		t.Fatalf("affinity pipeline (%v) not faster than shared (%v)", affinity, shared)
+	}
+}
+
+func TestStagedNeverClosesIdleConnections(t *testing.T) {
+	r := newRig(t, 2)
+	srv := NewStaged(r.engine, r.net, simcpu.Params{Processors: 2}, DefaultCosts(), DefaultStagedSpec(false))
+	srv.Start()
+	c := &client{rig: r}
+	c.connect(t, func() { c.get(1000, "x") })
+	r.engine.Run()
+	r.engine.Schedule(500, func() { c.get(1000, "y") })
+	r.engine.Run()
+	if c.resets != 0 || len(c.replies) != 2 {
+		t.Fatalf("resets=%d replies=%d", c.resets, len(c.replies))
+	}
+}
+
+func TestStagedSpecValidate(t *testing.T) {
+	good := DefaultStagedSpec(true)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*StagedSpec){
+		func(s *StagedSpec) { s.Accept.Workers = 0 },
+		func(s *StagedSpec) { s.Parse.Workers = 0 },
+		func(s *StagedSpec) { s.Write.Workers = 0 },
+		func(s *StagedSpec) { s.Affinity = true; s.Parse.Processors = 0 },
+		func(s *StagedSpec) { s.LocalityDiscount = 0 },
+		func(s *StagedSpec) { s.LocalityDiscount = 1.5 },
+		func(s *StagedSpec) { s.Affinity = false; s.SharedProcessors = 0 },
+	}
+	for i, mutate := range cases {
+		spec := DefaultStagedSpec(true)
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStagedConstructorPanicsOnBadSpec(t *testing.T) {
+	r := newRig(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := DefaultStagedSpec(false)
+	bad.Write.Workers = 0
+	NewStaged(r.engine, r.net, simcpu.Params{Processors: 1}, DefaultCosts(), bad)
+}

@@ -1,0 +1,265 @@
+package simsrv
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// ---------------------------------------------------------------------
+// Threaded server (the paper's "httpd2" — Apache 2 worker MPM)
+// ---------------------------------------------------------------------
+
+// thread is one pool thread of the threaded server.
+type thread struct {
+	id        int
+	conn      *simnet.Conn
+	pending   []*Request
+	busy      bool // executing a CPU burst or blocked in a write
+	idleTimer *sim.Event
+}
+
+// Threaded is the Apache-2-worker-style server model.
+type Threaded struct {
+	engine    *sim.Engine
+	net       *simnet.Network
+	cpu       *simcpu.Pool
+	costs     Costs
+	keepAlive float64
+	threads   []*thread
+	idle      []*thread
+	stats     Stats
+
+	// memWeight scales each execution context's memory footprint when
+	// reporting the population to the CPU model: 1 for threads (worker
+	// MPM), >1 for full processes (prefork MPM, which cannot share
+	// heaps and caches the way threads do).
+	memWeight int
+}
+
+// NewThreaded builds the httpd2 model with a pool of `threads` threads
+// and the given keep-alive idle timeout (the paper configures 15 s).
+func NewThreaded(engine *sim.Engine, net *simnet.Network, cpu *simcpu.Pool, costs Costs, threads int, keepAlive float64) *Threaded {
+	if err := costs.Validate(); err != nil {
+		panic(err)
+	}
+	if threads <= 0 {
+		panic(fmt.Sprintf("simsrv: Threaded needs at least one thread, got %d", threads))
+	}
+	if keepAlive <= 0 {
+		panic(fmt.Sprintf("simsrv: keep-alive timeout must be positive, got %v", keepAlive))
+	}
+	s := &Threaded{
+		engine:    engine,
+		net:       net,
+		cpu:       cpu,
+		costs:     costs,
+		keepAlive: keepAlive,
+		memWeight: 1,
+	}
+	for i := 0; i < threads; i++ {
+		s.addThread()
+	}
+	return s
+}
+
+// addThread grows the pool by one execution context and refreshes the
+// memory-pressure accounting.
+func (s *Threaded) addThread() *thread {
+	th := &thread{id: len(s.threads)}
+	s.threads = append(s.threads, th)
+	s.idle = append(s.idle, th)
+	s.cpu.SetThreadCount(len(s.threads) * s.memWeight)
+	return th
+}
+
+// reapIdleThread removes one idle context (prefork MaxSpare reaping). It
+// reports whether a context was reaped.
+func (s *Threaded) reapIdleThread() bool {
+	if len(s.idle) == 0 {
+		return false
+	}
+	th := s.idle[len(s.idle)-1]
+	s.idle = s.idle[:len(s.idle)-1]
+	for i, t := range s.threads {
+		if t == th {
+			s.threads = append(s.threads[:i], s.threads[i+1:]...)
+			break
+		}
+	}
+	s.cpu.SetThreadCount(len(s.threads) * s.memWeight)
+	return true
+}
+
+// PoolSize returns the current number of execution contexts.
+func (s *Threaded) PoolSize() int { return len(s.threads) }
+
+// Start registers with the network and sizes the thread population —
+// which, for thousands of threads, is what triggers the CPU pool's
+// memory-pressure penalty.
+func (s *Threaded) Start() {
+	s.cpu.SetThreadCount(len(s.threads) * s.memWeight)
+	s.net.OnSyn = func(bool) {
+		s.cpu.Submit(s.costs.SynProcess, func() {})
+	}
+	s.net.Listen(s.dispatch)
+}
+
+// Stats returns a copy of the server counters.
+func (s *Threaded) Stats() Stats { return s.stats }
+
+// IdleThreads returns how many pool threads are unbound.
+func (s *Threaded) IdleThreads() int { return len(s.idle) }
+
+// dispatch hands queued connections to idle threads.
+func (s *Threaded) dispatch() {
+	if b := s.net.Backlog(); b > s.stats.QueuedAtPeak {
+		s.stats.QueuedAtPeak = b
+	}
+	for len(s.idle) > 0 && s.net.Backlog() > 0 {
+		conn := s.net.Accept()
+		if conn == nil {
+			return
+		}
+		th := s.idle[len(s.idle)-1]
+		s.idle = s.idle[:len(s.idle)-1]
+		s.bind(th, conn)
+	}
+}
+
+// bind attaches a connection to a thread for its whole keep-alive
+// lifetime — the defining property of the multithreaded architecture.
+func (s *Threaded) bind(th *thread, conn *simnet.Conn) {
+	th.conn = conn
+	th.busy = true
+	s.cpu.Submit(s.costs.Accept, func() {
+		s.stats.Accepted++
+		th.busy = false
+		if th.conn == nil {
+			// Released while accepting (client vanished): recycle.
+			s.idle = append(s.idle, th)
+			s.dispatch()
+			return
+		}
+		s.armIdleTimer(th)
+		s.net.AttachServer(conn,
+			func(_ int64, meta any) {
+				req, ok := meta.(*Request)
+				if !ok {
+					return
+				}
+				th.pending = append(th.pending, req)
+				s.serveNext(th)
+			},
+			func() {
+				s.stats.PeerCloses++
+				s.release(th)
+			})
+	})
+}
+
+func (s *Threaded) armIdleTimer(th *thread) {
+	s.disarmIdleTimer(th)
+	th.idleTimer = s.engine.Schedule(s.keepAlive, func() {
+		th.idleTimer = nil
+		// Keep-alive expired: close the connection to recycle the
+		// thread. The client will see a reset if it writes again.
+		s.stats.IdleCloses++
+		s.net.ServerClose(th.conn)
+		s.release(th)
+	})
+}
+
+func (s *Threaded) disarmIdleTimer(th *thread) {
+	if th.idleTimer != nil {
+		s.engine.Cancel(th.idleTimer)
+		th.idleTimer = nil
+	}
+}
+
+// release returns a thread to the pool and pulls new work.
+func (s *Threaded) release(th *thread) {
+	if th.conn == nil {
+		return
+	}
+	s.disarmIdleTimer(th)
+	th.conn.OnServerRecv = nil
+	th.conn.OnClientClosed = nil
+	th.conn = nil
+	th.pending = nil
+	if th.busy {
+		// The thread is mid-burst or mid-write; it re-enters the pool
+		// when the current operation unwinds (serveNext/writeChunk see
+		// conn == nil).
+		return
+	}
+	s.idle = append(s.idle, th)
+	s.dispatch()
+}
+
+// serveNext starts the next pending request if the thread is free.
+func (s *Threaded) serveNext(th *thread) {
+	if th.busy || th.conn == nil || len(th.pending) == 0 {
+		return
+	}
+	req := th.pending[0]
+	th.pending[0] = nil
+	th.pending = th.pending[1:]
+	th.busy = true
+	s.disarmIdleTimer(th)
+	s.cpu.Submit(s.costs.Parse, func() {
+		s.writeChunk(th, req, req.ResponseBytes)
+	})
+}
+
+// writeChunk performs one blocking write: CPU burst, then the thread
+// sleeps until the socket buffer drains, then the next chunk — the whole
+// response is sent before the thread does anything else.
+func (s *Threaded) writeChunk(th *thread, req *Request, remaining int64) {
+	if th.conn == nil {
+		// Released mid-response (client closed). Recycle now.
+		th.busy = false
+		s.idle = append(s.idle, th)
+		s.dispatch()
+		return
+	}
+	chunk := remaining
+	if chunk > s.costs.ChunkBytes {
+		chunk = s.costs.ChunkBytes
+	}
+	left := remaining - chunk
+	var meta any
+	if left == 0 {
+		meta = &ResponseDone{Tag: req.Tag}
+	}
+	s.cpu.Submit(s.costs.WriteSyscall+s.costs.PerByte*float64(chunk), func() {
+		conn := th.conn
+		if conn == nil {
+			th.busy = false
+			s.idle = append(s.idle, th)
+			s.dispatch()
+			return
+		}
+		s.net.ServerSendCB(conn, chunk, meta, func() {
+			if left > 0 {
+				s.writeChunk(th, req, left)
+				return
+			}
+			s.stats.Replies++
+			s.stats.BytesSent += req.ResponseBytes
+			th.busy = false
+			if th.conn == nil {
+				s.idle = append(s.idle, th)
+				s.dispatch()
+				return
+			}
+			if len(th.pending) > 0 {
+				s.serveNext(th)
+				return
+			}
+			s.armIdleTimer(th)
+		})
+	})
+}

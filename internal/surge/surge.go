@@ -1,0 +1,279 @@
+// Package surge implements the SURGE web-workload model of Barford &
+// Crovella ("Generating Representative Web Workloads for Network and
+// Server Performance Evaluation", SIGMETRICS 1998) — the model the paper's
+// httperf runs were configured from. It produces:
+//
+//   - an object set with heavy-tailed file sizes (lognormal body, Pareto
+//     tail) and Zipf popularity;
+//   - per-client request streams structured as sessions: a page request
+//     followed by embedded-object requests separated by "active OFF"
+//     times, then an "inactive OFF" (think) time before the next page;
+//   - sessions of a configurable mean length (the paper uses ≈6.5
+//     requests per session).
+//
+// All sampling is driven by an explicit dist.RNG, so identical seeds give
+// identical workloads across runs, machines and both execution substrates
+// (the live load generator and the simulator).
+package surge
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Config collects the distribution parameters of the SURGE model. The
+// zero value is not useful; start from DefaultConfig.
+type Config struct {
+	// NumObjects is the size of the server's file population.
+	NumObjects int
+	// SizeBody is the file-size distribution for the body (small files).
+	SizeBody dist.Sampler
+	// SizeTail is the heavy-tailed file-size distribution.
+	SizeTail dist.Sampler
+	// TailFraction is the probability a file size is drawn from SizeTail.
+	TailFraction float64
+	// PopularityExponent is the Zipf exponent for object popularity.
+	PopularityExponent float64
+	// EmbeddedRefs is the distribution of embedded objects per page.
+	EmbeddedRefs dist.Sampler
+	// ActiveOff is the distribution of intra-page gaps (seconds).
+	ActiveOff dist.Sampler
+	// InactiveOff is the distribution of think times between pages
+	// (seconds).
+	InactiveOff dist.Sampler
+	// RequestsPerSession is the mean total requests in one user session
+	// over one persistent connection (the paper uses 6.5).
+	RequestsPerSession float64
+	// MaxObjectBytes caps a single reply size so that one pathological
+	// tail draw cannot dominate a finite benchmark run.
+	MaxObjectBytes int64
+}
+
+// DefaultConfig returns the SURGE model with the size parameters scaled to
+// the paper's observation that its httperf runs moved <40 MB/s at ~2500
+// replies/s, i.e. a mean reply of roughly 15 KB: lognormal body (mean
+// ≈7.8 KB), Pareto tail (60 KB scale, alpha 1.3) with 3% tail mass,
+// Zipf(1.0) popularity, Pareto(1, 2.43) embedded references,
+// Weibull(1.46, 0.382) active OFF, Pareto(1, 1.5) inactive OFF; 6.5
+// requests/session as in the paper's httperf setup.
+func DefaultConfig() Config {
+	return Config{
+		NumObjects:         2000,
+		SizeBody:           dist.Lognormal{Mu: 8.35, Sigma: 1.1},
+		SizeTail:           dist.Pareto{K: 60000, Alpha: 1.3},
+		TailFraction:       0.03,
+		PopularityExponent: 1.0,
+		EmbeddedRefs:       dist.Pareto{K: 1, Alpha: 2.43},
+		ActiveOff:          dist.Weibull{Scale: 1.46, Shape: 0.382},
+		InactiveOff:        dist.Pareto{K: 1, Alpha: 1.5},
+		RequestsPerSession: 6.5,
+		MaxObjectBytes:     2 << 20, // 2 MiB cap keeps runs finite
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumObjects <= 0:
+		return fmt.Errorf("surge: NumObjects must be positive, got %d", c.NumObjects)
+	case c.SizeBody == nil || c.SizeTail == nil || c.EmbeddedRefs == nil ||
+		c.ActiveOff == nil || c.InactiveOff == nil:
+		return fmt.Errorf("surge: all distributions must be set")
+	case c.TailFraction < 0 || c.TailFraction > 1:
+		return fmt.Errorf("surge: TailFraction %v outside [0,1]", c.TailFraction)
+	case c.PopularityExponent < 0:
+		return fmt.Errorf("surge: negative PopularityExponent %v", c.PopularityExponent)
+	case c.RequestsPerSession < 1:
+		return fmt.Errorf("surge: RequestsPerSession %v < 1", c.RequestsPerSession)
+	case c.MaxObjectBytes <= 0:
+		return fmt.Errorf("surge: MaxObjectBytes must be positive, got %d", c.MaxObjectBytes)
+	}
+	return nil
+}
+
+// Object is one server file.
+type Object struct {
+	// ID is the object index; the canonical URL path is Path().
+	ID int
+	// Size is the reply body size in bytes.
+	Size int64
+}
+
+// Path returns the canonical URL path of the object.
+func (o Object) Path() string { return fmt.Sprintf("/obj/%d", o.ID) }
+
+// ObjectSet is the synthetic server file population: sizes plus a Zipf
+// popularity order. It is immutable after construction and safe for
+// concurrent readers.
+type ObjectSet struct {
+	objects []Object
+	zipf    *dist.Zipf
+	// byRank[r] is the object index with popularity rank r. SURGE draws
+	// a rank, then maps rank -> object so size and popularity are
+	// independent, as observed in real traces.
+	byRank []int
+	total  int64
+}
+
+// BuildObjectSet samples NumObjects file sizes and a popularity
+// permutation using rng.
+func BuildObjectSet(cfg Config, rng *dist.RNG) (*ObjectSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &ObjectSet{
+		objects: make([]Object, cfg.NumObjects),
+		zipf:    dist.NewZipf(cfg.NumObjects, cfg.PopularityExponent),
+		byRank:  rng.Perm(cfg.NumObjects),
+	}
+	for i := range s.objects {
+		var size float64
+		if rng.Float64() < cfg.TailFraction {
+			size = cfg.SizeTail.Sample(rng)
+		} else {
+			size = cfg.SizeBody.Sample(rng)
+		}
+		b := int64(math.Ceil(size))
+		if b < 64 {
+			b = 64 // floor: even an empty page has headers' worth of body
+		}
+		if b > cfg.MaxObjectBytes {
+			b = cfg.MaxObjectBytes
+		}
+		s.objects[i] = Object{ID: i, Size: b}
+		s.total += b
+	}
+	return s, nil
+}
+
+// Len returns the number of objects.
+func (s *ObjectSet) Len() int { return len(s.objects) }
+
+// Object returns object i.
+func (s *ObjectSet) Object(i int) Object { return s.objects[i] }
+
+// TotalBytes returns the sum of all object sizes.
+func (s *ObjectSet) TotalBytes() int64 { return s.total }
+
+// MeanBytes returns the mean object size.
+func (s *ObjectSet) MeanBytes() float64 { return float64(s.total) / float64(len(s.objects)) }
+
+// Pick draws one object according to Zipf popularity.
+func (s *ObjectSet) Pick(rng *dist.RNG) Object {
+	return s.objects[s.byRank[s.zipf.Rank(rng)]]
+}
+
+// Request is one HTTP request in a generated stream.
+type Request struct {
+	// Object is the target.
+	Object Object
+	// Gap is the time to wait *before* issuing this request, measured
+	// from the completion of the previous one (0 for pipelined and
+	// first-in-session requests).
+	Gap float64
+	// Pipelined marks requests that are written back-to-back with their
+	// predecessor without waiting for its response, as httperf does for
+	// embedded objects.
+	Pipelined bool
+}
+
+// Session is the unit of client activity over one persistent connection:
+// a list of requests and a final think time before the next session.
+type Session struct {
+	Requests []Request
+	// ThinkAfter is the inactive OFF time after the session completes.
+	ThinkAfter float64
+}
+
+// TotalBytes returns the response payload the session will transfer.
+func (s Session) TotalBytes() int64 {
+	var n int64
+	for _, r := range s.Requests {
+		n += r.Object.Size
+	}
+	return n
+}
+
+// SessionSource produces the session stream for one emulated client.
+// surge.Generator synthesizes sessions from the SURGE model;
+// sesslog.Replayer replays recorded ones.
+type SessionSource interface {
+	NextSession() Session
+}
+
+// Generator emits sessions for one emulated client. Generators are not
+// safe for concurrent use; give each client its own (use rng.Split()).
+type Generator struct {
+	cfg Config
+	set *ObjectSet
+	rng *dist.RNG
+}
+
+// NewGenerator returns a session generator over the given object set.
+func NewGenerator(cfg Config, set *ObjectSet, rng *dist.RNG) *Generator {
+	return &Generator{cfg: cfg, set: set, rng: rng}
+}
+
+// NextSession produces the next session: pages with embedded objects
+// until a per-session target length (drawn with mean RequestsPerSession)
+// is met, matching httperf's "--wsess=N,6.5,X" structure. At least one
+// request is always produced.
+func (g *Generator) NextSession() Session {
+	// httperf draws the number of calls per session from a distribution
+	// around the configured mean; an exponential with a floor of one call
+	// reproduces that variability.
+	target := int(math.Round(dist.Exponential{MeanVal: g.cfg.RequestsPerSession - 1}.Sample(g.rng))) + 1
+	var reqs []Request
+	for len(reqs) < target {
+		page := Request{Object: g.set.Pick(g.rng)}
+		if len(reqs) > 0 {
+			page.Gap = g.cfg.ActiveOff.Sample(g.rng)
+		}
+		reqs = append(reqs, page)
+		nEmb := int(g.cfg.EmbeddedRefs.Sample(g.rng)) - 1 // Pareto(1,·) counts the page itself
+		for i := 0; i < nEmb && len(reqs) < target; i++ {
+			reqs = append(reqs, Request{
+				Object:    g.set.Pick(g.rng),
+				Pipelined: true,
+			})
+		}
+	}
+	return Session{
+		Requests:   reqs,
+		ThinkAfter: g.cfg.InactiveOff.Sample(g.rng),
+	}
+}
+
+// Stats summarises a generated workload sample for validation and the
+// surgegen tool.
+type Stats struct {
+	Sessions        int
+	Requests        int
+	Bytes           int64
+	MeanSessionLen  float64
+	MeanObjectBytes float64
+	MeanThink       float64
+}
+
+// SampleStats runs the generator for n sessions and accumulates stats.
+func SampleStats(g *Generator, n int) Stats {
+	var st Stats
+	var think float64
+	for i := 0; i < n; i++ {
+		s := g.NextSession()
+		st.Sessions++
+		st.Requests += len(s.Requests)
+		st.Bytes += s.TotalBytes()
+		think += s.ThinkAfter
+	}
+	if st.Sessions > 0 {
+		st.MeanSessionLen = float64(st.Requests) / float64(st.Sessions)
+		st.MeanThink = think / float64(st.Sessions)
+	}
+	if st.Requests > 0 {
+		st.MeanObjectBytes = float64(st.Bytes) / float64(st.Requests)
+	}
+	return st
+}

@@ -1,0 +1,226 @@
+package surge
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func buildSet(t *testing.T, seed uint64) (*ObjectSet, Config, *dist.RNG) {
+	t.Helper()
+	cfg := DefaultConfig()
+	rng := dist.NewRNG(seed)
+	set, err := BuildObjectSet(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, cfg, rng
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumObjects = 0 },
+		func(c *Config) { c.SizeBody = nil },
+		func(c *Config) { c.TailFraction = 1.5 },
+		func(c *Config) { c.PopularityExponent = -1 },
+		func(c *Config) { c.RequestsPerSession = 0.5 },
+		func(c *Config) { c.MaxObjectBytes = 0 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestObjectSetDeterministic(t *testing.T) {
+	a, _, _ := buildSet(t, 99)
+	b, _, _ := buildSet(t, 99)
+	if a.TotalBytes() != b.TotalBytes() {
+		t.Fatal("same seed produced different object sets")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Object(i).Size != b.Object(i).Size {
+			t.Fatalf("object %d sizes differ", i)
+		}
+	}
+}
+
+func TestObjectSizesBoundedAndHeavyTailed(t *testing.T) {
+	set, cfg, _ := buildSet(t, 1)
+	var over100k int
+	for i := 0; i < set.Len(); i++ {
+		sz := set.Object(i).Size
+		if sz < 64 || sz > cfg.MaxObjectBytes {
+			t.Fatalf("object %d size %d outside [64, %d]", i, sz, cfg.MaxObjectBytes)
+		}
+		if sz > 100000 {
+			over100k++
+		}
+	}
+	// The Pareto tail guarantees a visible share of large files.
+	if over100k < set.Len()/400 {
+		t.Errorf("only %d/%d objects over 100 KB; tail missing", over100k, set.Len())
+	}
+	// Calibrated to the paper's ≈15 KB mean reply (see DefaultConfig).
+	if m := set.MeanBytes(); m < 8000 || m > 30000 {
+		t.Errorf("mean object size %v outside calibrated range", m)
+	}
+}
+
+func TestPickFollowsPopularity(t *testing.T) {
+	set, _, rng := buildSet(t, 2)
+	counts := make(map[int]int)
+	for i := 0; i < 100000; i++ {
+		counts[set.Pick(rng).ID]++
+	}
+	// The most-drawn object should be drawn far more than the median one.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5000 { // Zipf(1) over 2000 objects gives ~12% to rank 0
+		t.Errorf("hottest object drawn only %d/100000 times; popularity not skewed", max)
+	}
+}
+
+func TestSessionMeanLength(t *testing.T) {
+	set, cfg, rng := buildSet(t, 3)
+	g := NewGenerator(cfg, set, rng.Split())
+	st := SampleStats(g, 20000)
+	// Paper: ~6.5 requests per session. Accept ±35% given the embedded
+	// reference distribution's variance.
+	if st.MeanSessionLen < 4.0 || st.MeanSessionLen > 9.0 {
+		t.Errorf("mean session length %v, want ≈6.5", st.MeanSessionLen)
+	}
+	if st.Sessions != 20000 {
+		t.Errorf("sessions = %d", st.Sessions)
+	}
+}
+
+func TestSessionsAlwaysNonEmpty(t *testing.T) {
+	set, cfg, rng := buildSet(t, 4)
+	g := NewGenerator(cfg, set, rng.Split())
+	for i := 0; i < 5000; i++ {
+		s := g.NextSession()
+		if len(s.Requests) == 0 {
+			t.Fatal("empty session generated")
+		}
+		if s.Requests[0].Pipelined {
+			t.Fatal("first request of a session marked pipelined")
+		}
+		if s.Requests[0].Gap != 0 {
+			t.Fatal("first request of a session has a leading gap")
+		}
+		if s.ThinkAfter < 0 {
+			t.Fatal("negative think time")
+		}
+	}
+}
+
+func TestPipelinedRequestsHaveNoGap(t *testing.T) {
+	set, cfg, rng := buildSet(t, 5)
+	g := NewGenerator(cfg, set, rng.Split())
+	for i := 0; i < 2000; i++ {
+		s := g.NextSession()
+		for _, r := range s.Requests {
+			if r.Pipelined && r.Gap != 0 {
+				t.Fatalf("pipelined request carries gap %v", r.Gap)
+			}
+			if r.Gap < 0 {
+				t.Fatalf("negative gap %v", r.Gap)
+			}
+		}
+	}
+}
+
+func TestSessionBytesMatchObjects(t *testing.T) {
+	set, cfg, rng := buildSet(t, 6)
+	g := NewGenerator(cfg, set, rng.Split())
+	s := g.NextSession()
+	var want int64
+	for _, r := range s.Requests {
+		want += r.Object.Size
+	}
+	if got := s.TotalBytes(); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+func TestObjectPath(t *testing.T) {
+	o := Object{ID: 42, Size: 100}
+	if o.Path() != "/obj/42" {
+		t.Fatalf("Path = %q", o.Path())
+	}
+}
+
+func TestThinkTimesHeavyTailed(t *testing.T) {
+	set, cfg, rng := buildSet(t, 7)
+	g := NewGenerator(cfg, set, rng.Split())
+	st := SampleStats(g, 20000)
+	// Pareto(1, 1.5) has mean 3; sample means of heavy tails are noisy,
+	// accept a broad window but reject obviously wrong scales.
+	if st.MeanThink < 1.5 || st.MeanThink > 10 {
+		t.Errorf("mean think time %v, want ≈3", st.MeanThink)
+	}
+}
+
+// Property: any valid seed yields sessions whose request objects are all
+// members of the set and whose sizes respect the configured cap.
+func TestQuickSessionsWellFormed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumObjects = 100
+	base := dist.NewRNG(1000)
+	set, err := BuildObjectSet(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		g := NewGenerator(cfg, set, dist.NewRNG(seed))
+		for i := 0; i < 20; i++ {
+			s := g.NextSession()
+			if len(s.Requests) == 0 {
+				return false
+			}
+			for _, r := range s.Requests {
+				if r.Object.ID < 0 || r.Object.ID >= cfg.NumObjects {
+					return false
+				}
+				if r.Object.Size <= 0 || r.Object.Size > cfg.MaxObjectBytes {
+					return false
+				}
+				if math.IsNaN(r.Gap) || r.Gap < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNextSession(b *testing.B) {
+	cfg := DefaultConfig()
+	rng := dist.NewRNG(1)
+	set, err := BuildObjectSet(cfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := NewGenerator(cfg, set, rng.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.NextSession()
+	}
+}

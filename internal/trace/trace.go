@@ -1,0 +1,172 @@
+// Package trace records per-request lifecycle events from a simulation
+// run into a bounded ring buffer, so the experiment tooling can answer
+// "why was this request slow?" after the fact without paying unbounded
+// memory for multi-minute runs.
+//
+// The tracer is deliberately simple: fixed event vocabulary, one record
+// per event, O(1) append, dump filtered by client or kind. It is wired
+// into simclient behind a nil-checked interface so tracing costs nothing
+// when disabled.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is the lifecycle event class.
+type Kind uint8
+
+// Lifecycle events, in the order they normally occur.
+const (
+	SessionStart Kind = iota
+	ConnectStart
+	Connected
+	RequestSent
+	ReplyDone
+	GapStart
+	SessionEnd
+	ClientTimeout
+	ConnReset
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SessionStart:
+		return "session-start"
+	case ConnectStart:
+		return "connect-start"
+	case Connected:
+		return "connected"
+	case RequestSent:
+		return "request-sent"
+	case ReplyDone:
+		return "reply-done"
+	case GapStart:
+		return "gap-start"
+	case SessionEnd:
+		return "session-end"
+	case ClientTimeout:
+		return "client-timeout"
+	case ConnReset:
+		return "conn-reset"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one lifecycle record.
+type Event struct {
+	// At is the simulated time in seconds.
+	At float64
+	// Client identifies the emulated client.
+	Client int
+	// Kind is the event class.
+	Kind Kind
+	// Value carries a kind-specific number: connect duration for
+	// Connected, response time for ReplyDone, 0 otherwise.
+	Value float64
+}
+
+// Ring is a bounded in-memory trace. The zero value is unusable; create
+// with NewRing. Not safe for concurrent use (simulations are
+// single-threaded; the live path does not trace).
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewRing returns a tracer retaining the most recent cap events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: non-positive capacity %d", capacity))
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrapped = true
+	r.dropped++
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Dropped returns how many events were evicted.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if r.wrapped {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	if !r.wrapped {
+		out = append(out[:0], r.buf...)
+	}
+	return out
+}
+
+// Filter returns the retained events matching the predicate, in order.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByClient returns one client's events in order.
+func (r *Ring) ByClient(client int) []Event {
+	return r.Filter(func(ev Event) bool { return ev.Client == client })
+}
+
+// Summary aggregates the retained events per kind.
+func (r *Ring) Summary() map[Kind]int {
+	out := map[Kind]int{}
+	for _, ev := range r.Events() {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Dump renders the retained events as a timeline, one line per event.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		fmt.Fprintf(&b, "%12.6f  client=%-6d %-14s", ev.At, ev.Client, ev.Kind)
+		if ev.Value != 0 {
+			fmt.Fprintf(&b, " %.6fs", ev.Value)
+		}
+		b.WriteByte('\n')
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events evicted)\n", r.dropped)
+	}
+	return b.String()
+}
+
+// SlowestReplies returns the n ReplyDone events with the largest
+// response times, most severe first — the entry point for "why slow".
+func (r *Ring) SlowestReplies(n int) []Event {
+	replies := r.Filter(func(ev Event) bool { return ev.Kind == ReplyDone })
+	sort.Slice(replies, func(i, j int) bool { return replies[i].Value > replies[j].Value })
+	if len(replies) > n {
+		replies = replies[:n]
+	}
+	return replies
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(10)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: float64(i), Client: i, Kind: RequestSent})
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.At != float64(i) {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: float64(i), Kind: RequestSent})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	if evs[0].At != 6 || evs[3].At != 9 {
+		t.Fatalf("retained window wrong: %+v", evs)
+	}
+}
+
+func TestRingPanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestFilterAndByClient(t *testing.T) {
+	r := NewRing(16)
+	r.Record(Event{At: 1, Client: 1, Kind: RequestSent})
+	r.Record(Event{At: 2, Client: 2, Kind: RequestSent})
+	r.Record(Event{At: 3, Client: 1, Kind: ReplyDone, Value: 0.5})
+	if got := r.ByClient(1); len(got) != 2 {
+		t.Fatalf("client 1 events: %+v", got)
+	}
+	replies := r.Filter(func(ev Event) bool { return ev.Kind == ReplyDone })
+	if len(replies) != 1 || replies[0].Value != 0.5 {
+		t.Fatalf("replies: %+v", replies)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRing(16)
+	r.Record(Event{Kind: SessionStart})
+	r.Record(Event{Kind: RequestSent})
+	r.Record(Event{Kind: RequestSent})
+	s := r.Summary()
+	if s[SessionStart] != 1 || s[RequestSent] != 2 {
+		t.Fatalf("summary = %v", s)
+	}
+}
+
+func TestSlowestReplies(t *testing.T) {
+	r := NewRing(16)
+	for i, v := range []float64{0.1, 0.9, 0.5, 0.7} {
+		r.Record(Event{At: float64(i), Kind: ReplyDone, Value: v})
+	}
+	r.Record(Event{Kind: ClientTimeout}) // not a reply; must be excluded
+	top := r.SlowestReplies(2)
+	if len(top) != 2 || top[0].Value != 0.9 || top[1].Value != 0.7 {
+		t.Fatalf("slowest = %+v", top)
+	}
+	all := r.SlowestReplies(100)
+	if len(all) != 4 {
+		t.Fatalf("slowest(100) returned %d", len(all))
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(2)
+	r.Record(Event{At: 1.5, Client: 7, Kind: Connected, Value: 0.002})
+	r.Record(Event{At: 2.0, Client: 7, Kind: ConnReset})
+	r.Record(Event{At: 2.5, Client: 8, Kind: ClientTimeout})
+	out := r.Dump()
+	for _, want := range []string{"client=7", "conn-reset", "client-timeout", "evicted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{SessionStart, ConnectStart, Connected, RequestSent,
+		ReplyDone, GapStart, SessionEnd, ClientTimeout, ConnReset, Kind(200)}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Fatalf("empty string for kind %d", k)
+		}
+		if seen[s] && s != "unknown" {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+// Property: after any sequence of records, Events() returns exactly
+// min(len(records), cap) events and they are the most recent ones in
+// order.
+func TestQuickRingWindow(t *testing.T) {
+	f := func(times []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		r := NewRing(capacity)
+		for i := range times {
+			r.Record(Event{At: float64(i)})
+		}
+		evs := r.Events()
+		want := len(times)
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, ev := range evs {
+			if ev.At != float64(len(times)-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
