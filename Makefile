@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full bench figures figures-fast clean
+.PHONY: all build test test-full race bench figures figures-fast clean
 
 all: build test
 
@@ -15,6 +15,10 @@ test:
 # Everything, including the figure-shape integration tests (~2 min).
 test-full:
 	go test ./...
+
+# Unit tests under the race detector (what CI runs).
+race:
+	go test -race -short ./...
 
 # One iteration of every benchmark, including the per-figure harness.
 bench:

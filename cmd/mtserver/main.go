@@ -5,6 +5,9 @@
 // Usage:
 //
 //	mtserver -port 8081 -threads 64 -keepalive 15s
+//
+// Stop with SIGINT: the server drains (finishes in-flight responses, up
+// to -drain) before exiting.
 package main
 
 import (
@@ -25,9 +28,11 @@ import (
 func main() {
 	port := flag.Int("port", 8081, "port to listen on (0 picks a free port)")
 	threads := flag.Int("threads", 64, "worker-pool size")
-	keepAlive := flag.Duration("keepalive", 15*time.Second, "idle keep-alive timeout")
+	keepAlive := flag.Duration("keepalive", 15*time.Second, "idle keep-alive timeout (0 = never disconnect)")
 	objects := flag.Int("objects", 2000, "SURGE object population size")
 	seed := flag.Uint64("seed", 7, "object-set seed")
+	maxConns := flag.Int("max-conns", 0, "shed connections above this many with an immediate 503 (0 = unlimited; useful values are <= -threads)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGINT")
 	flag.Parse()
 
 	scfg := surge.DefaultConfig()
@@ -42,6 +47,7 @@ func main() {
 	cfg.Port = *port
 	cfg.Threads = *threads
 	cfg.KeepAlive = *keepAlive
+	cfg.MaxConns = *maxConns
 	srv, err := mtserver.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
@@ -55,8 +61,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Stop()
+	if !srv.Drain(*drain) {
+		fmt.Fprintf(os.Stderr, "drain budget %v exceeded; remaining connections cut\n", *drain)
+	}
 	st := srv.Stats()
-	fmt.Printf("accepted=%d replies=%d bytes=%d idle-closes=%d 400s=%d\n",
-		st.Accepted, st.Replies, st.BytesOut, st.IdleCloses, st.BadRequest)
+	fmt.Printf("accepted=%d replies=%d bytes=%d idle-closes=%d 400s=%d shed=%d\n",
+		st.Accepted, st.Replies, st.BytesOut, st.IdleCloses, st.BadRequest, st.Shed)
 }

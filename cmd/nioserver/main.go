@@ -5,8 +5,9 @@
 //
 //	nioserver -port 8080 -workers 1 -objects 2000 -seed 7
 //
-// The server exposes /obj/<id> for id in [0, objects). Stop with SIGINT;
-// final stats are printed on exit.
+// The server exposes /obj/<id> for id in [0, objects). Stop with SIGINT:
+// the server drains (finishes in-flight responses, up to -drain) before
+// exiting; final stats are printed on exit.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -28,6 +30,9 @@ func main() {
 	objects := flag.Int("objects", 2000, "SURGE object population size")
 	seed := flag.Uint64("seed", 7, "object-set seed")
 	idle := flag.Duration("idle-timeout", 0, "disconnect idle connections after this long (0 = never, the paper's configuration)")
+	header := flag.Duration("header-timeout", 0, "reset connections that have not delivered a complete request this long after their first byte (0 = never; slowloris defense)")
+	maxConns := flag.Int("max-conns", 0, "shed connections above this many with an immediate 503 (0 = unlimited)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGINT")
 	flag.Parse()
 
 	scfg := surge.DefaultConfig()
@@ -42,6 +47,8 @@ func main() {
 	cfg.Port = *port
 	cfg.Workers = *workers
 	cfg.IdleTimeout = *idle
+	cfg.HeaderTimeout = *header
+	cfg.MaxConns = *maxConns
 	srv, err := core.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
@@ -55,8 +62,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Stop()
+	if !srv.Drain(*drain) {
+		fmt.Fprintf(os.Stderr, "drain budget %v exceeded; remaining connections cut\n", *drain)
+	}
 	st := srv.Stats()
-	fmt.Printf("accepted=%d replies=%d bytes=%d 404s=%d 400s=%d\n",
-		st.Accepted, st.Replies, st.BytesOut, st.NotFound, st.BadRequest)
+	fmt.Printf("accepted=%d replies=%d bytes=%d 404s=%d 400s=%d shed=%d header-timeouts=%d\n",
+		st.Accepted, st.Replies, st.BytesOut, st.NotFound, st.BadRequest, st.Shed, st.HeaderTimeouts)
 }

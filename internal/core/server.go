@@ -32,6 +32,19 @@ type Config struct {
 	// is 0 = never; the knob exists for the live ablation that shows
 	// the reset errors appear with the policy, not the architecture.
 	IdleTimeout time.Duration
+	// HeaderTimeout, when positive, bounds how long a connection may
+	// take to deliver a complete request once one has begun (and how
+	// long a fresh connection may take to send its first). Distinct
+	// from IdleTimeout: an idle keep-alive connection between requests
+	// is free to linger, but a peer that dribbles header bytes — a
+	// slowloris — is reset when the clock runs out, so it cannot pin
+	// parser buffers forever. 0 disables the guard.
+	HeaderTimeout time.Duration
+	// MaxConns, when positive, caps concurrently open connections:
+	// excess accepts are answered with an immediate 503 and closed
+	// (counted in Stats.Shed) instead of queuing without bound —
+	// admission control for the connection-flood regime. 0 = unlimited.
+	MaxConns int
 }
 
 // DefaultConfig returns the paper's best uniprocessor configuration.
@@ -59,6 +72,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: invalid port %d", c.Port)
 	case c.IdleTimeout < 0:
 		return fmt.Errorf("core: negative IdleTimeout %v", c.IdleTimeout)
+	case c.HeaderTimeout < 0:
+		return fmt.Errorf("core: negative HeaderTimeout %v", c.HeaderTimeout)
+	case c.MaxConns < 0:
+		return fmt.Errorf("core: negative MaxConns %d", c.MaxConns)
 	}
 	return nil
 }
@@ -72,6 +89,12 @@ type Stats struct {
 	BadRequest int64
 	ConnsOpen  int64
 	IdleCloses int64
+	// Shed counts connections refused with a 503 by MaxConns admission
+	// control.
+	Shed int64
+	// HeaderTimeouts counts connections reset for failing to deliver a
+	// complete request within HeaderTimeout (slowloris defense).
+	HeaderTimeouts int64
 }
 
 // Server is the live event-driven web server.
@@ -80,19 +103,23 @@ type Server struct {
 	lfd  int
 	port int
 
-	workers  []*worker
-	acceptor *reactor.Poller
-	wg       sync.WaitGroup
-	stopping chan struct{}
-	stopOnce sync.Once
+	workers   []*worker
+	acceptor  *reactor.Poller
+	wg        sync.WaitGroup
+	stopping  chan struct{}
+	stopOnce  sync.Once
+	draining  chan struct{}
+	drainOnce sync.Once
 
-	accepted   counter
-	replies    counter
-	bytesOut   counter
-	notFound   counter
-	badRequest counter
-	connsOpen  counter
-	idleCloses counter
+	accepted       counter
+	replies        counter
+	bytesOut       counter
+	notFound       counter
+	badRequest     counter
+	connsOpen      counter
+	idleCloses     counter
+	shed           counter
+	headerTimeouts counter
 }
 
 // counter is a tiny atomic counter (avoids importing metrics here).
@@ -111,7 +138,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, lfd: lfd, port: port, stopping: make(chan struct{})}
+	s := &Server{
+		cfg:      cfg,
+		lfd:      lfd,
+		port:     port,
+		stopping: make(chan struct{}),
+		draining: make(chan struct{}),
+	}
 	return s, nil
 }
 
@@ -124,13 +157,15 @@ func (s *Server) Addr() string { return fmt.Sprintf("127.0.0.1:%d", s.port) }
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Accepted:   s.accepted.get(),
-		Replies:    s.replies.get(),
-		BytesOut:   s.bytesOut.get(),
-		NotFound:   s.notFound.get(),
-		BadRequest: s.badRequest.get(),
-		ConnsOpen:  s.connsOpen.get(),
-		IdleCloses: s.idleCloses.get(),
+		Accepted:       s.accepted.get(),
+		Replies:        s.replies.get(),
+		BytesOut:       s.bytesOut.get(),
+		NotFound:       s.notFound.get(),
+		BadRequest:     s.badRequest.get(),
+		ConnsOpen:      s.connsOpen.get(),
+		IdleCloses:     s.idleCloses.get(),
+		Shed:           s.shed.get(),
+		HeaderTimeouts: s.headerTimeouts.get(),
 	}
 }
 
@@ -180,16 +215,53 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// Stop shuts the server down and waits for all threads to exit.
+// Stop shuts the server down and waits for all threads to exit. Safe to
+// call before Start: the bound listener is closed so the fd does not
+// leak, and nothing is waited on.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopping)
+		if s.acceptor == nil {
+			// Never started: no acceptor owns the listen fd yet, so it
+			// must be closed here or it leaks.
+			reactor.CloseFD(s.lfd)
+			return
+		}
 		s.acceptor.Wakeup()
 		for _, w := range s.workers {
 			w.poller.Wakeup()
 		}
 	})
 	s.wg.Wait()
+}
+
+// Drain gracefully shuts the server down: it stops accepting, closes
+// idle connections immediately, lets every in-flight response finish
+// flushing (up to timeout), and then stops. It reports whether all
+// connections drained before the deadline; on false, the stragglers were
+// cut off by Stop. During the drain no new requests are read — pending
+// output is the only work left.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		if s.acceptor != nil {
+			s.acceptor.Wakeup()
+			for _, w := range s.workers {
+				w.poller.Wakeup()
+			}
+		}
+	})
+	drained := false
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.connsOpen.get() == 0 {
+			drained = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Stop()
+	return drained
 }
 
 // acceptLoop is the acceptor thread: it blocks in readiness selection on
@@ -209,6 +281,8 @@ func (s *Server) acceptLoop() {
 		select {
 		case <-s.stopping:
 			return
+		case <-s.draining:
+			return // drain: stop accepting; workers finish in-flight work
 		default:
 		}
 		evs, err := s.acceptor.Wait(-1)
@@ -225,11 +299,30 @@ func (s *Server) acceptLoop() {
 				break
 			}
 			s.accepted.add(1)
+			// Admission control: above MaxConns the connection is shed
+			// with an immediate 503 + close rather than queued without
+			// bound. connsOpen is incremented here, on the single
+			// acceptor thread, so the cap cannot be raced past.
+			if mc := s.cfg.MaxConns; mc > 0 && s.connsOpen.get() >= int64(mc) {
+				s.shed.add(1)
+				shedConn(fd)
+				continue
+			}
+			s.connsOpen.add(1)
 			w := s.workers[rr%len(s.workers)]
 			rr++
 			w.give(fd)
 		}
 	}
+}
+
+// shedConn answers an over-limit accept with a best-effort 503 and an
+// immediate close. The socket is fresh, so the non-blocking write of the
+// short header virtually always lands in the empty send buffer.
+func shedConn(fd int) {
+	resp := httpwire.AppendResponseHeader(nil, 503, "text/plain", 0, false)
+	_, _, _ = reactor.Write(fd, resp)
+	reactor.CloseFD(fd)
 }
 
 // conn is the per-connection state owned by exactly one worker.
@@ -247,6 +340,12 @@ type conn struct {
 	// lastActive is when the connection last made progress; the idle
 	// sweeper (only armed when Config.IdleTimeout > 0) compares it.
 	lastActive time.Time
+	// headerStart, when non-zero, is when the connection started owing
+	// us a complete request: set at accept and whenever a partial
+	// request is buffered, cleared once a request completes and nothing
+	// partial remains. The header sweeper (armed when
+	// Config.HeaderTimeout > 0) resets connections that exceed it.
+	headerStart time.Time
 }
 
 // worker is one reactor thread.
@@ -257,6 +356,9 @@ type worker struct {
 	inbox  chan int
 	buf    []byte
 	reqs   []*httpwire.Request
+	// draining is set once the server enters Drain: no new reads, flush
+	// pending output, close as connections empty.
+	draining bool
 }
 
 func newWorker(s *Server) (*worker, error) {
@@ -274,7 +376,8 @@ func newWorker(s *Server) (*worker, error) {
 }
 
 // give transfers an accepted fd to this worker (called from the acceptor
-// thread; Selector.wakeup semantics).
+// thread; Selector.wakeup semantics). The acceptor has already counted
+// the connection in connsOpen, so every failure path must uncount it.
 func (w *worker) give(fd int) {
 	select {
 	case w.inbox <- fd:
@@ -283,6 +386,7 @@ func (w *worker) give(fd int) {
 		// Inbox overflow: shed the connection rather than block the
 		// acceptor; this mirrors a full pending-registration queue.
 		reactor.CloseFD(fd)
+		w.srv.connsOpen.add(-1)
 	}
 }
 
@@ -293,11 +397,16 @@ func (w *worker) loop() {
 	// Dedicated reactor thread (see acceptLoop).
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
-	// With an idle timeout configured, the selector wait is bounded so
-	// the worker can sweep idle connections (Selector.select(timeout)).
+	// With an idle or header timeout configured, the selector wait is
+	// bounded so the worker can sweep offending connections
+	// (Selector.select(timeout)).
 	waitMs := -1
-	if d := w.srv.cfg.IdleTimeout; d > 0 {
-		waitMs = int(d.Milliseconds() / 2)
+	sweep := w.srv.cfg.IdleTimeout
+	if ht := w.srv.cfg.HeaderTimeout; ht > 0 && (sweep == 0 || ht < sweep) {
+		sweep = ht
+	}
+	if sweep > 0 {
+		waitMs = int(sweep.Milliseconds() / 2)
 		if waitMs < 10 {
 			waitMs = 10
 		}
@@ -309,12 +418,25 @@ func (w *worker) loop() {
 			return
 		default:
 		}
+		if !w.draining {
+			select {
+			case <-w.srv.draining:
+				w.beginDrain()
+			default:
+			}
+		}
+		if w.draining && len(w.conns) == 0 {
+			return // drained: every in-flight response has flushed
+		}
 		evs, err := w.poller.Wait(waitMs)
 		if err != nil {
 			return
 		}
 		if w.srv.cfg.IdleTimeout > 0 {
 			w.sweepIdle()
+		}
+		if w.srv.cfg.HeaderTimeout > 0 && !w.draining {
+			w.sweepHeaders()
 		}
 		for _, ev := range evs {
 			c, ok := w.conns[ev.FD]
@@ -325,7 +447,7 @@ func (w *worker) loop() {
 				w.closeConn(c)
 				continue
 			}
-			if ev.Readable {
+			if ev.Readable && !w.draining {
 				w.readable(c)
 			}
 			if c2, still := w.conns[ev.FD]; still && c2 == c && ev.Writable {
@@ -335,26 +457,60 @@ func (w *worker) loop() {
 	}
 }
 
+// beginDrain flips the worker into drain mode: idle connections close
+// immediately; connections with queued output stop reading (their read
+// interest is dropped) and close once their responses flush.
+func (w *worker) beginDrain() {
+	w.draining = true
+	for _, c := range w.conns {
+		if len(c.out) == 0 {
+			w.closeConn(c)
+			continue
+		}
+		c.closing = true
+		c.writeArm = true
+		_ = w.poller.Modify(c.fd, false, true)
+	}
+}
+
 func (w *worker) shutdown() {
 	for _, c := range w.conns {
 		reactor.CloseFD(c.fd)
 		w.srv.connsOpen.add(-1)
 	}
 	w.conns = nil
-	w.poller.Close()
+	// Connections handed over but never registered still hold a
+	// connsOpen slot; release them too.
+	for {
+		select {
+		case fd := <-w.inbox:
+			reactor.CloseFD(fd)
+			w.srv.connsOpen.add(-1)
+		default:
+			w.poller.Close()
+			return
+		}
+	}
 }
 
 func (w *worker) drainInbox() {
 	for {
 		select {
 		case fd := <-w.inbox:
-			c := &conn{fd: fd, lastActive: time.Now()}
+			if w.draining {
+				// Raced in just as the drain began: shed it.
+				reactor.CloseFD(fd)
+				w.srv.connsOpen.add(-1)
+				continue
+			}
+			now := time.Now()
+			c := &conn{fd: fd, lastActive: now, headerStart: now}
 			if err := w.poller.Add(fd, true, false); err != nil {
 				reactor.CloseFD(fd)
+				w.srv.connsOpen.add(-1)
 				continue
 			}
 			w.conns[fd] = c
-			w.srv.connsOpen.add(1)
 		default:
 			return
 		}
@@ -385,6 +541,16 @@ func (w *worker) readable(c *conn) {
 			c.closing = true
 			break
 		}
+	}
+	// Header clock: a buffered partial request keeps (or starts) the
+	// clock; a clean boundary stops it — between requests only the idle
+	// policy applies.
+	if c.parser.Pending() {
+		if c.headerStart.IsZero() {
+			c.headerStart = c.lastActive
+		}
+	} else {
+		c.headerStart = time.Time{}
 	}
 	w.flush(c)
 }
@@ -466,6 +632,20 @@ func (w *worker) sweepIdle() {
 	for _, c := range w.conns {
 		if len(c.out) == 0 && c.lastActive.Before(deadline) {
 			w.srv.idleCloses.add(1)
+			w.resetConn(c)
+		}
+	}
+}
+
+// sweepHeaders resets connections that have owed a complete request for
+// longer than HeaderTimeout — the slowloris defense: dribbled header
+// bytes reset lastActive but not headerStart, so a dribbler cannot
+// outrun this sweep the way it outruns an idle timeout.
+func (w *worker) sweepHeaders() {
+	deadline := time.Now().Add(-w.srv.cfg.HeaderTimeout)
+	for _, c := range w.conns {
+		if !c.headerStart.IsZero() && c.headerStart.Before(deadline) {
+			w.srv.headerTimeouts.add(1)
 			w.resetConn(c)
 		}
 	}

@@ -441,4 +441,257 @@ func TestIdleTimeoutValidation(t *testing.T) {
 	if _, err := NewServer(cfg); err == nil {
 		t.Fatal("negative IdleTimeout accepted")
 	}
+	cfg = DefaultConfig(testStore())
+	cfg.HeaderTimeout = -time.Second
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("negative HeaderTimeout accepted")
+	}
+	cfg = DefaultConfig(testStore())
+	cfg.MaxConns = -1
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("negative MaxConns accepted")
+	}
+}
+
+// Regression: Stop before Start used to panic on the nil acceptor and
+// leak the bound listen fd.
+func TestStopBeforeStartReleasesListener(t *testing.T) {
+	s, err := NewServer(DefaultConfig(testStore()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := s.Port()
+	s.Stop() // must not panic
+	s.Stop() // and stay idempotent
+
+	// The fd must actually be closed: rebinding the same port succeeds.
+	cfg := DefaultConfig(testStore())
+	cfg.Port = port
+	s2, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("rebind after Stop-before-Start failed (leaked fd?): %v", err)
+	}
+	s2.Stop()
+}
+
+func TestDrainBeforeStart(t *testing.T) {
+	s, err := NewServer(DefaultConfig(testStore()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Drain(100 * time.Millisecond) {
+		t.Fatal("drain of a never-started server reported stragglers")
+	}
+}
+
+func TestHeaderTimeoutResetsSlowHeaders(t *testing.T) {
+	cfg := DefaultConfig(testStore())
+	cfg.HeaderTimeout = 100 * time.Millisecond
+	s := startServer(t, cfg)
+
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Dribble a partial request line, then stall mid-header.
+	if _, err := c.Write([]byte("GET /hello HT")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().HeaderTimeouts == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := s.Stats()
+	if st.HeaderTimeouts == 0 {
+		t.Fatalf("header sweeper never fired: %+v", st)
+	}
+	if st.ConnsOpen != 0 {
+		t.Fatalf("timed-out connection still accounted: %+v", st)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived the header timeout")
+	}
+}
+
+func TestHeaderTimeoutSparesIdleKeepAlive(t *testing.T) {
+	// An idle keep-alive connection *between* requests must not be hit:
+	// HeaderTimeout is not IdleTimeout.
+	cfg := DefaultConfig(testStore())
+	cfg.HeaderTimeout = 100 * time.Millisecond
+	s := startServer(t, cfg)
+
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewReader(c)
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+	resp, err := http.ReadResponse(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	time.Sleep(400 * time.Millisecond) // well past HeaderTimeout
+
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+	if _, err := http.ReadResponse(r, nil); err != nil {
+		t.Fatalf("idle keep-alive connection was header-timed out: %v", err)
+	}
+	if ht := s.Stats().HeaderTimeouts; ht != 0 {
+		t.Fatalf("spurious header timeouts: %d", ht)
+	}
+}
+
+func TestMaxConnsShedsWith503(t *testing.T) {
+	cfg := DefaultConfig(testStore())
+	cfg.MaxConns = 4
+	s := startServer(t, cfg)
+
+	// Fill the admission budget with held-open connections.
+	var held []net.Conn
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		c, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, c)
+		fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+		if _, err := http.ReadResponse(bufio.NewReader(c), nil); err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+	}
+
+	// The next connection must be shed with a 503 and a close.
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	data, _ := io.ReadAll(c)
+	if !strings.Contains(string(data), "503") {
+		t.Fatalf("shed connection got %q, want a 503", data)
+	}
+	st := s.Stats()
+	if st.Shed == 0 {
+		t.Fatalf("no shed accounting: %+v", st)
+	}
+	if st.ConnsOpen > int64(cfg.MaxConns) {
+		t.Fatalf("ConnsOpen %d exceeds MaxConns %d", st.ConnsOpen, cfg.MaxConns)
+	}
+
+	// Releasing a slot re-admits new connections.
+	held[0].Close()
+	held = held[1:]
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().ConnsOpen < int64(cfg.MaxConns) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	fmt.Fprintf(c2, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+	resp, err := http.ReadResponse(bufio.NewReader(c2), nil)
+	if err != nil {
+		t.Fatalf("re-admission failed: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("re-admitted connection got %d", resp.StatusCode)
+	}
+}
+
+func TestDrainFinishesInFlightAndClosesIdle(t *testing.T) {
+	store := testStore()
+	store["/huge"] = make([]byte, 8<<20)
+	s := startServer(t, DefaultConfig(store))
+
+	// Idle keep-alive connection: must be closed immediately by drain.
+	idle, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	fmt.Fprintf(idle, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+	ri := bufio.NewReader(idle)
+	resp, err := http.ReadResponse(ri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// In-flight response: request a huge object and read it slowly so
+	// the server still holds queued output when the drain begins.
+	slow, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fmt.Fprintf(slow, "GET /huge HTTP/1.1\r\nHost: x\r\n\r\n")
+	time.Sleep(50 * time.Millisecond) // let the server queue the response
+
+	type result struct {
+		n   int64
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var total int64
+		buf := make([]byte, 256<<10)
+		for {
+			slow.SetReadDeadline(time.Now().Add(10 * time.Second))
+			n, err := slow.Read(buf)
+			total += int64(n)
+			if err != nil {
+				done <- result{total, err}
+				return
+			}
+			time.Sleep(2 * time.Millisecond) // slow reader
+		}
+	}()
+
+	if !s.Drain(10 * time.Second) {
+		t.Fatal("drain timed out with a live in-flight response")
+	}
+	res := <-done
+	if res.err != io.EOF {
+		t.Fatalf("in-flight read ended with %v, want clean EOF", res.err)
+	}
+	// Full response head + 8 MiB body must have arrived before the close.
+	if res.n < 8<<20 {
+		t.Fatalf("in-flight response truncated at %d bytes", res.n)
+	}
+	// The idle connection must have been closed (EOF, no data).
+	idle.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ri.ReadByte(); err != io.EOF {
+		t.Fatalf("idle connection saw %v, want EOF", err)
+	}
+	if open := s.Stats().ConnsOpen; open != 0 {
+		t.Fatalf("connections survived drain: %d", open)
+	}
+}
+
+func TestDrainRejectsNewConnections(t *testing.T) {
+	s := startServer(t, DefaultConfig(testStore()))
+	if !s.Drain(5 * time.Second) {
+		t.Fatal("empty server failed to drain")
+	}
+	if _, err := net.DialTimeout("tcp", s.Addr(), 500*time.Millisecond); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
 }

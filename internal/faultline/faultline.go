@@ -1,0 +1,411 @@
+// Package faultline is an in-process TCP fault-injection proxy: it sits
+// between a client (typically internal/loadgen) and a live server and
+// manufactures, deterministically, the degraded-client behaviours the
+// paper's overload figures are made of — slow-read clients that dribble
+// request bytes (slowloris), stalled readers that stop draining a
+// response mid-transfer, abrupt RSTs, half-closes, per-connection
+// bandwidth caps, and added latency.
+//
+// Each accepted connection is assigned a Profile by the configured Plan
+// from a per-connection RNG derived from (Seed, connection index), so an
+// attack run is reproducible bit-for-bit regardless of goroutine
+// scheduling. Per-fault counters (internal/metrics.Counter) report how
+// often each fault actually fired.
+//
+// The proxy deliberately uses net.Conn and goroutines: it plays the
+// *client side* of the experiment, where the paper's httperf machines
+// sat, and is not itself the system under study.
+package faultline
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/metrics"
+)
+
+// Profile describes the faults applied to one proxied connection. The
+// zero value is a transparent, unthrottled pass-through.
+type Profile struct {
+	// UpBytesPerSec, when positive, throttles the client→server
+	// direction to this rate — the slowloris dribble: the client's
+	// request trickles into the server a few bytes at a time.
+	UpBytesPerSec int
+	// DownBytesPerSec, when positive, throttles the server→client
+	// direction — a per-connection bandwidth cap, the live analogue of
+	// the paper's 100 Mbit/s client links.
+	DownBytesPerSec int
+	// StallAfterBytes, when positive, stops draining the server→client
+	// direction after this many response bytes: the reader stalls with
+	// the response half-delivered, pinning the server's write path until
+	// something times out.
+	StallAfterBytes int64
+	// RSTAfterBytes, when positive, aborts the connection with a TCP RST
+	// (SO_LINGER=0 close of both sides) after this many response bytes.
+	RSTAfterBytes int64
+	// HalfCloseAfterBytes, when positive, sends FIN to the server
+	// (CloseWrite) after this many request bytes while continuing to
+	// read the response — a client that shuts down its send side early.
+	HalfCloseAfterBytes int64
+	// ExtraLatency, when positive, delays every forwarded chunk in both
+	// directions — added per-hop latency.
+	ExtraLatency time.Duration
+}
+
+// Plan assigns a Profile to the conn-th accepted connection. rng is
+// derived deterministically from the proxy Seed and conn, so a Plan that
+// randomizes (e.g. "30% of connections are slow readers") is still
+// reproducible across runs.
+type Plan func(conn int, rng *dist.RNG) Profile
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Upstream is the host:port of the server under test. Required.
+	Upstream string
+	// Seed derives the per-connection RNG streams handed to Plan.
+	Seed uint64
+	// Plan picks each connection's faults; nil proxies transparently.
+	Plan Plan
+	// DialTimeout bounds the upstream dial (default 5 s).
+	DialTimeout time.Duration
+}
+
+// Stats is a snapshot of the proxy's counters. The per-fault counts
+// increment when a fault actually engages on a connection, not when a
+// profile merely requests it.
+type Stats struct {
+	Conns      int64 // connections accepted and proxied
+	SlowReads  int64 // connections that dribbled request bytes
+	Stalls     int64 // responses stalled mid-transfer
+	Resets     int64 // connections aborted with RST
+	HalfCloses int64 // early FINs sent upstream
+	Capped     int64 // connections with a download bandwidth cap
+	Delayed    int64 // connections with added latency
+	BytesUp    int64 // client→server bytes forwarded
+	BytesDown  int64 // server→client bytes forwarded
+}
+
+// Proxy is the fault-injection proxy. Create with New, tear down with
+// Close.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // both sides of every live pair
+
+	nConns     metrics.Counter
+	slowReads  metrics.Counter
+	stalls     metrics.Counter
+	resets     metrics.Counter
+	halfCloses metrics.Counter
+	capped     metrics.Counter
+	delayed    metrics.Counter
+	bytesUp    metrics.Counter
+	bytesDown  metrics.Counter
+}
+
+// New binds the proxy on a fresh loopback port and starts accepting.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("faultline: Upstream is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultline: listen: %w", err)
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; point clients here instead of
+// at the server.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns a snapshot of the counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:      p.nConns.Value(),
+		SlowReads:  p.slowReads.Value(),
+		Stalls:     p.stalls.Value(),
+		Resets:     p.resets.Value(),
+		HalfCloses: p.halfCloses.Value(),
+		Capped:     p.capped.Value(),
+		Delayed:    p.delayed.Value(),
+		BytesUp:    p.bytesUp.Value(),
+		BytesDown:  p.bytesDown.Value(),
+	}
+}
+
+// Close stops accepting, severs every proxied connection, and waits for
+// all pumps to exit. Safe to call more than once.
+func (p *Proxy) Close() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.ln.Close()
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	})
+	p.wg.Wait()
+}
+
+// connSeed mixes the proxy seed with the connection index (SplitMix64
+// constant) so each connection gets an independent, reproducible stream.
+func connSeed(seed uint64, idx int) uint64 {
+	return seed + uint64(idx)*0x9e3779b97f4a7c15
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	idx := 0
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		profile := Profile{}
+		if p.cfg.Plan != nil {
+			profile = p.cfg.Plan(idx, dist.NewRNG(connSeed(p.cfg.Seed, idx)))
+		}
+		idx++
+		p.nConns.Inc()
+		p.wg.Add(1)
+		go p.proxyConn(client, profile)
+	}
+}
+
+func (p *Proxy) track(c net.Conn, on bool) {
+	p.mu.Lock()
+	if on {
+		p.conns[c] = struct{}{}
+	} else {
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// proxyConn dials upstream and runs the two directional pumps.
+func (p *Proxy) proxyConn(client net.Conn, prof Profile) {
+	defer p.wg.Done()
+	server, err := net.DialTimeout("tcp", p.cfg.Upstream, p.cfg.DialTimeout)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.track(client, true)
+	p.track(server, true)
+	defer func() {
+		p.track(client, false)
+		p.track(server, false)
+		client.Close()
+		server.Close()
+	}()
+
+	// Classification counters: these profiles engage from byte one.
+	if prof.UpBytesPerSec > 0 {
+		p.slowReads.Inc()
+	}
+	if prof.DownBytesPerSec > 0 {
+		p.capped.Inc()
+	}
+	if prof.ExtraLatency > 0 {
+		p.delayed.Inc()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.pumpUp(client, server, prof)
+	}()
+	go func() {
+		defer wg.Done()
+		p.pumpDown(client, server, prof)
+	}()
+	wg.Wait()
+}
+
+// sleep waits for d or until the proxy is closing; it reports false when
+// the proxy is shutting down.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	select {
+	case <-p.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// throttled forwards buf to dst at rate bytes/s (0 = unthrottled),
+// dribbling in small slices so the receiver sees a trickle, not bursts.
+func (p *Proxy) throttled(dst net.Conn, buf []byte, rate int, counter *metrics.Counter) error {
+	if rate <= 0 {
+		n, err := dst.Write(buf)
+		counter.Add(int64(n))
+		return err
+	}
+	// Slice size: ~1/10 s worth of bytes, at least 1 — a 10 B/s dribble
+	// really does arrive one byte at a time.
+	slice := rate / 10
+	if slice < 1 {
+		slice = 1
+	}
+	for len(buf) > 0 {
+		n := slice
+		if n > len(buf) {
+			n = len(buf)
+		}
+		wn, err := dst.Write(buf[:n])
+		counter.Add(int64(wn))
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+		if !p.sleep(time.Duration(float64(n) / float64(rate) * float64(time.Second))) {
+			return fmt.Errorf("faultline: proxy closing")
+		}
+	}
+	return nil
+}
+
+// pumpUp forwards client→server: the request path. Slowloris dribble,
+// half-close, and latency apply here.
+func (p *Proxy) pumpUp(client, server net.Conn, prof Profile) {
+	buf := make([]byte, 32<<10)
+	var sent int64
+	for {
+		n, err := client.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if !p.sleep(prof.ExtraLatency) {
+				return
+			}
+			if prof.HalfCloseAfterBytes > 0 && sent+int64(n) > prof.HalfCloseAfterBytes {
+				chunk = chunk[:prof.HalfCloseAfterBytes-sent]
+			}
+			if len(chunk) > 0 {
+				if werr := p.throttled(server, chunk, prof.UpBytesPerSec, &p.bytesUp); werr != nil {
+					return
+				}
+				sent += int64(len(chunk))
+			}
+			if prof.HalfCloseAfterBytes > 0 && sent >= prof.HalfCloseAfterBytes {
+				p.halfCloses.Inc()
+				if tc, ok := server.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				return
+			}
+		}
+		if err != nil {
+			// Client finished sending: forward the FIN upstream but keep
+			// the down pump alive for the tail of the response.
+			if tc, ok := server.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// pumpDown forwards server→client: the response path. Stall, RST,
+// bandwidth cap, and latency apply here.
+func (p *Proxy) pumpDown(client, server net.Conn, prof Profile) {
+	buf := make([]byte, 32<<10)
+	var recvd int64
+	for {
+		if prof.StallAfterBytes > 0 && recvd >= prof.StallAfterBytes {
+			// Stalled reader: stop draining the server and hold the
+			// connection open until the proxy closes or the server gives
+			// up. The server's response backs up behind a full socket
+			// buffer — the paper's blocked-writer regime.
+			p.stalls.Inc()
+			<-p.stop
+			return
+		}
+		n, err := server.Read(buf)
+		if n > 0 {
+			recvd += int64(n)
+			if prof.RSTAfterBytes > 0 && recvd >= prof.RSTAfterBytes {
+				p.resets.Inc()
+				abort(client)
+				abort(server)
+				return
+			}
+			if !p.sleep(prof.ExtraLatency) {
+				return
+			}
+			if werr := p.throttled(client, buf[:n], prof.DownBytesPerSec, &p.bytesDown); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			// Server finished: forward the FIN to the client.
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// abort closes c so the peer sees an RST, not an orderly FIN.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// ---------------------------------------------------------------------
+// Canned plans for the paper's standard attacks.
+// ---------------------------------------------------------------------
+
+// Slowloris returns a Plan that dribbles every connection's request
+// bytes at the given rate — the canonical thread-pool-exhaustion attack.
+func Slowloris(bytesPerSec int) Plan {
+	return func(int, *dist.RNG) Profile {
+		return Profile{UpBytesPerSec: bytesPerSec}
+	}
+}
+
+// Transparent returns a no-fault pass-through Plan.
+func Transparent() Plan {
+	return func(int, *dist.RNG) Profile { return Profile{} }
+}
+
+// Mixed returns a Plan where each connection independently draws one
+// fault with probability pFault (uniform over the listed profiles),
+// otherwise passes through — hostile traffic diluted into a healthy
+// stream, reproducibly.
+func Mixed(pFault float64, faults ...Profile) Plan {
+	return func(_ int, rng *dist.RNG) Profile {
+		if len(faults) == 0 || rng.Float64() >= pFault {
+			return Profile{}
+		}
+		return faults[rng.Intn(len(faults))]
+	}
+}

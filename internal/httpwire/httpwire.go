@@ -120,6 +120,12 @@ func (p *Parser) Reset() {
 // Parsed returns how many complete requests this parser has produced.
 func (p *Parser) Parsed() int64 { return p.parsed }
 
+// Pending reports whether the parser holds a partially received request
+// (buffered bytes or mid-grammar state). This is the condition a
+// header-read timeout guards: a peer that opened a request but never
+// finishes it is pinning parser buffers.
+func (p *Parser) Pending() bool { return len(p.buf) > 0 || p.state != stRequestLine }
+
 // Feed consumes data and appends any completed requests to dst, returning
 // the extended slice. A non-nil error means the stream is unrecoverable
 // (the connection should be answered with 400 and closed).

@@ -207,14 +207,20 @@ func classify(err error) (timeout, reset bool) {
 	if errors.As(err, &ne) && ne.Timeout() {
 		return true, false
 	}
-	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+	// ECONNABORTED and EPIPE/"broken pipe" join ECONNRESET in the reset
+	// class: httperf's accounting lumps every abortive disconnect the
+	// server inflicts into connreset errors.
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNABORTED) {
 		return false, true
 	}
 	// A close from the server mid-read surfaces as unexpected EOF.
 	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 		return false, true
 	}
-	if strings.Contains(err.Error(), "connection reset") {
+	if msg := err.Error(); strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "broken pipe") ||
+		strings.Contains(msg, "connection aborted") {
 		return false, true
 	}
 	return false, false

@@ -3,6 +3,11 @@
 package loadgen
 
 import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
 	"testing"
 	"time"
 
@@ -149,6 +154,27 @@ func TestErrorClassification(t *testing.T) {
 	}
 	if to, _ := classify(timeoutErr{}); !to {
 		t.Fatal("timeout not classified")
+	}
+	// httperf's reset class covers every abortive server disconnect.
+	resetClass := []error{
+		syscall.ECONNRESET,
+		syscall.ECONNABORTED,
+		syscall.EPIPE,
+		&net.OpError{Op: "write", Err: os.NewSyscallError("write", syscall.EPIPE)},
+		&net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ECONNABORTED)},
+		errors.New("write tcp 127.0.0.1:1->127.0.0.1:2: write: broken pipe"),
+		errors.New("read tcp 127.0.0.1:1->127.0.0.1:2: read: connection reset by peer"),
+		errors.New("accept tcp 127.0.0.1:1: software caused connection aborted"),
+		io.EOF,
+		io.ErrUnexpectedEOF,
+	}
+	for _, err := range resetClass {
+		if to, rst := classify(err); to || !rst {
+			t.Errorf("classify(%v) = timeout=%v reset=%v, want reset", err, to, rst)
+		}
+	}
+	if _, rst := classify(errors.New("no route to host")); rst {
+		t.Error("unrelated error landed in the reset class")
 	}
 }
 

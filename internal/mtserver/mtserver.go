@@ -30,12 +30,19 @@ type Config struct {
 	// Threads is the worker-pool size (the paper sweeps 128–6000).
 	Threads int
 	// KeepAlive is the idle timeout after which the server closes a
-	// connection (the paper configures 15 s).
+	// connection (the paper configures 15 s). 0 disables the timeout:
+	// reads and writes then carry no deadline at all — the ablation
+	// that shows the reset errors come from the recycling policy.
 	KeepAlive time.Duration
 	// ReadBuf is the per-thread read buffer size.
 	ReadBuf int
 	// Store serves the content; required.
 	Store core.Store
+	// MaxConns, when positive, caps connections the server will hold
+	// (serving plus queued for a free thread): excess accepts get an
+	// immediate 503 + close (counted in Stats.Shed) instead of piling
+	// into the handoff queue and kernel backlog. 0 = unlimited.
+	MaxConns int
 }
 
 // DefaultConfig returns the paper's best configuration (scaled pool).
@@ -53,8 +60,10 @@ func (c Config) Validate() error {
 	switch {
 	case c.Threads <= 0:
 		return fmt.Errorf("mtserver: Threads must be positive, got %d", c.Threads)
-	case c.KeepAlive <= 0:
-		return fmt.Errorf("mtserver: KeepAlive must be positive, got %v", c.KeepAlive)
+	case c.KeepAlive < 0:
+		return fmt.Errorf("mtserver: negative KeepAlive %v", c.KeepAlive)
+	case c.MaxConns < 0:
+		return fmt.Errorf("mtserver: negative MaxConns %d", c.MaxConns)
 	case c.ReadBuf < 256:
 		return fmt.Errorf("mtserver: ReadBuf must be at least 256, got %d", c.ReadBuf)
 	case c.Store == nil:
@@ -73,6 +82,9 @@ type Stats struct {
 	IdleCloses int64
 	BadRequest int64
 	ConnsOpen  int64
+	// Shed counts connections refused with a 503 by MaxConns admission
+	// control.
+	Shed int64
 }
 
 // Server is the live thread-pool web server.
@@ -86,9 +98,11 @@ type Server struct {
 	// the kernel's accept backlog.
 	handoff chan net.Conn
 
-	wg       sync.WaitGroup
-	stopping chan struct{}
-	stopOnce sync.Once
+	wg        sync.WaitGroup
+	stopping  chan struct{}
+	stopOnce  sync.Once
+	draining  chan struct{}
+	drainOnce sync.Once
 
 	mu     sync.Mutex
 	active map[net.Conn]struct{}
@@ -99,6 +113,11 @@ type Server struct {
 	idleCloses atomic.Int64
 	badRequest atomic.Int64
 	connsOpen  atomic.Int64
+	shed       atomic.Int64
+	// inflight counts accepted-and-admitted connections from accept to
+	// handler exit (ConnsOpen only counts those a thread has picked up);
+	// MaxConns admission and Drain completion are judged against it.
+	inflight atomic.Int64
 }
 
 // NewServer validates the configuration and binds the listener.
@@ -115,6 +134,7 @@ func NewServer(cfg Config) (*Server, error) {
 		ln:       ln,
 		handoff:  make(chan net.Conn),
 		stopping: make(chan struct{}),
+		draining: make(chan struct{}),
 		active:   make(map[net.Conn]struct{}),
 	}, nil
 }
@@ -134,6 +154,7 @@ func (s *Server) Stats() Stats {
 		IdleCloses: s.idleCloses.Load(),
 		BadRequest: s.badRequest.Load(),
 		ConnsOpen:  s.connsOpen.Load(),
+		Shed:       s.shed.Load(),
 	}
 }
 
@@ -163,6 +184,37 @@ func (s *Server) Stop() {
 	s.wg.Wait()
 }
 
+// Drain gracefully shuts the server down: it stops accepting, wakes
+// threads parked in keep-alive reads (their connections close cleanly,
+// with no RST and no idle-close accounting), lets responses already
+// being served finish, and then stops. It reports whether every
+// connection finished before the timeout; on false, Stop cut off the
+// stragglers.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		s.ln.Close()
+		// Wake every thread blocked in a keep-alive read; handleConn
+		// sees the draining signal and exits instead of idling on.
+		s.mu.Lock()
+		for c := range s.active {
+			_ = c.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+	})
+	drained := false
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.inflight.Load() == 0 {
+			drained = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Stop()
+	return drained
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -179,16 +231,38 @@ func (s *Server) acceptLoop() {
 			}
 		}
 		s.accepted.Add(1)
+		// Admission control: past MaxConns the connection is answered
+		// with an immediate 503 and closed instead of joining the
+		// handoff queue — bounded degradation instead of an unbounded
+		// accept pile-up.
+		if mc := s.cfg.MaxConns; mc > 0 && s.inflight.Load() >= int64(mc) {
+			s.shed.Add(1)
+			shedConn(conn)
+			continue
+		}
+		s.inflight.Add(1)
 		if tc, ok := conn.(*net.TCPConn); ok {
 			_ = tc.SetNoDelay(true)
 		}
 		select {
 		case s.handoff <- conn: // blocks while the pool is saturated
+		case <-s.draining:
+			conn.Close()
+			s.inflight.Add(-1)
+			return
 		case <-s.stopping:
 			conn.Close()
+			s.inflight.Add(-1)
 			return
 		}
 	}
+}
+
+// shedConn answers an over-limit accept with a best-effort 503 + close.
+func shedConn(conn net.Conn) {
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = conn.Write(httpwire.AppendResponseHeader(nil, 503, "text/plain", 0, false))
+	conn.Close()
 }
 
 func (s *Server) track(c net.Conn, on bool) {
@@ -213,6 +287,7 @@ func (s *Server) workerLoop() {
 			s.handleConn(conn, buf, &out)
 			s.track(conn, false)
 			s.connsOpen.Add(-1)
+			s.inflight.Add(-1)
 		case <-s.stopping:
 			return
 		}
@@ -227,12 +302,36 @@ func (s *Server) handleConn(conn net.Conn, buf []byte, out *[]byte) {
 	var parser httpwire.Parser
 	reqs := make([]*httpwire.Request, 0, 4)
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.KeepAlive)); err != nil {
+		select {
+		case <-s.draining:
+			// Graceful drain: the previous response is fully written;
+			// close instead of waiting for another request.
 			return
+		case <-s.stopping:
+			return
+		default:
+		}
+		if err := conn.SetReadDeadline(s.ioDeadline()); err != nil {
+			return
+		}
+		// Re-check after arming the deadline: Drain closes s.draining
+		// before setting its wake-up deadlines, so if ours overwrote the
+		// drain's, the signal is already visible here.
+		select {
+		case <-s.draining:
+			return
+		default:
 		}
 		n, err := conn.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				select {
+				case <-s.draining:
+					// Woken by Drain, not by an expired keep-alive:
+					// close cleanly, no RST, no idle-close accounting.
+					return
+				default:
+				}
 				// Keep-alive expired: disconnect the idle client. The
 				// client that writes later gets a reset — the paper's
 				// connection-reset error class.
@@ -283,11 +382,21 @@ func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
 	return req.KeepAlive
 }
 
+// ioDeadline converts the KeepAlive knob into a deadline: zero means
+// "no deadline" (time.Time{} clears any previously armed one), not
+// "expire immediately".
+func (s *Server) ioDeadline() time.Time {
+	if s.cfg.KeepAlive <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(s.cfg.KeepAlive)
+}
+
 // write performs the blocking write of a complete response — the
 // architectural signature of the multithreaded server: nothing else
 // happens on this thread until the whole response is in the socket.
 func (s *Server) write(conn net.Conn, data []byte) bool {
-	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.KeepAlive)); err != nil {
+	if err := conn.SetWriteDeadline(s.ioDeadline()); err != nil {
 		return false
 	}
 	n, err := conn.Write(data)

@@ -251,10 +251,11 @@ func TestConfigValidation(t *testing.T) {
 	store := testStore()
 	bad := []Config{
 		{Threads: 0, KeepAlive: time.Second, ReadBuf: 4096, Store: store},
-		{Threads: 1, KeepAlive: 0, ReadBuf: 4096, Store: store},
+		{Threads: 1, KeepAlive: -time.Second, ReadBuf: 4096, Store: store},
 		{Threads: 1, KeepAlive: time.Second, ReadBuf: 1, Store: store},
 		{Threads: 1, KeepAlive: time.Second, ReadBuf: 4096, Store: nil},
 		{Threads: 1, KeepAlive: time.Second, ReadBuf: 4096, Store: store, Port: 70000},
+		{Threads: 1, KeepAlive: time.Second, ReadBuf: 4096, Store: store, MaxConns: -1},
 	}
 	for i, cfg := range bad {
 		if _, err := NewServer(cfg); err == nil {
@@ -267,4 +268,163 @@ func TestStopIdempotent(t *testing.T) {
 	s := startServer(t, DefaultConfig(testStore()))
 	s.Stop()
 	s.Stop()
+}
+
+// Regression: KeepAlive == 0 used to arm time.Now().Add(0) deadlines, so
+// every read and write expired immediately. Zero must mean "no deadline".
+func TestZeroKeepAliveMeansNoDeadline(t *testing.T) {
+	cfg := DefaultConfig(testStore())
+	cfg.KeepAlive = 0
+	s := startServer(t, cfg)
+
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// With the bug, the worker's read deadline has long expired by the
+	// time this request arrives and the connection is already doomed.
+	time.Sleep(150 * time.Millisecond)
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+	r := bufio.NewReader(c)
+	resp, err := http.ReadResponse(r, nil)
+	if err != nil {
+		t.Fatalf("request on a zero-KeepAlive server failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello world" {
+		t.Fatalf("body = %q", body)
+	}
+	// And the connection survives arbitrary idling: no recycling policy.
+	time.Sleep(300 * time.Millisecond)
+	fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+	if _, err := http.ReadResponse(r, nil); err != nil {
+		t.Fatalf("idle connection died with KeepAlive=0: %v", err)
+	}
+	if ic := s.Stats().IdleCloses; ic != 0 {
+		t.Fatalf("idle closes with the policy disabled: %d", ic)
+	}
+}
+
+func TestMaxConnsShedsWith503(t *testing.T) {
+	cfg := DefaultConfig(testStore())
+	cfg.Threads = 2
+	cfg.MaxConns = 2
+	s := startServer(t, cfg)
+
+	var held []net.Conn
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, c)
+		fmt.Fprintf(c, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+		if _, err := http.ReadResponse(bufio.NewReader(c), nil); err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+	}
+
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	data, _ := io.ReadAll(c)
+	if !strings.Contains(string(data), "503") {
+		t.Fatalf("over-limit connection got %q, want a 503", data)
+	}
+	st := s.Stats()
+	if st.Shed == 0 {
+		t.Fatalf("no shed accounting: %+v", st)
+	}
+	if st.ConnsOpen > int64(cfg.MaxConns) {
+		t.Fatalf("ConnsOpen %d exceeds MaxConns %d", st.ConnsOpen, cfg.MaxConns)
+	}
+}
+
+func TestDrainFinishesInFlightAndClosesIdle(t *testing.T) {
+	store := testStore()
+	store["/huge"] = make([]byte, 8<<20)
+	cfg := DefaultConfig(store)
+	cfg.Threads = 4
+	s := startServer(t, cfg)
+
+	// Idle keep-alive connection: drain must close it cleanly (EOF, not
+	// the RST an expired keep-alive produces).
+	idle, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	fmt.Fprintf(idle, "GET /hello HTTP/1.1\r\nHost: x\r\n\r\n")
+	ri := bufio.NewReader(idle)
+	resp, err := http.ReadResponse(ri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// In-flight response: huge object read slowly, so the blocking
+	// write is still in progress when the drain begins.
+	slow, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fmt.Fprintf(slow, "GET /huge HTTP/1.1\r\nHost: x\r\n\r\n")
+	time.Sleep(50 * time.Millisecond)
+
+	type result struct {
+		n   int64
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var total int64
+		buf := make([]byte, 256<<10)
+		for {
+			slow.SetReadDeadline(time.Now().Add(10 * time.Second))
+			n, err := slow.Read(buf)
+			total += int64(n)
+			if err != nil {
+				done <- result{total, err}
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	if !s.Drain(10 * time.Second) {
+		t.Fatal("drain timed out with a live in-flight response")
+	}
+	res := <-done
+	if res.err != io.EOF {
+		t.Fatalf("in-flight read ended with %v, want clean EOF", res.err)
+	}
+	if res.n < 8<<20 {
+		t.Fatalf("in-flight response truncated at %d bytes", res.n)
+	}
+	idle.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ri.ReadByte(); err != io.EOF {
+		t.Fatalf("idle connection saw %v, want EOF", err)
+	}
+	st := s.Stats()
+	if st.ConnsOpen != 0 {
+		t.Fatalf("connections survived drain: %+v", st)
+	}
+	if st.IdleCloses != 0 {
+		t.Fatalf("drain wake-ups miscounted as idle closes: %+v", st)
+	}
+	if _, err := net.DialTimeout("tcp", s.Addr(), 500*time.Millisecond); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
 }
