@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/docroot"
 	"repro/internal/mtserver"
 	"repro/internal/surge"
 )
@@ -31,6 +32,8 @@ func main() {
 	keepAlive := flag.Duration("keepalive", 15*time.Second, "idle keep-alive timeout (0 = never disconnect)")
 	objects := flag.Int("objects", 2000, "SURGE object population size")
 	seed := flag.Uint64("seed", 7, "object-set seed")
+	docrootDir := flag.String("docroot", "", `serve real files from disk instead of memory: a directory path, or "tmp" to materialize the SURGE set into a fresh temp dir ("" = in-memory store)`)
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "docroot content-cache budget in bytes (0 disables caching)")
 	maxConns := flag.Int("max-conns", 0, "shed connections above this many with an immediate 503 (0 = unlimited; useful values are <= -threads)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGINT")
 	flag.Parse()
@@ -41,9 +44,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("building object set: %v", err)
 	}
-	store := core.NewSurgeStore(set, scfg.MaxObjectBytes, *seed+1)
-
-	cfg := mtserver.DefaultConfig(store)
+	cfg := mtserver.DefaultConfig(nil)
+	var root *docroot.Root
+	if *docrootDir != "" {
+		var cleanup func()
+		root, cleanup = setupDocroot(*docrootDir, set, scfg.MaxObjectBytes, *seed+1, *cacheBytes)
+		defer cleanup()
+		cfg.Docroot = root
+	} else {
+		cfg.Store = core.NewSurgeStore(set, scfg.MaxObjectBytes, *seed+1)
+	}
 	cfg.Port = *port
 	cfg.Threads = *threads
 	cfg.KeepAlive = *keepAlive
@@ -67,4 +77,35 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("accepted=%d replies=%d bytes=%d idle-closes=%d 400s=%d shed=%d\n",
 		st.Accepted, st.Replies, st.BytesOut, st.IdleCloses, st.BadRequest, st.Shed)
+	if root != nil {
+		cs := root.Stats()
+		fmt.Printf("304s=%d sendfile-bytes=%d cache: hits=%d misses=%d evictions=%d cached-bytes=%d\n",
+			st.NotModified, st.SendfileBytes, cs.Hits, cs.Misses, cs.Evictions, cs.CachedBytes)
+	}
+}
+
+// setupDocroot resolves the -docroot flag: "tmp" materializes the SURGE
+// set into a fresh temp directory (removed by the returned cleanup);
+// anything else is served as-is.
+func setupDocroot(spec string, set *surge.ObjectSet, maxObjectBytes int64, seed uint64, cacheBytes int64) (*docroot.Root, func()) {
+	cleanup := func() {}
+	dir := spec
+	if spec == "tmp" {
+		d, err := os.MkdirTemp("", "surge-docroot-")
+		if err != nil {
+			log.Fatalf("docroot: %v", err)
+		}
+		if err := docroot.MaterializeSurge(d, set, maxObjectBytes, seed); err != nil {
+			os.RemoveAll(d)
+			log.Fatalf("docroot: %v", err)
+		}
+		dir = d
+		cleanup = func() { os.RemoveAll(d) }
+	}
+	root, err := docroot.Open(dir, cacheBytes)
+	if err != nil {
+		cleanup()
+		log.Fatalf("docroot: %v", err)
+	}
+	return root, cleanup
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/docroot"
 	"repro/internal/surge"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	workers := flag.Int("workers", 1, "reactor worker threads")
 	objects := flag.Int("objects", 2000, "SURGE object population size")
 	seed := flag.Uint64("seed", 7, "object-set seed")
+	docrootDir := flag.String("docroot", "", `serve real files from disk instead of memory: a directory path, or "tmp" to materialize the SURGE set into a fresh temp dir ("" = in-memory store)`)
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "docroot content-cache budget in bytes (0 disables caching)")
 	idle := flag.Duration("idle-timeout", 0, "disconnect idle connections after this long (0 = never, the paper's configuration)")
 	header := flag.Duration("header-timeout", 0, "reset connections that have not delivered a complete request this long after their first byte (0 = never; slowloris defense)")
 	maxConns := flag.Int("max-conns", 0, "shed connections above this many with an immediate 503 (0 = unlimited)")
@@ -41,9 +44,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("building object set: %v", err)
 	}
-	store := core.NewSurgeStore(set, scfg.MaxObjectBytes, *seed+1)
-
-	cfg := core.DefaultConfig(store)
+	cfg := core.DefaultConfig(nil)
+	var root *docroot.Root
+	if *docrootDir != "" {
+		var cleanup func()
+		root, cleanup = setupDocroot(*docrootDir, set, scfg.MaxObjectBytes, *seed+1, *cacheBytes)
+		defer cleanup()
+		cfg.Docroot = root
+	} else {
+		cfg.Store = core.NewSurgeStore(set, scfg.MaxObjectBytes, *seed+1)
+	}
 	cfg.Port = *port
 	cfg.Workers = *workers
 	cfg.IdleTimeout = *idle
@@ -68,4 +78,35 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("accepted=%d replies=%d bytes=%d 404s=%d 400s=%d shed=%d header-timeouts=%d\n",
 		st.Accepted, st.Replies, st.BytesOut, st.NotFound, st.BadRequest, st.Shed, st.HeaderTimeouts)
+	if root != nil {
+		cs := root.Stats()
+		fmt.Printf("304s=%d sendfile-bytes=%d cache: hits=%d misses=%d evictions=%d cached-bytes=%d\n",
+			st.NotModified, st.SendfileBytes, cs.Hits, cs.Misses, cs.Evictions, cs.CachedBytes)
+	}
+}
+
+// setupDocroot resolves the -docroot flag: "tmp" materializes the SURGE
+// set into a fresh temp directory (removed by the returned cleanup);
+// anything else is served as-is.
+func setupDocroot(spec string, set *surge.ObjectSet, maxObjectBytes int64, seed uint64, cacheBytes int64) (*docroot.Root, func()) {
+	cleanup := func() {}
+	dir := spec
+	if spec == "tmp" {
+		d, err := os.MkdirTemp("", "surge-docroot-")
+		if err != nil {
+			log.Fatalf("docroot: %v", err)
+		}
+		if err := docroot.MaterializeSurge(d, set, maxObjectBytes, seed); err != nil {
+			os.RemoveAll(d)
+			log.Fatalf("docroot: %v", err)
+		}
+		dir = d
+		cleanup = func() { os.RemoveAll(d) }
+	}
+	root, err := docroot.Open(dir, cacheBytes)
+	if err != nil {
+		cleanup()
+		log.Fatalf("docroot: %v", err)
+	}
+	return root, cleanup
 }

@@ -37,6 +37,7 @@ func main() {
 	record := flag.String("record", "", "record N sessions to this file and exit (see -record-sessions)")
 	recordN := flag.Int("record-sessions", 100, "sessions to record with -record")
 	replay := flag.String("replay", "", "replay sessions from this log (httperf --wsesslog)")
+	revalidate := flag.Float64("revalidate", 0, "fraction of repeat requests carrying If-None-Match (0..1; needs a docroot-backed server for 304s)")
 	flag.Parse()
 
 	scfg := surge.DefaultConfig()
@@ -82,17 +83,18 @@ func main() {
 		*clients = 0
 	}
 	res, err := loadgen.Run(loadgen.Options{
-		Addr:          *addr,
-		Clients:       *clients,
-		SessionRate:   *rate,
-		Warmup:        *warmup,
-		Duration:      *duration,
-		Timeout:       *timeout,
-		ThinkScale:    *thinkScale,
-		Seed:          *genSeed,
-		Workload:      scfg,
-		Objects:       set,
-		SourceFactory: sourceFactory,
+		Addr:               *addr,
+		Clients:            *clients,
+		SessionRate:        *rate,
+		Warmup:             *warmup,
+		Duration:           *duration,
+		Timeout:            *timeout,
+		ThinkScale:         *thinkScale,
+		Seed:               *genSeed,
+		Workload:           scfg,
+		Objects:            set,
+		SourceFactory:      sourceFactory,
+		RevalidateFraction: *revalidate,
 	})
 	if err != nil {
 		log.Fatalf("load run: %v", err)
@@ -107,4 +109,7 @@ func main() {
 	fmt.Printf("connection resets:  %d (%.2f/s)\n", res.ResetErrors, res.ResetErrPerSec)
 	fmt.Printf("bandwidth:          %.2f MB/s\n", res.BandwidthBps/1e6)
 	fmt.Printf("sessions completed: %d\n", res.Sessions)
+	if *revalidate > 0 {
+		fmt.Printf("304 not modified:   %d (%.1f/s)\n", res.NotModified, res.NotModifiedPerSec)
+	}
 }

@@ -1,0 +1,220 @@
+//go:build linux
+
+package repro
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/docroot"
+	"repro/internal/faultline"
+	"repro/internal/mtserver"
+	"repro/internal/surge"
+)
+
+// TestDocrootCrossServerParity serves the same materialized SURGE
+// docroot from both live architectures and requires byte-identical
+// bodies and identical validators — including after cache evictions
+// (the budget is far smaller than the object set, so entries churn) and
+// through a bandwidth-capped link. It then replays each learned
+// validator as a conditional GET and requires both servers to answer
+// 304 with an empty body.
+func TestDocrootCrossServerParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	cfg := surge.DefaultConfig()
+	cfg.NumObjects = 64
+	cfg.MaxObjectBytes = 256 << 10
+	set, err := surge.BuildObjectSet(cfg, dist.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := docroot.MaterializeSurge(dir, set, cfg.MaxObjectBytes, 24); err != nil {
+		t.Fatal(err)
+	}
+	// A budget this small holds only a handful of entries, so walking 64
+	// objects twice guarantees eviction churn between the two passes.
+	mkRoot := func() *docroot.Root {
+		root, err := docroot.New(docroot.Config{
+			Dir: dir, CacheBytes: 96 << 10, MemLimit: 16 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return root
+	}
+
+	ccfg := core.DefaultConfig(nil)
+	ccfg.Docroot = mkRoot()
+	nio, err := core.NewServer(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nio.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer nio.Stop()
+
+	mcfg := mtserver.DefaultConfig(nil)
+	mcfg.Threads = 8
+	mcfg.Docroot = mkRoot()
+	mt, err := mtserver.NewServer(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Stop()
+
+	type reply struct {
+		status  int
+		body    []byte
+		etag    string
+		lastMod string
+		ctype   string
+	}
+	fetch := func(addr, path string) reply {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s %s: %v", addr, path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s %s: %v", addr, path, err)
+		}
+		return reply{
+			status:  resp.StatusCode,
+			body:    body,
+			etag:    resp.Header.Get("ETag"),
+			lastMod: resp.Header.Get("Last-Modified"),
+			ctype:   resp.Header.Get("Content-Type"),
+		}
+	}
+
+	etags := make(map[string]string)
+	lastMods := make(map[string]string)
+	for pass := 0; pass < 2; pass++ {
+		for id := 0; id < set.Len(); id++ {
+			path := set.Object(id).Path()
+			a := fetch(nio.Addr(), path)
+			b := fetch(mt.Addr(), path)
+			if a.status != 200 || b.status != 200 {
+				t.Fatalf("pass %d %s: status core=%d mtserver=%d", pass, path, a.status, b.status)
+			}
+			if !bytes.Equal(a.body, b.body) {
+				t.Fatalf("pass %d %s: bodies differ (%d vs %d bytes)", pass, path, len(a.body), len(b.body))
+			}
+			if a.etag == "" || a.etag != b.etag || a.lastMod != b.lastMod || a.ctype != b.ctype {
+				t.Fatalf("pass %d %s: validators differ: core=(%q %q %q) mtserver=(%q %q %q)",
+					pass, path, a.etag, a.lastMod, a.ctype, b.etag, b.lastMod, b.ctype)
+			}
+			etags[path] = a.etag
+			lastMods[path] = a.lastMod
+		}
+	}
+	nioCache := ccfg.Docroot.Stats()
+	if nioCache.Evictions == 0 {
+		t.Fatalf("cache never evicted — budget too generous for the test: %+v", nioCache)
+	}
+
+	// Conditional GETs: every learned validator must earn a bodyless 304
+	// from both servers, on the raw wire so an illegal body can't hide.
+	cond304 := func(addr, path, header string) {
+		t.Helper()
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		fmt.Fprintf(c, "GET %s HTTP/1.1\r\nHost: sut\r\n%s\r\nConnection: close\r\n\r\n", path, header)
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		raw, err := io.ReadAll(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(raw, []byte("HTTP/1.1 304 ")) {
+			t.Fatalf("%s %s [%s]: want 304, got %q", addr, path, header, raw[:min(len(raw), 60)])
+		}
+		if !bytes.HasSuffix(raw, []byte("\r\n\r\n")) || bytes.Count(raw, []byte("\r\n\r\n")) != 1 {
+			t.Fatalf("%s %s [%s]: 304 carried a body: %q", addr, path, header, raw)
+		}
+	}
+	for id := 0; id < set.Len(); id += 7 {
+		path := set.Object(id).Path()
+		for _, addr := range []string{nio.Addr(), mt.Addr()} {
+			cond304(addr, path, "If-None-Match: "+etags[path])
+			cond304(addr, path, "If-Modified-Since: "+lastMods[path])
+		}
+	}
+	if nio.Stats().NotModified == 0 || mt.Stats().NotModified == 0 {
+		t.Fatalf("304 counters not advanced: core=%d mtserver=%d",
+			nio.Stats().NotModified, mt.Stats().NotModified)
+	}
+
+	// Through a capped link: the biggest object (forced onto the
+	// sendfile path on both servers — it exceeds MemLimit) must arrive
+	// intact when the client drains it at a fraction of loopback speed,
+	// proving partial-write resumption delivers every byte in order.
+	bigID, bigSize := 0, int64(0)
+	for id := 0; id < set.Len(); id++ {
+		if s := set.Object(id).Size; s > bigSize {
+			bigID, bigSize = id, s
+		}
+	}
+	if bigSize > cfg.MaxObjectBytes {
+		bigSize = cfg.MaxObjectBytes
+	}
+	bigPath := set.Object(bigID).Path()
+	capped := func(addr string) []byte {
+		t.Helper()
+		proxy, err := faultline.New(faultline.Config{
+			Upstream: addr,
+			Plan: func(int, *dist.RNG) faultline.Profile {
+				return faultline.Profile{DownBytesPerSec: 1 << 20}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer proxy.Close()
+		c, err := net.DialTimeout("tcp", proxy.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		fmt.Fprintf(c, "GET %s HTTP/1.1\r\nHost: sut\r\nConnection: close\r\n\r\n", bigPath)
+		c.SetReadDeadline(time.Now().Add(30 * time.Second))
+		resp, err := http.ReadResponse(bufio.NewReader(c), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	a, b := capped(nio.Addr()), capped(mt.Addr())
+	if int64(len(a)) != bigSize || !bytes.Equal(a, b) {
+		t.Fatalf("capped-link bodies differ: core=%d bytes, mtserver=%d bytes, want %d",
+			len(a), len(b), bigSize)
+	}
+	if nio.Stats().SendfileBytes == 0 || mt.Stats().SendfileBytes == 0 {
+		t.Fatalf("sendfile path not exercised: core=%d mtserver=%d",
+			nio.Stats().SendfileBytes, mt.Stats().SendfileBytes)
+	}
+}

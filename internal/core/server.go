@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/docroot"
 	"repro/internal/httpwire"
 	"repro/internal/reactor"
 )
@@ -23,8 +24,15 @@ type Config struct {
 	Backlog int
 	// ReadBuf is the per-read buffer size.
 	ReadBuf int
-	// Store serves the content; required.
+	// Store serves the content from memory. Required unless Docroot is
+	// set.
 	Store Store
+	// Docroot, when non-nil, serves real files from disk through the
+	// bounded content cache instead of Store: cache hits are written
+	// from memory, misses are delivered zero-copy with non-blocking
+	// sendfile(2) from the reactor loop, and conditional GETs
+	// (If-None-Match / If-Modified-Since) are answered with 304.
+	Docroot *docroot.Root
 	// IdleTimeout, when positive, disconnects connections with no
 	// activity for this long — the policy a thread-pool server is
 	// *forced* to adopt to recycle threads. The event-driven
@@ -66,8 +74,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Backlog must be positive, got %d", c.Backlog)
 	case c.ReadBuf < 256:
 		return fmt.Errorf("core: ReadBuf must be at least 256, got %d", c.ReadBuf)
-	case c.Store == nil:
-		return fmt.Errorf("core: Store is required")
+	case c.Store == nil && c.Docroot == nil:
+		return fmt.Errorf("core: a Store or a Docroot is required")
 	case c.Port < 0 || c.Port > 65535:
 		return fmt.Errorf("core: invalid port %d", c.Port)
 	case c.IdleTimeout < 0:
@@ -95,6 +103,11 @@ type Stats struct {
 	// HeaderTimeouts counts connections reset for failing to deliver a
 	// complete request within HeaderTimeout (slowloris defense).
 	HeaderTimeouts int64
+	// NotModified counts 304 replies to conditional GETs (docroot only).
+	NotModified int64
+	// SendfileBytes counts body bytes delivered zero-copy via
+	// sendfile(2); BytesOut includes them.
+	SendfileBytes int64
 }
 
 // Server is the live event-driven web server.
@@ -120,6 +133,8 @@ type Server struct {
 	idleCloses     counter
 	shed           counter
 	headerTimeouts counter
+	notModified    counter
+	sendfileBytes  counter
 }
 
 // counter is a tiny atomic counter (avoids importing metrics here).
@@ -166,6 +181,8 @@ func (s *Server) Stats() Stats {
 		IdleCloses:     s.idleCloses.get(),
 		Shed:           s.shed.get(),
 		HeaderTimeouts: s.headerTimeouts.get(),
+		NotModified:    s.notModified.get(),
+		SendfileBytes:  s.sendfileBytes.get(),
 	}
 }
 
@@ -325,15 +342,30 @@ func shedConn(fd int) {
 	reactor.CloseFD(fd)
 }
 
+// outSeg is one element of a connection's pending output: either a byte
+// slice (headers, in-memory bodies) or a file range delivered zero-copy
+// with sendfile(2). A file segment pins its docroot entry — and so the
+// shared fd — until the range is fully sent or the connection dies.
+type outSeg struct {
+	buf []byte
+	// ent is non-nil for a sendfile segment; off is the next unsent
+	// file offset (advanced by the kernel on every call, so it is always
+	// the resume point after a partial write) and end is one past the
+	// last byte.
+	ent *docroot.Entry
+	off int64
+	end int64
+}
+
 // conn is the per-connection state owned by exactly one worker.
 type conn struct {
 	fd     int
 	parser httpwire.Parser
-	// out is the pending response byte queue: each element is written
-	// non-blockingly; when the socket fills we keep the offset and wait
-	// for writability.
-	out      [][]byte
-	outOff   int
+	// out is the pending response segment queue: each segment is written
+	// non-blockingly; when the socket fills we keep the position and
+	// wait for writability.
+	out      []outSeg
+	outOff   int  // sent bytes of the head segment's buf
 	writeArm bool // EPOLLOUT currently requested
 	closing  bool // close once out drains (400 or Connection: close)
 	replies  int64
@@ -477,6 +509,7 @@ func (w *worker) shutdown() {
 	for _, c := range w.conns {
 		reactor.CloseFD(c.fd)
 		w.srv.connsOpen.add(-1)
+		releaseOut(c)
 	}
 	w.conns = nil
 	// Connections handed over but never registered still hold a
@@ -537,7 +570,7 @@ func (w *worker) readable(c *conn) {
 		}
 		if perr != nil {
 			w.srv.badRequest.add(1)
-			c.out = append(c.out, httpwire.AppendResponseHeader(nil, 400, "text/plain", 0, false))
+			c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 400, "text/plain", 0, false)})
 			c.closing = true
 			break
 		}
@@ -559,7 +592,9 @@ func (w *worker) readable(c *conn) {
 func (w *worker) serve(c *conn, req *httpwire.Request) {
 	switch {
 	case req.Method != "GET" && req.Method != "HEAD":
-		c.out = append(c.out, httpwire.AppendResponseHeader(nil, 501, "text/plain", 0, req.KeepAlive))
+		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 501, "text/plain", 0, req.KeepAlive)})
+	case w.srv.cfg.Docroot != nil:
+		w.serveDocroot(c, req)
 	default:
 		w.serveStore(c, req)
 	}
@@ -575,20 +610,89 @@ func (w *worker) serveStore(c *conn, req *httpwire.Request) {
 	body, ctype, ok := w.srv.cfg.Store.Get(req.Path)
 	if !ok {
 		w.srv.notFound.add(1)
-		c.out = append(c.out, httpwire.AppendResponseHeader(nil, 404, "text/plain", 0, req.KeepAlive))
+		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 404, "text/plain", 0, req.KeepAlive)})
 	} else {
-		c.out = append(c.out, httpwire.AppendResponseHeader(nil, 200, ctype, int64(len(body)), req.KeepAlive))
+		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 200, ctype, int64(len(body)), req.KeepAlive)})
 		if req.Method == "GET" && len(body) > 0 {
-			c.out = append(c.out, body)
+			c.out = append(c.out, outSeg{buf: body})
 		}
 	}
 }
 
+// serveDocroot resolves the path against the disk-backed docroot and
+// queues 200/304/404. Bodies cached in memory are queued as byte
+// segments (buffered copy); everything else becomes a sendfile segment
+// holding a reference to the entry's shared fd.
+func (w *worker) serveDocroot(c *conn, req *httpwire.Request) {
+	ent, err := w.srv.cfg.Docroot.Get(req.Path)
+	if err != nil {
+		w.srv.notFound.add(1)
+		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 404, "text/plain", 0, req.KeepAlive)})
+		return
+	}
+	if httpwire.NotModified(req, ent.ETag, ent.ModTime) {
+		w.srv.notModified.add(1)
+		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeaderValidators(
+			nil, 304, ent.ContentType, 0, req.KeepAlive, ent.ETag, ent.LastModified)})
+		ent.Release()
+		return
+	}
+	c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeaderValidators(
+		nil, 200, ent.ContentType, ent.Size, req.KeepAlive, ent.ETag, ent.LastModified)})
+	if req.Method != "GET" || ent.Size == 0 {
+		ent.Release()
+		return
+	}
+	if body := ent.Body(); body != nil {
+		// Buffered path: the immutable body slice outlives the entry, so
+		// the reference can be dropped immediately.
+		c.out = append(c.out, outSeg{buf: body})
+		ent.Release()
+		return
+	}
+	// Zero-copy path: the segment owns the reference until fully sent.
+	c.out = append(c.out, outSeg{ent: ent, off: 0, end: ent.Size})
+}
+
+// sendfileChunk bounds one sendfile call so a single huge file cannot
+// monopolize the reactor thread: after each chunk the loop re-checks
+// for EAGAIN and other connections get their turn on the next wait.
+const sendfileChunk = 512 << 10
+
 // flush writes queued output until the socket would block, then toggles
-// write interest accordingly — the NIO write-readiness pattern.
+// write interest accordingly — the NIO write-readiness pattern. Byte
+// segments go through write(2) (resume point c.outOff); file segments
+// go through sendfile(2), whose kernel-advanced offset is its own
+// resume point, so a response interrupted mid-file continues exactly
+// where the socket buffer filled.
 func (w *worker) flush(c *conn) {
 	for len(c.out) > 0 {
-		head := c.out[0][c.outOff:]
+		seg := &c.out[0]
+		if seg.ent != nil {
+			max := sendfileChunk
+			if rem := seg.end - seg.off; int64(max) > rem {
+				max = int(rem)
+			}
+			n, again, err := reactor.Sendfile(c.fd, seg.ent.FD(), &seg.off, max)
+			if err != nil {
+				w.closeConn(c)
+				return
+			}
+			w.srv.bytesOut.add(int64(n))
+			w.srv.sendfileBytes.add(int64(n))
+			if seg.off >= seg.end {
+				seg.ent.Release()
+				c.out[0] = outSeg{}
+				c.out = c.out[1:]
+				continue
+			}
+			if again || n == 0 {
+				w.armWrite(c)
+				return
+			}
+			continue // partial progress without EAGAIN: keep pushing
+		}
+		head := seg.buf[c.outOff:]
 		n, again, err := reactor.Write(c.fd, head)
 		if err != nil {
 			w.closeConn(c)
@@ -596,17 +700,14 @@ func (w *worker) flush(c *conn) {
 		}
 		w.srv.bytesOut.add(int64(n))
 		if n == len(head) {
-			c.out[0] = nil
+			c.out[0] = outSeg{}
 			c.out = c.out[1:]
 			c.outOff = 0
 			continue
 		}
 		c.outOff += n
 		if again || n < len(head) {
-			if !c.writeArm {
-				c.writeArm = true
-				_ = w.poller.Modify(c.fd, true, true)
-			}
+			w.armWrite(c)
 			return
 		}
 	}
@@ -618,6 +719,15 @@ func (w *worker) flush(c *conn) {
 	if c.writeArm {
 		c.writeArm = false
 		_ = w.poller.Modify(c.fd, true, false)
+	}
+}
+
+// armWrite enables EPOLLOUT for a connection whose socket buffer is
+// full.
+func (w *worker) armWrite(c *conn) {
+	if !c.writeArm {
+		c.writeArm = true
+		_ = w.poller.Modify(c.fd, true, true)
 	}
 }
 
@@ -660,6 +770,7 @@ func (w *worker) resetConn(c *conn) {
 	w.poller.Remove(c.fd)
 	reactor.CloseWithReset(c.fd)
 	w.srv.connsOpen.add(-1)
+	releaseOut(c)
 }
 
 func (w *worker) closeConn(c *conn) {
@@ -670,4 +781,18 @@ func (w *worker) closeConn(c *conn) {
 	w.poller.Remove(c.fd)
 	reactor.CloseFD(c.fd)
 	w.srv.connsOpen.add(-1)
+	releaseOut(c)
+}
+
+// releaseOut drops the docroot references held by unsent sendfile
+// segments when a connection dies mid-response, so shared fds are not
+// pinned by dead connections.
+func releaseOut(c *conn) {
+	for i := range c.out {
+		if c.out[i].ent != nil {
+			c.out[i].ent.Release()
+			c.out[i].ent = nil
+		}
+	}
+	c.out = nil
 }

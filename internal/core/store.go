@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"repro/internal/dist"
+	"repro/internal/docroot"
 	"repro/internal/surge"
 )
 
@@ -26,10 +26,12 @@ type Store interface {
 // MapStore is a trivial in-memory store for examples and tests.
 type MapStore map[string][]byte
 
-// Get implements Store.
+// Get implements Store. The content type is inferred from the path's
+// extension (octet-stream for extensionless paths), matching what the
+// disk-backed docroot would serve for the same name.
 func (m MapStore) Get(path string) ([]byte, string, bool) {
 	b, ok := m[path]
-	return b, "application/octet-stream", ok
+	return b, docroot.TypeByExt(path), ok
 }
 
 // SurgeStore exposes a surge.ObjectSet as URL paths /obj/<id>. All object
@@ -42,17 +44,12 @@ type SurgeStore struct {
 	hits atomic.Int64
 }
 
-// NewSurgeStore builds the store; blob contents are deterministic in seed.
+// NewSurgeStore builds the store; blob contents are deterministic in
+// seed and byte-identical to what docroot.MaterializeSurge writes to
+// disk for the same (set, maxObjectBytes, seed), so in-memory and
+// disk-backed servers are directly comparable.
 func NewSurgeStore(set *surge.ObjectSet, maxObjectBytes int64, seed uint64) *SurgeStore {
-	blob := make([]byte, maxObjectBytes)
-	rng := dist.NewRNG(seed)
-	for i := 0; i+8 <= len(blob); i += 8 {
-		v := rng.Uint64()
-		for j := 0; j < 8; j++ {
-			blob[i+j] = byte(v >> (8 * j))
-		}
-	}
-	return &SurgeStore{set: set, blob: blob}
+	return &SurgeStore{set: set, blob: docroot.SurgeBlob(maxObjectBytes, seed)}
 }
 
 // Get implements Store: paths of the form /obj/<id>.
@@ -66,7 +63,7 @@ func (s *SurgeStore) Get(path string) ([]byte, string, bool) {
 	if size > int64(len(s.blob)) {
 		size = int64(len(s.blob))
 	}
-	return s.blob[:size], "application/octet-stream", true
+	return s.blob[:size], docroot.TypeByExt(path), true
 }
 
 // Hits returns the number of successful lookups.

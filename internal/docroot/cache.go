@@ -1,0 +1,88 @@
+package docroot
+
+// The bounded-byte LRU behind Root. One mutex guards the map, the
+// intrusive list, and the byte accounting; the entries themselves are
+// immutable after construction and reference counted, so eviction never
+// races an in-flight response — it merely drops the cache's reference
+// and the fd closes when the last response releases its own.
+
+// lruNode is an intrusive doubly-linked list node (head sentinel in
+// Root). Intrusive rather than container/list so a hit is two pointer
+// swaps and zero allocations.
+type lruNode struct {
+	ent        *Entry
+	prev, next *lruNode
+}
+
+func (n *lruNode) unlink() {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+func (r *Root) pushFront(n *lruNode) {
+	n.next = r.head.next
+	n.prev = &r.head
+	r.head.next.prev = n
+	r.head.next = n
+}
+
+// cacheGet returns a referenced entry on hit, nil on miss.
+func (r *Root) cacheGet(key string) *Entry {
+	r.mu.Lock()
+	n, ok := r.items[key]
+	if !ok {
+		r.mu.Unlock()
+		return nil
+	}
+	n.unlink()
+	r.pushFront(n)
+	n.ent.refs.Add(1)
+	r.mu.Unlock()
+	r.hits.Inc()
+	return n.ent
+}
+
+// cacheInsert offers a freshly opened entry (caller holds one reference)
+// to the cache and returns the entry the caller should use. If another
+// goroutine cached the same key while this one was opening the file, the
+// duplicate is discarded in favour of the cached copy. Entries whose
+// charge exceeds the whole budget are served uncached.
+func (r *Root) cacheInsert(e *Entry) *Entry {
+	if e.charge > r.cfg.CacheBytes {
+		return e
+	}
+	r.mu.Lock()
+	if n, ok := r.items[e.key]; ok {
+		// Lost the open race: adopt the cached entry.
+		n.unlink()
+		r.pushFront(n)
+		n.ent.refs.Add(1)
+		r.mu.Unlock()
+		e.Release()
+		return n.ent
+	}
+	e.refs.Add(1) // the cache's reference
+	n := &lruNode{ent: e}
+	e.lru = n
+	r.items[e.key] = n
+	r.pushFront(n)
+	r.used += e.charge
+	var evicted []*Entry
+	for r.used > r.cfg.CacheBytes {
+		tail := r.head.prev
+		if tail == &r.head || tail == n {
+			break // cannot happen while charge <= budget; belt and braces
+		}
+		tail.unlink()
+		delete(r.items, tail.ent.key)
+		r.used -= tail.ent.charge
+		evicted = append(evicted, tail.ent)
+	}
+	r.mu.Unlock()
+	for _, ev := range evicted {
+		r.evictions.Inc()
+		ev.Release() // cache reference; fd closes once responses finish
+	}
+	return e
+}

@@ -1,0 +1,349 @@
+// Package docroot is the disk-backed content store shared by both live
+// servers: a real filesystem directory served through a bounded-byte LRU
+// cache of open file descriptors and (for small objects) in-memory
+// bodies, with per-file validators (ETag, Last-Modified) computed at
+// open time.
+//
+// It exists because the paper's httpd2 baseline served a real SURGE file
+// set from disk while our seed stores answered from memory, so the
+// reproduction never exercised the filesystem, the page cache, or the
+// copy costs that dominate real static serving. The docroot restores
+// that substrate and adds the modern lever the related work identifies
+// as first-order (Voras & Žagar; Ruhland et al.): zero-copy delivery.
+// A cache miss hands the server a shared open fd to drive sendfile(2)
+// from; a cache hit hands it an in-memory body for the buffered path.
+//
+// Entries are reference counted: the cache holds one reference, every
+// in-flight response holds another, and sendfile with an explicit offset
+// never touches the shared fd's file position — so one fd serves any
+// number of concurrent responses and survives eviction until the last
+// response finishes.
+package docroot
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/httpwire"
+	"repro/internal/metrics"
+	"repro/internal/surge"
+)
+
+// Entry is one openable file: metadata plus either a cached body (serve
+// buffered) or just the shared open fd (serve via sendfile). Callers
+// must Release every Entry obtained from Get exactly once, after the
+// last byte has been queued or sent.
+type Entry struct {
+	// Size is the file length in bytes.
+	Size int64
+	// ModTime is the file's modification time.
+	ModTime time.Time
+	// ETag is the strong validator, quotes included (size-mtime hex).
+	ETag string
+	// LastModified is ModTime preformatted as an HTTP-date.
+	LastModified string
+	// ContentType is inferred from the file extension.
+	ContentType string
+
+	f    *os.File
+	body []byte
+	refs atomic.Int32
+
+	// cache bookkeeping (owned by Root.mu)
+	key    string
+	charge int64
+	lru    *lruNode
+}
+
+// Body returns the in-memory body, or nil when the entry is fd-only and
+// must be delivered with sendfile (or a read loop on non-Linux). The
+// slice outlives Release — it is immutable and garbage collected — so
+// buffered responses may Release immediately after queueing it.
+func (e *Entry) Body() []byte { return e.body }
+
+// FD returns the shared open file descriptor. Valid until Release;
+// always read it with an explicit offset (pread/sendfile-with-offset),
+// never through the fd's file position.
+func (e *Entry) FD() int { return int(e.f.Fd()) }
+
+// ReadAt reads from the entry's file at an explicit offset (the
+// buffered fallback path on platforms without sendfile).
+func (e *Entry) ReadAt(p []byte, off int64) (int, error) { return e.f.ReadAt(p, off) }
+
+// Release drops one reference; the fd closes when the cache and every
+// in-flight response are done with it.
+func (e *Entry) Release() {
+	if e.refs.Add(-1) == 0 {
+		_ = e.f.Close()
+	}
+}
+
+// Config parameterizes a Root.
+type Config struct {
+	// Dir is the directory to serve. Required; must exist.
+	Dir string
+	// CacheBytes bounds the cache's total charge (body bytes plus a
+	// fixed per-entry overhead). <= 0 disables caching entirely: every
+	// Get opens the file fresh and Release closes it.
+	CacheBytes int64
+	// MemLimit is the largest body held in memory. Files at most this
+	// size are served from cached bytes (the buffered path); larger
+	// files keep only the open fd cached and are served zero-copy.
+	// 0 means no bodies are cached — everything goes through sendfile.
+	MemLimit int64
+}
+
+// DefaultMemLimit is the per-object body-cache ceiling Open picks:
+// large enough to keep the SURGE body mass in memory, small enough that
+// the heavy tail stays on the sendfile path.
+const DefaultMemLimit = 256 << 10
+
+// entryOverhead is the nominal cache charge for an entry's fd and
+// metadata, so even a body-less (fd-only) cache is bounded.
+const entryOverhead = 4096
+
+// Root serves one directory through the content cache.
+type Root struct {
+	dir string
+	cfg Config
+
+	mu    sync.Mutex
+	items map[string]*lruNode
+	head  lruNode // sentinel: head.next is most recent, head.prev least
+	used  int64
+
+	hits      metrics.Counter
+	misses    metrics.Counter
+	evictions metrics.Counter
+	opens     metrics.Counter
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count cache lookups; Misses includes paths that
+	// turned out not to exist.
+	Hits, Misses int64
+	// Evictions counts entries pushed out by the byte budget.
+	Evictions int64
+	// Opens counts actual open(2) calls (misses that found a file).
+	Opens int64
+	// CachedBytes and CachedEntries describe the current cache content.
+	CachedBytes   int64
+	CachedEntries int
+}
+
+// New validates cfg and returns a Root over cfg.Dir.
+func New(cfg Config) (*Root, error) {
+	fi, err := os.Stat(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("docroot: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("docroot: %s is not a directory", cfg.Dir)
+	}
+	if cfg.MemLimit < 0 {
+		return nil, fmt.Errorf("docroot: negative MemLimit %d", cfg.MemLimit)
+	}
+	r := &Root{dir: cfg.Dir, cfg: cfg, items: make(map[string]*lruNode)}
+	r.head.next = &r.head
+	r.head.prev = &r.head
+	return r, nil
+}
+
+// Open returns a Root with the default body-cache policy: cacheBytes of
+// total budget, bodies up to DefaultMemLimit (but never more than a
+// quarter of the budget) held in memory.
+func Open(dir string, cacheBytes int64) (*Root, error) {
+	memLimit := int64(DefaultMemLimit)
+	if q := cacheBytes / 4; q < memLimit {
+		memLimit = q
+	}
+	if memLimit < 0 {
+		memLimit = 0
+	}
+	return New(Config{Dir: dir, CacheBytes: cacheBytes, MemLimit: memLimit})
+}
+
+// Dir returns the served directory.
+func (r *Root) Dir() string { return r.dir }
+
+// Stats returns a snapshot of the cache counters.
+func (r *Root) Stats() Stats {
+	r.mu.Lock()
+	used, n := r.used, len(r.items)
+	r.mu.Unlock()
+	return Stats{
+		Hits:          r.hits.Value(),
+		Misses:        r.misses.Value(),
+		Evictions:     r.evictions.Value(),
+		Opens:         r.opens.Value(),
+		CachedBytes:   used,
+		CachedEntries: n,
+	}
+}
+
+// NotFound reports whether a Get error means the path has no servable
+// file (→ 404), as opposed to an I/O failure.
+func NotFound(err error) bool {
+	var pe *pathError
+	// ENOTDIR: a path component that exists but is a file ("/a.txt/x").
+	return errors.Is(err, fs.ErrNotExist) || errors.Is(err, syscall.ENOTDIR) ||
+		errors.As(err, &pe)
+}
+
+// pathError marks URL paths the docroot refuses to resolve (escapes,
+// non-regular files, embedded NULs).
+type pathError struct{ path string }
+
+func (e *pathError) Error() string { return "docroot: unservable path " + strconv.Quote(e.path) }
+
+// Get resolves a URL path to an Entry, consulting the cache first. The
+// caller owns one reference and must Release it. Errors satisfying
+// NotFound should be answered with 404.
+func (r *Root) Get(urlPath string) (*Entry, error) {
+	key, file, err := r.resolve(urlPath)
+	if err != nil {
+		r.misses.Inc()
+		return nil, err
+	}
+	if r.cfg.CacheBytes > 0 {
+		if e := r.cacheGet(key); e != nil {
+			return e, nil
+		}
+	}
+	r.misses.Inc()
+	e, err := r.openEntry(key, file)
+	if err != nil {
+		return nil, err
+	}
+	r.opens.Inc()
+	if r.cfg.CacheBytes <= 0 {
+		return e, nil
+	}
+	return r.cacheInsert(e), nil
+}
+
+// resolve canonicalizes a URL path and maps it under the root. Rooted
+// path.Clean cannot escape "/", so the docroot never serves outside
+// Dir; directory requests map to their index.html.
+func (r *Root) resolve(urlPath string) (key, file string, err error) {
+	if urlPath == "" || urlPath[0] != '/' || strings.IndexByte(urlPath, 0) >= 0 {
+		return "", "", &pathError{urlPath}
+	}
+	if i := strings.IndexByte(urlPath, '?'); i >= 0 {
+		urlPath = urlPath[:i]
+	}
+	p := path.Clean(urlPath)
+	if p == "/" || strings.HasSuffix(urlPath, "/") {
+		p = path.Join(p, "index.html")
+	}
+	return p, filepath.Join(r.dir, filepath.FromSlash(p[1:])), nil
+}
+
+// openEntry opens and stats the file and builds its Entry (refs = 1,
+// owned by the caller), loading the body when the policy allows.
+func (r *Root) openEntry(key, file string) (*Entry, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !fi.Mode().IsRegular() {
+		f.Close()
+		return nil, &pathError{key}
+	}
+	e := &Entry{
+		Size:         fi.Size(),
+		ModTime:      fi.ModTime(),
+		ETag:         etagFor(fi),
+		LastModified: httpwire.FormatHTTPDate(fi.ModTime()),
+		ContentType:  TypeByExt(key),
+		f:            f,
+		key:          key,
+		charge:       entryOverhead,
+	}
+	e.refs.Store(1)
+	if e.Size > 0 && e.Size <= r.cfg.MemLimit {
+		body := make([]byte, e.Size)
+		if _, err := f.ReadAt(body, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		e.body = body
+		e.charge += e.Size
+	}
+	return e, nil
+}
+
+// etagFor derives the strong validator from file metadata: size and
+// mtime in hex. Deterministic materialization (fixed mtimes) therefore
+// yields identical ETags across servers and across runs.
+func etagFor(fi fs.FileInfo) string {
+	return `"` + strconv.FormatInt(fi.Size(), 16) + "-" +
+		strconv.FormatInt(fi.ModTime().UnixNano(), 16) + `"`
+}
+
+// ---------------------------------------------------------------------
+// SURGE materialization
+// ---------------------------------------------------------------------
+
+// surgeEpoch is the fixed mtime stamped on materialized objects so
+// validators are identical across servers, runs, and machines.
+var surgeEpoch = time.Unix(1_000_000_000, 0)
+
+// SurgeBlob generates the shared pseudo-random content blob all SURGE
+// object bodies are views of; it is deterministic in seed and identical
+// to what core.SurgeStore serves from memory.
+func SurgeBlob(maxObjectBytes int64, seed uint64) []byte {
+	blob := make([]byte, maxObjectBytes)
+	rng := dist.NewRNG(seed)
+	for i := 0; i+8 <= len(blob); i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8; j++ {
+			blob[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return blob
+}
+
+// MaterializeSurge writes set's objects as real files under dir/obj/<id>
+// — the URL layout both servers already use — with contents identical to
+// core.NewSurgeStore(set, maxObjectBytes, seed) and a fixed mtime, so a
+// disk-backed server and an in-memory one are byte-for-byte comparable.
+func MaterializeSurge(dir string, set *surge.ObjectSet, maxObjectBytes int64, seed uint64) error {
+	blob := SurgeBlob(maxObjectBytes, seed)
+	objDir := filepath.Join(dir, "obj")
+	if err := os.MkdirAll(objDir, 0o755); err != nil {
+		return fmt.Errorf("docroot: materialize: %w", err)
+	}
+	for i := 0; i < set.Len(); i++ {
+		o := set.Object(i)
+		size := o.Size
+		if size > int64(len(blob)) {
+			size = int64(len(blob))
+		}
+		name := filepath.Join(objDir, strconv.Itoa(o.ID))
+		if err := os.WriteFile(name, blob[:size], 0o644); err != nil {
+			return fmt.Errorf("docroot: materialize %s: %w", name, err)
+		}
+		if err := os.Chtimes(name, surgeEpoch, surgeEpoch); err != nil {
+			return fmt.Errorf("docroot: materialize %s: %w", name, err)
+		}
+	}
+	return nil
+}

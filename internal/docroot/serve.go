@@ -1,0 +1,42 @@
+package docroot
+
+import "io"
+
+// Writer is the connection surface SendfileTo needs: an io.Writer that
+// may additionally implement syscall.Conn (net.TCPConn does) to unlock
+// the zero-copy path.
+type Writer interface {
+	io.Writer
+}
+
+// copyTo is the buffered delivery loop: pread into a scratch buffer,
+// write to the connection. Taken on non-Linux platforms and for
+// connections that do not expose a raw descriptor.
+func copyTo(conn Writer, e *Entry) (int64, error) {
+	buf := make([]byte, 64<<10)
+	var off int64
+	for off < e.Size {
+		want := e.Size - off
+		if want > int64(len(buf)) {
+			want = int64(len(buf))
+		}
+		n, err := e.ReadAt(buf[:want], off)
+		if n > 0 {
+			m, werr := conn.Write(buf[:n])
+			off += int64(m)
+			if werr != nil {
+				return off, werr
+			}
+		}
+		if off >= e.Size {
+			break // a full final read may carry io.EOF; that's success
+		}
+		if err == io.EOF || (err == nil && n == 0) {
+			return off, io.ErrUnexpectedEOF // file shrank underneath us
+		}
+		if err != nil {
+			return off, err
+		}
+	}
+	return off, nil
+}

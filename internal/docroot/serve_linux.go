@@ -1,0 +1,65 @@
+//go:build linux
+
+package docroot
+
+import (
+	"io"
+	"syscall"
+)
+
+// sendfileChunk bounds one sendfile(2) call so a multi-gigabyte file
+// cannot pin a blocking worker in a single uninterruptible syscall and
+// write deadlines keep getting re-checked.
+const sendfileChunk = 1 << 20
+
+// SendfileTo delivers the entry's whole body to conn with blocking
+// sendfile(2) — zero-copy, the thread parked by the runtime poller while
+// the socket buffer is full, write deadlines honoured. This is the
+// thread-pool server's delivery path; the reactor uses the non-blocking
+// variant in internal/reactor instead. Falls back to a pread/write copy
+// loop when conn does not expose a raw descriptor.
+func SendfileTo(conn Writer, e *Entry) (int64, error) {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return copyTo(conn, e)
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return copyTo(conn, e)
+	}
+	var (
+		off  int64
+		sent int64
+		serr error
+	)
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < e.Size {
+			chunk := e.Size - sent
+			if chunk > sendfileChunk {
+				chunk = sendfileChunk
+			}
+			n, err := syscall.Sendfile(int(fd), e.FD(), &off, int(chunk))
+			if n > 0 {
+				sent += int64(n)
+				continue
+			}
+			switch err {
+			case syscall.EAGAIN:
+				return false // park until the socket is writable again
+			case syscall.EINTR:
+				continue
+			case nil:
+				serr = io.ErrUnexpectedEOF // file shrank underneath us
+				return true
+			default:
+				serr = err
+				return true
+			}
+		}
+		return true
+	})
+	if werr != nil {
+		return sent, werr
+	}
+	return sent, serr
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package docroot
+
+// SendfileTo on platforms without sendfile(2) is the buffered fallback:
+// a pread/write copy loop. Same contract as the Linux version.
+func SendfileTo(conn Writer, e *Entry) (int64, error) {
+	return copyTo(conn, e)
+}

@@ -1,0 +1,124 @@
+package httpwire
+
+import (
+	"strings"
+	"time"
+)
+
+// This file implements the validator half of the wire: HTTP-date
+// formatting/parsing, entity-tag comparison, and the conditional-GET
+// decision (If-None-Match / If-Modified-Since → 304 Not Modified). It is
+// what makes a content cache observable end-to-end: a client that
+// revalidates with a fresh validator costs the server a header, not a
+// body.
+
+// HTTPTimeFormat is the preferred HTTP-date layout (RFC 9110 §5.6.7).
+// Unlike time.RFC1123 it pins the zone to the literal "GMT".
+const HTTPTimeFormat = "Mon, 02 Jan 2006 15:04:05 GMT"
+
+// FormatHTTPDate renders t as an HTTP-date (always GMT, as required).
+func FormatHTTPDate(t time.Time) string {
+	return t.UTC().Format(HTTPTimeFormat)
+}
+
+// httpDateLayouts are the three formats a server must accept (RFC 9110
+// §5.6.7): IMF-fixdate, obsolete RFC 850, and ANSI C asctime.
+var httpDateLayouts = []string{
+	HTTPTimeFormat,
+	"Monday, 02-Jan-06 15:04:05 GMT",
+	time.ANSIC,
+}
+
+// ParseHTTPDate parses an HTTP-date in any of the three standard
+// formats. ok is false for anything unparseable; per RFC 9110 §13.1.3 a
+// recipient ignores If-Modified-Since values it cannot parse.
+func ParseHTTPDate(s string) (t time.Time, ok bool) {
+	for _, layout := range httpDateLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// scanETag parses one entity-tag at the start of s: an optional W/
+// prefix followed by a quoted opaque string. It returns the opaque part
+// including quotes but excluding any W/ (If-None-Match uses weak
+// comparison, so the prefix never matters here), the unconsumed rest,
+// and ok=false on malformed input.
+func scanETag(s string) (tag, rest string, ok bool) {
+	if strings.HasPrefix(s, "W/") {
+		s = s[2:]
+	}
+	if len(s) < 2 || s[0] != '"' {
+		return "", "", false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			return s[:i+1], s[i+1:], true
+		case c == 0x21 || (0x23 <= c && c <= 0x7e) || c >= 0x80:
+			// etagc: anything printable except the double quote.
+		default:
+			return "", "", false
+		}
+	}
+	return "", "", false // unterminated
+}
+
+// ETagMatch reports whether the If-None-Match header value — "*" or a
+// comma-separated list of entity-tags — matches etag (which must include
+// its quotes, e.g. `"5c1-1a2b"`). Comparison is weak, as If-None-Match
+// requires. Malformed members end the scan without matching, so a
+// hostile header can never turn into a spurious 304-for-stale.
+func ETagMatch(header, etag string) bool {
+	if etag == "" {
+		return false
+	}
+	s := strings.TrimSpace(header)
+	if s == "*" {
+		return true
+	}
+	for s != "" {
+		tag, rest, ok := scanETag(s)
+		if !ok {
+			return false
+		}
+		if tag == etag {
+			return true
+		}
+		// Skip optional whitespace, one comma, more whitespace.
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return false
+		}
+		if rest[0] != ',' {
+			return false
+		}
+		s = strings.TrimLeft(rest[1:], " \t")
+	}
+	return false
+}
+
+// NotModified evaluates req's conditional headers against the
+// representation's validators and reports whether a 304 may be sent
+// instead of the body. If-None-Match, when present, takes precedence
+// over If-Modified-Since (RFC 9110 §13.2.2); a zero modTime disables the
+// date check.
+func NotModified(req *Request, etag string, modTime time.Time) bool {
+	if inm, ok := req.Get("If-None-Match"); ok {
+		return ETagMatch(inm, etag)
+	}
+	ims, ok := req.Get("If-Modified-Since")
+	if !ok || modTime.IsZero() {
+		return false
+	}
+	t, ok := ParseHTTPDate(ims)
+	if !ok {
+		return false
+	}
+	// HTTP dates have second resolution; a file modified within the same
+	// second as the client's copy counts as unmodified.
+	return !modTime.Truncate(time.Second).After(t)
+}

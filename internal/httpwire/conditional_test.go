@@ -1,0 +1,171 @@
+package httpwire
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseHTTPDate(t *testing.T) {
+	want := time.Date(1994, time.November, 6, 8, 49, 37, 0, time.UTC)
+	for _, s := range []string{
+		"Sun, 06 Nov 1994 08:49:37 GMT",  // IMF-fixdate
+		"Sunday, 06-Nov-94 08:49:37 GMT", // RFC 850
+		"Sun Nov  6 08:49:37 1994",       // asctime
+	} {
+		got, ok := ParseHTTPDate(s)
+		if !ok {
+			t.Fatalf("ParseHTTPDate(%q) failed", s)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("ParseHTTPDate(%q) = %v, want %v", s, got, want)
+		}
+	}
+	for _, s := range []string{"", "yesterday", "Sun, 06 Nov 1994", "06 Nov 1994 08:49:37"} {
+		if _, ok := ParseHTTPDate(s); ok {
+			t.Fatalf("ParseHTTPDate(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestFormatHTTPDateRoundTrip(t *testing.T) {
+	orig := time.Date(2026, time.August, 6, 12, 30, 45, 0, time.UTC)
+	s := FormatHTTPDate(orig)
+	if !strings.HasSuffix(s, "GMT") {
+		t.Fatalf("FormatHTTPDate = %q, want GMT suffix", s)
+	}
+	back, ok := ParseHTTPDate(s)
+	if !ok || !back.Equal(orig) {
+		t.Fatalf("round trip %q -> %v (ok=%v), want %v", s, back, ok, orig)
+	}
+}
+
+func TestETagMatch(t *testing.T) {
+	const et = `"5c1-1a2b"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{`"5c1-1a2b"`, true},
+		{`W/"5c1-1a2b"`, true}, // weak comparison
+		{`*`, true},
+		{` * `, true},
+		{`"other"`, false},
+		{`"other", "5c1-1a2b"`, true},
+		{`"a" , W/"5c1-1a2b" , "b"`, true},
+		{`"a", "b"`, false},
+		{``, false},
+		{`5c1-1a2b`, false},              // unquoted: malformed
+		{`"unterminated`, false},         // unterminated: malformed
+		{`"a" "5c1-1a2b"`, false},        // missing comma: scan stops
+		{`"bad"tail, "5c1-1a2b"`, false}, // junk after tag: scan stops
+	}
+	for _, c := range cases {
+		if got := ETagMatch(c.header, et); got != c.want {
+			t.Errorf("ETagMatch(%q, %q) = %v, want %v", c.header, et, got, c.want)
+		}
+	}
+	if ETagMatch(`*`, "") {
+		t.Error("ETagMatch with empty etag must never match")
+	}
+}
+
+func condReq(t *testing.T, headers string) *Request {
+	t.Helper()
+	var p Parser
+	reqs, err := p.Feed(nil, []byte("GET /x HTTP/1.1\r\n"+headers+"\r\n"))
+	if err != nil || len(reqs) != 1 {
+		t.Fatalf("parse: %v (%d reqs)", err, len(reqs))
+	}
+	return reqs[0]
+}
+
+func TestNotModified(t *testing.T) {
+	const et = `"abc"`
+	mod := time.Date(2026, time.January, 2, 3, 4, 5, 0, time.UTC)
+	fresh := FormatHTTPDate(mod)
+	stale := FormatHTTPDate(mod.Add(-time.Hour))
+	later := FormatHTTPDate(mod.Add(time.Hour))
+
+	cases := []struct {
+		headers string
+		want    bool
+	}{
+		{"If-None-Match: \"abc\"\r\n", true},
+		{"If-None-Match: W/\"abc\"\r\n", true},
+		{"If-None-Match: \"zzz\"\r\n", false},
+		{"If-Modified-Since: " + fresh + "\r\n", true},
+		{"If-Modified-Since: " + later + "\r\n", true},
+		{"If-Modified-Since: " + stale + "\r\n", false},
+		{"If-Modified-Since: not a date\r\n", false},
+		// If-None-Match wins over If-Modified-Since, both directions.
+		{"If-None-Match: \"zzz\"\r\nIf-Modified-Since: " + fresh + "\r\n", false},
+		{"If-None-Match: \"abc\"\r\nIf-Modified-Since: " + stale + "\r\n", true},
+		{"", false},
+	}
+	for _, c := range cases {
+		req := condReq(t, c.headers)
+		if got := NotModified(req, et, mod); got != c.want {
+			t.Errorf("NotModified(%q) = %v, want %v", c.headers, got, c.want)
+		}
+	}
+	// Sub-second mtimes truncate: a client holding the same second is fresh.
+	req := condReq(t, "If-Modified-Since: "+fresh+"\r\n")
+	if !NotModified(req, "", mod.Add(500*time.Millisecond)) {
+		t.Error("sub-second mtime skew must still revalidate")
+	}
+}
+
+func TestAppendResponseHeaderValidators(t *testing.T) {
+	h := string(AppendResponseHeaderValidators(nil, 200, "text/html", 42, true, `"e1"`, "Sun, 06 Nov 1994 08:49:37 GMT"))
+	for _, want := range []string{
+		"HTTP/1.1 200 OK\r\n",
+		"Content-Length: 42\r\n",
+		"ETag: \"e1\"\r\n",
+		"Last-Modified: Sun, 06 Nov 1994 08:49:37 GMT\r\n",
+		"Connection: keep-alive\r\n\r\n",
+	} {
+		if !strings.Contains(h, want) {
+			t.Errorf("header missing %q:\n%s", want, h)
+		}
+	}
+	// 304: validators, no Content-Length.
+	h = string(AppendResponseHeaderValidators(nil, 304, "text/html", 42, true, `"e1"`, ""))
+	if !strings.Contains(h, "HTTP/1.1 304 Not Modified\r\n") || !strings.Contains(h, "ETag: \"e1\"\r\n") {
+		t.Errorf("bad 304 head:\n%s", h)
+	}
+	if strings.Contains(h, "Content-Length") {
+		t.Errorf("304 must not carry Content-Length:\n%s", h)
+	}
+	// Plain AppendResponseHeader emits no validator lines.
+	h = string(AppendResponseHeader(nil, 200, "text/plain", 0, false))
+	if strings.Contains(h, "ETag") || strings.Contains(h, "Last-Modified") {
+		t.Errorf("validator lines leaked into plain header:\n%s", h)
+	}
+}
+
+// TestRespParser304NoBody pins the client side: a 304 is fully framed at
+// the blank line even though no Content-Length is present, and the
+// connection stays reusable.
+func TestRespParser304NoBody(t *testing.T) {
+	var p RespParser
+	wire := AppendResponseHeaderValidators(nil, 304, "text/html", 0, true, `"e1"`, "")
+	wire = append(wire, AppendResponseHeader(nil, 200, "text/plain", 2, true)...)
+	wire = append(wire, "ok"...)
+	resps, err := p.Feed(nil, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("parsed %d responses, want 2", len(resps))
+	}
+	if resps[0].StatusCode != 304 || resps[0].BodyBytes != 0 || !resps[0].KeepAlive {
+		t.Fatalf("bad 304: %+v", resps[0])
+	}
+	if et, _ := resps[0].Get("ETag"); et != `"e1"` {
+		t.Fatalf("304 ETag = %q", et)
+	}
+	if resps[1].StatusCode != 200 || resps[1].BodyBytes != 2 {
+		t.Fatalf("bad follow-up: %+v", resps[1])
+	}
+}

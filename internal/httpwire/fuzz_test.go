@@ -3,6 +3,7 @@ package httpwire
 import (
 	"bytes"
 	"testing"
+	"time"
 )
 
 // Native fuzz targets. `go test` runs the seed corpus as regular tests;
@@ -46,6 +47,44 @@ func FuzzRequestParser(f *testing.F) {
 			if err == nil && err2 == nil && len(reqs2) != len(reqs) {
 				t.Fatalf("fragmentation changed request count: %d vs %d for %q",
 					len(reqs), len(reqs2), data)
+			}
+		}
+	})
+}
+
+// FuzzConditional exercises the conditional-GET header parsers: the
+// entity-tag list scanner and the HTTP-date parser. Neither may panic on
+// arbitrary input, a matched header must actually contain the etag's
+// opaque tag, and date parsing must round-trip through FormatHTTPDate.
+func FuzzConditional(f *testing.F) {
+	seeds := []struct{ header, etag string }{
+		{`"abc"`, `"abc"`},
+		{`W/"abc"`, `"abc"`},
+		{`*`, `"abc"`},
+		{`"a", W/"b" , "c"`, `"c"`},
+		{`"un,usual"`, `"un,usual"`}, // comma inside a quoted tag
+		{`"unterminated`, `"x"`},
+		{`Sun, 06 Nov 1994 08:49:37 GMT`, `"x"`},
+		{`Sunday, 06-Nov-94 08:49:37 GMT`, `"x"`},
+		{`Sun Nov  6 08:49:37 1994`, `"x"`},
+		{"\x00\xff,\"", `"x"`},
+	}
+	for _, s := range seeds {
+		f.Add(s.header, s.etag)
+	}
+	f.Fuzz(func(t *testing.T, header, etag string) {
+		if ETagMatch(header, etag) && etag != "" {
+			// The opaque tag (quotes included) must appear in the header,
+			// unless the wildcard matched.
+			if !bytes.Contains([]byte(header), []byte(etag)) &&
+				!bytes.Contains([]byte(header), []byte("*")) {
+				t.Fatalf("ETagMatch(%q, %q) matched without containing the tag", header, etag)
+			}
+		}
+		if ts, ok := ParseHTTPDate(header); ok {
+			rt, ok2 := ParseHTTPDate(FormatHTTPDate(ts))
+			if !ok2 || !rt.Equal(ts.UTC().Truncate(time.Second)) {
+				t.Fatalf("HTTP date %q did not round-trip: %v -> %v", header, ts, rt)
 			}
 		}
 	})

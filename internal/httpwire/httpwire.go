@@ -289,6 +289,8 @@ func StatusText(code int) string {
 	switch code {
 	case 200:
 		return "OK"
+	case 304:
+		return "Not Modified"
 	case 400:
 		return "Bad Request"
 	case 404:
@@ -338,6 +340,15 @@ func RefreshDate(t time.Time) string {
 // the extended slice. keepAlive controls the Connection header;
 // contentLen is required (static server — always known).
 func AppendResponseHeader(dst []byte, code int, contentType string, contentLen int64, keepAlive bool) []byte {
+	return AppendResponseHeaderValidators(dst, code, contentType, contentLen, keepAlive, "", "")
+}
+
+// AppendResponseHeaderValidators is AppendResponseHeader plus cache
+// validators: non-empty etag and lastModified (a preformatted HTTP-date)
+// are emitted as ETag and Last-Modified. A 304 carries its validators
+// but no Content-Length — it has no body by definition, and repeating
+// the entity length would only invite client disagreement about framing.
+func AppendResponseHeaderValidators(dst []byte, code int, contentType string, contentLen int64, keepAlive bool, etag, lastModified string) []byte {
 	dst = append(dst, "HTTP/1.1 "...)
 	dst = strconv.AppendInt(dst, int64(code), 10)
 	dst = append(dst, ' ')
@@ -349,8 +360,18 @@ func AppendResponseHeader(dst []byte, code int, contentType string, contentLen i
 		contentType = "application/octet-stream"
 	}
 	dst = append(dst, contentType...)
-	dst = append(dst, "\r\nContent-Length: "...)
-	dst = strconv.AppendInt(dst, contentLen, 10)
+	if code != 304 {
+		dst = append(dst, "\r\nContent-Length: "...)
+		dst = strconv.AppendInt(dst, contentLen, 10)
+	}
+	if etag != "" {
+		dst = append(dst, "\r\nETag: "...)
+		dst = append(dst, etag...)
+	}
+	if lastModified != "" {
+		dst = append(dst, "\r\nLast-Modified: "...)
+		dst = append(dst, lastModified...)
+	}
 	if keepAlive {
 		dst = append(dst, "\r\nConnection: keep-alive\r\n\r\n"...)
 	} else {

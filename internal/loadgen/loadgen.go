@@ -55,6 +55,14 @@ type Options struct {
 	// instead of the SURGE generator (e.g. a sesslog.Replayer). Objects
 	// is then optional.
 	SourceFactory func(client int, rng *dist.RNG) surge.SessionSource
+	// RevalidateFraction is the probability that a request for an object
+	// the client has already fetched carries an If-None-Match with the
+	// learned ETag — emulating browser-cache revalidation traffic. A
+	// fresh validator earns a bodyless 304 (counted in
+	// Result.NotModified). 0 (the default) disables conditional
+	// requests entirely and consumes no randomness, so existing seeds
+	// replay identical request streams.
+	RevalidateFraction float64
 }
 
 // Validate reports option errors.
@@ -76,6 +84,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("loadgen: negative ThinkScale %v", o.ThinkScale)
 	case o.Objects == nil && o.SourceFactory == nil:
 		return fmt.Errorf("loadgen: Objects (or a SourceFactory) is required")
+	case o.RevalidateFraction < 0 || o.RevalidateFraction > 1:
+		return fmt.Errorf("loadgen: RevalidateFraction %v outside [0,1]", o.RevalidateFraction)
 	}
 	return nil
 }
@@ -99,6 +109,10 @@ type Result struct {
 	BytesReceived    int64
 	BandwidthBps     float64
 	Sessions         int64
+	// NotModified counts 304 replies to revalidation requests (they are
+	// also included in Replies).
+	NotModified       int64
+	NotModifiedPerSec float64
 }
 
 // Run executes the load test and blocks until the window closes.
@@ -160,11 +174,13 @@ func Run(opts Options) (Result, error) {
 		ResetErrors:     g.resets.Value(),
 		BytesReceived:   g.bytes.Value(),
 		Sessions:        g.sessions.Value(),
+		NotModified:     g.notMod.Value(),
 	}
 	res.RepliesPerSec = float64(res.Replies) / d
 	res.TimeoutErrPerSec = float64(res.TimeoutErrors) / d
 	res.ResetErrPerSec = float64(res.ResetErrors) / d
 	res.BandwidthBps = float64(res.BytesReceived) / d
+	res.NotModifiedPerSec = float64(res.NotModified) / d
 	return res, nil
 }
 
@@ -177,6 +193,7 @@ type generator struct {
 	resets       metrics.Counter
 	bytes        metrics.Counter
 	sessions     metrics.Counter
+	notMod       metrics.Counter
 
 	mu        sync.Mutex
 	measuring bool
@@ -236,10 +253,13 @@ func (g *generator) arrivalLoop(rng *dist.RNG, wg *sync.WaitGroup) {
 		case <-time.After(gap):
 		}
 		session := g.newSource(-1, rng.Split()).NextSession()
+		srng := rng.Split()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			g.runSession(session)
+			// Open-loop sessions are single-visit clients: each starts
+			// with an empty validator cache.
+			g.runSession(session, srng, make(map[string]string))
 		}()
 	}
 }
@@ -252,12 +272,15 @@ func (g *generator) newSource(client int, rng *dist.RNG) surge.SessionSource {
 	return surge.NewGenerator(g.opts.Workload, g.opts.Objects, rng)
 }
 
-// clientLoop emulates one user forever (until stop).
+// clientLoop emulates one user forever (until stop). The validator
+// cache persists across the client's sessions, like a browser cache:
+// an ETag learned in one session can be revalidated in the next.
 func (g *generator) clientLoop(client int, rng *dist.RNG) {
 	gen := g.newSource(client, rng)
+	etags := make(map[string]string)
 	for !g.stopped() {
 		session := gen.NextSession()
-		g.runSession(session)
+		g.runSession(session, rng, etags)
 		think := time.Duration(session.ThinkAfter * g.opts.ThinkScale * float64(time.Second))
 		select {
 		case <-g.stop:
@@ -267,8 +290,11 @@ func (g *generator) clientLoop(client int, rng *dist.RNG) {
 	}
 }
 
-// runSession opens one connection and plays the session over it.
-func (g *generator) runSession(session surge.Session) {
+// runSession opens one connection and plays the session over it. rng
+// gates revalidation (no draws are consumed when RevalidateFraction is
+// 0, so seeds replay identical streams); etags is the client's learned
+// validator cache, updated from response ETag headers.
+func (g *generator) runSession(session surge.Session, rng *dist.RNG, etags map[string]string) {
 	start := time.Now()
 	conn, err := net.DialTimeout("tcp", g.opts.Addr, g.opts.Timeout)
 	if err != nil {
@@ -287,6 +313,10 @@ func (g *generator) runSession(session surge.Session) {
 	var parser httpwire.RespParser
 	buf := make([]byte, 32<<10)
 	resps := make([]*httpwire.Response, 0, 4)
+	// inflight holds the URL paths of issued-but-unanswered requests in
+	// order, so each response can be attributed to its path (learning
+	// ETags works across pipelined batches).
+	var inflight []string
 
 	i := 0
 	for i < len(session.Requests) {
@@ -298,9 +328,19 @@ func (g *generator) runSession(session surge.Session) {
 		issued := time.Now()
 		var wire []byte
 		for j := 0; j < batch; j++ {
+			path := session.Requests[i+j].Object.Path()
 			wire = append(wire, "GET "...)
-			wire = append(wire, session.Requests[i+j].Object.Path()...)
-			wire = append(wire, " HTTP/1.1\r\nHost: sut\r\nUser-Agent: loadgen/1.0\r\n\r\n"...)
+			wire = append(wire, path...)
+			wire = append(wire, " HTTP/1.1\r\nHost: sut\r\nUser-Agent: loadgen/1.0\r\n"...)
+			if g.opts.RevalidateFraction > 0 {
+				if etag, ok := etags[path]; ok && rng.Float64() < g.opts.RevalidateFraction {
+					wire = append(wire, "If-None-Match: "...)
+					wire = append(wire, etag...)
+					wire = append(wire, "\r\n"...)
+				}
+			}
+			wire = append(wire, "\r\n"...)
+			inflight = append(inflight, path)
 		}
 		conn.SetWriteDeadline(time.Now().Add(g.opts.Timeout))
 		if _, err := conn.Write(wire); err != nil {
@@ -316,6 +356,18 @@ func (g *generator) runSession(session surge.Session) {
 				resps, perr = parser.Feed(resps[:0], buf[:n])
 				for _, resp := range resps {
 					pending--
+					path := inflight[0]
+					inflight = inflight[1:]
+					switch resp.StatusCode {
+					case 200:
+						if etag, ok := resp.Get("ETag"); ok {
+							etags[path] = etag
+						}
+					case 304:
+						if g.inWindow() {
+							g.notMod.Inc()
+						}
+					}
 					if g.inWindow() {
 						g.bytes.Add(resp.BodyBytes)
 						g.replies.Inc()

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/docroot"
 	"repro/internal/mtserver"
 	"repro/internal/surge"
 )
@@ -224,5 +225,62 @@ func TestOpenLoopValidationLive(t *testing.T) {
 	o.SessionRate = -2
 	if err := o.Validate(); err == nil {
 		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestRevalidationEarns304s(t *testing.T) {
+	cfg, set := workload(t)
+	dir := t.TempDir()
+	if err := docroot.MaterializeSurge(dir, set, cfg.MaxObjectBytes, 3); err != nil {
+		t.Fatal(err)
+	}
+	root, err := docroot.Open(dir, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := core.DefaultConfig(nil)
+	scfg.Docroot = root
+	srv, err := core.NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	opts := options(srv.Addr(), cfg, set, 4)
+	opts.RevalidateFraction = 1 // every repeat visit revalidates
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replies == 0 {
+		t.Fatalf("no replies: %+v", res)
+	}
+	// With persistent per-client validator caches and the SURGE
+	// popularity skew, repeat requests are common; every one of them
+	// must have earned a bodyless 304.
+	if res.NotModified == 0 {
+		t.Fatalf("no 304s observed: %+v", res)
+	}
+	if res.NotModified > res.Replies {
+		t.Fatalf("NotModified %d exceeds Replies %d", res.NotModified, res.Replies)
+	}
+	if got := srv.Stats().NotModified; got < res.NotModified {
+		t.Fatalf("server counted %d 304s, client saw %d", got, res.NotModified)
+	}
+}
+
+func TestRevalidateFractionValidated(t *testing.T) {
+	cfg, set := workload(t)
+	o := options("127.0.0.1:1", cfg, set, 1)
+	o.RevalidateFraction = 1.5
+	if err := o.Validate(); err == nil {
+		t.Fatal("RevalidateFraction 1.5 accepted")
+	}
+	o.RevalidateFraction = -0.1
+	if err := o.Validate(); err == nil {
+		t.Fatal("RevalidateFraction -0.1 accepted")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/docroot"
 	"repro/internal/httpwire"
 )
 
@@ -36,8 +37,15 @@ type Config struct {
 	KeepAlive time.Duration
 	// ReadBuf is the per-thread read buffer size.
 	ReadBuf int
-	// Store serves the content; required.
+	// Store serves the content from memory. Required unless Docroot is
+	// set.
 	Store core.Store
+	// Docroot, when non-nil, serves real files from disk through the
+	// bounded content cache instead of Store: cache hits are written
+	// from memory, misses are delivered with blocking sendfile(2) (the
+	// thread parks until the kernel drains the file into the socket),
+	// and conditional GETs are answered with 304.
+	Docroot *docroot.Root
 	// MaxConns, when positive, caps connections the server will hold
 	// (serving plus queued for a free thread): excess accepts get an
 	// immediate 503 + close (counted in Stats.Shed) instead of piling
@@ -66,8 +74,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mtserver: negative MaxConns %d", c.MaxConns)
 	case c.ReadBuf < 256:
 		return fmt.Errorf("mtserver: ReadBuf must be at least 256, got %d", c.ReadBuf)
-	case c.Store == nil:
-		return fmt.Errorf("mtserver: Store is required")
+	case c.Store == nil && c.Docroot == nil:
+		return fmt.Errorf("mtserver: a Store or a Docroot is required")
 	case c.Port < 0 || c.Port > 65535:
 		return fmt.Errorf("mtserver: invalid port %d", c.Port)
 	}
@@ -85,6 +93,11 @@ type Stats struct {
 	// Shed counts connections refused with a 503 by MaxConns admission
 	// control.
 	Shed int64
+	// NotModified counts 304 replies to conditional GETs (docroot only).
+	NotModified int64
+	// SendfileBytes counts body bytes delivered via sendfile(2);
+	// BytesOut includes them.
+	SendfileBytes int64
 }
 
 // Server is the live thread-pool web server.
@@ -107,13 +120,15 @@ type Server struct {
 	mu     sync.Mutex
 	active map[net.Conn]struct{}
 
-	accepted   atomic.Int64
-	replies    atomic.Int64
-	bytesOut   atomic.Int64
-	idleCloses atomic.Int64
-	badRequest atomic.Int64
-	connsOpen  atomic.Int64
-	shed       atomic.Int64
+	accepted      atomic.Int64
+	replies       atomic.Int64
+	bytesOut      atomic.Int64
+	idleCloses    atomic.Int64
+	badRequest    atomic.Int64
+	connsOpen     atomic.Int64
+	shed          atomic.Int64
+	notModified   atomic.Int64
+	sendfileBytes atomic.Int64
 	// inflight counts accepted-and-admitted connections from accept to
 	// handler exit (ConnsOpen only counts those a thread has picked up);
 	// MaxConns admission and Drain completion are judged against it.
@@ -155,6 +170,9 @@ func (s *Server) Stats() Stats {
 		BadRequest: s.badRequest.Load(),
 		ConnsOpen:  s.connsOpen.Load(),
 		Shed:       s.shed.Load(),
+
+		NotModified:   s.notModified.Load(),
+		SendfileBytes: s.sendfileBytes.Load(),
 	}
 }
 
@@ -364,6 +382,8 @@ func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
 	switch {
 	case req.Method != "GET" && req.Method != "HEAD":
 		*out = httpwire.AppendResponseHeader((*out)[:0], 501, "text/plain", 0, req.KeepAlive)
+	case s.cfg.Docroot != nil:
+		return s.serveDocroot(conn, req, out)
 	default:
 		body, ctype, ok := s.cfg.Store.Get(req.Path)
 		if !ok {
@@ -380,6 +400,60 @@ func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
 	}
 	s.replies.Add(1)
 	return req.KeepAlive
+}
+
+// serveDocroot answers one request from the disk-backed docroot:
+// 404/304 and cache-hit bodies go out as one blocking write; fd-only
+// entries get their header written first and the body pushed with
+// blocking sendfile — the thread stays parked in the kernel until the
+// file range has drained into the socket, the thread-pool counterpart
+// of the reactor's resumable sendfile state machine.
+func (s *Server) serveDocroot(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
+	ent, err := s.cfg.Docroot.Get(req.Path)
+	if err != nil {
+		*out = httpwire.AppendResponseHeader((*out)[:0], 404, "text/plain", 0, req.KeepAlive)
+		return s.finish(conn, *out, req.KeepAlive)
+	}
+	defer ent.Release()
+	if httpwire.NotModified(req, ent.ETag, ent.ModTime) {
+		s.notModified.Add(1)
+		*out = httpwire.AppendResponseHeaderValidators((*out)[:0], 304,
+			ent.ContentType, 0, req.KeepAlive, ent.ETag, ent.LastModified)
+		return s.finish(conn, *out, req.KeepAlive)
+	}
+	*out = httpwire.AppendResponseHeaderValidators((*out)[:0], 200,
+		ent.ContentType, ent.Size, req.KeepAlive, ent.ETag, ent.LastModified)
+	if req.Method != "GET" || ent.Size == 0 {
+		return s.finish(conn, *out, req.KeepAlive)
+	}
+	if body := ent.Body(); body != nil {
+		*out = append(*out, body...)
+		return s.finish(conn, *out, req.KeepAlive)
+	}
+	// Zero-copy path: header, then the file range straight from the fd.
+	if !s.write(conn, *out) {
+		return false
+	}
+	if err := conn.SetWriteDeadline(s.ioDeadline()); err != nil {
+		return false
+	}
+	n, err := docroot.SendfileTo(conn, ent)
+	s.bytesOut.Add(n)
+	s.sendfileBytes.Add(n)
+	if err != nil {
+		return false
+	}
+	s.replies.Add(1)
+	return req.KeepAlive
+}
+
+// finish writes a fully assembled response and counts the reply.
+func (s *Server) finish(conn net.Conn, data []byte, keepAlive bool) bool {
+	if !s.write(conn, data) {
+		return false
+	}
+	s.replies.Add(1)
+	return keepAlive
 }
 
 // ioDeadline converts the KeepAlive knob into a deadline: zero means

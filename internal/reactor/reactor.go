@@ -243,6 +243,29 @@ func Write(fd int, buf []byte) (n int, again bool, err error) {
 	}
 }
 
+// Sendfile performs one non-blocking sendfile(2) of up to max bytes
+// from srcFD (a regular file) at *off into the socket fd — the zero-copy
+// response path. The kernel advances *off past whatever it sent, so the
+// caller's offset is always the resume point; again=true means the
+// socket buffer is full (register write interest and come back later).
+// Because off is explicit, srcFD's file position is never touched and
+// one shared descriptor can feed any number of concurrent responses.
+func Sendfile(fd, srcFD int, off *int64, max int) (n int, again bool, err error) {
+	for {
+		n, err = syscall.Sendfile(fd, srcFD, off, max)
+		switch err {
+		case nil:
+			return n, false, nil
+		case syscall.EAGAIN:
+			return 0, true, nil
+		case syscall.EINTR:
+			continue
+		default:
+			return 0, false, fmt.Errorf("reactor: sendfile: %w", err)
+		}
+	}
+}
+
 // CloseFD closes a socket.
 func CloseFD(fd int) { _ = syscall.Close(fd) }
 
