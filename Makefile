@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench figures figures-fast clean
+.PHONY: all build test test-full race bench figures figures-fast demo-overload clean
 
 all: build test
 
@@ -30,6 +30,11 @@ figures:
 
 figures-fast:
 	go run ./cmd/expsim -fast
+
+# Live showcase of adaptive overload control, panic isolation, and the
+# stall watchdog (~15 s).
+demo-overload:
+	go run ./examples/overload
 
 clean:
 	go clean ./...

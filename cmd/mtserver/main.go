@@ -23,6 +23,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/docroot"
 	"repro/internal/mtserver"
+	"repro/internal/overload"
 	"repro/internal/surge"
 )
 
@@ -35,6 +36,9 @@ func main() {
 	docrootDir := flag.String("docroot", "", `serve real files from disk instead of memory: a directory path, or "tmp" to materialize the SURGE set into a fresh temp dir ("" = in-memory store)`)
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "docroot content-cache budget in bytes (0 disables caching)")
 	maxConns := flag.Int("max-conns", 0, "shed connections above this many with an immediate 503 (0 = unlimited; useful values are <= -threads)")
+	targetP95 := flag.Duration("target-p95", 0, "adaptive overload control: shed accepts as needed to hold p95 first-response latency near this target (0 = disabled)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After advertised on adaptive sheds (rounded up to whole seconds)")
+	watchdog := flag.Duration("watchdog", 0, "flag pool threads whose handlers stall longer than this (0 = disabled)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGINT")
 	flag.Parse()
 
@@ -58,6 +62,28 @@ func main() {
 	cfg.Threads = *threads
 	cfg.KeepAlive = *keepAlive
 	cfg.MaxConns = *maxConns
+	var ctl *overload.Controller
+	if *targetP95 > 0 {
+		ctl, err = overload.NewController(overload.Config{TargetP95: *targetP95, RetryAfter: *retryAfter})
+		if err != nil {
+			log.Fatalf("overload controller: %v", err)
+		}
+		cfg.Admission = ctl
+	}
+	var wd *overload.Watchdog
+	if *watchdog > 0 {
+		wd, err = overload.NewWatchdog(overload.WatchdogConfig{
+			Interval: *watchdog,
+			OnStall: func(s overload.Stall) {
+				log.Printf("watchdog: %s stalled for %v", s.Name, s.Age)
+			},
+		})
+		if err != nil {
+			log.Fatalf("watchdog: %v", err)
+		}
+		defer wd.Stop()
+		cfg.Watchdog = wd
+	}
 	srv, err := mtserver.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
@@ -75,8 +101,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drain budget %v exceeded; remaining connections cut\n", *drain)
 	}
 	st := srv.Stats()
-	fmt.Printf("accepted=%d replies=%d bytes=%d idle-closes=%d 400s=%d shed=%d\n",
-		st.Accepted, st.Replies, st.BytesOut, st.IdleCloses, st.BadRequest, st.Shed)
+	fmt.Printf("accepted=%d replies=%d bytes=%d idle-closes=%d 400s=%d shed=%d panics=%d\n",
+		st.Accepted, st.Replies, st.BytesOut, st.IdleCloses, st.BadRequest, st.Shed, st.HandlerPanics)
+	if ctl != nil {
+		cs := ctl.Stats()
+		fmt.Printf("overload: admitted=%d shed=%d rate=%.0f/s last-p95=%v steps=%d down/%d up\n",
+			cs.Admitted, cs.Shed, cs.Rate, cs.LastP95, cs.Decreases, cs.Increases)
+	}
+	if wd != nil {
+		ws := wd.Stats()
+		fmt.Printf("watchdog: stalls=%d recovered=%d active=%d max-stall=%v\n",
+			ws.Stalls, ws.Recovered, ws.Active, ws.MaxStallAge)
+	}
 	if root != nil {
 		cs := root.Stats()
 		fmt.Printf("304s=%d sendfile-bytes=%d cache: hits=%d misses=%d evictions=%d cached-bytes=%d\n",

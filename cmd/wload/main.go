@@ -102,8 +102,8 @@ func main() {
 	fmt.Printf("clients:            %d\n", res.Clients)
 	fmt.Printf("duration:           %v\n", res.Duration)
 	fmt.Printf("replies:            %d (%.1f/s)\n", res.Replies, res.RepliesPerSec)
-	fmt.Printf("response time mean: %.4fs  p50: %.4fs  p90: %.4fs  p99: %.4fs\n",
-		res.MeanResponseSec, res.P50ResponseSec, res.P90ResponseSec, res.P99ResponseSec)
+	fmt.Printf("response time mean: %.4fs  p50: %.4fs  p90: %.4fs  p95: %.4fs  p99: %.4fs\n",
+		res.MeanResponseSec, res.P50ResponseSec, res.P90ResponseSec, res.P95ResponseSec, res.P99ResponseSec)
 	fmt.Printf("connect time mean:  %.4fs  p90: %.4fs\n", res.MeanConnectSec, res.P90ConnectSec)
 	fmt.Printf("client timeouts:    %d (%.2f/s)\n", res.TimeoutErrors, res.TimeoutErrPerSec)
 	fmt.Printf("connection resets:  %d (%.2f/s)\n", res.ResetErrors, res.ResetErrPerSec)
@@ -111,5 +111,9 @@ func main() {
 	fmt.Printf("sessions completed: %d\n", res.Sessions)
 	if *revalidate > 0 {
 		fmt.Printf("304 not modified:   %d (%.1f/s)\n", res.NotModified, res.NotModifiedPerSec)
+	}
+	if res.Sheds > 0 || res.Retries > 0 {
+		fmt.Printf("503 sheds:          %d (%.1f/s), honored with %d backed-off retries\n",
+			res.Sheds, res.ShedsPerSec, res.Retries)
 	}
 }

@@ -1,0 +1,33 @@
+//go:build linux
+
+package core
+
+import "time"
+
+// Fault is one injected handler fault. The zero value is no fault.
+// Faults are applied inside the request handler — exactly where a real
+// bug or a dead dependency would bite — so the self-healing layers
+// (panic isolation, the stall watchdog) are exercised against the same
+// control flow they protect in production. Both live servers share this
+// hook; mtserver reuses the type.
+type Fault struct {
+	// Delay blocks the handler for this long before serving — a slow
+	// backend or CPU-heavy request. On the event-driven server this
+	// stalls the owning reactor thread (deliberately: that is the
+	// architecture's cost model for handler work); on the thread pool it
+	// parks one worker.
+	Delay time.Duration
+	// Wedge, when non-nil, blocks the handler until the channel is
+	// closed or the server stops — a hang, not a slowdown. This is what
+	// the heartbeat watchdog exists to flag.
+	Wedge <-chan struct{}
+	// Panic makes the handler panic. Panic isolation must convert it
+	// into a best-effort 500 on that one connection, never a dead
+	// process.
+	Panic bool
+}
+
+// FaultFunc inspects a request path and returns the fault to inject
+// (zero Fault for none). Wired through Config.HandlerFault on both
+// servers; nil disables injection entirely.
+type FaultFunc func(path string) Fault

@@ -5,11 +5,13 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/docroot"
 	"repro/internal/httpwire"
+	"repro/internal/overload"
 	"repro/internal/reactor"
 )
 
@@ -50,9 +52,26 @@ type Config struct {
 	HeaderTimeout time.Duration
 	// MaxConns, when positive, caps concurrently open connections:
 	// excess accepts are answered with an immediate 503 and closed
-	// (counted in Stats.Shed) instead of queuing without bound —
-	// admission control for the connection-flood regime. 0 = unlimited.
+	// (counted in Stats.Shed) instead of queuing without bound — the
+	// *hard ceiling* for the connection-flood regime. 0 = unlimited.
 	MaxConns int
+	// Admission, when non-nil, is the adaptive overload controller: it
+	// is consulted on every accept (before the MaxConns ceiling), and
+	// fed the accept-to-first-response latency of each admitted
+	// connection so its AIMD loop can hold the configured p95 target.
+	// Refused connections are shed with 503 + Retry-After + close.
+	Admission *overload.Controller
+	// Watchdog, when non-nil, monitors the acceptor and every reactor
+	// worker for wedged loops: each thread registers a heartbeat at
+	// Start and brackets its work with Begin/End, so a handler that
+	// hangs the loop is flagged within roughly one watchdog interval.
+	// The watchdog is caller-owned (it may be shared across servers)
+	// and is not stopped by Stop.
+	Watchdog *overload.Watchdog
+	// HandlerFault, when non-nil, injects faults into request handling
+	// (see Fault) — the hook the robustness tests drive panics and
+	// wedges through. nil in production.
+	HandlerFault FaultFunc
 }
 
 // DefaultConfig returns the paper's best uniprocessor configuration.
@@ -108,6 +127,10 @@ type Stats struct {
 	// SendfileBytes counts body bytes delivered zero-copy via
 	// sendfile(2); BytesOut includes them.
 	SendfileBytes int64
+	// HandlerPanics counts handler panics that were isolated to their
+	// connection (best-effort 500 + close) instead of killing the
+	// process.
+	HandlerPanics int64
 }
 
 // Server is the live event-driven web server.
@@ -135,6 +158,7 @@ type Server struct {
 	headerTimeouts counter
 	notModified    counter
 	sendfileBytes  counter
+	handlerPanics  counter
 }
 
 // counter is a tiny atomic counter (avoids importing metrics here).
@@ -183,6 +207,7 @@ func (s *Server) Stats() Stats {
 		HeaderTimeouts: s.headerTimeouts.get(),
 		NotModified:    s.notModified.get(),
 		SendfileBytes:  s.sendfileBytes.get(),
+		HandlerPanics:  s.handlerPanics.get(),
 	}
 }
 
@@ -198,7 +223,7 @@ func (s *Server) Start() error {
 		return err
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
-		w, err := newWorker(s)
+		w, err := newWorker(s, i)
 		if err != nil {
 			ap.Close()
 			for _, prev := range s.workers {
@@ -293,6 +318,10 @@ func (s *Server) acceptLoop() {
 	// the paper's sense) instead of bouncing through scheduler handoffs.
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
+	var hb *overload.Heartbeat
+	if wd := s.cfg.Watchdog; wd != nil {
+		hb = wd.Register("core-acceptor")
+	}
 	rr := 0
 	for {
 		select {
@@ -307,6 +336,9 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		_ = evs
+		if hb != nil {
+			hb.Begin()
+		}
 		for {
 			fd, done, err := reactor.Accept(s.lfd)
 			if err != nil {
@@ -316,13 +348,20 @@ func (s *Server) acceptLoop() {
 				break
 			}
 			s.accepted.add(1)
-			// Admission control: above MaxConns the connection is shed
-			// with an immediate 503 + close rather than queued without
-			// bound. connsOpen is incremented here, on the single
-			// acceptor thread, so the cap cannot be raced past.
+			// Adaptive admission first: the controller's token bucket
+			// paces accepts against its latency target. Shed clients are
+			// told when to come back.
+			if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
+				s.shed.add(1)
+				shedConn(fd, ac.RetryAfterSeconds())
+				continue
+			}
+			// MaxConns stays as the hard ceiling above the controller:
+			// connsOpen is incremented here, on the single acceptor
+			// thread, so the cap cannot be raced past.
 			if mc := s.cfg.MaxConns; mc > 0 && s.connsOpen.get() >= int64(mc) {
 				s.shed.add(1)
-				shedConn(fd)
+				shedConn(fd, shedRetryAfterSec)
 				continue
 			}
 			s.connsOpen.add(1)
@@ -330,14 +369,24 @@ func (s *Server) acceptLoop() {
 			rr++
 			w.give(fd)
 		}
+		if hb != nil {
+			hb.End()
+		}
 	}
 }
 
-// shedConn answers an over-limit accept with a best-effort 503 and an
-// immediate close. The socket is fresh, so the non-blocking write of the
-// short header virtually always lands in the empty send buffer.
-func shedConn(fd int) {
-	resp := httpwire.AppendResponseHeader(nil, 503, "text/plain", 0, false)
+// shedRetryAfterSec is the Retry-After advertised on sheds not governed
+// by an admission controller (the static MaxConns ceiling).
+const shedRetryAfterSec = 1
+
+// shedConn answers an over-limit accept with a best-effort 503 — with
+// Retry-After and Connection: close, so a well-behaved client backs off
+// instead of hammering — and an immediate close. The socket is fresh, so
+// the non-blocking write of the short header virtually always lands in
+// the empty send buffer.
+func shedConn(fd int, retryAfterSec int) {
+	resp := httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
+		httpwire.Header{Name: "Retry-After", Value: strconv.Itoa(retryAfterSec)})
 	_, _, _ = reactor.Write(fd, resp)
 	reactor.CloseFD(fd)
 }
@@ -372,6 +421,11 @@ type conn struct {
 	// lastActive is when the connection last made progress; the idle
 	// sweeper (only armed when Config.IdleTimeout > 0) compares it.
 	lastActive time.Time
+	// acceptedAt is when the connection was handed to this worker;
+	// observed flips once the accept-to-first-response latency has been
+	// reported to the admission controller (once per connection).
+	acceptedAt time.Time
+	observed   bool
 	// headerStart, when non-zero, is when the connection started owing
 	// us a complete request: set at accept and whenever a partial
 	// request is buffered, cleared once a request completes and nothing
@@ -385,26 +439,42 @@ type worker struct {
 	srv    *Server
 	poller *reactor.Poller
 	conns  map[int]*conn
-	inbox  chan int
+	inbox  chan pendingConn
 	buf    []byte
 	reqs   []*httpwire.Request
 	// draining is set once the server enters Drain: no new reads, flush
 	// pending output, close as connections empty.
 	draining bool
+	// hb is this reactor thread's watchdog heartbeat (nil when no
+	// watchdog is configured). Spans bracket work, not the poller wait,
+	// so a parked-but-healthy loop is never flagged.
+	hb *overload.Heartbeat
 }
 
-func newWorker(s *Server) (*worker, error) {
+func newWorker(s *Server, idx int) (*worker, error) {
 	p, err := reactor.NewPoller(1024)
 	if err != nil {
 		return nil, err
 	}
-	return &worker{
+	w := &worker{
 		srv:    s,
 		poller: p,
 		conns:  make(map[int]*conn),
-		inbox:  make(chan int, 4096),
+		inbox:  make(chan pendingConn, 4096),
 		buf:    make([]byte, s.cfg.ReadBuf),
-	}, nil
+	}
+	if wd := s.cfg.Watchdog; wd != nil {
+		w.hb = wd.Register(fmt.Sprintf("core-worker-%d", idx))
+	}
+	return w, nil
+}
+
+// pendingConn is an accepted fd in flight to a worker, stamped with its
+// accept time so the admission controller's latency clock covers the
+// inbox wait as well as the event-loop lag.
+type pendingConn struct {
+	fd int
+	at time.Time
 }
 
 // give transfers an accepted fd to this worker (called from the acceptor
@@ -412,7 +482,7 @@ func newWorker(s *Server) (*worker, error) {
 // the connection in connsOpen, so every failure path must uncount it.
 func (w *worker) give(fd int) {
 	select {
-	case w.inbox <- fd:
+	case w.inbox <- pendingConn{fd: fd, at: time.Now()}:
 		w.poller.Wakeup()
 	default:
 		// Inbox overflow: shed the connection rather than block the
@@ -444,6 +514,9 @@ func (w *worker) loop() {
 		}
 	}
 	for {
+		if w.hb != nil {
+			w.hb.Begin()
+		}
 		w.drainInbox()
 		select {
 		case <-w.srv.stopping:
@@ -460,9 +533,17 @@ func (w *worker) loop() {
 		if w.draining && len(w.conns) == 0 {
 			return // drained: every in-flight response has flushed
 		}
+		// The poller wait is a legitimate park, not work: close the
+		// heartbeat span so an idle loop is never mistaken for a wedge.
+		if w.hb != nil {
+			w.hb.End()
+		}
 		evs, err := w.poller.Wait(waitMs)
 		if err != nil {
 			return
+		}
+		if w.hb != nil {
+			w.hb.Begin()
 		}
 		if w.srv.cfg.IdleTimeout > 0 {
 			w.sweepIdle()
@@ -516,8 +597,8 @@ func (w *worker) shutdown() {
 	// connsOpen slot; release them too.
 	for {
 		select {
-		case fd := <-w.inbox:
-			reactor.CloseFD(fd)
+		case p := <-w.inbox:
+			reactor.CloseFD(p.fd)
 			w.srv.connsOpen.add(-1)
 		default:
 			w.poller.Close()
@@ -529,21 +610,21 @@ func (w *worker) shutdown() {
 func (w *worker) drainInbox() {
 	for {
 		select {
-		case fd := <-w.inbox:
+		case p := <-w.inbox:
 			if w.draining {
 				// Raced in just as the drain began: shed it.
-				reactor.CloseFD(fd)
+				reactor.CloseFD(p.fd)
 				w.srv.connsOpen.add(-1)
 				continue
 			}
 			now := time.Now()
-			c := &conn{fd: fd, lastActive: now, headerStart: now}
-			if err := w.poller.Add(fd, true, false); err != nil {
-				reactor.CloseFD(fd)
+			c := &conn{fd: p.fd, lastActive: now, headerStart: now, acceptedAt: p.at}
+			if err := w.poller.Add(p.fd, true, false); err != nil {
+				reactor.CloseFD(p.fd)
 				w.srv.connsOpen.add(-1)
 				continue
 			}
-			w.conns[fd] = c
+			w.conns[p.fd] = c
 		default:
 			return
 		}
@@ -565,8 +646,17 @@ func (w *worker) readable(c *conn) {
 		w.reqs = w.reqs[:0]
 		reqs, perr := c.parser.Feed(w.reqs, w.buf[:n])
 		w.reqs = reqs
+		panicked := false
 		for _, req := range reqs {
-			w.serve(c, req)
+			if !w.serveSafe(c, req) {
+				panicked = true
+				break
+			}
+		}
+		if panicked {
+			// The isolation path queued a 500 and marked the connection
+			// closing; skip further reads and let flush deliver it.
+			break
 		}
 		if perr != nil {
 			w.srv.badRequest.add(1)
@@ -588,8 +678,59 @@ func (w *worker) readable(c *conn) {
 	w.flush(c)
 }
 
+// serveSafe serves one request with panic isolation: a panicking handler
+// costs its own connection a best-effort 500 and a close — never the
+// process, and never the worker's other connections. It reports whether
+// the connection may continue serving pipelined requests.
+func (w *worker) serveSafe(c *conn, req *httpwire.Request) (ok bool) {
+	mark := len(c.out)
+	defer func() {
+		if r := recover(); r != nil {
+			// Drop whatever the handler partially queued — releasing any
+			// docroot references it pinned — and answer with a 500 that
+			// closes the connection.
+			for i := mark; i < len(c.out); i++ {
+				if c.out[i].ent != nil {
+					c.out[i].ent.Release()
+					c.out[i].ent = nil
+				}
+			}
+			c.out = append(c.out[:mark], outSeg{buf: httpwire.AppendResponseHeader(nil, 500, "text/plain", 0, false)})
+			c.closing = true
+			c.replies++
+			w.srv.replies.add(1)
+			w.srv.handlerPanics.add(1)
+			ok = false
+		}
+	}()
+	w.serve(c, req)
+	return true
+}
+
+// applyFault executes an injected fault on the reactor thread — exactly
+// where handler work runs in this architecture, so a Delay stalls the
+// owning loop (the architecture's honest cost model for handler work)
+// and a Wedge is precisely what the watchdog exists to flag.
+func (w *worker) applyFault(f Fault) {
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Wedge != nil {
+		select {
+		case <-f.Wedge:
+		case <-w.srv.stopping:
+		}
+	}
+	if f.Panic {
+		panic("core: injected handler panic")
+	}
+}
+
 // serve appends one response to the connection's output queue.
 func (w *worker) serve(c *conn, req *httpwire.Request) {
+	if ff := w.srv.cfg.HandlerFault; ff != nil {
+		w.applyFault(ff(req.Path))
+	}
 	switch {
 	case req.Method != "GET" && req.Method != "HEAD":
 		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 501, "text/plain", 0, req.KeepAlive)})
@@ -712,6 +853,7 @@ func (w *worker) flush(c *conn) {
 		}
 	}
 	// Drained.
+	w.observeFirst(c)
 	if c.closing {
 		w.closeConn(c)
 		return
@@ -719,6 +861,20 @@ func (w *worker) flush(c *conn) {
 	if c.writeArm {
 		c.writeArm = false
 		_ = w.poller.Modify(c.fd, true, false)
+	}
+}
+
+// observeFirst feeds the admission controller the connection's
+// accept-to-first-response latency, once, when its first response has
+// fully left the socket. First-response latency captures the event-loop
+// lag an overloaded reactor accrues — the signal the AIMD loop steers by.
+func (w *worker) observeFirst(c *conn) {
+	if c.observed || c.replies == 0 {
+		return
+	}
+	c.observed = true
+	if ac := w.srv.cfg.Admission; ac != nil {
+		ac.Observe(time.Since(c.acceptedAt))
 	}
 }
 

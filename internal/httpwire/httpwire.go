@@ -343,12 +343,24 @@ func AppendResponseHeader(dst []byte, code int, contentType string, contentLen i
 	return AppendResponseHeaderValidators(dst, code, contentType, contentLen, keepAlive, "", "")
 }
 
+// AppendResponseHeaderExtra is AppendResponseHeader plus arbitrary
+// additional header fields, emitted just before the Connection header —
+// e.g. Retry-After on a shed 503. Names and values must already be
+// valid header text; nothing is escaped.
+func AppendResponseHeaderExtra(dst []byte, code int, contentType string, contentLen int64, keepAlive bool, extra ...Header) []byte {
+	return appendHead(dst, code, contentType, contentLen, keepAlive, "", "", extra)
+}
+
 // AppendResponseHeaderValidators is AppendResponseHeader plus cache
 // validators: non-empty etag and lastModified (a preformatted HTTP-date)
 // are emitted as ETag and Last-Modified. A 304 carries its validators
 // but no Content-Length — it has no body by definition, and repeating
 // the entity length would only invite client disagreement about framing.
 func AppendResponseHeaderValidators(dst []byte, code int, contentType string, contentLen int64, keepAlive bool, etag, lastModified string) []byte {
+	return appendHead(dst, code, contentType, contentLen, keepAlive, etag, lastModified, nil)
+}
+
+func appendHead(dst []byte, code int, contentType string, contentLen int64, keepAlive bool, etag, lastModified string, extra []Header) []byte {
 	dst = append(dst, "HTTP/1.1 "...)
 	dst = strconv.AppendInt(dst, int64(code), 10)
 	dst = append(dst, ' ')
@@ -371,6 +383,12 @@ func AppendResponseHeaderValidators(dst []byte, code int, contentType string, co
 	if lastModified != "" {
 		dst = append(dst, "\r\nLast-Modified: "...)
 		dst = append(dst, lastModified...)
+	}
+	for _, h := range extra {
+		dst = append(dst, "\r\n"...)
+		dst = append(dst, h.Name...)
+		dst = append(dst, ": "...)
+		dst = append(dst, h.Value...)
 	}
 	if keepAlive {
 		dst = append(dst, "\r\nConnection: keep-alive\r\n\r\n"...)

@@ -315,3 +315,35 @@ func BenchmarkAppendResponseHeader(b *testing.B) {
 		buf = AppendResponseHeader(buf[:0], 200, "text/plain", 4096, true)
 	}
 }
+
+// AppendResponseHeaderExtra must emit the extra fields where a client
+// parser finds them, and leave framing (Content-Length, Connection)
+// intact — the shed-503 shape both servers put on the wire.
+func TestAppendResponseHeaderExtra(t *testing.T) {
+	wire := AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
+		Header{Name: "Retry-After", Value: "2"})
+	var p RespParser
+	resps, err := p.Feed(nil, wire)
+	if err != nil || len(resps) != 1 {
+		t.Fatalf("Feed = (%d resps, %v), want one clean response\n%q", len(resps), err, wire)
+	}
+	resp := resps[0]
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if v, ok := resp.Get("Retry-After"); !ok || v != "2" {
+		t.Fatalf("Retry-After = %q (present=%v), want \"2\"", v, ok)
+	}
+	if resp.KeepAlive {
+		t.Fatal("shed response parsed as keep-alive; want Connection: close")
+	}
+	if resp.ContentLength != 0 {
+		t.Fatalf("ContentLength = %d, want 0", resp.ContentLength)
+	}
+	// No extras degenerates to the plain header, byte for byte.
+	plain := AppendResponseHeader(nil, 503, "text/plain", 0, false)
+	bare := AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false)
+	if string(plain) != string(bare) {
+		t.Fatalf("extra-less helper diverged:\n%q\n%q", plain, bare)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -99,6 +100,7 @@ type Result struct {
 	MeanResponseSec  float64
 	P50ResponseSec   float64
 	P90ResponseSec   float64
+	P95ResponseSec   float64
 	P99ResponseSec   float64
 	MeanConnectSec   float64
 	P90ConnectSec    float64
@@ -113,6 +115,16 @@ type Result struct {
 	// also included in Replies).
 	NotModified       int64
 	NotModifiedPerSec float64
+	// Sheds counts 503 responses — the server refusing work under
+	// overload control. They are deliberately NOT Replies (no response
+	// time is recorded for them) and NOT errors: a shed is the server
+	// degrading as designed, and is reported as its own class, exactly
+	// as the error taxonomy separates timeouts from resets.
+	Sheds       int64
+	ShedsPerSec float64
+	// Retries counts re-dial attempts made after honoring a shed's
+	// Retry-After with capped exponential backoff.
+	Retries int64
 }
 
 // Run executes the load test and blocks until the window closes.
@@ -167,6 +179,7 @@ func Run(opts Options) (Result, error) {
 		MeanResponseSec: g.respTimes.Mean(),
 		P50ResponseSec:  g.respTimes.Quantile(0.50),
 		P90ResponseSec:  g.respTimes.Quantile(0.90),
+		P95ResponseSec:  g.respTimes.Quantile(0.95),
 		P99ResponseSec:  g.respTimes.Quantile(0.99),
 		MeanConnectSec:  g.connectTimes.Mean(),
 		P90ConnectSec:   g.connectTimes.Quantile(0.90),
@@ -175,12 +188,15 @@ func Run(opts Options) (Result, error) {
 		BytesReceived:   g.bytes.Value(),
 		Sessions:        g.sessions.Value(),
 		NotModified:     g.notMod.Value(),
+		Sheds:           g.sheds.Value(),
+		Retries:         g.retries.Value(),
 	}
 	res.RepliesPerSec = float64(res.Replies) / d
 	res.TimeoutErrPerSec = float64(res.TimeoutErrors) / d
 	res.ResetErrPerSec = float64(res.ResetErrors) / d
 	res.BandwidthBps = float64(res.BytesReceived) / d
 	res.NotModifiedPerSec = float64(res.NotModified) / d
+	res.ShedsPerSec = float64(res.Sheds) / d
 	return res, nil
 }
 
@@ -194,6 +210,8 @@ type generator struct {
 	bytes        metrics.Counter
 	sessions     metrics.Counter
 	notMod       metrics.Counter
+	sheds        metrics.Counter
+	retries      metrics.Counter
 
 	mu        sync.Mutex
 	measuring bool
@@ -290,22 +308,81 @@ func (g *generator) clientLoop(client int, rng *dist.RNG) {
 	}
 }
 
-// runSession opens one connection and plays the session over it. rng
-// gates revalidation (no draws are consumed when RevalidateFraction is
-// 0, so seeds replay identical streams); etags is the client's learned
-// validator cache, updated from response ETag headers.
+// Shed-retry policy: a client that receives a 503 honors its
+// Retry-After, doubling the wait on each consecutive shed (capped) and
+// jittering it so a herd of shed clients does not re-arrive in lockstep,
+// then re-dials and resumes the session from the first unanswered
+// request — up to maxShedRetries re-dials before giving the session up.
+const (
+	maxShedRetries = 5
+	shedBackoffCap = 8 * time.Second
+)
+
+// playOutcome is how one connection's worth of a session ended.
+type playOutcome int
+
+const (
+	playDone  playOutcome = iota // every session request answered
+	playFatal                    // error, close, or stop: session over
+	playShed                     // 503: back off and retry the rest
+)
+
+// runSession plays the session, re-dialing with backoff when the server
+// sheds it. rng gates revalidation and jitters shed backoff; etags is
+// the client's learned validator cache, updated from response ETags.
 func (g *generator) runSession(session surge.Session, rng *dist.RNG, etags map[string]string) {
-	start := time.Now()
+	next := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && g.inWindow() {
+			g.retries.Inc()
+		}
+		n, retryAfter, outcome := g.playConn(session, next, rng, etags)
+		next = n
+		switch outcome {
+		case playDone:
+			if g.inWindow() {
+				g.sessions.Inc()
+			}
+			return
+		case playFatal:
+			return
+		}
+		if attempt >= maxShedRetries {
+			return
+		}
+		d := retryAfter
+		for s := 0; s < attempt && d < shedBackoffCap; s++ {
+			d *= 2
+		}
+		if d > shedBackoffCap {
+			d = shedBackoffCap
+		}
+		if d > 0 {
+			d = d/2 + time.Duration(rng.Float64()*float64(d)/2)
+		}
+		select {
+		case <-g.stop:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// playConn opens one connection and plays the session from request index
+// start. It returns the index of the first unanswered request, the
+// server's Retry-After when the outcome is playShed, and the outcome.
+func (g *generator) playConn(session surge.Session, start int, rng *dist.RNG, etags map[string]string) (int, time.Duration, playOutcome) {
+	dialStart := time.Now()
 	conn, err := net.DialTimeout("tcp", g.opts.Addr, g.opts.Timeout)
 	if err != nil {
 		if to, _ := classify(err); to && g.inWindow() {
 			g.timeouts.Inc()
 		}
-		return
+		return start, 0, playFatal
 	}
 	defer conn.Close()
 	if g.inWindow() {
-		g.connectTimes.Observe(time.Since(start).Seconds())
+		g.connectTimes.Observe(time.Since(dialStart).Seconds())
 	}
 	// The generator owns its response parsing (like httperf): raw reads
 	// through httpwire.RespParser, so byte accounting and stall detection
@@ -318,7 +395,7 @@ func (g *generator) runSession(session surge.Session, rng *dist.RNG, etags map[s
 	// ETags works across pipelined batches).
 	var inflight []string
 
-	i := 0
+	i := start
 	for i < len(session.Requests) {
 		// Issue a batch: this request plus immediately-pipelined ones.
 		batch := 1
@@ -345,7 +422,7 @@ func (g *generator) runSession(session surge.Session, rng *dist.RNG, etags map[s
 		conn.SetWriteDeadline(time.Now().Add(g.opts.Timeout))
 		if _, err := conn.Write(wire); err != nil {
 			g.record(err)
-			return
+			return i, 0, playFatal
 		}
 		pending := batch
 		for pending > 0 {
@@ -355,9 +432,27 @@ func (g *generator) runSession(session surge.Session, rng *dist.RNG, etags map[s
 				var perr error
 				resps, perr = parser.Feed(resps[:0], buf[:n])
 				for _, resp := range resps {
+					// The request index this response answers: responses
+					// arrive in request order within the batch.
+					respIdx := i + (batch - pending)
 					pending--
 					path := inflight[0]
 					inflight = inflight[1:]
+					if resp.StatusCode == 503 {
+						// Shed: not a reply, not an error — its own class.
+						// Requests pipelined behind it are lost (the server
+						// closes); the retry resumes from this one.
+						if g.inWindow() {
+							g.sheds.Inc()
+						}
+						ra := time.Second
+						if v, ok := resp.Get("Retry-After"); ok {
+							if secs, aerr := strconv.Atoi(strings.TrimSpace(v)); aerr == nil && secs >= 0 {
+								ra = time.Duration(secs) * time.Second
+							}
+						}
+						return respIdx, ra, playShed
+					}
 					switch resp.StatusCode {
 					case 200:
 						if etag, ok := resp.Get("ETag"); ok {
@@ -375,17 +470,17 @@ func (g *generator) runSession(session surge.Session, rng *dist.RNG, etags map[s
 					}
 					if !resp.KeepAlive {
 						// Server will close; the session cannot go on.
-						return
+						return respIdx + 1, 0, playFatal
 					}
 				}
 				if perr != nil {
 					g.record(perr)
-					return
+					return i, 0, playFatal
 				}
 			}
 			if err != nil {
 				g.record(err)
-				return
+				return i, 0, playFatal
 			}
 		}
 		i += batch
@@ -393,14 +488,12 @@ func (g *generator) runSession(session surge.Session, rng *dist.RNG, etags map[s
 			gap := time.Duration(session.Requests[i].Gap * g.opts.ThinkScale * float64(time.Second))
 			select {
 			case <-g.stop:
-				return
+				return i, 0, playFatal
 			case <-time.After(gap):
 			}
 		}
 	}
-	if g.inWindow() {
-		g.sessions.Inc()
-	}
+	return i, 0, playDone
 }
 
 // record classifies and counts a session-fatal error.

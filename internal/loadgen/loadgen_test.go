@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"os"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/docroot"
+	"repro/internal/httpwire"
 	"repro/internal/mtserver"
 	"repro/internal/surge"
 )
@@ -284,3 +287,108 @@ func TestRevalidateFractionValidated(t *testing.T) {
 		t.Fatal("RevalidateFraction -0.1 accepted")
 	}
 }
+
+// shedServer is a fake server that sheds every odd-numbered connection
+// with 503 + "Retry-After: 0" + close and serves every even-numbered one
+// with a 200 per request — the minimal peer for exercising the client's
+// shed/backoff/resume loop deterministically and fast.
+type shedServer struct {
+	ln    net.Listener
+	conns atomic.Int64
+	wg    sync.WaitGroup
+}
+
+func newShedServer(t *testing.T) *shedServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &shedServer{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := s.conns.Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				if n%2 == 1 {
+					_, _ = conn.Read(buf)
+					_, _ = conn.Write(httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
+						httpwire.Header{Name: "Retry-After", Value: "0"}))
+					return
+				}
+				var parser httpwire.Parser
+				var reqs []*httpwire.Request
+				for {
+					rn, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					reqs, _ = parser.Feed(reqs[:0], buf[:rn])
+					for range reqs {
+						if _, err := conn.Write(httpwire.AppendResponseHeader(nil, 200, "text/plain", 0, true)); err != nil {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+	return s
+}
+
+func (s *shedServer) stop() {
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func TestShedRetryAfterHonored(t *testing.T) {
+	srv := newShedServer(t)
+	defer srv.stop()
+
+	oneReq := surge.Session{Requests: []surge.Request{{Object: surge.Object{ID: 0}}}}
+	opts := Options{
+		Addr:     srv.ln.Addr().String(),
+		Clients:  1,
+		Warmup:   0,
+		Duration: 700 * time.Millisecond,
+		Timeout:  5 * time.Second,
+		Seed:     7,
+		SourceFactory: func(int, *dist.RNG) surge.SessionSource {
+			return sessionFunc(func() surge.Session { return oneReq })
+		},
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every session's first dial is shed; the client must back off per
+	// Retry-After (0 s here, so immediately), re-dial, and complete the
+	// session on the serving connection.
+	if res.Sheds == 0 || res.Retries == 0 {
+		t.Fatalf("sheds=%d retries=%d, want both positive: %+v", res.Sheds, res.Retries, res)
+	}
+	if res.Sessions == 0 || res.Replies == 0 {
+		t.Fatalf("no completed sessions through the shed/retry path: %+v", res)
+	}
+	// Sheds are their own class: neither replies nor errors.
+	if res.ResetErrors != 0 || res.TimeoutErrors != 0 {
+		t.Fatalf("sheds leaked into error counters: %+v", res)
+	}
+	if res.Replies < res.Sessions {
+		t.Fatalf("replies %d below sessions %d", res.Replies, res.Sessions)
+	}
+}
+
+// sessionFunc adapts a function to surge.SessionSource.
+type sessionFunc func() surge.Session
+
+func (f sessionFunc) NextSession() surge.Session { return f() }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/docroot"
 	"repro/internal/httpwire"
+	"repro/internal/overload"
 )
 
 // Config parameterizes the thread-pool server.
@@ -51,6 +53,23 @@ type Config struct {
 	// immediate 503 + close (counted in Stats.Shed) instead of piling
 	// into the handoff queue and kernel backlog. 0 = unlimited.
 	MaxConns int
+	// Admission, when non-nil, is the adaptive overload controller: it
+	// is consulted on every accept (before the MaxConns ceiling), and fed
+	// each admitted connection's accept-to-first-response latency — which
+	// for a saturated pool is dominated by the handoff wait, exactly the
+	// queueing delay a static thread cap cannot see. Refused connections
+	// are shed with 503 + Retry-After + close.
+	Admission *overload.Controller
+	// Watchdog, when non-nil, monitors every pool thread for wedged
+	// handlers: each worker registers a heartbeat and brackets handler
+	// work with Begin/End (keep-alive reads are legitimate parks and are
+	// not bracketed), so a hung handler is flagged within roughly one
+	// watchdog interval. Caller-owned; not stopped by Stop.
+	Watchdog *overload.Watchdog
+	// HandlerFault, when non-nil, injects faults into request handling
+	// (see core.Fault) — the hook the robustness tests drive panics and
+	// wedges through. nil in production.
+	HandlerFault core.FaultFunc
 }
 
 // DefaultConfig returns the paper's best configuration (scaled pool).
@@ -98,6 +117,10 @@ type Stats struct {
 	// SendfileBytes counts body bytes delivered via sendfile(2);
 	// BytesOut includes them.
 	SendfileBytes int64
+	// HandlerPanics counts handler panics that were isolated to their
+	// connection (best-effort 500 + close) instead of killing the
+	// process.
+	HandlerPanics int64
 }
 
 // Server is the live thread-pool web server.
@@ -105,11 +128,12 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	// handoff carries accepted connections to worker threads. It is
-	// unbuffered: when every thread is busy the acceptor blocks, exactly
-	// like Apache with a saturated pool — further connections queue in
-	// the kernel's accept backlog.
-	handoff chan net.Conn
+	// handoff carries accepted connections (stamped with their accept
+	// time, so first-response latency includes the wait for a free
+	// thread) to worker threads. It is unbuffered: when every thread is
+	// busy the acceptor blocks, exactly like Apache with a saturated
+	// pool — further connections queue in the kernel's accept backlog.
+	handoff chan handoffConn
 
 	wg        sync.WaitGroup
 	stopping  chan struct{}
@@ -129,6 +153,7 @@ type Server struct {
 	shed          atomic.Int64
 	notModified   atomic.Int64
 	sendfileBytes atomic.Int64
+	handlerPanics atomic.Int64
 	// inflight counts accepted-and-admitted connections from accept to
 	// handler exit (ConnsOpen only counts those a thread has picked up);
 	// MaxConns admission and Drain completion are judged against it.
@@ -144,14 +169,46 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mtserver: listen: %w", err)
 	}
+	// With an admission controller the handoff queue must be visible, not
+	// hidden: an unbuffered handoff blocks the acceptor once the pool is
+	// saturated, which throttles accepts to the service rate — the token
+	// bucket then never refuses anyone and the real queue builds in the
+	// kernel backlog, where neither the controller's clock nor its Admit
+	// gate can see it. Buffering the handoff (a SEDA-style bounded stage
+	// queue) keeps the acceptor accepting at the arrival rate, so excess
+	// arrivals meet Admit() and admitted connections' queue wait lands in
+	// the accept-to-first-response latency the AIMD loop steers by.
+	depth := 0
+	if cfg.Admission != nil {
+		depth = admissionQueueDepth
+	}
 	return &Server{
 		cfg:      cfg,
 		ln:       ln,
-		handoff:  make(chan net.Conn),
+		handoff:  make(chan handoffConn, depth),
 		stopping: make(chan struct{}),
 		draining: make(chan struct{}),
 		active:   make(map[net.Conn]struct{}),
 	}, nil
+}
+
+// admissionQueueDepth bounds the visible accept queue used when an
+// admission controller is configured. It is a backstop, not a policy
+// knob: the controller sheds load long before the queue fills.
+const admissionQueueDepth = 1024
+
+// handoffConn is one accepted connection in flight to a worker.
+type handoffConn struct {
+	conn net.Conn
+	at   time.Time // accept time; the controller's latency clock starts here
+}
+
+// connState is per-connection bookkeeping threaded through the serve
+// path: whether the accept-to-first-response latency has been reported
+// to the admission controller yet.
+type connState struct {
+	acceptedAt time.Time
+	observed   bool
 }
 
 // Addr returns the listen address.
@@ -173,6 +230,7 @@ func (s *Server) Stats() Stats {
 
 		NotModified:   s.notModified.Load(),
 		SendfileBytes: s.sendfileBytes.Load(),
+		HandlerPanics: s.handlerPanics.Load(),
 	}
 }
 
@@ -180,7 +238,7 @@ func (s *Server) Stats() Stats {
 func (s *Server) Start() error {
 	for i := 0; i < s.cfg.Threads; i++ {
 		s.wg.Add(1)
-		go s.workerLoop()
+		go s.workerLoop(i)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -200,6 +258,17 @@ func (s *Server) Stop() {
 		s.mu.Unlock()
 	})
 	s.wg.Wait()
+	// Connections still queued in a buffered handoff were never picked up
+	// by a worker; close them so their fds do not outlive the server.
+	for {
+		select {
+		case h := <-s.handoff:
+			h.conn.Close()
+			s.inflight.Add(-1)
+		default:
+			return
+		}
+	}
 }
 
 // Drain gracefully shuts the server down: it stops accepting, wakes
@@ -249,21 +318,30 @@ func (s *Server) acceptLoop() {
 			}
 		}
 		s.accepted.Add(1)
-		// Admission control: past MaxConns the connection is answered
-		// with an immediate 503 and closed instead of joining the
-		// handoff queue — bounded degradation instead of an unbounded
-		// accept pile-up.
+		// Adaptive admission first: the controller's token bucket paces
+		// accepts against its latency target. Shed clients are told when
+		// to come back.
+		if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
+			s.shed.Add(1)
+			shedConn(conn, ac.RetryAfterSeconds())
+			continue
+		}
+		// MaxConns stays as the hard ceiling above the controller: past
+		// it the connection is answered with an immediate 503 and closed
+		// instead of joining the handoff queue — bounded degradation
+		// instead of an unbounded accept pile-up.
 		if mc := s.cfg.MaxConns; mc > 0 && s.inflight.Load() >= int64(mc) {
 			s.shed.Add(1)
-			shedConn(conn)
+			shedConn(conn, shedRetryAfterSec)
 			continue
 		}
 		s.inflight.Add(1)
 		if tc, ok := conn.(*net.TCPConn); ok {
 			_ = tc.SetNoDelay(true)
 		}
+		h := handoffConn{conn: conn, at: time.Now()}
 		select {
-		case s.handoff <- conn: // blocks while the pool is saturated
+		case s.handoff <- h: // blocks while the pool is saturated
 		case <-s.draining:
 			conn.Close()
 			s.inflight.Add(-1)
@@ -276,10 +354,17 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// shedConn answers an over-limit accept with a best-effort 503 + close.
-func shedConn(conn net.Conn) {
+// shedRetryAfterSec is the Retry-After advertised on sheds not governed
+// by an admission controller (the static MaxConns ceiling).
+const shedRetryAfterSec = 1
+
+// shedConn answers an over-limit accept with a best-effort 503 + close,
+// carrying Retry-After so a well-behaved client backs off instead of
+// hammering.
+func shedConn(conn net.Conn, retryAfterSec int) {
 	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
-	_, _ = conn.Write(httpwire.AppendResponseHeader(nil, 503, "text/plain", 0, false))
+	_, _ = conn.Write(httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
+		httpwire.Header{Name: "Retry-After", Value: strconv.Itoa(retryAfterSec)}))
 	conn.Close()
 }
 
@@ -293,17 +378,21 @@ func (s *Server) track(c net.Conn, on bool) {
 	s.mu.Unlock()
 }
 
-func (s *Server) workerLoop() {
+func (s *Server) workerLoop(idx int) {
 	defer s.wg.Done()
 	buf := make([]byte, s.cfg.ReadBuf)
 	var out []byte
+	var hb *overload.Heartbeat
+	if wd := s.cfg.Watchdog; wd != nil {
+		hb = wd.Register(fmt.Sprintf("mt-worker-%d", idx))
+	}
 	for {
 		select {
-		case conn := <-s.handoff:
+		case h := <-s.handoff:
 			s.connsOpen.Add(1)
-			s.track(conn, true)
-			s.handleConn(conn, buf, &out)
-			s.track(conn, false)
+			s.track(h.conn, true)
+			s.handleConn(h, buf, &out, hb)
+			s.track(h.conn, false)
 			s.connsOpen.Add(-1)
 			s.inflight.Add(-1)
 		case <-s.stopping:
@@ -315,7 +404,9 @@ func (s *Server) workerLoop() {
 // handleConn serves one connection to completion — the thread is bound to
 // it for the connection's whole lifetime, requests are served strictly
 // sequentially, and responses are written with blocking writes.
-func (s *Server) handleConn(conn net.Conn, buf []byte, out *[]byte) {
+func (s *Server) handleConn(h handoffConn, buf []byte, out *[]byte, hb *overload.Heartbeat) {
+	conn := h.conn
+	cs := &connState{acceptedAt: h.at}
 	defer conn.Close()
 	var parser httpwire.Parser
 	reqs := make([]*httpwire.Request, 0, 4)
@@ -363,7 +454,24 @@ func (s *Server) handleConn(conn net.Conn, buf []byte, out *[]byte) {
 		var perr error
 		reqs, perr = parser.Feed(reqs[:0], buf[:n])
 		for _, req := range reqs {
-			if !s.serve(conn, req, out) {
+			// The heartbeat span brackets handler work only: keep-alive
+			// reads between requests are legitimate parks, not stalls.
+			if hb != nil {
+				hb.Begin()
+			}
+			alive, panicked := s.serveSafe(conn, req, out, cs)
+			if hb != nil {
+				hb.End()
+			}
+			if panicked {
+				// Panic isolation: this connection gets a best-effort
+				// 500 and closes; the thread returns to the pool intact.
+				s.handlerPanics.Add(1)
+				_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+				_, _ = conn.Write(httpwire.AppendResponseHeader(nil, 500, "text/plain", 0, false))
+				return
+			}
+			if !alive {
 				return
 			}
 		}
@@ -376,14 +484,66 @@ func (s *Server) handleConn(conn net.Conn, buf []byte, out *[]byte) {
 	}
 }
 
+// serveSafe serves one request with panic isolation: a panicking handler
+// is converted into (alive=false, panicked=true) so the caller can send
+// a best-effort 500 and close that one connection — the pool thread
+// itself survives untouched.
+func (s *Server) serveSafe(conn net.Conn, req *httpwire.Request, out *[]byte, cs *connState) (alive, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			alive, panicked = false, true
+		}
+	}()
+	return s.serve(conn, req, out, cs), false
+}
+
+// applyFault executes an injected fault on this pool thread. Delay and
+// Wedge both yield to server stop so a fault cannot outlive Stop.
+func (s *Server) applyFault(f core.Fault) {
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-s.stopping:
+			t.Stop()
+		}
+	}
+	if f.Wedge != nil {
+		select {
+		case <-f.Wedge:
+		case <-s.stopping:
+		}
+	}
+	if f.Panic {
+		panic("mtserver: injected handler panic")
+	}
+}
+
+// observeReply feeds the admission controller the connection's
+// accept-to-first-response latency, once per connection. Under a
+// saturated pool that latency is dominated by the handoff wait — the
+// queueing delay the AIMD loop steers by.
+func (s *Server) observeReply(cs *connState) {
+	if cs.observed {
+		return
+	}
+	cs.observed = true
+	if ac := s.cfg.Admission; ac != nil {
+		ac.Observe(time.Since(cs.acceptedAt))
+	}
+}
+
 // serve writes one response; the return value reports whether the
 // connection should stay open.
-func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
+func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte, cs *connState) bool {
+	if ff := s.cfg.HandlerFault; ff != nil {
+		s.applyFault(ff(req.Path))
+	}
 	switch {
 	case req.Method != "GET" && req.Method != "HEAD":
 		*out = httpwire.AppendResponseHeader((*out)[:0], 501, "text/plain", 0, req.KeepAlive)
 	case s.cfg.Docroot != nil:
-		return s.serveDocroot(conn, req, out)
+		return s.serveDocroot(conn, req, out, cs)
 	default:
 		body, ctype, ok := s.cfg.Store.Get(req.Path)
 		if !ok {
@@ -399,6 +559,7 @@ func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
 		return false
 	}
 	s.replies.Add(1)
+	s.observeReply(cs)
 	return req.KeepAlive
 }
 
@@ -408,27 +569,27 @@ func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
 // blocking sendfile — the thread stays parked in the kernel until the
 // file range has drained into the socket, the thread-pool counterpart
 // of the reactor's resumable sendfile state machine.
-func (s *Server) serveDocroot(conn net.Conn, req *httpwire.Request, out *[]byte) bool {
+func (s *Server) serveDocroot(conn net.Conn, req *httpwire.Request, out *[]byte, cs *connState) bool {
 	ent, err := s.cfg.Docroot.Get(req.Path)
 	if err != nil {
 		*out = httpwire.AppendResponseHeader((*out)[:0], 404, "text/plain", 0, req.KeepAlive)
-		return s.finish(conn, *out, req.KeepAlive)
+		return s.finish(conn, *out, req.KeepAlive, cs)
 	}
 	defer ent.Release()
 	if httpwire.NotModified(req, ent.ETag, ent.ModTime) {
 		s.notModified.Add(1)
 		*out = httpwire.AppendResponseHeaderValidators((*out)[:0], 304,
 			ent.ContentType, 0, req.KeepAlive, ent.ETag, ent.LastModified)
-		return s.finish(conn, *out, req.KeepAlive)
+		return s.finish(conn, *out, req.KeepAlive, cs)
 	}
 	*out = httpwire.AppendResponseHeaderValidators((*out)[:0], 200,
 		ent.ContentType, ent.Size, req.KeepAlive, ent.ETag, ent.LastModified)
 	if req.Method != "GET" || ent.Size == 0 {
-		return s.finish(conn, *out, req.KeepAlive)
+		return s.finish(conn, *out, req.KeepAlive, cs)
 	}
 	if body := ent.Body(); body != nil {
 		*out = append(*out, body...)
-		return s.finish(conn, *out, req.KeepAlive)
+		return s.finish(conn, *out, req.KeepAlive, cs)
 	}
 	// Zero-copy path: header, then the file range straight from the fd.
 	if !s.write(conn, *out) {
@@ -444,15 +605,17 @@ func (s *Server) serveDocroot(conn net.Conn, req *httpwire.Request, out *[]byte)
 		return false
 	}
 	s.replies.Add(1)
+	s.observeReply(cs)
 	return req.KeepAlive
 }
 
 // finish writes a fully assembled response and counts the reply.
-func (s *Server) finish(conn net.Conn, data []byte, keepAlive bool) bool {
+func (s *Server) finish(conn net.Conn, data []byte, keepAlive bool, cs *connState) bool {
 	if !s.write(conn, data) {
 		return false
 	}
 	s.replies.Add(1)
+	s.observeReply(cs)
 	return keepAlive
 }
 

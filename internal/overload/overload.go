@@ -1,0 +1,268 @@
+// Package overload is the feedback-driven robustness layer shared by
+// both live servers: an adaptive admission controller that holds a
+// response-time target by shedding excess connections (this file), and a
+// heartbeat watchdog that detects wedged event loops and stuck pool
+// workers (watchdog.go).
+//
+// The controller replaces hand-tuned static connection caps with the
+// SEDA idea: measure the latency the stage is actually delivering and
+// adjust the admission rate against a target. Admission is a token
+// bucket whose fill rate adapts by AIMD — additive increase while the
+// measured p95 response time sits at or under the target, multiplicative
+// decrease the moment it overshoots — so the server converges on its
+// real capacity under whatever mixture of request costs the clients
+// offer, instead of the operator guessing a MaxConns per scenario.
+// Shed clients receive a 503 with Retry-After, pushing the excess into
+// the future instead of into a queue.
+package overload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// TargetP95 is the response-time goal: while the measured p95 of
+	// Observe samples stays at or below it, the admission rate rises
+	// additively; when it overshoots, the rate is cut multiplicatively.
+	// Required.
+	TargetP95 time.Duration
+	// InitialRate is the starting admission rate in connections/second
+	// (default 100).
+	InitialRate float64
+	// MinRate and MaxRate clamp the adapted rate (defaults 1 and 1e6).
+	// MinRate > 0 guarantees the server never latches shut: probes keep
+	// trickling in, so recovery is discovered without operator action.
+	MinRate, MaxRate float64
+	// Increase is the additive rate step per adaptation interval, in
+	// connections/second (default InitialRate/5, at least 1).
+	Increase float64
+	// DecreaseFactor is the multiplicative cut applied when p95 exceeds
+	// the target, in (0, 1) (default 0.7).
+	DecreaseFactor float64
+	// AdaptEvery is the adaptation interval: samples are collected for
+	// this long, then one AIMD step is taken (default 100ms).
+	AdaptEvery time.Duration
+	// Burst is the token-bucket depth — the largest instantaneous
+	// connection burst admitted at once (default max(8, InitialRate/10)).
+	Burst float64
+	// MinSamples is the fewest Observe samples a window needs before its
+	// p95 is trusted; thinner windows are treated as "under target" so an
+	// idle or heavily-shedding server probes its way back up (default 5).
+	MinSamples int
+	// RetryAfter is the delay advertised to shed clients (default 1s;
+	// rounded up to whole seconds on the wire, minimum 1).
+	RetryAfter time.Duration
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c *Config) fillDefaults() error {
+	if c.TargetP95 <= 0 {
+		return fmt.Errorf("overload: TargetP95 must be positive, got %v", c.TargetP95)
+	}
+	if c.InitialRate <= 0 {
+		c.InitialRate = 100
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 1
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = 1e6
+	}
+	if c.MinRate > c.MaxRate {
+		return fmt.Errorf("overload: MinRate %v above MaxRate %v", c.MinRate, c.MaxRate)
+	}
+	if c.Increase <= 0 {
+		c.Increase = c.InitialRate / 5
+		if c.Increase < 1 {
+			c.Increase = 1
+		}
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		if c.DecreaseFactor != 0 {
+			return fmt.Errorf("overload: DecreaseFactor %v outside (0, 1)", c.DecreaseFactor)
+		}
+		c.DecreaseFactor = 0.7
+	}
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = 100 * time.Millisecond
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.InitialRate / 10
+		if c.Burst < 8 {
+			c.Burst = 8
+		}
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return nil
+}
+
+// Stats is a snapshot of the controller's state and counters.
+type Stats struct {
+	// Admitted and Shed count Admit outcomes.
+	Admitted, Shed int64
+	// Rate is the current admission rate in connections/second.
+	Rate float64
+	// LastP95 is the p95 of the most recent concluded window with enough
+	// samples (0 before the first such window).
+	LastP95 time.Duration
+	// Increases and Decreases count AIMD steps taken in each direction.
+	Increases, Decreases int64
+}
+
+// maxWindowSamples bounds the per-window sample buffer; a window denser
+// than this keeps its first samples, which is plenty for a p95.
+const maxWindowSamples = 4096
+
+// Controller is the adaptive admission controller. Servers call Admit
+// on every accept and Observe with each measured response time; both
+// are cheap and safe for concurrent use. All adaptation happens lazily
+// inside those calls — there is no background goroutine to manage.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	tokens   float64
+	rate     float64
+	last     time.Time // last token refill
+	winStart time.Time // current adaptation window start
+	samples  []float64 // response times (seconds) in the current window
+
+	admitted, shed       int64
+	increases, decreases int64
+	lastP95              float64
+}
+
+// NewController validates the configuration and returns a ready
+// controller with a full token bucket.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	now := cfg.Now()
+	return &Controller{
+		cfg:      cfg,
+		tokens:   cfg.Burst,
+		rate:     cfg.InitialRate,
+		last:     now,
+		winStart: now,
+		samples:  make([]float64, 0, 256),
+	}, nil
+}
+
+// Admit reports whether a new connection should be accepted. A false
+// return means the caller should shed it (503 + Retry-After + close).
+func (c *Controller) Admit() bool {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(now)
+	if c.tokens >= 1 {
+		c.tokens--
+		c.admitted++
+		return true
+	}
+	c.shed++
+	return false
+}
+
+// Observe records one measured response time (accept to first response
+// delivered, on both servers) — the feedback signal the AIMD loop
+// steers by. Shed connections produce no sample, so the controller sees
+// only the latency of the load it chose to admit.
+func (c *Controller) Observe(d time.Duration) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(now)
+	if len(c.samples) < maxWindowSamples {
+		c.samples = append(c.samples, d.Seconds())
+	}
+}
+
+// RetryAfterSeconds returns the whole-second Retry-After value shed
+// responses should advertise (always at least 1).
+func (c *Controller) RetryAfterSeconds() int {
+	s := int((c.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Stats returns a snapshot of the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Admitted:  c.admitted,
+		Shed:      c.shed,
+		Rate:      c.rate,
+		LastP95:   time.Duration(c.lastP95 * float64(time.Second)),
+		Increases: c.increases,
+		Decreases: c.decreases,
+	}
+}
+
+// advance refills the token bucket and, once the adaptation interval
+// has elapsed, takes one AIMD step. Caller holds mu.
+func (c *Controller) advance(now time.Time) {
+	if dt := now.Sub(c.last).Seconds(); dt > 0 {
+		c.tokens += c.rate * dt
+		if c.tokens > c.cfg.Burst {
+			c.tokens = c.cfg.Burst
+		}
+		c.last = now
+	}
+	if now.Sub(c.winStart) < c.cfg.AdaptEvery {
+		return
+	}
+	// One AIMD step per elapsed window; no catch-up for idle gaps.
+	if len(c.samples) >= c.cfg.MinSamples {
+		p95 := percentile(c.samples, 0.95)
+		c.lastP95 = p95
+		if p95 > c.cfg.TargetP95.Seconds() {
+			c.rate *= c.cfg.DecreaseFactor
+			if c.rate < c.cfg.MinRate {
+				c.rate = c.cfg.MinRate
+			}
+			c.decreases++
+			c.samples = c.samples[:0]
+			c.winStart = now
+			return
+		}
+	}
+	// Under target (or too few samples to say otherwise): probe upward.
+	c.rate += c.cfg.Increase
+	if c.rate > c.cfg.MaxRate {
+		c.rate = c.cfg.MaxRate
+	}
+	c.increases++
+	c.samples = c.samples[:0]
+	c.winStart = now
+}
+
+// percentile returns the q-quantile of samples by sorting a copy. Only
+// called once per adaptation window, off the admission hot path.
+func percentile(samples []float64, q float64) float64 {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

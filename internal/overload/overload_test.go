@@ -1,0 +1,174 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable deterministic clock.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestController(t *testing.T, cfg Config) (*Controller, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg.Now = clk.now
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(Config{}); err == nil {
+		t.Fatal("zero TargetP95 accepted")
+	}
+	if _, err := NewController(Config{TargetP95: time.Second, DecreaseFactor: 1.5}); err == nil {
+		t.Fatal("DecreaseFactor 1.5 accepted")
+	}
+	if _, err := NewController(Config{TargetP95: time.Second, MinRate: 10, MaxRate: 5}); err == nil {
+		t.Fatal("MinRate above MaxRate accepted")
+	}
+}
+
+func TestAdmitRespectsBurstAndRefill(t *testing.T) {
+	c, clk := newTestController(t, Config{
+		TargetP95:   100 * time.Millisecond,
+		InitialRate: 100, // 1 token per 10ms
+		Burst:       4,
+	})
+	// The bucket starts full: exactly Burst admits, then sheds.
+	for i := 0; i < 4; i++ {
+		if !c.Admit() {
+			t.Fatalf("admit %d refused with a full bucket", i)
+		}
+	}
+	if c.Admit() {
+		t.Fatal("admit succeeded with an empty bucket and no elapsed time")
+	}
+	// 20ms at 100/s refills 2 tokens.
+	clk.advance(20 * time.Millisecond)
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if c.Admit() {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after a 2-token refill, want 2", admitted)
+	}
+	st := c.Stats()
+	if st.Admitted != 6 || st.Shed != 4 {
+		t.Fatalf("stats admitted=%d shed=%d, want 6/4", st.Admitted, st.Shed)
+	}
+}
+
+func TestAIMDDecreasesAboveTarget(t *testing.T) {
+	c, clk := newTestController(t, Config{
+		TargetP95:      100 * time.Millisecond,
+		InitialRate:    100,
+		Increase:       10,
+		DecreaseFactor: 0.5,
+		AdaptEvery:     100 * time.Millisecond,
+		MinSamples:     5,
+	})
+	// A window of slow responses: p95 well above target.
+	for i := 0; i < 20; i++ {
+		c.Observe(300 * time.Millisecond)
+	}
+	clk.advance(150 * time.Millisecond)
+	c.Observe(300 * time.Millisecond) // triggers the adaptation step
+	st := c.Stats()
+	if st.Decreases != 1 || st.Increases != 0 {
+		t.Fatalf("steps = %d down / %d up, want 1/0", st.Decreases, st.Increases)
+	}
+	if st.Rate != 50 {
+		t.Fatalf("rate = %v after a 0.5 cut of 100, want 50", st.Rate)
+	}
+	if st.LastP95 < 250*time.Millisecond {
+		t.Fatalf("LastP95 = %v, want ~300ms", st.LastP95)
+	}
+}
+
+func TestAIMDIncreasesAtOrBelowTarget(t *testing.T) {
+	c, clk := newTestController(t, Config{
+		TargetP95:   100 * time.Millisecond,
+		InitialRate: 100,
+		Increase:    10,
+		AdaptEvery:  100 * time.Millisecond,
+		MinSamples:  5,
+	})
+	for i := 0; i < 20; i++ {
+		c.Observe(20 * time.Millisecond)
+	}
+	clk.advance(150 * time.Millisecond)
+	c.Observe(20 * time.Millisecond)
+	st := c.Stats()
+	if st.Increases != 1 || st.Decreases != 0 {
+		t.Fatalf("steps = %d up / %d down, want 1/0", st.Increases, st.Decreases)
+	}
+	if st.Rate != 110 {
+		t.Fatalf("rate = %v after +10 on 100, want 110", st.Rate)
+	}
+}
+
+func TestThinWindowProbesUpward(t *testing.T) {
+	// Fewer than MinSamples (e.g. everything shed, or idle): the
+	// controller must probe upward, not trust a thin p95 or freeze.
+	c, clk := newTestController(t, Config{
+		TargetP95:   100 * time.Millisecond,
+		InitialRate: 100,
+		Increase:    10,
+		AdaptEvery:  100 * time.Millisecond,
+		MinSamples:  5,
+	})
+	c.Observe(10 * time.Second) // one catastrophic sample is not a window
+	clk.advance(150 * time.Millisecond)
+	c.Admit()
+	if st := c.Stats(); st.Rate != 110 || st.Decreases != 0 {
+		t.Fatalf("rate = %v, decreases = %d; thin window must probe upward", st.Rate, st.Decreases)
+	}
+}
+
+func TestRateClampsAtMinAndMax(t *testing.T) {
+	c, clk := newTestController(t, Config{
+		TargetP95:      100 * time.Millisecond,
+		InitialRate:    10,
+		MinRate:        8,
+		MaxRate:        25,
+		Increase:       10,
+		DecreaseFactor: 0.1,
+		AdaptEvery:     100 * time.Millisecond,
+		MinSamples:     1,
+	})
+	// Two up steps would give 30; the cap holds it at 25.
+	for step := 0; step < 2; step++ {
+		c.Observe(time.Millisecond)
+		clk.advance(150 * time.Millisecond)
+		c.Admit()
+	}
+	if st := c.Stats(); st.Rate != 25 {
+		t.Fatalf("rate = %v, want MaxRate clamp 25", st.Rate)
+	}
+	// A brutal cut (0.1×) would give 2.5; the floor holds it at 8.
+	c.Observe(10 * time.Second)
+	clk.advance(150 * time.Millisecond)
+	c.Admit()
+	if st := c.Stats(); st.Rate != 8 {
+		t.Fatalf("rate = %v, want MinRate clamp 8", st.Rate)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	c, _ := newTestController(t, Config{TargetP95: time.Second, RetryAfter: 2500 * time.Millisecond})
+	if s := c.RetryAfterSeconds(); s != 3 {
+		t.Fatalf("RetryAfterSeconds = %d, want 3 (rounded up)", s)
+	}
+	c2, _ := newTestController(t, Config{TargetP95: time.Second})
+	if s := c2.RetryAfterSeconds(); s != 1 {
+		t.Fatalf("default RetryAfterSeconds = %d, want 1", s)
+	}
+}

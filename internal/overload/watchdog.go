@@ -1,0 +1,182 @@
+package overload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the second self-healing layer: a heartbeat watchdog for
+// the servers' execution loops. Each loop registers a Heartbeat and
+// brackets its *work* — not its blocking waits — with Begin/End: the
+// reactor marks the span from an epoll wakeup to the next wait, the
+// thread pool marks each request it handles. A loop that is busy on one
+// span longer than the configured interval is wedged (an injected wedge
+// fault, a handler stuck on a dead dependency, a runaway request), and
+// the watchdog flags it: a counter ticks, the stall's age is reported,
+// and an optional callback fires — while a loop parked in epoll_wait or
+// a keep-alive read is, correctly, never flagged.
+
+// WatchdogConfig parameterizes a Watchdog.
+type WatchdogConfig struct {
+	// Interval is the stall threshold: a heartbeat busy on one Begin/End
+	// span for longer than this is flagged. Required.
+	Interval time.Duration
+	// Every is the check period (default Interval/4, at least 1ms).
+	Every time.Duration
+	// OnStall, when non-nil, is invoked once per stall episode, from the
+	// watchdog's goroutine, as a loop transitions into the stalled state.
+	// Keep it fast; it runs inline with the checks.
+	OnStall func(Stall)
+}
+
+// Stall describes one wedged loop.
+type Stall struct {
+	// Name is the heartbeat's registered name (e.g. "core-worker-0").
+	Name string
+	// Age is how long the loop has been busy on its current span.
+	Age time.Duration
+}
+
+// WatchdogStats is a snapshot of the watchdog's counters.
+type WatchdogStats struct {
+	// Stalls counts transitions into the stalled state.
+	Stalls int64
+	// Recovered counts stalled loops that later completed their span.
+	Recovered int64
+	// Active is the number of loops currently stalled.
+	Active int
+	// MaxStallAge is the oldest age any stall has reached so far.
+	MaxStallAge time.Duration
+}
+
+// Heartbeat is one monitored loop's handle. Begin marks the start of a
+// unit of work, End its completion; both are single atomic stores, fit
+// for per-event and per-request call sites.
+type Heartbeat struct {
+	name      string
+	busySince atomic.Int64 // unix nanos; 0 = idle (blocked in a wait)
+	stalled   atomic.Bool  // owned by the watchdog's check loop
+}
+
+// Begin marks the loop busy as of now. Calling Begin again without an
+// intervening End simply re-stamps the span start (a beat).
+func (h *Heartbeat) Begin() { h.busySince.Store(time.Now().UnixNano()) }
+
+// End marks the loop idle: about to block waiting for more work.
+func (h *Heartbeat) End() { h.busySince.Store(0) }
+
+// Watchdog monitors registered heartbeats from a background goroutine.
+// Create with NewWatchdog, release with Stop.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu  sync.Mutex
+	hbs []*Heartbeat
+
+	stalls    atomic.Int64
+	recovered atomic.Int64
+	maxAge    atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewWatchdog validates the configuration and starts the check loop.
+func NewWatchdog(cfg WatchdogConfig) (*Watchdog, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("overload: watchdog Interval must be positive, got %v", cfg.Interval)
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = cfg.Interval / 4
+		if cfg.Every < time.Millisecond {
+			cfg.Every = time.Millisecond
+		}
+	}
+	w := &Watchdog{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	go w.loop()
+	return w, nil
+}
+
+// Register adds a named loop and returns its Heartbeat. Safe to call
+// while the watchdog is running (servers register at Start).
+func (w *Watchdog) Register(name string) *Heartbeat {
+	h := &Heartbeat{name: name}
+	w.mu.Lock()
+	w.hbs = append(w.hbs, h)
+	w.mu.Unlock()
+	return h
+}
+
+// Stop halts the check loop. Safe to call more than once.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// Stats returns a snapshot of the watchdog's counters.
+func (w *Watchdog) Stats() WatchdogStats {
+	return WatchdogStats{
+		Stalls:      w.stalls.Load(),
+		Recovered:   w.recovered.Load(),
+		Active:      len(w.Stalled()),
+		MaxStallAge: time.Duration(w.maxAge.Load()),
+	}
+}
+
+// Stalled returns the currently wedged loops with their stall ages,
+// computed directly from the heartbeats (not the check loop's cadence).
+func (w *Watchdog) Stalled() []Stall {
+	now := time.Now().UnixNano()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []Stall
+	for _, h := range w.hbs {
+		if bs := h.busySince.Load(); bs != 0 && now-bs > int64(w.cfg.Interval) {
+			out = append(out, Stall{Name: h.name, Age: time.Duration(now - bs)})
+		}
+	}
+	return out
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.cfg.Every)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.check(time.Now().UnixNano())
+		}
+	}
+}
+
+func (w *Watchdog) check(now int64) {
+	w.mu.Lock()
+	hbs := w.hbs
+	w.mu.Unlock()
+	for _, h := range hbs {
+		bs := h.busySince.Load()
+		wedged := bs != 0 && now-bs > int64(w.cfg.Interval)
+		switch {
+		case wedged:
+			age := time.Duration(now - bs)
+			if int64(age) > w.maxAge.Load() {
+				w.maxAge.Store(int64(age))
+			}
+			if h.stalled.CompareAndSwap(false, true) {
+				w.stalls.Add(1)
+				if w.cfg.OnStall != nil {
+					w.cfg.OnStall(Stall{Name: h.name, Age: age})
+				}
+			}
+		case h.stalled.Load():
+			h.stalled.Store(false)
+			w.recovered.Add(1)
+		}
+	}
+}

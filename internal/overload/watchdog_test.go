@@ -1,0 +1,105 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+func TestWatchdogValidation(t *testing.T) {
+	if _, err := NewWatchdog(WatchdogConfig{}); err == nil {
+		t.Fatal("zero Interval accepted")
+	}
+}
+
+func TestWatchdogFlagsAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	var calls []Stall
+	wd, err := NewWatchdog(WatchdogConfig{
+		Interval: 20 * time.Millisecond,
+		OnStall: func(s Stall) {
+			mu.Lock()
+			calls = append(calls, s)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd.Stop()
+
+	hb := wd.Register("loop-a")
+	idle := wd.Register("loop-b") // never Begins: must never be flagged
+
+	// An idle heartbeat and a fresh span are not stalls.
+	hb.Begin()
+	hb.End()
+	time.Sleep(60 * time.Millisecond)
+	if st := wd.Stats(); st.Stalls != 0 {
+		t.Fatalf("%d stalls with no span outstanding", st.Stalls)
+	}
+
+	// A span held past the interval is one stall episode — flagged once,
+	// with an age at least the interval.
+	hb.Begin()
+	waitFor(t, 2*time.Second, func() bool { return wd.Stats().Stalls == 1 }, "stall flag")
+	stalled := wd.Stalled()
+	if len(stalled) != 1 || stalled[0].Name != "loop-a" {
+		t.Fatalf("Stalled() = %+v, want one entry for loop-a", stalled)
+	}
+	if stalled[0].Age < 20*time.Millisecond {
+		t.Fatalf("stall age %v below the interval", stalled[0].Age)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if st := wd.Stats(); st.Stalls != 1 {
+		t.Fatalf("stall flagged %d times for one episode", st.Stalls)
+	}
+
+	// Ending the span recovers it.
+	hb.End()
+	waitFor(t, 2*time.Second, func() bool { return wd.Stats().Recovered == 1 }, "recovery")
+	if got := wd.Stalled(); len(got) != 0 {
+		t.Fatalf("Stalled() = %+v after recovery, want empty", got)
+	}
+	if st := wd.Stats(); st.MaxStallAge < 20*time.Millisecond {
+		t.Fatalf("MaxStallAge = %v, want >= interval", st.MaxStallAge)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || calls[0].Name != "loop-a" {
+		t.Fatalf("OnStall calls = %+v, want exactly one for loop-a", calls)
+	}
+	_ = idle
+}
+
+func TestWatchdogBeatDefersStall(t *testing.T) {
+	wd, err := NewWatchdog(WatchdogConfig{Interval: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd.Stop()
+	hb := wd.Register("beater")
+	// A loop that keeps re-stamping Begin (beating) is never stalled.
+	stop := time.Now().Add(120 * time.Millisecond)
+	for time.Now().Before(stop) {
+		hb.Begin()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := wd.Stats(); st.Stalls != 0 {
+		t.Fatalf("beating loop flagged %d times", st.Stalls)
+	}
+}

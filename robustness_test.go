@@ -15,13 +15,23 @@ package repro
 //     ConnsOpen never exceeds the cap, excess clients get clean 503s,
 //     and admitted clients keep being served;
 //   - Drain delivers in-flight responses through a bandwidth-capped
-//     client link before closing, on both servers.
+//     client link before closing, on both servers — including responses
+//     mid-sendfile from the disk-backed docroot;
+//   - a 4x overload ramp against a small thread pool: the adaptive
+//     admission controller holds client p95 near its target by shedding,
+//     where the static configuration lets queueing delay blow through it;
+//   - an injected handler panic costs one connection a 500, never the
+//     process; an injected wedge is flagged by the stall watchdog within
+//     about one heartbeat interval and recovers when the hang clears.
 
 import (
 	"bufio"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -29,8 +39,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/docroot"
 	"repro/internal/faultline"
+	"repro/internal/loadgen"
 	"repro/internal/mtserver"
+	"repro/internal/overload"
+	"repro/internal/surge"
 )
 
 func robustStore() core.MapStore {
@@ -475,6 +489,455 @@ func TestDrainDeliversInFlightThroughCappedLink(t *testing.T) {
 			}
 			if res.tail != io.EOF {
 				t.Fatalf("connection tail = %v, want EOF after the drain", res.tail)
+			}
+		})
+	}
+}
+
+// rawGet issues one GET on a fresh connection and returns the status
+// code, whether the server asked to close, and any transport error.
+func rawGet(addr, path string, timeout time.Duration) (status int, closed bool, err error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, false, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	req := "GET " + path + " HTTP/1.1\r\nHost: sut\r\nUser-Agent: probe/1.0\r\n\r\n"
+	if _, err := c.Write([]byte(req)); err != nil {
+		return 0, false, err
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(c), nil)
+	if err != nil {
+		return 0, false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Close, nil
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHandlerPanicIsolated injects a panic into the handler of each
+// server and requires the blast radius to be exactly one connection: the
+// panicking request gets a best-effort 500 + close, the panic is
+// counted, and the server keeps serving other clients.
+func TestHandlerPanicIsolated(t *testing.T) {
+	faults := func(path string) core.Fault {
+		if path == "/panic" {
+			return core.Fault{Panic: true}
+		}
+		return core.Fault{}
+	}
+	type target struct {
+		name   string
+		addr   string
+		panics func() int64
+		stop   func()
+	}
+	mks := []func(t *testing.T) target{
+		func(t *testing.T) target {
+			cfg := core.DefaultConfig(robustStore())
+			cfg.HandlerFault = faults
+			s, err := core.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			return target{"core", s.Addr(), func() int64 { return s.Stats().HandlerPanics }, s.Stop}
+		},
+		func(t *testing.T) target {
+			cfg := mtserver.DefaultConfig(robustStore())
+			cfg.Threads = 4
+			cfg.HandlerFault = faults
+			s, err := mtserver.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			return target{"mtserver", s.Addr(), func() int64 { return s.Stats().HandlerPanics }, s.Stop}
+		},
+	}
+	for _, mk := range mks {
+		tgt := mk(t)
+		t.Run(tgt.name, func(t *testing.T) {
+			defer tgt.stop()
+			status, closed, err := rawGet(tgt.addr, "/panic", 5*time.Second)
+			if err != nil {
+				t.Fatalf("panicking request errored at transport level: %v", err)
+			}
+			if status != 500 || !closed {
+				t.Fatalf("panicking request answered %d (close=%v), want 500 + close", status, closed)
+			}
+			if n := tgt.panics(); n != 1 {
+				t.Fatalf("HandlerPanics = %d after one injected panic", n)
+			}
+			// The process and the serving loop must both have survived.
+			status, _, err = rawGet(tgt.addr, "/hello", 5*time.Second)
+			if err != nil || status != 200 {
+				t.Fatalf("server wedged after isolated panic: status=%d err=%v", status, err)
+			}
+		})
+	}
+}
+
+// TestWatchdogFlagsWedgedLoop hangs a handler on each server and checks
+// the heartbeat watchdog flags the wedged loop promptly (the stall age
+// proves it was caught within about one interval of wedging), names it,
+// and records the recovery once the hang clears.
+func TestWatchdogFlagsWedgedLoop(t *testing.T) {
+	const interval = 25 * time.Millisecond
+	type target struct {
+		name    string
+		stalled string // heartbeat name expected to stall
+		addr    string
+		alive   bool // whether /hello stays servable during the wedge
+		stop    func()
+	}
+	mks := []func(t *testing.T, wd *overload.Watchdog, wedge <-chan struct{}) target{
+		func(t *testing.T, wd *overload.Watchdog, wedge <-chan struct{}) target {
+			cfg := core.DefaultConfig(robustStore())
+			cfg.Watchdog = wd
+			cfg.HandlerFault = func(path string) core.Fault {
+				if path == "/wedge" {
+					return core.Fault{Wedge: wedge}
+				}
+				return core.Fault{}
+			}
+			s, err := core.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			// One reactor worker: wedging it wedges the whole data plane —
+			// exactly the outage class the watchdog exists to surface.
+			return target{"core", "core-worker-0", s.Addr(), false, s.Stop}
+		},
+		func(t *testing.T, wd *overload.Watchdog, wedge <-chan struct{}) target {
+			cfg := mtserver.DefaultConfig(robustStore())
+			cfg.Threads = 2
+			cfg.Watchdog = wd
+			cfg.HandlerFault = func(path string) core.Fault {
+				if path == "/wedge" {
+					return core.Fault{Wedge: wedge}
+				}
+				return core.Fault{}
+			}
+			s, err := mtserver.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			// Two pool threads: one wedges, the other keeps serving.
+			return target{"mtserver", "mt-worker-", s.Addr(), true, s.Stop}
+		},
+	}
+	for _, mk := range mks {
+		wd, err := overload.NewWatchdog(overload.WatchdogConfig{Interval: interval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wedge := make(chan struct{})
+		tgt := mk(t, wd, wedge)
+		t.Run(tgt.name, func(t *testing.T) {
+			defer wd.Stop()
+			defer tgt.stop()
+			// Healthy traffic does not trip the watchdog.
+			if status, _, err := rawGet(tgt.addr, "/hello", 5*time.Second); err != nil || status != 200 {
+				t.Fatalf("healthy probe failed: status=%d err=%v", status, err)
+			}
+			time.Sleep(3 * interval)
+			if st := wd.Stats(); st.Stalls != 0 {
+				t.Fatalf("watchdog flagged %d stalls on a healthy server", st.Stalls)
+			}
+
+			// Wedge a handler. The request never completes, so issue it
+			// from a goroutine and watch the watchdog instead.
+			go rawGet(tgt.addr, "/wedge", 30*time.Second)
+			waitUntil(t, 5*time.Second, func() bool { return wd.Stats().Stalls >= 1 }, "stall flag")
+			stalled := wd.Stalled()
+			if len(stalled) != 1 || !strings.HasPrefix(stalled[0].Name, tgt.stalled) {
+				t.Fatalf("Stalled() = %+v, want one loop matching %q", stalled, tgt.stalled)
+			}
+			// Age >= interval proves detection waited for a full missed
+			// heartbeat and no longer: the checker runs at interval/4, so a
+			// freshly flagged stall cannot be much older than ~1.25x.
+			if stalled[0].Age < interval {
+				t.Fatalf("stall age %v below the interval", stalled[0].Age)
+			}
+			if tgt.alive {
+				if status, _, err := rawGet(tgt.addr, "/hello", 5*time.Second); err != nil || status != 200 {
+					t.Fatalf("surviving worker not serving during wedge: status=%d err=%v", status, err)
+				}
+			}
+
+			// Clear the hang: the loop must recover.
+			close(wedge)
+			waitUntil(t, 5*time.Second, func() bool { return wd.Stats().Recovered >= 1 }, "recovery")
+			if status, _, err := rawGet(tgt.addr, "/hello", 5*time.Second); err != nil || status != 200 {
+				t.Fatalf("server not serving after recovery: status=%d err=%v", status, err)
+			}
+		})
+	}
+}
+
+// oneShotSource emits identical single-request sessions; the open-loop
+// arrival process turns each into one connection, so offered load is the
+// session rate exactly.
+type oneShotSource struct{}
+
+func (oneShotSource) NextSession() surge.Session {
+	return surge.Session{Requests: []surge.Request{{Object: surge.Object{ID: 0}}}}
+}
+
+// rampLoad offers a fixed open-loop arrival rate of single-request
+// sessions — an overload ramp when the rate exceeds server capacity.
+func rampLoad(t *testing.T, addr string, seed uint64) loadgen.Result {
+	t.Helper()
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:        addr,
+		SessionRate: 640,
+		Warmup:      time.Second,
+		Duration:    2500 * time.Millisecond,
+		Timeout:     2 * time.Second,
+		Seed:        seed,
+		SourceFactory: func(int, *dist.RNG) surge.SessionSource {
+			return oneShotSource{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestOverloadRampAdaptiveVsStatic drives a 4x overload ramp (640
+// sessions/s against a 4-thread pool whose 25 ms/request handler caps it
+// at ~160/s) at two configurations of the same server. The static one
+// (no controller) hides the excess in queues, so client p95 blows far
+// past the latency target; the adaptive controller sheds the excess with
+// Retry-After and holds client p95 within 2x its target.
+func TestOverloadRampAdaptiveVsStatic(t *testing.T) {
+	const target = 150 * time.Millisecond
+	store := core.MapStore{"/obj/0": []byte("pong")}
+	newPool := func(ac *overload.Controller) *mtserver.Server {
+		cfg := mtserver.DefaultConfig(store)
+		cfg.Threads = 4
+		cfg.Admission = ac
+		cfg.HandlerFault = func(string) core.Fault {
+			return core.Fault{Delay: 25 * time.Millisecond}
+		}
+		s, err := mtserver.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Static-only configuration: the ramp must actually hurt, or the
+	// adaptive half of the comparison proves nothing.
+	static := newPool(nil)
+	staticRes := rampLoad(t, static.Addr(), 42)
+	static.Stop()
+	t.Logf("static:   p95=%.0fms replies=%d sheds=%d timeouts=%d",
+		staticRes.P95ResponseSec*1000, staticRes.Replies, staticRes.Sheds, staticRes.TimeoutErrors)
+	if staticRes.Replies == 0 {
+		t.Fatalf("static pool served nothing: %+v", staticRes)
+	}
+	if staticRes.Sheds != 0 {
+		t.Fatalf("static pool shed %d connections with no controller configured", staticRes.Sheds)
+	}
+	if staticRes.P95ResponseSec <= (2*target).Seconds() && staticRes.TimeoutErrors == 0 {
+		t.Fatalf("overload ramp did not hurt the static pool (p95=%.0fms, no timeouts); nothing to discriminate",
+			staticRes.P95ResponseSec*1000)
+	}
+
+	ac, err := overload.NewController(overload.Config{
+		TargetP95:      target,
+		InitialRate:    200,
+		MinRate:        20,
+		Increase:       10,
+		DecreaseFactor: 0.5,
+		AdaptEvery:     100 * time.Millisecond,
+		RetryAfter:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := newPool(ac)
+	adaptiveRes := rampLoad(t, adaptive.Addr(), 43)
+	adaptive.Stop()
+	st := ac.Stats()
+	t.Logf("adaptive: p95=%.0fms replies=%d sheds=%d retries=%d rate=%.0f/s steps=%d down/%d up",
+		adaptiveRes.P95ResponseSec*1000, adaptiveRes.Replies, adaptiveRes.Sheds,
+		adaptiveRes.Retries, st.Rate, st.Decreases, st.Increases)
+
+	if adaptiveRes.Replies == 0 {
+		t.Fatalf("adaptive pool served nothing: %+v", adaptiveRes)
+	}
+	if adaptiveRes.Sheds == 0 || adaptiveRes.Retries == 0 {
+		t.Fatalf("controller never shed under 4x overload (sheds=%d retries=%d)",
+			adaptiveRes.Sheds, adaptiveRes.Retries)
+	}
+	if st.Decreases == 0 {
+		t.Fatalf("controller never cut its rate under overload: %+v", st)
+	}
+	if got := adaptiveRes.P95ResponseSec; got > (2 * target).Seconds() {
+		t.Fatalf("adaptive controller missed its target: client p95 = %.0f ms, want <= %.0f ms",
+			got*1000, (2*target).Seconds()*1000)
+	}
+}
+
+// TestDrainFlushesSendfileSegments queues a large file-range response
+// through the zero-copy sendfile path over a bandwidth-capped link,
+// drains the server mid-transfer, and requires the partial file range to
+// flush to completion before the close — on both architectures. This is
+// the drain guarantee of TestDrainDeliversInFlightThroughCappedLink
+// extended to responses whose unsent remainder lives in the kernel, not
+// in a user-space buffer.
+func TestDrainFlushesSendfileSegments(t *testing.T) {
+	const fileSize = 4 << 20
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "obj"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "obj", "0"), make([]byte, fileSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	type target struct {
+		name     string
+		addr     string
+		sendfile func() int64
+		drain    func(time.Duration) bool
+		stop     func()
+	}
+	mks := []func(t *testing.T) target{
+		func(t *testing.T) target {
+			// cacheBytes=0 disables the content cache: every entry is
+			// fd-only, so the body MUST travel as a resumable sendfile
+			// segment — the state this test exists to drain.
+			root, err := docroot.Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig(nil)
+			cfg.Store = nil
+			cfg.Docroot = root
+			s, err := core.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			return target{"core", s.Addr(),
+				func() int64 { return s.Stats().SendfileBytes }, s.Drain, s.Stop}
+		},
+		func(t *testing.T) target {
+			root, err := docroot.Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := mtserver.DefaultConfig(nil)
+			cfg.Store = nil
+			cfg.Docroot = root
+			s, err := mtserver.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			return target{"mtserver", s.Addr(),
+				func() int64 { return s.Stats().SendfileBytes }, s.Drain, s.Stop}
+		},
+	}
+	for _, mk := range mks {
+		tgt := mk(t)
+		t.Run(tgt.name, func(t *testing.T) {
+			defer tgt.stop()
+			// 4 MiB body over a 4 MiB/s capped link: ~1 s in flight.
+			proxy, err := faultline.New(faultline.Config{
+				Upstream: tgt.addr,
+				Plan: func(int, *dist.RNG) faultline.Profile {
+					return faultline.Profile{DownBytesPerSec: 4 << 20}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer proxy.Close()
+
+			c, err := net.DialTimeout("tcp", proxy.Addr(), time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Write([]byte("GET /obj/0 HTTP/1.1\r\nHost: sut\r\n\r\n")); err != nil {
+				t.Fatal(err)
+			}
+
+			type result struct {
+				n    int64
+				tail error
+				err  error
+			}
+			done := make(chan result, 1)
+			go func() {
+				c.SetReadDeadline(time.Now().Add(30 * time.Second))
+				r := bufio.NewReader(c)
+				resp, err := http.ReadResponse(r, nil)
+				if err != nil {
+					done <- result{0, nil, err}
+					return
+				}
+				n, err := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				_, tail := r.ReadByte()
+				done <- result{n, tail, err}
+			}()
+
+			// Let the transfer get mid-file, then drain: the queued
+			// sendfile segment must flush its remaining range.
+			time.Sleep(150 * time.Millisecond)
+			if !tgt.drain(15 * time.Second) {
+				t.Fatal("drain timed out with an in-flight sendfile segment")
+			}
+			res := <-done
+			if res.err != nil {
+				t.Fatalf("in-flight sendfile response errored: %v", res.err)
+			}
+			if res.n != fileSize {
+				t.Fatalf("in-flight sendfile response truncated: %d of %d bytes", res.n, fileSize)
+			}
+			if res.tail != io.EOF {
+				t.Fatalf("connection tail = %v, want EOF after the drain", res.tail)
+			}
+			if sf := tgt.sendfile(); sf != fileSize {
+				t.Fatalf("SendfileBytes = %d, want %d (body must travel the zero-copy path)", sf, fileSize)
 			}
 		})
 	}
