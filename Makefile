@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench figures figures-fast demo-overload clean
+.PHONY: all build test test-full race bench figures figures-fast demo-overload lint invariants verify clean
 
 all: build test
 
@@ -35,6 +35,21 @@ figures-fast:
 # stall watchdog (~15 s).
 demo-overload:
 	go run ./examples/overload
+
+# Formatting, standard vet, and the custom analyzer suite (cmd/niovet):
+# syscallerr, fdlife, refbalance, statssync, nonblock.
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed on:" >&2; echo "$$fmt" >&2; exit 1; fi
+	go vet ./...
+	go run ./cmd/niovet ./...
+
+# Unit tests with the runtime invariant layer compiled in (refcounts,
+# epoll interest set, closed-conn guards) under the race detector.
+invariants:
+	go test -tags invariants -race -short ./...
+
+# The full local gate: build, unit tests, invariant-enabled tests, lint.
+verify: build test invariants lint
 
 clean:
 	go clean ./...

@@ -1,0 +1,220 @@
+// niovet runs this repository's custom static-analysis suite
+// (internal/analysis) over the syscall-heavy hot paths.
+//
+// Two modes:
+//
+//   - Standalone: `go run ./cmd/niovet ./...` loads and type-checks
+//     the named packages (build-cache export data, no external
+//     dependencies) and prints findings. Exit status 1 when any
+//     analyzer reports.
+//
+//   - Vettool: `go vet -vettool=$(go env GOPATH)/bin/niovet ./...`
+//     (after `go build -o` somewhere). cmd/go drives the tool through
+//     the unitchecker protocol — a -V=full version handshake, then one
+//     .cfg JSON file per package describing sources and export data.
+//
+// Use -run to restrict to a comma-separated subset of analyzers.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	// The unitchecker handshakes arrive before flag parsing.
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full":
+			printVersion()
+			return
+		case os.Args[1] == "-flags":
+			// cmd/go asks for the tool's analyzer flags; we expose none.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(runVetUnit(os.Args[1]))
+		}
+	}
+
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: niovet [-run name,...] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*runFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "niovet: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runStandalone(analyzers, patterns))
+}
+
+// printVersion implements the -V=full handshake: cmd/go keys its vet
+// result cache on this line, so it must change when the tool does —
+// hash the executable itself.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("niovet version %x\n", h.Sum(nil)[:16])
+}
+
+func selectAnalyzers(runFlag string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if runFlag == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(runFlag, ",") {
+		a := byName[strings.TrimSpace(name)]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runStandalone loads packages itself and reports to stdout.
+func runStandalone(analyzers []*analysis.Analyzer, patterns []string) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "niovet: %v\n", err)
+		return 2
+	}
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "niovet: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, p := range pkgs {
+		findings += runPackage(os.Stdout, analyzers, p.Fset, p)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "niovet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// runPackage applies the analyzers to one loaded package, printing
+// sorted diagnostics; returns the finding count.
+func runPackage(w io.Writer, analyzers []*analysis.Analyzer, fset *token.FileSet, p *load.Package) int {
+	type finding struct {
+		pos  token.Position
+		msg  string
+		name string
+	}
+	var all []finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    p.Files,
+			Pkg:      p.Pkg,
+			Info:     p.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			all = append(all, finding{fset.Position(d.Pos), d.Message, pass.Analyzer.Name})
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "niovet: %s on %s: %v\n", a.Name, p.ImportPath, err)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pos.Filename != all[j].pos.Filename {
+			return all[i].pos.Filename < all[j].pos.Filename
+		}
+		return all[i].pos.Offset < all[j].pos.Offset
+	})
+	for _, f := range all {
+		fmt.Fprintf(w, "%s: %s [%s]\n", f.pos, f.msg, f.name)
+	}
+	return len(all)
+}
+
+// vetConfig is the subset of the .cfg JSON cmd/go hands a vettool.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit checks one package unit under `go vet -vettool=`.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "niovet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "niovet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The driver requires the facts file to exist even though this
+	// suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("niovet\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "niovet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	exp := load.NewExports(cfg.PackageFile, cfg.ImportMap)
+	fset := token.NewFileSet()
+	p, err := load.Check(fset, exp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "niovet: %v\n", err)
+		return 2
+	}
+	if runPackage(os.Stderr, analysis.All(), fset, p) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+// Package analysis is a custom static-analysis suite for this
+// codebase's hazard classes: the syscall-heavy hot paths of the
+// reactor and thread-pool servers, where a missed EINTR/EAGAIN
+// classification, a leaked fd, an unbalanced docroot refcount, a
+// torn stats counter, or a blocking fd in the event loop turns into
+// exactly the kind of artifact the paper's measurements would
+// misattribute to architecture.
+//
+// The suite mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer with a Run function over a type-checked Pass — but is
+// self-contained on the standard library (go/ast, go/types), with
+// package loading done by internal/analysis/load via `go list
+// -export` build-cache export data. It runs from cmd/niovet (both
+// standalone and as a `go vet -vettool`), from `make lint`, and each
+// analyzer is exercised against seeded-violation fixtures by the
+// analysistest harness in this package's tests.
+//
+// Analyzers:
+//
+//   - syscallerr: raw syscall.Read/Write/Accept4/EpollWait/Sendfile
+//     error results must classify EINTR and EAGAIN (or sit inside a
+//     retryEINTR closure) — bare `err != nil` handling is flagged.
+//   - fdlife: fds from syscall.Socket/Accept4/Open/EpollCreate1/Dup
+//     must reach syscall.Close on all paths, including error returns.
+//   - refbalance: refcounted entries from Get-style acquires must be
+//     Released on every control-flow path that does not hand the
+//     reference off.
+//   - statssync: a struct field must not be accessed both atomically
+//     and non-atomically.
+//   - nonblock: fds registered with a reactor Poller must be
+//     non-blocking at creation or via SetNonblock.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and to
+	// select analyzers on the niovet command line.
+	Name string
+	// Doc is the one-paragraph description of the rule it enforces.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Report   func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Syscallerr, FDLife, RefBalance, StatsSync, Nonblock}
+}

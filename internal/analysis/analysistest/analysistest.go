@@ -1,0 +1,206 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` expectations in
+// the fixture source — the same golden-comment discipline as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the
+// stdlib-only loader.
+//
+// Fixtures live in internal/analysis/testdata/src/<name>/ and are
+// type-checked against the repo's real dependency closure, so they can
+// import syscall, sync/atomic, and repo packages like
+// repro/internal/docroot.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var (
+	exportsOnce sync.Once
+	exports     *load.ExportSet
+	exportsErr  error
+	moduleDir   string
+)
+
+// repoExports builds (once per test binary) the export set for the
+// whole module, locating the module root via `go env GOMOD`.
+func repoExports(t *testing.T) (*load.ExportSet, string) {
+	t.Helper()
+	exportsOnce.Do(func() {
+		gomod, err := goEnvGOMOD()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		moduleDir = filepath.Dir(gomod)
+		exports, exportsErr = load.LoadExports(moduleDir, "./...")
+	})
+	if exportsErr != nil {
+		t.Fatalf("loading module export data: %v", exportsErr)
+	}
+	return exports, moduleDir
+}
+
+// expectation is one `// want` comment: a line that must produce a
+// diagnostic matching the pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies a to the fixture package testdata/src/<fixture> and
+// fails t unless the diagnostics and the fixture's `// want`
+// expectations match one-to-one.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	exp, modDir := repoExports(t)
+	dir := filepath.Join(modDir, "internal", "analysis", "testdata", "src", fixture)
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := load.Check(fset, exp, "fixture/"+fixture, dir, names)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+
+	var wants []*expectation
+	for _, name := range names {
+		ws, err := parseWants(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("fixture %s: %v", fixture, err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, filepath.Base(pos.Filename), pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at (file, line) whose
+// pattern matches msg.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE matches a want comment; each quoted string after `want` is
+// one expected-diagnostic regexp.
+var (
+	wantRE  = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quoteRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// parseWants extracts the `// want "re"` expectations from one file.
+func parseWants(path string) ([]*expectation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for i, lineText := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(lineText)
+		if m == nil {
+			continue
+		}
+		quoted := quoteRE.FindAllString(m[1], -1)
+		if len(quoted) == 0 {
+			return nil, fmt.Errorf("%s:%d: want comment without a quoted pattern", filepath.Base(path), i+1)
+		}
+		for _, q := range quoted {
+			pat, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", filepath.Base(path), i+1, q, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", filepath.Base(path), i+1, pat, err)
+			}
+			wants = append(wants, &expectation{file: filepath.Base(path), line: i + 1, pattern: re})
+		}
+	}
+	return wants, nil
+}
+
+// fixtureFiles lists the .go files of a fixture directory, sorted.
+func fixtureFiles(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return names, nil
+}
+
+func goEnvGOMOD() (string, error) {
+	out, err := runGo("env", "GOMOD")
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(out)
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module (GOMOD=%q)", gomod)
+	}
+	return gomod, nil
+}
+
+func runGo(args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v", strings.Join(args, " "), err)
+	}
+	return string(out), nil
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// FDLife checks that raw file descriptors produced by the syscall
+// package reach syscall.Close on every path, including error returns.
+// A leaked fd is invisible at low load and fatal at exactly the
+// connection counts the scalability experiments sweep through: the
+// process hits its descriptor limit and every accept fails — a
+// failure mode that looks like a server falling over rather than the
+// resource bug it is.
+var FDLife = &Analyzer{
+	Name: "fdlife",
+	Doc: "check that fds from syscall.Socket/Accept4/Open/EpollCreate1/Dup reach " +
+		"syscall.Close on all paths including error returns; passing the fd to a " +
+		"non-syscall function, storing it, or returning it transfers ownership " +
+		"and ends the check",
+	Run: runFDLife,
+}
+
+// fdProducers are the syscall functions whose first result is a fresh
+// descriptor the caller owns.
+var fdProducers = map[string]bool{
+	"Socket":       true,
+	"Accept4":      true,
+	"Open":         true,
+	"EpollCreate1": true,
+	"Dup":          true,
+}
+
+func runFDLife(pass *Pass) error {
+	for _, fn := range funcDecls(pass) {
+		walkStack(fn.Body, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			name := pkgFuncName(pass.Info, call, "syscall")
+			if !fdProducers[name] {
+				return
+			}
+			acq := resolveAcquire(pass, fn, call, stack, 0)
+			if acq == nil {
+				return
+			}
+			acq.what = "fd from syscall." + name
+			acq.must = "syscall.Close"
+			checkPaired(pass, acq, classifyFDUse(pass))
+		})
+	}
+	return nil
+}
+
+// classifyFDUse judges one use of a tracked fd: syscall.Close releases
+// it, other syscalls and comparisons merely borrow it, and anything
+// that moves the value somewhere the function cannot see — a return, a
+// store, a non-syscall call — transfers ownership.
+func classifyFDUse(pass *Pass) func(id *ast.Ident, stack []ast.Node) useClass {
+	return func(id *ast.Ident, stack []ast.Node) useClass {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch anc := stack[i].(type) {
+			case *ast.ParenExpr, *ast.KeyValueExpr:
+				continue
+			case *ast.CallExpr:
+				if isConversion(pass.Info, anc) {
+					continue // int32(fd) etc.: look further out
+				}
+				if argOf(anc, id) < 0 {
+					continue // the fd is in the callee expression, not an argument
+				}
+				switch pkgFuncName(pass.Info, anc, "syscall") {
+				case "Close":
+					return useRelease
+				case "":
+					return useEscape // handed to a non-syscall owner
+				default:
+					return useBorrow // Bind, Listen, EpollCtl, Setsockopt, …
+				}
+			case *ast.BinaryExpr:
+				return useBorrow
+			case *ast.ReturnStmt, *ast.CompositeLit, *ast.UnaryExpr,
+				*ast.IndexExpr, *ast.SendStmt:
+				return useEscape
+			case *ast.AssignStmt:
+				return useEscape // copied or reassigned: tracking ends
+			case ast.Stmt:
+				return useBorrow // reached statement level uneventfully
+			}
+		}
+		return useBorrow
+	}
+}

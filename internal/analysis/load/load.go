@@ -1,0 +1,214 @@
+// Package load type-checks Go packages for the analysis suite without
+// any dependency outside the standard library.
+//
+// The trick: `go list -e -export -deps -json` emits, for every package
+// in the dependency closure, the path of its compiled export data in
+// the build cache. Feeding those files to the gc importer gives the
+// type checker everything it needs to check the target packages from
+// source — no golang.org/x/tools, no network, no GOPATH archaeology.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir, parses the non-dependency matches, and
+// type-checks them against export data from the build cache. Packages
+// that fail to list or parse produce an error; the caller decides how
+// fatal that is.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exp := newExportSet(entries)
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", e.ImportPath, e.Error.Err)
+		}
+		p, err := Check(fset, exp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -e -export -deps -json` and decodes the JSON
+// stream.
+func goList(dir string, patterns ...string) ([]*listEntry, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Standard,DepOnly,Export,GoFiles,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var entries []*listEntry
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	return entries, nil
+}
+
+// ExportSet resolves import paths to compiled export data and caches
+// the packages the importer materializes from it.
+type ExportSet struct {
+	files     map[string]string // import path -> export file
+	importMap map[string]string // source-level path -> resolved path
+	imp       types.ImporterFrom
+}
+
+// LoadExports lists patterns in dir and returns only the export set —
+// the type-checking substrate — without checking any source. The
+// analysistest harness uses this to check fixture packages against the
+// repo's real dependency closure.
+func LoadExports(dir string, patterns ...string) (*ExportSet, error) {
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return newExportSet(entries), nil
+}
+
+// newExportSet indexes the export files of every listed entry.
+func newExportSet(entries []*listEntry) *ExportSet {
+	files := map[string]string{}
+	importMap := map[string]string{}
+	for _, e := range entries {
+		if e.Export != "" {
+			files[e.ImportPath] = e.Export
+		}
+		for from, to := range e.ImportMap {
+			importMap[from] = to
+		}
+	}
+	return NewExports(files, importMap)
+}
+
+// NewExports builds an export set from explicit maps: import path →
+// export-data file, and source-level import path → resolved path.
+// This is exactly the shape `go vet` hands a vettool in its .cfg
+// (PackageFile and ImportMap).
+func NewExports(files, importMap map[string]string) *ExportSet {
+	s := &ExportSet{files: files, importMap: importMap}
+	if s.files == nil {
+		s.files = map[string]string{}
+	}
+	if s.importMap == nil {
+		s.importMap = map[string]string{}
+	}
+	fset := token.NewFileSet()
+	s.imp = importer.ForCompiler(fset, "gc", s.lookup).(types.ImporterFrom)
+	return s
+}
+
+func (s *ExportSet) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := s.importMap[path]; ok {
+		path = mapped
+	}
+	f, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Importer returns the shared gc importer backed by the export set.
+func (s *ExportSet) Importer() types.ImporterFrom { return s.imp }
+
+// Check parses files (paths relative to dir) and type-checks them as
+// one package against the export set.
+func Check(fset *token.FileSet, exp *ExportSet, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: exp.Importer()}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nonblock checks that descriptors handed to a reactor Poller's
+// register path were made non-blocking first. A blocking fd in a
+// readiness loop is the whole architecture inverted: one laggard peer
+// turns a level-triggered event into a stalled reactor thread, and
+// every connection it owns stalls with it.
+var Nonblock = &Analyzer{
+	Name: "nonblock",
+	Doc: "check that fds registered with a Poller (Add/Modify) are non-blocking: " +
+		"created with SOCK_NONBLOCK/O_NONBLOCK or passed through " +
+		"syscall.SetNonblock before registration; fds of unknown local " +
+		"provenance are not judged",
+	Run: runNonblock,
+}
+
+// blockingProducers maps syscall producers to the flag argument index
+// and the flag identifier that makes the new fd non-blocking.
+var blockingProducers = map[string]struct {
+	flagArg int
+	flag    string
+}{
+	"Socket":  {1, "SOCK_NONBLOCK"},
+	"Accept4": {1, "SOCK_NONBLOCK"},
+	"Open":    {1, "O_NONBLOCK"},
+}
+
+func runNonblock(pass *Pass) error {
+	for _, fn := range funcDecls(pass) {
+		checkNonblockFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkNonblockFunc(pass *Pass, fn *ast.FuncDecl) {
+	// Locals made non-blocking after the fact via syscall.SetNonblock.
+	setNonblock := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pkgFuncName(pass.Info, call, "syscall") != "SetNonblock" || len(call.Args) != 2 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				setNonblock[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPollerRegister(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true // field or expression: provenance unknown, stay silent
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || setNonblock[obj] {
+			return true
+		}
+		producer, flagExpr := localProducer(pass, fn, obj)
+		if producer == "" {
+			return true // parameter or untraced local: unknown provenance
+		}
+		spec := blockingProducers[producer]
+		if flagExpr == nil || !mentionsSyscallConst(pass, flagExpr, spec.flag) {
+			pass.Reportf(call.Pos(),
+				"fd from syscall.%s without %s is registered with the poller while still blocking (add the flag or call syscall.SetNonblock first)",
+				producer, spec.flag)
+		}
+		return true
+	})
+}
+
+// isPollerRegister reports whether call is Add or Modify on a value of
+// a type named Poller with an int fd as first parameter — the
+// reactor's register path (matched structurally so fixtures can use a
+// stub Poller).
+func isPollerRegister(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Modify") {
+		return false
+	}
+	m, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv, _ := types.Unalias(derefType(sig.Recv().Type())).(*types.Named)
+	if recv == nil || recv.Obj().Name() != "Poller" {
+		return false
+	}
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	b, ok := types.Unalias(sig.Params().At(0).Type()).(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// localProducer finds the assignment in fn that binds obj from one of
+// the audited syscall producers, returning the producer name and its
+// flags argument. Empty when obj's origin is not a local audited
+// producer call.
+func localProducer(pass *Pass, fn *ast.FuncDecl, obj types.Object) (string, ast.Expr) {
+	var name string
+	var flags ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		producer := pkgFuncName(pass.Info, call, "syscall")
+		spec, audited := blockingProducers[producer]
+		if !audited {
+			return true
+		}
+		first, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		bound := pass.Info.Defs[first]
+		if bound == nil {
+			bound = pass.Info.Uses[first]
+		}
+		if bound != obj {
+			return true
+		}
+		name = producer
+		if spec.flagArg < len(call.Args) {
+			flags = call.Args[spec.flagArg]
+		}
+		return true
+	})
+	return name, flags
+}
+
+// mentionsSyscallConst reports whether the syscall constant name
+// appears anywhere in expr (e.g. SOCK_STREAM|SOCK_NONBLOCK).
+func mentionsSyscallConst(pass *Pass, expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isPkgObject(pass.Info, e, "syscall", name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The paired-resource engine: fdlife (acquire an fd, must Close) and
+// refbalance (acquire a refcounted entry, must Release) are the same
+// shape — a producer call binds a resource to a local, and every path
+// out of the function must either release it or hand the reference to
+// a new owner. The engine is deliberately a heuristic, not a full
+// dataflow analysis: it reasons about one function at a time and errs
+// toward silence (an escape — return, store, or pass to a non-borrow
+// function — ends tracking), which keeps it green on correct code
+// while still catching the two real-world failure shapes:
+//
+//  1. a resource that is acquired but never released and never
+//     escapes anywhere in the function, and
+//  2. an early `return` on an error path before the first release,
+//     defer, or escape — the classic "opened the file, stat failed,
+//     forgot the Close" gap.
+//
+// The producer's own failure check is exempt (no resource exists on
+// that path): an `if` mentioning the acquire's error variable, or a
+// `switch` on it, that immediately follows the acquisition.
+
+// useClass is the engine's verdict on one use of the resource.
+type useClass int
+
+const (
+	// useBorrow leaves ownership untouched (comparisons, passing the
+	// fd to a syscall, reading a field).
+	useBorrow useClass = iota
+	// useRelease returns the resource (syscall.Close, Release).
+	useRelease
+	// useEscape transfers ownership to someone else (return it, store
+	// it, send it, pass it to an owning function).
+	useEscape
+)
+
+// acquisition is one producer call binding a resource to a local.
+type acquisition struct {
+	fn     *ast.FuncDecl
+	res    types.Object // the resource variable
+	errObj types.Object // the producer's error result, if bound
+	pos    token.Pos    // position of the producer call
+	guard  ast.Stmt     // the statement to inspect for the producer's own failure check
+	what   string       // e.g. `fd from syscall.Socket`
+	must   string       // e.g. `syscall.Close`
+}
+
+// checkPaired runs the engine for one acquisition. classify judges
+// each use of the resource identifier given its ancestor stack.
+func checkPaired(pass *Pass, acq *acquisition, classify func(id *ast.Ident, stack []ast.Node) useClass) {
+	const never = token.Pos(1 << 40)
+	firstSettle := never // earliest release or escape
+	any := false
+	walkStack(acq.fn.Body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != acq.res || id.Pos() <= acq.pos {
+			return
+		}
+		switch classify(id, stack) {
+		case useRelease, useEscape:
+			any = true
+			if id.Pos() < firstSettle {
+				firstSettle = id.Pos()
+			}
+		}
+	})
+	if !any {
+		pass.Reportf(acq.pos, "%s is never passed to %s and never escapes to an owner", acq.what, acq.must)
+		return
+	}
+	// Early returns in the window between the acquisition and the first
+	// release/escape leak on every path (nothing can have settled the
+	// resource yet), unless they are the producer's own failure check.
+	ast.Inspect(acq.fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= acq.pos || ret.End() >= firstSettle {
+			return true
+		}
+		if producerFailureExempt(pass, acq, ret) {
+			return true
+		}
+		pass.Reportf(ret.Pos(), "%s may leak: this return path reaches neither %s nor a new owner", acq.what, acq.must)
+		return true
+	})
+}
+
+// producerFailureExempt reports whether ret sits in the producer's own
+// failure check, where the resource was never produced: an `if` whose
+// condition mentions the acquire's error variable, or a `switch` on
+// it (in a non-nil case), with the check immediately following the
+// acquisition (so the error cannot have been reassigned in between).
+func producerFailureExempt(pass *Pass, acq *acquisition, ret *ast.ReturnStmt) bool {
+	if acq.guard == nil || acq.errObj == nil {
+		return false
+	}
+	switch g := acq.guard.(type) {
+	case *ast.IfStmt:
+		return usesObject(pass.Info, g.Cond, acq.errObj) && containsNode(g.Body, ret)
+	case *ast.SwitchStmt:
+		tag, ok := g.Tag.(*ast.Ident)
+		if !ok || pass.Info.Uses[tag] != acq.errObj {
+			return false
+		}
+		for _, cc := range g.Body.List {
+			cc, ok := cc.(*ast.CaseClause)
+			if !ok || !containsNode(cc, ret) {
+				continue
+			}
+			for _, e := range cc.List {
+				if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+					return false // the success case: the resource exists here
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// resolveAcquire maps a producer call (with its ancestor stack) to an
+// acquisition: the assignment binding its results, the resource and
+// error objects, and the statement that would hold the producer's own
+// failure check. resIdx selects which result is the resource. Returns
+// nil when the call's results are not bound to plain locals (returned
+// directly, discarded, …) — those shapes either escape immediately or
+// are not trackable, and the engine stays silent.
+func resolveAcquire(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node, resIdx int) *acquisition {
+	// Innermost assignment whose single RHS is the call.
+	var as *ast.AssignStmt
+	asDepth := -1
+	for i := len(stack) - 1; i >= 0; i-- {
+		if a, ok := stack[i].(*ast.AssignStmt); ok {
+			if len(a.Rhs) == 1 && ast.Unparen(a.Rhs[0]) == ast.Expr(call) {
+				as, asDepth = a, i
+			}
+			break
+		}
+	}
+	if as == nil || resIdx >= len(as.Lhs) {
+		return nil
+	}
+	resID, ok := as.Lhs[resIdx].(*ast.Ident)
+	if !ok || resID.Name == "_" {
+		return nil
+	}
+	res := pass.Info.Defs[resID]
+	if res == nil {
+		res = pass.Info.Uses[resID]
+	}
+	if res == nil {
+		return nil
+	}
+	var errObj types.Object
+	if last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && last != resID && last.Name != "_" {
+		if o := pass.Info.Defs[last]; o != nil {
+			errObj = o
+		} else {
+			errObj = pass.Info.Uses[last]
+		}
+	}
+	acq := &acquisition{fn: fn, res: res, errObj: errObj, pos: call.Pos()}
+	acq.guard = guardStmt(as, asDepth, stack)
+	return acq
+}
+
+// guardStmt finds the statement holding the producer's failure check:
+// the enclosing if/switch when the assignment is its Init, otherwise
+// the block statement immediately following the assignment.
+func guardStmt(as *ast.AssignStmt, asDepth int, stack []ast.Node) ast.Stmt {
+	if asDepth > 0 {
+		switch parent := stack[asDepth-1].(type) {
+		case *ast.IfStmt:
+			if parent.Init == ast.Stmt(as) {
+				return parent
+			}
+		case *ast.SwitchStmt:
+			if parent.Init == ast.Stmt(as) {
+				return parent
+			}
+		}
+	}
+	// Locate the assignment's block and take the next sibling.
+	for i := asDepth - 1; i >= 0; i-- {
+		if blk, ok := stack[i].(*ast.BlockStmt); ok {
+			for j, s := range blk.List {
+				if s == ast.Stmt(as) && j+1 < len(blk.List) {
+					return blk.List[j+1]
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}

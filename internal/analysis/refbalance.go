@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RefBalance checks that every acquire of a refcounted resource — a
+// call to a Get/Acquire function whose result type carries a Release
+// method, like the docroot content cache's entries — is paired with
+// Release on every control-flow path that does not hand the reference
+// to a new owner. The docroot closes the shared fd when the refcount
+// hits zero, so a missed Release is a silent fd leak and an extra
+// Release closes a file out from under concurrent responses.
+var RefBalance = &Analyzer{
+	Name: "refbalance",
+	Doc: "check that Get/Acquire calls returning a Release-able value (e.g. " +
+		"docroot cache entries) are paired with Release on all control-flow " +
+		"paths; storing or returning the value hands the reference off and " +
+		"ends the check",
+	Run: runRefBalance,
+}
+
+// refAcquireNames are the producer names the analyzer audits.
+var refAcquireNames = map[string]bool{"Get": true, "Acquire": true}
+
+func runRefBalance(pass *Pass) error {
+	for _, fn := range funcDecls(pass) {
+		walkStack(fn.Body, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !refAcquireNames[calleeName(call)] {
+				return
+			}
+			idx, rt := releasableResult(pass, call)
+			if idx < 0 {
+				return
+			}
+			// The implementing package manipulates refcounts directly
+			// (that is what the invariant layer audits); the pairing
+			// rule is for consumers.
+			if rt.Obj().Pkg() == pass.Pkg {
+				return
+			}
+			acq := resolveAcquire(pass, fn, call, stack, idx)
+			if acq == nil {
+				return
+			}
+			acq.what = rt.Obj().Name() + " from " + calleeName(call)
+			acq.must = "Release"
+			checkPaired(pass, acq, classifyRefUse(pass))
+		})
+	}
+	return nil
+}
+
+// releasableResult returns the index and named type of the call result
+// that carries a `Release()` method, or (-1, nil).
+func releasableResult(pass *Pass, call *ast.CallExpr) (int, *types.Named) {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return -1, nil
+	}
+	check := func(t types.Type) *types.Named {
+		named, _ := types.Unalias(derefType(t)).(*types.Named)
+		if named == nil || named.Obj().Pkg() == nil {
+			return nil
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), false, named.Obj().Pkg(), "Release")
+		m, ok := obj.(*types.Func)
+		if !ok {
+			return nil
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 0 {
+			return nil
+		}
+		return named
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if named := check(tuple.At(i).Type()); named != nil {
+				return i, named
+			}
+		}
+		return -1, nil
+	}
+	if named := check(tv.Type); named != nil {
+		return 0, named
+	}
+	return -1, nil
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// classifyRefUse judges one use of a tracked entry: ent.Release()
+// releases it; reading fields or calling other methods on it borrows;
+// storing it (outSeg{ent: ent}), returning it, or passing it to a
+// function transfers the reference to a new owner.
+func classifyRefUse(pass *Pass) func(id *ast.Ident, stack []ast.Node) useClass {
+	return func(id *ast.Ident, stack []ast.Node) useClass {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch anc := stack[i].(type) {
+			case *ast.ParenExpr, *ast.KeyValueExpr:
+				continue
+			case *ast.SelectorExpr:
+				if anc.X != ast.Expr(id) {
+					return useBorrow
+				}
+				// ent.Release() releases; ent.Size / ent.Body() borrow.
+				if i > 0 {
+					if outer, ok := stack[i-1].(*ast.CallExpr); ok && outer.Fun == ast.Expr(anc) {
+						if anc.Sel.Name == "Release" {
+							return useRelease
+						}
+						return useBorrow // some other method
+					}
+				}
+				return useBorrow // field read
+			case *ast.CallExpr:
+				if isConversion(pass.Info, anc) {
+					continue
+				}
+				if argOf(anc, id) < 0 {
+					continue
+				}
+				return useEscape // the entry itself passed along: new owner
+			case *ast.BinaryExpr:
+				return useBorrow // ent == nil
+			case *ast.ReturnStmt, *ast.CompositeLit, *ast.UnaryExpr,
+				*ast.IndexExpr, *ast.SendStmt:
+				return useEscape
+			case *ast.AssignStmt:
+				return useEscape
+			case ast.Stmt:
+				return useBorrow
+			}
+		}
+		return useBorrow
+	}
+}

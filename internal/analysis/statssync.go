@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StatsSync checks that no struct field is accessed both atomically
+// and non-atomically. The servers' Stats counters are read live while
+// worker threads update them; a single plain `s.Replies++` next to
+// `atomic.AddInt64(&s.Replies, 1)` is a data race the race detector
+// only catches when the interleaving happens to occur — this rule
+// makes the mixing itself the error.
+var StatsSync = &Analyzer{
+	Name: "statssync",
+	Doc: "check that fields of structs declared in the package are accessed " +
+		"consistently: a field touched by sync/atomic anywhere must never " +
+		"also be read or written directly (mixed atomic/plain access is a " +
+		"data race by construction)",
+	Run: runStatsSync,
+}
+
+// fieldAccess tallies how one struct field is touched across the
+// package.
+type fieldAccess struct {
+	atomic    int
+	plain     int
+	plainPos  ast.Node // first plain access, for the diagnostic
+	atomicPos ast.Node
+}
+
+func runStatsSync(pass *Pass) error {
+	acc := map[*types.Var]*fieldAccess{}
+	record := func(field *types.Var) *fieldAccess {
+		a := acc[field]
+		if a == nil {
+			a = &fieldAccess{}
+			acc[field] = a
+		}
+		return a
+	}
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			field := selectedField(pass, sel)
+			if field == nil || field.Pkg() != pass.Pkg || !isSyncSensitive(field.Type()) {
+				return
+			}
+			switch classifyFieldAccess(pass, sel, stack) {
+			case fieldAtomic:
+				a := record(field)
+				a.atomic++
+				if a.atomicPos == nil {
+					a.atomicPos = sel
+				}
+			case fieldPlain:
+				a := record(field)
+				a.plain++
+				if a.plainPos == nil {
+					a.plainPos = sel
+				}
+			}
+		})
+	}
+	for field, a := range acc {
+		if a.atomic > 0 && a.plain > 0 {
+			pass.Reportf(a.plainPos.Pos(),
+				"field %s is accessed both atomically (%d sites) and non-atomically (%d sites); pick one discipline",
+				field.Name(), a.atomic, a.plain)
+		}
+	}
+	return nil
+}
+
+// selectedField resolves sel to the struct field it reads or writes,
+// or nil when sel is not a field selection.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// isSyncSensitive reports whether the field's type is one the
+// sync/atomic package can operate on — the only fields where mixing
+// is even expressible.
+func isSyncSensitive(t types.Type) bool {
+	b, ok := types.Unalias(t).(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+type fieldAccessKind int
+
+const (
+	fieldIgnored fieldAccessKind = iota
+	fieldAtomic
+	fieldPlain
+)
+
+// classifyFieldAccess decides whether one selector use is an atomic
+// access (&s.f handed to sync/atomic), a plain access (direct read or
+// write), or neither (initialization in a composite literal, or the
+// address delegated to an unknown function, which a local analysis
+// cannot judge).
+func classifyFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) fieldAccessKind {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			if anc.X == ast.Expr(sel) || containsNode(anc.X, sel) {
+				return fieldIgnored // s.f.g: the access is to the deeper field
+			}
+			continue
+		case *ast.UnaryExpr:
+			if anc.Op.String() != "&" {
+				return fieldPlain
+			}
+			// Address taken: atomic if it feeds sync/atomic, otherwise
+			// delegated to code we cannot see.
+			for j := i - 1; j >= 0; j-- {
+				if call, ok := stack[j].(*ast.CallExpr); ok {
+					if name := pkgFuncName(pass.Info, call, "sync/atomic"); name != "" && isAtomicOpName(name) {
+						return fieldAtomic
+					}
+					return fieldIgnored
+				}
+				if _, ok := stack[j].(*ast.ParenExpr); ok {
+					continue
+				}
+				break
+			}
+			return fieldIgnored
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			return fieldIgnored // initialization, not a shared access
+		case ast.Stmt, *ast.CallExpr, *ast.BinaryExpr, *ast.IndexExpr, *ast.ReturnStmt:
+			return fieldPlain
+		}
+	}
+	return fieldPlain
+}
+
+// isAtomicOpName reports whether name is a sync/atomic operation that
+// takes an address (AddInt64, LoadUint32, StorePointer, SwapInt32,
+// CompareAndSwapInt64, …).
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer must be red on its seeded-violation fixture (every
+// `// want` line produces a diagnostic) and silent everywhere else in
+// the fixture (no unexpected diagnostics on the clean cases).
+
+func TestSyscallerr(t *testing.T) { analysistest.Run(t, analysis.Syscallerr, "syscallerr") }
+
+func TestFDLife(t *testing.T) { analysistest.Run(t, analysis.FDLife, "fdlife") }
+
+func TestRefBalance(t *testing.T) { analysistest.Run(t, analysis.RefBalance, "refbalance") }
+
+func TestStatsSync(t *testing.T) { analysistest.Run(t, analysis.StatsSync, "statssync") }
+
+func TestNonblock(t *testing.T) { analysistest.Run(t, analysis.Nonblock, "nonblock") }

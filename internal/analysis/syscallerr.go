@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Syscallerr flags raw syscall call sites whose error handling does
+// not classify the transient errnos the non-blocking hot paths hinge
+// on. A bare `if err != nil` after syscall.Read treats both EINTR (a
+// signal landed; retry) and EAGAIN (no data; wait for readiness) as
+// fatal, which tears down healthy connections under exactly the load
+// the reproduction is supposed to measure.
+var Syscallerr = &Analyzer{
+	Name: "syscallerr",
+	Doc: "check that raw syscall.Read/Write/Accept4/EpollWait/Sendfile call sites " +
+		"classify EINTR and EAGAIN instead of treating every error as fatal; " +
+		"EINTR classification may be delegated by wrapping the call in a " +
+		"closure passed to a retryEINTR helper",
+	Run: runSyscallerr,
+}
+
+// syscallErrTargets maps the audited syscall functions to the errnos
+// their call sites must classify. EpollWait cannot return EAGAIN, so
+// only EINTR is demanded there.
+var syscallErrTargets = map[string]struct{ eintr, eagain bool }{
+	"Read":      {true, true},
+	"Write":     {true, true},
+	"Accept4":   {true, true},
+	"EpollWait": {true, false},
+	"Sendfile":  {true, true},
+}
+
+func runSyscallerr(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		checkSyscallErrFunc(pass, fd)
+	}
+	return nil
+}
+
+func checkSyscallErrFunc(pass *Pass, fn *ast.FuncDecl) {
+	// Which errnos does this function classify anywhere? A mention of
+	// syscall.EINTR / syscall.EAGAIN counts when it appears where
+	// errors are discriminated: an ==/!= comparison, a switch case, or
+	// an errors.Is argument.
+	classified := map[string]bool{}
+	note := func(expr ast.Expr) {
+		for _, errno := range []string{"EINTR", "EAGAIN"} {
+			if isPkgObject(pass.Info, expr, "syscall", errno) {
+				classified[errno] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				note(n.X)
+				note(n.Y)
+			}
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				note(e)
+			}
+		case *ast.CallExpr:
+			if pkgFuncName(pass.Info, n, "errors") == "Is" && len(n.Args) == 2 {
+				note(n.Args[1])
+			}
+		}
+		return true
+	})
+
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name := pkgFuncName(pass.Info, call, "syscall")
+		need, ok := syscallErrTargets[name]
+		if !ok {
+			return
+		}
+		if errResultDiscarded(call, stack) {
+			// `_, _ = syscall.Write(...)` is a deliberate decision to
+			// ignore the outcome (e.g. the wakeup pipe, where EAGAIN
+			// means a wakeup is already pending), not bare handling.
+			return
+		}
+		if need.eintr && !classified["EINTR"] && !inRetryEINTR(call, stack) {
+			pass.Reportf(call.Pos(),
+				"syscall.%s error is not classified for EINTR (compare against syscall.EINTR or wrap the call in retryEINTR)", name)
+		}
+		if need.eagain && !classified["EAGAIN"] {
+			pass.Reportf(call.Pos(),
+				"syscall.%s error is not classified for EAGAIN (a non-blocking fd returns it on every would-block)", name)
+		}
+	})
+}
+
+// errResultDiscarded reports whether the call's error result (by
+// convention the last result) is assigned to the blank identifier.
+func errResultDiscarded(call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		as, ok := stack[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != ast.Expr(call) {
+			return false // call feeds the assignment indirectly; be strict
+		}
+		last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+		return ok && last.Name == "_"
+	}
+	return false
+}
+
+// inRetryEINTR reports whether the call sits inside a function literal
+// passed as an argument to a function or method named retryEINTR — the
+// one blessed EINTR-retry pattern (see internal/reactor).
+func inRetryEINTR(call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		outer, ok := stack[i-1].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if !strings.EqualFold(calleeName(outer), "retryEINTR") {
+			continue
+		}
+		for _, a := range outer.Args {
+			if ast.Unparen(a) == ast.Expr(lit) {
+				return true
+			}
+		}
+	}
+	return false
+}

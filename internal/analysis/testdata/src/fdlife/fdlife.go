@@ -1,0 +1,96 @@
+// Fixture for the fdlife analyzer: descriptors from the syscall
+// producers must reach syscall.Close on every path, or be handed to a
+// new owner.
+package fixture
+
+import "syscall"
+
+// bad: the socket is configured and listened on but never closed and
+// never escapes the function.
+func neverClosed() error {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0) // want "never passed to syscall.Close"
+	if err != nil {
+		return err
+	}
+	if err := syscall.Bind(fd, &syscall.SockaddrInet4{}); err != nil {
+		return err
+	}
+	return syscall.Listen(fd, 128)
+}
+
+// bad: the Fstat error path returns without closing.
+func leakOnError(path string) (int, error) {
+	fd, err := syscall.Open(path, syscall.O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	var st syscall.Stat_t
+	if err := syscall.Fstat(fd, &st); err != nil {
+		return 0, err // want "may leak"
+	}
+	syscall.Close(fd)
+	return int(st.Size), nil
+}
+
+// good: closed on the error path too.
+func closedOnError(path string) (int, error) {
+	fd, err := syscall.Open(path, syscall.O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	var st syscall.Stat_t
+	if err := syscall.Fstat(fd, &st); err != nil {
+		syscall.Close(fd)
+		return 0, err
+	}
+	syscall.Close(fd)
+	return int(st.Size), nil
+}
+
+// good: a deferred close settles every later path.
+func deferred(path string) (int64, error) {
+	fd, err := syscall.Open(path, syscall.O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer syscall.Close(fd)
+	var st syscall.Stat_t
+	if err := syscall.Fstat(fd, &st); err != nil {
+		return 0, err
+	}
+	return st.Size, nil
+}
+
+// good: returning the fd transfers ownership to the caller.
+func handOff() (int, error) {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK, 0)
+	if err != nil {
+		return -1, err
+	}
+	return fd, nil
+}
+
+func adopt(fd int) {}
+
+// good: passing the fd to a non-syscall function transfers ownership.
+func delegated() error {
+	fd, err := syscall.EpollCreate1(0)
+	if err != nil {
+		return err
+	}
+	adopt(fd)
+	return nil
+}
+
+// good: a switch on the producer's error is the producer's own
+// failure check — no fd exists on the non-nil paths.
+func switchGuard() int {
+	fd, err := syscall.EpollCreate1(0)
+	switch err {
+	case nil:
+	default:
+		return -1
+	}
+	syscall.Close(fd)
+	return 0
+}

@@ -1,0 +1,57 @@
+// Fixture for the nonblock analyzer: fds registered with a Poller
+// must be non-blocking before registration.
+package fixture
+
+import "syscall"
+
+// Poller mimics the reactor's register surface; the analyzer matches
+// the (name, method, first-parameter) shape structurally.
+type Poller struct{}
+
+func (p *Poller) Add(fd int, events uint32) error    { return nil }
+func (p *Poller) Modify(fd int, events uint32) error { return nil }
+
+// bad: a blocking socket goes straight into the poller.
+func registerBlocking(p *Poller) error {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return err
+	}
+	return p.Add(fd, 1) // want "still blocking"
+}
+
+// bad: Accept4 without SOCK_NONBLOCK yields a blocking conn fd.
+func acceptAndRegister(p *Poller, lfd int) error {
+	nfd, _, err := syscall.Accept4(lfd, 0)
+	if err != nil {
+		return err
+	}
+	return p.Modify(nfd, 1) // want "still blocking"
+}
+
+// good: non-blocking at creation.
+func registerNonblockFlag(p *Poller) error {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK, 0)
+	if err != nil {
+		return err
+	}
+	return p.Add(fd, 1)
+}
+
+// good: made non-blocking after the fact.
+func registerSetNonblock(p *Poller) error {
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return err
+	}
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		return err
+	}
+	return p.Modify(fd, 1)
+}
+
+// good: a parameter's provenance is unknown; the analyzer does not
+// judge what it cannot see.
+func registerParam(p *Poller, fd int) error {
+	return p.Add(fd, 1)
+}

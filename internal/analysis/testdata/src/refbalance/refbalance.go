@@ -1,0 +1,80 @@
+// Fixture for the refbalance analyzer: docroot cache entries acquired
+// with Get must be Released on every path that does not hand the
+// reference to a new owner.
+package fixture
+
+import "repro/internal/docroot"
+
+// bad: the entry's refcount is taken and never given back — the
+// underlying fd can never be closed.
+func neverReleased(r *docroot.Root, p string) int {
+	ent, err := r.Get(p) // want "never passed to Release"
+	if err != nil {
+		return 0
+	}
+	return int(ent.Size)
+}
+
+// bad: the empty-file early return leaks the reference.
+func leakOnEmpty(r *docroot.Root, p string) ([]byte, error) {
+	ent, err := r.Get(p)
+	if err != nil {
+		return nil, err
+	}
+	if ent.Size == 0 {
+		return nil, nil // want "may leak"
+	}
+	body := ent.Body()
+	ent.Release()
+	return body, nil
+}
+
+// good: released on the success path, and the producer's failure
+// check is exempt (no entry exists there).
+func balanced(r *docroot.Root, p string) int {
+	ent, err := r.Get(p)
+	if err != nil {
+		return 0
+	}
+	n := len(ent.Body())
+	ent.Release()
+	return n
+}
+
+// good: a deferred release settles every later path.
+func deferred(r *docroot.Root, p string) (int64, error) {
+	ent, err := r.Get(p)
+	if err != nil {
+		return 0, err
+	}
+	defer ent.Release()
+	if ent.Size == 0 {
+		return 0, nil
+	}
+	return ent.Size, nil
+}
+
+type pending struct {
+	ent *docroot.Entry
+}
+
+// good: storing the entry hands the reference to the struct's owner.
+func handOff(r *docroot.Root, p string) (*pending, error) {
+	ent, err := r.Get(p)
+	if err != nil {
+		return nil, err
+	}
+	return &pending{ent: ent}, nil
+}
+
+func consume(ent *docroot.Entry) {}
+
+// good: passing the entry along transfers the reference.
+func delegated(r *docroot.Root, p string) error {
+	ent, err := r.Get(p)
+	if err != nil {
+		return err
+	}
+	consume(ent)
+	return nil
+}

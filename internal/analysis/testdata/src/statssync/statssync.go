@@ -1,0 +1,44 @@
+// Fixture for the statssync analyzer: a struct field must not be
+// accessed both atomically and non-atomically.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	errs   int64
+}
+
+// hits is incremented atomically here...
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// ...and read plainly here: that pair is a data race by construction.
+func (s *stats) snapshot() (int64, int64) {
+	return s.hits, atomic.LoadInt64(&s.misses) // want "accessed both atomically"
+}
+
+// good: misses is atomic at every site.
+func (s *stats) miss() {
+	atomic.AddInt64(&s.misses, 1)
+}
+
+// good: errs is plain at every site (one consistent discipline; a
+// mutex elsewhere is the caller's contract).
+func (s *stats) err() {
+	s.errs++
+}
+
+func (s *stats) errCount() int64 {
+	return s.errs
+}
+
+func bump(p *int64) { *p++ }
+
+// good: the address escapes to a helper the analysis cannot see into;
+// it stays silent rather than guess.
+func (s *stats) delegate() {
+	bump(&s.errs)
+}

@@ -1,0 +1,109 @@
+// Fixture for the syscallerr analyzer: audited syscalls must classify
+// EINTR and EAGAIN (or delegate EINTR to a retryEINTR helper).
+package fixture
+
+import (
+	"errors"
+	"syscall"
+)
+
+// bad: a bare err != nil treats both transient errnos as fatal.
+func bareRead(fd int, buf []byte) int {
+	n, err := syscall.Read(fd, buf) // want "EINTR" "EAGAIN"
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// bad: EINTR handled, EAGAIN still fatal.
+func halfClassified(fd int, buf []byte) int {
+	n, err := syscall.Read(fd, buf) // want "EAGAIN"
+	if err == syscall.EINTR {
+		return 0
+	}
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// bad: EpollWait is interrupted by every signal; EINTR must be
+// classified (EAGAIN is not demanded here).
+func waitBare(epfd int, events []syscall.EpollEvent) int {
+	n, err := syscall.EpollWait(epfd, events, -1) // want "EINTR"
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// good: both errnos classified with comparisons.
+func classifiedRead(fd int, buf []byte) int {
+	for {
+		n, err := syscall.Read(fd, buf)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			return 0
+		}
+		if err != nil {
+			return -1
+		}
+		return n
+	}
+}
+
+// good: switch cases count as classification.
+func switchWrite(fd int, buf []byte) bool {
+	n, err := syscall.Write(fd, buf)
+	switch err {
+	case syscall.EINTR, syscall.EAGAIN:
+		return false
+	case nil:
+		return n == len(buf)
+	}
+	return false
+}
+
+// good: errors.Is counts as classification.
+func waitIs(epfd int, events []syscall.EpollEvent) int {
+	n, err := syscall.EpollWait(epfd, events, -1)
+	if errors.Is(err, syscall.EINTR) {
+		return 0
+	}
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// retryEINTR is the blessed retry helper shape: it owns the EINTR
+// classification for every closure passed to it.
+func retryEINTR(op func() (int, error)) (int, error) {
+	for {
+		n, err := op()
+		if err != syscall.EINTR {
+			return n, err
+		}
+	}
+}
+
+// good: EINTR delegated to the helper, EAGAIN classified locally.
+func viaHelper(fd int, buf []byte) int {
+	n, err := retryEINTR(func() (int, error) { return syscall.Read(fd, buf) })
+	if err == syscall.EAGAIN {
+		return 0
+	}
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// good: discarding the error is a deliberate decision, not bare
+// handling (the wakeup-pipe write pattern).
+func fireAndForget(fd int) {
+	_, _ = syscall.Write(fd, []byte{1})
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkStack traverses root, calling fn for every node with the stack
+// of its ancestors (outermost first, excluding the node itself).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pkgFuncName returns the function name if call is a direct call to a
+// package-level function of the package with import path pkgPath
+// ("syscall", "errors", …), else "".
+func pkgFuncName(info *types.Info, call *ast.CallExpr, pkgPath string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return ""
+	}
+	return f.Name()
+}
+
+// isPkgObject reports whether expr denotes the named package-level
+// object (constant, variable, or function) of the given package path —
+// e.g. the expression `syscall.EINTR`.
+func isPkgObject(info *types.Info, expr ast.Expr, pkgPath, name string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// calleeName returns the bare name of the function or method being
+// called, resolved syntactically: `retryEINTR(...)`, `pkg.F(...)` and
+// `x.M(...)` all yield the last identifier. Returns "" for indirect
+// calls through non-selector expressions.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// argOf returns the index of the call argument that contains (or is)
+// expr, or -1 when expr is not inside any argument (e.g. it is in the
+// callee position).
+func argOf(call *ast.CallExpr, expr ast.Node) int {
+	for i, a := range call.Args {
+		if containsNode(a, expr) {
+			return i
+		}
+	}
+	return -1
+}
+
+// containsNode reports whether needle appears within root.
+func containsNode(root, needle ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObject reports whether any identifier within root resolves to
+// obj.
+func usesObject(info *types.Info, root ast.Node, obj types.Object) bool {
+	if root == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcDecls yields every function declaration with a body in the pass.
+func funcDecls(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

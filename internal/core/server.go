@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/docroot"
 	"repro/internal/httpwire"
+	"repro/internal/invariant"
 	"repro/internal/overload"
 	"repro/internal/reactor"
 )
@@ -417,6 +418,7 @@ type conn struct {
 	outOff   int  // sent bytes of the head segment's buf
 	writeArm bool // EPOLLOUT currently requested
 	closing  bool // close once out drains (400 or Connection: close)
+	closed   bool // torn down; output must never be queued again
 	replies  int64
 	// lastActive is when the connection last made progress; the idle
 	// sweeper (only armed when Config.IdleTimeout > 0) compares it.
@@ -449,6 +451,10 @@ type worker struct {
 	// watchdog is configured). Spans bracket work, not the poller wait,
 	// so a parked-but-healthy loop is never flagged.
 	hb *overload.Heartbeat
+	// loopTicks counts event-loop iterations so the invariant build can
+	// amortize its O(conns) interest-set audit instead of paying it on
+	// every pass through the hot loop.
+	loopTicks uint64
 }
 
 func newWorker(s *Server, idx int) (*worker, error) {
@@ -518,6 +524,15 @@ func (w *worker) loop() {
 			w.hb.Begin()
 		}
 		w.drainInbox()
+		if invariant.Enabled {
+			// The full interest-set audit is O(conns); sample it so the
+			// invariant build keeps enough throughput for the perf-gated
+			// tests to stay meaningful.
+			if w.loopTicks%64 == 0 {
+				w.assertInterest()
+			}
+			w.loopTicks++
+		}
 		select {
 		case <-w.srv.stopping:
 			return
@@ -568,6 +583,22 @@ func (w *worker) loop() {
 			}
 		}
 	}
+}
+
+// assertInterest checks the reactor's connection table against the
+// poller's interest-set shadow — only under -tags invariants, where the
+// shadow is real. Every registered connection must be in the kernel's
+// interest set, and the set must hold exactly the connections plus the
+// wakeup pipe; drift either way means events for a connection the
+// worker no longer owns, or a connection that can never wake again.
+func (w *worker) assertInterest() {
+	for fd := range w.conns {
+		invariant.Assertf(w.poller.HasInterest(fd),
+			"core: conn fd %d in table but missing from epoll interest set", fd)
+	}
+	invariant.Assertf(w.poller.InterestCount() == len(w.conns)+1,
+		"core: epoll interest set has %d fds, want %d conns + wakeup pipe",
+		w.poller.InterestCount(), len(w.conns))
 }
 
 // beginDrain flips the worker into drain mode: idle connections close
@@ -728,6 +759,9 @@ func (w *worker) applyFault(f Fault) {
 
 // serve appends one response to the connection's output queue.
 func (w *worker) serve(c *conn, req *httpwire.Request) {
+	if invariant.Enabled {
+		invariant.Assertf(!c.closed, "core: response queued on closed conn fd %d", c.fd)
+	}
 	if ff := w.srv.cfg.HandlerFault; ff != nil {
 		w.applyFault(ff(req.Path))
 	}
@@ -807,6 +841,9 @@ const sendfileChunk = 512 << 10
 // resume point, so a response interrupted mid-file continues exactly
 // where the socket buffer filled.
 func (w *worker) flush(c *conn) {
+	if invariant.Enabled {
+		invariant.Assertf(!c.closed, "core: flush on closed conn fd %d", c.fd)
+	}
 	for len(c.out) > 0 {
 		seg := &c.out[0]
 		if seg.ent != nil {
@@ -925,7 +962,8 @@ func (w *worker) resetConn(c *conn) {
 	delete(w.conns, c.fd)
 	w.poller.Remove(c.fd)
 	reactor.CloseWithReset(c.fd)
-	w.srv.connsOpen.add(-1)
+	c.closed = true
+	w.uncount()
 	releaseOut(c)
 }
 
@@ -936,8 +974,18 @@ func (w *worker) closeConn(c *conn) {
 	delete(w.conns, c.fd)
 	w.poller.Remove(c.fd)
 	reactor.CloseFD(c.fd)
-	w.srv.connsOpen.add(-1)
+	c.closed = true
+	w.uncount()
 	releaseOut(c)
+}
+
+// uncount gives a torn-down connection's connsOpen slot back.
+func (w *worker) uncount() {
+	w.srv.connsOpen.add(-1)
+	if invariant.Enabled {
+		invariant.Assertf(w.srv.connsOpen.get() >= 0,
+			"core: connsOpen went negative (%d)", w.srv.connsOpen.get())
+	}
 }
 
 // releaseOut drops the docroot references held by unsent sendfile

@@ -1,5 +1,7 @@
 package docroot
 
+import "repro/internal/invariant"
+
 // The bounded-byte LRU behind Root. One mutex guards the map, the
 // intrusive list, and the byte accounting; the entries themselves are
 // immutable after construction and reference counted, so eviction never
@@ -37,8 +39,13 @@ func (r *Root) cacheGet(key string) *Entry {
 	}
 	n.unlink()
 	r.pushFront(n)
-	n.ent.refs.Add(1)
+	refs := n.ent.refs.Add(1)
 	r.mu.Unlock()
+	if invariant.Enabled {
+		// The cache holds one reference, this caller now holds another.
+		invariant.Assertf(refs >= 2,
+			"docroot: cache hit on entry %q with %d refs (cache reference lost)", n.ent.key, refs)
+	}
 	r.hits.Inc()
 	return n.ent
 }
@@ -78,6 +85,10 @@ func (r *Root) cacheInsert(e *Entry) *Entry {
 		delete(r.items, tail.ent.key)
 		r.used -= tail.ent.charge
 		evicted = append(evicted, tail.ent)
+	}
+	if invariant.Enabled {
+		invariant.Assertf(r.used >= 0,
+			"docroot: cache byte accounting went negative (%d)", r.used)
 	}
 	r.mu.Unlock()
 	for _, ev := range evicted {

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/httpwire"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/surge"
 )
@@ -84,7 +85,12 @@ func (e *Entry) ReadAt(p []byte, off int64) (int, error) { return e.f.ReadAt(p, 
 // Release drops one reference; the fd closes when the cache and every
 // in-flight response are done with it.
 func (e *Entry) Release() {
-	if e.refs.Add(-1) == 0 {
+	n := e.refs.Add(-1)
+	if invariant.Enabled {
+		invariant.Assertf(n >= 0,
+			"docroot: entry %q refcount went negative (%d): double Release", e.key, n)
+	}
+	if n == 0 {
 		_ = e.f.Close()
 	}
 }

@@ -1,0 +1,21 @@
+// Package invariant is the build-tag-gated runtime assertion layer: the
+// dynamic complement to the static analyzers in internal/analysis. The
+// analyzers prove what they can about the syscall-heavy hot paths at
+// compile time; the assertions in this package catch what static
+// analysis cannot see — refcounts driven negative by a double Release,
+// an epoll interest set that drifts from the reactor's connection
+// table, output queued on a connection that was already torn down.
+//
+// By default every assertion compiles to nothing: Enabled is the
+// constant false, the Assert functions are empty, and call sites guard
+// any non-trivial condition or message formatting with
+//
+//	if invariant.Enabled { invariant.Assertf(...) }
+//
+// so the disabled build carries zero instructions and zero allocations
+// for the check. Building with `-tags invariants` (the CI invariants
+// job runs the whole suite that way, under -race) turns every assertion
+// into a hard panic with an "invariant violation:" prefix, so a
+// violated invariant fails loudly at the point of corruption instead of
+// surfacing later as a leaked fd or a wedged loop.
+package invariant

@@ -1,0 +1,14 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant, so `if invariant.Enabled { ... }` blocks are dead-code
+// eliminated entirely in default builds.
+const Enabled = false
+
+// Assert is a no-op in default builds.
+func Assert(bool, string) {}
+
+// Assertf is a no-op in default builds.
+func Assertf(bool, string, ...any) {}

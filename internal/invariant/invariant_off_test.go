@@ -1,0 +1,21 @@
+//go:build !invariants
+
+package invariant
+
+import "testing"
+
+// The default build must compile the assertion layer out: Enabled is
+// the constant false and a failing assertion is a no-op, so production
+// binaries pay nothing for the instrumented call sites.
+
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without -tags invariants")
+	}
+}
+
+func TestAssertionsCompileOut(t *testing.T) {
+	// A violated assertion must do nothing in a default build.
+	Assert(false, "this must not panic")
+	Assertf(false, "this must not panic either (%d)", 42)
+}

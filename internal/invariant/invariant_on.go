@@ -1,0 +1,26 @@
+//go:build invariants
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant, so `if invariant.Enabled { ... }` blocks are dead-code
+// eliminated entirely in default builds.
+const Enabled = true
+
+// Assert panics with the invariant-violation prefix when cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant violation: " + msg)
+	}
+}
+
+// Assertf is Assert with fmt-style formatting. Call sites must guard
+// with `if invariant.Enabled` so argument evaluation costs nothing in
+// default builds.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violation: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,47 @@
+//go:build invariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabled(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under -tags invariants")
+	}
+}
+
+func TestAssertPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic under -tags invariants")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "invariant violation: ") {
+			t.Fatalf("panic value %v lacks the invariant-violation prefix", r)
+		}
+		if !strings.Contains(msg, "boom") {
+			t.Fatalf("panic message %q lost the caller's text", msg)
+		}
+	}()
+	Assert(false, "boom")
+}
+
+func TestAssertfFormats(t *testing.T) {
+	defer func() {
+		r := recover()
+		msg, _ := r.(string)
+		if msg != "invariant violation: refs went to -1" {
+			t.Fatalf("Assertf produced %q", msg)
+		}
+	}()
+	Assertf(false, "refs went to %d", -1)
+}
+
+func TestTrueConditionIsSilent(t *testing.T) {
+	Assert(true, "never")
+	Assertf(true, "never %d", 0)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/docroot"
 	"repro/internal/httpwire"
+	"repro/internal/invariant"
 	"repro/internal/overload"
 )
 
@@ -394,7 +395,12 @@ func (s *Server) workerLoop(idx int) {
 			s.handleConn(h, buf, &out, hb)
 			s.track(h.conn, false)
 			s.connsOpen.Add(-1)
-			s.inflight.Add(-1)
+			left := s.inflight.Add(-1)
+			if invariant.Enabled {
+				// inflight spans accept to handler exit and is incremented
+				// strictly before the handoff, so it can never undershoot.
+				invariant.Assertf(left >= 0, "mtserver: inflight went negative (%d)", left)
+			}
 		case <-s.stopping:
 			return
 		}

@@ -28,6 +28,23 @@ type Event struct {
 	Hangup bool
 }
 
+// retryEINTR invokes op until it returns anything other than EINTR —
+// the one blessed pattern for interruptible syscalls in this codebase.
+// A signal that lands mid-syscall is not an event and not an error;
+// retrying here keeps every call site's error handling about real
+// conditions only. The syscallerr analyzer (internal/analysis)
+// whitelists closures passed to a function with this name, so raw
+// syscall sites either classify EINTR explicitly or live inside one of
+// these.
+func retryEINTR(op func() (int, error)) (int, error) {
+	for {
+		n, err := op()
+		if err != syscall.EINTR {
+			return n, err
+		}
+	}
+}
+
 // Poller wraps one epoll instance plus a wakeup pipe.
 type Poller struct {
 	epfd   int
@@ -35,6 +52,10 @@ type Poller struct {
 	wakeW  int
 	events []syscall.EpollEvent
 	closed bool
+	// reg shadows the kernel's interest set under -tags invariants (a
+	// zero-cost no-op otherwise) so the invariant layer can check it
+	// against the reactor's connection table.
+	reg regSet
 }
 
 // NewPoller creates an epoll instance sized for n simultaneous events per
@@ -52,7 +73,7 @@ func NewPoller(n int) (*Poller, error) {
 		syscall.Close(epfd)
 		return nil, fmt.Errorf("reactor: pipe2: %w", err)
 	}
-	p := &Poller{epfd: epfd, wakeR: pipeFDs[0], wakeW: pipeFDs[1], events: make([]syscall.EpollEvent, n)}
+	p := &Poller{epfd: epfd, wakeR: pipeFDs[0], wakeW: pipeFDs[1], events: make([]syscall.EpollEvent, n), reg: newRegSet()}
 	if err := p.Add(p.wakeR, true, false); err != nil {
 		p.Close()
 		return nil, err
@@ -77,6 +98,7 @@ func (p *Poller) Add(fd int, readable, writable bool) error {
 	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
 		return fmt.Errorf("reactor: epoll_ctl add fd %d: %w", fd, err)
 	}
+	p.reg.add(fd)
 	return nil
 }
 
@@ -94,37 +116,45 @@ func (p *Poller) Modify(fd int, readable, writable bool) error {
 // harmless (the kernel removed it automatically).
 func (p *Poller) Remove(fd int) {
 	_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+	p.reg.del(fd)
 }
+
+// HasInterest reports whether fd is in the poller's interest-set
+// shadow. Meaningful only under -tags invariants (always false
+// otherwise); it exists for the invariant layer's interest-set checks.
+func (p *Poller) HasInterest(fd int) bool { return p.reg.has(fd) }
+
+// InterestCount returns the size of the poller's interest-set shadow
+// (including the wakeup pipe). Meaningful only under -tags invariants
+// (always 0 otherwise).
+func (p *Poller) InterestCount() int { return p.reg.size() }
 
 // Wait blocks until at least one registered fd is ready, the timeout (in
 // ms, -1 = forever) elapses, or Wakeup is called. Wakeup drains
 // internally and produces no Event.
 func (p *Poller) Wait(timeoutMs int) ([]Event, error) {
-	for {
-		n, err := syscall.EpollWait(p.epfd, p.events, timeoutMs)
-		if err == syscall.EINTR {
+	n, err := retryEINTR(func() (int, error) {
+		return syscall.EpollWait(p.epfd, p.events, timeoutMs)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reactor: epoll_wait: %w", err)
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := p.events[i]
+		fd := int(ev.Fd)
+		if fd == p.wakeR {
+			p.drainWake()
 			continue
 		}
-		if err != nil {
-			return nil, fmt.Errorf("reactor: epoll_wait: %w", err)
-		}
-		out := make([]Event, 0, n)
-		for i := 0; i < n; i++ {
-			ev := p.events[i]
-			fd := int(ev.Fd)
-			if fd == p.wakeR {
-				p.drainWake()
-				continue
-			}
-			out = append(out, Event{
-				FD:       fd,
-				Readable: ev.Events&(syscall.EPOLLIN|syscall.EPOLLRDHUP) != 0,
-				Writable: ev.Events&syscall.EPOLLOUT != 0,
-				Hangup:   ev.Events&(syscall.EPOLLHUP|syscall.EPOLLERR) != 0,
-			})
-		}
-		return out, nil
+		out = append(out, Event{
+			FD:       fd,
+			Readable: ev.Events&(syscall.EPOLLIN|syscall.EPOLLRDHUP) != 0,
+			Writable: ev.Events&syscall.EPOLLOUT != 0,
+			Hangup:   ev.Events&(syscall.EPOLLHUP|syscall.EPOLLERR) != 0,
+		})
 	}
+	return out, nil
 }
 
 // Wakeup interrupts a concurrent Wait. Safe to call from any thread.
@@ -133,12 +163,21 @@ func (p *Poller) Wakeup() {
 	_, _ = syscall.Write(p.wakeW, b[:]) // EAGAIN means a wakeup is already pending
 }
 
+// drainWake empties the wakeup pipe. EAGAIN is the expected exit (the
+// pipe is non-blocking and has been drained); EINTR is retried so a
+// signal cannot leave stale wakeup bytes behind to spuriously interrupt
+// the next Wait.
 func (p *Poller) drainWake() {
 	var buf [64]byte
 	for {
-		n, err := syscall.Read(p.wakeR, buf[:])
-		if n <= 0 || err != nil {
-			return
+		n, err := retryEINTR(func() (int, error) {
+			return syscall.Read(p.wakeR, buf[:])
+		})
+		if err == syscall.EAGAIN {
+			return // drained
+		}
+		if err != nil || n == 0 {
+			return // pipe broken or closed; nothing left to drain
 		}
 	}
 }
@@ -194,7 +233,10 @@ func Listen(port, backlog int) (fd, boundPort int, err error) {
 // Accept accepts one pending connection from a non-blocking listener.
 // done reports EAGAIN (nothing pending).
 func Accept(lfd int) (fd int, done bool, err error) {
-	fd, _, err = syscall.Accept4(lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+	fd, err = retryEINTR(func() (int, error) {
+		nfd, _, err := syscall.Accept4(lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+		return nfd, err
+	})
 	switch err {
 	case nil:
 		// Disable Nagle: the servers write complete responses.
@@ -202,7 +244,7 @@ func Accept(lfd int) (fd int, done bool, err error) {
 		return fd, false, nil
 	case syscall.EAGAIN:
 		return -1, true, nil
-	case syscall.ECONNABORTED, syscall.EINTR:
+	case syscall.ECONNABORTED:
 		return -1, false, nil // transient; caller loops
 	default:
 		return -1, false, fmt.Errorf("reactor: accept4: %w", err)
@@ -210,13 +252,14 @@ func Accept(lfd int) (fd int, done bool, err error) {
 }
 
 // Read performs one non-blocking read. n == 0 with eof=true is a clean
-// peer close; again=true means no data available now.
+// peer close; again=true means no data available now. EINTR is retried
+// internally, so err never reports an interrupted syscall.
 func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
-	n, err = syscall.Read(fd, buf)
+	n, err = retryEINTR(func() (int, error) {
+		return syscall.Read(fd, buf)
+	})
 	switch {
 	case err == syscall.EAGAIN:
-		return 0, false, true, nil
-	case err == syscall.EINTR:
 		return 0, false, true, nil
 	case err != nil:
 		return 0, false, false, err
@@ -228,15 +271,17 @@ func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
 }
 
 // Write performs one non-blocking write; again=true means the socket
-// buffer is full (register write interest and come back later).
+// buffer is full (register write interest and come back later). EINTR
+// is retried internally rather than surfaced as a spurious again, so
+// write interest is never armed for a mere signal.
 func Write(fd int, buf []byte) (n int, again bool, err error) {
-	n, err = syscall.Write(fd, buf)
+	n, err = retryEINTR(func() (int, error) {
+		return syscall.Write(fd, buf)
+	})
 	switch err {
 	case nil:
 		return n, false, nil
 	case syscall.EAGAIN:
-		return 0, true, nil
-	case syscall.EINTR:
 		return 0, true, nil
 	default:
 		return 0, false, err
@@ -250,19 +295,19 @@ func Write(fd int, buf []byte) (n int, again bool, err error) {
 // socket buffer is full (register write interest and come back later).
 // Because off is explicit, srcFD's file position is never touched and
 // one shared descriptor can feed any number of concurrent responses.
+// An interrupted call reports no progress and is simply retried: *off
+// is untouched by a failing sendfile(2).
 func Sendfile(fd, srcFD int, off *int64, max int) (n int, again bool, err error) {
-	for {
-		n, err = syscall.Sendfile(fd, srcFD, off, max)
-		switch err {
-		case nil:
-			return n, false, nil
-		case syscall.EAGAIN:
-			return 0, true, nil
-		case syscall.EINTR:
-			continue
-		default:
-			return 0, false, fmt.Errorf("reactor: sendfile: %w", err)
-		}
+	n, err = retryEINTR(func() (int, error) {
+		return syscall.Sendfile(fd, srcFD, off, max)
+	})
+	switch err {
+	case nil:
+		return n, false, nil
+	case syscall.EAGAIN:
+		return 0, true, nil
+	default:
+		return 0, false, fmt.Errorf("reactor: sendfile: %w", err)
 	}
 }
 

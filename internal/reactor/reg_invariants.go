@@ -1,0 +1,15 @@
+//go:build linux && invariants
+
+package reactor
+
+// regSet shadows the kernel's epoll interest set when the invariant
+// layer is compiled in, so internal/invariant call sites can check the
+// reactor's connection table against what is actually registered. Each
+// Poller is owned by one thread, so the map needs no lock.
+type regSet struct{ m map[int]struct{} }
+
+func newRegSet() regSet          { return regSet{m: make(map[int]struct{})} }
+func (r regSet) add(fd int)      { r.m[fd] = struct{}{} }
+func (r regSet) del(fd int)      { delete(r.m, fd) }
+func (r regSet) has(fd int) bool { _, ok := r.m[fd]; return ok }
+func (r regSet) size() int       { return len(r.m) }

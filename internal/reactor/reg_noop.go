@@ -1,0 +1,14 @@
+//go:build linux && !invariants
+
+package reactor
+
+// regSet is the zero-size, zero-cost stand-in for the invariant
+// layer's interest-set shadow in default builds: every method is an
+// empty inlineable no-op.
+type regSet struct{}
+
+func newRegSet() regSet     { return regSet{} }
+func (regSet) add(int)      {}
+func (regSet) del(int)      {}
+func (regSet) has(int) bool { return false }
+func (regSet) size() int    { return 0 }
