@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench figures figures-fast demo-overload lint invariants verify clean
+.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo lint invariants verify clean
 
 all: build test
 
@@ -35,6 +35,11 @@ figures-fast:
 # stall watchdog (~15 s).
 demo-overload:
 	go run ./examples/overload
+
+# Live showcase of the observability plane: phase-latency decomposition
+# and per-connection trace of the nio server under load (~3 s).
+obs-demo:
+	go run ./examples/obs
 
 # Formatting, standard vet, and the custom analyzer suite (cmd/niovet):
 # syscallerr, fdlife, refbalance, statssync, nonblock.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/docroot"
+	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/surge"
 )
@@ -39,6 +40,8 @@ func main() {
 	targetP95 := flag.Duration("target-p95", 0, "adaptive overload control: shed accepts as needed to hold p95 first-response latency near this target (0 = disabled)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After advertised on adaptive sheds (rounded up to whole seconds)")
 	watchdog := flag.Duration("watchdog", 0, "flag reactor loops that stall longer than this (0 = disabled)")
+	admin := flag.String("admin", "", `admin introspection listener, e.g. "127.0.0.1:9090": serves /stats, /trace, and /debug/pprof/ and enables lifecycle tracing ("" = disabled)`)
+	traceRing := flag.Int("trace-ring", 1<<14, "trace ring capacity in events (rounded up to a power of two)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGINT")
 	flag.Parse()
 
@@ -85,9 +88,28 @@ func main() {
 		defer wd.Stop()
 		cfg.Watchdog = wd
 	}
+	var plane *obs.Plane
+	if *admin != "" {
+		if *traceRing <= 0 {
+			log.Fatalf("-trace-ring must be positive, got %d", *traceRing)
+		}
+		plane = obs.NewPlane(*traceRing)
+		cfg.Obs = plane
+	}
 	srv, err := core.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
+	}
+	if plane != nil {
+		ad, err := obs.NewAdmin(*admin, obs.AdminConfig{
+			Stats: func() []obs.Field { return core.StatsFields(srv.Stats()) },
+			Plane: plane,
+		})
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		defer ad.Close()
+		fmt.Printf("admin endpoint on http://%s (/stats /trace /debug/pprof/)\n", ad.Addr())
 	}
 	if err := srv.Start(); err != nil {
 		log.Fatalf("starting server: %v", err)

@@ -13,8 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/dist"
@@ -38,6 +42,8 @@ func main() {
 	recordN := flag.Int("record-sessions", 100, "sessions to record with -record")
 	replay := flag.String("replay", "", "replay sessions from this log (httperf --wsesslog)")
 	revalidate := flag.Float64("revalidate", 0, "fraction of repeat requests carrying If-None-Match (0..1; needs a docroot-backed server for 304s)")
+	adminAddr := flag.String("admin", "", `server admin endpoint to scrape mid-run, e.g. "127.0.0.1:9090" (matches the server's -admin flag; "" = no scraping)`)
+	adminEvery := flag.Duration("admin-every", 2*time.Second, "scrape interval for -admin")
 	flag.Parse()
 
 	scfg := surge.DefaultConfig()
@@ -82,6 +88,7 @@ func main() {
 	if *rate > 0 {
 		*clients = 0
 	}
+	stopScrape := startAdminScraper(*adminAddr, *adminEvery)
 	res, err := loadgen.Run(loadgen.Options{
 		Addr:               *addr,
 		Clients:            *clients,
@@ -97,8 +104,10 @@ func main() {
 		RevalidateFraction: *revalidate,
 	})
 	if err != nil {
+		stopScrape()
 		log.Fatalf("load run: %v", err)
 	}
+	stopScrape()
 	fmt.Printf("clients:            %d\n", res.Clients)
 	fmt.Printf("duration:           %v\n", res.Duration)
 	fmt.Printf("replies:            %d (%.1f/s)\n", res.Replies, res.RepliesPerSec)
@@ -115,5 +124,94 @@ func main() {
 	if res.Sheds > 0 || res.Retries > 0 {
 		fmt.Printf("503 sheds:          %d (%.1f/s), honored with %d backed-off retries\n",
 			res.Sheds, res.ShedsPerSec, res.Retries)
+	}
+	if *adminAddr != "" {
+		dumpAdminStats(*adminAddr)
+	}
+}
+
+// startAdminScraper launches a goroutine that periodically scrapes the
+// server's /stats admin endpoint and prints one compact line per scrape:
+// the per-phase p95s plus open connections, the mid-ramp decomposition of
+// the latency the client side measures as one number. Returns a stop
+// function (no-op when addr is empty).
+func startAdminScraper(addr string, every time.Duration) func() {
+	if addr == "" || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			vals, err := scrapeStats(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "admin scrape: %v\n", err)
+				continue
+			}
+			fmt.Printf("admin: open=%s p95 queue-wait=%ss parse=%ss handler=%ss write=%ss dropped=%s\n",
+				vals["trace.open"], vals["phase.queue_wait.p95"], vals["phase.parse.p95"],
+				vals["phase.handler.p95"], vals["phase.write.p95"], vals["trace.dropped"])
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// scrapeStats fetches and parses one /stats document into name → value
+// (values kept as strings; the format is "name value" per line).
+func scrapeStats(addr string) (map[string]string, error) {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[string]string)
+	for _, line := range strings.Split(string(body), "\n") {
+		if name, val, ok := strings.Cut(line, " "); ok {
+			vals[name] = val
+		}
+	}
+	return vals, nil
+}
+
+// dumpAdminStats prints the server's own final counters next to the
+// client-side measurements, with the phase quantiles rendered in a
+// readable block.
+func dumpAdminStats(addr string) {
+	vals, err := scrapeStats(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admin scrape: %v\n", err)
+		return
+	}
+	fmt.Printf("server stats (%s):\n", addr)
+	for _, f := range []string{"server.accepted", "server.replies", "server.shed", "trace.open", "trace.dropped"} {
+		if v, ok := vals[f]; ok {
+			fmt.Printf("  %-22s %s\n", f, v)
+		}
+	}
+	for _, ph := range []string{"queue_wait", "parse", "handler", "write"} {
+		count := vals["phase."+ph+".count"]
+		if count == "" {
+			continue
+		}
+		p50, _ := strconv.ParseFloat(vals["phase."+ph+".p50"], 64)
+		p95, _ := strconv.ParseFloat(vals["phase."+ph+".p95"], 64)
+		p99, _ := strconv.ParseFloat(vals["phase."+ph+".p99"], 64)
+		fmt.Printf("  phase %-11s count=%-9s p50=%.4fs p95=%.4fs p99=%.4fs\n", ph, count, p50, p95, p99)
 	}
 }

@@ -1,0 +1,112 @@
+// Obs: a live showcase of the observability plane — per-connection
+// lifecycle tracing, phase-latency histograms, and the admin
+// introspection endpoint — on the event-driven server under a short
+// burst of SURGE load.
+//
+//	go run ./examples/obs
+//
+// The demo starts the nio server with tracing enabled and its admin
+// endpoint bound, drives ~2 s of load, scrapes /stats mid-run to print
+// the live phase decomposition (where inside the server the latency
+// accrues: queue-wait vs parse vs handler vs write), then dumps the last
+// few trace-ring events for one connection — the "why was this request
+// slow?" answer external measurement cannot give.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/surge"
+)
+
+func main() {
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = 500
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plane := obs.NewPlane(1 << 14)
+	cfg := core.DefaultConfig(core.NewSurgeStore(set, scfg.MaxObjectBytes, 8))
+	cfg.Obs = plane
+	srv, err := core.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	admin, err := obs.NewAdmin("127.0.0.1:0", obs.AdminConfig{
+		Stats: func() []obs.Field { return core.StatsFields(srv.Stats()) },
+		Plane: plane,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+	fmt.Printf("nio server on %s, admin on http://%s\n\n", srv.Addr(), admin.Addr())
+
+	// Scrape mid-run, the way `wload -admin` does during a ramp.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			time.Sleep(500 * time.Millisecond)
+			fmt.Printf("t+%0.1fs live phase p95s:\n", float64(i+1)*0.5)
+			dump(admin.Addr(), "/stats", "phase.")
+		}
+	}()
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:       srv.Addr(),
+		Clients:    16,
+		Warmup:     200 * time.Millisecond,
+		Duration:   1800 * time.Millisecond,
+		Timeout:    5 * time.Second,
+		ThinkScale: 0.01,
+		Seed:       42,
+		Workload:   scfg,
+		Objects:    set,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	fmt.Printf("\nclient view: %d replies (%.0f/s), p95 %.4fs — one number\n",
+		res.Replies, res.RepliesPerSec, res.P95ResponseSec)
+	fmt.Println("server view (/stats): that p95, decomposed by phase —")
+	dump(admin.Addr(), "/stats", "phase.")
+	fmt.Println("\ntrace ring: one connection's lifecycle (/trace?conn=1) —")
+	dump(admin.Addr(), "/trace?conn=1", "")
+	fmt.Println("\ncounters (/stats):")
+	dump(admin.Addr(), "/stats", "trace.")
+}
+
+// dump fetches an admin path and prints the lines matching prefix
+// (every line when prefix is empty), indented.
+func dump(addr, path, prefix string) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if prefix == "" || strings.HasPrefix(line, prefix) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/docroot"
+	"repro/internal/obs"
 )
 
 // docrootServer starts an event-driven server over a fresh docroot
@@ -160,7 +161,12 @@ func TestDocrootHeadOmitsBodyKeepsValidators(t *testing.T) {
 // BenchmarkDocrootDelivery compares the two delivery paths for a large
 // object through the full server: buffered (body cached in memory,
 // written with write(2)) vs zero-copy (fd-only cache entry driven by
-// non-blocking sendfile(2) from the reactor loop).
+// non-blocking sendfile(2) from the reactor loop). The traced variants
+// repeat each path with the observability plane enabled — comparing
+// them against the plain runs is how the plane's "within 5% when
+// enabled, free when disabled" budget is checked:
+//
+//	go test -bench BenchmarkDocrootDelivery -count 10 ./internal/core | benchstat
 func BenchmarkDocrootDelivery(b *testing.B) {
 	const size = 2 << 20
 	body := make([]byte, size)
@@ -170,9 +176,12 @@ func BenchmarkDocrootDelivery(b *testing.B) {
 	for _, mode := range []struct {
 		name     string
 		memLimit int64
+		traced   bool
 	}{
-		{"buffered", size}, // body fits the memory cache → write(2) path
-		{"sendfile", 0},    // fd-only → sendfile(2) path
+		{"buffered", size, false}, // body fits the memory cache → write(2) path
+		{"sendfile", 0, false},    // fd-only → sendfile(2) path
+		{"buffered-traced", size, true},
+		{"sendfile-traced", 0, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			dir := b.TempDir()
@@ -187,6 +196,9 @@ func BenchmarkDocrootDelivery(b *testing.B) {
 			}
 			cfg := DefaultConfig(nil)
 			cfg.Docroot = root
+			if mode.traced {
+				cfg.Obs = obs.NewPlane(1 << 12)
+			}
 			s, err := NewServer(cfg)
 			if err != nil {
 				b.Fatal(err)

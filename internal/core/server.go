@@ -12,6 +12,7 @@ import (
 	"repro/internal/docroot"
 	"repro/internal/httpwire"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/reactor"
 )
@@ -73,6 +74,13 @@ type Config struct {
 	// (see Fault) — the hook the robustness tests drive panics and
 	// wedges through. nil in production.
 	HandlerFault FaultFunc
+	// Obs, when non-nil, is the live observability plane: every
+	// connection's lifecycle (accept, queue-wait, parse, handler,
+	// first-byte, write, close/shed/panic) is traced into its ring and
+	// the four phase latencies feed its histograms, all read live by the
+	// admin endpoint. Every recording site is behind this nil check, so
+	// a nil Obs costs nothing on the hot path.
+	Obs *obs.Plane
 }
 
 // DefaultConfig returns the paper's best uniprocessor configuration.
@@ -354,6 +362,9 @@ func (s *Server) acceptLoop() {
 			// told when to come back.
 			if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
 				s.shed.add(1)
+				if pl := s.cfg.Obs; pl != nil {
+					pl.Record(0, obs.Shed, 0)
+				}
 				shedConn(fd, ac.RetryAfterSeconds())
 				continue
 			}
@@ -362,6 +373,9 @@ func (s *Server) acceptLoop() {
 			// thread, so the cap cannot be raced past.
 			if mc := s.cfg.MaxConns; mc > 0 && s.connsOpen.get() >= int64(mc) {
 				s.shed.add(1)
+				if pl := s.cfg.Obs; pl != nil {
+					pl.Record(0, obs.Shed, 0)
+				}
 				shedConn(fd, shedRetryAfterSec)
 				continue
 			}
@@ -434,6 +448,16 @@ type conn struct {
 	// partial remains. The header sweeper (armed when
 	// Config.HeaderTimeout > 0) resets connections that exceed it.
 	headerStart time.Time
+	// Observability-plane state, only maintained when Config.Obs is set:
+	// the plane-assigned connection id, the first-byte-of-request and
+	// handler-start stamps the phase clocks run from, the serve-complete
+	// stamp the write phase closes against, and whether the first
+	// response byte has been traced.
+	obsID        uint64
+	reqStart     time.Time
+	handlerStart time.Time
+	serveDone    time.Time
+	firstByte    bool
 }
 
 // worker is one reactor thread.
@@ -621,6 +645,9 @@ func (w *worker) shutdown() {
 	for _, c := range w.conns {
 		reactor.CloseFD(c.fd)
 		w.srv.connsOpen.add(-1)
+		if pl := w.srv.cfg.Obs; pl != nil && c.obsID != 0 {
+			pl.Record(c.obsID, obs.Close, 0)
+		}
 		releaseOut(c)
 	}
 	w.conns = nil
@@ -656,6 +683,14 @@ func (w *worker) drainInbox() {
 				continue
 			}
 			w.conns[p.fd] = c
+			if pl := w.srv.cfg.Obs; pl != nil {
+				// Queue-wait on the reactor is the inbox ride from the
+				// acceptor to this worker — the lag an overloaded event
+				// loop accrues before a connection is even registered.
+				c.obsID = pl.NextConnID()
+				pl.Record(c.obsID, obs.Accept, 0)
+				pl.Record(c.obsID, obs.QueueWait, now.Sub(p.at))
+			}
 		default:
 			return
 		}
@@ -664,6 +699,7 @@ func (w *worker) drainInbox() {
 
 // readable drains the socket and serves every parsed request.
 func (w *worker) readable(c *conn) {
+	pl := w.srv.cfg.Obs
 	c.lastActive = time.Now()
 	for {
 		n, eof, again, err := reactor.Read(c.fd, w.buf)
@@ -674,14 +710,38 @@ func (w *worker) readable(c *conn) {
 		if again {
 			break
 		}
+		if pl != nil && n > 0 && c.reqStart.IsZero() {
+			c.reqStart = time.Now()
+			pl.Record(c.obsID, obs.HeaderRead, 0)
+		}
 		w.reqs = w.reqs[:0]
 		reqs, perr := c.parser.Feed(w.reqs, w.buf[:n])
 		w.reqs = reqs
 		panicked := false
 		for _, req := range reqs {
+			if pl != nil {
+				now := time.Now()
+				pl.Record(c.obsID, obs.Parse, now.Sub(c.reqStart))
+				// Pipelined followers in the same batch parse from here,
+				// so their parse phase reflects only their own cost.
+				c.reqStart = now
+				c.handlerStart = now
+			}
 			if !w.serveSafe(c, req) {
 				panicked = true
+				if pl != nil {
+					pl.Record(c.obsID, obs.Panic, 0)
+				}
 				break
+			}
+			if pl != nil {
+				// Recorded after serve bumps Stats.Replies, so at any
+				// instant the handler-phase count never exceeds replies —
+				// the internal-consistency contract the admin scrapers
+				// assert under load.
+				now := time.Now()
+				pl.Record(c.obsID, obs.Handler, now.Sub(c.handlerStart))
+				c.serveDone = now
 			}
 		}
 		if panicked {
@@ -705,6 +765,7 @@ func (w *worker) readable(c *conn) {
 		}
 	} else {
 		c.headerStart = time.Time{}
+		c.reqStart = time.Time{}
 	}
 	w.flush(c)
 }
@@ -844,6 +905,7 @@ func (w *worker) flush(c *conn) {
 	if invariant.Enabled {
 		invariant.Assertf(!c.closed, "core: flush on closed conn fd %d", c.fd)
 	}
+	pl := w.srv.cfg.Obs
 	for len(c.out) > 0 {
 		seg := &c.out[0]
 		if seg.ent != nil {
@@ -858,6 +920,10 @@ func (w *worker) flush(c *conn) {
 			}
 			w.srv.bytesOut.add(int64(n))
 			w.srv.sendfileBytes.add(int64(n))
+			if pl != nil && n > 0 && !c.firstByte {
+				c.firstByte = true
+				pl.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
+			}
 			if seg.off >= seg.end {
 				seg.ent.Release()
 				c.out[0] = outSeg{}
@@ -877,6 +943,10 @@ func (w *worker) flush(c *conn) {
 			return
 		}
 		w.srv.bytesOut.add(int64(n))
+		if pl != nil && n > 0 && !c.firstByte {
+			c.firstByte = true
+			pl.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
+		}
 		if n == len(head) {
 			c.out[0] = outSeg{}
 			c.out = c.out[1:]
@@ -890,6 +960,13 @@ func (w *worker) flush(c *conn) {
 		}
 	}
 	// Drained.
+	if pl != nil && !c.serveDone.IsZero() {
+		// The write phase closes when the queue drains: for pipelined
+		// batches this is one record per batch, clocked from the last
+		// serve — the honest cost of pushing the batch out the socket.
+		pl.Record(c.obsID, obs.WriteComplete, time.Since(c.serveDone))
+		c.serveDone = time.Time{}
+	}
 	w.observeFirst(c)
 	if c.closing {
 		w.closeConn(c)
@@ -963,6 +1040,9 @@ func (w *worker) resetConn(c *conn) {
 	w.poller.Remove(c.fd)
 	reactor.CloseWithReset(c.fd)
 	c.closed = true
+	if pl := w.srv.cfg.Obs; pl != nil && c.obsID != 0 {
+		pl.Record(c.obsID, obs.Close, 0)
+	}
 	w.uncount()
 	releaseOut(c)
 }
@@ -975,6 +1055,9 @@ func (w *worker) closeConn(c *conn) {
 	w.poller.Remove(c.fd)
 	reactor.CloseFD(c.fd)
 	c.closed = true
+	if pl := w.srv.cfg.Obs; pl != nil && c.obsID != 0 {
+		pl.Record(c.obsID, obs.Close, 0)
+	}
 	w.uncount()
 	releaseOut(c)
 }
@@ -985,6 +1068,26 @@ func (w *worker) uncount() {
 	if invariant.Enabled {
 		invariant.Assertf(w.srv.connsOpen.get() >= 0,
 			"core: connsOpen went negative (%d)", w.srv.connsOpen.get())
+	}
+}
+
+// StatsFields renders a Stats snapshot in the admin endpoint's stable
+// field order. The order is part of the /stats text contract (see the
+// golden-file tests); append new counters at the end.
+func StatsFields(st Stats) []obs.Field {
+	return []obs.Field{
+		{Name: "accepted", Value: st.Accepted},
+		{Name: "replies", Value: st.Replies},
+		{Name: "bytes_out", Value: st.BytesOut},
+		{Name: "not_found", Value: st.NotFound},
+		{Name: "bad_request", Value: st.BadRequest},
+		{Name: "conns_open", Value: st.ConnsOpen},
+		{Name: "idle_closes", Value: st.IdleCloses},
+		{Name: "shed", Value: st.Shed},
+		{Name: "header_timeouts", Value: st.HeaderTimeouts},
+		{Name: "not_modified", Value: st.NotModified},
+		{Name: "sendfile_bytes", Value: st.SendfileBytes},
+		{Name: "handler_panics", Value: st.HandlerPanics},
 	}
 }
 

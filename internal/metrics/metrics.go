@@ -180,6 +180,113 @@ func (h *Histogram) Snapshot() Snapshot {
 	}
 }
 
+// Dist is a point-in-time copy of a histogram's full bucket state —
+// unlike Snapshot, which keeps only fixed summary quantiles, a Dist can
+// answer any quantile later and can be merged with other Dists taken
+// from histograms with the same layout (the admin plane merges per-phase
+// snapshots this way). The copy is taken bucket by bucket while
+// recording continues, so a Dist is consistent per bucket, not across
+// buckets; totals are derived from the copied buckets so Count, Mean,
+// and Quantile always agree with each other.
+type Dist struct {
+	Min, Max  float64
+	PerDecade int
+	Counts    []int64
+	Under     int64
+	Over      int64
+	SumMicros int64
+}
+
+// Dist captures the histogram's current bucket state.
+func (h *Histogram) Dist() Dist {
+	d := Dist{
+		Min:       h.min,
+		Max:       h.max,
+		PerDecade: h.perDecade,
+		Counts:    make([]int64, len(h.counts)),
+		Under:     h.under.Load(),
+		Over:      h.over.Load(),
+		SumMicros: h.sum.Load(),
+	}
+	for i := range h.counts {
+		d.Counts[i] = h.counts[i].Load()
+	}
+	return d
+}
+
+// Count returns the number of samples in the captured buckets.
+func (d Dist) Count() int64 {
+	n := d.Under + d.Over
+	for _, c := range d.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the arithmetic mean of the captured samples, or 0 when
+// empty.
+func (d Dist) Mean() float64 {
+	n := d.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.SumMicros) / 1e6 / float64(n)
+}
+
+// Quantile estimates the q-quantile from the captured buckets using the
+// same geometric-midpoint rule as Histogram.Quantile.
+func (d Dist) Quantile(q float64) float64 {
+	n := d.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	factor := math.Ln10 / float64(d.PerDecade)
+	target := int64(q * float64(n))
+	acc := d.Under
+	if acc > target {
+		return d.Min
+	}
+	for i, c := range d.Counts {
+		acc += c
+		if acc > target {
+			lo := d.Min * math.Exp(float64(i)*factor)
+			hi := d.Min * math.Exp(float64(i+1)*factor)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return d.Max
+}
+
+// Merge returns the distribution of the union of the two sample sets.
+// Both Dists must come from histograms with identical layouts; a
+// mismatch is a programming error and panics, matching NewHistogram's
+// contract.
+func (d Dist) Merge(o Dist) Dist {
+	if d.Min != o.Min || d.Max != o.Max || d.PerDecade != o.PerDecade || len(d.Counts) != len(o.Counts) {
+		panic(fmt.Sprintf("metrics: merging mismatched Dist layouts (%v,%v,%d,%d) vs (%v,%v,%d,%d)",
+			d.Min, d.Max, d.PerDecade, len(d.Counts), o.Min, o.Max, o.PerDecade, len(o.Counts)))
+	}
+	out := Dist{
+		Min:       d.Min,
+		Max:       d.Max,
+		PerDecade: d.PerDecade,
+		Counts:    make([]int64, len(d.Counts)),
+		Under:     d.Under + o.Under,
+		Over:      d.Over + o.Over,
+		SumMicros: d.SumMicros + o.SumMicros,
+	}
+	for i := range out.Counts {
+		out.Counts[i] = d.Counts[i] + o.Counts[i]
+	}
+	return out
+}
+
 // Meter converts a counter into a rate over an explicit observation
 // window; the simulator and the live harness both use it to report
 // replies/s and errors/s exactly the way httperf does (events divided by

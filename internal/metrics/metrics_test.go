@@ -238,6 +238,129 @@ func TestQuickMeanWithinRange(t *testing.T) {
 	}
 }
 
+// distFromSamples builds a histogram from raw quick-generated samples
+// and captures its Dist. The mapping keeps most samples in-range while
+// still exercising the under/over buckets.
+func distFromSamples(raw []uint32) Dist {
+	h := NewLatencyHistogram()
+	for _, v := range raw {
+		h.Observe(float64(v%2000000)/1000 + 0.0001)
+	}
+	return h.Dist()
+}
+
+// Property: a Dist answers exactly what its source histogram answers —
+// the snapshot loses nothing.
+func TestQuickDistMatchesHistogram(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewLatencyHistogram()
+		for _, v := range raw {
+			h.Observe(float64(v%2000000)/1000 + 0.0001)
+		}
+		d := h.Dist()
+		if d.Count() != h.Count() || math.Abs(d.Mean()-h.Mean()) > 1e-9 {
+			return false
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if d.Quantile(q) != h.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist merge is commutative — the admin plane may merge
+// per-phase snapshots in any order.
+func TestQuickDistMergeCommutative(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		da, db := distFromSamples(a), distFromSamples(b)
+		ab, ba := da.Merge(db), db.Merge(da)
+		if ab.Count() != ba.Count() || ab.Under != ba.Under || ab.Over != ba.Over ||
+			ab.SumMicros != ba.SumMicros {
+			return false
+		}
+		for i := range ab.Counts {
+			if ab.Counts[i] != ba.Counts[i] {
+				return false
+			}
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if ab.Quantile(q) != ba.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging equals pooling — the Dist of all samples observed
+// into one histogram matches the merge of the two halves' Dists.
+func TestQuickDistMergeEqualsPooled(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		merged := distFromSamples(a).Merge(distFromSamples(b))
+		pooled := distFromSamples(append(append([]uint32{}, a...), b...))
+		if merged.Count() != pooled.Count() || merged.SumMicros != pooled.SumMicros {
+			return false
+		}
+		for i := range merged.Counts {
+			if merged.Counts[i] != pooled.Counts[i] {
+				return false
+			}
+		}
+		return merged.Under == pooled.Under && merged.Over == pooled.Over
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched layouts should panic")
+		}
+	}()
+	_ = NewLatencyHistogram().Dist().Merge(NewHistogram(0.01, 10, 5).Dist())
+}
+
+// Property: a Counter never goes backwards, whatever delta sequence a
+// caller throws at it — negative deltas are rejected, not applied.
+func TestQuickCounterMonotone(t *testing.T) {
+	f := func(deltas []int64) bool {
+		var c Counter
+		prev := int64(0)
+		for _, raw := range deltas {
+			// Bound the magnitude so the expected sum cannot overflow;
+			// the sign distribution is what the property is about.
+			d := raw % 100000
+			c.Add(d)
+			cur := c.Value()
+			if cur < prev {
+				return false
+			}
+			want := prev
+			if d > 0 {
+				want += d
+			}
+			if cur != want {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkHistogramObserve(b *testing.B) {
 	h := NewLatencyHistogram()
 	for i := 0; i < b.N; i++ {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/docroot"
 	"repro/internal/httpwire"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/overload"
 )
 
@@ -71,6 +72,14 @@ type Config struct {
 	// (see core.Fault) — the hook the robustness tests drive panics and
 	// wedges through. nil in production.
 	HandlerFault core.FaultFunc
+	// Obs, when non-nil, is the live observability plane: connection
+	// lifecycles are traced into its ring and the phase latencies feed
+	// its histograms, read live by the admin endpoint. On this
+	// architecture the handler phase includes the blocking response
+	// write — that IS the pool thread's occupancy — while the write
+	// phase isolates each write(2)/sendfile(2) call. Every recording
+	// site is behind this nil check; nil costs nothing.
+	Obs *obs.Plane
 }
 
 // DefaultConfig returns the paper's best configuration (scaled pool).
@@ -206,10 +215,18 @@ type handoffConn struct {
 
 // connState is per-connection bookkeeping threaded through the serve
 // path: whether the accept-to-first-response latency has been reported
-// to the admission controller yet.
+// to the admission controller yet, plus the observability-plane state
+// (only maintained when Config.Obs is set).
 type connState struct {
 	acceptedAt time.Time
 	observed   bool
+	// id is the plane-assigned connection id; reqStart and handlerStart
+	// are the phase clocks; firstByte flips once the first response
+	// byte has been traced.
+	id           uint64
+	reqStart     time.Time
+	handlerStart time.Time
+	firstByte    bool
 }
 
 // Addr returns the listen address.
@@ -324,6 +341,9 @@ func (s *Server) acceptLoop() {
 		// to come back.
 		if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
 			s.shed.Add(1)
+			if pl := s.cfg.Obs; pl != nil {
+				pl.Record(0, obs.Shed, 0)
+			}
 			shedConn(conn, ac.RetryAfterSeconds())
 			continue
 		}
@@ -333,6 +353,9 @@ func (s *Server) acceptLoop() {
 		// instead of an unbounded accept pile-up.
 		if mc := s.cfg.MaxConns; mc > 0 && s.inflight.Load() >= int64(mc) {
 			s.shed.Add(1)
+			if pl := s.cfg.Obs; pl != nil {
+				pl.Record(0, obs.Shed, 0)
+			}
 			shedConn(conn, shedRetryAfterSec)
 			continue
 		}
@@ -413,6 +436,17 @@ func (s *Server) workerLoop(idx int) {
 func (s *Server) handleConn(h handoffConn, buf []byte, out *[]byte, hb *overload.Heartbeat) {
 	conn := h.conn
 	cs := &connState{acceptedAt: h.at}
+	pl := s.cfg.Obs
+	if pl != nil {
+		// Queue-wait on the pool is the handoff ride: the wait for a
+		// free thread that dominates first-response latency once the
+		// pool saturates — invisible to external measurement, front and
+		// center here.
+		cs.id = pl.NextConnID()
+		pl.Record(cs.id, obs.Accept, 0)
+		pl.Record(cs.id, obs.QueueWait, time.Since(h.at))
+		defer pl.Record(cs.id, obs.Close, 0)
+	}
 	defer conn.Close()
 	var parser httpwire.Parser
 	reqs := make([]*httpwire.Request, 0, 4)
@@ -457,9 +491,20 @@ func (s *Server) handleConn(h handoffConn, buf []byte, out *[]byte, hb *overload
 			}
 			return
 		}
+		if pl != nil && cs.reqStart.IsZero() {
+			cs.reqStart = time.Now()
+			pl.Record(cs.id, obs.HeaderRead, 0)
+		}
 		var perr error
 		reqs, perr = parser.Feed(reqs[:0], buf[:n])
 		for _, req := range reqs {
+			if pl != nil {
+				now := time.Now()
+				pl.Record(cs.id, obs.Parse, now.Sub(cs.reqStart))
+				// Pipelined followers in the same batch parse from here.
+				cs.reqStart = now
+				cs.handlerStart = now
+			}
 			// The heartbeat span brackets handler work only: keep-alive
 			// reads between requests are legitimate parks, not stalls.
 			if hb != nil {
@@ -473,18 +518,30 @@ func (s *Server) handleConn(h handoffConn, buf []byte, out *[]byte, hb *overload
 				// Panic isolation: this connection gets a best-effort
 				// 500 and closes; the thread returns to the pool intact.
 				s.handlerPanics.Add(1)
+				if pl != nil {
+					pl.Record(cs.id, obs.Panic, 0)
+				}
 				_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
 				_, _ = conn.Write(httpwire.AppendResponseHeader(nil, 500, "text/plain", 0, false))
 				return
+			}
+			if pl != nil {
+				// Recorded after serve bumps Stats.Replies (and includes
+				// the blocking write — this thread's real occupancy), so
+				// the handler-phase count never exceeds replies.
+				pl.Record(cs.id, obs.Handler, time.Since(cs.handlerStart))
 			}
 			if !alive {
 				return
 			}
 		}
+		if pl != nil && !parser.Pending() {
+			cs.reqStart = time.Time{}
+		}
 		if perr != nil {
 			s.badRequest.Add(1)
 			*out = httpwire.AppendResponseHeader((*out)[:0], 400, "text/plain", 0, false)
-			s.write(conn, *out)
+			s.write(conn, *out, cs)
 			return
 		}
 	}
@@ -561,7 +618,7 @@ func (s *Server) serve(conn net.Conn, req *httpwire.Request, out *[]byte, cs *co
 			}
 		}
 	}
-	if !s.write(conn, *out) {
+	if !s.write(conn, *out, cs) {
 		return false
 	}
 	s.replies.Add(1)
@@ -598,15 +655,22 @@ func (s *Server) serveDocroot(conn net.Conn, req *httpwire.Request, out *[]byte,
 		return s.finish(conn, *out, req.KeepAlive, cs)
 	}
 	// Zero-copy path: header, then the file range straight from the fd.
-	if !s.write(conn, *out) {
+	if !s.write(conn, *out, cs) {
 		return false
 	}
 	if err := conn.SetWriteDeadline(s.ioDeadline()); err != nil {
 		return false
 	}
+	t0 := time.Now()
 	n, err := docroot.SendfileTo(conn, ent)
 	s.bytesOut.Add(n)
 	s.sendfileBytes.Add(n)
+	if pl := s.cfg.Obs; pl != nil && n > 0 {
+		// The header write above already traced FirstByte; the sendfile
+		// park is its own write-phase sample — the blocking counterpart
+		// of the reactor's resumable sendfile state machine.
+		pl.Record(cs.id, obs.WriteComplete, time.Since(t0))
+	}
 	if err != nil {
 		return false
 	}
@@ -617,7 +681,7 @@ func (s *Server) serveDocroot(conn net.Conn, req *httpwire.Request, out *[]byte,
 
 // finish writes a fully assembled response and counts the reply.
 func (s *Server) finish(conn net.Conn, data []byte, keepAlive bool, cs *connState) bool {
-	if !s.write(conn, data) {
+	if !s.write(conn, data, cs) {
 		return false
 	}
 	s.replies.Add(1)
@@ -638,11 +702,41 @@ func (s *Server) ioDeadline() time.Time {
 // write performs the blocking write of a complete response — the
 // architectural signature of the multithreaded server: nothing else
 // happens on this thread until the whole response is in the socket.
-func (s *Server) write(conn net.Conn, data []byte) bool {
+func (s *Server) write(conn net.Conn, data []byte, cs *connState) bool {
 	if err := conn.SetWriteDeadline(s.ioDeadline()); err != nil {
 		return false
 	}
+	pl := s.cfg.Obs
+	var t0 time.Time
+	if pl != nil {
+		t0 = time.Now()
+	}
 	n, err := conn.Write(data)
 	s.bytesOut.Add(int64(n))
+	if pl != nil && n > 0 {
+		if !cs.firstByte {
+			cs.firstByte = true
+			pl.Record(cs.id, obs.FirstByte, time.Since(cs.acceptedAt))
+		}
+		pl.Record(cs.id, obs.WriteComplete, time.Since(t0))
+	}
 	return err == nil
+}
+
+// StatsFields renders a Stats snapshot as the admin plane's ordered
+// field list — the field order here is the /stats wire contract for
+// this server (see the golden-file tests in internal/obs).
+func StatsFields(st Stats) []obs.Field {
+	return []obs.Field{
+		{Name: "accepted", Value: st.Accepted},
+		{Name: "replies", Value: st.Replies},
+		{Name: "bytes_out", Value: st.BytesOut},
+		{Name: "idle_closes", Value: st.IdleCloses},
+		{Name: "bad_request", Value: st.BadRequest},
+		{Name: "conns_open", Value: st.ConnsOpen},
+		{Name: "shed", Value: st.Shed},
+		{Name: "not_modified", Value: st.NotModified},
+		{Name: "sendfile_bytes", Value: st.SendfileBytes},
+		{Name: "handler_panics", Value: st.HandlerPanics},
+	}
 }

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// This file is the admin introspection endpoint: a separate listener
+// (never the data-plane port) serving plain-text /stats and /trace plus
+// the stdlib pprof handlers. The admin plane is read-only and cold, so
+// it rides on net/http; only the data plane speaks internal/httpwire.
+
+// Field is one named server counter or gauge, rendered in the order
+// given — /stats output is a stable, diffable text format, so field
+// order is part of the contract (see the golden-file tests).
+type Field struct {
+	Name  string
+	Value int64
+}
+
+// AdminConfig wires an Admin to one server.
+type AdminConfig struct {
+	// Stats returns the server's counters in render order. Required.
+	Stats func() []Field
+	// Plane supplies the trace ring and phase histograms; nil serves
+	// /stats without phase or trace sections.
+	Plane *Plane
+}
+
+// Admin is the introspection endpoint for one server.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewAdmin binds addr (e.g. "127.0.0.1:0") and starts serving /stats,
+// /trace, and /debug/pprof/ on it. Close releases the listener.
+func NewAdmin(addr string, cfg AdminConfig) (*Admin, error) {
+	if cfg.Stats == nil {
+		return nil, fmt.Errorf("obs: AdminConfig.Stats is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderStats(w, cfg.Stats(), cfg.Plane)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		f, err := ParseTraceFilter(r.URL.RawQuery)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderTrace(w, cfg.Plane, f)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound admin address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin endpoint immediately.
+func (a *Admin) Close() { a.srv.Close() }
+
+// phaseOrder fixes the phase section's rendering order.
+var phaseOrder = []struct {
+	name string
+	get  func(*Phases) *metrics.Histogram
+}{
+	{"queue_wait", func(p *Phases) *metrics.Histogram { return p.QueueWait }},
+	{"parse", func(p *Phases) *metrics.Histogram { return p.Parse }},
+	{"handler", func(p *Phases) *metrics.Histogram { return p.Handler }},
+	{"write", func(p *Phases) *metrics.Histogram { return p.Write }},
+}
+
+// RenderStats writes the plain-text /stats document: server fields
+// first, then the per-phase latency summaries, then the trace-plane
+// counters. One "name value" pair per line, fixed order, durations in
+// seconds with microsecond precision — stable enough to diff, simple
+// enough to scrape with a split.
+func RenderStats(w io.Writer, fields []Field, pl *Plane) {
+	for _, f := range fields {
+		fmt.Fprintf(w, "server.%s %d\n", f.Name, f.Value)
+	}
+	if pl == nil {
+		return
+	}
+	for _, ph := range phaseOrder {
+		// Dist is a consistent point-in-time copy: every quantile below
+		// comes from the same bucket state even while recording continues.
+		d := ph.get(pl.phases).Dist()
+		fmt.Fprintf(w, "phase.%s.count %d\n", ph.name, d.Count())
+		fmt.Fprintf(w, "phase.%s.mean %.6f\n", ph.name, d.Mean())
+		fmt.Fprintf(w, "phase.%s.p50 %.6f\n", ph.name, d.Quantile(0.50))
+		fmt.Fprintf(w, "phase.%s.p95 %.6f\n", ph.name, d.Quantile(0.95))
+		fmt.Fprintf(w, "phase.%s.p99 %.6f\n", ph.name, d.Quantile(0.99))
+	}
+	// trace.open before the per-kind counters: it is derived Close-first
+	// (see OpenConns), so it is non-negative on its own, and rendering it
+	// first keeps "gauge then counters" reading order.
+	fmt.Fprintf(w, "trace.open %d\n", pl.OpenConns())
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		fmt.Fprintf(w, "trace.%s %d\n", statsName(k), pl.Count(k))
+	}
+	fmt.Fprintf(w, "trace.events %d\n", pl.ring.Len())
+	fmt.Fprintf(w, "trace.dropped %d\n", pl.ring.Dropped())
+}
+
+// statsName converts a Kind's display name to a stats field name
+// ("header-read" -> "header_read").
+func statsName(k Kind) string {
+	b := []byte(k.String())
+	for i, c := range b {
+		if c == '-' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// RenderTrace writes the filtered ring dump, one line per event,
+// oldest first.
+func RenderTrace(w io.Writer, pl *Plane, f Filter) {
+	if pl == nil {
+		fmt.Fprintln(w, "(tracing disabled)")
+		return
+	}
+	evs := f.Apply(pl.ring.Events())
+	for _, ev := range evs {
+		fmt.Fprintf(w, "%12.6f  conn=%-8d %-14s", ev.At.Seconds(), ev.Conn, ev.Kind)
+		if ev.Value != 0 {
+			fmt.Fprintf(w, " %.6fs", ev.Value.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+	if d := pl.ring.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d earlier events evicted)\n", d)
+	}
+}

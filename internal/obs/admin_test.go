@@ -1,0 +1,146 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mtserver"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// seedPlane records one fixed connection lifecycle (plus one shed) so
+// /stats renders deterministic phase and trace sections.
+func seedPlane() *obs.Plane {
+	pl := obs.NewPlane(64)
+	id := pl.NextConnID()
+	pl.Record(id, obs.Accept, 0)
+	pl.Record(id, obs.QueueWait, 100*time.Microsecond)
+	pl.Record(id, obs.HeaderRead, 0)
+	pl.Record(id, obs.Parse, 50*time.Microsecond)
+	pl.Record(id, obs.Handler, 2*time.Millisecond)
+	pl.Record(id, obs.FirstByte, 3*time.Millisecond)
+	pl.Record(id, obs.WriteComplete, 400*time.Microsecond)
+	pl.Record(id, obs.Close, 0)
+	pl.Record(0, obs.Shed, 0)
+	return pl
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// The /stats text is a wire contract scraped by wload and EXPERIMENTS.md
+// recipes: field names, order, and formatting are pinned by golden files,
+// one per server (their counter sections differ).
+func TestRenderStatsGoldenCore(t *testing.T) {
+	fields := core.StatsFields(core.Stats{
+		Accepted: 12, Replies: 11, BytesOut: 34567, NotFound: 2, BadRequest: 1,
+		ConnsOpen: 3, IdleCloses: 4, Shed: 1, HeaderTimeouts: 1,
+		NotModified: 5, SendfileBytes: 1024, HandlerPanics: 1,
+	})
+	var b bytes.Buffer
+	obs.RenderStats(&b, fields, seedPlane())
+	checkGolden(t, "stats_core.golden", b.Bytes())
+}
+
+func TestRenderStatsGoldenMt(t *testing.T) {
+	fields := mtserver.StatsFields(mtserver.Stats{
+		Accepted: 22, Replies: 21, BytesOut: 7890, IdleCloses: 6, BadRequest: 2,
+		ConnsOpen: 4, Shed: 3, NotModified: 7, SendfileBytes: 2048, HandlerPanics: 2,
+	})
+	var b bytes.Buffer
+	obs.RenderStats(&b, fields, seedPlane())
+	checkGolden(t, "stats_mt.golden", b.Bytes())
+}
+
+func TestRenderStatsNilPlane(t *testing.T) {
+	var b bytes.Buffer
+	obs.RenderStats(&b, []obs.Field{{Name: "accepted", Value: 1}}, nil)
+	if got := b.String(); got != "server.accepted 1\n" {
+		t.Fatalf("nil-plane stats rendered %q", got)
+	}
+}
+
+// TestAdminEndpoint exercises the real listener: /stats and /trace over
+// HTTP, filter errors as 400s, and pprof's index responding.
+func TestAdminEndpoint(t *testing.T) {
+	pl := seedPlane()
+	ad, err := obs.NewAdmin("127.0.0.1:0", obs.AdminConfig{
+		Stats: func() []obs.Field { return []obs.Field{{Name: "accepted", Value: 42}} },
+		Plane: pl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ad.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + ad.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/stats")
+	if code != 200 || !strings.Contains(body, "server.accepted 42\n") {
+		t.Fatalf("/stats: %d %q", code, body)
+	}
+	if !strings.Contains(body, "phase.handler.count 1\n") || !strings.Contains(body, "trace.open 0\n") {
+		t.Fatalf("/stats missing phase/trace sections: %q", body)
+	}
+
+	code, body = get("/trace?kind=close")
+	if code != 200 || !strings.Contains(body, "close") {
+		t.Fatalf("/trace?kind=close: %d %q", code, body)
+	}
+	if strings.Contains(body, "accept") {
+		t.Fatalf("/trace filter leaked other kinds: %q", body)
+	}
+
+	code, _ = get("/trace?bogus=1")
+	if code != http.StatusBadRequest {
+		t.Fatalf("/trace with bad filter: status %d, want 400", code)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+
+	if _, err := obs.NewAdmin("127.0.0.1:0", obs.AdminConfig{}); err == nil {
+		t.Fatal("NewAdmin accepted a config without Stats")
+	}
+}

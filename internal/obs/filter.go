@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Filter selects a subset of the trace ring for the /trace endpoint.
+// The zero value selects everything.
+type Filter struct {
+	// Conn, when HasConn, keeps only one connection's events.
+	Conn    uint64
+	HasConn bool
+	// Kind, when HasKind, keeps only one event class.
+	Kind    Kind
+	HasKind bool
+	// Last, when positive, keeps only the newest Last events (applied
+	// after the other filters).
+	Last int
+}
+
+// ParseTraceFilter parses a /trace query string of the form
+// "conn=12&kind=close&last=100". Keys may appear in any order; unknown
+// keys are rejected so a typo cannot silently select everything. The
+// empty string yields the zero Filter.
+func ParseTraceFilter(raw string) (Filter, error) {
+	var f Filter
+	if raw == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(raw, "&") {
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Filter{}, fmt.Errorf("obs: malformed filter term %q", part)
+		}
+		switch key {
+		case "conn":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Filter{}, fmt.Errorf("obs: bad conn %q", val)
+			}
+			f.Conn, f.HasConn = n, true
+		case "kind":
+			k, ok := ParseKind(val)
+			if !ok {
+				return Filter{}, fmt.Errorf("obs: unknown kind %q", val)
+			}
+			f.Kind, f.HasKind = k, true
+		case "last":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Filter{}, fmt.Errorf("obs: bad last %q", val)
+			}
+			f.Last = n
+		default:
+			return Filter{}, fmt.Errorf("obs: unknown filter key %q", key)
+		}
+	}
+	return f, nil
+}
+
+// Keep reports whether the event passes the conn/kind terms (Last is
+// positional and applied by Apply).
+func (f Filter) Keep(ev Event) bool {
+	if f.HasConn && ev.Conn != f.Conn {
+		return false
+	}
+	if f.HasKind && ev.Kind != f.Kind {
+		return false
+	}
+	return true
+}
+
+// Apply filters a chronological event slice.
+func (f Filter) Apply(evs []Event) []Event {
+	out := evs[:0:0]
+	for _, ev := range evs {
+		if f.Keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	if f.Last > 0 && len(out) > f.Last {
+		out = out[len(out)-f.Last:]
+	}
+	return out
+}

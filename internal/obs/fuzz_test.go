@@ -1,0 +1,71 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// FuzzTraceFilter is the admin plane's request-parser fuzz target: the
+// /trace query parser takes attacker-controlled input from an HTTP query
+// string, so it must never panic, and an accepted filter must behave
+// sanely when applied. Seeds follow the internal/httpwire pattern: the
+// corpus runs as a regular test; `go test -fuzz=FuzzTraceFilter
+// ./internal/obs` explores further.
+func FuzzTraceFilter(f *testing.F) {
+	seeds := []string{
+		"",
+		"conn=12",
+		"kind=close",
+		"kind=header-read",
+		"last=100",
+		"conn=1&kind=accept&last=5",
+		"conn=18446744073709551615",
+		"&&&",
+		"conn=abc",
+		"kind=nope",
+		"last=-1",
+		"bogus=1",
+		"conn",
+		"=3",
+		"conn=1&conn=2",
+		"kind=close&last=0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	evs := []obs.Event{
+		{At: 1, Conn: 1, Kind: obs.Accept},
+		{At: 2, Conn: 1, Kind: obs.QueueWait, Value: time.Millisecond},
+		{At: 3, Conn: 2, Kind: obs.Accept},
+		{At: 4, Conn: 2, Kind: obs.Close},
+		{At: 5, Conn: 1, Kind: obs.Close},
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		flt, err := obs.ParseTraceFilter(raw)
+		if err != nil {
+			// Rejected input must reject loudly, not half-parse: the
+			// returned filter is the zero value.
+			if flt != (obs.Filter{}) {
+				t.Fatalf("ParseTraceFilter(%q) errored but returned %+v", raw, flt)
+			}
+			return
+		}
+		if flt.Last < 0 {
+			t.Fatalf("ParseTraceFilter(%q) accepted negative last %d", raw, flt.Last)
+		}
+		out := flt.Apply(evs)
+		if len(out) > len(evs) {
+			t.Fatalf("filter %+v grew the event set: %d > %d", flt, len(out), len(evs))
+		}
+		if flt.Last > 0 && len(out) > flt.Last {
+			t.Fatalf("filter %+v kept %d events, cap was %d", flt, len(out), flt.Last)
+		}
+		for _, ev := range out {
+			if !flt.Keep(ev) {
+				t.Fatalf("filter %+v returned event it should drop: %+v", flt, ev)
+			}
+		}
+	})
+}

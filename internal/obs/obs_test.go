@@ -1,0 +1,216 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for k := obs.Kind(0); int(k) < obs.NumKinds; k++ {
+		s := k.String()
+		if s == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+		got, ok := obs.ParseKind(s)
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", s, got, ok, k)
+		}
+	}
+	if _, ok := obs.ParseKind("nope"); ok {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+}
+
+func TestRingRecordAndEvict(t *testing.T) {
+	r := obs.NewRing(16)
+	if r.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(time.Duration(i), uint64(i), obs.Accept, 0)
+	}
+	evs := r.Events()
+	if len(evs) != 10 || r.Len() != 10 {
+		t.Fatalf("got %d events (Len %d), want 10", len(evs), r.Len())
+	}
+	for i, ev := range evs {
+		if ev.Conn != uint64(i) || ev.At != time.Duration(i) {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+	// Overfill: the ring keeps the newest Cap() events and counts the rest
+	// as dropped.
+	for i := 10; i < 40; i++ {
+		r.Record(time.Duration(i), uint64(i), obs.Accept, 0)
+	}
+	evs = r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("got %d events after wrap, want 16", len(evs))
+	}
+	if evs[0].Conn != 24 || evs[15].Conn != 39 {
+		t.Fatalf("wrap kept wrong window: first=%d last=%d", evs[0].Conn, evs[15].Conn)
+	}
+	if r.Dropped() != 24 {
+		t.Fatalf("Dropped = %d, want 24", r.Dropped())
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if got := obs.NewRing(0).Cap(); got != 16 {
+		t.Fatalf("Cap(0) = %d, want 16", got)
+	}
+	if got := obs.NewRing(17).Cap(); got != 32 {
+		t.Fatalf("Cap(17) = %d, want 32", got)
+	}
+}
+
+// TestRingConcurrent hammers the ring from several writers while readers
+// snapshot continuously. Every event is written with Value and At derived
+// from Conn, so a torn read — payload words from two different writers —
+// is detectable in the snapshot. Run with -race this also proves the
+// seqlock is built honestly from atomics.
+func TestRingConcurrent(t *testing.T) {
+	r := obs.NewRing(256)
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				conn := uint64(w*perWriter + i + 1)
+				r.Record(time.Duration(conn), conn, obs.Handler, time.Duration(conn*3))
+			}
+		}(w)
+	}
+	var readerWg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			for {
+				for _, ev := range r.Events() {
+					if ev.At != time.Duration(ev.Conn) || ev.Value != time.Duration(ev.Conn*3) {
+						t.Errorf("torn event: %+v", ev)
+						return
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerWg.Wait()
+	// Every record either landed or was counted: retained + dropped equals
+	// the number of Record calls.
+	total := uint64(r.Len()) + r.Dropped()
+	if want := uint64(writers * perWriter); total != want {
+		t.Fatalf("retained+dropped = %d, want %d", total, want)
+	}
+}
+
+func TestPlaneCountsAndPhases(t *testing.T) {
+	pl := obs.NewPlane(64)
+	id := pl.NextConnID()
+	if id != 1 {
+		t.Fatalf("first conn id = %d, want 1", id)
+	}
+	pl.Record(id, obs.Accept, 0)
+	pl.Record(id, obs.QueueWait, 100*time.Microsecond)
+	pl.Record(id, obs.Parse, 50*time.Microsecond)
+	pl.Record(id, obs.Handler, 2*time.Millisecond)
+	pl.Record(id, obs.WriteComplete, 400*time.Microsecond)
+	if pl.OpenConns() != 1 {
+		t.Fatalf("OpenConns = %d before close, want 1", pl.OpenConns())
+	}
+	pl.Record(id, obs.Close, 0)
+	if pl.OpenConns() != 0 {
+		t.Fatalf("OpenConns = %d after close, want 0", pl.OpenConns())
+	}
+	for _, k := range []obs.Kind{obs.Accept, obs.QueueWait, obs.Parse, obs.Handler, obs.WriteComplete, obs.Close} {
+		if pl.Count(k) != 1 {
+			t.Fatalf("Count(%v) = %d, want 1", k, pl.Count(k))
+		}
+	}
+	ph := pl.Phases()
+	if ph.Handler.Count() != 1 || ph.QueueWait.Count() != 1 || ph.Parse.Count() != 1 || ph.Write.Count() != 1 {
+		t.Fatal("phase histograms did not each receive one sample")
+	}
+	// The phase sample must land near its recorded value (log-bucket
+	// resolution is ~12%).
+	if got := ph.Handler.Quantile(0.5); got < 1.5e-3 || got > 2.5e-3 {
+		t.Fatalf("handler p50 = %v, want ~2ms", got)
+	}
+	// Marker kinds do not feed any histogram.
+	if n := pl.Ring().Len(); n != 6 {
+		t.Fatalf("ring has %d events, want 6", n)
+	}
+}
+
+func TestParseTraceFilter(t *testing.T) {
+	f, err := obs.ParseTraceFilter("conn=12&kind=close&last=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasConn || f.Conn != 12 || !f.HasKind || f.Kind != obs.Close || f.Last != 100 {
+		t.Fatalf("bad filter: %+v", f)
+	}
+	if f, err := obs.ParseTraceFilter(""); err != nil || f != (obs.Filter{}) {
+		t.Fatalf("empty query: %+v, %v", f, err)
+	}
+	for _, bad := range []string{"conn=abc", "kind=nope", "last=-1", "last=x", "typo=1", "conn", "=3"} {
+		if _, err := obs.ParseTraceFilter(bad); err == nil {
+			t.Fatalf("ParseTraceFilter(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFilterApply(t *testing.T) {
+	evs := []obs.Event{
+		{Conn: 1, Kind: obs.Accept},
+		{Conn: 1, Kind: obs.Close},
+		{Conn: 2, Kind: obs.Accept},
+		{Conn: 2, Kind: obs.Handler},
+		{Conn: 2, Kind: obs.Close},
+	}
+	got := obs.Filter{Conn: 2, HasConn: true}.Apply(evs)
+	if len(got) != 3 {
+		t.Fatalf("conn filter kept %d, want 3", len(got))
+	}
+	got = obs.Filter{Kind: obs.Close, HasKind: true}.Apply(evs)
+	if len(got) != 2 {
+		t.Fatalf("kind filter kept %d, want 2", len(got))
+	}
+	got = obs.Filter{Last: 2}.Apply(evs)
+	if len(got) != 2 || got[0].Kind != obs.Handler || got[1].Kind != obs.Close {
+		t.Fatalf("last filter kept wrong window: %+v", got)
+	}
+	got = obs.Filter{Conn: 2, HasConn: true, Kind: obs.Accept, HasKind: true, Last: 5}.Apply(evs)
+	if len(got) != 1 || got[0].Conn != 2 {
+		t.Fatalf("combined filter: %+v", got)
+	}
+}
+
+func TestRenderTraceDisabled(t *testing.T) {
+	var b strings.Builder
+	obs.RenderTrace(&b, nil, obs.Filter{})
+	if !strings.Contains(b.String(), "tracing disabled") {
+		t.Fatalf("nil-plane trace rendered %q", b.String())
+	}
+}

@@ -7,6 +7,12 @@
 // per event, O(1) append, dump filtered by client or kind. It is wired
 // into simclient behind a nil-checked interface so tracing costs nothing
 // when disabled.
+//
+// This ring is single-threaded because simulations are. The live
+// servers' counterpart is internal/obs: the same idea — bounded ring,
+// fixed vocabulary, nil-checked recording — rebuilt on per-slot
+// seqlocks so every reactor worker and pool thread can record
+// concurrently while the admin endpoint reads.
 package trace
 
 import (

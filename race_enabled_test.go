@@ -1,0 +1,7 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip themselves under its ~10x instrumentation cost.
+const raceEnabled = true

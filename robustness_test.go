@@ -43,6 +43,7 @@ import (
 	"repro/internal/faultline"
 	"repro/internal/loadgen"
 	"repro/internal/mtserver"
+	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/surge"
 )
@@ -938,6 +939,99 @@ func TestDrainFlushesSendfileSegments(t *testing.T) {
 			}
 			if sf := tgt.sendfile(); sf != fileSize {
 				t.Fatalf("SendfileBytes = %d, want %d (body must travel the zero-copy path)", sf, fileSize)
+			}
+		})
+	}
+}
+
+// TestTraceRecordsPanicAndDrain extends the panic-isolation and drain
+// stories onto the observability plane: after an injected handler panic
+// the trace ring must hold the panic and the victim connection's close;
+// after a graceful drain the lifecycle must balance exactly — every
+// traced accept has a close, and the derived open-connections gauge is
+// back at zero.
+func TestTraceRecordsPanicAndDrain(t *testing.T) {
+	faults := func(path string) core.Fault {
+		if path == "/panic" {
+			return core.Fault{Panic: true}
+		}
+		return core.Fault{}
+	}
+	type target struct {
+		name  string
+		addr  string
+		drain func(time.Duration) bool
+		stop  func()
+	}
+	mks := []func(t *testing.T, pl *obs.Plane) target{
+		func(t *testing.T, pl *obs.Plane) target {
+			cfg := core.DefaultConfig(robustStore())
+			cfg.HandlerFault = faults
+			cfg.Obs = pl
+			s, err := core.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			return target{"core", s.Addr(), s.Drain, s.Stop}
+		},
+		func(t *testing.T, pl *obs.Plane) target {
+			cfg := mtserver.DefaultConfig(robustStore())
+			cfg.Threads = 4
+			cfg.HandlerFault = faults
+			cfg.Obs = pl
+			s, err := mtserver.NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			return target{"mtserver", s.Addr(), s.Drain, s.Stop}
+		},
+	}
+	for _, mk := range mks {
+		pl := obs.NewPlane(256)
+		tgt := mk(t, pl)
+		t.Run(tgt.name, func(t *testing.T) {
+			defer tgt.stop()
+			dumpRingOnFailure(t, "panic-drain-"+tgt.name, pl)
+			// A healthy request first, so the ring holds a full lifecycle.
+			if status, _, err := rawGet(tgt.addr, "/hello", 5*time.Second); err != nil || status != 200 {
+				t.Fatalf("healthy request: status=%d err=%v", status, err)
+			}
+			if status, _, err := rawGet(tgt.addr, "/panic", 5*time.Second); err != nil || status != 500 {
+				t.Fatalf("panicking request: status=%d err=%v", status, err)
+			}
+			if n := pl.Count(obs.Panic); n != 1 {
+				t.Fatalf("traced panics = %d after one injected panic", n)
+			}
+			panics := obs.Filter{Kind: obs.Panic, HasKind: true}.Apply(pl.Ring().Events())
+			if len(panics) != 1 || panics[0].Conn == 0 {
+				t.Fatalf("ring panic events = %+v, want one attributed to a connection", panics)
+			}
+			// The panicking connection's teardown reaches the ring too
+			// (its Close may land just after rawGet sees the FIN).
+			victim := panics[0].Conn
+			waitUntil(t, 2*time.Second, func() bool {
+				f := obs.Filter{Conn: victim, HasConn: true, Kind: obs.Close, HasKind: true}
+				return len(f.Apply(pl.Ring().Events())) == 1
+			}, "panicking connection's close event")
+
+			if !tgt.drain(5 * time.Second) {
+				t.Fatal("drain timed out")
+			}
+			if open := pl.OpenConns(); open != 0 {
+				t.Fatalf("traced open-connections gauge = %d after drain, want 0", open)
+			}
+			if a, c := pl.Count(obs.Accept), pl.Count(obs.Close); a != c || a < 2 {
+				t.Fatalf("lifecycle unbalanced after drain: %d accepts, %d closes", a, c)
+			}
+			closes := obs.Filter{Kind: obs.Close, HasKind: true}.Apply(pl.Ring().Events())
+			if int64(len(closes)) != pl.Count(obs.Close) {
+				t.Fatalf("ring holds %d close events, counters say %d", len(closes), pl.Count(obs.Close))
 			}
 		})
 	}
