@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo lint invariants verify clean
+.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo chaos chaos-demo lint invariants verify clean
 
 all: build test
 
@@ -40,6 +40,18 @@ demo-overload:
 # and per-connection trace of the nio server under load (~3 s).
 obs-demo:
 	go run ./examples/obs
+
+# The scripted chaos suite under the race detector: bandwidth-sweep
+# regime split, fault-scenario survival, link determinism, conditional
+# requests through a lossy link (~40 s). Set CHAOS_SEED to vary the
+# emulated link's seed.
+chaos:
+	go test -race -v -run 'TestChaos' .
+
+# Live bandwidth sweep table: both servers behind the emulated link,
+# measured goodput vs discrete-event prediction (~12 s).
+chaos-demo:
+	go run ./examples/chaos
 
 # Formatting, standard vet, and the custom analyzer suite (cmd/niovet):
 # syscallerr, fdlife, refbalance, statssync, nonblock.

@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/faultline"
+	"repro/internal/faultline/scenario"
 	"repro/internal/loadgen"
 	"repro/internal/sesslog"
 	"repro/internal/surge"
@@ -44,7 +46,17 @@ func main() {
 	revalidate := flag.Float64("revalidate", 0, "fraction of repeat requests carrying If-None-Match (0..1; needs a docroot-backed server for 304s)")
 	adminAddr := flag.String("admin", "", `server admin endpoint to scrape mid-run, e.g. "127.0.0.1:9090" (matches the server's -admin flag; "" = no scraping)`)
 	adminEvery := flag.Duration("admin-every", 2*time.Second, "scrape interval for -admin")
+	chaos := flag.String("chaos", "", "route the load through the named emulated link scenario (see -chaos-list)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the emulated link's deterministic fault decisions")
+	chaosList := flag.Bool("chaos-list", false, "list the chaos scenario catalog and exit")
 	flag.Parse()
+
+	if *chaosList {
+		for _, sc := range scenario.Catalog() {
+			fmt.Printf("%-14s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
 
 	scfg := surge.DefaultConfig()
 	scfg.NumObjects = *objects
@@ -88,9 +100,33 @@ func main() {
 	if *rate > 0 {
 		*clients = 0
 	}
+
+	// With -chaos, the clients dial a faultline proxy applying the named
+	// scenario's per-connection link discipline instead of the server
+	// directly; the traffic itself stays whatever the workload flags say.
+	target := *addr
+	var proxy *faultline.Proxy
+	if *chaos != "" {
+		sc, err := scenario.ByName(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proxy, err = faultline.New(faultline.Config{
+			Upstream: *addr,
+			Seed:     *chaosSeed,
+			Plan:     sc.Plan(),
+		})
+		if err != nil {
+			log.Fatalf("chaos link: %v", err)
+		}
+		defer proxy.Close()
+		target = proxy.Addr()
+		fmt.Printf("chaos: scenario %s (seed %d) between clients and %s\n", sc.Name, *chaosSeed, *addr)
+	}
+
 	stopScrape := startAdminScraper(*adminAddr, *adminEvery)
 	res, err := loadgen.Run(loadgen.Options{
-		Addr:               *addr,
+		Addr:               target,
 		Clients:            *clients,
 		SessionRate:        *rate,
 		Warmup:             *warmup,
@@ -116,6 +152,7 @@ func main() {
 	fmt.Printf("connect time mean:  %.4fs  p90: %.4fs\n", res.MeanConnectSec, res.P90ConnectSec)
 	fmt.Printf("client timeouts:    %d (%.2f/s)\n", res.TimeoutErrors, res.TimeoutErrPerSec)
 	fmt.Printf("connection resets:  %d (%.2f/s)\n", res.ResetErrors, res.ResetErrPerSec)
+	fmt.Printf("net unreachable:    %d (%.2f/s)\n", res.UnreachableErrors, res.UnreachableErrPerSec)
 	fmt.Printf("bandwidth:          %.2f MB/s\n", res.BandwidthBps/1e6)
 	fmt.Printf("sessions completed: %d\n", res.Sessions)
 	if *revalidate > 0 {
@@ -125,9 +162,16 @@ func main() {
 		fmt.Printf("503 sheds:          %d (%.1f/s), honored with %d backed-off retries\n",
 			res.Sheds, res.ShedsPerSec, res.Retries)
 	}
+	if proxy != nil {
+		fmt.Printf("chaos link stats:\n%s\n", indent(proxy.Stats().String(), "  "))
+	}
 	if *adminAddr != "" {
 		dumpAdminStats(*adminAddr)
 	}
+}
+
+func indent(s, prefix string) string {
+	return prefix + strings.ReplaceAll(s, "\n", "\n"+prefix)
 }
 
 // startAdminScraper launches a goroutine that periodically scrapes the

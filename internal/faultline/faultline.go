@@ -1,20 +1,26 @@
-// Package faultline is an in-process TCP fault-injection proxy: it sits
-// between a client (typically internal/loadgen) and a live server and
-// manufactures, deterministically, the degraded-client behaviours the
-// paper's overload figures are made of — slow-read clients that dribble
-// request bytes (slowloris), stalled readers that stop draining a
-// response mid-transfer, abrupt RSTs, half-closes, per-connection
-// bandwidth caps, and added latency.
+// Package faultline is an in-process TCP fault-injection proxy and
+// deterministic link emulator: it sits between a client (typically
+// internal/loadgen) and a live server and manufactures, reproducibly,
+// both the degraded-client behaviours the paper's overload figures are
+// made of — slow-read clients that dribble request bytes (slowloris),
+// stalled readers, abrupt RSTs, half-closes — and the degraded *links*
+// the paper's bandwidth-bounded figures run on: token-bucket rate
+// shaping, propagation delay, seeded jitter, seeded segment loss and
+// reordering, and a bounded drop-tail queue, per direction (see
+// link.go for the discipline model).
 //
 // Each accepted connection is assigned a Profile by the configured Plan
-// from a per-connection RNG derived from (Seed, connection index), so an
-// attack run is reproducible bit-for-bit regardless of goroutine
-// scheduling. Per-fault counters (internal/metrics.Counter) report how
-// often each fault actually fired.
+// from a per-connection RNG derived from (Seed, connection index), and
+// every per-segment link decision comes from an independent stream
+// derived from (Seed, connection index, direction, segment index), so
+// an experiment replays bit-for-bit regardless of goroutine scheduling.
+// Per-fault counters (internal/metrics.Counter) report how often each
+// fault actually fired; per-direction LinkStats report what the
+// discipline did to the byte stream.
 //
 // The proxy deliberately uses net.Conn and goroutines: it plays the
-// *client side* of the experiment, where the paper's httperf machines
-// sat, and is not itself the system under study.
+// *network side* of the experiment, where the paper's httperf machines
+// and Ethernet switches sat, and is not itself the system under study.
 package faultline
 
 import (
@@ -30,13 +36,19 @@ import (
 // Profile describes the faults applied to one proxied connection. The
 // zero value is a transparent, unthrottled pass-through.
 type Profile struct {
+	// Up and Down are the per-direction link disciplines: Up shapes the
+	// client→server (request) path, Down the server→client (response)
+	// path. Zero values are transparent.
+	Up   Link
+	Down Link
 	// UpBytesPerSec, when positive, throttles the client→server
-	// direction to this rate — the slowloris dribble: the client's
-	// request trickles into the server a few bytes at a time.
+	// direction to this rate — the slowloris dribble. Shorthand for
+	// Up.RateBytesPerSec (which wins when both are set).
 	UpBytesPerSec int
 	// DownBytesPerSec, when positive, throttles the server→client
 	// direction — a per-connection bandwidth cap, the live analogue of
-	// the paper's 100 Mbit/s client links.
+	// the paper's 100 Mbit/s client links. Shorthand for
+	// Down.RateBytesPerSec.
 	DownBytesPerSec int
 	// StallAfterBytes, when positive, stops draining the server→client
 	// direction after this many response bytes: the reader stalls with
@@ -50,9 +62,25 @@ type Profile struct {
 	// (CloseWrite) after this many request bytes while continuing to
 	// read the response — a client that shuts down its send side early.
 	HalfCloseAfterBytes int64
-	// ExtraLatency, when positive, delays every forwarded chunk in both
-	// directions — added per-hop latency.
+	// ExtraLatency, when positive, adds propagation delay in both
+	// directions. Shorthand for Up.Delay/Down.Delay.
 	ExtraLatency time.Duration
+}
+
+// normalized folds the legacy shorthand fields into the per-direction
+// Links so the pipeline has one source of truth.
+func (prof Profile) normalized() Profile {
+	if prof.UpBytesPerSec > 0 && prof.Up.RateBytesPerSec == 0 {
+		prof.Up.RateBytesPerSec = prof.UpBytesPerSec
+	}
+	if prof.DownBytesPerSec > 0 && prof.Down.RateBytesPerSec == 0 {
+		prof.Down.RateBytesPerSec = prof.DownBytesPerSec
+	}
+	if prof.ExtraLatency > 0 {
+		prof.Up.Delay += prof.ExtraLatency
+		prof.Down.Delay += prof.ExtraLatency
+	}
+	return prof
 }
 
 // Plan assigns a Profile to the conn-th accepted connection. rng is
@@ -65,7 +93,8 @@ type Plan func(conn int, rng *dist.RNG) Profile
 type Config struct {
 	// Upstream is the host:port of the server under test. Required.
 	Upstream string
-	// Seed derives the per-connection RNG streams handed to Plan.
+	// Seed derives the per-connection RNG streams handed to Plan and the
+	// per-direction link decision streams.
 	Seed uint64
 	// Plan picks each connection's faults; nil proxies transparently.
 	Plan Plan
@@ -75,17 +104,34 @@ type Config struct {
 
 // Stats is a snapshot of the proxy's counters. The per-fault counts
 // increment when a fault actually engages on a connection, not when a
-// profile merely requests it.
+// profile merely requests it; Up/Down aggregate what the link
+// discipline did to the bytes that flowed.
 type Stats struct {
-	Conns      int64 // connections accepted and proxied
-	SlowReads  int64 // connections that dribbled request bytes
-	Stalls     int64 // responses stalled mid-transfer
-	Resets     int64 // connections aborted with RST
-	HalfCloses int64 // early FINs sent upstream
-	Capped     int64 // connections with a download bandwidth cap
-	Delayed    int64 // connections with added latency
-	BytesUp    int64 // client→server bytes forwarded
-	BytesDown  int64 // server→client bytes forwarded
+	Conns        int64 // connections accepted and proxied
+	SlowReads    int64 // connections that dribbled request bytes
+	Stalls       int64 // responses stalled mid-transfer
+	Resets       int64 // connections aborted with RST
+	HalfCloses   int64 // early FINs sent upstream
+	Capped       int64 // connections with a download bandwidth cap
+	Delayed      int64 // connections with added propagation delay
+	LossyConns   int64 // connections with seeded segment loss
+	ReorderConns int64 // connections with seeded segment reordering
+	BytesUp      int64 // client→server bytes forwarded
+	BytesDown    int64 // server→client bytes forwarded
+
+	// Up and Down are the per-direction link-discipline aggregates.
+	Up   LinkStats
+	Down LinkStats
+}
+
+// String renders the snapshot in a stable three-line format for test
+// logs, chaos artifacts, and golden assertions.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"conns=%d slowreads=%d stalls=%d resets=%d halfcloses=%d capped=%d delayed=%d lossy=%d reordering=%d\nup:   %s\ndown: %s",
+		s.Conns, s.SlowReads, s.Stalls, s.Resets, s.HalfCloses,
+		s.Capped, s.Delayed, s.LossyConns, s.ReorderConns,
+		s.Up, s.Down)
 }
 
 // Proxy is the fault-injection proxy. Create with New, tear down with
@@ -101,15 +147,20 @@ type Proxy struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{} // both sides of every live pair
 
-	nConns     metrics.Counter
-	slowReads  metrics.Counter
-	stalls     metrics.Counter
-	resets     metrics.Counter
-	halfCloses metrics.Counter
-	capped     metrics.Counter
-	delayed    metrics.Counter
-	bytesUp    metrics.Counter
-	bytesDown  metrics.Counter
+	nConns       metrics.Counter
+	slowReads    metrics.Counter
+	stalls       metrics.Counter
+	resets       metrics.Counter
+	halfCloses   metrics.Counter
+	capped       metrics.Counter
+	delayed      metrics.Counter
+	lossyConns   metrics.Counter
+	reorderConns metrics.Counter
+	bytesUp      metrics.Counter
+	bytesDown    metrics.Counter
+
+	upLink   linkCounters
+	downLink linkCounters
 }
 
 // New binds the proxy on a fresh loopback port and starts accepting.
@@ -142,15 +193,19 @@ func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 // Stats returns a snapshot of the counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Conns:      p.nConns.Value(),
-		SlowReads:  p.slowReads.Value(),
-		Stalls:     p.stalls.Value(),
-		Resets:     p.resets.Value(),
-		HalfCloses: p.halfCloses.Value(),
-		Capped:     p.capped.Value(),
-		Delayed:    p.delayed.Value(),
-		BytesUp:    p.bytesUp.Value(),
-		BytesDown:  p.bytesDown.Value(),
+		Conns:        p.nConns.Value(),
+		SlowReads:    p.slowReads.Value(),
+		Stalls:       p.stalls.Value(),
+		Resets:       p.resets.Value(),
+		HalfCloses:   p.halfCloses.Value(),
+		Capped:       p.capped.Value(),
+		Delayed:      p.delayed.Value(),
+		LossyConns:   p.lossyConns.Value(),
+		ReorderConns: p.reorderConns.Value(),
+		BytesUp:      p.bytesUp.Value(),
+		BytesDown:    p.bytesDown.Value(),
+		Up:           p.upLink.snapshot(p.bytesUp.Value()),
+		Down:         p.downLink.snapshot(p.bytesDown.Value()),
 	}
 }
 
@@ -187,10 +242,10 @@ func (p *Proxy) acceptLoop() {
 		if p.cfg.Plan != nil {
 			profile = p.cfg.Plan(idx, dist.NewRNG(connSeed(p.cfg.Seed, idx)))
 		}
-		idx++
 		p.nConns.Inc()
 		p.wg.Add(1)
-		go p.proxyConn(client, profile)
+		go p.proxyConn(client, profile, idx)
+		idx++
 	}
 }
 
@@ -205,7 +260,7 @@ func (p *Proxy) track(c net.Conn, on bool) {
 }
 
 // proxyConn dials upstream and runs the two directional pumps.
-func (p *Proxy) proxyConn(client net.Conn, prof Profile) {
+func (p *Proxy) proxyConn(client net.Conn, prof Profile, idx int) {
 	defer p.wg.Done()
 	server, err := net.DialTimeout("tcp", p.cfg.Upstream, p.cfg.DialTimeout)
 	if err != nil {
@@ -221,26 +276,34 @@ func (p *Proxy) proxyConn(client net.Conn, prof Profile) {
 		server.Close()
 	}()
 
+	prof = prof.normalized()
+
 	// Classification counters: these profiles engage from byte one.
-	if prof.UpBytesPerSec > 0 {
+	if prof.Up.RateBytesPerSec > 0 {
 		p.slowReads.Inc()
 	}
-	if prof.DownBytesPerSec > 0 {
+	if prof.Down.RateBytesPerSec > 0 {
 		p.capped.Inc()
 	}
-	if prof.ExtraLatency > 0 {
+	if prof.Up.Delay > 0 || prof.Down.Delay > 0 {
 		p.delayed.Inc()
+	}
+	if prof.Up.LossProb > 0 || prof.Down.LossProb > 0 {
+		p.lossyConns.Inc()
+	}
+	if prof.Up.ReorderProb > 0 || prof.Down.ReorderProb > 0 {
+		p.reorderConns.Inc()
 	}
 
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		p.pumpUp(client, server, prof)
+		p.pumpUp(client, server, prof, idx)
 	}()
 	go func() {
 		defer wg.Done()
-		p.pumpDown(client, server, prof)
+		p.pumpDown(client, server, prof, idx)
 	}()
 	wg.Wait()
 }
@@ -259,81 +322,114 @@ func (p *Proxy) sleep(d time.Duration) bool {
 	}
 }
 
-// throttled forwards buf to dst at rate bytes/s (0 = unthrottled),
-// dribbling in small slices so the receiver sees a trickle, not bursts.
-func (p *Proxy) throttled(dst net.Conn, buf []byte, rate int, counter *metrics.Counter) error {
-	if rate <= 0 {
-		n, err := dst.Write(buf)
-		counter.Add(int64(n))
-		return err
+// forward is the transparent fast path for a direction with no
+// discipline: one synchronous write, no segmentation.
+func (p *Proxy) forward(dst net.Conn, buf []byte, counter *metrics.Counter) error {
+	n, err := dst.Write(buf)
+	counter.Add(int64(n))
+	return err
+}
+
+// closeWrite forwards a FIN to the peer when the transport supports it.
+func closeWrite(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
 	}
-	// Slice size: ~1/10 s worth of bytes, at least 1 — a 10 B/s dribble
-	// really does arrive one byte at a time.
-	slice := rate / 10
-	if slice < 1 {
-		slice = 1
-	}
-	for len(buf) > 0 {
-		n := slice
-		if n > len(buf) {
-			n = len(buf)
-		}
-		wn, err := dst.Write(buf[:n])
-		counter.Add(int64(wn))
-		if err != nil {
-			return err
-		}
-		buf = buf[n:]
-		if !p.sleep(time.Duration(float64(n) / float64(rate) * float64(time.Second))) {
-			return fmt.Errorf("faultline: proxy closing")
-		}
-	}
-	return nil
 }
 
 // pumpUp forwards client→server: the request path. Slowloris dribble,
-// half-close, and latency apply here.
-func (p *Proxy) pumpUp(client, server net.Conn, prof Profile) {
+// half-close, and the Up link discipline apply here.
+func (p *Proxy) pumpUp(client, server net.Conn, prof Profile, idx int) {
+	var fd *feeder
+	var pc *pacer
+	if prof.Up.scheduled() {
+		fd = newFeeder(p, prof.Up, StreamSeed(p.cfg.Seed, idx, DirUp), &p.upLink)
+		var wwg sync.WaitGroup
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			p.linkWriter(server, fd.lk, fd.ch, &p.bytesUp, func() { closeWrite(server) })
+		}()
+		defer wwg.Wait()
+		defer fd.close()
+	} else if prof.Up.active() {
+		pc = newPacer(p, prof.Up, &p.upLink)
+	}
+	send := func(chunk []byte) bool {
+		switch {
+		case fd != nil:
+			return fd.feed(chunk)
+		case pc != nil:
+			return pc.send(server, chunk, &p.bytesUp)
+		}
+		return p.forward(server, chunk, &p.bytesUp) == nil
+	}
+
 	buf := make([]byte, 32<<10)
 	var sent int64
 	for {
 		n, err := client.Read(buf)
 		if n > 0 {
 			chunk := buf[:n]
-			if !p.sleep(prof.ExtraLatency) {
-				return
-			}
 			if prof.HalfCloseAfterBytes > 0 && sent+int64(n) > prof.HalfCloseAfterBytes {
 				chunk = chunk[:prof.HalfCloseAfterBytes-sent]
 			}
 			if len(chunk) > 0 {
-				if werr := p.throttled(server, chunk, prof.UpBytesPerSec, &p.bytesUp); werr != nil {
+				if !send(chunk) {
 					return
 				}
 				sent += int64(len(chunk))
 			}
 			if prof.HalfCloseAfterBytes > 0 && sent >= prof.HalfCloseAfterBytes {
 				p.halfCloses.Inc()
-				if tc, ok := server.(*net.TCPConn); ok {
-					tc.CloseWrite()
+				if fd == nil {
+					closeWrite(server)
 				}
+				// With a pipeline, the deferred close lets the writer
+				// flush the queue and forward the FIN behind it.
 				return
 			}
 		}
 		if err != nil {
-			// Client finished sending: forward the FIN upstream but keep
-			// the down pump alive for the tail of the response.
-			if tc, ok := server.(*net.TCPConn); ok {
-				tc.CloseWrite()
+			// Client finished sending: forward the FIN upstream (behind
+			// any queued bytes) but keep the down pump alive for the
+			// tail of the response.
+			if fd == nil {
+				closeWrite(server)
 			}
 			return
 		}
 	}
 }
 
-// pumpDown forwards server→client: the response path. Stall, RST,
-// bandwidth cap, and latency apply here.
-func (p *Proxy) pumpDown(client, server net.Conn, prof Profile) {
+// pumpDown forwards server→client: the response path. Stall, RST, and
+// the Down link discipline apply here.
+func (p *Proxy) pumpDown(client, server net.Conn, prof Profile, idx int) {
+	var fd *feeder
+	var pc *pacer
+	if prof.Down.scheduled() {
+		fd = newFeeder(p, prof.Down, StreamSeed(p.cfg.Seed, idx, DirDown), &p.downLink)
+		var wwg sync.WaitGroup
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			p.linkWriter(client, fd.lk, fd.ch, &p.bytesDown, func() { closeWrite(client) })
+		}()
+		defer wwg.Wait()
+		defer fd.close()
+	} else if prof.Down.active() {
+		pc = newPacer(p, prof.Down, &p.downLink)
+	}
+	send := func(chunk []byte) bool {
+		switch {
+		case fd != nil:
+			return fd.feed(chunk)
+		case pc != nil:
+			return pc.send(client, chunk, &p.bytesDown)
+		}
+		return p.forward(client, chunk, &p.bytesDown) == nil
+	}
+
 	buf := make([]byte, 32<<10)
 	var recvd int64
 	for {
@@ -355,17 +451,15 @@ func (p *Proxy) pumpDown(client, server net.Conn, prof Profile) {
 				abort(server)
 				return
 			}
-			if !p.sleep(prof.ExtraLatency) {
-				return
-			}
-			if werr := p.throttled(client, buf[:n], prof.DownBytesPerSec, &p.bytesDown); werr != nil {
+			if !send(buf[:n]) {
 				return
 			}
 		}
 		if err != nil {
-			// Server finished: forward the FIN to the client.
-			if tc, ok := client.(*net.TCPConn); ok {
-				tc.CloseWrite()
+			// Server finished: forward the FIN to the client (behind any
+			// queued response bytes).
+			if fd == nil {
+				closeWrite(client)
 			}
 			return
 		}
@@ -381,7 +475,7 @@ func abort(c net.Conn) {
 }
 
 // ---------------------------------------------------------------------
-// Canned plans for the paper's standard attacks.
+// Canned plans for the paper's standard attacks and link conditions.
 // ---------------------------------------------------------------------
 
 // Slowloris returns a Plan that dribbles every connection's request
@@ -395,6 +489,16 @@ func Slowloris(bytesPerSec int) Plan {
 // Transparent returns a no-fault pass-through Plan.
 func Transparent() Plan {
 	return func(int, *dist.RNG) Profile { return Profile{} }
+}
+
+// LinkPlan returns a Plan that applies the same per-direction discipline
+// to every connection — an emulated physical link shared by nothing but
+// fairness (callers split an aggregate rate across the expected
+// connection count; see the scenario package).
+func LinkPlan(up, down Link) Plan {
+	return func(int, *dist.RNG) Profile {
+		return Profile{Up: up, Down: down}
+	}
 }
 
 // Mixed returns a Plan where each connection independently draws one

@@ -1,0 +1,378 @@
+package faultline
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lossyLink is the canonical degraded-link fixture used across the
+// determinism tests.
+func lossyLink() Link {
+	return Link{
+		RateBytesPerSec: 64 << 10,
+		Delay:           2 * time.Millisecond,
+		Jitter:          3 * time.Millisecond,
+		LossProb:        0.05,
+		LossPenalty:     10 * time.Millisecond,
+		ReorderProb:     0.10,
+		ReorderDelay:    5 * time.Millisecond,
+	}
+}
+
+// The determinism contract, stated directly: the same (Seed, conn,
+// direction) replays a byte-identical decision stream; a different seed
+// does not.
+func TestDecisionTraceDeterministic(t *testing.T) {
+	cfg := lossyLink()
+	a := DecisionTrace(cfg, StreamSeed(42, 3, DirDown), 500)
+	b := DecisionTrace(cfg, StreamSeed(42, 3, DirDown), 500)
+	if a != b {
+		t.Fatalf("same seed produced different decision traces")
+	}
+	if c := DecisionTrace(cfg, StreamSeed(43, 3, DirDown), 500); c == a {
+		t.Fatalf("different seed produced identical decision trace")
+	}
+	if d := DecisionTrace(cfg, StreamSeed(42, 3, DirUp), 500); d == a {
+		t.Fatalf("different direction produced identical decision trace")
+	}
+	// Non-degenerate: with LossProb=0.05 and ReorderProb=0.10 over 500
+	// segments, both faults must actually fire.
+	if !strings.Contains(a, "lost=true") || !strings.Contains(a, "reorder=true") {
+		t.Fatalf("trace never fired loss/reorder:\n%s", a[:200])
+	}
+}
+
+// Probabilities only threshold the uniform draws — the underlying
+// stream is shared, so changing LossProb must not shift jitter values.
+func TestDecisionStreamAlignedAcrossConfigs(t *testing.T) {
+	base := lossyLink()
+	bumped := base
+	bumped.LossProb = 0.5
+
+	seed := StreamSeed(7, 0, DirDown)
+	a := DecisionTrace(base, seed, 200)
+	b := DecisionTrace(bumped, seed, 200)
+
+	extract := func(trace string) []string {
+		var js []string
+		for _, line := range strings.Split(strings.TrimSpace(trace), "\n") {
+			for _, f := range strings.Fields(line) {
+				if strings.HasPrefix(f, "jitter=") {
+					js = append(js, f)
+				}
+			}
+		}
+		return js
+	}
+	ja, jb := extract(a), extract(b)
+	if len(ja) != 200 || len(jb) != 200 {
+		t.Fatalf("expected 200 jitter entries, got %d and %d", len(ja), len(jb))
+	}
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("jitter stream diverged at segment %d: %s vs %s", i, ja[i], jb[i])
+		}
+	}
+}
+
+func TestLinkStatsStringGolden(t *testing.T) {
+	s := LinkStats{
+		Segments:      12,
+		Bytes:         17376,
+		Lost:          1,
+		Reordered:     2,
+		Overflows:     0,
+		DelayInjected: 250 * time.Millisecond,
+	}
+	const want = "segs=12 bytes=17376 lost=1 reordered=2 overflows=0 delay=250ms"
+	if got := s.String(); got != want {
+		t.Fatalf("LinkStats.String golden mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestStatsStringIsStable(t *testing.T) {
+	s := Stats{Conns: 3, SlowReads: 1, BytesDown: 4096,
+		Down: LinkStats{Segments: 4, Bytes: 4096}}
+	got := s.String()
+	want := "conns=3 slowreads=1 stalls=0 resets=0 halfcloses=0 capped=0 delayed=0 lossy=0 reordering=0\n" +
+		"up:   segs=0 bytes=0 lost=0 reordered=0 overflows=0 delay=0s\n" +
+		"down: segs=4 bytes=4096 lost=0 reordered=0 overflows=0 delay=0s"
+	if got != want {
+		t.Fatalf("Stats.String golden mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+// Token-bucket pacing: a transfer well past the burst must take about
+// bytes/rate, and the initial burst must pass at line rate.
+func TestTokenBucketPacesSustainedTransfer(t *testing.T) {
+	const rate = 100 << 10 // 100 KiB/s
+	const total = 50 << 10 // 0.5 s nominal
+
+	upstream := newByteSink(t, total)
+	defer upstream.close()
+
+	p, err := New(Config{
+		Upstream: upstream.addr(),
+		Seed:     1,
+		Plan: LinkPlan(Link{RateBytesPerSec: rate, BurstBytes: 4 << 10},
+			Link{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	if _, err := conn.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	upstream.waitDone(t, 5*time.Second)
+	elapsed := time.Since(start)
+
+	// 50 KiB at 100 KiB/s with a 4 KiB burst: nominal 460 ms of pacing.
+	if elapsed < 300*time.Millisecond {
+		t.Fatalf("transfer too fast for token bucket: %v", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("transfer too slow: %v", elapsed)
+	}
+
+	st := p.Stats()
+	if st.Up.Segments == 0 || st.Up.Bytes != total {
+		t.Fatalf("up link stats wrong: %s", st.Up)
+	}
+}
+
+// Propagation delay must pipeline: 40 segments through a 50 ms link
+// must take ~50 ms, not 40·50 ms.
+func TestPropagationDelayPipelines(t *testing.T) {
+	const total = 40 * 1448
+
+	upstream := newByteSink(t, total)
+	defer upstream.close()
+
+	p, err := New(Config{
+		Upstream: upstream.addr(),
+		Seed:     1,
+		Plan:     LinkPlan(Link{Delay: 50 * time.Millisecond}, Link{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	if _, err := conn.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	upstream.waitBytes(t, total, 5*time.Second)
+	elapsed := time.Since(start)
+
+	if elapsed < 45*time.Millisecond {
+		t.Fatalf("propagation delay not applied: %v", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("delay serialized instead of pipelined: %v (want ~50ms)", elapsed)
+	}
+}
+
+// The stream must arrive intact — byte-for-byte — through the full
+// lossy/jittery/reordering discipline, because TCP semantics survive a
+// degraded link even when timing does not.
+func TestDisciplinePreservesByteStream(t *testing.T) {
+	payload := make([]byte, 96<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+
+	upstream := newByteSink(t, len(payload))
+	defer upstream.close()
+
+	lk := lossyLink()
+	lk.RateBytesPerSec = 1 << 20
+	p, err := New(Config{Upstream: upstream.addr(), Seed: 99, Plan: LinkPlan(lk, Link{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	upstream.waitDone(t, 10*time.Second)
+
+	if !bytes.Equal(upstream.bytes(), payload) {
+		t.Fatalf("byte stream corrupted through discipline")
+	}
+	st := p.Stats()
+	if st.Up.Lost == 0 && st.Up.Reordered == 0 {
+		t.Fatalf("discipline never fired on %d segments: %s", st.Up.Segments, st.Up)
+	}
+	if st.LossyConns != 1 || st.ReorderConns != 1 {
+		t.Fatalf("classification counters wrong: %s", st)
+	}
+}
+
+// End-to-end determinism: two fresh proxies with the same seed moving
+// the same bytes must produce identical deterministic link stats
+// (overflows are load-dependent and excluded by construction: the queue
+// is large enough here never to overflow).
+func TestLinkStatsDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		payload := make([]byte, 64<<10)
+		upstream := newByteSink(t, len(payload))
+		defer upstream.close()
+
+		lk := lossyLink()
+		lk.RateBytesPerSec = 2 << 20
+		p, err := New(Config{Upstream: upstream.addr(), Seed: 1234, Plan: LinkPlan(lk, Link{})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		upstream.waitDone(t, 10*time.Second)
+		st := p.Stats().Up
+		return fmt.Sprintf("segs=%d bytes=%d lost=%d reordered=%d delay=%s",
+			st.Segments, st.Bytes, st.Lost, st.Reordered, st.DelayInjected)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, same bytes, different link stats:\n run1 %s\n run2 %s", a, b)
+	}
+}
+
+// Legacy shorthand fields must normalize onto the new discipline.
+func TestLegacyProfileFieldsNormalize(t *testing.T) {
+	prof := Profile{
+		UpBytesPerSec:   100,
+		DownBytesPerSec: 200,
+		ExtraLatency:    5 * time.Millisecond,
+	}.normalized()
+	if prof.Up.RateBytesPerSec != 100 || prof.Down.RateBytesPerSec != 200 {
+		t.Fatalf("rates not normalized: %+v", prof)
+	}
+	if prof.Up.Delay != 5*time.Millisecond || prof.Down.Delay != 5*time.Millisecond {
+		t.Fatalf("latency not normalized: %+v", prof)
+	}
+}
+
+// ---------------------------------------------------------------------
+// byteSink: a TCP listener that accepts one connection and records what
+// arrives.
+// ---------------------------------------------------------------------
+
+type byteSink struct {
+	ln   net.Listener
+	mu   chan struct{} // closed when EOF reached
+	got  *bytes.Buffer
+	lock chan struct{} // 1-token mutex for got
+	want int
+}
+
+func newByteSink(t *testing.T, want int) *byteSink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &byteSink{ln: ln, mu: make(chan struct{}), got: &bytes.Buffer{},
+		lock: make(chan struct{}, 1), want: want}
+	s.lock <- struct{}{}
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := c.Read(buf)
+			if n > 0 {
+				<-s.lock
+				s.got.Write(buf[:n])
+				s.lock <- struct{}{}
+			}
+			if err != nil {
+				close(s.mu)
+				return
+			}
+			if s.len() >= s.want {
+				close(s.mu)
+				io.Copy(io.Discard, c)
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *byteSink) addr() string { return s.ln.Addr().String() }
+func (s *byteSink) close()       { s.ln.Close() }
+
+func (s *byteSink) len() int {
+	<-s.lock
+	n := s.got.Len()
+	s.lock <- struct{}{}
+	return n
+}
+
+func (s *byteSink) bytes() []byte {
+	<-s.lock
+	b := append([]byte(nil), s.got.Bytes()...)
+	s.lock <- struct{}{}
+	return b
+}
+
+func (s *byteSink) waitDone(t *testing.T, d time.Duration) {
+	t.Helper()
+	select {
+	case <-s.mu:
+	case <-time.After(d):
+		t.Fatalf("byteSink: timed out after %v with %d/%d bytes", d, s.len(), s.want)
+	}
+}
+
+func (s *byteSink) waitBytes(t *testing.T, n int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for s.len() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("byteSink: %d/%d bytes after %v", s.len(), n, d)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+)
+
+func get(t *testing.T, name string) Scenario {
+	t.Helper()
+	s, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCatalogIsWellFormed(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 6 {
+		t.Fatalf("catalog too small: %d scenarios", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, s := range cat {
+		if s.Name == "" || s.Description == "" {
+			t.Fatalf("scenario missing name/description: %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Clients <= 0 || s.ObjectBytes <= 0 || s.RequestsPerSession <= 0 ||
+			s.Duration <= 0 {
+			t.Fatalf("scenario %q has zero-valued knobs: %+v", s.Name, s)
+		}
+	}
+	for _, want := range []string{"bw-100mbit", "bw-200mbit", "bw-1gbit",
+		"loss-1pct", "jitter-storm", "reorder-burst"} {
+		if !seen[want] {
+			t.Fatalf("catalog missing %q", want)
+		}
+	}
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}
+
+func TestLinkSplitsAggregateAcrossClients(t *testing.T) {
+	s := get(t, "bw-100mbit")
+	lk := s.Link()
+	want := int(experiments.Mbit(100) / scale / float64(s.Clients))
+	if lk.RateBytesPerSec != want {
+		t.Fatalf("per-conn rate = %d, want %d", lk.RateBytesPerSec, want)
+	}
+	if lk.Delay != time.Millisecond {
+		t.Fatalf("delay = %v", lk.Delay)
+	}
+}
+
+func TestSourceEmitsFixedSessions(t *testing.T) {
+	s := get(t, "bw-200mbit")
+	src := s.Source()(0, dist.NewRNG(1))
+	sess := src.NextSession()
+	if len(sess.Requests) != s.RequestsPerSession {
+		t.Fatalf("session has %d requests, want %d", len(sess.Requests), s.RequestsPerSession)
+	}
+	for _, r := range sess.Requests {
+		if r.Object.Path() != "/obj/0" || r.Object.Size != s.ObjectBytes {
+			t.Fatalf("unexpected request %+v", r)
+		}
+	}
+	if sess.TotalBytes() != int64(s.RequestsPerSession)*s.ObjectBytes {
+		t.Fatalf("TotalBytes = %d", sess.TotalBytes())
+	}
+}
+
+// The prediction model must reproduce the paper's regime split before
+// the live harness is held to it: bandwidth-bound at the scaled 100 and
+// 200 Mbit caps, CPU-bound (HandlerDelay ceiling) at the scaled 1 Gbit.
+func TestPredictReproducesRegimeSplit(t *testing.T) {
+	p100 := Predict(get(t, "bw-100mbit"), 1)
+	p200 := Predict(get(t, "bw-200mbit"), 1)
+	p1g := Predict(get(t, "bw-1gbit"), 1)
+
+	t.Logf("predicted goodput: 100mbit=%.0f B/s  200mbit=%.0f B/s  1gbit=%.0f B/s",
+		p100.BytesPerSec, p200.BytesPerSec, p1g.BytesPerSec)
+
+	cap100 := experiments.Mbit(100) / scale
+	cap200 := experiments.Mbit(200) / scale
+	cpuCeiling := float64(catalogObjectBytes) / catalogHandlerDelay.Seconds()
+
+	near := func(got, want, tol float64) bool {
+		return math.Abs(got-want)/want <= tol
+	}
+	// Link-bound: within 10% of the link cap, well under the CPU ceiling.
+	if !near(p100.BytesPerSec, cap100, 0.10) {
+		t.Errorf("100mbit prediction %.0f not near link cap %.0f", p100.BytesPerSec, cap100)
+	}
+	if !near(p200.BytesPerSec, cap200, 0.10) {
+		t.Errorf("200mbit prediction %.0f not near link cap %.0f", p200.BytesPerSec, cap200)
+	}
+	// CPU-bound: within 15% of the handler ceiling, well under the link.
+	if !near(p1g.BytesPerSec, cpuCeiling, 0.15) {
+		t.Errorf("1gbit prediction %.0f not near CPU ceiling %.0f", p1g.BytesPerSec, cpuCeiling)
+	}
+	if p1g.BytesPerSec >= experiments.Mbit(1000)/scale*0.8 {
+		t.Errorf("1gbit prediction %.0f suspiciously close to the link cap — regime split lost", p1g.BytesPerSec)
+	}
+	// Ordering is the figure's shape.
+	if !(p100.BytesPerSec < p200.BytesPerSec && p200.BytesPerSec < p1g.BytesPerSec) {
+		t.Errorf("regime ordering violated: %.0f, %.0f, %.0f",
+			p100.BytesPerSec, p200.BytesPerSec, p1g.BytesPerSec)
+	}
+}
+
+// Stochastic faults must only ever slow the prediction down.
+func TestPredictFaultPenaltiesReduceThroughput(t *testing.T) {
+	clean := get(t, "bw-200mbit")
+	lossy := get(t, "loss-1pct")
+	// loss-1pct shares the 200 Mbit-scaled link; the loss penalty must cost.
+	pc, pl := Predict(clean, 1), Predict(lossy, 1)
+	if pl.BytesPerSec >= pc.BytesPerSec {
+		t.Fatalf("loss prediction %.0f not below clean %.0f", pl.BytesPerSec, pc.BytesPerSec)
+	}
+	if pl.BytesPerSec <= 0 {
+		t.Fatalf("loss prediction degenerate: %.0f", pl.BytesPerSec)
+	}
+}
+
+func TestPredictionDrift(t *testing.T) {
+	p := Prediction{BytesPerSec: 1000}
+	if d := p.Drift(900); math.Abs(d-0.1) > 1e-9 {
+		t.Fatalf("Drift(900) = %v, want 0.1", d)
+	}
+	if d := p.Drift(1100); math.Abs(d-0.1) > 1e-9 {
+		t.Fatalf("Drift(1100) = %v, want 0.1", d)
+	}
+}

@@ -108,9 +108,16 @@ type Result struct {
 	ResetErrors      int64
 	TimeoutErrPerSec float64
 	ResetErrPerSec   float64
-	BytesReceived    int64
-	BandwidthBps     float64
-	Sessions         int64
+	// UnreachableErrors counts kernel-reported network failures
+	// (ETIMEDOUT, EHOSTUNREACH, ENETUNREACH) — the link failing, as
+	// distinct from the client watchdog (TimeoutErrors) or the server
+	// hanging up (ResetErrors). Lossy-link sweeps read this to keep the
+	// taxonomy honest.
+	UnreachableErrors    int64
+	UnreachableErrPerSec float64
+	BytesReceived        int64
+	BandwidthBps         float64
+	Sessions             int64
 	// NotModified counts 304 replies to revalidation requests (they are
 	// also included in Replies).
 	NotModified       int64
@@ -173,27 +180,29 @@ func Run(opts Options) (Result, error) {
 
 	d := opts.Duration.Seconds()
 	res := Result{
-		Clients:         opts.Clients,
-		Duration:        opts.Duration,
-		Replies:         g.replies.Value(),
-		MeanResponseSec: g.respTimes.Mean(),
-		P50ResponseSec:  g.respTimes.Quantile(0.50),
-		P90ResponseSec:  g.respTimes.Quantile(0.90),
-		P95ResponseSec:  g.respTimes.Quantile(0.95),
-		P99ResponseSec:  g.respTimes.Quantile(0.99),
-		MeanConnectSec:  g.connectTimes.Mean(),
-		P90ConnectSec:   g.connectTimes.Quantile(0.90),
-		TimeoutErrors:   g.timeouts.Value(),
-		ResetErrors:     g.resets.Value(),
-		BytesReceived:   g.bytes.Value(),
-		Sessions:        g.sessions.Value(),
-		NotModified:     g.notMod.Value(),
-		Sheds:           g.sheds.Value(),
-		Retries:         g.retries.Value(),
+		Clients:           opts.Clients,
+		Duration:          opts.Duration,
+		Replies:           g.replies.Value(),
+		MeanResponseSec:   g.respTimes.Mean(),
+		P50ResponseSec:    g.respTimes.Quantile(0.50),
+		P90ResponseSec:    g.respTimes.Quantile(0.90),
+		P95ResponseSec:    g.respTimes.Quantile(0.95),
+		P99ResponseSec:    g.respTimes.Quantile(0.99),
+		MeanConnectSec:    g.connectTimes.Mean(),
+		P90ConnectSec:     g.connectTimes.Quantile(0.90),
+		TimeoutErrors:     g.timeouts.Value(),
+		ResetErrors:       g.resets.Value(),
+		UnreachableErrors: g.unreachable.Value(),
+		BytesReceived:     g.bytes.Value(),
+		Sessions:          g.sessions.Value(),
+		NotModified:       g.notMod.Value(),
+		Sheds:             g.sheds.Value(),
+		Retries:           g.retries.Value(),
 	}
 	res.RepliesPerSec = float64(res.Replies) / d
 	res.TimeoutErrPerSec = float64(res.TimeoutErrors) / d
 	res.ResetErrPerSec = float64(res.ResetErrors) / d
+	res.UnreachableErrPerSec = float64(res.UnreachableErrors) / d
 	res.BandwidthBps = float64(res.BytesReceived) / d
 	res.NotModifiedPerSec = float64(res.NotModified) / d
 	res.ShedsPerSec = float64(res.Sheds) / d
@@ -207,6 +216,7 @@ type generator struct {
 	replies      metrics.Counter
 	timeouts     metrics.Counter
 	resets       metrics.Counter
+	unreachable  metrics.Counter
 	bytes        metrics.Counter
 	sessions     metrics.Counter
 	notMod       metrics.Counter
@@ -233,32 +243,56 @@ func (g *generator) stopped() bool {
 	}
 }
 
-// classify buckets an I/O error the way httperf does.
-func classify(err error) (timeout, reset bool) {
+// errClass is the taxonomy bucket an I/O error falls into.
+type errClass int
+
+const (
+	errOther       errClass = iota // unclassified (not counted)
+	errTimeout                     // client watchdog fired (httperf's client-timo)
+	errReset                       // abortive disconnect from the server
+	errUnreachable                 // the network itself failed us
+)
+
+// classify buckets an I/O error the way httperf does, with one
+// refinement: kernel-reported network failures (ETIMEDOUT from TCP
+// retransmission giving up, EHOSTUNREACH/ENETUNREACH from routing) get
+// their own unreachable class. They must be checked before the generic
+// net.Error.Timeout() test because syscall.Errno.Timeout() reports true
+// for ETIMEDOUT — and a TCP-level timeout on a lossy link is a network
+// fault, not the client watchdog firing.
+func classify(err error) errClass {
 	if err == nil {
-		return false, false
+		return errOther
+	}
+	if errors.Is(err, syscall.ETIMEDOUT) || errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETUNREACH) {
+		return errUnreachable
+	}
+	if msg := err.Error(); strings.Contains(msg, "host is unreachable") ||
+		strings.Contains(msg, "network is unreachable") {
+		return errUnreachable
 	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
-		return true, false
+		return errTimeout
 	}
 	// ECONNABORTED and EPIPE/"broken pipe" join ECONNRESET in the reset
 	// class: httperf's accounting lumps every abortive disconnect the
 	// server inflicts into connreset errors.
 	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
 		errors.Is(err, syscall.ECONNABORTED) {
-		return false, true
+		return errReset
 	}
 	// A close from the server mid-read surfaces as unexpected EOF.
 	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
-		return false, true
+		return errReset
 	}
 	if msg := err.Error(); strings.Contains(msg, "connection reset") ||
 		strings.Contains(msg, "broken pipe") ||
 		strings.Contains(msg, "connection aborted") {
-		return false, true
+		return errReset
 	}
-	return false, false
+	return errOther
 }
 
 // arrivalLoop spawns open-loop sessions as a Poisson process.
@@ -375,8 +409,13 @@ func (g *generator) playConn(session surge.Session, start int, rng *dist.RNG, et
 	dialStart := time.Now()
 	conn, err := net.DialTimeout("tcp", g.opts.Addr, g.opts.Timeout)
 	if err != nil {
-		if to, _ := classify(err); to && g.inWindow() {
-			g.timeouts.Inc()
+		if g.inWindow() {
+			switch classify(err) {
+			case errTimeout:
+				g.timeouts.Inc()
+			case errUnreachable:
+				g.unreachable.Inc()
+			}
 		}
 		return start, 0, playFatal
 	}
@@ -501,11 +540,12 @@ func (g *generator) record(err error) {
 	if !g.inWindow() {
 		return
 	}
-	timeout, reset := classify(err)
-	switch {
-	case timeout:
+	switch classify(err) {
+	case errTimeout:
 		g.timeouts.Inc()
-	case reset:
+	case errReset:
 		g.resets.Inc()
+	case errUnreachable:
+		g.unreachable.Inc()
 	}
 }

@@ -153,10 +153,10 @@ func TestThreadServerShortKeepAliveCausesResets(t *testing.T) {
 }
 
 func TestErrorClassification(t *testing.T) {
-	if to, rst := classify(nil); to || rst {
+	if c := classify(nil); c != errOther {
 		t.Fatal("nil misclassified")
 	}
-	if to, _ := classify(timeoutErr{}); !to {
+	if c := classify(timeoutErr{}); c != errTimeout {
 		t.Fatal("timeout not classified")
 	}
 	// httperf's reset class covers every abortive server disconnect.
@@ -173,12 +173,37 @@ func TestErrorClassification(t *testing.T) {
 		io.ErrUnexpectedEOF,
 	}
 	for _, err := range resetClass {
-		if to, rst := classify(err); to || !rst {
-			t.Errorf("classify(%v) = timeout=%v reset=%v, want reset", err, to, rst)
+		if c := classify(err); c != errReset {
+			t.Errorf("classify(%v) = %v, want errReset", err, c)
 		}
 	}
-	if _, rst := classify(errors.New("no route to host")); rst {
+	if c := classify(errors.New("no route to host")); c == errReset {
 		t.Error("unrelated error landed in the reset class")
+	}
+}
+
+func TestUnreachableClassification(t *testing.T) {
+	// Kernel-level network failures get their own class — critically,
+	// ETIMEDOUT must NOT fall into the client-watchdog timeout bucket
+	// even though syscall.Errno.Timeout() reports true for it.
+	unreachableClass := []error{
+		syscall.ETIMEDOUT,
+		syscall.EHOSTUNREACH,
+		syscall.ENETUNREACH,
+		&net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ETIMEDOUT)},
+		&net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.EHOSTUNREACH)},
+		&net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ENETUNREACH)},
+		errors.New("dial tcp 10.0.0.1:80: connect: host is unreachable"),
+		errors.New("dial tcp 10.0.0.1:80: connect: network is unreachable"),
+	}
+	for _, err := range unreachableClass {
+		if c := classify(err); c != errUnreachable {
+			t.Errorf("classify(%v) = %v, want errUnreachable", err, c)
+		}
+	}
+	// The watchdog timeout class must still catch deadline expiries.
+	if c := classify(&net.OpError{Op: "read", Err: timeoutErr{}}); c != errTimeout {
+		t.Error("deadline expiry no longer classified as client timeout")
 	}
 }
 
