@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo chaos chaos-demo lint invariants verify clean
+.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo chaos chaos-demo proxy-demo proxy-test lint invariants verify clean
 
 all: build test
 
@@ -52,6 +52,19 @@ chaos:
 # measured goodput vs discrete-event prediction (~12 s).
 chaos-demo:
 	go run ./examples/chaos
+
+# Live showcase of the serving tier: nioproxy balancing both server
+# architectures under load, with a mid-ramp backend kill, ejection,
+# revival, and the tier-merged telemetry rollup (~6 s).
+proxy-demo:
+	go run ./examples/proxy
+
+# The serving-tier suite under the race detector: proxy unit tests,
+# rollup merge/scrape tests, and the end-to-end parity/failover/shed
+# integration tests.
+proxy-test:
+	go test -race -count=1 ./internal/proxy/ ./internal/obs/rollup/
+	go test -race -count=1 -run 'TestProxy' .
 
 # Formatting, standard vet, and the custom analyzer suite (cmd/niovet):
 # syscallerr, fdlife, refbalance, statssync, nonblock.

@@ -1,0 +1,224 @@
+// Command nioproxy runs the serving tier: an event-driven reverse proxy
+// balancing across health-checked backends, with merged telemetry.
+//
+// Usage:
+//
+//	nioproxy -port 8000 -backends 127.0.0.1:8080@127.0.0.1:9090,127.0.0.1:8081 \
+//	         -balance least -admin 127.0.0.1:9000
+//
+// Each -backends element is "addr" or "addr@adminAddr"; when an admin
+// address is given, the proxy's rollup collector scrapes that backend's
+// /rollup export and the proxy's admin plane serves the tier-merged
+// view at /backends alongside its own /stats. Stop with SIGINT: the
+// proxy drains (finishes in-flight relays, up to -drain) before
+// exiting; final stats are printed on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/rollup"
+	"repro/internal/overload"
+	"repro/internal/proxy"
+)
+
+func main() {
+	port := flag.Int("port", 8000, "port to listen on (0 picks a free port)")
+	backends := flag.String("backends", "", `comma-separated backends: "addr" or "addr@adminAddr" (required)`)
+	balance := flag.String("balance", "least", "balancing policy: rr | least | hash")
+	maxPer := flag.Int("max-per-backend", 64, "max open upstream sockets per backend")
+	maxIdle := flag.Int("max-idle", 16, "max parked keep-alive upstream sockets per backend")
+	maxWait := flag.Int("max-wait", 256, "max relays queued per backend before shedding")
+	attempts := flag.Int("relay-attempts", 3, "relay attempts per request before a 502")
+	probeEvery := flag.Duration("probe-every", time.Second, "active health-probe interval (0 disables probing)")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "health-probe timeout")
+	probePath := flag.String("probe-path", "/", "health-probe request path")
+	probeSeed := flag.Uint64("probe-seed", 7, "health-probe jitter seed")
+	failAfter := flag.Int("fail-after", 3, "consecutive failures before ejecting a backend")
+	reviveAfter := flag.Int("revive-after", 2, "consecutive probe successes before re-admitting a backend")
+	readmitAfter := flag.Duration("readmit-after", 5*time.Second, "with probing disabled, cooldown before an ejected backend re-enters rotation on probation")
+	maxConns := flag.Int("max-conns", 4096, "shed client connections above this many with 503 + Via")
+	targetP95 := flag.Duration("target-p95", 0, "tier-level adaptive overload control: shed accepts to hold p95 first-response latency near this target (0 = disabled)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After advertised on tier sheds (rounded up to whole seconds)")
+	watchdog := flag.Duration("watchdog", 0, "flag a proxy loop stalled longer than this (0 = disabled)")
+	admin := flag.String("admin", "", `admin listener, e.g. "127.0.0.1:9000": serves /stats, /trace, /rollup, /backends, /debug/pprof/ ("" = disabled)`)
+	traceRing := flag.Int("trace-ring", 1<<14, "trace ring capacity in events (rounded up to a power of two)")
+	scrapeEvery := flag.Duration("scrape-every", time.Second, "backend /rollup scrape interval")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget on SIGINT")
+	flag.Parse()
+
+	bcfgs, targets, err := parseBackends(*backends)
+	if err != nil {
+		log.Fatalf("parsing -backends: %v", err)
+	}
+	cfg := proxy.DefaultConfig(bcfgs)
+	cfg.Port = *port
+	cfg.MaxPerBackend = *maxPer
+	cfg.MaxIdlePerBackend = *maxIdle
+	cfg.MaxWaitPerBackend = *maxWait
+	cfg.RelayAttempts = *attempts
+	cfg.ProbeEvery = *probeEvery
+	cfg.ProbeTimeout = *probeTimeout
+	cfg.ProbePath = *probePath
+	cfg.ProbeSeed = *probeSeed
+	cfg.FailAfter = *failAfter
+	cfg.ReviveAfter = *reviveAfter
+	cfg.ReadmitAfter = *readmitAfter
+	cfg.MaxConns = *maxConns
+	cfg.Balance, err = proxy.ParsePolicy(*balance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.RetryAfterSec = int((*retryAfter + time.Second - 1) / time.Second)
+	cfg.OnHealthChange = func(name string, healthy bool) {
+		if healthy {
+			log.Printf("backend %s re-admitted", name)
+		} else {
+			log.Printf("backend %s ejected", name)
+		}
+	}
+
+	var ctl *overload.Controller
+	if *targetP95 > 0 {
+		ctl, err = overload.NewController(overload.Config{TargetP95: *targetP95, RetryAfter: *retryAfter})
+		if err != nil {
+			log.Fatalf("overload controller: %v", err)
+		}
+		cfg.Admission = ctl
+	}
+	var wd *overload.Watchdog
+	if *watchdog > 0 {
+		wd, err = overload.NewWatchdog(overload.WatchdogConfig{
+			Interval: *watchdog,
+			OnStall: func(s overload.Stall) {
+				log.Printf("watchdog: %s stalled for %v", s.Name, s.Age)
+			},
+		})
+		if err != nil {
+			log.Fatalf("watchdog: %v", err)
+		}
+		defer wd.Stop()
+		cfg.Watchdog = wd
+	}
+	var plane *obs.Plane
+	if *admin != "" {
+		if *traceRing <= 0 {
+			log.Fatalf("-trace-ring must be positive, got %d", *traceRing)
+		}
+		plane = obs.NewPlane(*traceRing)
+		cfg.Obs = plane
+	}
+
+	p, err := proxy.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("starting proxy: %v", err)
+	}
+
+	var coll *rollup.Collector
+	if *admin != "" {
+		coll = rollup.NewCollector()
+		if len(targets) > 0 {
+			sc := rollup.NewScraper(coll, targets, *scrapeEvery)
+			sc.Start()
+			defer sc.Stop()
+		}
+		// /backends is the tier view: the proxy's own counters, the live
+		// pool state, and the merged-from-rollups backend telemetry.
+		backendsView := func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "== proxy ==\n")
+			obs.RenderStats(w, proxy.StatsFields(p.Stats()), plane)
+			for _, b := range p.Backends() {
+				s := b.Stats()
+				fmt.Fprintf(w, "backend.%s.healthy %v\n", s.Name, s.Healthy)
+				fmt.Fprintf(w, "backend.%s.relayed %d\n", s.Name, s.Relayed)
+				fmt.Fprintf(w, "backend.%s.relayed_503 %d\n", s.Name, s.Relayed503)
+				fmt.Fprintf(w, "backend.%s.errors %d\n", s.Name, s.Errors)
+				fmt.Fprintf(w, "backend.%s.inflight %d\n", s.Name, s.Inflight)
+			}
+			coll.RenderMerged(w)
+		}
+		ad, err := obs.NewAdmin(*admin, obs.AdminConfig{
+			Name:  "nioproxy",
+			Stats: func() []obs.Field { return proxy.StatsFields(p.Stats()) },
+			Plane: plane,
+			Extra: map[string]http.HandlerFunc{"/backends": backendsView},
+		})
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		defer ad.Close()
+		fmt.Printf("admin endpoint on http://%s (/stats /trace /rollup /backends /debug/pprof/)\n", ad.Addr())
+	}
+
+	if err := p.Start(); err != nil {
+		log.Fatalf("starting proxy: %v", err)
+	}
+	names := make([]string, len(bcfgs))
+	for i, b := range bcfgs {
+		names[i] = fmt.Sprintf("%s(%s)", b.Name, b.Addr)
+	}
+	fmt.Printf("nioproxy listening on %s (%s over %s)\n",
+		p.Addr(), cfg.Balance, strings.Join(names, ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if !p.Drain(*drain) {
+		fmt.Fprintf(os.Stderr, "drain budget %v exceeded; remaining connections cut\n", *drain)
+	}
+	st := p.Stats()
+	fmt.Printf("accepted=%d replies=%d shed=%d no-backend=%d 502s=%d relayed-503s=%d dials=%d reuses=%d up-errors=%d retries=%d ejections=%d readmissions=%d\n",
+		st.Accepted, st.Replies, st.Shed, st.NoBackend, st.BadGateway, st.Relayed503,
+		st.UpstreamDials, st.UpstreamReuses, st.UpstreamErrors, st.UpstreamRetries,
+		st.Ejections, st.Readmissions)
+	for _, b := range p.Backends() {
+		s := b.Stats()
+		fmt.Printf("backend %s: healthy=%v relayed=%d relayed-503s=%d errors=%d dials=%d reuses=%d\n",
+			s.Name, s.Healthy, s.Relayed, s.Relayed503, s.Errors, s.Dials, s.Reuses)
+	}
+	if ctl != nil {
+		cs := ctl.Stats()
+		fmt.Printf("overload: admitted=%d shed=%d rate=%.0f/s last-p95=%v steps=%d down/%d up\n",
+			cs.Admitted, cs.Shed, cs.Rate, cs.LastP95, cs.Decreases, cs.Increases)
+	}
+}
+
+// parseBackends resolves the -backends flag: "addr" or "addr@adminAddr"
+// elements, comma-separated. Backends with admin addresses become
+// rollup scrape targets.
+func parseBackends(spec string) ([]proxy.BackendConfig, []rollup.Target, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil, fmt.Errorf("at least one backend is required")
+	}
+	var cfgs []proxy.BackendConfig
+	var targets []rollup.Target
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name := fmt.Sprintf("b%d", i)
+		addr, adminAddr, _ := strings.Cut(part, "@")
+		if addr == "" {
+			return nil, nil, fmt.Errorf("backend %d has an empty address", i)
+		}
+		cfgs = append(cfgs, proxy.BackendConfig{Addr: addr, AdminAddr: adminAddr, Name: name})
+		if adminAddr != "" {
+			targets = append(targets, rollup.Target{Name: name, Addr: adminAddr})
+		}
+	}
+	if len(cfgs) == 0 {
+		return nil, nil, fmt.Errorf("at least one backend is required")
+	}
+	return cfgs, targets, nil
+}

@@ -31,6 +31,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "server address")
+	targetAddr := flag.String("target", "", `dial this address instead of -addr — point it at a nioproxy front to drive a serving tier ("" = -addr). Composes with -chaos: the emulated link sits between the clients and the target.`)
 	clients := flag.Int("clients", 50, "concurrent emulated clients (closed loop)")
 	rate := flag.Float64("rate", 0, "open-loop session arrival rate/s (overrides -clients)")
 	duration := flag.Duration("duration", 30*time.Second, "measurement window")
@@ -101,10 +102,15 @@ func main() {
 		*clients = 0
 	}
 
-	// With -chaos, the clients dial a faultline proxy applying the named
-	// scenario's per-connection link discipline instead of the server
-	// directly; the traffic itself stays whatever the workload flags say.
+	// -target overrides where the clients dial (e.g. a nioproxy front
+	// while -admin still points at a backend); with -chaos, the clients
+	// instead dial a faultline proxy applying the named scenario's
+	// per-connection link discipline, and the emulated link dials the
+	// target. The traffic itself stays whatever the workload flags say.
 	target := *addr
+	if *targetAddr != "" {
+		target = *targetAddr
+	}
 	var proxy *faultline.Proxy
 	if *chaos != "" {
 		sc, err := scenario.ByName(*chaos)
@@ -112,7 +118,7 @@ func main() {
 			log.Fatal(err)
 		}
 		proxy, err = faultline.New(faultline.Config{
-			Upstream: *addr,
+			Upstream: target,
 			Seed:     *chaosSeed,
 			Plan:     sc.Plan(),
 		})
@@ -120,8 +126,8 @@ func main() {
 			log.Fatalf("chaos link: %v", err)
 		}
 		defer proxy.Close()
+		fmt.Printf("chaos: scenario %s (seed %d) between clients and %s\n", sc.Name, *chaosSeed, target)
 		target = proxy.Addr()
-		fmt.Printf("chaos: scenario %s (seed %d) between clients and %s\n", sc.Name, *chaosSeed, *addr)
 	}
 
 	stopScrape := startAdminScraper(*adminAddr, *adminEvery)
@@ -161,6 +167,8 @@ func main() {
 	if res.Sheds > 0 || res.Retries > 0 {
 		fmt.Printf("503 sheds:          %d (%.1f/s), honored with %d backed-off retries\n",
 			res.Sheds, res.ShedsPerSec, res.Retries)
+		fmt.Printf("  shed by proxy:    %d (503 carried Via)\n", res.ProxySheds)
+		fmt.Printf("  shed by backend:  %d\n", res.BackendSheds)
 	}
 	if proxy != nil {
 		fmt.Printf("chaos link stats:\n%s\n", indent(proxy.Stats().String(), "  "))

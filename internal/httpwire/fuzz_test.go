@@ -2,6 +2,8 @@ package httpwire
 
 import (
 	"bytes"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -86,6 +88,81 @@ func FuzzConditional(f *testing.F) {
 			if !ok2 || !rt.Equal(ts.UTC().Truncate(time.Second)) {
 				t.Fatalf("HTTP date %q did not round-trip: %v -> %v", header, ts, rt)
 			}
+		}
+	})
+}
+
+// FuzzRetryAfter exercises the Retry-After value parser the relay path
+// and the load generator's shed backoff depend on. It must never panic,
+// never produce a negative wait, and must agree with the delta-seconds
+// grammar on all-digit inputs.
+func FuzzRetryAfter(f *testing.F) {
+	seeds := []string{
+		"1", "0", "120", "  30  ", "999999999999999999999",
+		"Sun, 06 Nov 1994 08:49:37 GMT",
+		"Sunday, 06-Nov-94 08:49:37 GMT",
+		"Sun Nov  6 08:49:37 1994",
+		"-5", "1.5", "", "soon", "\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	now := time.Date(2004, 8, 1, 12, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, v string) {
+		d, ok := ParseRetryAfterValue(v, now)
+		if d < 0 {
+			t.Fatalf("ParseRetryAfterValue(%q) returned negative wait %v", v, d)
+		}
+		if !ok && d != 0 {
+			t.Fatalf("ParseRetryAfterValue(%q) not-ok but nonzero %v", v, d)
+		}
+		// A parsed HTTP-date in the future must resolve to now-relative
+		// delta, and delta-seconds must round-trip exactly.
+		trimmed := strings.TrimSpace(v)
+		if ok && trimmed != "" {
+			allDigits := true
+			for i := 0; i < len(trimmed); i++ {
+				if trimmed[i] < '0' || trimmed[i] > '9' {
+					allDigits = false
+					break
+				}
+			}
+			if allDigits {
+				secs, err := strconv.ParseInt(trimmed, 10, 32)
+				if err == nil && time.Duration(secs)*time.Second != d {
+					t.Fatalf("delta-seconds %q parsed to %v", v, d)
+				}
+			}
+		}
+	})
+}
+
+// FuzzForwardHeaders feeds arbitrary parsed requests through the relay
+// rewrite: it must never panic, never emit a hop-by-hop field, and must
+// always stamp the relaying Via token exactly once (last element).
+func FuzzForwardHeaders(f *testing.F) {
+	f.Add("Via", "1.0 upstream", "Connection", "keep-alive")
+	f.Add("X-Forwarded-For", "10.0.0.1", "Host", "sut")
+	f.Add("via", "a, b", "x-forwarded-for", "::1")
+	f.Add("Transfer-Encoding", "chunked", "TE", "trailers")
+	f.Add("\x00", "\xff", "", "")
+	f.Fuzz(func(t *testing.T, n1, v1, n2, v2 string) {
+		req := &Request{Headers: []Header{{Name: n1, Value: v1}, {Name: n2, Value: v2}}}
+		out := ForwardHeaders(req, "1.1 nioproxy", "127.0.0.1")
+		seenVia := 0
+		for _, h := range out {
+			if hopByHop(h.Name) {
+				t.Fatalf("hop-by-hop header %q forwarded from (%q,%q)", h.Name, n1, n2)
+			}
+			if equalFold(h.Name, "Via") {
+				seenVia++
+				if !strings.HasSuffix(h.Value, "1.1 nioproxy") {
+					t.Fatalf("Via %q does not end with the relay token", h.Value)
+				}
+			}
+		}
+		if seenVia != 1 {
+			t.Fatalf("want exactly one Via header, got %d from (%q,%q)", seenVia, n1, n2)
 		}
 	})
 }

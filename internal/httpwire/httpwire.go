@@ -301,6 +301,8 @@ func StatusText(code int) string {
 		return "Internal Server Error"
 	case 501:
 		return "Not Implemented"
+	case 502:
+		return "Bad Gateway"
 	case 503:
 		return "Service Unavailable"
 	default:

@@ -1,0 +1,118 @@
+package httpwire
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestForwardHeaders(t *testing.T) {
+	req := &Request{
+		Method: "GET", Path: "/obj/1", Proto: "HTTP/1.1",
+		Headers: []Header{
+			{Name: "Host", Value: "sut"},
+			{Name: "Connection", Value: "keep-alive"},
+			{Name: "Keep-Alive", Value: "timeout=5"},
+			{Name: "User-Agent", Value: "loadgen/1.0"},
+			{Name: "Via", Value: "1.0 edge"},
+			{Name: "X-Forwarded-For", Value: "10.1.2.3"},
+		},
+	}
+	out := ForwardHeaders(req, "1.1 nioproxy", "127.0.0.1")
+	get := func(name string) (string, bool) {
+		for _, h := range out {
+			if equalFold(h.Name, name) {
+				return h.Value, true
+			}
+		}
+		return "", false
+	}
+	if _, found := get("Connection"); found {
+		t.Fatal("Connection forwarded")
+	}
+	if _, found := get("Keep-Alive"); found {
+		t.Fatal("Keep-Alive forwarded")
+	}
+	if v, _ := get("Host"); v != "sut" {
+		t.Fatalf("Host = %q", v)
+	}
+	if v, _ := get("Via"); v != "1.0 edge, 1.1 nioproxy" {
+		t.Fatalf("Via = %q, want chain preserved and extended", v)
+	}
+	if v, _ := get("X-Forwarded-For"); v != "10.1.2.3, 127.0.0.1" {
+		t.Fatalf("X-Forwarded-For = %q", v)
+	}
+
+	// Without prior provenance, the relay's own entries start the lists.
+	out = ForwardHeaders(&Request{Headers: []Header{{Name: "Host", Value: "h"}}}, "1.1 nioproxy", "192.168.0.9")
+	joined := ""
+	for _, h := range out {
+		joined += h.Name + ":" + h.Value + ";"
+	}
+	if joined != "Host:h;Via:1.1 nioproxy;X-Forwarded-For:192.168.0.9;" {
+		t.Fatalf("unexpected headers %q", joined)
+	}
+}
+
+func TestAppendRequestHeadRoundTrips(t *testing.T) {
+	wire := AppendRequestHead(nil, "GET", "/obj/7", "HTTP/1.1", []Header{
+		{Name: "Host", Value: "sut"},
+		{Name: "Via", Value: "1.1 nioproxy"},
+	})
+	var p Parser
+	reqs, err := p.Feed(nil, wire)
+	if err != nil || len(reqs) != 1 {
+		t.Fatalf("re-parse: %d reqs, err %v (wire %q)", len(reqs), err, wire)
+	}
+	r := reqs[0]
+	if r.Method != "GET" || r.Path != "/obj/7" || r.Proto != "HTTP/1.1" {
+		t.Fatalf("round-trip mangled request line: %+v", r)
+	}
+	if v, _ := r.Get("Via"); v != "1.1 nioproxy" {
+		t.Fatalf("Via = %q", v)
+	}
+	if !r.KeepAlive {
+		t.Fatal("HTTP/1.1 head without Connection must be keep-alive")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2004, 8, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"3", 3 * time.Second, true},
+		{"0", 0, true},
+		{" 12 ", 12 * time.Second, true},
+		{"Sun, 01 Aug 2004 12:00:30 GMT", 30 * time.Second, true},
+		{"Sun, 01 Aug 2004 11:00:00 GMT", 0, true}, // past date clamps to 0
+		{"-5", 0, false},
+		{"soon", 0, false},
+		{"", 0, false},
+		{"99999999999999999999", 0, false}, // overflow is unparseable
+	}
+	for _, c := range cases {
+		resp := &Response{Headers: []Header{{Name: "Retry-After", Value: c.v}}}
+		d, ok := ParseRetryAfter(resp, now)
+		if ok != c.ok || d != c.want {
+			t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.v, d, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := ParseRetryAfter(&Response{}, now); ok {
+		t.Error("absent header parsed ok")
+	}
+}
+
+func TestStatusTextBadGateway(t *testing.T) {
+	if s := StatusText(502); s != "Bad Gateway" {
+		t.Fatalf("StatusText(502) = %q", s)
+	}
+	head := AppendResponseHeaderExtra(nil, 502, "text/plain", 0, false,
+		Header{Name: "Via", Value: "1.1 nioproxy"})
+	if !strings.Contains(string(head), "HTTP/1.1 502 Bad Gateway\r\n") ||
+		!strings.Contains(string(head), "\r\nVia: 1.1 nioproxy\r\n") {
+		t.Fatalf("502 head malformed: %q", head)
+	}
+}

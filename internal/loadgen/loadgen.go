@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -129,6 +128,15 @@ type Result struct {
 	// as the error taxonomy separates timeouts from resets.
 	Sheds       int64
 	ShedsPerSec float64
+	// ProxySheds and BackendSheds attribute Sheds to the tier that
+	// refused the work, keyed on the Via header: an intermediary stamps
+	// Via on responses it originates (and nioproxy relays backend
+	// responses byte-untouched), so a 503 carrying Via was shed by the
+	// proxy and one without was shed by the origin server. Against a
+	// direct server every shed is a BackendShed. The two always sum to
+	// Sheds.
+	ProxySheds   int64
+	BackendSheds int64
 	// Retries counts re-dial attempts made after honoring a shed's
 	// Retry-After with capped exponential backoff.
 	Retries int64
@@ -197,6 +205,8 @@ func Run(opts Options) (Result, error) {
 		Sessions:          g.sessions.Value(),
 		NotModified:       g.notMod.Value(),
 		Sheds:             g.sheds.Value(),
+		ProxySheds:        g.proxySheds.Value(),
+		BackendSheds:      g.backendSheds.Value(),
 		Retries:           g.retries.Value(),
 	}
 	res.RepliesPerSec = float64(res.Replies) / d
@@ -221,6 +231,8 @@ type generator struct {
 	sessions     metrics.Counter
 	notMod       metrics.Counter
 	sheds        metrics.Counter
+	proxySheds   metrics.Counter
+	backendSheds metrics.Counter
 	retries      metrics.Counter
 
 	mu        sync.Mutex
@@ -480,15 +492,21 @@ func (g *generator) playConn(session surge.Session, start int, rng *dist.RNG, et
 					if resp.StatusCode == 503 {
 						// Shed: not a reply, not an error — its own class.
 						// Requests pipelined behind it are lost (the server
-						// closes); the retry resumes from this one.
+						// closes); the retry resumes from this one. The Via
+						// header attributes the refusal: a proxy stamps Via
+						// on the sheds it originates but relays backend
+						// responses untouched.
 						if g.inWindow() {
 							g.sheds.Inc()
+							if _, fromProxy := resp.Get("Via"); fromProxy {
+								g.proxySheds.Inc()
+							} else {
+								g.backendSheds.Inc()
+							}
 						}
 						ra := time.Second
-						if v, ok := resp.Get("Retry-After"); ok {
-							if secs, aerr := strconv.Atoi(strings.TrimSpace(v)); aerr == nil && secs >= 0 {
-								ra = time.Duration(secs) * time.Second
-							}
+						if d, ok := httpwire.ParseRetryAfter(resp, time.Now()); ok {
+							ra = d
 						}
 						return respIdx, ra, playShed
 					}

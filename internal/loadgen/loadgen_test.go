@@ -314,17 +314,21 @@ func TestRevalidateFractionValidated(t *testing.T) {
 }
 
 // shedServer is a fake server that sheds every odd-numbered connection
-// with 503 + "Retry-After: 0" + close and serves every even-numbered one
-// with a 200 per request — the minimal peer for exercising the client's
-// shed/backoff/resume loop deterministically and fast.
+// with a 503 carrying the given headers + close and serves every
+// even-numbered one with a 200 per request — the minimal peer for
+// exercising the client's shed/backoff/resume loop deterministically
+// and fast.
 type shedServer struct {
 	ln    net.Listener
 	conns atomic.Int64
 	wg    sync.WaitGroup
 }
 
-func newShedServer(t *testing.T) *shedServer {
+func newShedServer(t *testing.T, shedHeaders ...httpwire.Header) *shedServer {
 	t.Helper()
+	if len(shedHeaders) == 0 {
+		shedHeaders = []httpwire.Header{{Name: "Retry-After", Value: "0"}}
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -347,7 +351,7 @@ func newShedServer(t *testing.T) *shedServer {
 				if n%2 == 1 {
 					_, _ = conn.Read(buf)
 					_, _ = conn.Write(httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
-						httpwire.Header{Name: "Retry-After", Value: "0"}))
+						shedHeaders...))
 					return
 				}
 				var parser httpwire.Parser
@@ -410,6 +414,47 @@ func TestShedRetryAfterHonored(t *testing.T) {
 	}
 	if res.Replies < res.Sessions {
 		t.Fatalf("replies %d below sessions %d", res.Replies, res.Sessions)
+	}
+	// No Via header on these 503s: every shed is attributed to the
+	// backend tier.
+	if res.BackendSheds != res.Sheds || res.ProxySheds != 0 {
+		t.Fatalf("attribution: sheds=%d proxy=%d backend=%d, want all backend",
+			res.Sheds, res.ProxySheds, res.BackendSheds)
+	}
+}
+
+// TestShedAttributionVia proves the Via-keyed split: a 503 stamped with
+// a Via header is a proxy-originated shed, and the HTTP-date Retry-After
+// form (a date in the past → retry immediately) is honored on the
+// shed-retry path.
+func TestShedAttributionVia(t *testing.T) {
+	srv := newShedServer(t,
+		httpwire.Header{Name: "Retry-After", Value: "Sun, 06 Nov 1994 08:49:37 GMT"},
+		httpwire.Header{Name: "Via", Value: "1.1 nioproxy"})
+	defer srv.stop()
+
+	oneReq := surge.Session{Requests: []surge.Request{{Object: surge.Object{ID: 0}}}}
+	opts := Options{
+		Addr:     srv.ln.Addr().String(),
+		Clients:  1,
+		Warmup:   0,
+		Duration: 700 * time.Millisecond,
+		Timeout:  5 * time.Second,
+		Seed:     7,
+		SourceFactory: func(int, *dist.RNG) surge.SessionSource {
+			return sessionFunc(func() surge.Session { return oneReq })
+		},
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sheds == 0 || res.Sessions == 0 {
+		t.Fatalf("shed/retry path not exercised: %+v", res)
+	}
+	if res.ProxySheds != res.Sheds || res.BackendSheds != 0 {
+		t.Fatalf("attribution: sheds=%d proxy=%d backend=%d, want all proxy",
+			res.Sheds, res.ProxySheds, res.BackendSheds)
 	}
 }
 

@@ -31,6 +31,13 @@ type AdminConfig struct {
 	// Plane supplies the trace ring and phase histograms; nil serves
 	// /stats without phase or trace sections.
 	Plane *Plane
+	// Name identifies this server in /rollup exports (the source tag a
+	// rollup collector aggregates under). Defaults to "server".
+	Name string
+	// Extra mounts additional read-only routes on the admin mux (path
+	// -> handler), e.g. a proxy's tier-merged /backends view. Paths
+	// colliding with the built-in routes are rejected.
+	Extra map[string]http.HandlerFunc
 }
 
 // Admin is the introspection endpoint for one server.
@@ -54,6 +61,14 @@ func NewAdmin(addr string, cfg AdminConfig) (*Admin, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		RenderStats(w, cfg.Stats(), cfg.Plane)
 	})
+	name := cfg.Name
+	if name == "" {
+		name = "server"
+	}
+	mux.HandleFunc("/rollup", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		RenderRollup(w, SnapshotRollup(name, cfg.Stats(), cfg.Plane))
+	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		f, err := ParseTraceFilter(r.URL.RawQuery)
 		if err != nil {
@@ -68,6 +83,16 @@ func NewAdmin(addr string, cfg AdminConfig) (*Admin, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range cfg.Extra {
+		switch path {
+		case "/stats", "/trace", "/rollup", "", "/debug/pprof/",
+			"/debug/pprof/cmdline", "/debug/pprof/profile",
+			"/debug/pprof/symbol", "/debug/pprof/trace":
+			ln.Close()
+			return nil, fmt.Errorf("obs: extra route %q collides with a built-in", path)
+		}
+		mux.HandleFunc(path, h)
+	}
 	a := &Admin{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go a.srv.Serve(ln)
 	return a, nil

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// A RollupSnapshot is one server's telemetry captured for aggregation:
+// its counters, its lifecycle-event counts, and its FULL phase latency
+// distributions — not pre-computed quantiles. Quantiles do not compose
+// (the p95 of two servers is not any function of their p95s), but
+// histogram buckets add, so shipping the buckets is what makes a
+// tier-level merged view honest. Merging is commutative and associative
+// by construction: fields and kinds sum, distributions merge through
+// metrics.Dist.Merge.
+type RollupSnapshot struct {
+	// Name identifies the source server ("nio-a", "mt-b", ...).
+	Name string
+	// Fields are the server counters, in the source's render order.
+	Fields []Field
+	// Kinds are the trace-plane event counts, indexed by Kind.
+	Kinds [NumKinds]int64
+	// Phases maps phase name ("queue_wait", "parse", "handler",
+	// "write") to the full bucket state of that phase's histogram.
+	Phases map[string]metrics.Dist
+}
+
+// SnapshotRollup captures a server's current state for export. pl may
+// be nil (fields only).
+func SnapshotRollup(name string, fields []Field, pl *Plane) RollupSnapshot {
+	s := RollupSnapshot{Name: name, Fields: fields, Phases: map[string]metrics.Dist{}}
+	if pl == nil {
+		return s
+	}
+	for _, ph := range phaseOrder {
+		s.Phases[ph.name] = ph.get(pl.phases).Dist()
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		s.Kinds[k] = pl.Count(k)
+	}
+	return s
+}
+
+// Merge combines two snapshots into one named as given: counters with
+// the same field name sum (a field present on one side passes through),
+// kind counts sum, and phase distributions bucket-merge. Distributions
+// for the same phase must share a histogram layout — all servers in
+// this repo use metrics.NewLatencyHistogram, and a mismatch panics per
+// the metrics.Dist.Merge contract rather than silently corrupting the
+// merged view.
+func (s RollupSnapshot) Merge(o RollupSnapshot, name string) RollupSnapshot {
+	out := RollupSnapshot{Name: name, Phases: map[string]metrics.Dist{}}
+	seen := make(map[string]int)
+	for _, f := range s.Fields {
+		if i, dup := seen[f.Name]; dup {
+			out.Fields[i].Value += f.Value
+			continue
+		}
+		seen[f.Name] = len(out.Fields)
+		out.Fields = append(out.Fields, f)
+	}
+	for _, f := range o.Fields {
+		if i, dup := seen[f.Name]; dup {
+			out.Fields[i].Value += f.Value
+			continue
+		}
+		seen[f.Name] = len(out.Fields)
+		out.Fields = append(out.Fields, f)
+	}
+	for k := 0; k < NumKinds; k++ {
+		out.Kinds[k] = s.Kinds[k] + o.Kinds[k]
+	}
+	for name, d := range s.Phases {
+		if od, ok := o.Phases[name]; ok {
+			out.Phases[name] = d.Merge(od)
+		} else {
+			out.Phases[name] = d
+		}
+	}
+	for name, d := range o.Phases {
+		if _, ok := s.Phases[name]; !ok {
+			out.Phases[name] = d
+		}
+	}
+	return out
+}
+
+// RenderRollup writes the snapshot in the line-oriented wire format:
+//
+//	rollup <name>
+//	field <name> <value>
+//	kind <kind-name> <count>
+//	dist <phase> <min> <max> <perDecade> <nbuckets> <under> <over> <sumMicros> [<i>:<count> ...]
+//	end
+//
+// Bucket counts are sparse (only non-zero buckets appear), floats use
+// the shortest exact representation, and the document ends with an
+// explicit "end" so a truncated scrape is detectable.
+func RenderRollup(w io.Writer, s RollupSnapshot) {
+	fmt.Fprintf(w, "rollup %s\n", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(w, "field %s %d\n", f.Name, f.Value)
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		fmt.Fprintf(w, "kind %s %d\n", k, s.Kinds[k])
+	}
+	names := make([]string, 0, len(s.Phases))
+	for name := range s.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := s.Phases[name]
+		fmt.Fprintf(w, "dist %s %s %s %d %d %d %d %d",
+			name,
+			strconv.FormatFloat(d.Min, 'g', -1, 64),
+			strconv.FormatFloat(d.Max, 'g', -1, 64),
+			d.PerDecade, len(d.Counts), d.Under, d.Over, d.SumMicros)
+		for i, c := range d.Counts {
+			if c != 0 {
+				fmt.Fprintf(w, " %d:%d", i, c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "end")
+}
+
+// ParseRollup reads one snapshot in RenderRollup's wire format.
+func ParseRollup(r io.Reader) (RollupSnapshot, error) {
+	s := RollupSnapshot{Phases: map[string]metrics.Dist{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	sawHeader, sawEnd := false, false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Fields(line)
+		switch parts[0] {
+		case "rollup":
+			if len(parts) != 2 {
+				return s, fmt.Errorf("obs: bad rollup header %q", line)
+			}
+			s.Name = parts[1]
+			sawHeader = true
+		case "field":
+			if len(parts) != 3 {
+				return s, fmt.Errorf("obs: bad field line %q", line)
+			}
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("obs: bad field value %q: %w", line, err)
+			}
+			s.Fields = append(s.Fields, Field{Name: parts[1], Value: v})
+		case "kind":
+			if len(parts) != 3 {
+				return s, fmt.Errorf("obs: bad kind line %q", line)
+			}
+			k, ok := ParseKind(parts[1])
+			if !ok {
+				// A newer exporter may know kinds this parser does not;
+				// skip rather than fail, so versions can roll forward.
+				continue
+			}
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("obs: bad kind value %q: %w", line, err)
+			}
+			s.Kinds[k] = v
+		case "dist":
+			d, name, err := parseDistLine(parts)
+			if err != nil {
+				return s, err
+			}
+			s.Phases[name] = d
+		case "end":
+			sawEnd = true
+		default:
+			return s, fmt.Errorf("obs: unknown rollup line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	if !sawHeader {
+		return s, fmt.Errorf("obs: rollup document has no header")
+	}
+	if !sawEnd {
+		return s, fmt.Errorf("obs: rollup document truncated (no end marker)")
+	}
+	return s, nil
+}
+
+func parseDistLine(parts []string) (metrics.Dist, string, error) {
+	var d metrics.Dist
+	if len(parts) < 9 {
+		return d, "", fmt.Errorf("obs: short dist line %q", strings.Join(parts, " "))
+	}
+	name := parts[1]
+	var err error
+	if d.Min, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return d, "", fmt.Errorf("obs: dist %s min: %w", name, err)
+	}
+	if d.Max, err = strconv.ParseFloat(parts[3], 64); err != nil {
+		return d, "", fmt.Errorf("obs: dist %s max: %w", name, err)
+	}
+	ints := make([]int64, 5)
+	for i, p := range parts[4:9] {
+		if ints[i], err = strconv.ParseInt(p, 10, 64); err != nil {
+			return d, "", fmt.Errorf("obs: dist %s field %d: %w", name, i, err)
+		}
+	}
+	nbuckets := ints[1]
+	if nbuckets < 0 || nbuckets > 1<<20 {
+		return d, "", fmt.Errorf("obs: dist %s has absurd bucket count %d", name, nbuckets)
+	}
+	d.PerDecade = int(ints[0])
+	d.Counts = make([]int64, nbuckets)
+	d.Under, d.Over, d.SumMicros = ints[2], ints[3], ints[4]
+	for _, p := range parts[9:] {
+		idx := strings.IndexByte(p, ':')
+		if idx < 0 {
+			return d, "", fmt.Errorf("obs: dist %s bad bucket %q", name, p)
+		}
+		i, err := strconv.ParseInt(p[:idx], 10, 64)
+		if err != nil || i < 0 || i >= nbuckets {
+			return d, "", fmt.Errorf("obs: dist %s bucket index %q out of range", name, p)
+		}
+		c, err := strconv.ParseInt(p[idx+1:], 10, 64)
+		if err != nil {
+			return d, "", fmt.Errorf("obs: dist %s bucket count %q: %w", name, p, err)
+		}
+		d.Counts[i] = c
+	}
+	return d, name, nil
+}
+
+// RenderMergedStats writes a merged snapshot in the /stats text format
+// (server.\* fields, phase.\* summaries recomputed from the MERGED
+// buckets, trace.\* counts), so tier-level and single-server telemetry
+// read identically.
+func RenderMergedStats(w io.Writer, s RollupSnapshot) {
+	for _, f := range s.Fields {
+		fmt.Fprintf(w, "server.%s %d\n", f.Name, f.Value)
+	}
+	names := make([]string, 0, len(s.Phases))
+	for name := range s.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := s.Phases[name]
+		fmt.Fprintf(w, "phase.%s.count %d\n", name, d.Count())
+		fmt.Fprintf(w, "phase.%s.mean %.6f\n", name, d.Mean())
+		fmt.Fprintf(w, "phase.%s.p50 %.6f\n", name, d.Quantile(0.50))
+		fmt.Fprintf(w, "phase.%s.p95 %.6f\n", name, d.Quantile(0.95))
+		fmt.Fprintf(w, "phase.%s.p99 %.6f\n", name, d.Quantile(0.99))
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		fmt.Fprintf(w, "trace.%s %d\n", statsName(k), s.Kinds[k])
+	}
+}

@@ -1,0 +1,213 @@
+// Package rollup aggregates per-server telemetry snapshots into one
+// tier-level view. Each backend's admin endpoint exports its counters
+// and full phase histograms at /rollup (see obs.RenderRollup); a
+// Scraper polls those endpoints into a Collector; the Collector merges
+// them — counters summed, histogram buckets bucket-merged — so the
+// proxy's admin plane can serve one honest merged /stats alongside the
+// per-backend breakdown. Because the merge runs over full bucket
+// state, the merged p95 is the true p95 of the union of samples, not
+// an average of per-backend quantiles.
+package rollup
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Collector holds the latest snapshot per source and merges on demand.
+type Collector struct {
+	mu    sync.Mutex
+	snaps map[string]obs.RollupSnapshot
+	errs  map[string]error
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		snaps: make(map[string]obs.RollupSnapshot),
+		errs:  make(map[string]error),
+	}
+}
+
+// Ingest stores s as the latest snapshot for its source name,
+// replacing any prior one (snapshots are cumulative state, not deltas).
+func (c *Collector) Ingest(s obs.RollupSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snaps[s.Name] = s
+	delete(c.errs, s.Name)
+}
+
+// NoteError records a scrape failure for a source; it clears on the
+// next successful Ingest and surfaces in RenderMerged.
+func (c *Collector) NoteError(source string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs[source] = err
+}
+
+// Sources returns the source names seen so far, sorted.
+func (c *Collector) Sources() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.snaps))
+	for n := range c.snaps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns the latest snapshot for one source.
+func (c *Collector) Snapshot(name string) (obs.RollupSnapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.snaps[name]
+	return s, ok
+}
+
+// Merged folds every source's latest snapshot into one, under the
+// given name. Merging is order-independent; sources are still folded
+// in sorted order so repeated calls produce identical field ordering.
+func (c *Collector) Merged(name string) obs.RollupSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.snaps))
+	for n := range c.snaps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := obs.RollupSnapshot{Name: name}
+	first := true
+	for _, n := range names {
+		if first {
+			s := c.snaps[n]
+			out = s.Merge(obs.RollupSnapshot{}, name)
+			first = false
+			continue
+		}
+		out = out.Merge(c.snaps[n], name)
+	}
+	return out
+}
+
+// RenderMerged writes the tier view: the merged totals in /stats
+// format, then each source's own numbers, then any scrape errors.
+func (c *Collector) RenderMerged(w io.Writer) {
+	merged := c.Merged("merged")
+	sources := c.Sources()
+	fmt.Fprintf(w, "== merged (%d sources) ==\n", len(sources))
+	obs.RenderMergedStats(w, merged)
+	for _, n := range sources {
+		s, _ := c.Snapshot(n)
+		fmt.Fprintf(w, "== backend %s ==\n", n)
+		obs.RenderMergedStats(w, s)
+	}
+	c.mu.Lock()
+	errNames := make([]string, 0, len(c.errs))
+	for n := range c.errs {
+		errNames = append(errNames, n)
+	}
+	sort.Strings(errNames)
+	errs := make(map[string]error, len(errNames))
+	for _, n := range errNames {
+		errs[n] = c.errs[n]
+	}
+	c.mu.Unlock()
+	for _, n := range errNames {
+		fmt.Fprintf(w, "== scrape-error %s: %v ==\n", n, errs[n])
+	}
+}
+
+// Scrape fetches and parses one /rollup document from an admin
+// endpoint ("host:port").
+func Scrape(client *http.Client, adminAddr string) (obs.RollupSnapshot, error) {
+	resp, err := client.Get("http://" + adminAddr + "/rollup")
+	if err != nil {
+		return obs.RollupSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.RollupSnapshot{}, fmt.Errorf("rollup: %s returned %d", adminAddr, resp.StatusCode)
+	}
+	return obs.ParseRollup(resp.Body)
+}
+
+// Target is one admin endpoint a Scraper polls. Name overrides the
+// source tag in the scraped snapshot — backends often all call
+// themselves "server", and the tier needs them distinguishable.
+type Target struct {
+	Name string
+	Addr string
+}
+
+// Scraper periodically pulls every target's /rollup into a Collector.
+type Scraper struct {
+	c       *Collector
+	targets []Target
+	every   time.Duration
+	client  *http.Client
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewScraper builds a scraper; Start launches it.
+func NewScraper(c *Collector, targets []Target, every time.Duration) *Scraper {
+	return &Scraper{
+		c:       c,
+		targets: targets,
+		every:   every,
+		client:  &http.Client{Timeout: 2 * time.Second},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start begins polling (one immediate sweep, then every interval).
+func (s *Scraper) Start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.every)
+		defer t.Stop()
+		s.sweep()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sweep()
+			}
+		}
+	}()
+}
+
+// Stop halts polling and waits for the loop to exit.
+func (s *Scraper) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Sweep runs one synchronous scrape of all targets (exported so tests
+// and drains can force a final collection).
+func (s *Scraper) Sweep() { s.sweep() }
+
+func (s *Scraper) sweep() {
+	for _, t := range s.targets {
+		snap, err := Scrape(s.client, t.Addr)
+		if err != nil {
+			s.c.NoteError(t.Name, err)
+			continue
+		}
+		if t.Name != "" {
+			snap.Name = t.Name
+		}
+		s.c.Ingest(snap)
+	}
+}

@@ -1,0 +1,149 @@
+package rollup_test
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/rollup"
+)
+
+func snap(name string, replies int64, handlerMillis ...int) obs.RollupSnapshot {
+	h := metrics.NewLatencyHistogram()
+	for _, ms := range handlerMillis {
+		h.ObserveDuration(time.Duration(ms) * time.Millisecond)
+	}
+	s := obs.RollupSnapshot{
+		Name:   name,
+		Fields: []obs.Field{{Name: "replies", Value: replies}},
+		Phases: map[string]metrics.Dist{"handler": h.Dist()},
+	}
+	s.Kinds[obs.Accept] = replies
+	return s
+}
+
+func TestCollectorMerges(t *testing.T) {
+	c := rollup.NewCollector()
+	c.Ingest(snap("nio-a", 10, 1, 2, 3))
+	c.Ingest(snap("mt-b", 20, 4, 5))
+
+	if got := c.Sources(); len(got) != 2 || got[0] != "mt-b" || got[1] != "nio-a" {
+		t.Fatalf("sources = %v", got)
+	}
+	m := c.Merged("tier")
+	if m.Name != "tier" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if len(m.Fields) != 1 || m.Fields[0].Value != 30 {
+		t.Fatalf("merged fields = %+v", m.Fields)
+	}
+	if m.Kinds[obs.Accept] != 30 {
+		t.Fatalf("merged accepts = %d", m.Kinds[obs.Accept])
+	}
+	if d := m.Phases["handler"]; d.Count() != 5 {
+		t.Fatalf("merged handler count = %d", d.Count())
+	}
+
+	// Re-ingesting a source REPLACES its snapshot (cumulative, not delta).
+	c.Ingest(snap("nio-a", 15, 1, 2, 3, 4))
+	m = c.Merged("tier")
+	if m.Fields[0].Value != 35 {
+		t.Fatalf("after re-ingest, merged replies = %d, want 35", m.Fields[0].Value)
+	}
+}
+
+func TestRenderMergedLayout(t *testing.T) {
+	c := rollup.NewCollector()
+	c.Ingest(snap("nio-a", 1, 1))
+	c.Ingest(snap("mt-b", 2, 2))
+	c.NoteError("ghost", errors.New("connection refused"))
+
+	var buf bytes.Buffer
+	c.RenderMerged(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"== merged (2 sources) ==",
+		"server.replies 3",
+		"== backend mt-b ==",
+		"== backend nio-a ==",
+		"phase.handler.count 2",
+		"== scrape-error ghost: connection refused ==",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged render missing %q:\n%s", want, out)
+		}
+	}
+	// The merged section must come first.
+	if strings.Index(out, "== merged") > strings.Index(out, "== backend") {
+		t.Fatalf("merged section not first:\n%s", out)
+	}
+}
+
+// TestScraperEndToEnd runs two real admin endpoints and one dead
+// target: the scraper must pull and re-tag both live snapshots, note
+// the dead one, and the merged view must sum the live pair.
+func TestScraperEndToEnd(t *testing.T) {
+	mkAdmin := func(replies int64) *obs.Admin {
+		pl := obs.NewPlane(16)
+		id := pl.NextConnID()
+		pl.Record(id, obs.Accept, 0)
+		pl.Record(id, obs.Handler, 2*time.Millisecond)
+		ad, err := obs.NewAdmin("127.0.0.1:0", obs.AdminConfig{
+			Stats: func() []obs.Field { return []obs.Field{{Name: "replies", Value: replies}} },
+			Plane: pl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ad.Close)
+		return ad
+	}
+	a1 := mkAdmin(5)
+	a2 := mkAdmin(7)
+
+	c := rollup.NewCollector()
+	s := rollup.NewScraper(c, []rollup.Target{
+		{Name: "nio-a", Addr: a1.Addr()},
+		{Name: "mt-b", Addr: a2.Addr()},
+		{Name: "dead", Addr: "127.0.0.1:1"},
+	}, time.Hour) // interval irrelevant: Start does an immediate sweep
+	s.Start()
+	defer s.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.Sources()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Sources(); len(got) != 2 {
+		t.Fatalf("sources = %v", got)
+	}
+	if _, ok := c.Snapshot("nio-a"); !ok {
+		t.Fatal("scraper did not re-tag the default source name")
+	}
+	m := c.Merged("tier")
+	if len(m.Fields) != 1 || m.Fields[0].Value != 12 {
+		t.Fatalf("merged replies = %+v, want 12", m.Fields)
+	}
+	if m.Kinds[obs.Accept] != 2 {
+		t.Fatalf("merged accepts = %d", m.Kinds[obs.Accept])
+	}
+
+	var buf bytes.Buffer
+	c.RenderMerged(&buf)
+	if !strings.Contains(buf.String(), "== scrape-error dead:") {
+		t.Fatalf("dead target not surfaced:\n%s", buf.String())
+	}
+}
+
+func TestScrapeRejectsNon200(t *testing.T) {
+	// An admin endpoint serves 404 for unknown paths; Scrape against a
+	// wrong port must error rather than hang or fabricate a snapshot.
+	if _, err := rollup.Scrape(&http.Client{Timeout: 200 * time.Millisecond}, "127.0.0.1:1"); err == nil {
+		t.Fatal("scrape of a dead address succeeded")
+	}
+}

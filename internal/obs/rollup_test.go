@@ -1,0 +1,181 @@
+package obs_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+func sampleSnapshot(name string, scale int64) obs.RollupSnapshot {
+	h := metrics.NewLatencyHistogram()
+	for i := int64(0); i < 100*scale; i++ {
+		h.ObserveDuration(time.Duration(i%10+1) * time.Millisecond)
+	}
+	s := obs.RollupSnapshot{
+		Name: name,
+		Fields: []obs.Field{
+			{Name: "accepted", Value: 10 * scale},
+			{Name: "replies", Value: 9 * scale},
+		},
+		Phases: map[string]metrics.Dist{"handler": h.Dist()},
+	}
+	s.Kinds[obs.Accept] = 10 * scale
+	s.Kinds[obs.Shed] = scale
+	return s
+}
+
+func TestRollupRoundTrip(t *testing.T) {
+	in := sampleSnapshot("nio-a", 3)
+	var buf bytes.Buffer
+	obs.RenderRollup(&buf, in)
+
+	out, err := obs.ParseRollup(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "nio-a" {
+		t.Fatalf("name = %q", out.Name)
+	}
+	if len(out.Fields) != 2 || out.Fields[0] != in.Fields[0] || out.Fields[1] != in.Fields[1] {
+		t.Fatalf("fields = %+v", out.Fields)
+	}
+	if out.Kinds != in.Kinds {
+		t.Fatalf("kinds = %v, want %v", out.Kinds, in.Kinds)
+	}
+	d, ok := out.Phases["handler"]
+	if !ok {
+		t.Fatal("handler dist lost")
+	}
+	want := in.Phases["handler"]
+	if d.Count() != want.Count() || d.SumMicros != want.SumMicros ||
+		d.Min != want.Min || d.Max != want.Max || d.PerDecade != want.PerDecade {
+		t.Fatalf("dist mangled: %+v vs %+v", d, want)
+	}
+	for i := range want.Counts {
+		if d.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: %d != %d", i, d.Counts[i], want.Counts[i])
+		}
+	}
+	// Quantiles must survive the round trip exactly.
+	if d.Quantile(0.95) != want.Quantile(0.95) {
+		t.Fatalf("p95 changed: %v vs %v", d.Quantile(0.95), want.Quantile(0.95))
+	}
+}
+
+func TestRollupParseRejectsTruncated(t *testing.T) {
+	in := sampleSnapshot("x", 1)
+	var buf bytes.Buffer
+	obs.RenderRollup(&buf, in)
+	whole := buf.String()
+
+	// Cut before the end marker: must be rejected, not silently partial.
+	cut := strings.TrimSuffix(whole, "end\n")
+	if _, err := obs.ParseRollup(strings.NewReader(cut)); err == nil {
+		t.Fatal("truncated document parsed")
+	}
+	if _, err := obs.ParseRollup(strings.NewReader("gibberish\n")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	if _, err := obs.ParseRollup(strings.NewReader("")); err == nil {
+		t.Fatal("empty document parsed")
+	}
+}
+
+func TestRollupMerge(t *testing.T) {
+	a := sampleSnapshot("a", 1)
+	b := sampleSnapshot("b", 4)
+
+	m := a.Merge(b, "tier")
+	if m.Name != "tier" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	for _, f := range m.Fields {
+		var want int64
+		switch f.Name {
+		case "accepted":
+			want = 10 + 40
+		case "replies":
+			want = 9 + 36
+		}
+		if f.Value != want {
+			t.Fatalf("merged %s = %d, want %d", f.Name, f.Value, want)
+		}
+	}
+	if m.Kinds[obs.Accept] != 50 || m.Kinds[obs.Shed] != 5 {
+		t.Fatalf("merged kinds = %v", m.Kinds)
+	}
+	md := m.Phases["handler"]
+	if md.Count() != a.Phases["handler"].Count()+b.Phases["handler"].Count() {
+		t.Fatalf("merged dist count = %d", md.Count())
+	}
+
+	// Commutativity: a+b == b+a, field order aside.
+	m2 := b.Merge(a, "tier")
+	if m2.Kinds != m.Kinds || m2.Phases["handler"].Count() != md.Count() {
+		t.Fatal("merge is not commutative")
+	}
+
+	// The merged quantile is the quantile of the union — recompute from
+	// one histogram fed both sample sets and compare.
+	h := metrics.NewLatencyHistogram()
+	for i := int64(0); i < 100; i++ {
+		h.ObserveDuration(time.Duration(i%10+1) * time.Millisecond)
+	}
+	for i := int64(0); i < 400; i++ {
+		h.ObserveDuration(time.Duration(i%10+1) * time.Millisecond)
+	}
+	union := h.Dist()
+	if md.Quantile(0.95) != union.Quantile(0.95) || md.Mean() != union.Mean() {
+		t.Fatalf("merged dist p95/mean (%v/%v) != union (%v/%v)",
+			md.Quantile(0.95), md.Mean(), union.Quantile(0.95), union.Mean())
+	}
+}
+
+// TestAdminServesRollup drives the new /rollup route over HTTP and
+// checks the exported document parses back to the plane's own numbers.
+// The existing /stats golden files pin that route's format separately;
+// this test only touches /rollup.
+func TestAdminServesRollup(t *testing.T) {
+	pl := seedPlane()
+	ad, err := obs.NewAdmin("127.0.0.1:0", obs.AdminConfig{
+		Name:  "nio-under-test",
+		Stats: func() []obs.Field { return []obs.Field{{Name: "replies", Value: 7}} },
+		Plane: pl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ad.Close()
+
+	resp, err := http.Get("http://" + ad.Addr() + "/rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseRollup(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("exported rollup does not parse: %v\n%s", err, raw)
+	}
+	if snap.Name != "nio-under-test" {
+		t.Fatalf("name = %q", snap.Name)
+	}
+	if len(snap.Fields) != 1 || snap.Fields[0] != (obs.Field{Name: "replies", Value: 7}) {
+		t.Fatalf("fields = %+v", snap.Fields)
+	}
+	if snap.Kinds[obs.Accept] != 1 || snap.Kinds[obs.Shed] != 1 {
+		t.Fatalf("kinds = %v", snap.Kinds)
+	}
+	if d, ok := snap.Phases["handler"]; !ok || d.Count() != 1 {
+		t.Fatalf("exported handler dist: ok=%v count=%d", ok, d.Count())
+	}
+}

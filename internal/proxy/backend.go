@@ -1,0 +1,237 @@
+//go:build linux
+
+package proxy
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// BackendConfig names one upstream server in the pool.
+type BackendConfig struct {
+	// Addr is the data-plane address ("a.b.c.d:port"; numeric IPv4 — the
+	// relay dials it with raw non-blocking sockets).
+	Addr string
+	// AdminAddr, when non-empty, is the backend's obs admin endpoint;
+	// the rollup collector scrapes its /rollup snapshot so the tier can
+	// serve one merged telemetry view.
+	AdminAddr string
+	// Name labels the backend in stats and rollups (default "b<index>").
+	Name string
+}
+
+// Backend is the live state of one upstream: its health state machine
+// (shared between the event loop's passive observations and the active
+// prober goroutine), its connection pool (owned exclusively by the event
+// loop), and its counters.
+type Backend struct {
+	cfg BackendConfig
+	idx int
+
+	// healthy is the balancer's lock-free routing bit.
+	healthy atomic.Bool
+
+	// Health state machine. Passive signals (connect/read failures on
+	// the relay path) and active probe outcomes feed the same streak
+	// counters: FailAfter consecutive failures eject, ReviveAfter
+	// consecutive probe successes re-admit. Cold path — a mutex is fine.
+	hmu         sync.Mutex
+	consecFails int
+	consecOKs   int
+	ejectedAt   time.Time
+
+	// Counters (atomic: read by Stats/admin from other goroutines).
+	ejections    atomic.Int64
+	readmissions atomic.Int64
+	inflight     atomic.Int64 // relays assigned to this backend, not yet completed
+	open         atomic.Int64 // upstream sockets currently open
+	idleN        atomic.Int64 // of which parked idle
+	relayed      atomic.Int64 // responses relayed downstream
+	relayed503   atomic.Int64 // of which 503s passed through untouched
+	upErrors     atomic.Int64 // connect/read/parse failures on the relay path
+	dials        atomic.Int64
+	reuses       atomic.Int64
+	probes       atomic.Int64
+	probeFails   atomic.Int64
+
+	// Event-loop-owned pool state. Never touched off the loop thread.
+	idle  []*uconn
+	waitq []*relay
+}
+
+// Name returns the backend's display name.
+func (b *Backend) Name() string { return b.cfg.Name }
+
+// Addr returns the backend's data-plane address.
+func (b *Backend) Addr() string { return b.cfg.Addr }
+
+// Healthy reports whether the balancer may route to this backend.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// noteFailure records one failure signal (passive relay failure or
+// active probe failure). Reaching failAfter consecutive failures ejects
+// the backend. Reports whether this call performed the ejection.
+func (b *Backend) noteFailure(failAfter int) bool {
+	b.hmu.Lock()
+	defer b.hmu.Unlock()
+	b.consecOKs = 0
+	b.consecFails++
+	if b.healthy.Load() && b.consecFails >= failAfter {
+		b.healthy.Store(false)
+		b.ejectedAt = time.Now()
+		b.ejections.Add(1)
+		return true
+	}
+	return false
+}
+
+// selfReadmit is the probeless counterpart of the prober's ReviveAfter
+// machinery: once cooldown has elapsed since ejection, the backend
+// re-enters rotation on probation — FailAfter fresh failures re-eject
+// it. Without this, a tier running with probing disabled would turn any
+// transient failure streak into a permanent ejection (nothing else ever
+// re-admits). Reports whether this call re-admitted the backend.
+func (b *Backend) selfReadmit(now time.Time, cooldown time.Duration) bool {
+	b.hmu.Lock()
+	defer b.hmu.Unlock()
+	if b.healthy.Load() || now.Sub(b.ejectedAt) < cooldown {
+		return false
+	}
+	b.healthy.Store(true)
+	b.consecFails = 0
+	b.consecOKs = 0
+	b.readmissions.Add(1)
+	return true
+}
+
+// noteSuccess records one success signal. Probe successes (probe=true)
+// accumulate toward re-admission of an ejected backend; passive
+// successes (a relay completing) only clear the failure streak — a
+// half-dead backend must prove itself to the prober before taking
+// traffic again. Reports whether this call re-admitted the backend.
+func (b *Backend) noteSuccess(probe bool, reviveAfter int) bool {
+	b.hmu.Lock()
+	defer b.hmu.Unlock()
+	b.consecFails = 0
+	if b.healthy.Load() {
+		return false
+	}
+	if !probe {
+		return false
+	}
+	b.consecOKs++
+	if b.consecOKs >= reviveAfter {
+		b.healthy.Store(true)
+		b.consecOKs = 0
+		b.readmissions.Add(1)
+		return true
+	}
+	return false
+}
+
+// BackendStats is an atomic snapshot of one backend's state.
+type BackendStats struct {
+	Name, Addr   string
+	Healthy      bool
+	Inflight     int64
+	Open         int64
+	Idle         int64
+	Relayed      int64
+	Relayed503   int64
+	Errors       int64
+	Dials        int64
+	Reuses       int64
+	Probes       int64
+	ProbeFails   int64
+	Ejections    int64
+	Readmissions int64
+}
+
+func (b *Backend) Stats() BackendStats {
+	return BackendStats{
+		Name:         b.cfg.Name,
+		Addr:         b.cfg.Addr,
+		Healthy:      b.healthy.Load(),
+		Inflight:     b.inflight.Load(),
+		Open:         b.open.Load(),
+		Idle:         b.idleN.Load(),
+		Relayed:      b.relayed.Load(),
+		Relayed503:   b.relayed503.Load(),
+		Errors:       b.upErrors.Load(),
+		Dials:        b.dials.Load(),
+		Reuses:       b.reuses.Load(),
+		Probes:       b.probes.Load(),
+		ProbeFails:   b.probeFails.Load(),
+		Ejections:    b.ejections.Add(0),
+		Readmissions: b.readmissions.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Active health probes
+// ---------------------------------------------------------------------
+
+// probeLoop is one backend's prober goroutine: a periodic liveness probe
+// with seeded jitter (so a fleet of probers never phase-locks into
+// synchronized probe bursts), feeding the shared health state machine.
+// It runs off the event loop — probing is a cold path and may block.
+func (s *Server) probeLoop(b *Backend, rng *dist.RNG) {
+	defer s.wg.Done()
+	for {
+		// Jittered wait in [interval/2, interval*3/2), deterministic from
+		// the configured seed and the backend's draw sequence.
+		wait := time.Duration(float64(s.cfg.ProbeEvery) * (0.5 + rng.Float64()))
+		select {
+		case <-s.stopping:
+			return
+		case <-time.After(wait):
+		}
+		b.probes.Add(1)
+		if probeOnce(b.cfg.Addr, s.cfg.ProbePath, s.cfg.ProbeTimeout) {
+			if b.noteSuccess(true, s.cfg.ReviveAfter) {
+				s.readmiss.add(1)
+				if f := s.cfg.OnHealthChange; f != nil {
+					f(b.cfg.Name, true)
+				}
+			}
+		} else {
+			b.probeFails.Add(1)
+			if b.noteFailure(s.cfg.FailAfter) {
+				s.ejections.add(1)
+				if f := s.cfg.OnHealthChange; f != nil {
+					f(b.cfg.Name, false)
+				}
+			}
+		}
+	}
+}
+
+// probeOnce performs one liveness probe: connect, send a minimal HEAD,
+// and accept ANY well-formed HTTP status line in reply. A 404 from a
+// probe path the backend does not serve still proves the whole stack —
+// accept loop, parser, responder — is alive; only connect failures,
+// timeouts, and non-HTTP garbage count against the backend.
+func probeOnce(addr, path string, timeout time.Duration) bool {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	deadline := time.Now().Add(timeout)
+	_ = c.SetDeadline(deadline)
+	if _, err := fmt.Fprintf(c, "HEAD %s HTTP/1.1\r\nHost: probe\r\nUser-Agent: nioproxy-probe/1.0\r\nConnection: close\r\n\r\n", path); err != nil {
+		return false
+	}
+	line, err := bufio.NewReaderSize(c, 256).ReadString('\n')
+	if err != nil {
+		return false
+	}
+	return strings.HasPrefix(line, "HTTP/1.1 ") || strings.HasPrefix(line, "HTTP/1.0 ")
+}

@@ -1,0 +1,128 @@
+//go:build linux
+
+package proxy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkBackends(n int) []*Backend {
+	bs := make([]*Backend, n)
+	for i := range bs {
+		bs[i] = &Backend{cfg: BackendConfig{Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i), Name: fmt.Sprintf("b%d", i)}, idx: i}
+		bs[i].healthy.Store(true)
+	}
+	return bs
+}
+
+func TestParsePolicy(t *testing.T) {
+	for spelling, want := range map[string]Policy{
+		"rr": RoundRobin, "roundrobin": RoundRobin,
+		"least": LeastInflight, "least-inflight": LeastInflight,
+		"hash": HashPath, "hash-path": HashPath,
+	} {
+		got, err := ParsePolicy(spelling)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", spelling, got, err)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Error("unknown policy parsed")
+	}
+}
+
+func TestRoundRobinSkipsUnhealthy(t *testing.T) {
+	bs := mkBackends(3)
+	p := newPicker(RoundRobin, bs)
+	bs[1].healthy.Store(false)
+	var seq []int
+	for i := 0; i < 6; i++ {
+		b := p.pick(bs, "/x")
+		if b == nil {
+			t.Fatal("nil pick with healthy backends present")
+		}
+		seq = append(seq, b.idx)
+	}
+	for i, idx := range seq {
+		if idx == 1 {
+			t.Fatalf("pick %d landed on the unhealthy backend (seq %v)", i, seq)
+		}
+	}
+	// Alternates over the two survivors.
+	if seq[0] == seq[1] {
+		t.Fatalf("no rotation: %v", seq)
+	}
+	bs[0].healthy.Store(false)
+	bs[2].healthy.Store(false)
+	if p.pick(bs, "/x") != nil {
+		t.Fatal("picked from an all-unhealthy pool")
+	}
+}
+
+func TestLeastInflight(t *testing.T) {
+	bs := mkBackends(3)
+	p := newPicker(LeastInflight, bs)
+	bs[0].inflight.Store(5)
+	bs[1].inflight.Store(2)
+	bs[2].inflight.Store(9)
+	if b := p.pick(bs, "/x"); b.idx != 1 {
+		t.Fatalf("picked backend %d, want the least-loaded (1)", b.idx)
+	}
+	bs[1].healthy.Store(false)
+	if b := p.pick(bs, "/x"); b.idx != 0 {
+		t.Fatalf("picked backend %d, want next-least healthy (0)", b.idx)
+	}
+}
+
+func TestHashPathStableAndFailsOver(t *testing.T) {
+	bs := mkBackends(4)
+	p := newPicker(HashPath, bs)
+
+	// Stability: the same path always maps to the same backend.
+	paths := []string{"/obj/1", "/obj/2", "/obj/3", "/hello", "/a/very/long/path"}
+	first := make(map[string]int)
+	for _, path := range paths {
+		first[path] = p.pick(bs, path).idx
+	}
+	for trial := 0; trial < 20; trial++ {
+		for _, path := range paths {
+			if got := p.pick(bs, path).idx; got != first[path] {
+				t.Fatalf("path %q moved from backend %d to %d with stable health",
+					path, first[path], got)
+			}
+		}
+	}
+
+	// Spread: with many paths, every backend owns some keys.
+	owned := make(map[int]int)
+	for i := 0; i < 512; i++ {
+		owned[p.pick(bs, fmt.Sprintf("/obj/%d", i)).idx]++
+	}
+	for idx := range bs {
+		if owned[idx] == 0 {
+			t.Fatalf("backend %d owns no keys: %v", idx, owned)
+		}
+	}
+
+	// Failover: ejecting a backend remaps only its keys; the rest stay.
+	victim := first["/obj/1"]
+	bs[victim].healthy.Store(false)
+	for _, path := range paths {
+		got := p.pick(bs, path)
+		if got.idx == victim {
+			t.Fatalf("path %q still mapped to ejected backend", path)
+		}
+		if first[path] != victim && got.idx != first[path] {
+			t.Fatalf("path %q moved (%d -> %d) though its backend stayed healthy",
+				path, first[path], got.idx)
+		}
+	}
+	// Re-admission restores the original mapping exactly.
+	bs[victim].healthy.Store(true)
+	for _, path := range paths {
+		if got := p.pick(bs, path).idx; got != first[path] {
+			t.Fatalf("path %q did not return to backend %d after re-admission", path, first[path])
+		}
+	}
+}

@@ -1,0 +1,1235 @@
+//go:build linux
+
+// Package proxy is the serving tier built on the same explicit-epoll
+// substrate as the reactor server: a reverse proxy / L7 balancer that
+// relays HTTP/1.1 requests across a pool of health-checked backends.
+//
+// One goroutine owns one epoll instance holding every file descriptor —
+// the listener, every downstream (client) connection, and every upstream
+// (backend) connection — so a relay is a pure state machine with no
+// cross-thread handoff on the hot path. Upstream connections are pooled
+// and reused per backend with a hard cap; requests beyond the cap queue
+// per backend and overflow is shed.
+//
+// The tier's overload contract is deliberately two-layered and honest:
+//
+//   - A backend's own 503 (its AIMD admission gate or MaxConns ceiling)
+//     passes through BYTE-UNTOUCHED — status line, Retry-After, body and
+//     all. The proxy adds no Via header to relayed responses.
+//   - The proxy's own refusals — its admission gate, its MaxConns
+//     ceiling, pool-queue overflow, no healthy backend, relay failure —
+//     are generated locally and ALWAYS carry "Via: 1.1 nioproxy".
+//
+// A client (see internal/loadgen) can therefore attribute every 503 to
+// the layer that shed it: with Via, the tier refused; without, a backend
+// refused. That attribution is what makes tier-level experiments
+// interpretable — shed at the balancer and shed at the server are
+// different phenomena with different remedies.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/httpwire"
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/overload"
+	"repro/internal/reactor"
+)
+
+// ViaToken is the provenance token stamped on every request the proxy
+// relays upstream and on every response the proxy itself originates.
+// Relayed responses never carry it — that asymmetry is the shed-
+// attribution contract.
+const ViaToken = "1.1 nioproxy"
+
+// Config parameterizes the tier.
+type Config struct {
+	// Port to listen on (0 picks an ephemeral port).
+	Port int
+	// Backlog for listen(2).
+	Backlog int
+	// ReadBuf is the per-loop read buffer size.
+	ReadBuf int
+
+	// Backends is the upstream pool. At least one is required.
+	Backends []BackendConfig
+	// Balance selects the balancing policy.
+	Balance Policy
+
+	// MaxPerBackend caps open upstream sockets per backend.
+	MaxPerBackend int
+	// MaxIdlePerBackend caps parked keep-alive sockets per backend.
+	MaxIdlePerBackend int
+	// MaxWaitPerBackend bounds the per-backend queue of relays waiting
+	// for an upstream socket; overflow is shed (503 + Via).
+	MaxWaitPerBackend int
+	// RelayAttempts is the connect/retry budget per request before the
+	// proxy gives up with a 502.
+	RelayAttempts int
+
+	// ProbeEvery is the active health-check interval (0 disables active
+	// probing; passive ejection still applies, with re-admission handled
+	// by the ReadmitAfter cooldown instead of the prober).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe's connect+exchange.
+	ProbeTimeout time.Duration
+	// ProbePath is the request path probes use.
+	ProbePath string
+	// ProbeSeed seeds the probe jitter (deterministic schedules for
+	// reproducible experiments).
+	ProbeSeed uint64
+	// FailAfter ejects a backend after this many consecutive failures
+	// (probe or passive).
+	FailAfter int
+	// ReviveAfter re-admits an ejected backend after this many
+	// consecutive probe successes.
+	ReviveAfter int
+	// ReadmitAfter is the cooldown after which an ejected backend
+	// re-enters rotation on probation when no prober is running
+	// (ProbeEvery == 0) — without it a passive ejection would be
+	// permanent. Ignored while active probing is on (the prober's
+	// ReviveAfter streak governs re-admission there). 0 disables
+	// cooldown re-admission.
+	ReadmitAfter time.Duration
+
+	// MaxConns caps concurrent downstream connections; excess accepts
+	// are shed with 503 + Via + Retry-After.
+	MaxConns int
+	// Admission, when non-nil, gates accepts with the tier's own AIMD
+	// controller. Its Observe feed is accept-to-first-relayed-response.
+	Admission *overload.Controller
+	// RetryAfterSec is the Retry-After advertised on sheds not governed
+	// by the admission controller.
+	RetryAfterSec int
+
+	// Obs, when non-nil, receives lifecycle events and phase latencies.
+	Obs *obs.Plane
+	// Watchdog, when non-nil, monitors the event loop for stalls.
+	Watchdog *overload.Watchdog
+	// OnHealthChange, when non-nil, is called on every ejection and
+	// re-admission (name, healthy) — from the prober goroutine for
+	// probe-driven transitions, from the event loop for passive
+	// ejections and cooldown re-admissions.
+	OnHealthChange func(name string, healthy bool)
+}
+
+// DefaultConfig returns a runnable tier configuration for the given
+// backends.
+func DefaultConfig(backends []BackendConfig) Config {
+	return Config{
+		Backlog:           512,
+		ReadBuf:           32 << 10,
+		Backends:          backends,
+		Balance:           LeastInflight,
+		MaxPerBackend:     64,
+		MaxIdlePerBackend: 16,
+		MaxWaitPerBackend: 256,
+		RelayAttempts:     3,
+		ProbeEvery:        time.Second,
+		ProbeTimeout:      time.Second,
+		ProbePath:         "/",
+		FailAfter:         3,
+		ReviveAfter:       2,
+		ReadmitAfter:      5 * time.Second,
+		MaxConns:          4096,
+		RetryAfterSec:     1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Backends) == 0 {
+		return errors.New("proxy: no backends")
+	}
+	for i, b := range c.Backends {
+		if b.Addr == "" {
+			return fmt.Errorf("proxy: backend %d has no address", i)
+		}
+	}
+	if c.MaxPerBackend <= 0 || c.MaxWaitPerBackend < 0 || c.RelayAttempts <= 0 {
+		return errors.New("proxy: pool limits must be positive")
+	}
+	if c.ReadBuf <= 0 || c.Backlog <= 0 || c.MaxConns <= 0 {
+		return errors.New("proxy: Backlog, ReadBuf and MaxConns must be positive")
+	}
+	if c.FailAfter <= 0 || c.ReviveAfter <= 0 {
+		return errors.New("proxy: FailAfter and ReviveAfter must be positive")
+	}
+	if c.ReadmitAfter < 0 {
+		return errors.New("proxy: ReadmitAfter must be non-negative")
+	}
+	return nil
+}
+
+// Stats is an atomic snapshot of the tier's counters.
+type Stats struct {
+	Accepted  int64 // downstream connections accepted
+	Replies   int64 // responses relayed downstream
+	BytesIn   int64 // bytes read from backends
+	BytesOut  int64 // bytes written to clients
+	ConnsOpen int64 // downstream connections currently open
+
+	Shed       int64 // proxy-originated 503s: admission gate, MaxConns, pool-queue overflow
+	NoBackend  int64 // proxy-originated 503s: no healthy backend
+	BadRequest int64 // proxy-originated 400/501s
+	BadGateway int64 // proxy-originated 502s: relay failed after all attempts
+	Relayed503 int64 // backend 503s passed through untouched
+
+	UpstreamDials   int64
+	UpstreamReuses  int64
+	UpstreamErrors  int64
+	UpstreamRetries int64
+	Ejections       int64
+	Readmissions    int64
+}
+
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) add(d int64) { c.v.Add(d) }
+func (c *counter) get() int64  { return c.v.Load() }
+
+// Server is the serving tier.
+type Server struct {
+	cfg    Config
+	lfd    int
+	port   int
+	poller *reactor.Poller
+
+	backends []*Backend
+	pick     *picker
+
+	// Event-loop-owned connection tables.
+	dconns map[int]*dconn
+	uconns map[int]*uconn
+	buf    []byte
+	reqs   []*httpwire.Request
+	resps  []*httpwire.Response
+
+	accepted   counter
+	replies    counter
+	bytesIn    counter
+	bytesOut   counter
+	connsOpen  counter
+	shed       counter
+	noBackend  counter
+	badRequest counter
+	badGateway counter
+	relayed503 counter
+	dials      counter
+	reuses     counter
+	upErrors   counter
+	retries    counter
+	ejections  counter
+	readmiss   counter
+
+	wg        sync.WaitGroup
+	stopping  chan struct{}
+	stopOnce  sync.Once
+	draining  atomic.Bool
+	drained   chan struct{}
+	lfdClosed bool
+}
+
+// dconn is one downstream (client) connection.
+type dconn struct {
+	fd      int
+	peer    string // client IP for X-Forwarded-For
+	parser  httpwire.Parser
+	pending []*relay // parsed requests not yet dispatched
+	active  *relay   // the relay currently owning the response stream
+
+	out      [][]byte
+	outOff   int
+	writeArm bool
+	closing  bool
+
+	obsID      uint64
+	acceptedAt time.Time
+	observed   bool
+	replies    int64
+	firstByte  bool
+	serveDone  time.Time
+	hasDone    bool
+}
+
+// relay is one request in flight through the tier. Its wire image is
+// built once from the rewritten header set, so a retry against a
+// different backend resends the identical bytes.
+type relay struct {
+	d          *dconn
+	b          *Backend
+	u          *uconn
+	wire       []byte
+	path       string
+	closeAfter bool
+	attempts   int
+	cancelled  bool
+	enq        time.Time // parsed and queued
+	bound      time.Time // bound to an upstream socket
+}
+
+// Upstream connection states.
+const (
+	uConnecting uint8 = iota
+	uBusy
+	uIdle
+)
+
+// uconn is one upstream (backend) socket.
+type uconn struct {
+	fd    int
+	b     *Backend
+	state uint8
+	r     *relay
+	rp    httpwire.RespParser
+
+	pendingWrite []byte
+	wOff         int
+	writeArm     bool
+	gotBytes     bool // response bytes seen for the current relay
+	fresh        bool // never completed an exchange (failure = backend failure, not reuse race)
+}
+
+// NewServer binds the listener and prepares the tier; Start launches it.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lfd, port, err := reactor.Listen(cfg.Port, cfg.Backlog)
+	if err != nil {
+		return nil, err
+	}
+	p, err := reactor.NewPoller(512)
+	if err != nil {
+		reactor.CloseFD(lfd)
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		lfd:      lfd,
+		port:     port,
+		poller:   p,
+		dconns:   make(map[int]*dconn),
+		uconns:   make(map[int]*uconn),
+		buf:      make([]byte, cfg.ReadBuf),
+		stopping: make(chan struct{}),
+		drained:  make(chan struct{}),
+	}
+	s.backends = make([]*Backend, len(cfg.Backends))
+	for i, bc := range cfg.Backends {
+		if bc.Name == "" {
+			bc.Name = fmt.Sprintf("b%d", i)
+		}
+		b := &Backend{cfg: bc, idx: i}
+		b.healthy.Store(true) // optimistic until proven otherwise
+		s.backends[i] = b
+	}
+	s.pick = newPicker(cfg.Balance, s.backends)
+	return s, nil
+}
+
+// Port returns the bound data-plane port.
+func (s *Server) Port() int { return s.port }
+
+// Addr returns the data-plane address.
+func (s *Server) Addr() string { return fmt.Sprintf("127.0.0.1:%d", s.port) }
+
+// Backends returns the live backend handles (for stats and tests).
+func (s *Server) Backends() []*Backend { return s.backends }
+
+// Stats snapshots the tier counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:        s.accepted.get(),
+		Replies:         s.replies.get(),
+		BytesIn:         s.bytesIn.get(),
+		BytesOut:        s.bytesOut.get(),
+		ConnsOpen:       s.connsOpen.get(),
+		Shed:            s.shed.get(),
+		NoBackend:       s.noBackend.get(),
+		BadRequest:      s.badRequest.get(),
+		BadGateway:      s.badGateway.get(),
+		Relayed503:      s.relayed503.get(),
+		UpstreamDials:   s.dials.get(),
+		UpstreamReuses:  s.reuses.get(),
+		UpstreamErrors:  s.upErrors.get(),
+		UpstreamRetries: s.retries.get(),
+		Ejections:       s.ejections.get(),
+		Readmissions:    s.readmiss.get(),
+	}
+}
+
+// StatsFields renders a Stats snapshot in the admin endpoint's stable
+// field order (the same contract as core.StatsFields: order is part of
+// the text format, append only).
+func StatsFields(st Stats) []obs.Field {
+	return []obs.Field{
+		{Name: "accepted", Value: st.Accepted},
+		{Name: "replies", Value: st.Replies},
+		{Name: "bytes_in", Value: st.BytesIn},
+		{Name: "bytes_out", Value: st.BytesOut},
+		{Name: "conns_open", Value: st.ConnsOpen},
+		{Name: "shed", Value: st.Shed},
+		{Name: "no_backend", Value: st.NoBackend},
+		{Name: "bad_request", Value: st.BadRequest},
+		{Name: "bad_gateway", Value: st.BadGateway},
+		{Name: "relayed_503", Value: st.Relayed503},
+		{Name: "upstream_dials", Value: st.UpstreamDials},
+		{Name: "upstream_reuses", Value: st.UpstreamReuses},
+		{Name: "upstream_errors", Value: st.UpstreamErrors},
+		{Name: "upstream_retries", Value: st.UpstreamRetries},
+		{Name: "ejections", Value: st.Ejections},
+		{Name: "readmissions", Value: st.Readmissions},
+	}
+}
+
+// Start launches the event loop and the per-backend probers.
+func (s *Server) Start() error {
+	if err := s.poller.Add(s.lfd, true, false); err != nil {
+		return fmt.Errorf("proxy: register listener: %w", err)
+	}
+	s.wg.Add(1)
+	go s.loop()
+	if s.cfg.ProbeEvery > 0 {
+		rng := dist.NewRNG(s.cfg.ProbeSeed ^ 0x70726f7879) // "proxy"
+		for _, b := range s.backends {
+			s.wg.Add(1)
+			go s.probeLoop(b, rng.Split())
+		}
+	}
+	return nil
+}
+
+// Stop tears the tier down immediately: in-flight relays are abandoned.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopping)
+		s.poller.Wakeup()
+	})
+	s.wg.Wait()
+}
+
+// Drain stops accepting, lets in-flight exchanges finish (bounded by
+// timeout), then stops. Reports whether the drain completed cleanly.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.draining.Store(true)
+	s.poller.Wakeup()
+	clean := true
+	select {
+	case <-s.drained:
+	case <-time.After(timeout):
+		clean = false
+	}
+	s.Stop()
+	return clean
+}
+
+// ---------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------
+
+var errUpstreamHangup = errors.New("proxy: upstream hangup")
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	defer s.teardown()
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+
+	var hb *overload.Heartbeat
+	if s.cfg.Watchdog != nil {
+		hb = s.cfg.Watchdog.Register("proxy-loop")
+	}
+
+	for {
+		select {
+		case <-s.stopping:
+			return
+		default:
+		}
+		draining := s.draining.Load()
+		if draining && !s.lfdClosed {
+			s.poller.Remove(s.lfd)
+			reactor.CloseFD(s.lfd)
+			s.lfdClosed = true
+		}
+		if draining {
+			// Idle keep-alive clients would hold the drain open forever;
+			// close every connection with nothing in flight.
+			var idle []*dconn
+			for _, d := range s.dconns {
+				if d.active == nil && len(d.pending) == 0 && len(d.out) == 0 {
+					idle = append(idle, d)
+				}
+			}
+			for _, d := range idle {
+				s.closeD(d)
+			}
+		}
+		if draining && len(s.dconns) == 0 {
+			select {
+			case <-s.drained:
+			default:
+				close(s.drained)
+			}
+			return
+		}
+		waitMs := -1
+		if draining {
+			waitMs = 20
+		}
+		if hb != nil {
+			hb.End()
+		}
+		evs, err := s.poller.Wait(waitMs)
+		if hb != nil {
+			hb.Begin()
+		}
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			if ev.FD == s.lfd && !s.lfdClosed {
+				if !s.acceptAll() {
+					return
+				}
+				continue
+			}
+			if u, ok := s.uconns[ev.FD]; ok {
+				if ev.Readable {
+					// Read before honoring hangup: a backend's final
+					// response often arrives together with its FIN.
+					s.uReadable(u)
+				}
+				if u2, still := s.uconns[ev.FD]; still && u2 == u {
+					if ev.Hangup {
+						s.upstreamFailed(u, errUpstreamHangup)
+					} else if ev.Writable {
+						s.uWritable(u)
+					}
+				}
+				continue
+			}
+			if d, ok := s.dconns[ev.FD]; ok {
+				if ev.Hangup {
+					s.closeD(d)
+					continue
+				}
+				if ev.Readable {
+					s.dReadable(d)
+				}
+				if d2, still := s.dconns[ev.FD]; still && d2 == d && ev.Writable {
+					s.flushD(d)
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) teardown() {
+	for _, d := range s.dconns {
+		reactor.CloseFD(d.fd)
+		s.connsOpen.add(-1)
+		if pl := s.cfg.Obs; pl != nil {
+			pl.Record(d.obsID, obs.Close, 0)
+		}
+	}
+	s.dconns = make(map[int]*dconn)
+	for _, u := range s.uconns {
+		reactor.CloseFD(u.fd)
+		u.b.open.Add(-1)
+	}
+	s.uconns = make(map[int]*uconn)
+	s.poller.Close()
+	if !s.lfdClosed {
+		reactor.CloseFD(s.lfd)
+		s.lfdClosed = true
+	}
+}
+
+// ---------------------------------------------------------------------
+// Downstream (client) side
+// ---------------------------------------------------------------------
+
+// acceptAll drains the accept queue. Returns false if the listener died.
+func (s *Server) acceptAll() bool {
+	for {
+		fd, done, err := reactor.Accept(s.lfd)
+		if err != nil {
+			return false
+		}
+		if done {
+			return true
+		}
+		s.accepted.add(1)
+		if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
+			s.shed.add(1)
+			if pl := s.cfg.Obs; pl != nil {
+				pl.Record(pl.NextConnID(), obs.Shed, 0)
+			}
+			shedVia(fd, ac.RetryAfterSeconds())
+			continue
+		}
+		if int(s.connsOpen.get()) >= s.cfg.MaxConns {
+			s.shed.add(1)
+			if pl := s.cfg.Obs; pl != nil {
+				pl.Record(pl.NextConnID(), obs.Shed, 0)
+			}
+			shedVia(fd, s.cfg.RetryAfterSec)
+			continue
+		}
+		if err := s.poller.Add(fd, true, false); err != nil {
+			reactor.CloseFD(fd)
+			continue
+		}
+		d := &dconn{fd: fd, peer: peerIP(fd), acceptedAt: time.Now()}
+		if pl := s.cfg.Obs; pl != nil {
+			d.obsID = pl.NextConnID()
+			pl.Record(d.obsID, obs.Accept, 0)
+		}
+		s.dconns[fd] = d
+		s.connsOpen.add(1)
+	}
+}
+
+// shedVia is shedConn with the tier's provenance: the 503 carries the
+// Via token so clients can attribute the refusal to the proxy layer.
+func shedVia(fd int, retryAfterSec int) {
+	resp := httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
+		httpwire.Header{Name: "Retry-After", Value: strconv.Itoa(retryAfterSec)},
+		httpwire.Header{Name: "Via", Value: ViaToken})
+	_, _, _ = reactor.Write(fd, resp)
+	reactor.CloseFD(fd)
+}
+
+// peerIP returns the connected peer's IPv4 address (for XFF), or "".
+func peerIP(fd int) string {
+	sa, err := syscall.Getpeername(fd)
+	if err != nil {
+		return ""
+	}
+	if in4, ok := sa.(*syscall.SockaddrInet4); ok {
+		a := in4.Addr
+		return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+	}
+	return ""
+}
+
+func (s *Server) dReadable(d *dconn) {
+	for {
+		n, eof, again, err := reactor.Read(d.fd, s.buf)
+		if again {
+			break
+		}
+		if err != nil || eof {
+			s.closeD(d)
+			return
+		}
+		if pl := s.cfg.Obs; pl != nil && len(d.pending) == 0 && d.active == nil {
+			pl.Record(d.obsID, obs.HeaderRead, 0)
+		}
+		var perr error
+		s.reqs, perr = d.parser.Feed(s.reqs[:0], s.buf[:n])
+		for _, req := range s.reqs {
+			if !s.admitRequest(d, req) {
+				break
+			}
+		}
+		if perr != nil {
+			s.badRequest.add(1)
+			s.respondLocal(d, 400, nil)
+			break
+		}
+		if d.closing {
+			break
+		}
+	}
+	s.pump(d)
+	s.flushD(d)
+}
+
+// admitRequest turns one parsed request into a queued relay. Returns
+// false when the connection is now closing (error response queued).
+func (s *Server) admitRequest(d *dconn, req *httpwire.Request) bool {
+	if d.closing {
+		return false
+	}
+	if pl := s.cfg.Obs; pl != nil {
+		pl.Record(d.obsID, obs.Parse, 0)
+	}
+	if cl, found := req.Get("Content-Length"); found && cl != "0" {
+		// The tier relays bodyless requests only (the workload model is
+		// GET/HEAD); refuse rather than silently truncate.
+		s.badRequest.add(1)
+		s.respondLocal(d, 501, nil)
+		return false
+	}
+	hdrs := httpwire.ForwardHeaders(req, ViaToken, d.peer)
+	r := &relay{
+		d:          d,
+		wire:       httpwire.AppendRequestHead(nil, req.Method, req.Path, "HTTP/1.1", hdrs),
+		path:       req.Path,
+		closeAfter: !req.KeepAlive,
+		enq:        time.Now(),
+	}
+	d.pending = append(d.pending, r)
+	return true
+}
+
+// pump dispatches the connection's next pending relay when the response
+// stream is free.
+func (s *Server) pump(d *dconn) {
+	for d.active == nil && !d.closing && len(d.pending) > 0 {
+		r := d.pending[0]
+		d.pending = d.pending[1:]
+		d.active = r
+		s.dispatch(r)
+	}
+}
+
+// maybeReadmit gives ejected backends their cooldown-based second
+// chance when no prober is running. Called from the event loop before
+// each pick; a no-op while active probing is on (the prober owns
+// re-admission there) or while every backend is healthy.
+func (s *Server) maybeReadmit() {
+	if s.cfg.ProbeEvery > 0 || s.cfg.ReadmitAfter <= 0 {
+		return
+	}
+	var now time.Time
+	for _, b := range s.backends {
+		if b.healthy.Load() {
+			continue
+		}
+		if now.IsZero() {
+			now = time.Now()
+		}
+		if b.selfReadmit(now, s.cfg.ReadmitAfter) {
+			s.readmiss.add(1)
+			if f := s.cfg.OnHealthChange; f != nil {
+				f(b.cfg.Name, true)
+			}
+		}
+	}
+}
+
+// dispatch picks a backend for r and acquires an upstream socket.
+// Called with r == r.d.active.
+func (s *Server) dispatch(r *relay) {
+	d := r.d
+	s.maybeReadmit()
+	b := s.pick.pick(s.backends, r.path)
+	if b == nil {
+		d.active = nil
+		if r.attempts > 0 {
+			// The relay already burned attempts against real backends
+			// (possibly ejecting the last of them); the honest verdict
+			// is "your request failed upstream" (502), not the instant
+			// refusal a fresh request would get.
+			s.badGateway.add(1)
+			s.respondLocal(d, 502, nil)
+			return
+		}
+		s.noBackend.add(1)
+		s.respondLocal(d, 503, []httpwire.Header{
+			{Name: "Retry-After", Value: strconv.Itoa(s.cfg.RetryAfterSec)}})
+		return
+	}
+	r.b = b
+	b.inflight.Add(1)
+	// Prefer a parked keep-alive socket.
+	if n := len(b.idle); n > 0 {
+		u := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.idleN.Add(-1)
+		s.reuses.add(1)
+		b.reuses.Add(1)
+		s.bindRelay(u, r)
+		return
+	}
+	if int(b.open.Load()) < s.cfg.MaxPerBackend {
+		s.dialUpstream(b, r)
+		return
+	}
+	if len(b.waitq) >= s.cfg.MaxWaitPerBackend {
+		// Pool exhausted and queue full: tier-level shed.
+		b.inflight.Add(-1)
+		r.b = nil
+		s.shed.add(1)
+		if pl := s.cfg.Obs; pl != nil {
+			pl.Record(d.obsID, obs.Shed, 0)
+		}
+		d.active = nil
+		s.respondLocal(d, 503, []httpwire.Header{
+			{Name: "Retry-After", Value: strconv.Itoa(s.cfg.RetryAfterSec)}})
+		return
+	}
+	b.waitq = append(b.waitq, r)
+}
+
+// bindRelay attaches r to a ready upstream socket and starts the write.
+func (s *Server) bindRelay(u *uconn, r *relay) {
+	u.state = uBusy
+	u.r = r
+	u.gotBytes = false
+	u.rp.Reset()
+	r.u = u
+	r.bound = time.Now()
+	if pl := s.cfg.Obs; pl != nil {
+		pl.Record(r.d.obsID, obs.QueueWait, r.bound.Sub(r.enq))
+	}
+	u.pendingWrite = r.wire
+	u.wOff = 0
+	s.writeUpstream(u)
+}
+
+func (s *Server) dialUpstream(b *Backend, r *relay) {
+	fd, connected, err := reactor.DialTCP4(b.cfg.Addr)
+	if err != nil {
+		s.noteRelayFailure(b, r, err)
+		return
+	}
+	u := &uconn{fd: fd, b: b, fresh: true}
+	s.dials.add(1)
+	b.dials.Add(1)
+	if connected {
+		if err := s.poller.Add(fd, true, false); err != nil {
+			reactor.CloseFD(fd)
+			s.noteRelayFailure(b, r, err)
+			return
+		}
+		s.uconns[fd] = u
+		b.open.Add(1)
+		s.bindRelay(u, r)
+		return
+	}
+	// Connect in progress: wait for writability, request already staged.
+	u.state = uConnecting
+	u.r = r
+	r.u = u
+	u.pendingWrite = r.wire
+	u.writeArm = true
+	if err := s.poller.Add(fd, false, true); err != nil {
+		reactor.CloseFD(fd)
+		r.u = nil
+		s.noteRelayFailure(b, r, err)
+		return
+	}
+	s.uconns[fd] = u
+	b.open.Add(1)
+}
+
+// noteRelayFailure marks a backend failure for r's current backend and
+// retries the relay elsewhere (or 502s it when the budget is spent).
+// Caller must have already detached r from any uconn.
+func (s *Server) noteRelayFailure(b *Backend, r *relay, err error) {
+	_ = err
+	s.upErrors.add(1)
+	b.upErrors.Add(1)
+	b.inflight.Add(-1)
+	r.b = nil
+	if b.noteFailure(s.cfg.FailAfter) {
+		s.ejections.add(1)
+		if f := s.cfg.OnHealthChange; f != nil {
+			f(b.cfg.Name, false)
+		}
+	}
+	s.retryOrFail(r)
+}
+
+// retryOrFail re-dispatches r (a fresh backend pick — an ejected
+// backend is excluded) or gives up with a 502.
+func (s *Server) retryOrFail(r *relay) {
+	d := r.d
+	if r.cancelled || d.active != r {
+		return
+	}
+	r.attempts++
+	if r.attempts >= s.cfg.RelayAttempts {
+		s.badGateway.add(1)
+		d.active = nil
+		s.respondLocal(d, 502, nil)
+		s.flushD(d)
+		return
+	}
+	s.retries.add(1)
+	s.dispatch(r)
+}
+
+// respondLocal queues a proxy-originated response (always Via-stamped)
+// and marks the connection closing: local responses signal conditions
+// under which keeping the connection would mislead the client.
+func (s *Server) respondLocal(d *dconn, code int, extra []httpwire.Header) {
+	hdrs := append(extra, httpwire.Header{Name: "Via", Value: ViaToken})
+	head := httpwire.AppendResponseHeaderExtra(nil, code, "text/plain", 0, false, hdrs...)
+	d.out = append(d.out, head)
+	d.closing = true
+	d.pending = nil
+	s.flushD(d)
+}
+
+func (s *Server) flushD(d *dconn) {
+	if _, open := s.dconns[d.fd]; !open {
+		return
+	}
+	for len(d.out) > 0 {
+		seg := d.out[0][d.outOff:]
+		n, again, err := reactor.Write(d.fd, seg)
+		if err != nil {
+			s.closeD(d)
+			return
+		}
+		s.bytesOut.add(int64(n))
+		if n > 0 && !d.firstByte {
+			d.firstByte = true
+			if pl := s.cfg.Obs; pl != nil {
+				pl.Record(d.obsID, obs.FirstByte, time.Since(d.acceptedAt))
+			}
+		}
+		if n == len(seg) {
+			d.out[0] = nil
+			d.out = d.out[1:]
+			d.outOff = 0
+			continue
+		}
+		d.outOff += n
+		if again || n < len(seg) {
+			s.armWriteD(d)
+			return
+		}
+	}
+	if d.hasDone {
+		d.hasDone = false
+		if pl := s.cfg.Obs; pl != nil {
+			pl.Record(d.obsID, obs.WriteComplete, time.Since(d.serveDone))
+		}
+	}
+	s.observeFirst(d)
+	if d.closing && d.active == nil && len(d.pending) == 0 {
+		s.closeD(d)
+		return
+	}
+	if d.writeArm {
+		d.writeArm = false
+		if err := s.poller.Modify(d.fd, true, false); err != nil {
+			s.closeD(d)
+		}
+	}
+}
+
+func (s *Server) armWriteD(d *dconn) {
+	if d.writeArm {
+		return
+	}
+	if err := s.poller.Modify(d.fd, true, true); err != nil {
+		s.closeD(d)
+		return
+	}
+	d.writeArm = true
+}
+
+// observeFirst feeds the admission controller its latency signal: the
+// accept-to-first-relayed-response time, once per connection. Local
+// (shed/error) responses never feed it — fast refusals must not teach
+// the AIMD gate that latency is fine.
+func (s *Server) observeFirst(d *dconn) {
+	if d.observed || d.replies == 0 {
+		return
+	}
+	d.observed = true
+	if ac := s.cfg.Admission; ac != nil {
+		ac.Observe(time.Since(d.acceptedAt))
+	}
+}
+
+func (s *Server) closeD(d *dconn) {
+	if _, open := s.dconns[d.fd]; !open {
+		return
+	}
+	delete(s.dconns, d.fd)
+	s.poller.Remove(d.fd)
+	reactor.CloseFD(d.fd)
+	s.connsOpen.add(-1)
+	if pl := s.cfg.Obs; pl != nil {
+		pl.Record(d.obsID, obs.Close, 0)
+	}
+	if invariant.Enabled {
+		invariant.Assertf(s.connsOpen.get() >= 0,
+			"proxy: connsOpen went negative (%d)", s.connsOpen.get())
+	}
+	// Abort the in-flight relay, if any.
+	if r := d.active; r != nil {
+		d.active = nil
+		r.cancelled = true
+		if u := r.u; u != nil {
+			// The upstream socket is mid-exchange for a dead client; it
+			// cannot be reused.
+			r.u = nil
+			u.r = nil
+			if r.b != nil {
+				r.b.inflight.Add(-1)
+			}
+			s.removeUpstream(u)
+		} else if r.b != nil {
+			// Waiting in the backend queue; popWaiter skips it.
+			r.b.inflight.Add(-1)
+		}
+	}
+	d.pending = nil
+	d.out = nil
+}
+
+// ---------------------------------------------------------------------
+// Upstream (backend) side
+// ---------------------------------------------------------------------
+
+func (s *Server) uWritable(u *uconn) {
+	if u.state == uConnecting {
+		if err := reactor.ConnectResult(u.fd); err != nil {
+			s.upstreamFailed(u, err)
+			return
+		}
+		u.state = uBusy
+		if r := u.r; r != nil {
+			r.bound = time.Now()
+			if pl := s.cfg.Obs; pl != nil {
+				pl.Record(r.d.obsID, obs.QueueWait, r.bound.Sub(r.enq))
+			}
+		}
+	}
+	s.writeUpstream(u)
+}
+
+func (s *Server) writeUpstream(u *uconn) {
+	for u.wOff < len(u.pendingWrite) {
+		n, again, err := reactor.Write(u.fd, u.pendingWrite[u.wOff:])
+		if err != nil {
+			s.upstreamFailed(u, err)
+			return
+		}
+		u.wOff += n
+		if again || u.wOff < len(u.pendingWrite) {
+			if !u.writeArm {
+				if err := s.poller.Modify(u.fd, true, true); err != nil {
+					s.upstreamFailed(u, err)
+					return
+				}
+				u.writeArm = true
+			}
+			return
+		}
+	}
+	u.pendingWrite = nil
+	u.wOff = 0
+	if u.writeArm {
+		u.writeArm = false
+		if err := s.poller.Modify(u.fd, true, false); err != nil {
+			s.upstreamFailed(u, err)
+		}
+	}
+}
+
+func (s *Server) uReadable(u *uconn) {
+	for {
+		n, eof, again, err := reactor.Read(u.fd, s.buf)
+		if again {
+			return
+		}
+		if err != nil || eof {
+			s.upstreamFailed(u, err)
+			return
+		}
+		if u.state != uBusy || u.r == nil {
+			// Data on a socket with no relay bound: protocol violation
+			// (or a stale idle socket); drop the socket.
+			s.upstreamFailed(u, errors.New("proxy: unsolicited upstream data"))
+			return
+		}
+		u.gotBytes = true
+		s.bytesIn.add(int64(n))
+		r := u.r
+		d := r.d
+		// Forward the raw bytes downstream while the parser tracks
+		// framing. Relayed responses are never rewritten — that is the
+		// shed-attribution contract.
+		d.out = append(d.out, append([]byte(nil), s.buf[:n]...))
+		var perr error
+		s.resps, perr = u.rp.Feed(s.resps[:0], s.buf[:n])
+		if perr != nil || len(s.resps) > 1 {
+			s.upstreamFailed(u, perr)
+			return
+		}
+		if len(s.resps) == 1 {
+			s.relayComplete(u, r, s.resps[0])
+			s.flushD(d)
+			return
+		}
+		s.flushD(d)
+		if _, open := s.uconns[u.fd]; !open {
+			return // flush failed and closeD tore the upstream down
+		}
+	}
+}
+
+// relayComplete finishes one exchange: accounting, socket disposition
+// (park for reuse or close, per the backend's keep-alive decision), and
+// dispatching whatever is waiting — on the backend's queue and on the
+// client connection.
+func (s *Server) relayComplete(u *uconn, r *relay, resp *httpwire.Response) {
+	d := r.d
+	b := u.b
+	b.inflight.Add(-1)
+	b.relayed.Add(1)
+	s.replies.add(1)
+	d.replies++
+	if resp.StatusCode == 503 {
+		// A backend shed, relayed untouched. Counted, not rewritten.
+		s.relayed503.add(1)
+		b.relayed503.Add(1)
+	}
+	b.noteSuccess(false, s.cfg.ReviveAfter)
+	if pl := s.cfg.Obs; pl != nil {
+		pl.Record(d.obsID, obs.Handler, time.Since(r.bound))
+	}
+	d.serveDone = time.Now()
+	d.hasDone = true
+	u.r = nil
+	r.u = nil
+	r.b = nil
+	d.active = nil
+	if r.closeAfter {
+		d.closing = true
+		d.pending = nil
+	}
+	u.fresh = false
+	if !resp.KeepAlive {
+		s.removeUpstream(u)
+	} else {
+		s.parkIdle(u)
+	}
+	s.pump(d)
+}
+
+// parkIdle returns a reusable socket to its backend: a queued waiter
+// takes it immediately, otherwise it joins the idle pool (or closes if
+// the pool is full).
+func (s *Server) parkIdle(u *uconn) {
+	b := u.b
+	if r := s.popWaiter(b); r != nil {
+		s.reuses.add(1)
+		b.reuses.Add(1)
+		s.bindRelay(u, r)
+		return
+	}
+	if len(b.idle) >= s.cfg.MaxIdlePerBackend {
+		s.removeUpstream(u)
+		return
+	}
+	u.state = uIdle
+	u.r = nil
+	b.idle = append(b.idle, u)
+	b.idleN.Add(1)
+}
+
+// popWaiter returns the backend's oldest queued live relay.
+func (s *Server) popWaiter(b *Backend) *relay {
+	for len(b.waitq) > 0 {
+		r := b.waitq[0]
+		b.waitq[0] = nil
+		b.waitq = b.waitq[1:]
+		if r.cancelled {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// upstreamFailed handles any failure on an upstream socket: connect
+// refused, reset, EOF mid-response, framing violation. The disposition
+// depends on where the exchange stood:
+//
+//   - idle socket: the backend recycled a keep-alive connection — a
+//     non-event, not a failure signal.
+//   - busy, no response bytes yet, on a REUSED socket: almost certainly
+//     the keep-alive recycling race (backend closed as we picked the
+//     socket); retry silently without marking the backend.
+//   - busy, no response bytes yet, on a FRESH socket: a real backend
+//     failure; mark it (passive ejection) and retry elsewhere.
+//   - busy with response bytes already forwarded: the downstream
+//     connection is poisoned mid-response; mark the backend and cut the
+//     client — a truncated response must not look complete.
+func (s *Server) upstreamFailed(u *uconn, err error) {
+	b := u.b
+	r := u.r
+	wasIdle := u.state == uIdle
+	fresh := u.fresh
+	gotBytes := u.gotBytes
+	s.removeUpstream(u)
+	if wasIdle || r == nil {
+		return
+	}
+	r.u = nil
+	if gotBytes {
+		s.upErrors.add(1)
+		b.upErrors.Add(1)
+		b.inflight.Add(-1)
+		r.b = nil
+		if b.noteFailure(s.cfg.FailAfter) {
+			s.ejections.add(1)
+			if f := s.cfg.OnHealthChange; f != nil {
+				f(b.cfg.Name, false)
+			}
+		}
+		if d := r.d; d.active == r {
+			d.active = nil
+			s.closeD(d)
+		}
+		return
+	}
+	if !fresh {
+		// Keep-alive recycling race: retry without blaming the backend.
+		b.inflight.Add(-1)
+		r.b = nil
+		s.retries.add(1)
+		if !r.cancelled && r.d.active == r {
+			s.dispatch(r)
+		}
+		return
+	}
+	s.noteRelayFailure(b, r, err)
+}
+
+// removeUpstream unregisters and closes an upstream socket, whatever
+// state it is in (including parked in the idle pool).
+func (s *Server) removeUpstream(u *uconn) {
+	if _, open := s.uconns[u.fd]; !open {
+		return
+	}
+	delete(s.uconns, u.fd)
+	s.poller.Remove(u.fd)
+	reactor.CloseFD(u.fd)
+	b := u.b
+	b.open.Add(-1)
+	if u.state == uIdle {
+		for i, x := range b.idle {
+			if x == u {
+				b.idle = append(b.idle[:i], b.idle[i+1:]...)
+				b.idleN.Add(-1)
+				break
+			}
+		}
+	}
+	if invariant.Enabled {
+		invariant.Assertf(b.open.Load() >= 0,
+			"proxy: backend %s open sockets went negative", b.cfg.Name)
+	}
+}

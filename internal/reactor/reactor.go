@@ -230,6 +230,98 @@ func Listen(port, backlog int) (fd, boundPort int, err error) {
 	return fd, inet.Port, nil
 }
 
+// DialTCP4 starts a non-blocking IPv4 connect to addr ("a.b.c.d:port").
+// connected=false with a nil error means the connect is in flight
+// (EINPROGRESS): register write interest and call ConnectResult when the
+// socket signals writability. The fd is created non-blocking and
+// close-on-exec, with Nagle disabled, exactly like an accepted socket —
+// it is the upstream half of a proxy relay, and both halves must behave
+// identically under the reactor.
+func DialTCP4(addr string) (fd int, connected bool, err error) {
+	ip, port, err := parseIPv4Addr(addr)
+	if err != nil {
+		return -1, false, err
+	}
+	fd, err = syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		return -1, false, fmt.Errorf("reactor: socket: %w", err)
+	}
+	_ = syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
+	sa := &syscall.SockaddrInet4{Port: port, Addr: ip}
+	switch err = syscall.Connect(fd, sa); err {
+	case nil:
+		return fd, true, nil
+	case syscall.EINPROGRESS:
+		return fd, false, nil
+	default:
+		syscall.Close(fd)
+		return -1, false, fmt.Errorf("reactor: connect %s: %w", addr, err)
+	}
+}
+
+// ConnectResult resolves an in-flight non-blocking connect once the
+// socket has signalled writability: nil means the connection is
+// established, anything else is the connect failure (SO_ERROR). The fd
+// is NOT closed on failure — the caller owns it either way.
+func ConnectResult(fd int) error {
+	soerr, err := syscall.GetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_ERROR)
+	if err != nil {
+		return fmt.Errorf("reactor: getsockopt SO_ERROR: %w", err)
+	}
+	if soerr != 0 {
+		return fmt.Errorf("reactor: connect: %w", syscall.Errno(soerr))
+	}
+	return nil
+}
+
+// parseIPv4Addr parses "a.b.c.d:port" without importing net (this
+// package speaks raw sockaddrs only).
+func parseIPv4Addr(addr string) (ip [4]byte, port int, err error) {
+	colon := -1
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			colon = i
+			break
+		}
+	}
+	if colon <= 0 || colon == len(addr)-1 {
+		return ip, 0, fmt.Errorf("reactor: address %q is not host:port", addr)
+	}
+	host, portStr := addr[:colon], addr[colon+1:]
+	for i := 0; i < len(portStr); i++ {
+		c := portStr[i]
+		if c < '0' || c > '9' {
+			return ip, 0, fmt.Errorf("reactor: bad port in %q", addr)
+		}
+		port = port*10 + int(c-'0')
+		if port > 65535 {
+			return ip, 0, fmt.Errorf("reactor: port out of range in %q", addr)
+		}
+	}
+	oct, digits, idx := 0, 0, 0
+	for i := 0; i <= len(host); i++ {
+		if i == len(host) || host[i] == '.' {
+			if digits == 0 || digits > 3 || oct > 255 || idx >= 4 {
+				return ip, 0, fmt.Errorf("reactor: %q is not a dotted-quad IPv4 address", host)
+			}
+			ip[idx] = byte(oct)
+			idx++
+			oct, digits = 0, 0
+			continue
+		}
+		c := host[i]
+		if c < '0' || c > '9' {
+			return ip, 0, fmt.Errorf("reactor: %q is not a dotted-quad IPv4 address", host)
+		}
+		oct = oct*10 + int(c-'0')
+		digits++
+	}
+	if idx != 4 {
+		return ip, 0, fmt.Errorf("reactor: %q is not a dotted-quad IPv4 address", host)
+	}
+	return ip, port, nil
+}
+
 // Accept accepts one pending connection from a non-blocking listener.
 // done reports EAGAIN (nothing pending).
 func Accept(lfd int) (fd int, done bool, err error) {

@@ -1,0 +1,549 @@
+//go:build linux
+
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/docroot"
+	"repro/internal/httpwire"
+	"repro/internal/loadgen"
+	"repro/internal/mtserver"
+	"repro/internal/obs"
+	"repro/internal/obs/rollup"
+	"repro/internal/proxy"
+	"repro/internal/surge"
+)
+
+// These tests put the serving tier end-to-end: a real nioproxy balancing
+// real backends, checked for content fidelity (a proxy must be invisible
+// in the bytes), failover behavior (a dead backend must be ejected and
+// traffic must converge on the survivor without client-visible errors),
+// and shed attribution (the Via header must tell a tier refusal from a
+// backend refusal).
+
+// dumpRollupOnFailure mirrors dumpRingOnFailure for the tier's merged
+// telemetry: when the test fails and OBS_ARTIFACT_DIR is set, the
+// collector's merged + per-backend rollup view ships as a build
+// artifact.
+func dumpRollupOnFailure(t *testing.T, name string, coll *rollup.Collector) {
+	t.Cleanup(func() {
+		dir := os.Getenv("OBS_ARTIFACT_DIR")
+		if !t.Failed() || dir == "" {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("artifact dir: %v", err)
+			return
+		}
+		var b strings.Builder
+		coll.RenderMerged(&b)
+		path := filepath.Join(dir, name+"-rollup.txt")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Logf("writing rollup dump: %v", err)
+			return
+		}
+		t.Logf("merged rollup dumped to %s", path)
+	})
+}
+
+// startProxyTier builds and starts a proxy over the given backends.
+// Probing is off by default (tests that need it turn it on in mutate).
+func startProxyTier(t *testing.T, backends []proxy.BackendConfig, mutate func(*proxy.Config)) *proxy.Server {
+	t.Helper()
+	cfg := proxy.DefaultConfig(backends)
+	cfg.ProbeEvery = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p, err := proxy.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p
+}
+
+// TestProxyContentParity proves the proxy is byte-invisible: every
+// object served through a hash-balanced tier over one event-driven and
+// one thread-pool backend must match a direct fetch exactly — status,
+// body bytes, ETag, Last-Modified, Content-Type — and conditional GETs
+// through the proxy must earn bodyless 304s on the raw wire. The
+// backends' rollup exports, merged by the collector, must account for
+// every reply the tier relayed.
+func TestProxyContentParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	cfg := surge.DefaultConfig()
+	cfg.NumObjects = 48
+	cfg.MaxObjectBytes = 128 << 10
+	set, err := surge.BuildObjectSet(cfg, dist.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := docroot.MaterializeSurge(dir, set, cfg.MaxObjectBytes, 24); err != nil {
+		t.Fatal(err)
+	}
+	mkRoot := func() *docroot.Root {
+		root, err := docroot.New(docroot.Config{Dir: dir, CacheBytes: 8 << 20, MemLimit: 32 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return root
+	}
+
+	// Backend 1: the event-driven core, with an obs plane + admin so its
+	// /rollup is scrapeable.
+	nioPlane := obs.NewPlane(1 << 10)
+	ncfg := core.DefaultConfig(nil)
+	ncfg.Docroot = mkRoot()
+	ncfg.Obs = nioPlane
+	nio, err := core.NewServer(ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nioAdmin, err := obs.NewAdmin("127.0.0.1:0", obs.AdminConfig{
+		Stats: func() []obs.Field { return core.StatsFields(nio.Stats()) },
+		Plane: nioPlane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nioAdmin.Close()
+	if err := nio.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer nio.Stop()
+
+	// Backend 2: the thread-pool architecture behind the same balancer.
+	mtPlane := obs.NewPlane(1 << 10)
+	mcfg := mtserver.DefaultConfig(nil)
+	mcfg.Threads = 8
+	mcfg.Docroot = mkRoot()
+	mcfg.Obs = mtPlane
+	mt, err := mtserver.NewServer(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtAdmin, err := obs.NewAdmin("127.0.0.1:0", obs.AdminConfig{
+		Stats: func() []obs.Field { return mtserver.StatsFields(mt.Stats()) },
+		Plane: mtPlane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mtAdmin.Close()
+	if err := mt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Stop()
+
+	p := startProxyTier(t, []proxy.BackendConfig{
+		{Addr: nio.Addr(), AdminAddr: nioAdmin.Addr(), Name: "nio"},
+		{Addr: mt.Addr(), AdminAddr: mtAdmin.Addr(), Name: "mt"},
+	}, func(c *proxy.Config) { c.Balance = proxy.HashPath })
+
+	coll := rollup.NewCollector()
+	dumpRollupOnFailure(t, "proxy-parity", coll)
+
+	type reply struct {
+		status                    int
+		body                      []byte
+		etag, lastMod, ctype, via string
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	fetch := func(addr, path, validator string) reply {
+		t.Helper()
+		req, err := http.NewRequest("GET", "http://"+addr+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if validator != "" {
+			req.Header.Set("If-None-Match", validator)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s %s: %v", addr, path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s %s: %v", addr, path, err)
+		}
+		return reply{
+			status:  resp.StatusCode,
+			body:    body,
+			etag:    resp.Header.Get("ETag"),
+			lastMod: resp.Header.Get("Last-Modified"),
+			ctype:   resp.Header.Get("Content-Type"),
+			via:     resp.Header.Get("Via"),
+		}
+	}
+
+	etags := make(map[string]string)
+	for id := 0; id < set.Len(); id++ {
+		path := set.Object(id).Path()
+		direct := fetch(nio.Addr(), path, "")
+		proxied := fetch(p.Addr(), path, "")
+		if direct.status != 200 || proxied.status != 200 {
+			t.Fatalf("%s: status direct=%d proxied=%d", path, direct.status, proxied.status)
+		}
+		if !bytes.Equal(direct.body, proxied.body) {
+			t.Fatalf("%s: bodies differ through the proxy (%d vs %d bytes)",
+				path, len(direct.body), len(proxied.body))
+		}
+		if direct.etag == "" || direct.etag != proxied.etag ||
+			direct.lastMod != proxied.lastMod || direct.ctype != proxied.ctype {
+			t.Fatalf("%s: validators differ: direct=(%q %q %q) proxied=(%q %q %q)",
+				path, direct.etag, direct.lastMod, direct.ctype,
+				proxied.etag, proxied.lastMod, proxied.ctype)
+		}
+		// Relayed responses pass through byte-untouched: no Via stamp.
+		if proxied.via != "" {
+			t.Fatalf("%s: relayed response was rewritten (Via %q)", path, proxied.via)
+		}
+		etags[path] = direct.etag
+	}
+
+	// Conditional GETs through the proxy: a learned validator must earn
+	// a bodyless 304 on the raw wire, exactly as it does direct.
+	for id := 0; id < set.Len(); id += 5 {
+		path := set.Object(id).Path()
+		c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(c, "GET %s HTTP/1.1\r\nHost: sut\r\nIf-None-Match: %s\r\nConnection: close\r\n\r\n",
+			path, etags[path])
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		raw, err := io.ReadAll(c)
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(raw, []byte("HTTP/1.1 304 ")) {
+			t.Fatalf("%s: want 304 through proxy, got %q", path, raw[:min(len(raw), 60)])
+		}
+		if !bytes.HasSuffix(raw, []byte("\r\n\r\n")) || bytes.Count(raw, []byte("\r\n\r\n")) != 1 {
+			t.Fatalf("%s: 304 through proxy carried a body: %q", path, raw)
+		}
+	}
+
+	// Hash balancing must have spread the 48 paths across both
+	// architectures — a proxy that parks everything on one backend would
+	// pass the parity checks trivially.
+	for _, b := range p.Backends() {
+		if st := b.Stats(); st.Relayed == 0 {
+			t.Fatalf("backend %s relayed nothing: %+v", st.Name, st)
+		}
+	}
+
+	// The merged rollup must account for every backend reply: scrape
+	// both /rollup exports and require merged replies == the sum the
+	// servers themselves report.
+	sc := &http.Client{Timeout: 5 * time.Second}
+	for name, addr := range map[string]string{"nio": nioAdmin.Addr(), "mt": mtAdmin.Addr()} {
+		snap, err := rollup.Scrape(sc, addr)
+		if err != nil {
+			t.Fatalf("scraping %s rollup: %v", name, err)
+		}
+		snap.Name = name
+		coll.Ingest(snap)
+	}
+	merged := coll.Merged("tier")
+	var mergedReplies int64 = -1
+	for _, f := range merged.Fields {
+		if f.Name == "replies" {
+			mergedReplies = f.Value
+		}
+	}
+	want := nio.Stats().Replies + mt.Stats().Replies
+	if mergedReplies != want {
+		t.Fatalf("merged rollup replies = %d, backends report %d", mergedReplies, want)
+	}
+	// The proxy relayed one reply per proxied GET plus one per
+	// conditional GET (the backends' totals are higher: they also served
+	// the direct baseline fetches).
+	proxied := int64(set.Len() + (set.Len()+4)/5)
+	if got := p.Stats().Replies; got != proxied {
+		t.Fatalf("proxy relayed %d replies, want %d", got, proxied)
+	}
+	if relayedSum := backendStats(p, "nio").Relayed + backendStats(p, "mt").Relayed; relayedSum != proxied {
+		t.Fatalf("per-backend relay counts sum to %d, want %d", relayedSum, proxied)
+	}
+}
+
+// TestProxyBackendKillFailover kills one of two live backends mid-run:
+// the tier must eject it (passively or by probe), converge every
+// subsequent request on the survivor with zero client-visible errors,
+// and re-admit the backend when it comes back on the same port.
+func TestProxyBackendKillFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = 32
+	scfg.MaxObjectBytes = 64 << 10
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := core.NewSurgeStore(set, scfg.MaxObjectBytes, 3)
+	startBackend := func(port int) *core.Server {
+		t.Helper()
+		cfg := core.DefaultConfig(store)
+		cfg.Port = port
+		s, err := core.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := startBackend(0)
+	b := startBackend(0)
+	defer b.Stop()
+
+	health := make(chan bool, 16)
+	p := startProxyTier(t, []proxy.BackendConfig{
+		{Addr: a.Addr(), Name: "a"},
+		{Addr: b.Addr(), Name: "b"},
+	}, func(c *proxy.Config) {
+		c.Balance = proxy.RoundRobin
+		c.ProbeEvery = 20 * time.Millisecond
+		c.ProbeTimeout = 250 * time.Millisecond
+		c.FailAfter = 2
+		c.ReviveAfter = 2
+		c.ProbeSeed = 42
+		c.OnHealthChange = func(name string, healthy bool) {
+			if name == "a" {
+				health <- healthy
+			}
+		}
+	})
+	waitHealth := func(want bool, what string) {
+		t.Helper()
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case got := <-health:
+				if got == want {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %s", what)
+			}
+		}
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	get := func(path string) int {
+		t.Helper()
+		resp, err := client.Get("http://" + p.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	paths := make([]string, set.Len())
+	for i := range paths {
+		paths[i] = set.Object(i).Path()
+	}
+
+	// Warm phase: both backends take traffic.
+	for i := 0; i < 8; i++ {
+		if code := get(paths[i]); code != 200 {
+			t.Fatalf("warm request %d: status %d", i, code)
+		}
+	}
+	for _, bk := range p.Backends() {
+		if st := bk.Stats(); st.Relayed == 0 {
+			t.Fatalf("backend %s took no warm traffic: %+v", st.Name, st)
+		}
+	}
+
+	// Kill backend a. The proxy's retry path hides dial failures from
+	// clients while the health machinery converges.
+	addrA := a.Addr()
+	a.Stop()
+	waitHealth(false, "ejection of the killed backend")
+
+	// Every post-ejection request must succeed on the survivor: failover
+	// is only real if the client never sees the corpse.
+	survivorBefore := backendStats(p, "b").Relayed
+	for i := 0; i < 30; i++ {
+		if code := get(paths[i%len(paths)]); code != 200 {
+			t.Fatalf("post-ejection request %d: status %d", i, code)
+		}
+	}
+	if got := backendStats(p, "b").Relayed - survivorBefore; got != 30 {
+		t.Fatalf("survivor relayed %d of 30 post-ejection requests", got)
+	}
+	if st := p.Stats(); st.BadGateway != 0 || st.Ejections == 0 {
+		t.Fatalf("failover stats: %+v", st)
+	}
+
+	// Resurrect backend a on its original port: consecutive probe
+	// successes must re-admit it and traffic must spread again.
+	_, portStr, err := net.SplitHostPort(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := startBackend(port)
+	defer a2.Stop()
+	waitHealth(true, "re-admission of the revived backend")
+
+	revivedBefore := backendStats(p, "a").Relayed
+	for i := 0; i < 12; i++ {
+		if code := get(paths[i]); code != 200 {
+			t.Fatalf("post-revival request %d: status %d", i, code)
+		}
+	}
+	if got := backendStats(p, "a").Relayed - revivedBefore; got == 0 {
+		t.Fatal("revived backend took no traffic after re-admission")
+	}
+	if st := p.Stats(); st.Readmissions == 0 {
+		t.Fatalf("re-admission not counted: %+v", st)
+	}
+}
+
+// backendStats finds one backend's snapshot by name.
+func backendStats(p *proxy.Server, name string) proxy.BackendStats {
+	for _, b := range p.Backends() {
+		if st := b.Stats(); st.Name == name {
+			return st
+		}
+	}
+	return proxy.BackendStats{}
+}
+
+// TestProxyShedAttribution drives loadgen through a real proxy under
+// both refusal modes and requires the Via-keyed split to attribute each
+// 503 to the tier that issued it.
+func TestProxyShedAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	scfg := surge.DefaultConfig()
+	scfg.NumObjects = 16
+	scfg.MaxObjectBytes = 32 << 10
+	set, err := surge.BuildObjectSet(scfg, dist.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mode 1: the backend sheds. A fake origin answers every request
+	// with 503 + Retry-After and no Via; the proxy must relay it
+	// byte-untouched, so loadgen attributes every shed to the backend.
+	shedder, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shedder.Close()
+	go func() {
+		for {
+			c, err := shedder.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+				c.Write(httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
+					httpwire.Header{Name: "Retry-After", Value: "0"}))
+			}()
+		}
+	}()
+	p1 := startProxyTier(t, []proxy.BackendConfig{{Addr: shedder.Addr().String(), Name: "shedder"}}, nil)
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:       p1.Addr(),
+		Clients:    2,
+		Duration:   700 * time.Millisecond,
+		Timeout:    5 * time.Second,
+		ThinkScale: 0.01,
+		Seed:       99,
+		Workload:   scfg,
+		Objects:    set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sheds == 0 {
+		t.Fatalf("shedding backend produced no sheds: %+v", res)
+	}
+	if res.BackendSheds != res.Sheds || res.ProxySheds != 0 {
+		t.Fatalf("relayed sheds misattributed: sheds=%d proxy=%d backend=%d",
+			res.Sheds, res.ProxySheds, res.BackendSheds)
+	}
+	if st := p1.Stats(); st.Relayed503 == 0 || st.Shed != 0 {
+		t.Fatalf("proxy counters disagree: %+v", st)
+	}
+
+	// Mode 2: the proxy sheds. MaxConns 1 with one connection held open
+	// forces the tier to refuse further clients with a Via-stamped 503.
+	store := core.NewSurgeStore(set, scfg.MaxObjectBytes, 3)
+	bk, err := core.NewServer(core.DefaultConfig(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bk.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer bk.Stop()
+	p2 := startProxyTier(t, []proxy.BackendConfig{{Addr: bk.Addr(), Name: "live"}},
+		func(c *proxy.Config) { c.MaxConns = 1 })
+	hold, err := net.DialTimeout("tcp", p2.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	time.Sleep(50 * time.Millisecond) // let the held conn land in the accept count
+	res2, err := loadgen.Run(loadgen.Options{
+		Addr:       p2.Addr(),
+		Clients:    2,
+		Duration:   700 * time.Millisecond,
+		Timeout:    5 * time.Second,
+		ThinkScale: 0.01,
+		Seed:       99,
+		Workload:   scfg,
+		Objects:    set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ProxySheds == 0 || res2.BackendSheds != 0 {
+		t.Fatalf("tier sheds misattributed: sheds=%d proxy=%d backend=%d",
+			res2.Sheds, res2.ProxySheds, res2.BackendSheds)
+	}
+	if st := p2.Stats(); st.Shed == 0 {
+		t.Fatalf("proxy shed counter not advanced: %+v", st)
+	}
+}
