@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo chaos chaos-demo proxy-demo proxy-test lint invariants verify clean
+.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo chaos chaos-demo proxy-demo proxy-test sysfault sysfault-demo lint invariants verify clean
 
 all: build test
 
@@ -65,6 +65,20 @@ proxy-demo:
 proxy-test:
 	go test -race -count=1 ./internal/proxy/ ./internal/obs/rollup/
 	go test -race -count=1 -run 'TestProxy' .
+
+# The deterministic fault-injection suite under the race detector:
+# seeded EMFILE/ENOBUFS/short-write/sendfile/connect faults against
+# both servers and the proxy tier, with offline-replay determinism
+# checks (~5 s). Set SYSFAULT_SEED to vary the injection seed.
+sysfault:
+	go test -race -count=1 -v -run 'TestSysfault' .
+	go test -race -count=1 ./internal/sysfault/
+
+# Live showcase of the fault seam: the nio server under a mixed
+# injection plan, hardening counters vs the fired-decision log, and
+# the byte-identical offline replay (~1 s; pass a seed as the arg).
+sysfault-demo:
+	go run ./examples/sysfault
 
 # Formatting, standard vet, and the custom analyzer suite (cmd/niovet):
 # syscallerr, fdlife, refbalance, statssync, nonblock.

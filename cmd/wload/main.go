@@ -159,6 +159,10 @@ func main() {
 	fmt.Printf("client timeouts:    %d (%.2f/s)\n", res.TimeoutErrors, res.TimeoutErrPerSec)
 	fmt.Printf("connection resets:  %d (%.2f/s)\n", res.ResetErrors, res.ResetErrPerSec)
 	fmt.Printf("net unreachable:    %d (%.2f/s)\n", res.UnreachableErrors, res.UnreachableErrPerSec)
+	if res.LocalResErrors > 0 {
+		fmt.Printf("client res limits:  %d (%.2f/s)  [client fd/port exhaustion -- raise ulimit, results suspect]\n",
+			res.LocalResErrors, res.LocalResErrPerSec)
+	}
 	fmt.Printf("bandwidth:          %.2f MB/s\n", res.BandwidthBps/1e6)
 	fmt.Printf("sessions completed: %d\n", res.Sessions)
 	if *revalidate > 0 {

@@ -13,10 +13,10 @@ import (
 // resource bug it is.
 var FDLife = &Analyzer{
 	Name: "fdlife",
-	Doc: "check that fds from syscall.Socket/Accept4/Open/EpollCreate1/Dup reach " +
-		"syscall.Close on all paths including error returns; passing the fd to a " +
-		"non-syscall function, storing it, or returning it transfers ownership " +
-		"and ends the check",
+	Doc: "check that fds from syscall.Socket/Accept4/Open/EpollCreate1/Dup (or their " +
+		"sysfault seam wrappers) reach syscall.Close or sysfault.Close on all paths " +
+		"including error returns; passing the fd to a non-syscall function, storing " +
+		"it, or returning it transfers ownership and ends the check",
 	Run: runFDLife,
 }
 
@@ -30,6 +30,14 @@ var fdProducers = map[string]bool{
 	"Dup":          true,
 }
 
+// seamFDProducers are the sysfault wrappers that mint descriptors; the
+// seam routes the hot-path producers, so fds born there carry the same
+// close-on-every-path obligation as raw syscall ones.
+var seamFDProducers = map[string]bool{
+	"Socket":  true,
+	"Accept4": true,
+}
+
 func runFDLife(pass *Pass) error {
 	for _, fn := range funcDecls(pass) {
 		walkStack(fn.Body, func(n ast.Node, stack []ast.Node) {
@@ -37,15 +45,20 @@ func runFDLife(pass *Pass) error {
 			if !ok {
 				return
 			}
+			origin := "syscall"
 			name := pkgFuncName(pass.Info, call, "syscall")
 			if !fdProducers[name] {
-				return
+				name = pkgFuncName(pass.Info, call, sysfaultPkgPath)
+				if !seamFDProducers[name] {
+					return
+				}
+				origin = "sysfault"
 			}
 			acq := resolveAcquire(pass, fn, call, stack, 0)
 			if acq == nil {
 				return
 			}
-			acq.what = "fd from syscall." + name
+			acq.what = "fd from " + origin + "." + name
 			acq.must = "syscall.Close"
 			checkPaired(pass, acq, classifyFDUse(pass))
 		})
@@ -53,10 +66,11 @@ func runFDLife(pass *Pass) error {
 	return nil
 }
 
-// classifyFDUse judges one use of a tracked fd: syscall.Close releases
-// it, other syscalls and comparisons merely borrow it, and anything
-// that moves the value somewhere the function cannot see — a return, a
-// store, a non-syscall call — transfers ownership.
+// classifyFDUse judges one use of a tracked fd: syscall.Close or
+// sysfault.Close releases it, other syscalls and seam wrappers merely
+// borrow it, and anything that moves the value somewhere the function
+// cannot see — a return, a store, a call into any other package —
+// transfers ownership.
 func classifyFDUse(pass *Pass) func(id *ast.Ident, stack []ast.Node) useClass {
 	return func(id *ast.Ident, stack []ast.Node) useClass {
 		for i := len(stack) - 1; i >= 0; i-- {
@@ -74,7 +88,17 @@ func classifyFDUse(pass *Pass) func(id *ast.Ident, stack []ast.Node) useClass {
 				case "Close":
 					return useRelease
 				case "":
-					return useEscape // handed to a non-syscall owner
+					switch pkgFuncName(pass.Info, anc, sysfaultPkgPath) {
+					case "Close":
+						// The seam's Close always performs the real
+						// close (injected errnos only change what it
+						// reports), so it settles the obligation.
+						return useRelease
+					case "":
+						return useEscape // handed to a non-syscall owner
+					default:
+						return useBorrow // sysfault.Read/Write/Connect/…
+					}
 				default:
 					return useBorrow // Bind, Listen, EpollCtl, Setsockopt, …
 				}

@@ -13,6 +13,12 @@ import (
 
 func TestSyscallerr(t *testing.T) { analysistest.Run(t, analysis.Syscallerr, "syscallerr") }
 
+// The sysfault wrapper exemption is keyed on the package NAME, so it
+// needs its own fixture package (named sysfault, unlike the others).
+func TestSyscallerrSeamWrapper(t *testing.T) {
+	analysistest.Run(t, analysis.Syscallerr, "sysfaultwrap")
+}
+
 func TestFDLife(t *testing.T) { analysistest.Run(t, analysis.FDLife, "fdlife") }
 
 func TestRefBalance(t *testing.T) { analysistest.Run(t, analysis.RefBalance, "refbalance") }

@@ -17,7 +17,8 @@ var Syscallerr = &Analyzer{
 	Doc: "check that raw syscall.Read/Write/Accept4/EpollWait/Sendfile call sites " +
 		"classify EINTR and EAGAIN instead of treating every error as fatal; " +
 		"EINTR classification may be delegated by wrapping the call in a " +
-		"closure passed to a retryEINTR helper",
+		"closure passed to a retryEINTR helper; sysfault seam call sites " +
+		"(which absorb EINTR internally) must still classify EAGAIN",
 	Run: runSyscallerr,
 }
 
@@ -30,6 +31,22 @@ var syscallErrTargets = map[string]struct{ eintr, eagain bool }{
 	"Accept4":   {true, true},
 	"EpollWait": {true, false},
 	"Sendfile":  {true, true},
+}
+
+// sysfaultPkgPath is the fault-injection seam every hot-path syscall is
+// routed through (see internal/sysfault). Its wrappers absorb EINTR in
+// their own retry loops, so call sites owe only the EAGAIN
+// classification; EpollWait/Socket/Connect/Close via the seam can
+// surface neither transient errno and are not audited here.
+const sysfaultPkgPath = "repro/internal/sysfault"
+
+// seamErrTargets are the sysfault wrappers whose callers must still
+// classify EAGAIN — the would-block path passes through the seam raw.
+var seamErrTargets = map[string]bool{
+	"Read":     true,
+	"Write":    true,
+	"Accept4":  true,
+	"Sendfile": true,
 }
 
 func runSyscallerr(pass *Pass) error {
@@ -76,9 +93,27 @@ func checkSyscallErrFunc(pass *Pass, fn *ast.FuncDecl) {
 		if !ok {
 			return
 		}
+		if name := pkgFuncName(pass.Info, call, sysfaultPkgPath); seamErrTargets[name] {
+			// A seam call site: the wrapper already owns EINTR, but
+			// EAGAIN still reaches the caller and must be classified.
+			if errResultDiscarded(call, stack) || classified["EAGAIN"] {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"sysfault.%s error is not classified for EAGAIN (the seam absorbs EINTR but passes would-block through)", name)
+			return
+		}
 		name := pkgFuncName(pass.Info, call, "syscall")
 		need, ok := syscallErrTargets[name]
 		if !ok {
+			return
+		}
+		if pass.Pkg.Name() == "sysfault" && fn.Name.Name == name {
+			// The seam wrapper itself: sysfault.Read's raw syscall.Read
+			// is the blessed home of the bare call — its retry loop
+			// absorbs EINTR and its contract is to hand EAGAIN to the
+			// caller unclassified. Only the same-named wrapper is
+			// exempt; any other bare syscall in the package still fails.
 			return
 		}
 		if errResultDiscarded(call, stack) {

@@ -1,0 +1,64 @@
+// Seam cases: descriptors minted through the sysfault wrappers carry
+// the same close-on-every-path obligation, and sysfault.Close settles
+// it (the seam always performs the real close; injected errnos only
+// change what it reports).
+package fixture
+
+import (
+	"syscall"
+
+	"repro/internal/sysfault"
+)
+
+// bad: a seam-minted socket is configured but never closed and never
+// escapes.
+func seamNeverClosed() error {
+	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0) // want "never passed to syscall.Close"
+	if err != nil {
+		return err
+	}
+	return syscall.Listen(fd, 128)
+}
+
+// bad: the connect error path returns without closing.
+func seamLeakOnError(sa syscall.Sockaddr) (int, error) {
+	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return -1, err
+	}
+	if err := sysfault.Connect(fd, sa); err != nil {
+		return -1, err // want "may leak"
+	}
+	return fd, nil
+}
+
+// good: sysfault.Close releases on every path.
+func seamClosedOnError(sa syscall.Sockaddr) (int, error) {
+	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return -1, err
+	}
+	if err := sysfault.Connect(fd, sa); err != nil {
+		_ = sysfault.Close(fd)
+		return -1, err
+	}
+	return fd, nil
+}
+
+// good: seam-accepted fds may be released with the raw close too.
+func seamAcceptClose(lfd int) {
+	fd, err := sysfault.Accept4(lfd, syscall.SOCK_NONBLOCK)
+	if err != nil {
+		return
+	}
+	syscall.Close(fd)
+}
+
+// good: returning the fd transfers ownership to the caller.
+func seamHandOff() (int, error) {
+	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		return -1, err
+	}
+	return fd, nil
+}

@@ -1,0 +1,69 @@
+// Seam cases: sysfault wrappers absorb EINTR internally, so their call
+// sites owe only the EAGAIN classification — and still owe that.
+package fixture
+
+import (
+	"syscall"
+
+	"repro/internal/sysfault"
+)
+
+// bad: the seam hands EAGAIN through raw; a bare err != nil treats
+// every would-block as fatal.
+func seamBareRead(fd int, buf []byte) int {
+	n, err := sysfault.Read(fd, buf) // want "EAGAIN"
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// bad: same for the write side.
+func seamBareWrite(fd int, buf []byte) bool {
+	n, err := sysfault.Write(fd, buf) // want "EAGAIN"
+	if err != nil {
+		return false
+	}
+	return n == len(buf)
+}
+
+// good: EAGAIN classified; no EINTR classification is demanded because
+// the wrapper's retry loop owns it.
+func seamClassifiedRead(fd int, buf []byte) int {
+	n, err := sysfault.Read(fd, buf)
+	if err == syscall.EAGAIN {
+		return 0
+	}
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// good: errors.Is-free switch classification works for seam sites too.
+func seamAccept(lfd int) int {
+	fd, err := sysfault.Accept4(lfd, syscall.SOCK_NONBLOCK)
+	switch err {
+	case syscall.EAGAIN:
+		return -1
+	case nil:
+		return fd
+	}
+	return -1
+}
+
+// good: discarding the result is a deliberate decision, as with raw
+// syscalls.
+func seamFireAndForget(fd int) {
+	_, _ = sysfault.Write(fd, []byte{1})
+}
+
+// good: EpollWait through the seam surfaces neither EINTR (absorbed)
+// nor EAGAIN (cannot happen), so a bare site is fine.
+func seamWait(epfd int, events []syscall.EpollEvent) int {
+	n, err := sysfault.EpollWait(epfd, events, -1)
+	if err != nil {
+		return -1
+	}
+	return n
+}

@@ -32,6 +32,11 @@ func pkgFuncName(info *types.Info, call *ast.CallExpr, pkgPath string) string {
 	if !ok || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
 		return ""
 	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// A method of some type in pkgPath — e.g. (syscall.RawConn).Write
+		// — must not be mistaken for the package-level syscall.Write.
+		return ""
+	}
 	return f.Name()
 }
 

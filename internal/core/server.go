@@ -3,10 +3,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/docroot"
@@ -140,6 +142,24 @@ type Stats struct {
 	// connection (best-effort 500 + close) instead of killing the
 	// process.
 	HandlerPanics int64
+	// AcceptEMFILE counts accept attempts refused by the kernel for
+	// descriptor exhaustion (EMFILE/ENFILE) and absorbed by the
+	// reserve-descriptor recovery instead of killing the acceptor.
+	AcceptEMFILE int64
+	// AcceptBackoffs counts backoff waits taken by the accept gate
+	// after resource-exhausted accepts (instead of hot-spinning on a
+	// level-triggered listener that stays readable).
+	AcceptBackoffs int64
+	// WriteStalls counts ENOBUFS write failures absorbed by re-arming
+	// write interest instead of tearing the connection down.
+	WriteStalls int64
+	// WriteResets counts connections torn down by a peer reset or
+	// broken pipe mid-response (distinct from generic write errors).
+	WriteResets int64
+	// SendfileFallbacks counts sendfile(2) failures recovered by
+	// switching the in-flight response to buffered delivery from the
+	// same resume offset — the response bytes stay correct.
+	SendfileFallbacks int64
 }
 
 // Server is the live event-driven web server.
@@ -168,6 +188,18 @@ type Server struct {
 	notModified    counter
 	sendfileBytes  counter
 	handlerPanics  counter
+
+	acceptEMFILE      counter
+	acceptBackoffs    counter
+	writeStalls       counter
+	writeResets       counter
+	sendfileFallbacks counter
+
+	// reserveFD is one descriptor held on /dev/null purely so the
+	// acceptor can close it to free a slot when accept(2) reports
+	// EMFILE, accept-and-503 the pending connection, and re-arm.
+	// Owned by the acceptor thread once Start has run.
+	reserveFD int
 }
 
 // counter is a tiny atomic counter (avoids importing metrics here).
@@ -187,13 +219,25 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		lfd:      lfd,
-		port:     port,
-		stopping: make(chan struct{}),
-		draining: make(chan struct{}),
+		cfg:       cfg,
+		lfd:       lfd,
+		port:      port,
+		stopping:  make(chan struct{}),
+		draining:  make(chan struct{}),
+		reserveFD: openReserve(),
 	}
 	return s, nil
+}
+
+// openReserve opens the fd-exhaustion reserve descriptor (see
+// Server.reserveFD). A failure to open it (-1) only disables the
+// recovery, never the server.
+func openReserve() int {
+	fd, err := syscall.Open("/dev/null", syscall.O_RDONLY|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		return -1
+	}
+	return fd
 }
 
 // Port returns the bound port.
@@ -217,6 +261,12 @@ func (s *Server) Stats() Stats {
 		NotModified:    s.notModified.get(),
 		SendfileBytes:  s.sendfileBytes.get(),
 		HandlerPanics:  s.handlerPanics.get(),
+
+		AcceptEMFILE:      s.acceptEMFILE.get(),
+		AcceptBackoffs:    s.acceptBackoffs.get(),
+		WriteStalls:       s.writeStalls.get(),
+		WriteResets:       s.writeResets.get(),
+		SendfileFallbacks: s.sendfileFallbacks.get(),
 	}
 }
 
@@ -273,9 +323,13 @@ func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopping)
 		if s.acceptor == nil {
-			// Never started: no acceptor owns the listen fd yet, so it
-			// must be closed here or it leaks.
+			// Never started: no acceptor owns the listen fd (or the
+			// reserve) yet, so they must be closed here or they leak.
 			reactor.CloseFD(s.lfd)
+			if s.reserveFD >= 0 {
+				reactor.CloseFD(s.reserveFD)
+				s.reserveFD = -1
+			}
 			return
 		}
 		s.acceptor.Wakeup()
@@ -322,6 +376,12 @@ func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	defer s.acceptor.Close()
 	defer reactor.CloseFD(s.lfd)
+	defer func() {
+		if s.reserveFD >= 0 {
+			reactor.CloseFD(s.reserveFD)
+			s.reserveFD = -1
+		}
+	}()
 	// The loop blocks in raw epoll_wait, which parks an OS thread; pin
 	// the goroutine so it owns that thread outright (a reactor thread in
 	// the paper's sense) instead of bouncing through scheduler handoffs.
@@ -332,6 +392,7 @@ func (s *Server) acceptLoop() {
 		hb = wd.Register("core-acceptor")
 	}
 	rr := 0
+	backoff := time.Duration(0)
 	for {
 		select {
 		case <-s.stopping:
@@ -351,11 +412,37 @@ func (s *Server) acceptLoop() {
 		for {
 			fd, done, err := reactor.Accept(s.lfd)
 			if err != nil {
+				if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+					// Descriptor exhaustion: recover via the reserve, then
+					// back off. The listener stays readable (level-
+					// triggered) while the table is full, so retrying
+					// immediately would spin the acceptor dry; the gate
+					// trades accept latency for CPU the workers need to
+					// finish responses and free descriptors.
+					s.acceptEMFILE.add(1)
+					s.recoverFDExhaustion()
+					if backoff = s.acceptGate(hb, backoff); backoff < 0 {
+						return // stopping
+					}
+					break
+				}
+				if errors.Is(err, syscall.ENOBUFS) || errors.Is(err, syscall.ENOMEM) {
+					// Transient kernel memory pressure: nothing to free on
+					// our side, just pace the retries.
+					if backoff = s.acceptGate(hb, backoff); backoff < 0 {
+						return
+					}
+					break
+				}
 				return // listener closed
 			}
 			if done {
 				break
 			}
+			if fd < 0 {
+				continue // transient (ECONNABORTED): the peer gave up first
+			}
+			backoff = 0
 			s.accepted.add(1)
 			// Adaptive admission first: the controller's token bucket
 			// paces accepts against its latency target. Shed clients are
@@ -406,6 +493,78 @@ func shedConn(fd int, retryAfterSec int) {
 	reactor.CloseFD(fd)
 }
 
+// docrootPressureEvictions is how many cached entries (and so shared
+// file descriptors) the acceptor asks the docroot to give back per
+// EMFILE event — enough to make real room, small enough not to dump a
+// warm cache over one transient spike.
+const docrootPressureEvictions = 8
+
+// recoverFDExhaustion is the reserve-descriptor dance: close the
+// reserve to free one slot, accept the connection the kernel is
+// holding, answer it 503 + Retry-After so the client backs off
+// instead of timing out in silence, close it, and re-open the
+// reserve. Without this, the pending connection would sit in the
+// accept queue until a descriptor freed by chance. When a docroot is
+// configured, the cache is also asked to shed a few entries — cached
+// content pins file descriptors, and under EMFILE giving those back
+// attacks the exhaustion itself rather than just the symptom.
+func (s *Server) recoverFDExhaustion() {
+	if dr := s.cfg.Docroot; dr != nil {
+		dr.ShedFDs(docrootPressureEvictions)
+	}
+	if s.reserveFD < 0 {
+		return
+	}
+	reactor.CloseFD(s.reserveFD)
+	s.reserveFD = -1
+	fd, done, err := reactor.Accept(s.lfd)
+	if err == nil && !done && fd >= 0 {
+		s.shed.add(1)
+		if pl := s.cfg.Obs; pl != nil {
+			pl.Record(0, obs.Shed, 0)
+		}
+		shedConn(fd, shedRetryAfterSec)
+	}
+	s.reserveFD = openReserve()
+}
+
+// Accept-gate backoff bounds: exponential from 5ms, capped at 250ms,
+// reset to zero by any successful accept.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 250 * time.Millisecond
+)
+
+// acceptGate pauses the acceptor after a resource-exhausted accept,
+// doubling the pause up to the cap. It returns the next backoff to
+// use, or a negative duration if the server is stopping. The
+// heartbeat span is closed across the pause — a gated acceptor is
+// parked, not wedged, and must not trip the watchdog.
+func (s *Server) acceptGate(hb *overload.Heartbeat, backoff time.Duration) time.Duration {
+	if backoff < acceptBackoffMin {
+		backoff = acceptBackoffMin
+	} else if backoff *= 2; backoff > acceptBackoffMax {
+		backoff = acceptBackoffMax
+	}
+	s.acceptBackoffs.add(1)
+	if hb != nil {
+		hb.End()
+	}
+	defer func() {
+		if hb != nil {
+			hb.Begin()
+		}
+	}()
+	select {
+	case <-s.stopping:
+		return -1
+	case <-s.draining:
+		return -1
+	case <-time.After(backoff):
+		return backoff
+	}
+}
+
 // outSeg is one element of a connection's pending output: either a byte
 // slice (headers, in-memory bodies) or a file range delivered zero-copy
 // with sendfile(2). A file segment pins its docroot entry — and so the
@@ -419,6 +578,13 @@ type outSeg struct {
 	ent *docroot.Entry
 	off int64
 	end int64
+	// fallback flips a file segment from sendfile(2) to buffered
+	// delivery after the kernel refuses the fast path (EINVAL/EIO):
+	// each pass re-reads the file at off and writes it, so the
+	// response bytes stay exact across the switch and across partial
+	// writes. off/end keep their meaning; sendfile is never retried on
+	// this segment.
+	fallback bool
 }
 
 // conn is the per-connection state owned by exactly one worker.
@@ -467,7 +633,10 @@ type worker struct {
 	conns  map[int]*conn
 	inbox  chan pendingConn
 	buf    []byte
-	reqs   []*httpwire.Request
+	// fbuf is the lazily-allocated scratch for buffered sendfile
+	// fallback (never aliased by the parser, unlike buf).
+	fbuf []byte
+	reqs []*httpwire.Request
 	// draining is set once the server enters Drain: no new reads, flush
 	// pending output, close as connections empty.
 	draining bool
@@ -908,15 +1077,27 @@ func (w *worker) flush(c *conn) {
 	pl := w.srv.cfg.Obs
 	for len(c.out) > 0 {
 		seg := &c.out[0]
-		if seg.ent != nil {
+		if seg.ent != nil && !seg.fallback {
 			max := sendfileChunk
 			if rem := seg.end - seg.off; int64(max) > rem {
 				max = int(rem)
 			}
 			n, again, err := reactor.Sendfile(c.fd, seg.ent.FD(), &seg.off, max)
 			if err != nil {
-				w.closeConn(c)
-				return
+				if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+					// The peer is gone; nothing to deliver to.
+					w.srv.writeResets.add(1)
+					w.closeConn(c)
+					return
+				}
+				// Anything else (EINVAL/EIO: the fs or the kernel refusing
+				// the fast path) downgrades this segment to buffered
+				// delivery from the same resume offset — a failing
+				// sendfile(2) never advances *off, so not one response
+				// byte is skipped or repeated.
+				w.srv.sendfileFallbacks.add(1)
+				seg.fallback = true
+				continue
 			}
 			w.srv.bytesOut.add(int64(n))
 			w.srv.sendfileBytes.add(int64(n))
@@ -936,9 +1117,31 @@ func (w *worker) flush(c *conn) {
 			}
 			continue // partial progress without EAGAIN: keep pushing
 		}
+		if seg.ent != nil {
+			// Buffered fallback for a failed sendfile segment: read the
+			// next chunk at the resume offset and push it through the
+			// ordinary non-blocking write path. A partial write just
+			// advances off; the next pass re-reads from there, so
+			// idempotence is free.
+			if !w.flushFallback(c, seg, pl) {
+				return
+			}
+			continue
+		}
 		head := seg.buf[c.outOff:]
 		n, again, err := reactor.Write(c.fd, head)
 		if err != nil {
+			if errors.Is(err, syscall.ENOBUFS) {
+				// Transient kernel buffer exhaustion is a stall, not a
+				// failure: keep the queue, re-arm write interest, retry
+				// when the loop next signals writability.
+				w.srv.writeStalls.add(1)
+				w.armWrite(c)
+				return
+			}
+			if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+				w.srv.writeResets.add(1)
+			}
 			w.closeConn(c)
 			return
 		}
@@ -976,6 +1179,64 @@ func (w *worker) flush(c *conn) {
 		c.writeArm = false
 		_ = w.poller.Modify(c.fd, true, false)
 	}
+}
+
+// fallbackChunk bounds one buffered-fallback read+write so a degraded
+// response cannot monopolize the reactor thread any more than a
+// healthy sendfile one can.
+const fallbackChunk = 64 << 10
+
+// flushFallback pushes one chunk of a downgraded file segment (see
+// outSeg.fallback). It reports whether flush may continue with the
+// queue; false means the connection was torn down or the socket
+// blocked (write interest armed) and flush must return.
+func (w *worker) flushFallback(c *conn, seg *outSeg, pl *obs.Plane) bool {
+	if w.fbuf == nil {
+		w.fbuf = make([]byte, fallbackChunk)
+	}
+	chunk := w.fbuf
+	if rem := seg.end - seg.off; rem < int64(len(chunk)) {
+		chunk = chunk[:rem]
+	}
+	rn, rerr := seg.ent.ReadAt(chunk, seg.off)
+	if rn == 0 {
+		// Cannot even read the file any more: the response cannot be
+		// completed honestly, so the connection must die rather than
+		// deliver a short body that looks complete.
+		_ = rerr
+		w.closeConn(c)
+		return false
+	}
+	n, again, err := reactor.Write(c.fd, chunk[:rn])
+	if err != nil {
+		if errors.Is(err, syscall.ENOBUFS) {
+			w.srv.writeStalls.add(1)
+			w.armWrite(c)
+			return false
+		}
+		if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+			w.srv.writeResets.add(1)
+		}
+		w.closeConn(c)
+		return false
+	}
+	seg.off += int64(n)
+	w.srv.bytesOut.add(int64(n))
+	if pl != nil && n > 0 && !c.firstByte {
+		c.firstByte = true
+		pl.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
+	}
+	if seg.off >= seg.end {
+		seg.ent.Release()
+		c.out[0] = outSeg{}
+		c.out = c.out[1:]
+		return true
+	}
+	if again || n < rn {
+		w.armWrite(c)
+		return false
+	}
+	return true
 }
 
 // observeFirst feeds the admission controller the connection's
@@ -1088,6 +1349,11 @@ func StatsFields(st Stats) []obs.Field {
 		{Name: "not_modified", Value: st.NotModified},
 		{Name: "sendfile_bytes", Value: st.SendfileBytes},
 		{Name: "handler_panics", Value: st.HandlerPanics},
+		{Name: "accept_emfile", Value: st.AcceptEMFILE},
+		{Name: "accept_backoffs", Value: st.AcceptBackoffs},
+		{Name: "write_stalls", Value: st.WriteStalls},
+		{Name: "write_resets", Value: st.WriteResets},
+		{Name: "sendfile_fallbacks", Value: st.SendfileFallbacks},
 	}
 }
 

@@ -97,3 +97,39 @@ func (r *Root) cacheInsert(e *Entry) *Entry {
 	}
 	return e
 }
+
+// ShedFDs evicts up to n least-recently-used entries regardless of the
+// byte budget and returns how many it dropped — the fd-pressure valve:
+// every cached entry pins an open file descriptor, so when accept(2)
+// reports EMFILE the server can trade cache warmth for descriptor
+// slots. Entries still referenced by in-flight responses only lose the
+// cache's reference here; their fds close when the last response
+// finishes, exactly as with budget eviction.
+func (r *Root) ShedFDs(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	var evicted []*Entry
+	for len(evicted) < n {
+		tail := r.head.prev
+		if tail == &r.head {
+			break // cache empty
+		}
+		tail.unlink()
+		delete(r.items, tail.ent.key)
+		r.used -= tail.ent.charge
+		evicted = append(evicted, tail.ent)
+	}
+	if invariant.Enabled {
+		invariant.Assertf(r.used >= 0,
+			"docroot: cache byte accounting went negative (%d) after pressure shed", r.used)
+	}
+	r.mu.Unlock()
+	for _, ev := range evicted {
+		r.evictions.Inc()
+		r.pressure.Inc()
+		ev.Release()
+	}
+	return len(evicted)
+}

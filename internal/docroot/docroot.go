@@ -133,6 +133,7 @@ type Root struct {
 	misses    metrics.Counter
 	evictions metrics.Counter
 	opens     metrics.Counter
+	pressure  metrics.Counter
 }
 
 // Stats is a snapshot of the cache counters.
@@ -144,6 +145,9 @@ type Stats struct {
 	Evictions int64
 	// Opens counts actual open(2) calls (misses that found a file).
 	Opens int64
+	// PressureEvictions counts entries shed by ShedFDs under
+	// descriptor pressure (included in Evictions).
+	PressureEvictions int64
 	// CachedBytes and CachedEntries describe the current cache content.
 	CachedBytes   int64
 	CachedEntries int
@@ -190,12 +194,13 @@ func (r *Root) Stats() Stats {
 	used, n := r.used, len(r.items)
 	r.mu.Unlock()
 	return Stats{
-		Hits:          r.hits.Value(),
-		Misses:        r.misses.Value(),
-		Evictions:     r.evictions.Value(),
-		Opens:         r.opens.Value(),
-		CachedBytes:   used,
-		CachedEntries: n,
+		Hits:              r.hits.Value(),
+		Misses:            r.misses.Value(),
+		Evictions:         r.evictions.Value(),
+		Opens:             r.opens.Value(),
+		PressureEvictions: r.pressure.Value(),
+		CachedBytes:       used,
+		CachedEntries:     n,
 	}
 }
 

@@ -234,10 +234,10 @@ func TestSendfileToDeliversAndMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := SendfileTo(conn, e)
+	n, fellBack, err := SendfileTo(conn, e)
 	conn.Close()
-	if err != nil || n != e.Size {
-		t.Fatalf("SendfileTo = (%d, %v), want (%d, nil)", n, err, e.Size)
+	if err != nil || n != e.Size || fellBack {
+		t.Fatalf("SendfileTo = (%d, %v, %v), want (%d, false, nil)", n, fellBack, err, e.Size)
 	}
 	received := <-got
 	if !bytes.Equal(received, body) {

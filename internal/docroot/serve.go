@@ -13,8 +13,20 @@ type Writer interface {
 // write to the connection. Taken on non-Linux platforms and for
 // connections that do not expose a raw descriptor.
 func copyTo(conn Writer, e *Entry) (int64, error) {
+	return copyToFrom(conn, e, 0)
+}
+
+// copyToFrom delivers the entry's body from offset off onward and
+// returns how many bytes it wrote (not counting anything delivered
+// before off). It re-reads at the current offset after every write,
+// so short writes — a kernel under memory pressure, or an injected
+// fault — cost a retry, never a corrupt byte stream. This is also the
+// resume path when sendfile(2) fails mid-response: the kernel never
+// advances the offset of a failing sendfile, so continuing from the
+// recorded offset is exact.
+func copyToFrom(conn Writer, e *Entry, off int64) (int64, error) {
 	buf := make([]byte, 64<<10)
-	var off int64
+	start := off
 	for off < e.Size {
 		want := e.Size - off
 		if want > int64(len(buf)) {
@@ -25,18 +37,18 @@ func copyTo(conn Writer, e *Entry) (int64, error) {
 			m, werr := conn.Write(buf[:n])
 			off += int64(m)
 			if werr != nil {
-				return off, werr
+				return off - start, werr
 			}
 		}
 		if off >= e.Size {
 			break // a full final read may carry io.EOF; that's success
 		}
 		if err == io.EOF || (err == nil && n == 0) {
-			return off, io.ErrUnexpectedEOF // file shrank underneath us
+			return off - start, io.ErrUnexpectedEOF // file shrank underneath us
 		}
 		if err != nil {
-			return off, err
+			return off - start, err
 		}
 	}
-	return off, nil
+	return off - start, nil
 }

@@ -3,8 +3,11 @@
 package docroot
 
 import (
+	"errors"
 	"io"
 	"syscall"
+
+	"repro/internal/sysfault"
 )
 
 // sendfileChunk bounds one sendfile(2) call so a multi-gigabyte file
@@ -12,20 +15,28 @@ import (
 // write deadlines keep getting re-checked.
 const sendfileChunk = 1 << 20
 
-// SendfileTo delivers the entry's whole body to conn with blocking
-// sendfile(2) — zero-copy, the thread parked by the runtime poller while
-// the socket buffer is full, write deadlines honoured. This is the
-// thread-pool server's delivery path; the reactor uses the non-blocking
-// variant in internal/reactor instead. Falls back to a pread/write copy
-// loop when conn does not expose a raw descriptor.
-func SendfileTo(conn Writer, e *Entry) (int64, error) {
+// SendfileTo delivers the entry's whole body to conn — zero-copy with
+// blocking sendfile(2) when conn exposes a raw descriptor, buffered
+// otherwise. This is the thread-pool server's delivery path; the
+// reactor uses the non-blocking variant in internal/reactor instead.
+//
+// When sendfile(2) fails mid-response with anything other than a dead
+// peer (EINVAL/EIO — a filesystem refusing the fast path, an injected
+// fault), delivery falls back to the buffered copy loop from the
+// exact resume offset (a failing sendfile never advances its offset),
+// so the byte stream stays correct; fellBack reports it so the server
+// can count the degradation. Peer-death errors (ECONNRESET, EPIPE)
+// are returned as-is — there is no one left to deliver to.
+func SendfileTo(conn Writer, e *Entry) (n int64, fellBack bool, err error) {
 	sc, ok := conn.(syscall.Conn)
 	if !ok {
-		return copyTo(conn, e)
+		n, err = copyTo(conn, e)
+		return n, false, err
 	}
 	rc, err := sc.SyscallConn()
 	if err != nil {
-		return copyTo(conn, e)
+		n, err = copyTo(conn, e)
+		return n, false, err
 	}
 	var (
 		off  int64
@@ -38,7 +49,7 @@ func SendfileTo(conn Writer, e *Entry) (int64, error) {
 			if chunk > sendfileChunk {
 				chunk = sendfileChunk
 			}
-			n, err := syscall.Sendfile(int(fd), e.FD(), &off, int(chunk))
+			n, err := sysfault.Sendfile(int(fd), e.FD(), &off, int(chunk))
 			if n > 0 {
 				sent += int64(n)
 				continue
@@ -46,8 +57,6 @@ func SendfileTo(conn Writer, e *Entry) (int64, error) {
 			switch err {
 			case syscall.EAGAIN:
 				return false // park until the socket is writable again
-			case syscall.EINTR:
-				continue
 			case nil:
 				serr = io.ErrUnexpectedEOF // file shrank underneath us
 				return true
@@ -59,7 +68,12 @@ func SendfileTo(conn Writer, e *Entry) (int64, error) {
 		return true
 	})
 	if werr != nil {
-		return sent, werr
+		return sent, false, werr
 	}
-	return sent, serr
+	if serr != nil && serr != io.ErrUnexpectedEOF &&
+		!errors.Is(serr, syscall.ECONNRESET) && !errors.Is(serr, syscall.EPIPE) {
+		copied, cerr := copyToFrom(conn, e, sent)
+		return sent + copied, true, cerr
+	}
+	return sent, false, serr
 }

@@ -4,6 +4,7 @@ package docroot
 
 // SendfileTo on platforms without sendfile(2) is the buffered fallback:
 // a pread/write copy loop. Same contract as the Linux version.
-func SendfileTo(conn Writer, e *Entry) (int64, error) {
-	return copyTo(conn, e)
+func SendfileTo(conn Writer, e *Entry) (int64, bool, error) {
+	n, err := copyTo(conn, e)
+	return n, false, err
 }

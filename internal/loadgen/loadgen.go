@@ -114,9 +114,18 @@ type Result struct {
 	// taxonomy honest.
 	UnreachableErrors    int64
 	UnreachableErrPerSec float64
-	BytesReceived        int64
-	BandwidthBps         float64
-	Sessions             int64
+	// LocalResErrors counts failures caused by the CLIENT machine running
+	// out of resources — descriptors (EMFILE/ENFILE) or ephemeral ports
+	// (EADDRNOTAVAIL). They indict the measuring harness, not the server
+	// under test: a sweep whose error column is dominated by this class
+	// is reporting the client's fd limit, and its throughput numbers for
+	// that rung should be treated as invalid rather than as server
+	// saturation.
+	LocalResErrors    int64
+	LocalResErrPerSec float64
+	BytesReceived     int64
+	BandwidthBps      float64
+	Sessions          int64
 	// NotModified counts 304 replies to revalidation requests (they are
 	// also included in Replies).
 	NotModified       int64
@@ -201,6 +210,7 @@ func Run(opts Options) (Result, error) {
 		TimeoutErrors:     g.timeouts.Value(),
 		ResetErrors:       g.resets.Value(),
 		UnreachableErrors: g.unreachable.Value(),
+		LocalResErrors:    g.localRes.Value(),
 		BytesReceived:     g.bytes.Value(),
 		Sessions:          g.sessions.Value(),
 		NotModified:       g.notMod.Value(),
@@ -213,6 +223,7 @@ func Run(opts Options) (Result, error) {
 	res.TimeoutErrPerSec = float64(res.TimeoutErrors) / d
 	res.ResetErrPerSec = float64(res.ResetErrors) / d
 	res.UnreachableErrPerSec = float64(res.UnreachableErrors) / d
+	res.LocalResErrPerSec = float64(res.LocalResErrors) / d
 	res.BandwidthBps = float64(res.BytesReceived) / d
 	res.NotModifiedPerSec = float64(res.NotModified) / d
 	res.ShedsPerSec = float64(res.Sheds) / d
@@ -227,6 +238,7 @@ type generator struct {
 	timeouts     metrics.Counter
 	resets       metrics.Counter
 	unreachable  metrics.Counter
+	localRes     metrics.Counter
 	bytes        metrics.Counter
 	sessions     metrics.Counter
 	notMod       metrics.Counter
@@ -263,6 +275,7 @@ const (
 	errTimeout                     // client watchdog fired (httperf's client-timo)
 	errReset                       // abortive disconnect from the server
 	errUnreachable                 // the network itself failed us
+	errLocalRes                    // the client machine ran out of fds/ports
 )
 
 // classify buckets an I/O error the way httperf does, with one
@@ -275,6 +288,18 @@ const (
 func classify(err error) errClass {
 	if err == nil {
 		return errOther
+	}
+	// Client-local resource exhaustion first: EMFILE/ENFILE (descriptor
+	// limits) and EADDRNOTAVAIL (ephemeral ports gone, usually TIME_WAIT
+	// pile-up). These say nothing about the server and must not pollute
+	// the timeout/unreachable columns a sweep's verdict hangs on.
+	if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.EADDRNOTAVAIL) {
+		return errLocalRes
+	}
+	if msg := err.Error(); strings.Contains(msg, "too many open files") ||
+		strings.Contains(msg, "cannot assign requested address") {
+		return errLocalRes
 	}
 	if errors.Is(err, syscall.ETIMEDOUT) || errors.Is(err, syscall.EHOSTUNREACH) ||
 		errors.Is(err, syscall.ENETUNREACH) {
@@ -427,6 +452,8 @@ func (g *generator) playConn(session surge.Session, start int, rng *dist.RNG, et
 				g.timeouts.Inc()
 			case errUnreachable:
 				g.unreachable.Inc()
+			case errLocalRes:
+				g.localRes.Inc()
 			}
 		}
 		return start, 0, playFatal
@@ -565,5 +592,7 @@ func (g *generator) record(err error) {
 		g.resets.Inc()
 	case errUnreachable:
 		g.unreachable.Inc()
+	case errLocalRes:
+		g.localRes.Inc()
 	}
 }

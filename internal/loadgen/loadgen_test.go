@@ -207,6 +207,33 @@ func TestUnreachableClassification(t *testing.T) {
 	}
 }
 
+func TestLocalResClassification(t *testing.T) {
+	// Client-side resource exhaustion is its own class: it indicts the
+	// measuring harness, not the server, and must not be mistaken for
+	// server saturation (resets/timeouts) in sweep verdicts.
+	localResClass := []error{
+		syscall.EMFILE,
+		syscall.ENFILE,
+		syscall.EADDRNOTAVAIL,
+		&net.OpError{Op: "dial", Err: os.NewSyscallError("socket", syscall.EMFILE)},
+		&net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.EADDRNOTAVAIL)},
+		errors.New("dial tcp 127.0.0.1:80: socket: too many open files"),
+		errors.New("dial tcp 127.0.0.1:80: connect: cannot assign requested address"),
+	}
+	for _, err := range localResClass {
+		if c := classify(err); c != errLocalRes {
+			t.Errorf("classify(%v) = %v, want errLocalRes", err, c)
+		}
+	}
+	// The pre-existing classes must not have been cannibalized.
+	if c := classify(syscall.ETIMEDOUT); c != errUnreachable {
+		t.Error("ETIMEDOUT no longer unreachable")
+	}
+	if c := classify(syscall.ECONNRESET); c != errReset {
+		t.Error("ECONNRESET no longer reset")
+	}
+}
+
 type timeoutErr struct{}
 
 func (timeoutErr) Error() string   { return "deadline exceeded" }

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/overload"
+	"repro/internal/sysfault"
 )
 
 // Config parameterizes the thread-pool server.
@@ -131,12 +133,30 @@ type Stats struct {
 	// connection (best-effort 500 + close) instead of killing the
 	// process.
 	HandlerPanics int64
+	// AcceptEMFILE counts accept attempts refused by the kernel for
+	// descriptor exhaustion (EMFILE/ENFILE) and absorbed by the
+	// reserve-descriptor recovery instead of hot-spinning the acceptor.
+	AcceptEMFILE int64
+	// AcceptBackoffs counts backoff waits taken by the accept gate
+	// after a failed accept (the replacement for retrying immediately
+	// on an error that will not have gone away).
+	AcceptBackoffs int64
+	// ShortWrites counts blocking writes that delivered only part of
+	// the response and were resumed from the cut — the response bytes
+	// stay exact.
+	ShortWrites int64
+	// SendfileFallbacks counts sendfile(2) failures recovered by
+	// buffered delivery from the same offset (docroot path).
+	SendfileFallbacks int64
 }
 
 // Server is the live thread-pool web server.
 type Server struct {
 	cfg Config
 	ln  net.Listener
+	// tcpLn is the unwrapped listener underneath ln, kept for deadline
+	// control during fd-exhaustion recovery.
+	tcpLn net.Listener
 
 	// handoff carries accepted connections (stamped with their accept
 	// time, so first-response latency includes the wait for a free
@@ -164,6 +184,11 @@ type Server struct {
 	notModified   atomic.Int64
 	sendfileBytes atomic.Int64
 	handlerPanics atomic.Int64
+
+	acceptEMFILE      atomic.Int64
+	acceptBackoffs    atomic.Int64
+	shortWrites       atomic.Int64
+	sendfileFallbacks atomic.Int64
 	// inflight counts accepted-and-admitted connections from accept to
 	// handler exit (ConnsOpen only counts those a thread has picked up);
 	// MaxConns admission and Drain completion are judged against it.
@@ -175,10 +200,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", cfg.Port))
+	rawLn, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", cfg.Port))
 	if err != nil {
 		return nil, fmt.Errorf("mtserver: listen: %w", err)
 	}
+	// The listener is always wrapped in the sysfault seam: with no
+	// injector installed the wrapper is one atomic load per accept and
+	// hands back UNWRAPPED connections, so the steady-state data path
+	// is untouched; with one installed, accepts and per-connection
+	// reads/writes draw from the seeded fault schedule.
+	ln := sysfault.WrapListener(rawLn)
 	// With an admission controller the handoff queue must be visible, not
 	// hidden: an unbuffered handoff blocks the acceptor once the pool is
 	// saturated, which throttles accepts to the service rate — the token
@@ -195,6 +226,7 @@ func NewServer(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:      cfg,
 		ln:       ln,
+		tcpLn:    rawLn,
 		handoff:  make(chan handoffConn, depth),
 		stopping: make(chan struct{}),
 		draining: make(chan struct{}),
@@ -249,6 +281,11 @@ func (s *Server) Stats() Stats {
 		NotModified:   s.notModified.Load(),
 		SendfileBytes: s.sendfileBytes.Load(),
 		HandlerPanics: s.handlerPanics.Load(),
+
+		AcceptEMFILE:      s.acceptEMFILE.Load(),
+		AcceptBackoffs:    s.acceptBackoffs.Load(),
+		ShortWrites:       s.shortWrites.Load(),
+		SendfileFallbacks: s.sendfileFallbacks.Load(),
 	}
 }
 
@@ -322,6 +359,16 @@ func (s *Server) Drain(timeout time.Duration) bool {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	// The fd-exhaustion reserve is acceptor-owned: one descriptor held
+	// on /dev/null purely so it can be closed to free a slot when
+	// accept reports EMFILE (see recoverFDExhaustion).
+	reserve := openReserve()
+	defer func() {
+		if reserve >= 0 {
+			_ = syscall.Close(reserve)
+		}
+	}()
+	backoff := time.Duration(0)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -332,9 +379,30 @@ func (s *Server) acceptLoop() {
 			case <-s.stopping:
 				return
 			default:
-				continue // transient accept error
 			}
+			if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+				s.acceptEMFILE.Add(1)
+				s.recoverFDExhaustion(&reserve)
+			}
+			// Whatever the failure, retrying instantly would spin a hot
+			// loop against a condition that has not changed; pace the
+			// retries with a capped exponential backoff instead.
+			if backoff < acceptBackoffMin {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			s.acceptBackoffs.Add(1)
+			select {
+			case <-s.stopping:
+				return
+			case <-s.draining:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		s.accepted.Add(1)
 		// Adaptive admission first: the controller's token bucket paces
 		// accepts against its latency target. Shed clients are told when
@@ -390,6 +458,58 @@ func shedConn(conn net.Conn, retryAfterSec int) {
 	_, _ = conn.Write(httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
 		httpwire.Header{Name: "Retry-After", Value: strconv.Itoa(retryAfterSec)}))
 	conn.Close()
+}
+
+// openReserve opens the fd-exhaustion reserve descriptor. A failure
+// to open it (-1) only disables the recovery, never the server.
+func openReserve() int {
+	fd, err := syscall.Open("/dev/null", syscall.O_RDONLY|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		return -1
+	}
+	return fd
+}
+
+// docrootPressureEvictions is how many cached entries (and so file
+// descriptors) the acceptor asks the docroot to give back per EMFILE
+// event.
+const docrootPressureEvictions = 8
+
+// Accept-gate backoff bounds: exponential from 5ms, capped at 250ms,
+// reset by any successful accept.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 250 * time.Millisecond
+)
+
+// recoverFDExhaustion is the reserve-descriptor dance on the blocking
+// accept path: shrink the docroot cache (cached entries pin fds),
+// close the reserve to free one slot, accept the connection the
+// kernel is holding — under a short deadline, so a vanished client
+// cannot park the acceptor — answer it 503 + Retry-After, close it,
+// and re-open the reserve.
+func (s *Server) recoverFDExhaustion(reserve *int) {
+	if dr := s.cfg.Docroot; dr != nil {
+		dr.ShedFDs(docrootPressureEvictions)
+	}
+	if *reserve < 0 {
+		return
+	}
+	_ = syscall.Close(*reserve)
+	*reserve = -1
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := s.tcpLn.(deadliner); ok {
+		_ = d.SetDeadline(time.Now().Add(50 * time.Millisecond))
+		if conn, err := s.ln.Accept(); err == nil {
+			s.shed.Add(1)
+			if pl := s.cfg.Obs; pl != nil {
+				pl.Record(0, obs.Shed, 0)
+			}
+			shedConn(conn, shedRetryAfterSec)
+		}
+		_ = d.SetDeadline(time.Time{})
+	}
+	*reserve = openReserve()
 }
 
 func (s *Server) track(c net.Conn, on bool) {
@@ -662,9 +782,15 @@ func (s *Server) serveDocroot(conn net.Conn, req *httpwire.Request, out *[]byte,
 		return false
 	}
 	t0 := time.Now()
-	n, err := docroot.SendfileTo(conn, ent)
+	n, fellBack, err := docroot.SendfileTo(conn, ent)
 	s.bytesOut.Add(n)
-	s.sendfileBytes.Add(n)
+	if fellBack {
+		// The body completed over the buffered path; the degradation is
+		// counted, and the bytes stay out of the zero-copy tally.
+		s.sendfileFallbacks.Add(1)
+	} else {
+		s.sendfileBytes.Add(n)
+	}
 	if pl := s.cfg.Obs; pl != nil && n > 0 {
 		// The header write above already traced FirstByte; the sendfile
 		// park is its own write-phase sample — the blocking counterpart
@@ -711,9 +837,31 @@ func (s *Server) write(conn net.Conn, data []byte, cs *connState) bool {
 	if pl != nil {
 		t0 = time.Now()
 	}
-	n, err := conn.Write(data)
-	s.bytesOut.Add(int64(n))
-	if pl != nil && n > 0 {
+	// Resume-on-short-write loop: a write that delivers only part of
+	// the response (kernel memory pressure, or an injected fault) is
+	// continued from the cut rather than treated as success — a
+	// truncated response that reports true would corrupt the HTTP
+	// stream for every pipelined request behind it.
+	written := 0
+	var err error
+	for written < len(data) {
+		var n int
+		n, err = conn.Write(data[written:])
+		written += n
+		if err != nil {
+			break
+		}
+		if written >= len(data) {
+			break
+		}
+		if n == 0 {
+			err = errors.New("mtserver: write made no progress")
+			break
+		}
+		s.shortWrites.Add(1)
+	}
+	s.bytesOut.Add(int64(written))
+	if pl != nil && written > 0 {
 		if !cs.firstByte {
 			cs.firstByte = true
 			pl.Record(cs.id, obs.FirstByte, time.Since(cs.acceptedAt))
@@ -738,5 +886,9 @@ func StatsFields(st Stats) []obs.Field {
 		{Name: "not_modified", Value: st.NotModified},
 		{Name: "sendfile_bytes", Value: st.SendfileBytes},
 		{Name: "handler_panics", Value: st.HandlerPanics},
+		{Name: "accept_emfile", Value: st.AcceptEMFILE},
+		{Name: "accept_backoffs", Value: st.AcceptBackoffs},
+		{Name: "short_writes", Value: st.ShortWrites},
+		{Name: "sendfile_fallbacks", Value: st.SendfileFallbacks},
 	}
 }

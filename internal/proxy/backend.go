@@ -38,6 +38,12 @@ type Backend struct {
 	// healthy is the balancer's lock-free routing bit.
 	healthy atomic.Bool
 
+	// prewarmReq asks the event loop to dial one warm-up upstream
+	// socket; set on re-admission (by the prober goroutine or the
+	// loop's own cooldown re-admit), consumed by the loop before each
+	// poll so the first post-recovery relay finds a connection waiting.
+	prewarmReq atomic.Bool
+
 	// Health state machine. Passive signals (connect/read failures on
 	// the relay path) and active probe outcomes feed the same streak
 	// counters: FailAfter consecutive failures eject, ReviveAfter
@@ -197,6 +203,8 @@ func (s *Server) probeLoop(b *Backend, rng *dist.RNG) {
 		if probeOnce(b.cfg.Addr, s.cfg.ProbePath, s.cfg.ProbeTimeout) {
 			if b.noteSuccess(true, s.cfg.ReviveAfter) {
 				s.readmiss.add(1)
+				b.prewarmReq.Store(true)
+				s.poller.Wakeup()
 				if f := s.cfg.OnHealthChange; f != nil {
 					f(b.cfg.Name, true)
 				}

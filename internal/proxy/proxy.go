@@ -190,6 +190,11 @@ type Stats struct {
 	UpstreamRetries int64
 	Ejections       int64
 	Readmissions    int64
+
+	AcceptEMFILE   int64 // accept(2) hit EMFILE/ENFILE (reserve-fd recovery ran)
+	AcceptBackoffs int64 // accept gate pauses after resource exhaustion
+	LocalResErrors int64 // dials refused by local resource exhaustion (not backend blame)
+	Prewarms       int64 // upstream sockets pre-warmed on backend re-admission
 }
 
 type counter struct{ v atomic.Int64 }
@@ -215,6 +220,10 @@ type Server struct {
 	resps  []*httpwire.Response
 
 	accepted   counter
+	acceptEM   counter
+	acceptBack counter
+	localRes   counter
+	prewarms   counter
 	replies    counter
 	bytesIn    counter
 	bytesOut   counter
@@ -231,12 +240,34 @@ type Server struct {
 	ejections  counter
 	readmiss   counter
 
+	// Accept-side fd-exhaustion machinery (loop-thread-owned). The
+	// reserve descriptor is burned and re-opened to drain the accept
+	// queue under EMFILE; the gate parks the listener outside the
+	// poller so a level-triggered readable listener cannot hot-spin
+	// the event loop while the process is out of descriptors.
+	reserveFD       int
+	acceptGated     bool
+	acceptGateUntil time.Time
+	acceptBackoff   time.Duration
+
 	wg        sync.WaitGroup
+	started   bool
 	stopping  chan struct{}
 	stopOnce  sync.Once
 	draining  atomic.Bool
 	drained   chan struct{}
 	lfdClosed bool
+}
+
+// openReserve opens the fd-exhaustion reserve descriptor (see
+// Server.reserveFD). A failure to open it (-1) only disables the
+// recovery, never the tier.
+func openReserve() int {
+	fd, err := syscall.Open("/dev/null", syscall.O_RDONLY|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		return -1
+	}
+	return fd
 }
 
 // dconn is one downstream (client) connection.
@@ -297,6 +328,7 @@ type uconn struct {
 	writeArm     bool
 	gotBytes     bool // response bytes seen for the current relay
 	fresh        bool // never completed an exchange (failure = backend failure, not reuse race)
+	prewarm      bool // connecting on spec after re-admission; no relay bound yet
 }
 
 // NewServer binds the listener and prepares the tier; Start launches it.
@@ -314,15 +346,16 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		lfd:      lfd,
-		port:     port,
-		poller:   p,
-		dconns:   make(map[int]*dconn),
-		uconns:   make(map[int]*uconn),
-		buf:      make([]byte, cfg.ReadBuf),
-		stopping: make(chan struct{}),
-		drained:  make(chan struct{}),
+		cfg:       cfg,
+		lfd:       lfd,
+		port:      port,
+		poller:    p,
+		dconns:    make(map[int]*dconn),
+		uconns:    make(map[int]*uconn),
+		buf:       make([]byte, cfg.ReadBuf),
+		reserveFD: openReserve(),
+		stopping:  make(chan struct{}),
+		drained:   make(chan struct{}),
 	}
 	s.backends = make([]*Backend, len(cfg.Backends))
 	for i, bc := range cfg.Backends {
@@ -365,6 +398,10 @@ func (s *Server) Stats() Stats {
 		UpstreamRetries: s.retries.get(),
 		Ejections:       s.ejections.get(),
 		Readmissions:    s.readmiss.get(),
+		AcceptEMFILE:    s.acceptEM.get(),
+		AcceptBackoffs:  s.acceptBack.get(),
+		LocalResErrors:  s.localRes.get(),
+		Prewarms:        s.prewarms.get(),
 	}
 }
 
@@ -389,6 +426,10 @@ func StatsFields(st Stats) []obs.Field {
 		{Name: "upstream_retries", Value: st.UpstreamRetries},
 		{Name: "ejections", Value: st.Ejections},
 		{Name: "readmissions", Value: st.Readmissions},
+		{Name: "accept_emfile", Value: st.AcceptEMFILE},
+		{Name: "accept_backoffs", Value: st.AcceptBackoffs},
+		{Name: "local_res_errors", Value: st.LocalResErrors},
+		{Name: "prewarms", Value: st.Prewarms},
 	}
 }
 
@@ -397,6 +438,7 @@ func (s *Server) Start() error {
 	if err := s.poller.Add(s.lfd, true, false); err != nil {
 		return fmt.Errorf("proxy: register listener: %w", err)
 	}
+	s.started = true
 	s.wg.Add(1)
 	go s.loop()
 	if s.cfg.ProbeEvery > 0 {
@@ -413,6 +455,12 @@ func (s *Server) Start() error {
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopping)
+		if !s.started && s.reserveFD >= 0 {
+			// Never started: the loop's teardown will not run, so the
+			// reserve descriptor must be released here or it leaks.
+			reactor.CloseFD(s.reserveFD)
+			s.reserveFD = -1
+		}
 		s.poller.Wakeup()
 	})
 	s.wg.Wait()
@@ -458,9 +506,19 @@ func (s *Server) loop() {
 		}
 		draining := s.draining.Load()
 		if draining && !s.lfdClosed {
-			s.poller.Remove(s.lfd)
+			if !s.acceptGated {
+				s.poller.Remove(s.lfd)
+			}
+			s.acceptGated = false
 			reactor.CloseFD(s.lfd)
 			s.lfdClosed = true
+		}
+		if !draining {
+			for _, b := range s.backends {
+				if b.prewarmReq.CompareAndSwap(true, false) {
+					s.prewarmBackend(b)
+				}
+			}
 		}
 		if draining {
 			// Idle keep-alive clients would hold the drain open forever;
@@ -486,6 +544,18 @@ func (s *Server) loop() {
 		waitMs := -1
 		if draining {
 			waitMs = 20
+		}
+		if s.acceptGated && !s.lfdClosed {
+			if rem := time.Until(s.acceptGateUntil); rem <= 0 {
+				// Gate expired: put the listener back in the poller.
+				if err := s.poller.Add(s.lfd, true, false); err != nil {
+					return
+				}
+				s.acceptGated = false
+			} else if ms := int(rem/time.Millisecond) + 1; waitMs < 0 || ms < waitMs {
+				// Wake when the gate expires, not before the next event.
+				waitMs = ms
+			}
 		}
 		if hb != nil {
 			hb.End()
@@ -554,6 +624,10 @@ func (s *Server) teardown() {
 		reactor.CloseFD(s.lfd)
 		s.lfdClosed = true
 	}
+	if s.reserveFD >= 0 {
+		reactor.CloseFD(s.reserveFD)
+		s.reserveFD = -1
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -561,15 +635,36 @@ func (s *Server) teardown() {
 // ---------------------------------------------------------------------
 
 // acceptAll drains the accept queue. Returns false if the listener died.
+//
+// Resource exhaustion is not death: EMFILE/ENFILE runs the reserve-fd
+// recovery (free a slot, 503 the connection the kernel is holding) and
+// ENOBUFS/ENOMEM just backs off — both park the listener behind the
+// accept gate instead of killing the event loop, because the relays
+// already in flight still deserve service while the process waits for
+// descriptors to come back.
 func (s *Server) acceptAll() bool {
 	for {
 		fd, done, err := reactor.Accept(s.lfd)
 		if err != nil {
+			switch {
+			case errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE):
+				s.acceptEM.add(1)
+				s.recoverFDExhaustion()
+				s.gateAccepts()
+				return true
+			case errors.Is(err, syscall.ENOBUFS) || errors.Is(err, syscall.ENOMEM):
+				s.gateAccepts()
+				return true
+			}
 			return false
 		}
 		if done {
 			return true
 		}
+		if fd < 0 {
+			continue // ECONNABORTED: the peer gave up while queued
+		}
+		s.acceptBackoff = 0
 		s.accepted.add(1)
 		if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
 			s.shed.add(1)
@@ -598,6 +693,54 @@ func (s *Server) acceptAll() bool {
 		}
 		s.dconns[fd] = d
 		s.connsOpen.add(1)
+	}
+}
+
+// recoverFDExhaustion is the reserve-descriptor dance: close the
+// reserve to free one slot, accept the connection the kernel is
+// holding, answer it 503 + Retry-After so the client backs off
+// instead of timing out in silence, close it, and re-open the
+// reserve. Without this, the pending connection would sit in the
+// accept queue until a descriptor freed by chance.
+func (s *Server) recoverFDExhaustion() {
+	if s.reserveFD < 0 {
+		return
+	}
+	reactor.CloseFD(s.reserveFD)
+	s.reserveFD = -1
+	fd, done, err := reactor.Accept(s.lfd)
+	if err == nil && !done && fd >= 0 {
+		s.shed.add(1)
+		if pl := s.cfg.Obs; pl != nil {
+			pl.Record(pl.NextConnID(), obs.Shed, 0)
+		}
+		shedVia(fd, s.cfg.RetryAfterSec)
+	}
+	s.reserveFD = openReserve()
+}
+
+// Accept-gate backoff bounds: exponential from 5ms, capped at 250ms,
+// reset to zero by any successful accept.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 250 * time.Millisecond
+)
+
+// gateAccepts parks the listener outside the poller for the current
+// backoff window (doubling up to the cap). The event loop re-arms it
+// once the window expires; meanwhile in-flight relays keep running —
+// the gate pauses admission, never service.
+func (s *Server) gateAccepts() {
+	if s.acceptBackoff < acceptBackoffMin {
+		s.acceptBackoff = acceptBackoffMin
+	} else if s.acceptBackoff *= 2; s.acceptBackoff > acceptBackoffMax {
+		s.acceptBackoff = acceptBackoffMax
+	}
+	s.acceptBack.add(1)
+	s.acceptGateUntil = time.Now().Add(s.acceptBackoff)
+	if !s.acceptGated {
+		s.poller.Remove(s.lfd)
+		s.acceptGated = true
 	}
 }
 
@@ -714,6 +857,10 @@ func (s *Server) maybeReadmit() {
 		}
 		if b.selfReadmit(now, s.cfg.ReadmitAfter) {
 			s.readmiss.add(1)
+			// Ask the loop (us, next iteration) for a warm-up socket;
+			// the relay that triggered this pick dials its own.
+			b.prewarmReq.Store(true)
+			s.poller.Wakeup()
 			if f := s.cfg.OnHealthChange; f != nil {
 				f(b.cfg.Name, true)
 			}
@@ -791,9 +938,46 @@ func (s *Server) bindRelay(u *uconn, r *relay) {
 	s.writeUpstream(u)
 }
 
+// isLocalResErr reports whether a dial failed because THIS process ran
+// out of resources — descriptors (EMFILE/ENFILE), socket buffers
+// (ENOBUFS/ENOMEM), or ephemeral ports (EADDRNOTAVAIL). Such failures
+// say nothing about the backend's health and must never feed its
+// failure streak: an fd storm blaming healthy backends would eject the
+// whole pool exactly when the tier is least able to afford it.
+func isLocalResErr(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ENOBUFS) || errors.Is(err, syscall.ENOMEM) ||
+		errors.Is(err, syscall.EADDRNOTAVAIL)
+}
+
+// shedLocalRes answers a relay whose dial died of local resource
+// exhaustion: a Via-stamped 503 + Retry-After, with the backend left
+// unblamed (no health-streak signal, no retry against another backend —
+// the next dial would hit the same wall).
+func (s *Server) shedLocalRes(b *Backend, r *relay) {
+	s.localRes.add(1)
+	b.inflight.Add(-1)
+	r.b = nil
+	d := r.d
+	if r.cancelled || d.active != r {
+		return
+	}
+	d.active = nil
+	s.shed.add(1)
+	if pl := s.cfg.Obs; pl != nil {
+		pl.Record(d.obsID, obs.Shed, 0)
+	}
+	s.respondLocal(d, 503, []httpwire.Header{
+		{Name: "Retry-After", Value: strconv.Itoa(s.cfg.RetryAfterSec)}})
+}
+
 func (s *Server) dialUpstream(b *Backend, r *relay) {
 	fd, connected, err := reactor.DialTCP4(b.cfg.Addr)
 	if err != nil {
+		if isLocalResErr(err) {
+			s.shedLocalRes(b, r)
+			return
+		}
 		s.noteRelayFailure(b, r, err)
 		return
 	}
@@ -821,6 +1005,58 @@ func (s *Server) dialUpstream(b *Backend, r *relay) {
 		reactor.CloseFD(fd)
 		r.u = nil
 		s.noteRelayFailure(b, r, err)
+		return
+	}
+	s.uconns[fd] = u
+	b.open.Add(1)
+}
+
+// prewarmBackend dials one upstream socket for a freshly re-admitted
+// backend so the first relay routed its way rides an established
+// connection instead of paying connect latency on top of whatever made
+// the backend sick. The socket carries no relay; on connect success it
+// parks idle (or binds straight to a queued waiter), and on failure it
+// feeds the health streak — a backend that cannot take one warm-up
+// connection has not really come back.
+func (s *Server) prewarmBackend(b *Backend) {
+	if !b.healthy.Load() || len(b.idle) > 0 || int(b.open.Load()) >= s.cfg.MaxPerBackend {
+		return
+	}
+	fd, connected, err := reactor.DialTCP4(b.cfg.Addr)
+	if err != nil {
+		if isLocalResErr(err) {
+			s.localRes.add(1)
+			return
+		}
+		s.upErrors.add(1)
+		b.upErrors.Add(1)
+		if b.noteFailure(s.cfg.FailAfter) {
+			s.ejections.add(1)
+			if f := s.cfg.OnHealthChange; f != nil {
+				f(b.cfg.Name, false)
+			}
+		}
+		return
+	}
+	u := &uconn{fd: fd, b: b, fresh: true, prewarm: true}
+	s.dials.add(1)
+	b.dials.Add(1)
+	if connected {
+		if err := s.poller.Add(fd, true, false); err != nil {
+			reactor.CloseFD(fd)
+			return
+		}
+		s.uconns[fd] = u
+		b.open.Add(1)
+		u.prewarm = false
+		s.prewarms.add(1)
+		s.parkIdle(u)
+		return
+	}
+	u.state = uConnecting
+	u.writeArm = true
+	if err := s.poller.Add(fd, false, true); err != nil {
+		reactor.CloseFD(fd)
 		return
 	}
 	s.uconns[fd] = u
@@ -998,6 +1234,19 @@ func (s *Server) uWritable(u *uconn) {
 			return
 		}
 		u.state = uBusy
+		if u.prewarm && u.r == nil {
+			// A warm-up connect completed: park the socket for the next
+			// relay (or hand it to a waiter already queued).
+			u.prewarm = false
+			u.writeArm = false
+			if err := s.poller.Modify(u.fd, true, false); err != nil {
+				s.removeUpstream(u)
+				return
+			}
+			s.prewarms.add(1)
+			s.parkIdle(u)
+			return
+		}
 		if r := u.r; r != nil {
 			r.bound = time.Now()
 			if pl := s.cfg.Obs; pl != nil {
@@ -1174,6 +1423,20 @@ func (s *Server) upstreamFailed(u *uconn, err error) {
 	fresh := u.fresh
 	gotBytes := u.gotBytes
 	s.removeUpstream(u)
+	if u.prewarm && r == nil {
+		// A warm-up connect failed: no relay to retry, but the signal is
+		// real — a re-admitted backend refusing its first connection
+		// feeds the failure streak like any relay-path connect failure.
+		s.upErrors.add(1)
+		b.upErrors.Add(1)
+		if b.noteFailure(s.cfg.FailAfter) {
+			s.ejections.add(1)
+			if f := s.cfg.OnHealthChange; f != nil {
+				f(b.cfg.Name, false)
+			}
+		}
+		return
+	}
 	if wasIdle || r == nil {
 		return
 	}

@@ -16,6 +16,8 @@ package reactor
 import (
 	"fmt"
 	"syscall"
+
+	"repro/internal/sysfault"
 )
 
 // Event is one readiness notification.
@@ -28,14 +30,18 @@ type Event struct {
 	Hangup bool
 }
 
-// retryEINTR invokes op until it returns anything other than EINTR —
-// the one blessed pattern for interruptible syscalls in this codebase.
+// retryEINTR invokes op until it returns anything other than EINTR.
 // A signal that lands mid-syscall is not an event and not an error;
 // retrying here keeps every call site's error handling about real
-// conditions only. The syscallerr analyzer (internal/analysis)
-// whitelists closures passed to a function with this name, so raw
-// syscall sites either classify EINTR explicitly or live inside one of
-// these.
+// conditions only. The socket hot paths now route through
+// internal/sysfault (which absorbs EINTR itself, so signal retries
+// never consume injection indices); this helper remains for the
+// wakeup pipe, which is deliberately NOT routed through the seam —
+// wakeups are scheduling-dependent, and letting them consume
+// injection indices would destroy seeded replay. The syscallerr
+// analyzer (internal/analysis) whitelists closures passed to a
+// function with this name, so raw syscall sites either classify EINTR
+// explicitly or live inside one of these.
 func retryEINTR(op func() (int, error)) (int, error) {
 	for {
 		n, err := op()
@@ -133,9 +139,7 @@ func (p *Poller) InterestCount() int { return p.reg.size() }
 // ms, -1 = forever) elapses, or Wakeup is called. Wakeup drains
 // internally and produces no Event.
 func (p *Poller) Wait(timeoutMs int) ([]Event, error) {
-	n, err := retryEINTR(func() (int, error) {
-		return syscall.EpollWait(p.epfd, p.events, timeoutMs)
-	})
+	n, err := sysfault.EpollWait(p.epfd, p.events, timeoutMs)
 	if err != nil {
 		return nil, fmt.Errorf("reactor: epoll_wait: %w", err)
 	}
@@ -200,31 +204,31 @@ func (p *Poller) Close() {
 // Listen opens a non-blocking IPv4 listening socket on 127.0.0.1:port
 // (port 0 picks a free port; the chosen port is returned).
 func Listen(port, backlog int) (fd, boundPort int, err error) {
-	fd, err = syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	fd, err = sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
 	if err != nil {
 		return -1, 0, fmt.Errorf("reactor: socket: %w", err)
 	}
 	if err = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1); err != nil {
-		syscall.Close(fd)
+		_ = sysfault.Close(fd)
 		return -1, 0, fmt.Errorf("reactor: SO_REUSEADDR: %w", err)
 	}
 	sa := &syscall.SockaddrInet4{Port: port, Addr: [4]byte{127, 0, 0, 1}}
 	if err = syscall.Bind(fd, sa); err != nil {
-		syscall.Close(fd)
+		_ = sysfault.Close(fd)
 		return -1, 0, fmt.Errorf("reactor: bind: %w", err)
 	}
 	if err = syscall.Listen(fd, backlog); err != nil {
-		syscall.Close(fd)
+		_ = sysfault.Close(fd)
 		return -1, 0, fmt.Errorf("reactor: listen: %w", err)
 	}
 	got, err := syscall.Getsockname(fd)
 	if err != nil {
-		syscall.Close(fd)
+		_ = sysfault.Close(fd)
 		return -1, 0, fmt.Errorf("reactor: getsockname: %w", err)
 	}
 	inet, ok := got.(*syscall.SockaddrInet4)
 	if !ok {
-		syscall.Close(fd)
+		_ = sysfault.Close(fd)
 		return -1, 0, fmt.Errorf("reactor: unexpected sockaddr %T", got)
 	}
 	return fd, inet.Port, nil
@@ -242,19 +246,19 @@ func DialTCP4(addr string) (fd int, connected bool, err error) {
 	if err != nil {
 		return -1, false, err
 	}
-	fd, err = syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	fd, err = sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
 	if err != nil {
 		return -1, false, fmt.Errorf("reactor: socket: %w", err)
 	}
 	_ = syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
 	sa := &syscall.SockaddrInet4{Port: port, Addr: ip}
-	switch err = syscall.Connect(fd, sa); err {
+	switch err = sysfault.Connect(fd, sa); err {
 	case nil:
 		return fd, true, nil
 	case syscall.EINPROGRESS:
 		return fd, false, nil
 	default:
-		syscall.Close(fd)
+		_ = sysfault.Close(fd)
 		return -1, false, fmt.Errorf("reactor: connect %s: %w", addr, err)
 	}
 }
@@ -325,10 +329,7 @@ func parseIPv4Addr(addr string) (ip [4]byte, port int, err error) {
 // Accept accepts one pending connection from a non-blocking listener.
 // done reports EAGAIN (nothing pending).
 func Accept(lfd int) (fd int, done bool, err error) {
-	fd, err = retryEINTR(func() (int, error) {
-		nfd, _, err := syscall.Accept4(lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
-		return nfd, err
-	})
+	fd, err = sysfault.Accept4(lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
 	switch err {
 	case nil:
 		// Disable Nagle: the servers write complete responses.
@@ -347,9 +348,7 @@ func Accept(lfd int) (fd int, done bool, err error) {
 // peer close; again=true means no data available now. EINTR is retried
 // internally, so err never reports an interrupted syscall.
 func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
-	n, err = retryEINTR(func() (int, error) {
-		return syscall.Read(fd, buf)
-	})
+	n, err = sysfault.Read(fd, buf)
 	switch {
 	case err == syscall.EAGAIN:
 		return 0, false, true, nil
@@ -367,9 +366,7 @@ func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
 // is retried internally rather than surfaced as a spurious again, so
 // write interest is never armed for a mere signal.
 func Write(fd int, buf []byte) (n int, again bool, err error) {
-	n, err = retryEINTR(func() (int, error) {
-		return syscall.Write(fd, buf)
-	})
+	n, err = sysfault.Write(fd, buf)
 	switch err {
 	case nil:
 		return n, false, nil
@@ -390,9 +387,7 @@ func Write(fd int, buf []byte) (n int, again bool, err error) {
 // An interrupted call reports no progress and is simply retried: *off
 // is untouched by a failing sendfile(2).
 func Sendfile(fd, srcFD int, off *int64, max int) (n int, again bool, err error) {
-	n, err = retryEINTR(func() (int, error) {
-		return syscall.Sendfile(fd, srcFD, off, max)
-	})
+	n, err = sysfault.Sendfile(fd, srcFD, off, max)
 	switch err {
 	case nil:
 		return n, false, nil
@@ -404,7 +399,7 @@ func Sendfile(fd, srcFD int, off *int64, max int) (n int, again bool, err error)
 }
 
 // CloseFD closes a socket.
-func CloseFD(fd int) { _ = syscall.Close(fd) }
+func CloseFD(fd int) { _ = sysfault.Close(fd) }
 
 // CloseWithReset sets SO_LINGER to zero and closes, so the peer receives
 // an RST instead of an orderly FIN — how a server sheds a connection it
@@ -413,5 +408,5 @@ func CloseFD(fd int) { _ = syscall.Close(fd) }
 func CloseWithReset(fd int) {
 	_ = syscall.SetsockoptLinger(fd, syscall.SOL_SOCKET, syscall.SO_LINGER,
 		&syscall.Linger{Onoff: 1, Linger: 0})
-	_ = syscall.Close(fd)
+	_ = sysfault.Close(fd)
 }

@@ -1,0 +1,100 @@
+//go:build linux
+
+package sysfault
+
+import (
+	"errors"
+	"net"
+	"syscall"
+)
+
+// The thread-pool server (internal/mtserver) lives on net.Conn, not
+// raw fds, so its seam is one layer up: a Listener/Conn pair that
+// consults the same injector and the same per-site call streams as
+// the raw wrappers. Injected errors surface as *net.OpError wrapping
+// the syscall.Errno — exactly the shape the net package produces for
+// the real failure — so errors.Is(err, syscall.EMFILE) works
+// unchanged in the server's error handling.
+//
+// Zero-cost-when-off holds here too: with no injector installed,
+// Accept returns the underlying net.Conn UNWRAPPED, so steady-state
+// reads and writes never traverse the seam at all.
+
+// Listener routes accepts through the seam's accept site.
+type Listener struct {
+	net.Listener
+}
+
+// WrapListener wraps l; safe to use unconditionally.
+func WrapListener(l net.Listener) *Listener { return &Listener{Listener: l} }
+
+func opError(op string, e syscall.Errno) error {
+	return &net.OpError{Op: op, Net: "tcp", Err: e}
+}
+
+// Accept accepts one connection, consuming one accept-site index per
+// call while an injector is armed. Connections accepted while armed
+// are wrapped so their reads and writes hit the read/write sites.
+func (l *Listener) Accept() (net.Conn, error) {
+	inj := current.Load()
+	if inj == nil {
+		return l.Listener.Accept()
+	}
+	if oc := inj.decide(SiteAccept); oc.fire && oc.errno != 0 {
+		return nil, opError("accept", oc.errno)
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{Conn: c}, nil
+}
+
+// Conn routes Read/Write through the seam's read/write sites.
+type Conn struct {
+	net.Conn
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if inj := current.Load(); inj != nil {
+		if oc := inj.decide(SiteRead); oc.fire {
+			if oc.errno != 0 {
+				return 0, opError("read", oc.errno)
+			}
+			if oc.len < len(p) {
+				p = p[:oc.len]
+			}
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write delivers p, possibly injecting an error or a short prefix. A
+// short injection returns n < len(p) with a nil error — the kernel's
+// partial-write shape for a raw fd, which the io.Writer contract
+// forbids net.Conn implementations from producing; the mtserver write
+// path therefore loops on partial progress, and that loop is exactly
+// what this injection exercises.
+func (c *Conn) Write(p []byte) (int, error) {
+	if inj := current.Load(); inj != nil {
+		if oc := inj.decide(SiteWrite); oc.fire {
+			if oc.errno != 0 {
+				return 0, opError("write", oc.errno)
+			}
+			if oc.len < len(p) {
+				return c.Conn.Write(p[:oc.len])
+			}
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// SyscallConn exposes the underlying descriptor so the docroot's
+// sendfile path keeps working through the wrapper (sendfile-site
+// injection happens inside that path's raw Sendfile calls).
+func (c *Conn) SyscallConn() (syscall.RawConn, error) {
+	if sc, ok := c.Conn.(syscall.Conn); ok {
+		return sc.SyscallConn()
+	}
+	return nil, errors.New("sysfault: underlying conn has no SyscallConn")
+}

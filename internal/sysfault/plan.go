@@ -1,0 +1,179 @@
+//go:build linux
+
+package sysfault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// The fault-plan spec is the CLI/env surface of the seam: a
+// semicolon-separated list of clauses, each
+//
+//	site:errno:prob[:after=K][:count=N][:len=N]
+//
+// e.g. "accept:emfile:1:after=64:count=8; write:short:0.01:len=3".
+// "short" in the errno position arms a short transfer instead of an
+// error. Parsing is strict — an unknown site, errno, or option is an
+// error, never silently ignored — and ParsePlan must never panic on
+// arbitrary input (there is a fuzz target holding it to that).
+
+var errnoByName = map[string]syscall.Errno{
+	"eagain":        syscall.EAGAIN,
+	"eaddrnotavail": syscall.EADDRNOTAVAIL,
+	"ebadf":         syscall.EBADF,
+	"econnaborted":  syscall.ECONNABORTED,
+	"econnrefused":  syscall.ECONNREFUSED,
+	"econnreset":    syscall.ECONNRESET,
+	"ehostunreach":  syscall.EHOSTUNREACH,
+	"eintr":         syscall.EINTR,
+	"einval":        syscall.EINVAL,
+	"eio":           syscall.EIO,
+	"emfile":        syscall.EMFILE,
+	"enfile":        syscall.ENFILE,
+	"enobufs":       syscall.ENOBUFS,
+	"enomem":        syscall.ENOMEM,
+	"epipe":         syscall.EPIPE,
+	"etimedout":     syscall.ETIMEDOUT,
+}
+
+// ErrnoName renders e as the lowercase spec token ("emfile"), falling
+// back to the errno's own string for values outside the plan alphabet.
+func ErrnoName(e syscall.Errno) string {
+	for name, v := range errnoByName {
+		if v == e {
+			return name
+		}
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// ParseErrno resolves a spec errno token; "short" is not an errno and
+// is handled by the clause parser.
+func ParseErrno(name string) (syscall.Errno, error) {
+	if e, ok := errnoByName[name]; ok {
+		return e, nil
+	}
+	return 0, fmt.Errorf("sysfault: unknown errno %q", name)
+}
+
+// ParsePlan parses a fault-plan spec into rules (see the grammar
+// above). An empty or all-whitespace spec yields no rules and no
+// error.
+func ParsePlan(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// MustParsePlan is ParsePlan for compile-time-constant specs in tests
+// and examples; it panics on error.
+func MustParsePlan(spec string) []Rule {
+	rules, err := ParsePlan(spec)
+	if err != nil {
+		panic(err)
+	}
+	return rules
+}
+
+func parseClause(clause string) (Rule, error) {
+	parts := strings.Split(clause, ":")
+	if len(parts) < 3 {
+		return Rule{}, fmt.Errorf("sysfault: clause %q needs site:errno:prob", clause)
+	}
+	var r Rule
+	site, err := ParseSite(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Rule{}, err
+	}
+	r.Site = site
+	errTok := strings.TrimSpace(parts[1])
+	if errTok == "short" {
+		r.Errno = 0
+		r.Len = 1
+	} else {
+		e, err := ParseErrno(errTok)
+		if err != nil {
+			return Rule{}, err
+		}
+		r.Errno = e
+	}
+	prob, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || !(prob >= 0 && prob <= 1) { // the negated form also rejects NaN
+		return Rule{}, fmt.Errorf("sysfault: clause %q: probability must be in [0, 1]", clause)
+	}
+	r.Prob = prob
+	for _, opt := range parts[3:] {
+		opt = strings.TrimSpace(opt)
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("sysfault: clause %q: option %q is not key=value", clause, opt)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 32)
+		if err != nil {
+			return Rule{}, fmt.Errorf("sysfault: clause %q: option %q needs a small non-negative integer", clause, opt)
+		}
+		switch strings.TrimSpace(key) {
+		case "after":
+			r.After = n
+		case "count":
+			r.Count = int(n)
+		case "len":
+			if r.Errno != 0 {
+				return Rule{}, fmt.Errorf("sysfault: clause %q: len= only applies to short", clause)
+			}
+			if n < 1 {
+				return Rule{}, fmt.Errorf("sysfault: clause %q: len must be >= 1", clause)
+			}
+			r.Len = int(n)
+		default:
+			return Rule{}, fmt.Errorf("sysfault: clause %q: unknown option %q", clause, key)
+		}
+	}
+	return r, nil
+}
+
+// String renders r back into clause form; ParsePlan(FormatPlan(rules))
+// reproduces rules exactly (the fuzz target's round-trip property).
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Site.String())
+	b.WriteByte(':')
+	if r.Errno == 0 {
+		b.WriteString("short")
+	} else {
+		b.WriteString(ErrnoName(r.Errno))
+	}
+	fmt.Fprintf(&b, ":%s", strconv.FormatFloat(r.Prob, 'g', -1, 64))
+	if r.After > 0 {
+		fmt.Fprintf(&b, ":after=%d", r.After)
+	}
+	if r.Count > 0 {
+		fmt.Fprintf(&b, ":count=%d", r.Count)
+	}
+	if r.Errno == 0 && r.Len > 1 {
+		fmt.Fprintf(&b, ":len=%d", r.Len)
+	}
+	return b.String()
+}
+
+// FormatPlan renders rules as a spec string ParsePlan accepts.
+func FormatPlan(rules []Rule) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,118 @@
+//go:build linux
+
+package sysfault
+
+import (
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Rule
+	}{
+		{"", nil},
+		{"  ;  ; ", nil},
+		{"accept:emfile:1", []Rule{{Site: SiteAccept, Errno: syscall.EMFILE, Prob: 1}}},
+		{"write:short:0.5:len=7", []Rule{{Site: SiteWrite, Prob: 0.5, Len: 7}}},
+		{"write:short:1", []Rule{{Site: SiteWrite, Prob: 1, Len: 1}}},
+		{
+			"connect:econnrefused:1:after=3:count=2; sendfile:eio:0.25",
+			[]Rule{
+				{Site: SiteConnect, Errno: syscall.ECONNREFUSED, Prob: 1, After: 3, Count: 2},
+				{Site: SiteSendfile, Errno: syscall.EIO, Prob: 0.25},
+			},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParsePlan(c.spec)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	bad := []string{
+		"accept",                    // no errno/prob
+		"accept:emfile",             // no prob
+		"flurb:emfile:1",            // unknown site
+		"accept:ewhatever:1",        // unknown errno
+		"accept:emfile:2",           // prob out of range
+		"accept:emfile:-0.5",        // prob out of range
+		"accept:emfile:nan",         // NaN smuggled past range checks
+		"accept:emfile:1:count",     // option without value
+		"accept:emfile:1:weird=3",   // unknown option
+		"accept:emfile:1:after=x",   // non-numeric value
+		"accept:emfile:1:len=4",     // len on an errno rule
+		"write:short:1:len=0",       // zero-length short
+		"accept:emfile:1:count=1e9", // absurd numeric (uint32 overflowing handled too)
+	}
+	for _, spec := range bad {
+		if rules, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted: %+v", spec, rules)
+		}
+	}
+}
+
+func TestFormatPlanRoundTrip(t *testing.T) {
+	rules := MustParsePlan(goldenPlan)
+	again, err := ParsePlan(FormatPlan(rules))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(rules, again) {
+		t.Fatalf("round trip drifted:\n%+v\nvs\n%+v", rules, again)
+	}
+}
+
+// FuzzParsePlan holds the parser to two properties on arbitrary
+// input: it never panics, and anything it accepts survives a
+// format→parse round trip unchanged.
+func FuzzParsePlan(f *testing.F) {
+	f.Add(goldenPlan)
+	f.Add("accept:emfile:1:after=64:count=8")
+	f.Add("write:short:0.01:len=3; read:econnreset:0.5")
+	f.Add(";;;")
+	f.Add("a:b:c:d=e")
+	f.Add("accept:emfile:0.3:after=18446744073709551615")
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParsePlan(spec)
+		if err != nil {
+			return
+		}
+		again, err := ParsePlan(FormatPlan(rules))
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own format %q: %v", spec, FormatPlan(rules), err)
+		}
+		if !reflect.DeepEqual(rules, again) {
+			t.Fatalf("round trip drifted for %q:\n%+v\nvs\n%+v", spec, rules, again)
+		}
+		// Accepted plans must also be runnable without panicking.
+		inj := New(1, rules...)
+		for s := Site(0); int(s) < NumSites; s++ {
+			inj.Step(s)
+		}
+	})
+}
+
+func TestErrnoNameCoversAlphabet(t *testing.T) {
+	for name, e := range errnoByName {
+		if got := ErrnoName(e); got != name {
+			t.Errorf("ErrnoName(%s) = %q", name, got)
+		}
+		if back, err := ParseErrno(name); err != nil || back != e {
+			t.Errorf("ParseErrno(%q) = %v, %v", name, back, err)
+		}
+	}
+	if !strings.HasPrefix(ErrnoName(syscall.EXDEV), "errno(") {
+		t.Errorf("out-of-alphabet errno should fall back, got %q", ErrnoName(syscall.EXDEV))
+	}
+}
