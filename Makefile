@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench figures figures-fast demo-overload obs-demo chaos chaos-demo proxy-demo proxy-test sysfault sysfault-demo lint invariants verify clean
+.PHONY: all build test test-full race bench bench-json figures figures-fast demo-overload obs-demo chaos chaos-demo proxy-demo proxy-test sysfault sysfault-demo lint invariants verify clean
 
 all: build test
 
@@ -23,6 +23,12 @@ race:
 # One iteration of every benchmark, including the per-figure harness.
 bench:
 	go test -bench=. -benchmem -benchtime=1x ./...
+
+# The recorded perf trajectory (ROADMAP item 3): the same bench run,
+# converted to machine-readable BENCH_<date>.json and committed, so the
+# hot-path work has a baseline to diff against.
+bench-json:
+	go test -bench=. -benchmem -benchtime=1x ./... | go run ./cmd/benchjson -out BENCH_$$(date +%F).json
 
 # Regenerate every paper figure at full scale (several minutes).
 figures:
@@ -81,7 +87,8 @@ sysfault-demo:
 	go run ./examples/sysfault
 
 # Formatting, standard vet, and the custom analyzer suite (cmd/niovet):
-# syscallerr, fdlife, refbalance, statssync, nonblock.
+# syscallerr, fdlife, refbalance, statssync, nonblock, plus the
+# call-graph discipline analyzers loopown, loopblock, hotalloc, detrand.
 lint:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed on:" >&2; echo "$$fmt" >&2; exit 1; fi
 	go vet ./...

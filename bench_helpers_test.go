@@ -11,9 +11,9 @@ import (
 	"repro/internal/surge"
 )
 
-// liveLoopbackRepliesPerSec starts a real server, drives it briefly with
-// the real load generator, and returns the measured reply rate.
-func liveLoopbackRepliesPerSec(b *testing.B, kind string, duration time.Duration) float64 {
+// liveLoopback starts a real server, drives it briefly with the real
+// load generator, and returns the measured run summary.
+func liveLoopback(b *testing.B, kind string, duration time.Duration) loadgen.Result {
 	b.Helper()
 	scfg := surge.DefaultConfig()
 	scfg.NumObjects = 200
@@ -64,5 +64,5 @@ func liveLoopbackRepliesPerSec(b *testing.B, kind string, duration time.Duration
 	if err != nil {
 		b.Fatal(err)
 	}
-	return res.RepliesPerSec
+	return res
 }

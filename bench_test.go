@@ -33,6 +33,9 @@ func reportServer(b *testing.B, rep simclient.Report) {
 	b.Helper()
 	b.ReportMetric(rep.RepliesPerSec, "replies/s")
 	b.ReportMetric(rep.MeanResponseSec*1000, "resp-ms")
+	b.ReportMetric(rep.P50ResponseSec*1000, "p50-ms")
+	b.ReportMetric(rep.P90ResponseSec*1000, "p90-ms")
+	b.ReportMetric(rep.P99ResponseSec*1000, "p99-ms")
 	b.ReportMetric(rep.MeanConnectSec*1000, "conn-ms")
 	b.ReportMetric(rep.TimeoutErrPerSec, "timeouts/s")
 	b.ReportMetric(rep.ResetErrPerSec, "resets/s")
@@ -255,11 +258,19 @@ func BenchmarkAblationSelectorWorkers(b *testing.B) {
 func BenchmarkLiveLoopback(b *testing.B) {
 	for _, kind := range []string{"nio", "threadpool"} {
 		b.Run(kind, func(b *testing.B) {
-			var total float64
+			var replies, p50, p95, p99 float64
 			for i := 0; i < b.N; i++ {
-				total += liveLoopbackRepliesPerSec(b, kind, 400*time.Millisecond)
+				res := liveLoopback(b, kind, 400*time.Millisecond)
+				replies += res.RepliesPerSec
+				p50 += res.P50ResponseSec * 1000
+				p95 += res.P95ResponseSec * 1000
+				p99 += res.P99ResponseSec * 1000
 			}
-			b.ReportMetric(total/float64(b.N), "replies/s")
+			n := float64(b.N)
+			b.ReportMetric(replies/n, "replies/s")
+			b.ReportMetric(p50/n, "p50-ms")
+			b.ReportMetric(p95/n, "p95-ms")
+			b.ReportMetric(p99/n, "p99-ms")
 		})
 	}
 }

@@ -1,0 +1,178 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document — the recorded perf trajectory the
+// zero-allocation hot-path work (ROADMAP item 3) measures itself
+// against. Each run commits one BENCH_<date>.json; diffing two of them
+// shows exactly which benchmark moved, in which metric, by how much.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x ./... | benchjson > BENCH_2026-01-02.json
+//	benchjson -in bench.txt -out BENCH_2026-01-02.json
+//
+// It parses the standard benchmark line grammar
+//
+//	BenchmarkName/sub-case-8   	      10	 12345 ns/op	  67 B/op	   8 allocs/op	  9.1 replies/s
+//
+// keeping every metric pair (standard ns/op, B/op, allocs/op plus any
+// custom b.ReportMetric unit such as replies/s or p99-ms), and the
+// goos/goarch/pkg/cpu header lines, which scope the benchmarks that
+// follow them. Lines that are not benchmark results (test PASS/ok
+// trailers, compile output) pass through unparsed; a run with zero
+// benchmark lines is an error, so a silently-broken pipeline cannot
+// commit an empty trajectory point.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Package is the import path from the preceding "pkg:" header.
+	Package string `json:"package"`
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (it is recorded separately as Procs).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the name (1 if absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every value/unit pair on the line:
+	// ns/op, B/op, allocs/op, and custom b.ReportMetric units
+	// (replies/s, p50-ms, p95-ms, p99-ms, …).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the whole run.
+type Document struct {
+	// GeneratedAt is the conversion time, RFC 3339 UTC.
+	GeneratedAt string `json:"generated_at"`
+	// GoVersion/GOOS/GOARCH/CPU describe the machine the run came from.
+	// Header lines in the input win over the converter's own runtime
+	// (they describe the benchmarking process, which is what matters).
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// Benchmarks holds every parsed result line, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "read benchmark text from this file instead of stdin")
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	doc, err := parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines in input (did the bench run fail upstream of the pipe?)")
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(doc.Benchmarks))
+}
+
+// parse consumes `go test -bench` output and keeps headers and results.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue // "BenchmarkX ran in short mode" and friends
+			}
+			b.Package = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	name-P   iterations   value unit   value unit   ...
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Shortest legal line: name, iterations, one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Iterations: iters,
+		Procs:      1,
+		Metrics:    map[string]float64{},
+	}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -29,6 +29,20 @@
 //     and non-atomically.
 //   - nonblock: fds registered with a reactor Poller must be
 //     non-blocking at creation or via SetNonblock.
+//
+// The second generation (niovet v2) adds an intra-package call-graph
+// reachability engine (callgraph.go) and a `//nio:` annotation
+// grammar (directive.go), and four analyzers built on them:
+//
+//   - loopown: //nio:loop-owned state must never be touched from
+//     off-loop contexts (spawned goroutines, timers, escaped
+//     handlers, the exported API) without an atomic/channel seam.
+//   - loopblock: nothing blocking is synchronously reachable from a
+//     //nio:loop event-loop root.
+//   - hotalloc: //nio:hot functions contain no allocating idiom.
+//   - detrand: the determinism-contract packages (faultline,
+//     sysfault, sim*) keep wall clocks, math/rand globals, and map
+//     iteration out of seeded decision paths.
 package analysis
 
 import (
@@ -73,5 +87,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Syscallerr, FDLife, RefBalance, StatsSync, Nonblock}
+	return []*Analyzer{
+		Syscallerr, FDLife, RefBalance, StatsSync, Nonblock,
+		Loopown, Loopblock, Hotalloc, Detrand,
+	}
 }

@@ -1,0 +1,471 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// This file is the intra-package call-graph reachability engine the
+// ownership and discipline analyzers (loopown, loopblock, detrand)
+// share. It resolves:
+//
+//   - direct calls to package functions and methods;
+//   - calls through interface methods, by finding every package type
+//     whose method set satisfies the interface (how reactor handlers
+//     and balancer policies are invoked);
+//   - `go` statements and time.AfterFunc registrations as *spawn*
+//     edges — the callee runs, but on a different goroutine;
+//   - function literals, each its own node, connected to the
+//     enclosing function synchronously (deferred and immediately
+//     invoked literals run on the caller's goroutine) or by a spawn
+//     edge when the literal is the target of `go`/AfterFunc;
+//   - functions referenced as values without being called (method
+//     values handed to other packages, e.g. admin HTTP handlers):
+//     these *escape* — the package can no longer see where they run.
+//
+// Calls through function-typed variables are not resolved; the
+// analyzers built on the graph are written so that unresolved edges
+// err toward silence, not noise.
+
+// cgNode is one function: a declaration or a function literal.
+type cgNode struct {
+	fn     *types.Func   // declared functions; nil for literals
+	decl   *ast.FuncDecl // nil for literals
+	lit    *ast.FuncLit  // nil for declarations
+	name   string        // display name for diagnostics
+	calls  map[*cgNode]bool
+	spawns map[*cgNode]bool
+	// escapes: the function's value leaves call position (stored,
+	// passed, returned) so its execution context is unknowable.
+	escapes bool
+}
+
+func (n *cgNode) edge(to *cgNode, spawn bool) {
+	if to == nil {
+		return
+	}
+	if spawn {
+		n.spawns[to] = true
+	} else {
+		n.calls[to] = true
+	}
+}
+
+// callGraph is the per-package graph plus the directive set.
+type callGraph struct {
+	pass      *Pass
+	dirs      *directives
+	declNodes map[*types.Func]*cgNode
+	litNodes  map[*ast.FuncLit]*cgNode
+	nodes     []*cgNode
+}
+
+func newNode(g *callGraph) *cgNode {
+	n := &cgNode{calls: map[*cgNode]bool{}, spawns: map[*cgNode]bool{}}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// buildCallGraph constructs the graph for one pass. dirs may be nil,
+// in which case directives are collected here.
+func buildCallGraph(pass *Pass, dirs *directives) *callGraph {
+	if dirs == nil {
+		dirs = collectDirectives(pass)
+	}
+	g := &callGraph{
+		pass:      pass,
+		dirs:      dirs,
+		declNodes: map[*types.Func]*cgNode{},
+		litNodes:  map[*ast.FuncLit]*cgNode{},
+	}
+	// Nodes first, so forward references resolve.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			n := newNode(g)
+			n.fn, n.decl, n.name = fn, fd, declName(fd)
+			g.declNodes[fn] = n
+		}
+	}
+	for _, f := range pass.Files {
+		g.scanFile(f)
+	}
+	return g
+}
+
+// declName renders "recv.name" for methods, "name" for functions.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// scanFile walks one file adding edges and escape marks.
+func (g *callGraph) scanFile(f *ast.File) {
+	walkStack(f, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.addLit(n, stack)
+		case *ast.CallExpr:
+			g.addCall(n, stack)
+		case *ast.Ident:
+			g.markEscape(n, stack)
+		}
+	})
+}
+
+// ownerOf returns the node owning a position given its ancestor
+// stack: the innermost function literal, else the enclosing
+// declaration. nil for package-level expressions.
+func (g *callGraph) ownerOf(stack []ast.Node) *cgNode {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.FuncLit:
+			if n := g.litNodes[a]; n != nil {
+				return n
+			}
+		case *ast.FuncDecl:
+			fn, _ := g.pass.Info.Defs[a.Name].(*types.Func)
+			return g.declNodes[fn]
+		}
+	}
+	return nil
+}
+
+// addLit creates the literal's node and links it to its encloser.
+func (g *callGraph) addLit(lit *ast.FuncLit, stack []ast.Node) {
+	node := newNode(g)
+	node.lit = lit
+	owner := g.ownerOf(stack)
+	name := "func literal"
+	if owner != nil {
+		name = owner.name + ".func"
+	}
+	node.name = name
+	g.litNodes[lit] = node
+	if owner == nil {
+		return
+	}
+	owner.edge(node, g.litSpawns(lit, stack))
+}
+
+// litSpawns decides whether the literal runs on a new goroutine: it
+// is the target of a `go` statement, or registered as a timer
+// callback with time.AfterFunc.
+func (g *callGraph) litSpawns(lit *ast.FuncLit, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			if ast.Unparen(a.Fun) == ast.Expr(lit) {
+				// Immediately invoked: runs synchronously unless the
+				// call itself is the `go` target, handled one level up.
+				if i > 0 {
+					if gs, ok := stack[i-1].(*ast.GoStmt); ok && gs.Call == a {
+						return true
+					}
+				}
+				return false
+			}
+			return pkgFuncName(g.pass.Info, a, "time") == "AfterFunc"
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// addCall resolves one call expression into graph edges.
+func (g *callGraph) addCall(call *ast.CallExpr, stack []ast.Node) {
+	owner := g.ownerOf(stack)
+	if owner == nil || isConversion(g.pass.Info, call) {
+		return
+	}
+	spawn := false
+	if len(stack) > 0 {
+		if gs, ok := stack[len(stack)-1].(*ast.GoStmt); ok && gs.Call == call {
+			spawn = true
+		}
+	}
+	for _, target := range g.resolveCallees(call) {
+		owner.edge(target, spawn)
+	}
+	// time.AfterFunc(d, s.onTimer): a method value registered as a
+	// timer callback is a spawn target.
+	if pkgFuncName(g.pass.Info, call, "time") == "AfterFunc" && len(call.Args) == 2 {
+		if fn := g.funcValue(call.Args[1]); fn != nil {
+			owner.edge(fn, true)
+		}
+	}
+}
+
+// funcValue resolves an expression denoting a package function or
+// method value to its node.
+func (g *callGraph) funcValue(e ast.Expr) *cgNode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := g.pass.Info.Uses[e].(*types.Func); ok {
+			return g.declNodes[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := g.pass.Info.Uses[e.Sel].(*types.Func); ok {
+			return g.declNodes[fn]
+		}
+	}
+	return nil
+}
+
+// resolveCallees maps a call to the package functions it may invoke.
+func (g *callGraph) resolveCallees(call *ast.CallExpr) []*cgNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := g.pass.Info.Uses[fun].(*types.Func); ok {
+			if n := g.declNodes[fn]; n != nil {
+				return []*cgNode{n}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := g.pass.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			if iface := interfaceOf(sig.Recv().Type()); iface != nil {
+				return g.implementations(iface, fn.Name())
+			}
+		}
+		if n := g.declNodes[fn]; n != nil {
+			return []*cgNode{n}
+		}
+	}
+	return nil
+}
+
+// interfaceOf unwraps a receiver type to its interface, or nil for
+// concrete receivers.
+func interfaceOf(t types.Type) *types.Interface {
+	if iface, ok := types.Unalias(t).Underlying().(*types.Interface); ok {
+		return iface
+	}
+	return nil
+}
+
+// implementations finds every method named name on a package type
+// whose method set satisfies iface — the static over-approximation of
+// a dynamic dispatch through that interface.
+func (g *callGraph) implementations(iface *types.Interface, name string) []*cgNode {
+	var out []*cgNode
+	scope := g.pass.Pkg.Scope()
+	for _, tname := range scope.Names() {
+		tn, ok := scope.Lookup(tname).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, g.pass.Pkg, name)
+		if m, ok := obj.(*types.Func); ok {
+			if n := g.declNodes[m]; n != nil {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// markEscape flags package functions referenced outside call
+// position: their value leaves the package's sight, so they may run
+// on any goroutine.
+func (g *callGraph) markEscape(id *ast.Ident, stack []ast.Node) {
+	fn, ok := g.pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	node := g.declNodes[fn]
+	if node == nil {
+		return
+	}
+	// Climb through the selector that carries this ident, then decide
+	// whether the full expression is the operand of a call.
+	expr := ast.Expr(id)
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectorExpr); ok && sel.Sel == id {
+			expr = sel
+			i--
+		}
+		break
+	}
+	for ; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			if ast.Unparen(a.Fun) == expr {
+				return // call position: not an escape
+			}
+			node.escapes = true
+			return
+		default:
+			node.escapes = true
+			return
+		}
+	}
+}
+
+// loopAnnotated reports whether the node carries `//nio:loop`.
+func (g *callGraph) loopAnnotated(n *cgNode) bool {
+	return n.fn != nil && g.dirs.loopFuncs[n.fn]
+}
+
+// loopRoots returns the `//nio:loop` annotated declarations.
+func (g *callGraph) loopRoots() []*cgNode {
+	var out []*cgNode
+	for _, n := range g.nodes {
+		if g.loopAnnotated(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// loopSet is everything that executes on an event-loop goroutine:
+// synchronous closure over the loop roots. Spawn edges are followed
+// only into other `//nio:loop` functions (a loop starting a loop).
+func (g *callGraph) loopSet() map[*cgNode]bool {
+	seen := map[*cgNode]bool{}
+	var visit func(n *cgNode)
+	visit = func(n *cgNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for c := range n.calls {
+			visit(c)
+		}
+		for s := range n.spawns {
+			if g.loopAnnotated(s) {
+				visit(s)
+			}
+		}
+	}
+	for _, r := range g.loopRoots() {
+		visit(r)
+	}
+	return seen
+}
+
+// offLoopRoots returns entry points that run off the event loop: `go`
+// and timer spawn targets, escaped function values, and the
+// package's exported API (callable from any goroutine). `//nio:loop`
+// functions are never off-loop roots — a `go w.loop()` starts a loop,
+// not a bystander.
+func (g *callGraph) offLoopRoots() []*cgNode {
+	rootSet := map[*cgNode]bool{}
+	for _, n := range g.nodes {
+		for s := range n.spawns {
+			rootSet[s] = true
+		}
+		if n.escapes {
+			rootSet[n] = true
+		}
+		if n.fn != nil && n.fn.Exported() {
+			rootSet[n] = true
+		}
+	}
+	var out []*cgNode
+	for _, n := range g.nodes {
+		if rootSet[n] && !g.loopAnnotated(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// offLoopSet is everything reachable from off-loop entry points,
+// following both call and spawn edges (a goroutine spawned from
+// off-loop code is still off-loop), never entering `//nio:loop`
+// functions.
+func (g *callGraph) offLoopSet() map[*cgNode]bool {
+	seen := map[*cgNode]bool{}
+	var visit func(n *cgNode)
+	visit = func(n *cgNode) {
+		if seen[n] || g.loopAnnotated(n) {
+			return
+		}
+		seen[n] = true
+		for c := range n.calls {
+			visit(c)
+		}
+		for s := range n.spawns {
+			visit(s)
+		}
+	}
+	for _, r := range g.offLoopRoots() {
+		visit(r)
+	}
+	return seen
+}
+
+// reachFrom is the generic closure used by detrand and the engine
+// tests: synchronous edges always, spawn edges when followSpawns.
+func (g *callGraph) reachFrom(roots []*cgNode, followSpawns bool) map[*cgNode]bool {
+	seen := map[*cgNode]bool{}
+	var visit func(n *cgNode)
+	visit = func(n *cgNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for c := range n.calls {
+			visit(c)
+		}
+		if followSpawns {
+			for s := range n.spawns {
+				visit(s)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// nodeByName finds a declared function node by its display name —
+// a test helper kept here so tests exercise the same lookup the
+// analyzers use.
+func (g *callGraph) nodeByName(name string) (*cgNode, error) {
+	for _, n := range g.nodes {
+		if n.decl != nil && n.name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("no function %q in call graph", name)
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detrand polices the determinism contract: the fault-injection and
+// simulation packages (faultline, sysfault, sim*) promise that every
+// decision is a pure function of seeds and inputs — that is what
+// makes chaos runs replayable byte-for-byte. The analyzer finds the
+// three ways that promise silently breaks:
+//
+//   - math/rand globals (the shared, non-seeded source) anywhere in
+//     a contract package;
+//   - time.Now / time.Since inside a *decision path* — a function
+//     reachable from seeded-decision roots (anything that touches a
+//     dist.RNG, or is annotated //nio:det);
+//   - map iteration inside a decision path (range order varies
+//     run to run).
+//
+// Wall-clock use *outside* decision paths stays legal: the link
+// emulator's pacer schedules real transmissions in real time, but it
+// must never let the wall clock leak into what the seeded RNG
+// decides.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "check determinism-contract packages (faultline, sysfault, sim*): " +
+		"no math/rand globals anywhere, and no time.Now/time.Since or map " +
+		"iteration in decision paths (code reachable from //nio:det roots " +
+		"or functions using a seeded dist.RNG)",
+	Run: runDetrand,
+}
+
+// detrandContract reports whether the package is under the
+// determinism contract.
+func detrandContract(name string) bool {
+	return name == "faultline" || name == "sysfault" || strings.HasPrefix(name, "sim")
+}
+
+func runDetrand(pass *Pass) error {
+	if !detrandContract(pass.Pkg.Name()) {
+		return nil
+	}
+	dirs := collectDirectives(pass)
+	g := buildCallGraph(pass, dirs)
+	decision := g.reachFrom(decisionRoots(pass, g), false)
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			owner := g.ownerOf(stack)
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name := randGlobalCall(pass, n); name != "" {
+					if !dirs.suppressed(pass.Fset, n.Pos(), "detrand") {
+						pass.Reportf(n.Pos(),
+							"math/rand.%s uses the shared non-seeded source; use the package's seeded dist.RNG", name)
+					}
+					return
+				}
+				if owner == nil || !decision[owner] {
+					return
+				}
+				if name := pkgFuncName(pass.Info, n, "time"); name == "Now" || name == "Since" {
+					if !dirs.suppressed(pass.Fset, n.Pos(), "detrand") {
+						pass.Reportf(n.Pos(),
+							"time.%s in decision path (%s); seeded decisions must not read the wall clock", name, owner.name)
+					}
+				}
+			case *ast.RangeStmt:
+				if owner == nil || !decision[owner] {
+					return
+				}
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); isMap {
+						if !dirs.suppressed(pass.Fset, n.Pos(), "detrand") {
+							pass.Reportf(n.Pos(),
+								"map iteration in decision path (%s); iteration order is nondeterministic", owner.name)
+						}
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// decisionRoots finds the seeded-decision entry points: //nio:det
+// annotated functions plus any function whose body touches a
+// dist.RNG value.
+func decisionRoots(pass *Pass, g *callGraph) []*cgNode {
+	roots := map[*cgNode]bool{}
+	for _, n := range g.nodes {
+		if n.fn != nil && g.dirs.detFuncs[n.fn] {
+			roots[n] = true
+		}
+	}
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !isDistRNG(obj.Type()) {
+				return
+			}
+			if owner := g.ownerOf(stack); owner != nil {
+				roots[owner] = true
+			}
+		})
+	}
+	var out []*cgNode
+	for n := range roots {
+		out = append(out, n)
+	}
+	return out
+}
+
+// isDistRNG reports whether t is dist.RNG or *dist.RNG — the
+// repository's seeded random source.
+func isDistRNG(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "RNG" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "dist"
+}
+
+// randGlobalCall returns the function name when the call hits a
+// math/rand (or math/rand/v2) package-level function that draws from
+// the shared global source. Constructors (New, NewSource, …) build
+// explicitly seeded generators and are fine.
+func randGlobalCall(pass *Pass, call *ast.CallExpr) string {
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		if name := pkgFuncName(pass.Info, call, path); name != "" &&
+			!strings.HasPrefix(name, "New") {
+			return name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file parses the `//nio:` directive grammar the ownership and
+// hot-path analyzers run on. The grammar is deliberately tiny:
+//
+//	//nio:loop
+//	    On a function declaration: the function is an event-loop root.
+//	    Everything synchronously reachable from it executes on the
+//	    loop goroutine. A `go` statement whose target carries this
+//	    annotation starts a loop, not an off-loop goroutine.
+//
+//	//nio:loop-owned
+//	    On a struct field: the field belongs to the event loop and
+//	    must not be touched from off-loop code without an atomic or
+//	    channel seam. On a struct type declaration: every field of
+//	    the struct is loop-owned (for per-connection state records
+//	    that live and die on one loop).
+//
+//	//nio:hot
+//	    On a function declaration: the function is on the
+//	    per-request hot path and must not allocate (see hotalloc).
+//
+//	//nio:det
+//	    On a function declaration: the function is a root of the
+//	    determinism contract — a seeded decision point. Reached code
+//	    must not consult wall clocks or iterate maps (see detrand).
+//
+//	//nio:ok <analyzer> [-- reason]
+//	    Trailing same-line comment: suppress the named analyzer's
+//	    diagnostics on this line. The reason is for the human reader;
+//	    the analyzers ignore it. Suppressions are deliberate, visible
+//	    seams — grep for nio:ok to audit them all.
+//
+// Directives ride ordinary comments, so they survive gofmt and need
+// no build tags.
+
+// directives is the parsed annotation set of one package.
+type directives struct {
+	loopFuncs   map[*types.Func]bool
+	hotFuncs    map[*types.Func]bool
+	detFuncs    map[*types.Func]bool
+	ownedFields map[*types.Var]bool
+	// suppress: filename -> line -> analyzer names suppressed there.
+	suppress map[string]map[int]map[string]bool
+}
+
+// directiveWord extracts the first word of a `//nio:` comment line, or
+// "" when the comment is not a directive: "//nio:loop-owned shard
+// table" yields "loop-owned".
+func directiveWord(text string) string {
+	rest, ok := strings.CutPrefix(text, "//nio:")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// directiveArgs returns the words after the directive keyword, up to a
+// `--` separator.
+func directiveArgs(text string) []string {
+	rest, ok := strings.CutPrefix(text, "//nio:")
+	if !ok {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) <= 1 {
+		return nil
+	}
+	args := fields[1:]
+	for i, a := range args {
+		if a == "--" {
+			return args[:i]
+		}
+	}
+	return args
+}
+
+// hasDirective reports whether the comment group carries the given
+// directive keyword.
+func hasDirective(doc *ast.CommentGroup, word string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if directiveWord(c.Text) == word {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every `//nio:` annotation in the pass.
+func collectDirectives(pass *Pass) *directives {
+	d := &directives{
+		loopFuncs:   map[*types.Func]bool{},
+		hotFuncs:    map[*types.Func]bool{},
+		detFuncs:    map[*types.Func]bool{},
+		ownedFields: map[*types.Var]bool{},
+		suppress:    map[string]map[int]map[string]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pass.Info.Defs[decl.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				if hasDirective(decl.Doc, "loop") {
+					d.loopFuncs[fn] = true
+				}
+				if hasDirective(decl.Doc, "hot") {
+					d.hotFuncs[fn] = true
+				}
+				if hasDirective(decl.Doc, "det") {
+					d.detFuncs[fn] = true
+				}
+			case *ast.GenDecl:
+				d.collectTypeDirectives(pass, decl)
+			}
+		}
+		d.collectSuppressions(pass.Fset, f)
+	}
+	return d
+}
+
+// collectTypeDirectives handles `//nio:loop-owned` on struct types and
+// struct fields.
+func (d *directives) collectTypeDirectives(pass *Pass, decl *ast.GenDecl) {
+	if decl.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		// Whole-type annotation: the GenDecl doc (single-spec form) or
+		// the TypeSpec's own doc/trailing comment.
+		wholeType := hasDirective(decl.Doc, "loop-owned") ||
+			hasDirective(ts.Doc, "loop-owned") || hasDirective(ts.Comment, "loop-owned")
+		for _, field := range st.Fields.List {
+			owned := wholeType ||
+				hasDirective(field.Doc, "loop-owned") || hasDirective(field.Comment, "loop-owned")
+			if !owned {
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+					d.ownedFields[v] = true
+				}
+			}
+		}
+	}
+}
+
+// collectSuppressions records every `//nio:ok` comment by file and
+// line.
+func (d *directives) collectSuppressions(fset *token.FileSet, f *ast.File) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			if directiveWord(c.Text) != "ok" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			lines := d.suppress[pos.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				d.suppress[pos.Filename] = lines
+			}
+			set := lines[pos.Line]
+			if set == nil {
+				set = map[string]bool{}
+				lines[pos.Line] = set
+			}
+			for _, name := range directiveArgs(c.Text) {
+				set[strings.TrimSuffix(name, ",")] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether diagnostics of the named analyzer are
+// suppressed on pos's line.
+func (d *directives) suppressed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	return d.suppress[p.Filename][p.Line][analyzer]
+}

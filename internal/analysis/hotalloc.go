@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotalloc enforces the zero-allocation discipline on functions
+// marked `//nio:hot` — the per-request path: httpwire parse and
+// serialize, the reactor's read/write/sendfile wrappers and output
+// queue, the obs trace ring. One allocation per request at 10k+
+// req/s is a GC treadmill that shows up directly in the paper's
+// response-time figures, so the hot path must not contain:
+//
+//   - fmt calls or variadic ...any boxing (except when constructing
+//     the error that *aborts* the hot path, i.e. in a return
+//     statement, or under an `if invariant.Enabled` guard that
+//     compiles out by default);
+//   - string <-> []byte conversions (each one copies);
+//   - make/new or map/slice composite literals, or &T{...};
+//   - closures that capture variables (the capture escapes).
+//
+// The checks are body-local and syntactic over the type-checked AST:
+// they flag the idioms that *always* allocate rather than guessing
+// at escape analysis, so a clean report is meaningful and a finding
+// is actionable.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "check that //nio:hot functions contain no allocating idiom: " +
+		"fmt, string<->[]byte conversions, make/new/map/slice literals, " +
+		"&composite, capturing closures, or variadic ...any boxing " +
+		"(error-return construction and invariant-guarded code exempt)",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	dirs := collectDirectives(pass)
+	if len(dirs.hotFuncs) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !dirs.hotFuncs[fn] {
+				continue
+			}
+			checkHotFunc(pass, dirs, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, dirs *directives, fd *ast.FuncDecl) {
+	name := declName(fd)
+	report := func(n ast.Node, stack []ast.Node, errPath bool, format string, args ...any) {
+		if dirs.suppressed(pass.Fset, n.Pos(), "hotalloc") {
+			return
+		}
+		if invariantGuarded(pass, stack) {
+			return
+		}
+		if errPath && inReturnStmt(stack) {
+			return
+		}
+		args = append(args, name)
+		pass.Reportf(n.Pos(), format+" in //nio:hot function %s", args...)
+	}
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isConversion(pass.Info, n) {
+				if kind := stringByteConversion(pass, n); kind != "" {
+					report(n, stack, false, "%s conversion allocates", kind)
+				}
+				return
+			}
+			if name := pkgFuncName(pass.Info, n, "fmt"); name != "" {
+				report(n, stack, true, "fmt.%s call", name)
+				return
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new":
+						report(n, stack, false, "heap allocation (%s)", b.Name())
+					}
+					return
+				}
+			}
+			if variadicAnyCall(pass, n) {
+				report(n, stack, true, "interface boxing (variadic ...any call)")
+			}
+		case *ast.CompositeLit:
+			switch types.Unalias(pass.Info.Types[n].Type).Underlying().(type) {
+			case *types.Map:
+				report(n, stack, false, "heap allocation (map literal)")
+			case *types.Slice:
+				report(n, stack, false, "heap allocation (slice literal)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, stack, false, "heap allocation (&composite)")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesVariables(pass, n, fd) {
+				report(n, stack, false, "capturing closure")
+			}
+		}
+	})
+}
+
+// stringByteConversion classifies a conversion between string and
+// []byte — the two hot-path conversions that always copy. Constant
+// operands convert at compile time and are exempt.
+func stringByteConversion(pass *Pass, call *ast.CallExpr) string {
+	if len(call.Args) != 1 {
+		return ""
+	}
+	argTV, ok := pass.Info.Types[call.Args[0]]
+	if !ok || argTV.Value != nil {
+		return ""
+	}
+	dst := types.Unalias(pass.Info.Types[call].Type).Underlying()
+	src := argTV.Type.Underlying()
+	if isString(dst) && isByteSlice(src) {
+		return "[]byte->string"
+	}
+	if isByteSlice(dst) && isString(src) {
+		return "string->[]byte"
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// variadicAnyCall reports whether the call passes arguments into a
+// variadic ...any / ...interface{} parameter — each one boxed.
+func variadicAnyCall(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := types.Unalias(tv.Type).Underlying().(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return false
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := types.Unalias(last.Type()).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	iface, ok := slice.Elem().Underlying().(*types.Interface)
+	if !ok || !iface.Empty() {
+		return false
+	}
+	// Boxing happens only when the variadic slot actually receives
+	// arguments.
+	return len(call.Args) >= sig.Params().Len()
+}
+
+// capturesVariables reports whether the literal closes over any
+// variable declared outside it but inside the enclosing declaration
+// (including its receiver and parameters) — the captures escape to
+// the heap together with the closure.
+func capturesVariables(pass *Pass, lit *ast.FuncLit, fd *ast.FuncDecl) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= fd.Pos() && pos < fd.End() && (pos < lit.Pos() || pos >= lit.End()) {
+			captures = true
+		}
+		return !captures
+	})
+	return captures
+}
+
+// inReturnStmt reports whether the node sits inside a return
+// statement — constructing the error that aborts the hot path is the
+// slow path by definition.
+func inReturnStmt(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// invariantGuarded reports whether the node is inside an `if
+// invariant.Enabled { ... }` block. With the default build the
+// constant is false and the whole block is dead-code-eliminated, so
+// nothing inside it runs on the hot path.
+func invariantGuarded(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && obj.Name() == "Enabled" &&
+					obj.Pkg() != nil && obj.Pkg().Name() == "invariant" {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Loopblock forbids blocking operations on the event loop. Anything
+// synchronously reachable from a `//nio:loop` root runs with every
+// connection on that loop waiting behind it, so a time.Sleep, an
+// unbuffered channel handoff, a mutex shared with off-loop code, or
+// blocking file/net I/O stalls the whole reactor — the exact failure
+// mode the paper's event-driven architecture exists to avoid. The
+// epoll wait itself lives behind the reactor package boundary and is
+// not in scope; deliberate stalls (fault injection) carry a
+// `//nio:ok loopblock` waiver.
+var Loopblock = &Analyzer{
+	Name: "loopblock",
+	Doc: "check that no blocking operation (time.Sleep, channel send/recv " +
+		"without a default case, select without default, sync.Mutex.Lock, " +
+		"blocking net.Conn or os.File I/O) is synchronously reachable from " +
+		"a //nio:loop event-loop root",
+	Run: runLoopblock,
+}
+
+func runLoopblock(pass *Pass) error {
+	dirs := collectDirectives(pass)
+	if len(dirs.loopFuncs) == 0 {
+		return nil
+	}
+	g := buildCallGraph(pass, dirs)
+	loop := g.loopSet()
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			owner := g.ownerOf(stack)
+			if owner == nil || !loop[owner] {
+				return
+			}
+			if kind, at := blockingOp(pass, n, stack); kind != "" {
+				if dirs.suppressed(pass.Fset, at.Pos(), "loopblock") {
+					return
+				}
+				pass.Reportf(at.Pos(), "%s on the event loop (reachable from a //nio:loop root via %s); the loop must never block",
+					kind, owner.name)
+			}
+		})
+	}
+	return nil
+}
+
+// blockingOp classifies one AST node as a blocking operation, or ""
+// when it cannot block.
+func blockingOp(pass *Pass, n ast.Node, stack []ast.Node) (string, ast.Node) {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		if !isSelectComm(stack, n) {
+			return "blocking channel send", n
+		}
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" && !isSelectComm(stack, n) {
+			return "blocking channel receive", n
+		}
+	case *ast.SelectStmt:
+		if !hasDefaultClause(n) {
+			return "select without default", n
+		}
+	case *ast.RangeStmt:
+		if t, ok := pass.Info.Types[n.X]; ok {
+			if _, isChan := types.Unalias(t.Type).Underlying().(*types.Chan); isChan {
+				return "blocking range over channel", n
+			}
+		}
+	case *ast.CallExpr:
+		if name := pkgFuncName(pass.Info, n, "time"); name == "Sleep" {
+			return "time.Sleep", n
+		}
+		if kind := blockingMethodCall(pass, n); kind != "" {
+			return kind, n
+		}
+	}
+	return "", nil
+}
+
+// isSelectComm reports whether the send/receive is the comm
+// operation of a select clause. Those are judged at the select level
+// (select without default is flagged once); an op in a clause *body*
+// runs after the select fires and blocks on its own.
+func isSelectComm(stack []ast.Node, op ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if clause, ok := stack[i].(*ast.CommClause); ok {
+			return clause.Comm != nil && containsNode(clause.Comm, op)
+		}
+	}
+	return false
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, s := range sel.Body.List {
+		if c, ok := s.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingMethodCall flags mutex acquisition and blocking I/O method
+// calls: sync.(RW)Mutex Lock/RLock, (sync.WaitGroup).Wait and
+// (sync.Cond).Wait, net.Conn Read/Write (the reactor talks to
+// sockets through raw non-blocking fds, never net.Conn, on the
+// loop), and os.File Read/ReadAt/Write outside the sendfile seam.
+func blockingMethodCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	recv := namedRecvName(sig.Recv().Type())
+	switch fn.Pkg().Path() {
+	case "sync":
+		switch fn.Name() {
+		case "Lock", "RLock":
+			return "sync." + recv + ".Lock (also locked off-loop?)"
+		case "Wait":
+			if recv == "WaitGroup" || recv == "Cond" {
+				return "sync." + recv + ".Wait"
+			}
+		}
+	case "net":
+		switch fn.Name() {
+		case "Read", "Write", "ReadFrom", "WriteTo", "Accept":
+			return "blocking net I/O (net." + recv + "." + fn.Name() + ")"
+		}
+	case "os":
+		if recv == "File" {
+			switch fn.Name() {
+			case "Read", "ReadAt", "Write", "WriteAt", "Seek", "Sync":
+				return "blocking os.File I/O (" + fn.Name() + ")"
+			}
+		}
+	}
+	return ""
+}
+
+// namedRecvName returns the name of the receiver's named type,
+// unwrapping pointers: *sync.Mutex -> "Mutex".
+func namedRecvName(t types.Type) string {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Loopown enforces event-loop state ownership: fields annotated
+// `//nio:loop-owned` (directly or via their struct type) may only be
+// touched by code that runs on the event-loop goroutine. Accesses
+// from spawned goroutines, timer callbacks, escaped function values,
+// or the package's exported API are flagged unless they go through an
+// atomic operation or a channel, or sit in a constructor that has not
+// yet published the value. This is exactly the invariant per-shard
+// conn tables need before the reactor can be sharded: per-loop state
+// is never shared, and the analyzer makes "never" structural.
+var Loopown = &Analyzer{
+	Name: "loopown",
+	Doc: "check that //nio:loop-owned fields are only accessed from code " +
+		"reachable from a //nio:loop event-loop root; off-loop access must " +
+		"use an atomic or channel seam, or carry a //nio:ok loopown waiver",
+	Run: runLoopown,
+}
+
+func runLoopown(pass *Pass) error {
+	dirs := collectDirectives(pass)
+	if len(dirs.ownedFields) == 0 {
+		return nil
+	}
+	g := buildCallGraph(pass, dirs)
+	off := g.offLoopSet()
+	fresh := freshLocals(pass)
+	atomicLocals := atomicFuncLocals(pass)
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			field := selectedField(pass, sel)
+			if field == nil || !dirs.ownedFields[field] {
+				return
+			}
+			owner := g.ownerOf(stack)
+			if owner == nil || !off[owner] {
+				return
+			}
+			if loopownExempt(pass, dirs, sel, field, stack, fresh, atomicLocals) {
+				return
+			}
+			pass.Reportf(sel.Pos(),
+				"loop-owned field %s accessed from off-loop context (%s); use an atomic/channel seam, move it onto the loop, or waive with //nio:ok loopown",
+				field.Name(), owner.name)
+		})
+	}
+	return nil
+}
+
+// freshLocals collects function-local variables assigned a newly
+// constructed value (&T{...}, T{...}, new(T)). A value built inside a
+// function is private to it until published, so its constructor may
+// initialize loop-owned fields off-loop. Local objects are scoped to
+// their function, so one package-wide set is unambiguous;
+// package-level variables are excluded.
+func freshLocals(pass *Pass) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || rhs == nil {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil || obj.Parent() == pass.Pkg.Scope() {
+			return
+		}
+		if isFreshConstruction(pass, rhs) {
+			fresh[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i := range n.Lhs {
+					if i < len(n.Rhs) {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i := range n.Names {
+					if i < len(n.Values) {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fresh
+}
+
+// isFreshConstruction reports whether rhs builds a brand-new value.
+func isFreshConstruction(pass *Pass, rhs ast.Expr) bool {
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if r.Op.String() == "&" {
+			_, ok := r.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, ok := pass.Info.Uses[id].(*types.Builtin)
+			return ok
+		}
+	}
+	return false
+}
+
+// loopownExempt recognizes the legal off-loop touches of owned state.
+func loopownExempt(pass *Pass, dirs *directives, sel *ast.SelectorExpr, field *types.Var, stack []ast.Node, fresh map[types.Object]bool, atomicLocals map[types.Object]string) bool {
+	if dirs.suppressed(pass.Fset, sel.Pos(), "loopown") {
+		return true
+	}
+	// Channels are the handoff seam by construction.
+	if _, ok := types.Unalias(field.Type()).Underlying().(*types.Chan); ok {
+		return true
+	}
+	// Atomic access (&s.f into sync/atomic, or a method on a
+	// sync/atomic value type like atomic.Int64).
+	switch classifyFieldAccess(pass, sel, stack, atomicLocals) {
+	case fieldAtomic, fieldIgnored:
+		// fieldIgnored covers composite-literal initialization and
+		// addresses delegated to helpers; both stay quiet here — a
+		// helper's own body is judged in its own context.
+		return true
+	}
+	if isAtomicMethodReceiver(pass, sel, stack) {
+		return true
+	}
+	// Constructor exemption: the base value was built locally and has
+	// not been handed to the loop yet.
+	if base := baseIdent(sel); base != nil {
+		obj := pass.Info.Uses[base]
+		if obj == nil {
+			obj = pass.Info.Defs[base]
+		}
+		if obj != nil && fresh[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicMethodReceiver reports whether sel is the receiver of a
+// method call on a sync/atomic value type: s.n.Load(), s.ok.Store(x).
+func isAtomicMethodReceiver(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	outer, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || outer.X != ast.Expr(sel) {
+		return false
+	}
+	fn, ok := pass.Info.Uses[outer.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// baseIdent unwinds a selector chain to its root identifier: for
+// s.pool.idle it returns s; nil when the base is a call result or
+// other non-identifier.
+func baseIdent(sel *ast.SelectorExpr) *ast.Ident {
+	e := sel.X
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

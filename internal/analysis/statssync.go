@@ -40,6 +40,7 @@ func runStatsSync(pass *Pass) error {
 		}
 		return a
 	}
+	locals := atomicFuncLocals(pass)
 	for _, f := range pass.Files {
 		walkStack(f, func(n ast.Node, stack []ast.Node) {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -50,7 +51,7 @@ func runStatsSync(pass *Pass) error {
 			if field == nil || field.Pkg() != pass.Pkg || !isSyncSensitive(field.Type()) {
 				return
 			}
-			switch classifyFieldAccess(pass, sel, stack) {
+			switch classifyFieldAccess(pass, sel, stack, locals) {
 			case fieldAtomic:
 				a := record(field)
 				a.atomic++
@@ -110,11 +111,14 @@ const (
 )
 
 // classifyFieldAccess decides whether one selector use is an atomic
-// access (&s.f handed to sync/atomic), a plain access (direct read or
-// write), or neither (initialization in a composite literal, or the
-// address delegated to an unknown function, which a local analysis
-// cannot judge).
-func classifyFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) fieldAccessKind {
+// access (&s.f handed to sync/atomic, directly or through a method
+// value bound to a local), a plain access (direct read or write), or
+// neither (initialization in a composite literal, or the address
+// delegated to an unknown function, which a local analysis cannot
+// judge). atomicLocals maps local variables to the sync/atomic
+// function bound to them (see atomicFuncLocals); nil disables that
+// resolution.
+func classifyFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node, atomicLocals map[types.Object]string) fieldAccessKind {
 	for i := len(stack) - 1; i >= 0; i-- {
 		switch anc := stack[i].(type) {
 		case *ast.ParenExpr:
@@ -132,7 +136,7 @@ func classifyFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) fi
 			// delegated to code we cannot see.
 			for j := i - 1; j >= 0; j-- {
 				if call, ok := stack[j].(*ast.CallExpr); ok {
-					if name := pkgFuncName(pass.Info, call, "sync/atomic"); name != "" && isAtomicOpName(name) {
+					if name := atomicCallName(pass, call, atomicLocals); name != "" && isAtomicOpName(name) {
 						return fieldAtomic
 					}
 					return fieldIgnored
@@ -150,6 +154,75 @@ func classifyFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) fi
 		}
 	}
 	return fieldPlain
+}
+
+// atomicCallName resolves a call to its sync/atomic operation name:
+// either a direct atomic.AddInt64(...) call, or a call through a
+// local variable that was bound to a sync/atomic function value
+// (`add := atomic.AddInt64; add(&s.f, 1)`).
+func atomicCallName(pass *Pass, call *ast.CallExpr, atomicLocals map[types.Object]string) string {
+	if name := pkgFuncName(pass.Info, call, "sync/atomic"); name != "" {
+		return name
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return ""
+	}
+	return atomicLocals[obj]
+}
+
+// atomicFuncLocals finds local variables bound to a sync/atomic
+// function value. Locals are scoped to their function, so one
+// package-wide map is unambiguous. Rebinding a variable to two
+// different atomic functions keeps the last one — good enough for
+// the idiom this covers.
+func atomicFuncLocals(pass *Pass) map[types.Object]string {
+	locals := map[types.Object]string{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || rhs == nil {
+			return
+		}
+		sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil && obj.Parent() != pass.Pkg.Scope() {
+			locals[obj] = fn.Name()
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i := range n.Lhs {
+					if i < len(n.Rhs) {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i := range n.Names {
+					if i < len(n.Values) {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return locals
 }
 
 // isAtomicOpName reports whether name is a sync/atomic operation that

@@ -26,3 +26,23 @@ func TestRefBalance(t *testing.T) { analysistest.Run(t, analysis.RefBalance, "re
 func TestStatsSync(t *testing.T) { analysistest.Run(t, analysis.StatsSync, "statssync") }
 
 func TestNonblock(t *testing.T) { analysistest.Run(t, analysis.Nonblock, "nonblock") }
+
+// The statssync regression fixture covers mixing through struct
+// embedding and through sync/atomic method values bound to locals.
+func TestStatsSyncEmbed(t *testing.T) { analysistest.Run(t, analysis.StatsSync, "statssyncembed") }
+
+func TestLoopown(t *testing.T) { analysistest.Run(t, analysis.Loopown, "loopown") }
+
+// A package with no //nio: annotations must stay silent regardless of
+// how freely it shares un-annotated state across goroutines.
+func TestLoopownQuiet(t *testing.T) { analysistest.Run(t, analysis.Loopown, "loopownquiet") }
+
+func TestLoopblock(t *testing.T) { analysistest.Run(t, analysis.Loopblock, "loopblock") }
+
+func TestHotalloc(t *testing.T) { analysistest.Run(t, analysis.Hotalloc, "hotalloc") }
+
+func TestDetrand(t *testing.T) { analysistest.Run(t, analysis.Detrand, "detrand") }
+
+// The determinism contract is keyed on the package name; the same
+// idioms outside faultline/sysfault/sim* stay quiet.
+func TestDetrandQuiet(t *testing.T) { analysistest.Run(t, analysis.Detrand, "detrandquiet") }

@@ -1,0 +1,84 @@
+// Fixture for the detrand analyzer. The package name carries the
+// sim* prefix, so it is under the determinism contract: seeded
+// decision paths must not read wall clocks or iterate maps, and the
+// math/rand globals are banned outright.
+package simfix
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/dist"
+)
+
+type chooser struct {
+	rng   *dist.RNG
+	sites map[string]int
+}
+
+// next draws from the seeded RNG: it is a decision root.
+func (c *chooser) next() int {
+	if c.rng.Float64() < 0.5 {
+		return c.weigh()
+	}
+	return int(time.Now().UnixNano()) // want "time.Now in decision path"
+}
+
+// weigh is reachable from the decision root: still a decision path.
+func (c *chooser) weigh() int {
+	total := 0
+	for _, v := range c.sites { // want "map iteration in decision path"
+		total += v
+	}
+	return total
+}
+
+// pace is wall-clock pacing with no seeded randomness: legal. The
+// emulated link schedules real transmissions in real time.
+func pace(started time.Time) time.Duration {
+	return time.Since(started)
+}
+
+// jitter uses the shared global source: banned anywhere in a
+// contract package, decision path or not.
+func jitter() int {
+	return rand.Intn(10) // want "math/rand.Intn uses the shared non-seeded source"
+}
+
+// seeded constructs an explicitly seeded generator: constructors are
+// fine, the globals are not.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// pickIndex is annotated as a decision root without touching an RNG
+// directly (it hashes, say).
+//
+//nio:det
+func pickIndex(n int) int {
+	d := time.Now() // want "time.Now in decision path"
+	_ = d
+	return n % 7
+}
+
+// sum walks a map on a decision path, waived because the fold is
+// order-insensitive.
+func (c *chooser) sum() int {
+	if c.rng == nil {
+		return 0
+	}
+	t := 0
+	for _, v := range c.sites { //nio:ok detrand -- order-insensitive fold
+		t += v
+	}
+	return t
+}
+
+var (
+	_ = pace
+	_ = jitter
+	_ = seeded
+	_ = pickIndex
+	_ = (*chooser).next
+	_ = (*chooser).sum
+)

@@ -1,0 +1,37 @@
+// Negative fixture for the detrand analyzer: this package is NOT
+// under the determinism contract (its name is neither faultline,
+// sysfault, nor sim*), so the same idioms that light up the detrand
+// fixture stay quiet here.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/dist"
+)
+
+type sampler struct {
+	rng   *dist.RNG
+	sites map[string]int
+}
+
+func (s *sampler) next() int {
+	if s.rng.Float64() < 0.5 {
+		total := 0
+		for _, v := range s.sites { // not a contract package: quiet
+			total += v
+		}
+		return total
+	}
+	return int(time.Now().UnixNano()) // quiet
+}
+
+func jitter() int {
+	return rand.Intn(10) // quiet
+}
+
+var (
+	_ = jitter
+	_ = (*sampler).next
+)

@@ -1,0 +1,76 @@
+// Fixture for the hotalloc analyzer: //nio:hot functions must not
+// contain allocating idioms; error-return construction and
+// invariant-guarded blocks are the sanctioned slow paths.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
+
+type wire struct {
+	buf  []byte
+	name string
+}
+
+func sink(x int)             { _ = x }
+func sinkS(s string)         { _ = s }
+func sinkB(b []byte)         { _ = b }
+func sinkW(w *wire)          { _ = w }
+func sinkI(x []int)          { _ = x }
+func sinkM(m map[string]int) { _ = m }
+func sinkF(f func() int)     { _ = f }
+
+func logf(format string, args ...any) { _ = format }
+
+// serialize is hot: every allocating idiom below is a finding.
+//
+//nio:hot
+func (w *wire) serialize(dst []byte, n int) []byte {
+	dst = append(dst, w.buf...)    // good: append into the caller's buffer
+	sinkS(string(w.buf))           // want "conversion allocates"
+	sinkB([]byte(w.name))          // want "conversion allocates"
+	sinkB([]byte("literal"))       // good: constant conversion, folded at compile time
+	sinkB(make([]byte, n))         // want "heap allocation \\(make\\)"
+	sinkW(new(wire))               // want "heap allocation \\(new\\)"
+	sinkW(&wire{})                 // want "heap allocation \\(&composite\\)"
+	sinkI([]int{1, 2})             // want "heap allocation \\(slice literal\\)"
+	sinkM(map[string]int{})        // want "heap allocation \\(map literal\\)"
+	fmt.Println(w.name)            // want "fmt.Println call"
+	sinkF(func() int { return n }) // want "capturing closure"
+	sinkF(func() int { return 7 }) // good: captures nothing
+	v := wire{}                    // good: value composite stays on the stack
+	sink(len(v.buf))
+	return dst
+}
+
+// parse is hot, but its failure exits are allowed to allocate.
+//
+//nio:hot
+func (w *wire) parse(line []byte) (int, error) {
+	if len(line) == 0 {
+		// good: constructing the error that aborts the hot path.
+		return 0, fmt.Errorf("empty line in %q", w.name)
+	}
+	if invariant.Enabled {
+		fmt.Println("trace", len(line)) // good: compiled out by default
+	}
+	logf("len=%d", len(line)) // want "interface boxing"
+	return len(line), nil
+}
+
+// waived: a measured, deliberate allocation.
+//
+//nio:hot
+func (w *wire) grow(n int) {
+	w.buf = make([]byte, n) //nio:ok hotalloc -- one-time lazy buffer growth
+}
+
+// cold is unannotated: anything goes.
+func cold() *wire {
+	fmt.Println("cold")
+	return &wire{buf: make([]byte, 16)}
+}
+
+var _ = cold

@@ -1,0 +1,97 @@
+// Fixture for the loopblock analyzer: nothing blocking may be
+// synchronously reachable from a //nio:loop root.
+package fixture
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type loopSrv struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	inbox chan int
+	done  chan struct{}
+	c     net.Conn
+	f     *os.File
+	buf   [64]byte
+}
+
+// loop is the event-loop root.
+//
+//nio:loop
+func (s *loopSrv) loop() {
+	for {
+		s.drain()
+		s.tick()
+		s.inject()
+		if s.step() {
+			return
+		}
+	}
+}
+
+// drain is the non-blocking inbox idiom: legal.
+func (s *loopSrv) drain() {
+	select {
+	case n := <-s.inbox:
+		_ = n
+	default:
+	}
+}
+
+// tick commits every blocking sin reachable from the loop.
+func (s *loopSrv) tick() {
+	time.Sleep(time.Millisecond) // want "time.Sleep on the event loop"
+	s.mu.Lock()                  // want "Mutex.Lock"
+	defer s.mu.Unlock()
+	s.wg.Wait()  // want "WaitGroup.Wait"
+	s.inbox <- 1 // want "blocking channel send"
+	<-s.done     // want "blocking channel receive"
+}
+
+// step parks on a select with no default: the loop stalls.
+func (s *loopSrv) step() bool {
+	select { // want "select without default"
+	case <-s.done:
+		return true
+	case n := <-s.inbox:
+		return n == 0
+	}
+}
+
+// handler dispatch: the blocking I/O is reached through an interface
+// method, resolved to every implementation in the package.
+type handler interface{ handle(s *loopSrv) }
+
+type fileHandler struct{}
+
+func (fileHandler) handle(s *loopSrv) {
+	s.f.Read(s.buf[:]) // want "blocking os.File I/O"
+	s.c.Write(nil)     // want "blocking net I/O"
+}
+
+func (s *loopSrv) dispatch(h handler) { h.handle(s) }
+
+//nio:loop
+func (s *loopSrv) loop2() {
+	s.dispatch(fileHandler{})
+}
+
+// offLoop blocks legally: it is not reachable from any loop root.
+func (s *loopSrv) offLoop() {
+	time.Sleep(time.Second)
+	s.mu.Lock()
+	s.wg.Wait()
+	<-s.done
+	s.mu.Unlock()
+}
+
+// inject is a deliberate, documented stall (fault injection).
+func (s *loopSrv) inject() {
+	time.Sleep(time.Millisecond) //nio:ok loopblock -- deliberate fault-injection stall
+}
+
+var _ = (*loopSrv).offLoop

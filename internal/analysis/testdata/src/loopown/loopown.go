@@ -1,0 +1,109 @@
+// Fixture for the loopown analyzer: //nio:loop-owned state may only
+// be touched from code reachable from a //nio:loop root; off-loop
+// access must go through an atomic or channel seam.
+package fixture
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// connTable is per-loop state: the type-level annotation owns every
+// field.
+//
+//nio:loop-owned
+type connTable struct {
+	conns map[int]*conn
+	depth int64
+}
+
+type conn struct{ fd int }
+
+type server struct {
+	table connTable
+	// open is the cross-thread stats seam.
+	open atomic.Int64
+	// inbox hands connections to the loop.
+	inbox chan *conn
+	// queue is loop-owned by field-level annotation.
+	//nio:loop-owned
+	queue []*conn
+	// wake is annotated, but channels are a seam by construction.
+	//nio:loop-owned
+	wake chan struct{}
+}
+
+// loop is the event-loop root: it owns the table outright.
+//
+//nio:loop
+func (s *server) loop() {
+	for {
+		s.table.conns[1] = &conn{fd: 1}
+		s.table.depth++
+		s.queue = append(s.queue, nil)
+		s.open.Add(1)
+		select {
+		case c := <-s.inbox:
+			s.table.conns[c.fd] = c
+		default:
+			return
+		}
+	}
+}
+
+// Start spawns the loop goroutine (a loop, not a bystander) and the
+// off-loop prober.
+func (s *server) Start() {
+	go s.loop()
+	go s.prober()
+}
+
+// prober runs on its own goroutine: only the seams are legal.
+func (s *server) prober() {
+	s.open.Add(1)               // good: atomic seam
+	s.inbox <- &conn{fd: 2}     // good: channel seam
+	s.wake <- struct{}{}        // good: annotated, but a channel is a seam
+	s.table.depth++             // want "loop-owned field depth"
+	if len(s.table.conns) > 0 { // want "loop-owned field conns"
+		return
+	}
+}
+
+// Stats is exported API — callable from any goroutine.
+func (s *server) Stats() int {
+	return len(s.queue) // want "loop-owned field queue"
+}
+
+// Snapshot documents a deliberate pre-start access with a waiver.
+func (s *server) Snapshot() int {
+	return int(s.table.depth) //nio:ok loopown -- pre-start only, loop not yet launched
+}
+
+// arm registers a timer callback: it fires off-loop.
+func (s *server) arm() {
+	time.AfterFunc(time.Second, func() {
+		s.table.depth++ // want "loop-owned field depth"
+	})
+}
+
+// Export leaks a method value to another package: it escapes and may
+// run anywhere.
+func (s *server) Export() func() int {
+	return s.depthNow
+}
+
+func (s *server) depthNow() int {
+	return int(s.table.depth) // want "loop-owned field depth"
+}
+
+// newServer builds the value before publishing it: the constructor
+// exemption applies.
+func newServer() *server {
+	s := &server{inbox: make(chan *conn, 8)}
+	s.table.conns = map[int]*conn{}
+	s.queue = make([]*conn, 0, 8)
+	return s
+}
+
+var _ = newServer
+var _ = (*server).arm

@@ -1,0 +1,32 @@
+// Negative fixture for the loopown analyzer: a package with no
+// //nio: annotations gets no diagnostics, no matter how freely it
+// shares state across goroutines. Un-annotated cross-goroutine
+// access in non-reactor code is the race detector's territory;
+// loopown only enforces ownership someone has claimed.
+package fixture
+
+type gauge struct{ n int64 }
+
+type tracker struct {
+	g     gauge
+	conns map[int]bool
+	inbox chan int
+}
+
+func (t *tracker) run() {
+	go func() {
+		t.g.n++ // un-annotated: quiet
+		t.conns[1] = true
+	}()
+	go t.drain()
+	t.g.n++
+}
+
+func (t *tracker) drain() {
+	for n := range t.inbox {
+		t.conns[n] = false
+	}
+}
+
+// Read is exported API touching the same plain state: still quiet.
+func (t *tracker) Read() int64 { return t.g.n }

@@ -1,0 +1,66 @@
+// Regression fixture for statssync: mixed atomic/plain access must
+// be detected when the field is reached through struct embedding and
+// when the atomic operation is invoked through a method value bound
+// to a local variable.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+}
+
+type outer struct {
+	counters
+}
+
+// bumpEmbedded updates the promoted field atomically, direct call.
+func (o *outer) bumpEmbedded() {
+	atomic.AddInt64(&o.hits, 1)
+}
+
+// readEmbedded reads it plainly through the embedding: mixed.
+func (o *outer) readEmbedded() int64 {
+	return o.hits // want "accessed both atomically"
+}
+
+type mvStats struct {
+	ops int64
+}
+
+// bump routes the atomic op through a local method value — the
+// discipline is still atomic and must be tracked as such.
+func (s *mvStats) bump() {
+	add := atomic.AddInt64
+	add(&s.ops, 1)
+}
+
+// read is therefore mixing.
+func (s *mvStats) read() int64 {
+	return s.ops // want "accessed both atomically"
+}
+
+type mvEmbed struct {
+	counters
+}
+
+// bumpMV combines both: method value plus promotion.
+func (m *mvEmbed) bumpMV() {
+	add := atomic.AddInt64
+	add(&m.hits, 1)
+}
+
+// cleanMV keeps one discipline through method values only: quiet.
+type cleanMV struct {
+	n int64
+}
+
+func (c *cleanMV) bump() {
+	add := atomic.AddInt64
+	add(&c.n, 1)
+}
+
+func (c *cleanMV) load() int64 {
+	loadOp := atomic.LoadInt64
+	return loadOp(&c.n)
+}

@@ -588,6 +588,8 @@ type outSeg struct {
 }
 
 // conn is the per-connection state owned by exactly one worker.
+//
+//nio:loop-owned
 type conn struct {
 	fd     int
 	parser httpwire.Parser
@@ -630,15 +632,22 @@ type conn struct {
 type worker struct {
 	srv    *Server
 	poller *reactor.Poller
-	conns  map[int]*conn
-	inbox  chan pendingConn
-	buf    []byte
+	// conns is this loop's connection table — the state reactor
+	// sharding partitions, so it must never be touched off-loop.
+	//nio:loop-owned
+	conns map[int]*conn
+	inbox chan pendingConn
+	//nio:loop-owned
+	buf []byte
 	// fbuf is the lazily-allocated scratch for buffered sendfile
 	// fallback (never aliased by the parser, unlike buf).
+	//nio:loop-owned
 	fbuf []byte
+	//nio:loop-owned
 	reqs []*httpwire.Request
 	// draining is set once the server enters Drain: no new reads, flush
 	// pending output, close as connections empty.
+	//nio:loop-owned
 	draining bool
 	// hb is this reactor thread's watchdog heartbeat (nil when no
 	// watchdog is configured). Spans bracket work, not the poller wait,
@@ -647,6 +656,7 @@ type worker struct {
 	// loopTicks counts event-loop iterations so the invariant build can
 	// amortize its O(conns) interest-set audit instead of paying it on
 	// every pass through the hot loop.
+	//nio:loop-owned
 	loopTicks uint64
 }
 
@@ -692,6 +702,8 @@ func (w *worker) give(fd int) {
 }
 
 // loop is the worker thread body: a classic reactor loop.
+//
+//nio:loop
 func (w *worker) loop() {
 	defer w.srv.wg.Done()
 	defer w.shutdown()
@@ -974,10 +986,10 @@ func (w *worker) serveSafe(c *conn, req *httpwire.Request) (ok bool) {
 // and a Wedge is precisely what the watchdog exists to flag.
 func (w *worker) applyFault(f Fault) {
 	if f.Delay > 0 {
-		time.Sleep(f.Delay)
+		time.Sleep(f.Delay) //nio:ok loopblock -- injected fault: stalling the loop is the point
 	}
 	if f.Wedge != nil {
-		select {
+		select { //nio:ok loopblock -- injected wedge: the watchdog test drives this
 		case <-f.Wedge:
 		case <-w.srv.stopping:
 		}
@@ -1070,6 +1082,8 @@ const sendfileChunk = 512 << 10
 // go through sendfile(2), whose kernel-advanced offset is its own
 // resume point, so a response interrupted mid-file continues exactly
 // where the socket buffer filled.
+//
+//nio:hot
 func (w *worker) flush(c *conn) {
 	if invariant.Enabled {
 		invariant.Assertf(!c.closed, "core: flush on closed conn fd %d", c.fd)

@@ -46,6 +46,8 @@ type Header struct {
 }
 
 // Get returns the first header with the given case-insensitive name.
+//
+//nio:hot
 func (r *Request) Get(name string) (string, bool) {
 	for _, h := range r.Headers {
 		if equalFold(h.Name, name) {
@@ -56,6 +58,8 @@ func (r *Request) Get(name string) (string, bool) {
 }
 
 // equalFold is an allocation-free ASCII case-insensitive compare.
+//
+//nio:hot
 func equalFold(a, b string) bool {
 	if len(a) != len(b) {
 		return false
@@ -129,6 +133,8 @@ func (p *Parser) Pending() bool { return len(p.buf) > 0 || p.state != stRequestL
 // Feed consumes data and appends any completed requests to dst, returning
 // the extended slice. A non-nil error means the stream is unrecoverable
 // (the connection should be answered with 400 and closed).
+//
+//nio:hot
 func (p *Parser) Feed(dst []*Request, data []byte) ([]*Request, error) {
 	p.buf = append(p.buf, data...)
 	for {
@@ -169,6 +175,8 @@ func (p *Parser) Feed(dst []*Request, data []byte) ([]*Request, error) {
 
 // cutLine splits buf at the first LF, trimming an optional CR. ok is
 // false when no complete line is buffered yet.
+//
+//nio:hot
 func cutLine(buf []byte) (line, rest []byte, ok bool) {
 	i := bytes.IndexByte(buf, '\n')
 	if i < 0 {
@@ -183,6 +191,8 @@ func cutLine(buf []byte) (line, rest []byte, ok bool) {
 
 // consumeLine advances the state machine by one line; done reports a
 // completed request.
+//
+//nio:hot
 func (p *Parser) consumeLine(line []byte) (done bool, err error) {
 	if len(line) > MaxLineBytes {
 		return false, parseErr("line exceeds %d bytes", MaxLineBytes)
@@ -269,6 +279,8 @@ func parseHeaderLine(line []byte) (name, value string, err error) {
 }
 
 // finishHeaders resolves keep-alive per the protocol rules.
+//
+//nio:hot
 func (p *Parser) finishHeaders() {
 	conn, _ := p.cur.Get("Connection")
 	switch p.cur.Proto {
@@ -320,6 +332,8 @@ var httpDate dateCache
 
 // DateString returns the current RFC 1123 date, refreshed at most once a
 // second by RefreshDate (the servers tick it); it is initialized lazily.
+//
+//nio:hot
 func DateString() string {
 	if s, ok := httpDate.v.Load().(string); ok && s != "" {
 		return s
@@ -341,6 +355,8 @@ func RefreshDate(t time.Time) string {
 // AppendResponseHeader serializes a response head into dst and returns
 // the extended slice. keepAlive controls the Connection header;
 // contentLen is required (static server — always known).
+//
+//nio:hot
 func AppendResponseHeader(dst []byte, code int, contentType string, contentLen int64, keepAlive bool) []byte {
 	return AppendResponseHeaderValidators(dst, code, contentType, contentLen, keepAlive, "", "")
 }
@@ -349,6 +365,8 @@ func AppendResponseHeader(dst []byte, code int, contentType string, contentLen i
 // additional header fields, emitted just before the Connection header —
 // e.g. Retry-After on a shed 503. Names and values must already be
 // valid header text; nothing is escaped.
+//
+//nio:hot
 func AppendResponseHeaderExtra(dst []byte, code int, contentType string, contentLen int64, keepAlive bool, extra ...Header) []byte {
 	return appendHead(dst, code, contentType, contentLen, keepAlive, "", "", extra)
 }
@@ -358,10 +376,17 @@ func AppendResponseHeaderExtra(dst []byte, code int, contentType string, content
 // are emitted as ETag and Last-Modified. A 304 carries its validators
 // but no Content-Length — it has no body by definition, and repeating
 // the entity length would only invite client disagreement about framing.
+//
+//nio:hot
 func AppendResponseHeaderValidators(dst []byte, code int, contentType string, contentLen int64, keepAlive bool, etag, lastModified string) []byte {
 	return appendHead(dst, code, contentType, contentLen, keepAlive, etag, lastModified, nil)
 }
 
+// appendHead is the single serialization path under the three public
+// Append wrappers: pure appends into the caller's buffer, no
+// intermediate allocation.
+//
+//nio:hot
 func appendHead(dst []byte, code int, contentType string, contentLen int64, keepAlive bool, etag, lastModified string, extra []Header) []byte {
 	dst = append(dst, "HTTP/1.1 "...)
 	dst = strconv.AppendInt(dst, int64(code), 10)

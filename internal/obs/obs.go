@@ -150,6 +150,8 @@ func NewRing(capacity int) *Ring {
 func (r *Ring) Cap() int { return len(r.slots) }
 
 // Record appends one event, evicting the oldest when full.
+//
+//nio:hot
 func (r *Ring) Record(at time.Duration, conn uint64, k Kind, v time.Duration) {
 	i := r.next.Add(1) - 1
 	s := &r.slots[i&r.mask]
@@ -264,6 +266,8 @@ func (p *Plane) NextConnID() uint64 { return p.connID.Add(1) }
 // Record logs one lifecycle event: it stamps the ring, bumps the
 // per-kind counter, and — for the four phase kinds — feeds the matching
 // latency histogram. Allocation-free.
+//
+//nio:hot
 func (p *Plane) Record(conn uint64, k Kind, v time.Duration) {
 	p.counts[k].Add(1)
 	p.ring.Record(time.Since(p.start), conn, k, v)

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,11 +46,15 @@ type Backend struct {
 	// Health state machine. Passive signals (connect/read failures on
 	// the relay path) and active probe outcomes feed the same streak
 	// counters: FailAfter consecutive failures eject, ReviveAfter
-	// consecutive probe successes re-admit. Cold path — a mutex is fine.
-	hmu         sync.Mutex
-	consecFails int
-	consecOKs   int
-	ejectedAt   time.Time
+	// consecutive probe successes re-admit. The machine is shared
+	// between the event loop (passive signals, cooldown re-admission)
+	// and the prober goroutine, and the loop must never take a lock —
+	// so the streak pair lives in one CAS word (consecFails in the low
+	// half, consecOKs in the high half) and health transitions are
+	// guarded by CompareAndSwap on the healthy bit, which also makes
+	// "this call performed the transition" exact under contention.
+	streaks   atomic.Uint64 // consecFails | consecOKs<<32
+	ejectedAt atomic.Int64  // unix nanos of the last ejection
 
 	// Counters (atomic: read by Stats/admin from other goroutines).
 	ejections    atomic.Int64
@@ -68,7 +71,9 @@ type Backend struct {
 	probeFails   atomic.Int64
 
 	// Event-loop-owned pool state. Never touched off the loop thread.
-	idle  []*uconn
+	//nio:loop-owned
+	idle []*uconn
+	//nio:loop-owned
 	waitq []*relay
 }
 
@@ -85,17 +90,19 @@ func (b *Backend) Healthy() bool { return b.healthy.Load() }
 // active probe failure). Reaching failAfter consecutive failures ejects
 // the backend. Reports whether this call performed the ejection.
 func (b *Backend) noteFailure(failAfter int) bool {
-	b.hmu.Lock()
-	defer b.hmu.Unlock()
-	b.consecOKs = 0
-	b.consecFails++
-	if b.healthy.Load() && b.consecFails >= failAfter {
-		b.healthy.Store(false)
-		b.ejectedAt = time.Now()
-		b.ejections.Add(1)
-		return true
+	for {
+		old := b.streaks.Load()
+		fails := uint32(old) + 1
+		if !b.streaks.CompareAndSwap(old, uint64(fails)) { // oks cleared
+			continue
+		}
+		if int(fails) >= failAfter && b.healthy.CompareAndSwap(true, false) {
+			b.ejectedAt.Store(time.Now().UnixNano())
+			b.ejections.Add(1)
+			return true
+		}
+		return false
 	}
-	return false
 }
 
 // selfReadmit is the probeless counterpart of the prober's ReviveAfter
@@ -105,14 +112,13 @@ func (b *Backend) noteFailure(failAfter int) bool {
 // transient failure streak into a permanent ejection (nothing else ever
 // re-admits). Reports whether this call re-admitted the backend.
 func (b *Backend) selfReadmit(now time.Time, cooldown time.Duration) bool {
-	b.hmu.Lock()
-	defer b.hmu.Unlock()
-	if b.healthy.Load() || now.Sub(b.ejectedAt) < cooldown {
+	if b.healthy.Load() || now.Sub(time.Unix(0, b.ejectedAt.Load())) < cooldown {
 		return false
 	}
-	b.healthy.Store(true)
-	b.consecFails = 0
-	b.consecOKs = 0
+	if !b.healthy.CompareAndSwap(false, true) {
+		return false // the prober re-admitted first
+	}
+	b.streaks.Store(0)
 	b.readmissions.Add(1)
 	return true
 }
@@ -123,23 +129,26 @@ func (b *Backend) selfReadmit(now time.Time, cooldown time.Duration) bool {
 // half-dead backend must prove itself to the prober before taking
 // traffic again. Reports whether this call re-admitted the backend.
 func (b *Backend) noteSuccess(probe bool, reviveAfter int) bool {
-	b.hmu.Lock()
-	defer b.hmu.Unlock()
-	b.consecFails = 0
-	if b.healthy.Load() {
-		return false
-	}
-	if !probe {
-		return false
-	}
-	b.consecOKs++
-	if b.consecOKs >= reviveAfter {
-		b.healthy.Store(true)
-		b.consecOKs = 0
+	for {
+		old := b.streaks.Load()
+		oks := uint32(old >> 32)
+		healthy := b.healthy.Load()
+		if !healthy && probe {
+			oks++
+		}
+		if !b.streaks.CompareAndSwap(old, uint64(oks)<<32) { // fails cleared
+			continue
+		}
+		if healthy || !probe || int(oks) < reviveAfter {
+			return false
+		}
+		if !b.healthy.CompareAndSwap(false, true) {
+			return false // lost the re-admission race
+		}
+		b.streaks.Store(0)
 		b.readmissions.Add(1)
 		return true
 	}
-	return false
 }
 
 // BackendStats is an atomic snapshot of one backend's state.

@@ -213,11 +213,16 @@ type Server struct {
 	pick     *picker
 
 	// Event-loop-owned connection tables.
+	//nio:loop-owned
 	dconns map[int]*dconn
+	//nio:loop-owned
 	uconns map[int]*uconn
-	buf    []byte
-	reqs   []*httpwire.Request
-	resps  []*httpwire.Response
+	//nio:loop-owned
+	buf []byte
+	//nio:loop-owned
+	reqs []*httpwire.Request
+	//nio:loop-owned
+	resps []*httpwire.Response
 
 	accepted   counter
 	acceptEM   counter
@@ -245,10 +250,14 @@ type Server struct {
 	// queue under EMFILE; the gate parks the listener outside the
 	// poller so a level-triggered readable listener cannot hot-spin
 	// the event loop while the process is out of descriptors.
-	reserveFD       int
-	acceptGated     bool
+	//nio:loop-owned
+	reserveFD int
+	//nio:loop-owned
+	acceptGated bool
+	//nio:loop-owned
 	acceptGateUntil time.Time
-	acceptBackoff   time.Duration
+	//nio:loop-owned
+	acceptBackoff time.Duration
 
 	wg        sync.WaitGroup
 	started   bool
@@ -271,6 +280,8 @@ func openReserve() int {
 }
 
 // dconn is one downstream (client) connection.
+//
+//nio:loop-owned
 type dconn struct {
 	fd      int
 	peer    string // client IP for X-Forwarded-For
@@ -295,6 +306,8 @@ type dconn struct {
 // relay is one request in flight through the tier. Its wire image is
 // built once from the rewritten header set, so a retry against a
 // different backend resends the identical bytes.
+//
+//nio:loop-owned
 type relay struct {
 	d          *dconn
 	b          *Backend
@@ -316,6 +329,8 @@ const (
 )
 
 // uconn is one upstream (backend) socket.
+//
+//nio:loop-owned
 type uconn struct {
 	fd    int
 	b     *Backend
@@ -455,11 +470,11 @@ func (s *Server) Start() error {
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopping)
-		if !s.started && s.reserveFD >= 0 {
+		if !s.started && s.reserveFD >= 0 { //nio:ok loopown -- pre-start: the loop never launched, so nothing owns the reserve yet
 			// Never started: the loop's teardown will not run, so the
 			// reserve descriptor must be released here or it leaks.
-			reactor.CloseFD(s.reserveFD)
-			s.reserveFD = -1
+			reactor.CloseFD(s.reserveFD) //nio:ok loopown -- pre-start teardown (see above)
+			s.reserveFD = -1             //nio:ok loopown -- pre-start teardown (see above)
 		}
 		s.poller.Wakeup()
 	})
@@ -487,6 +502,7 @@ func (s *Server) Drain(timeout time.Duration) bool {
 
 var errUpstreamHangup = errors.New("proxy: upstream hangup")
 
+//nio:loop
 func (s *Server) loop() {
 	defer s.wg.Done()
 	defer s.teardown()
@@ -1112,6 +1128,7 @@ func (s *Server) respondLocal(d *dconn, code int, extra []httpwire.Header) {
 	s.flushD(d)
 }
 
+//nio:hot
 func (s *Server) flushD(d *dconn) {
 	if _, open := s.dconns[d.fd]; !open {
 		return
@@ -1257,6 +1274,7 @@ func (s *Server) uWritable(u *uconn) {
 	s.writeUpstream(u)
 }
 
+//nio:hot
 func (s *Server) writeUpstream(u *uconn) {
 	for u.wOff < len(u.pendingWrite) {
 		n, again, err := reactor.Write(u.fd, u.pendingWrite[u.wOff:])

@@ -30,33 +30,17 @@ type Event struct {
 	Hangup bool
 }
 
-// retryEINTR invokes op until it returns anything other than EINTR.
-// A signal that lands mid-syscall is not an event and not an error;
-// retrying here keeps every call site's error handling about real
-// conditions only. The socket hot paths now route through
-// internal/sysfault (which absorbs EINTR itself, so signal retries
-// never consume injection indices); this helper remains for the
-// wakeup pipe, which is deliberately NOT routed through the seam —
-// wakeups are scheduling-dependent, and letting them consume
-// injection indices would destroy seeded replay. The syscallerr
-// analyzer (internal/analysis) whitelists closures passed to a
-// function with this name, so raw syscall sites either classify EINTR
-// explicitly or live inside one of these.
-func retryEINTR(op func() (int, error)) (int, error) {
-	for {
-		n, err := op()
-		if err != syscall.EINTR {
-			return n, err
-		}
-	}
-}
-
 // Poller wraps one epoll instance plus a wakeup pipe.
 type Poller struct {
 	epfd   int
 	wakeR  int
 	wakeW  int
 	events []syscall.EpollEvent
+	// evbuf is the reusable Event scratch Wait returns a prefix of —
+	// one allocation at construction instead of one per wait, which on
+	// a busy loop is one per loop iteration. Sized to events, so
+	// translation can never grow it.
+	evbuf  []Event
 	closed bool
 	// reg shadows the kernel's interest set under -tags invariants (a
 	// zero-cost no-op otherwise) so the invariant layer can check it
@@ -79,7 +63,14 @@ func NewPoller(n int) (*Poller, error) {
 		syscall.Close(epfd)
 		return nil, fmt.Errorf("reactor: pipe2: %w", err)
 	}
-	p := &Poller{epfd: epfd, wakeR: pipeFDs[0], wakeW: pipeFDs[1], events: make([]syscall.EpollEvent, n), reg: newRegSet()}
+	p := &Poller{
+		epfd:   epfd,
+		wakeR:  pipeFDs[0],
+		wakeW:  pipeFDs[1],
+		events: make([]syscall.EpollEvent, n),
+		evbuf:  make([]Event, 0, n),
+		reg:    newRegSet(),
+	}
 	if err := p.Add(p.wakeR, true, false); err != nil {
 		p.Close()
 		return nil, err
@@ -137,13 +128,18 @@ func (p *Poller) InterestCount() int { return p.reg.size() }
 
 // Wait blocks until at least one registered fd is ready, the timeout (in
 // ms, -1 = forever) elapses, or Wakeup is called. Wakeup drains
-// internally and produces no Event.
+// internally and produces no Event. The returned slice is backed by a
+// buffer owned by the Poller and is overwritten by the next Wait on
+// it; callers must finish with the events before waiting again (every
+// reactor loop naturally does).
+//
+//nio:hot
 func (p *Poller) Wait(timeoutMs int) ([]Event, error) {
 	n, err := sysfault.EpollWait(p.epfd, p.events, timeoutMs)
 	if err != nil {
 		return nil, fmt.Errorf("reactor: epoll_wait: %w", err)
 	}
-	out := make([]Event, 0, n)
+	out := p.evbuf[:0]
 	for i := 0; i < n; i++ {
 		ev := p.events[i]
 		fd := int(ev.Fd)
@@ -170,13 +166,18 @@ func (p *Poller) Wakeup() {
 // drainWake empties the wakeup pipe. EAGAIN is the expected exit (the
 // pipe is non-blocking and has been drained); EINTR is retried so a
 // signal cannot leave stale wakeup bytes behind to spuriously interrupt
-// the next Wait.
+// the next Wait. The retry is an explicit classification rather than a
+// retryEINTR closure: this runs inside every Wait, and a capturing
+// closure would allocate per call.
+//
+//nio:hot
 func (p *Poller) drainWake() {
 	var buf [64]byte
 	for {
-		n, err := retryEINTR(func() (int, error) {
-			return syscall.Read(p.wakeR, buf[:])
-		})
+		n, err := syscall.Read(p.wakeR, buf[:])
+		if err == syscall.EINTR {
+			continue // a signal is not a drained pipe
+		}
 		if err == syscall.EAGAIN {
 			return // drained
 		}
@@ -347,6 +348,8 @@ func Accept(lfd int) (fd int, done bool, err error) {
 // Read performs one non-blocking read. n == 0 with eof=true is a clean
 // peer close; again=true means no data available now. EINTR is retried
 // internally, so err never reports an interrupted syscall.
+//
+//nio:hot
 func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
 	n, err = sysfault.Read(fd, buf)
 	switch {
@@ -365,6 +368,8 @@ func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
 // buffer is full (register write interest and come back later). EINTR
 // is retried internally rather than surfaced as a spurious again, so
 // write interest is never armed for a mere signal.
+//
+//nio:hot
 func Write(fd int, buf []byte) (n int, again bool, err error) {
 	n, err = sysfault.Write(fd, buf)
 	switch err {
@@ -386,6 +391,8 @@ func Write(fd int, buf []byte) (n int, again bool, err error) {
 // one shared descriptor can feed any number of concurrent responses.
 // An interrupted call reports no progress and is simply retried: *off
 // is untouched by a failing sendfile(2).
+//
+//nio:hot
 func Sendfile(fd, srcFD int, off *int64, max int) (n int, again bool, err error) {
 	n, err = sysfault.Sendfile(fd, srcFD, off, max)
 	switch err {
