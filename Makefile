@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-full race bench bench-json figures figures-fast demo-overload obs-demo chaos chaos-demo proxy-demo proxy-test sysfault sysfault-demo lint invariants verify clean
+.PHONY: all build test test-full race bench bench-json bench-check figures figures-fast demo-overload obs-demo chaos chaos-demo proxy-demo proxy-test sysfault sysfault-demo lint invariants verify clean
 
 all: build test
 
@@ -29,6 +29,16 @@ bench:
 # hot-path work has a baseline to diff against.
 bench-json:
 	go test -bench=. -benchmem -benchtime=1x ./... | go run ./cmd/benchjson -out BENCH_$$(date +%F).json
+
+# The perf regression gate: rerun the bench suite and diff it against
+# the newest committed BENCH_*.json. Fails if replies/s fell or p99-ms
+# rose by more than 15% on any benchmark present in both runs; on a
+# machine with a different CPU than the baseline it reports and skips.
+bench-check:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$base" ]; then echo "no committed BENCH_*.json baseline; run make bench-json first" >&2; exit 1; fi; \
+	echo "baseline: $$base"; \
+	go test -bench=. -benchmem -benchtime=1x ./... | go run ./cmd/benchjson -check $$base
 
 # Regenerate every paper figure at full scale (several minutes).
 figures:

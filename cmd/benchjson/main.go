@@ -8,6 +8,14 @@
 //
 //	go test -bench=. -benchmem -benchtime=1x ./... | benchjson > BENCH_2026-01-02.json
 //	benchjson -in bench.txt -out BENCH_2026-01-02.json
+//	go test -bench=. -benchmem -benchtime=1x ./... | benchjson -check BENCH_2026-01-02.json
+//
+// The -check form is the regression gate (`make bench-check`): instead
+// of emitting JSON it diffs the fresh run against a committed baseline
+// and exits nonzero if replies/s fell or p99-ms rose by more than the
+// tolerance (15% by default) on any benchmark present in both runs.
+// Baselines only gate runs from the same CPU — on other machines the
+// gate reports and skips, because cross-machine numbers do not diff.
 //
 // It parses the standard benchmark line grammar
 //
@@ -71,6 +79,8 @@ type Document struct {
 func main() {
 	in := flag.String("in", "", "read benchmark text from this file instead of stdin")
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	check := flag.String("check", "", "compare the parsed run against this committed BENCH_*.json baseline and exit nonzero on regression instead of emitting JSON")
+	tol := flag.Float64("tolerance", 0.15, "fractional regression tolerance for -check (0.15 = a 15% drop in replies/s or rise in p99-ms fails)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -89,6 +99,10 @@ func main() {
 	}
 	if len(doc.Benchmarks) == 0 {
 		log.Fatal("benchjson: no benchmark lines in input (did the bench run fail upstream of the pipe?)")
+	}
+
+	if *check != "" {
+		os.Exit(checkAgainst(doc, *check, *tol))
 	}
 
 	dst := io.Writer(os.Stdout)
@@ -175,4 +189,99 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, true
+}
+
+// guardedMetric is one metric the -check gate watches, with its
+// direction of badness.
+type guardedMetric struct {
+	unit        string
+	higherWorse bool
+}
+
+// guarded are the regression-gated metrics: delivered throughput and
+// tail latency, the two axes the paper's figures are drawn in. The
+// other recorded metrics (allocs, mid-quantiles, connect times) ride
+// along in the JSON for diffing but do not gate — they are too noisy
+// at -benchtime=1x to fail a build on.
+var guarded = []guardedMetric{
+	{unit: "replies/s", higherWorse: false},
+	{unit: "p99-ms", higherWorse: true},
+}
+
+// benchKey addresses one benchmark across runs.
+func benchKey(b Benchmark) string {
+	return fmt.Sprintf("%s %s-%d", b.Package, b.Name, b.Procs)
+}
+
+// checkAgainst diffs the fresh run against a committed baseline and
+// returns the process exit code: 0 when every guarded metric of every
+// benchmark present in both runs is within tolerance, 1 on any
+// regression. Benchmarks that exist on only one side are reported but
+// do not fail (the suite grows; the gate must not punish new
+// coverage). If the baseline was recorded on a different CPU, the
+// comparison is meaningless and is skipped with exit 0 — the gate
+// guards a machine's own trajectory, not cross-machine folklore.
+func checkAgainst(fresh *Document, baselinePath string, tol float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		log.Fatalf("benchjson: reading baseline: %v", err)
+	}
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("benchjson: parsing baseline %s: %v", baselinePath, err)
+	}
+	if base.CPU != "" && fresh.CPU != "" && base.CPU != fresh.CPU {
+		fmt.Printf("benchjson: baseline CPU %q != this machine %q; skipping regression gate (record a local baseline with `make bench-json` first)\n",
+			base.CPU, fresh.CPU)
+		return 0
+	}
+
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[benchKey(b)] = b
+	}
+
+	regressions := 0
+	compared := 0
+	for _, b := range fresh.Benchmarks {
+		key := benchKey(b)
+		old, ok := baseBy[key]
+		if !ok {
+			fmt.Printf("  new       %s (not in baseline)\n", key)
+			continue
+		}
+		delete(baseBy, key)
+		for _, g := range guarded {
+			was, okOld := old.Metrics[g.unit]
+			now, okNew := b.Metrics[g.unit]
+			if !okOld || !okNew || was == 0 {
+				continue
+			}
+			compared++
+			delta := (now - was) / was
+			bad := delta > tol
+			if !g.higherWorse {
+				bad = delta < -tol
+			}
+			mark := "ok"
+			if bad {
+				mark = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("  %-10s %s %s: %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)\n",
+				mark, key, g.unit, was, now, delta*100, tol*100)
+		}
+	}
+	for key := range baseBy {
+		fmt.Printf("  gone      %s (in baseline, not in this run)\n", key)
+	}
+	fmt.Printf("benchjson: %d guarded comparisons vs %s, %d regressions\n", compared, baselinePath, regressions)
+	if compared == 0 {
+		fmt.Println("benchjson: nothing compared — baseline and run share no guarded benchmarks")
+		return 1
+	}
+	if regressions > 0 {
+		return 1
+	}
+	return 0
 }

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +34,7 @@ import (
 
 func main() {
 	port := flag.Int("port", 8000, "port to listen on (0 picks a free port)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "proxy shards sharing the port via SO_REUSEPORT, each a full event loop with its own upstream pool")
 	backends := flag.String("backends", "", `comma-separated backends: "addr" or "addr@adminAddr" (required)`)
 	balance := flag.String("balance", "least", "balancing policy: rr | least | hash")
 	maxPer := flag.Int("max-per-backend", 64, "max open upstream sockets per backend")
@@ -118,7 +120,7 @@ func main() {
 		cfg.Obs = plane
 	}
 
-	p, err := proxy.NewServer(cfg)
+	p, err := proxy.NewTier(cfg, *shards)
 	if err != nil {
 		log.Fatalf("starting proxy: %v", err)
 	}
@@ -137,8 +139,7 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintf(w, "== proxy ==\n")
 			obs.RenderStats(w, proxy.StatsFields(p.Stats()), plane)
-			for _, b := range p.Backends() {
-				s := b.Stats()
+			for _, s := range p.BackendStats() {
 				fmt.Fprintf(w, "backend.%s.healthy %v\n", s.Name, s.Healthy)
 				fmt.Fprintf(w, "backend.%s.relayed %d\n", s.Name, s.Relayed)
 				fmt.Fprintf(w, "backend.%s.relayed_503 %d\n", s.Name, s.Relayed503)
@@ -167,8 +168,8 @@ func main() {
 	for i, b := range bcfgs {
 		names[i] = fmt.Sprintf("%s(%s)", b.Name, b.Addr)
 	}
-	fmt.Printf("nioproxy listening on %s (%s over %s)\n",
-		p.Addr(), cfg.Balance, strings.Join(names, ", "))
+	fmt.Printf("nioproxy listening on %s (%d shards, %s accept, %s over %s)\n",
+		p.Addr(), p.NumShards(), p.AcceptMode(), cfg.Balance, strings.Join(names, ", "))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -181,8 +182,7 @@ func main() {
 		st.Accepted, st.Replies, st.Shed, st.NoBackend, st.BadGateway, st.Relayed503,
 		st.UpstreamDials, st.UpstreamReuses, st.UpstreamErrors, st.UpstreamRetries,
 		st.Ejections, st.Readmissions)
-	for _, b := range p.Backends() {
-		s := b.Stats()
+	for _, s := range p.BackendStats() {
 		fmt.Printf("backend %s: healthy=%v relayed=%d relayed-503s=%d errors=%d dials=%d reuses=%d\n",
 			s.Name, s.Healthy, s.Relayed, s.Relayed503, s.Errors, s.Dials, s.Reuses)
 	}

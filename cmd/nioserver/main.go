@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nioserver -port 8080 -workers 1 -objects 2000 -seed 7
+//	nioserver -port 8080 -shards 4 -objects 2000 -seed 7
 //
 // The server exposes /obj/<id> for id in [0, objects). Stop with SIGINT:
 // the server drains (finishes in-flight responses, up to -drain) before
@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -29,7 +30,8 @@ import (
 
 func main() {
 	port := flag.Int("port", 8080, "port to listen on (0 picks a free port)")
-	workers := flag.Int("workers", 1, "reactor worker threads")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "reactor shards, each a full event loop with its own epoll fd (0 = legacy -workers fan-out mode)")
+	workers := flag.Int("workers", 1, "legacy fan-out mode only (-shards 0): reactor worker threads fed by one acceptor")
 	objects := flag.Int("objects", 2000, "SURGE object population size")
 	seed := flag.Uint64("seed", 7, "object-set seed")
 	docrootDir := flag.String("docroot", "", `serve real files from disk instead of memory: a directory path, or "tmp" to materialize the SURGE set into a fresh temp dir ("" = in-memory store)`)
@@ -62,6 +64,7 @@ func main() {
 		cfg.Store = core.NewSurgeStore(set, scfg.MaxObjectBytes, *seed+1)
 	}
 	cfg.Port = *port
+	cfg.Shards = *shards
 	cfg.Workers = *workers
 	cfg.IdleTimeout = *idle
 	cfg.HeaderTimeout = *header
@@ -114,8 +117,8 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatalf("starting server: %v", err)
 	}
-	fmt.Printf("nio server listening on %s (%d workers, %d objects, mean %.0f B)\n",
-		srv.Addr(), *workers, set.Len(), set.MeanBytes())
+	fmt.Printf("nio server listening on %s (%d shards, %s accept, %d objects, mean %.0f B)\n",
+		srv.Addr(), srv.NumShards(), srv.AcceptMode(), set.Len(), set.MeanBytes())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -27,10 +27,22 @@ import (
 // through a bandwidth-capped link. It then replays each learned
 // validator as a conditional GET and requires both servers to answer
 // 304 with an empty body.
+//
+// The whole matrix runs at 1 and 4 reactor shards: content fidelity
+// must be invariant under kernel accept sharding, with the shard-merged
+// counters accounting for every 304 and sendfile byte.
 func TestDocrootCrossServerParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration-scale")
 	}
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			docrootParity(t, shards)
+		})
+	}
+}
+
+func docrootParity(t *testing.T, shards int) {
 	cfg := surge.DefaultConfig()
 	cfg.NumObjects = 64
 	cfg.MaxObjectBytes = 256 << 10
@@ -55,6 +67,7 @@ func TestDocrootCrossServerParity(t *testing.T) {
 	}
 
 	ccfg := core.DefaultConfig(nil)
+	ccfg.Shards = shards
 	ccfg.Docroot = mkRoot()
 	nio, err := core.NewServer(ccfg)
 	if err != nil {
@@ -64,6 +77,9 @@ func TestDocrootCrossServerParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nio.Stop()
+	if nio.NumShards() != shards {
+		t.Fatalf("NumShards = %d, want %d", nio.NumShards(), shards)
+	}
 
 	mcfg := mtserver.DefaultConfig(nil)
 	mcfg.Threads = 8

@@ -13,7 +13,7 @@ import (
 // bad: a seam-minted socket is configured but never closed and never
 // escapes.
 func seamNeverClosed() error {
-	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0) // want "never passed to syscall.Close"
+	fd, err := sysfault.Socket(0, syscall.AF_INET, syscall.SOCK_STREAM, 0) // want "never passed to syscall.Close"
 	if err != nil {
 		return err
 	}
@@ -22,11 +22,11 @@ func seamNeverClosed() error {
 
 // bad: the connect error path returns without closing.
 func seamLeakOnError(sa syscall.Sockaddr) (int, error) {
-	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	fd, err := sysfault.Socket(0, syscall.AF_INET, syscall.SOCK_STREAM, 0)
 	if err != nil {
 		return -1, err
 	}
-	if err := sysfault.Connect(fd, sa); err != nil {
+	if err := sysfault.Connect(0, fd, sa); err != nil {
 		return -1, err // want "may leak"
 	}
 	return fd, nil
@@ -34,12 +34,12 @@ func seamLeakOnError(sa syscall.Sockaddr) (int, error) {
 
 // good: sysfault.Close releases on every path.
 func seamClosedOnError(sa syscall.Sockaddr) (int, error) {
-	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	fd, err := sysfault.Socket(0, syscall.AF_INET, syscall.SOCK_STREAM, 0)
 	if err != nil {
 		return -1, err
 	}
-	if err := sysfault.Connect(fd, sa); err != nil {
-		_ = sysfault.Close(fd)
+	if err := sysfault.Connect(0, fd, sa); err != nil {
+		_ = sysfault.Close(0, fd)
 		return -1, err
 	}
 	return fd, nil
@@ -47,7 +47,7 @@ func seamClosedOnError(sa syscall.Sockaddr) (int, error) {
 
 // good: seam-accepted fds may be released with the raw close too.
 func seamAcceptClose(lfd int) {
-	fd, err := sysfault.Accept4(lfd, syscall.SOCK_NONBLOCK)
+	fd, err := sysfault.Accept4(0, lfd, syscall.SOCK_NONBLOCK)
 	if err != nil {
 		return
 	}
@@ -56,7 +56,7 @@ func seamAcceptClose(lfd int) {
 
 // good: returning the fd transfers ownership to the caller.
 func seamHandOff() (int, error) {
-	fd, err := sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	fd, err := sysfault.Socket(0, syscall.AF_INET, syscall.SOCK_STREAM, 0)
 	if err != nil {
 		return -1, err
 	}

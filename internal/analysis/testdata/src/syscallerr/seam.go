@@ -11,7 +11,7 @@ import (
 // bad: the seam hands EAGAIN through raw; a bare err != nil treats
 // every would-block as fatal.
 func seamBareRead(fd int, buf []byte) int {
-	n, err := sysfault.Read(fd, buf) // want "EAGAIN"
+	n, err := sysfault.Read(0, fd, buf) // want "EAGAIN"
 	if err != nil {
 		return -1
 	}
@@ -20,7 +20,7 @@ func seamBareRead(fd int, buf []byte) int {
 
 // bad: same for the write side.
 func seamBareWrite(fd int, buf []byte) bool {
-	n, err := sysfault.Write(fd, buf) // want "EAGAIN"
+	n, err := sysfault.Write(0, fd, buf) // want "EAGAIN"
 	if err != nil {
 		return false
 	}
@@ -30,7 +30,7 @@ func seamBareWrite(fd int, buf []byte) bool {
 // good: EAGAIN classified; no EINTR classification is demanded because
 // the wrapper's retry loop owns it.
 func seamClassifiedRead(fd int, buf []byte) int {
-	n, err := sysfault.Read(fd, buf)
+	n, err := sysfault.Read(0, fd, buf)
 	if err == syscall.EAGAIN {
 		return 0
 	}
@@ -42,7 +42,7 @@ func seamClassifiedRead(fd int, buf []byte) int {
 
 // good: errors.Is-free switch classification works for seam sites too.
 func seamAccept(lfd int) int {
-	fd, err := sysfault.Accept4(lfd, syscall.SOCK_NONBLOCK)
+	fd, err := sysfault.Accept4(0, lfd, syscall.SOCK_NONBLOCK)
 	switch err {
 	case syscall.EAGAIN:
 		return -1
@@ -55,13 +55,13 @@ func seamAccept(lfd int) int {
 // good: discarding the result is a deliberate decision, as with raw
 // syscalls.
 func seamFireAndForget(fd int) {
-	_, _ = sysfault.Write(fd, []byte{1})
+	_, _ = sysfault.Write(0, fd, []byte{1})
 }
 
 // good: EpollWait through the seam surfaces neither EINTR (absorbed)
 // nor EAGAIN (cannot happen), so a bare site is fine.
 func seamWait(epfd int, events []syscall.EpollEvent) int {
-	n, err := sysfault.EpollWait(epfd, events, -1)
+	n, err := sysfault.EpollWait(0, epfd, events, -1)
 	if err != nil {
 		return -1
 	}

@@ -6,3 +6,6 @@ import "sync/atomic"
 
 func atomicAdd(p *int64, d int64) { atomic.AddInt64(p, d) }
 func atomicLoad(p *int64) int64   { return atomic.LoadInt64(p) }
+func atomicCAS(p *int64, old, new int64) bool {
+	return atomic.CompareAndSwapInt64(p, old, new)
+}

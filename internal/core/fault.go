@@ -25,6 +25,12 @@ type Fault struct {
 	// into a best-effort 500 on that one connection, never a dead
 	// process.
 	Panic bool
+	// Spin busy-burns CPU on the serving thread for this long — a
+	// compute-heavy handler, as opposed to Delay's sleeping one. The
+	// distinction matters for the shard-scaling sweep: sleeping
+	// handlers overlap arbitrarily on one core, so only a spinning
+	// handler makes reply rate honestly proportional to real CPUs.
+	Spin time.Duration
 }
 
 // FaultFunc inspects a request path and returns the fault to inject

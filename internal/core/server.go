@@ -17,15 +17,31 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/reactor"
+	"repro/internal/sysfault"
 )
 
 // Config parameterizes the event-driven server.
 type Config struct {
 	// Port to listen on (0 picks a free port; see Server.Port).
 	Port int
-	// Workers is the number of reactor worker threads (the paper's key
-	// knob: 1–2 suffice on a uniprocessor, 2 on the 4-way SMP).
+	// Workers is the number of reactor worker threads under the legacy
+	// single-acceptor topology (the paper's key knob: 1–2 suffice on a
+	// uniprocessor, 2 on the 4-way SMP). Ignored when Shards > 0.
 	Workers int
+	// Shards selects the N-reactor sharded architecture: N independent
+	// event loops, each with its own epoll instance, wakeup pipe, timer
+	// wheel, connection table, and deterministic fault lane, accepting
+	// directly from the shared port via SO_REUSEPORT so the kernel
+	// hashes incoming connections across the shards with no shared
+	// accept lock. 0 keeps the legacy topology: one blocking acceptor
+	// thread fanning accepted fds out to Workers reactor loops.
+	Shards int
+	// AcceptFanout forces the single-acceptor fan-out path even when
+	// Shards > 0: each shard still runs its own loop, wheel, and fault
+	// lane, but accepted fds arrive over a lock-free SPSC ring from the
+	// acceptor thread instead of a per-shard listener. This is also the
+	// automatic fallback when the kernel rejects SO_REUSEPORT.
+	AcceptFanout bool
 	// Backlog is the listen(2) backlog.
 	Backlog int
 	// ReadBuf is the per-read buffer size.
@@ -58,6 +74,8 @@ type Config struct {
 	// excess accepts are answered with an immediate 503 and closed
 	// (counted in Stats.Shed) instead of queuing without bound — the
 	// *hard ceiling* for the connection-flood regime. 0 = unlimited.
+	// The cap is global across shards (enforced with a CAS, so N
+	// accepting shards cannot race past it together).
 	MaxConns int
 	// Admission, when non-nil, is the adaptive overload controller: it
 	// is consulted on every accept (before the MaxConns ceiling), and
@@ -66,7 +84,7 @@ type Config struct {
 	// Refused connections are shed with 503 + Retry-After + close.
 	Admission *overload.Controller
 	// Watchdog, when non-nil, monitors the acceptor and every reactor
-	// worker for wedged loops: each thread registers a heartbeat at
+	// shard for wedged loops: each thread registers a heartbeat at
 	// Start and brackets its work with Begin/End, so a handler that
 	// hangs the loop is flagged within roughly one watchdog interval.
 	// The watchdog is caller-owned (it may be shared across servers)
@@ -80,8 +98,10 @@ type Config struct {
 	// connection's lifecycle (accept, queue-wait, parse, handler,
 	// first-byte, write, close/shed/panic) is traced into its ring and
 	// the four phase latencies feed its histograms, all read live by the
-	// admin endpoint. Every recording site is behind this nil check, so
-	// a nil Obs costs nothing on the hot path.
+	// admin endpoint. Each shard records into its own per-shard phase
+	// block (obs.Plane.View) so the hot path stays uncontended; the
+	// admin read side merges the blocks bucketwise. Every recording
+	// site is behind a nil check, so a nil Obs costs nothing.
 	Obs *obs.Plane
 }
 
@@ -98,7 +118,11 @@ func DefaultConfig(store Store) Config {
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {
-	case c.Workers <= 0:
+	case c.Shards < 0:
+		return fmt.Errorf("core: negative Shards %d", c.Shards)
+	case c.Shards > sysfault.MaxLanes:
+		return fmt.Errorf("core: Shards %d exceeds the %d supported fault lanes", c.Shards, sysfault.MaxLanes)
+	case c.Shards == 0 && c.Workers <= 0:
 		return fmt.Errorf("core: Workers must be positive, got %d", c.Workers)
 	case c.Backlog <= 0:
 		return fmt.Errorf("core: Backlog must be positive, got %d", c.Backlog)
@@ -116,6 +140,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative MaxConns %d", c.MaxConns)
 	}
 	return nil
+}
+
+// shardCount is the number of event loops this configuration runs.
+func (c Config) shardCount() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return c.Workers
 }
 
 // Stats are the server's counters (all atomic; safe to read live).
@@ -162,13 +194,70 @@ type Stats struct {
 	SendfileFallbacks int64
 }
 
+// statBlock is one owner's set of server counters: each shard has its
+// own block (so the hot path never bounces a shared cache line between
+// loops) and the acceptor thread has one for the accept-side counters
+// it owns under fan-out. Server.Stats sums the blocks — plain
+// addition, so the merged view is exact, not sampled.
+type statBlock struct {
+	accepted          counter
+	replies           counter
+	bytesOut          counter
+	notFound          counter
+	badRequest        counter
+	idleCloses        counter
+	shed              counter
+	headerTimeouts    counter
+	notModified       counter
+	sendfileBytes     counter
+	handlerPanics     counter
+	acceptEMFILE      counter
+	acceptBackoffs    counter
+	writeStalls       counter
+	writeResets       counter
+	sendfileFallbacks counter
+}
+
+// addInto accumulates this block into st. ConnsOpen is not a block
+// field: it is the one genuinely global gauge (the MaxConns ceiling is
+// global), kept on the Server.
+func (b *statBlock) addInto(st *Stats) {
+	st.Accepted += b.accepted.get()
+	st.Replies += b.replies.get()
+	st.BytesOut += b.bytesOut.get()
+	st.NotFound += b.notFound.get()
+	st.BadRequest += b.badRequest.get()
+	st.IdleCloses += b.idleCloses.get()
+	st.Shed += b.shed.get()
+	st.HeaderTimeouts += b.headerTimeouts.get()
+	st.NotModified += b.notModified.get()
+	st.SendfileBytes += b.sendfileBytes.get()
+	st.HandlerPanics += b.handlerPanics.get()
+	st.AcceptEMFILE += b.acceptEMFILE.get()
+	st.AcceptBackoffs += b.acceptBackoffs.get()
+	st.WriteStalls += b.writeStalls.get()
+	st.WriteResets += b.writeResets.get()
+	st.SendfileFallbacks += b.sendfileFallbacks.get()
+}
+
 // Server is the live event-driven web server.
 type Server struct {
 	cfg  Config
-	lfd  int
 	port int
+	// lfd is the shared listener under fan-out; -1 in reuseport mode,
+	// where each shard owns its own listening socket instead.
+	lfd int
+	// shardLfds holds the per-shard SO_REUSEPORT listeners between
+	// NewServer and Start (Start hands them to the shards; a Stop
+	// before Start closes them here).
+	shardLfds []int
+	// fanout records the accept topology actually in effect: true for
+	// the single-acceptor path (legacy Workers mode, forced
+	// AcceptFanout, or SO_REUSEPORT unavailable).
+	fanout  bool
+	started bool
 
-	workers   []*worker
+	shards    []*shard
 	acceptor  *reactor.Poller
 	wg        sync.WaitGroup
 	stopping  chan struct{}
@@ -176,29 +265,21 @@ type Server struct {
 	draining  chan struct{}
 	drainOnce sync.Once
 
-	accepted       counter
-	replies        counter
-	bytesOut       counter
-	notFound       counter
-	badRequest     counter
-	connsOpen      counter
-	idleCloses     counter
-	shed           counter
-	headerTimeouts counter
-	notModified    counter
-	sendfileBytes  counter
-	handlerPanics  counter
-
-	acceptEMFILE      counter
-	acceptBackoffs    counter
-	writeStalls       counter
-	writeResets       counter
-	sendfileFallbacks counter
+	// connsOpen is the global open-connection gauge; tryAcquireConn
+	// CASes against it so the MaxConns ceiling holds exactly even with
+	// N shards accepting concurrently.
+	connsOpen counter
+	// acceptStats holds the accept-side counters owned by the fan-out
+	// acceptor thread (zero in reuseport mode, where shards accept).
+	acceptStats *statBlock
+	// obsAccept is the acceptor's observability view (shard-0 block).
+	obsAccept *obs.View
 
 	// reserveFD is one descriptor held on /dev/null purely so the
 	// acceptor can close it to free a slot when accept(2) reports
 	// EMFILE, accept-and-503 the pending connection, and re-arm.
-	// Owned by the acceptor thread once Start has run.
+	// Owned by the acceptor thread once Start has run; in reuseport
+	// mode each shard holds its own reserve instead.
 	reserveFD int
 }
 
@@ -207,25 +288,69 @@ type counter struct{ v int64 }
 
 func (c *counter) add(d int64) { atomicAdd(&c.v, d) }
 func (c *counter) get() int64  { return atomicLoad(&c.v) }
+func (c *counter) cas(old, new int64) bool {
+	return atomicCAS(&c.v, old, new)
+}
 
-// NewServer validates the configuration and binds the listener; call
-// Start to begin serving.
+// NewServer validates the configuration and binds the listener(s);
+// call Start to begin serving. In sharded mode every per-shard
+// SO_REUSEPORT listener is bound here, up front, so a port conflict or
+// an unsupported kernel surfaces before any thread starts; the kernel
+// begins hashing connections across the listeners the moment the first
+// shard loop runs.
 func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	lfd, port, err := reactor.Listen(cfg.Port, cfg.Backlog)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		cfg:       cfg,
-		lfd:       lfd,
-		port:      port,
-		stopping:  make(chan struct{}),
-		draining:  make(chan struct{}),
-		reserveFD: openReserve(),
+		cfg:         cfg,
+		lfd:         -1,
+		stopping:    make(chan struct{}),
+		draining:    make(chan struct{}),
+		acceptStats: &statBlock{},
+		reserveFD:   -1,
 	}
+	if pl := cfg.Obs; pl != nil {
+		s.obsAccept = pl.View(0)
+	}
+	fanout := cfg.Shards <= 0 || cfg.AcceptFanout
+	if !fanout {
+		port := cfg.Port
+		for i := 0; i < cfg.Shards; i++ {
+			lfd, p, err := reactor.ListenReusePort(port, cfg.Backlog)
+			if err != nil {
+				for _, fd := range s.shardLfds {
+					reactor.CloseFD(0, fd)
+				}
+				s.shardLfds = nil
+				if i == 0 {
+					// SO_REUSEPORT itself may be what failed (old
+					// kernel); the fan-out path needs no such support,
+					// so fall back rather than refuse to serve. A
+					// plain bind conflict fails again below and is
+					// reported from there.
+					fanout = true
+					break
+				}
+				return nil, err
+			}
+			port = p
+			s.shardLfds = append(s.shardLfds, lfd)
+		}
+		if !fanout {
+			s.port = port
+		}
+	}
+	if fanout {
+		lfd, port, err := reactor.Listen(cfg.Port, cfg.Backlog)
+		if err != nil {
+			return nil, err
+		}
+		s.lfd = lfd
+		s.port = port
+		s.reserveFD = openReserve()
+	}
+	s.fanout = fanout
 	return s, nil
 }
 
@@ -246,52 +371,95 @@ func (s *Server) Port() int { return s.port }
 // Addr returns the listen address.
 func (s *Server) Addr() string { return fmt.Sprintf("127.0.0.1:%d", s.port) }
 
-// Stats returns a snapshot of the counters.
-func (s *Server) Stats() Stats {
-	return Stats{
-		Accepted:       s.accepted.get(),
-		Replies:        s.replies.get(),
-		BytesOut:       s.bytesOut.get(),
-		NotFound:       s.notFound.get(),
-		BadRequest:     s.badRequest.get(),
-		ConnsOpen:      s.connsOpen.get(),
-		IdleCloses:     s.idleCloses.get(),
-		Shed:           s.shed.get(),
-		HeaderTimeouts: s.headerTimeouts.get(),
-		NotModified:    s.notModified.get(),
-		SendfileBytes:  s.sendfileBytes.get(),
-		HandlerPanics:  s.handlerPanics.get(),
+// NumShards returns the number of event loops this server runs.
+func (s *Server) NumShards() int { return s.cfg.shardCount() }
 
-		AcceptEMFILE:      s.acceptEMFILE.get(),
-		AcceptBackoffs:    s.acceptBackoffs.get(),
-		WriteStalls:       s.writeStalls.get(),
-		WriteResets:       s.writeResets.get(),
-		SendfileFallbacks: s.sendfileFallbacks.get(),
+// AcceptMode reports how connections reach the shards: "reuseport"
+// (kernel accept sharding, each shard accepts from its own listener)
+// or "fanout" (one acceptor thread distributing over SPSC rings).
+func (s *Server) AcceptMode() string {
+	if s.fanout {
+		return "fanout"
+	}
+	return "reuseport"
+}
+
+// Stats returns a snapshot of the counters, summed across the accept
+// side and every shard. Each addend is an atomic counter and the
+// blocks are merged by plain addition, so the snapshot is exact up to
+// the usual torn-read-across-counters caveat any live scrape has.
+func (s *Server) Stats() Stats {
+	var st Stats
+	s.acceptStats.addInto(&st)
+	for _, w := range s.shards {
+		w.stats.addInto(&st)
+	}
+	st.ConnsOpen = s.connsOpen.get()
+	return st
+}
+
+// ShardStats returns shard i's own counters. ConnsOpen is a global
+// gauge and reported as 0 here; read it from Stats. Valid after Start.
+func (s *Server) ShardStats(i int) Stats {
+	var st Stats
+	s.shards[i].stats.addInto(&st)
+	return st
+}
+
+// tryAcquireConn claims one connsOpen slot under the MaxConns ceiling,
+// reporting false when the server is full. With MaxConns unset it is a
+// plain increment; with a ceiling it is a CAS loop, so concurrent
+// accepting shards cannot overshoot the cap together.
+func (s *Server) tryAcquireConn() bool {
+	mc := s.cfg.MaxConns
+	if mc <= 0 {
+		s.connsOpen.add(1)
+		return true
+	}
+	for {
+		cur := s.connsOpen.get()
+		if cur >= int64(mc) {
+			return false
+		}
+		if s.connsOpen.cas(cur, cur+1) {
+			return true
+		}
 	}
 }
 
-// Start launches the acceptor and worker threads.
+// Start launches the shard threads (and, under fan-out, the acceptor).
 func (s *Server) Start() error {
-	ap, err := reactor.NewPoller(64)
-	if err != nil {
-		return err
-	}
-	s.acceptor = ap
-	if err := ap.Add(s.lfd, true, false); err != nil {
-		ap.Close()
-		return err
-	}
-	for i := 0; i < s.cfg.Workers; i++ {
-		w, err := newWorker(s, i)
-		if err != nil {
-			ap.Close()
-			for _, prev := range s.workers {
-				prev.poller.Close()
+	n := s.cfg.shardCount()
+	fail := func(err error) error {
+		for _, w := range s.shards {
+			w.poller.Close()
+			if w.reserve >= 0 {
+				reactor.CloseFD(w.lane, w.reserve)
+				w.reserve = -1
 			}
-			return err
 		}
-		s.workers = append(s.workers, w)
+		s.shards = nil
+		return err
 	}
+	for i := 0; i < n; i++ {
+		w, err := newShard(s, i)
+		if err != nil {
+			return fail(err)
+		}
+		s.shards = append(s.shards, w)
+	}
+	if s.fanout {
+		ap, err := reactor.NewPoller(64)
+		if err != nil {
+			return fail(err)
+		}
+		if err := ap.Add(s.lfd, true, false); err != nil {
+			ap.Close()
+			return fail(err)
+		}
+		s.acceptor = ap
+	}
+	s.started = true
 	// Date-header ticker: one refresh per second, server-wide.
 	s.wg.Add(1)
 	go func() {
@@ -307,33 +475,45 @@ func (s *Server) Start() error {
 			}
 		}
 	}()
-	for _, w := range s.workers {
+	for _, w := range s.shards {
 		s.wg.Add(1)
 		go w.loop()
 	}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	if s.fanout {
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
 	return nil
 }
 
 // Stop shuts the server down and waits for all threads to exit. Safe to
-// call before Start: the bound listener is closed so the fd does not
+// call before Start: the bound listeners are closed so the fds do not
 // leak, and nothing is waited on.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopping)
-		if s.acceptor == nil {
-			// Never started: no acceptor owns the listen fd (or the
-			// reserve) yet, so they must be closed here or they leak.
-			reactor.CloseFD(s.lfd)
+		if !s.started {
+			// Never (fully) started: no thread owns the listeners or
+			// the reserve yet, so they must be closed here or they
+			// leak.
+			if s.lfd >= 0 {
+				reactor.CloseFD(0, s.lfd)
+				s.lfd = -1
+			}
+			for _, fd := range s.shardLfds {
+				reactor.CloseFD(0, fd)
+			}
+			s.shardLfds = nil
 			if s.reserveFD >= 0 {
-				reactor.CloseFD(s.reserveFD)
+				reactor.CloseFD(0, s.reserveFD)
 				s.reserveFD = -1
 			}
 			return
 		}
-		s.acceptor.Wakeup()
-		for _, w := range s.workers {
+		if s.acceptor != nil {
+			s.acceptor.Wakeup()
+		}
+		for _, w := range s.shards {
 			w.poller.Wakeup()
 		}
 	})
@@ -349,9 +529,11 @@ func (s *Server) Stop() {
 func (s *Server) Drain(timeout time.Duration) bool {
 	s.drainOnce.Do(func() {
 		close(s.draining)
-		if s.acceptor != nil {
-			s.acceptor.Wakeup()
-			for _, w := range s.workers {
+		if s.started {
+			if s.acceptor != nil {
+				s.acceptor.Wakeup()
+			}
+			for _, w := range s.shards {
 				w.poller.Wakeup()
 			}
 		}
@@ -369,16 +551,18 @@ func (s *Server) Drain(timeout time.Duration) bool {
 	return drained
 }
 
-// acceptLoop is the acceptor thread: it blocks in readiness selection on
-// the listener and hands accepted fds to workers round-robin — the same
-// split the paper's nio server uses (one acceptor + N workers).
+// acceptLoop is the fan-out acceptor thread: it blocks in readiness
+// selection on the shared listener and hands accepted fds to shards
+// round-robin over their SPSC rings — the same split the paper's nio
+// server uses (one acceptor + N workers). All its syscalls run on
+// fault lane 0, the legacy deterministic stream.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	defer s.acceptor.Close()
-	defer reactor.CloseFD(s.lfd)
+	defer reactor.CloseFD(0, s.lfd)
 	defer func() {
 		if s.reserveFD >= 0 {
-			reactor.CloseFD(s.reserveFD)
+			reactor.CloseFD(0, s.reserveFD)
 			s.reserveFD = -1
 		}
 	}()
@@ -398,7 +582,7 @@ func (s *Server) acceptLoop() {
 		case <-s.stopping:
 			return
 		case <-s.draining:
-			return // drain: stop accepting; workers finish in-flight work
+			return // drain: stop accepting; shards finish in-flight work
 		default:
 		}
 		evs, err := s.acceptor.Wait(-1)
@@ -410,17 +594,17 @@ func (s *Server) acceptLoop() {
 			hb.Begin()
 		}
 		for {
-			fd, done, err := reactor.Accept(s.lfd)
+			fd, done, err := reactor.Accept(0, s.lfd)
 			if err != nil {
 				if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
 					// Descriptor exhaustion: recover via the reserve, then
 					// back off. The listener stays readable (level-
 					// triggered) while the table is full, so retrying
 					// immediately would spin the acceptor dry; the gate
-					// trades accept latency for CPU the workers need to
+					// trades accept latency for CPU the shards need to
 					// finish responses and free descriptors.
-					s.acceptEMFILE.add(1)
-					s.recoverFDExhaustion()
+					s.acceptStats.acceptEMFILE.add(1)
+					s.recoverFDExhaustion(0, s.lfd, &s.reserveFD, s.acceptStats, s.obsAccept)
 					if backoff = s.acceptGate(hb, backoff); backoff < 0 {
 						return // stopping
 					}
@@ -443,31 +627,28 @@ func (s *Server) acceptLoop() {
 				continue // transient (ECONNABORTED): the peer gave up first
 			}
 			backoff = 0
-			s.accepted.add(1)
+			s.acceptStats.accepted.add(1)
 			// Adaptive admission first: the controller's token bucket
 			// paces accepts against its latency target. Shed clients are
 			// told when to come back.
 			if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
-				s.shed.add(1)
-				if pl := s.cfg.Obs; pl != nil {
-					pl.Record(0, obs.Shed, 0)
+				s.acceptStats.shed.add(1)
+				if v := s.obsAccept; v != nil {
+					v.Record(0, obs.Shed, 0)
 				}
-				shedConn(fd, ac.RetryAfterSeconds())
+				shedConn(0, fd, ac.RetryAfterSeconds())
 				continue
 			}
-			// MaxConns stays as the hard ceiling above the controller:
-			// connsOpen is incremented here, on the single acceptor
-			// thread, so the cap cannot be raced past.
-			if mc := s.cfg.MaxConns; mc > 0 && s.connsOpen.get() >= int64(mc) {
-				s.shed.add(1)
-				if pl := s.cfg.Obs; pl != nil {
-					pl.Record(0, obs.Shed, 0)
+			// MaxConns stays as the hard ceiling above the controller.
+			if !s.tryAcquireConn() {
+				s.acceptStats.shed.add(1)
+				if v := s.obsAccept; v != nil {
+					v.Record(0, obs.Shed, 0)
 				}
-				shedConn(fd, shedRetryAfterSec)
+				shedConn(0, fd, shedRetryAfterSec)
 				continue
 			}
-			s.connsOpen.add(1)
-			w := s.workers[rr%len(s.workers)]
+			w := s.shards[rr%len(s.shards)]
 			rr++
 			w.give(fd)
 		}
@@ -486,17 +667,17 @@ const shedRetryAfterSec = 1
 // instead of hammering — and an immediate close. The socket is fresh, so
 // the non-blocking write of the short header virtually always lands in
 // the empty send buffer.
-func shedConn(fd int, retryAfterSec int) {
+func shedConn(lane sysfault.Lane, fd int, retryAfterSec int) {
 	resp := httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
 		httpwire.Header{Name: "Retry-After", Value: strconv.Itoa(retryAfterSec)})
-	_, _, _ = reactor.Write(fd, resp)
-	reactor.CloseFD(fd)
+	_, _, _ = reactor.Write(lane, fd, resp)
+	reactor.CloseFD(lane, fd)
 }
 
 // docrootPressureEvictions is how many cached entries (and so shared
-// file descriptors) the acceptor asks the docroot to give back per
-// EMFILE event — enough to make real room, small enough not to dump a
-// warm cache over one transient spike.
+// file descriptors) the accepting thread asks the docroot to give back
+// per EMFILE event — enough to make real room, small enough not to
+// dump a warm cache over one transient spike.
 const docrootPressureEvictions = 8
 
 // recoverFDExhaustion is the reserve-descriptor dance: close the
@@ -507,25 +688,28 @@ const docrootPressureEvictions = 8
 // accept queue until a descriptor freed by chance. When a docroot is
 // configured, the cache is also asked to shed a few entries — cached
 // content pins file descriptors, and under EMFILE giving those back
-// attacks the exhaustion itself rather than just the symptom.
-func (s *Server) recoverFDExhaustion() {
+// attacks the exhaustion itself rather than just the symptom. The
+// caller passes its own lane, listener, reserve slot, counters, and
+// observability view: the fan-out acceptor and every reuseport shard
+// run the identical recovery against their own listener.
+func (s *Server) recoverFDExhaustion(lane sysfault.Lane, lfd int, reserve *int, st *statBlock, v *obs.View) {
 	if dr := s.cfg.Docroot; dr != nil {
 		dr.ShedFDs(docrootPressureEvictions)
 	}
-	if s.reserveFD < 0 {
+	if *reserve < 0 {
 		return
 	}
-	reactor.CloseFD(s.reserveFD)
-	s.reserveFD = -1
-	fd, done, err := reactor.Accept(s.lfd)
+	reactor.CloseFD(lane, *reserve)
+	*reserve = -1
+	fd, done, err := reactor.Accept(lane, lfd)
 	if err == nil && !done && fd >= 0 {
-		s.shed.add(1)
-		if pl := s.cfg.Obs; pl != nil {
-			pl.Record(0, obs.Shed, 0)
+		st.shed.add(1)
+		if v != nil {
+			v.Record(0, obs.Shed, 0)
 		}
-		shedConn(fd, shedRetryAfterSec)
+		shedConn(lane, fd, shedRetryAfterSec)
 	}
-	s.reserveFD = openReserve()
+	*reserve = openReserve()
 }
 
 // Accept-gate backoff bounds: exponential from 5ms, capped at 250ms,
@@ -535,18 +719,20 @@ const (
 	acceptBackoffMax = 250 * time.Millisecond
 )
 
-// acceptGate pauses the acceptor after a resource-exhausted accept,
-// doubling the pause up to the cap. It returns the next backoff to
-// use, or a negative duration if the server is stopping. The
-// heartbeat span is closed across the pause — a gated acceptor is
-// parked, not wedged, and must not trip the watchdog.
+// acceptGate pauses the fan-out acceptor after a resource-exhausted
+// accept, doubling the pause up to the cap. It returns the next
+// backoff to use, or a negative duration if the server is stopping.
+// The heartbeat span is closed across the pause — a gated acceptor is
+// parked, not wedged, and must not trip the watchdog. (Reuseport
+// shards gate differently — they must never block their event loop —
+// see shard.gateAccept.)
 func (s *Server) acceptGate(hb *overload.Heartbeat, backoff time.Duration) time.Duration {
 	if backoff < acceptBackoffMin {
 		backoff = acceptBackoffMin
 	} else if backoff *= 2; backoff > acceptBackoffMax {
 		backoff = acceptBackoffMax
 	}
-	s.acceptBackoffs.add(1)
+	s.acceptStats.acceptBackoffs.add(1)
 	if hb != nil {
 		hb.End()
 	}
@@ -587,7 +773,7 @@ type outSeg struct {
 	fallback bool
 }
 
-// conn is the per-connection state owned by exactly one worker.
+// conn is the per-connection state owned by exactly one shard.
 //
 //nio:loop-owned
 type conn struct {
@@ -601,19 +787,22 @@ type conn struct {
 	writeArm bool // EPOLLOUT currently requested
 	closing  bool // close once out drains (400 or Connection: close)
 	closed   bool // torn down; output must never be queued again
-	replies  int64
+	// wheeled marks the connection as filed in its shard's timer wheel
+	// (at most one entry per connection; see wheel.go).
+	wheeled bool
+	replies int64
 	// lastActive is when the connection last made progress; the idle
-	// sweeper (only armed when Config.IdleTimeout > 0) compares it.
+	// policy (only armed when Config.IdleTimeout > 0) compares it.
 	lastActive time.Time
-	// acceptedAt is when the connection was handed to this worker;
-	// observed flips once the accept-to-first-response latency has been
-	// reported to the admission controller (once per connection).
+	// acceptedAt is when the connection was accepted; observed flips
+	// once the accept-to-first-response latency has been reported to
+	// the admission controller (once per connection).
 	acceptedAt time.Time
 	observed   bool
 	// headerStart, when non-zero, is when the connection started owing
 	// us a complete request: set at accept and whenever a partial
 	// request is buffered, cleared once a request completes and nothing
-	// partial remains. The header sweeper (armed when
+	// partial remains. The header policy (armed when
 	// Config.HeaderTimeout > 0) resets connections that exceed it.
 	headerStart time.Time
 	// Observability-plane state, only maintained when Config.Obs is set:
@@ -628,15 +817,35 @@ type conn struct {
 	firstByte    bool
 }
 
-// worker is one reactor thread.
-type worker struct {
+// shard is one reactor event loop: its own poller (epoll fd + wakeup
+// pipe), its own connection table, timer wheel, scratch buffers,
+// counters, observability view, and deterministic fault lane. In
+// reuseport mode it also owns a listening socket and accepts directly;
+// under fan-out it receives accepted fds over its SPSC ring.
+type shard struct {
 	srv    *Server
+	idx    int
+	lane   sysfault.Lane
 	poller *reactor.Poller
+	// stats is this shard's counter block (merged by Server.Stats).
+	stats *statBlock
+	// obs is this shard's observability view: trace ring and kind
+	// counts are shared (lock-free), phase histograms are per-shard
+	// blocks merged at read time. nil when Config.Obs is nil.
+	obs *obs.View
+	// lfd is this shard's own SO_REUSEPORT listener; -1 under fan-out
+	// or once the listener has been closed (drain, fatal accept error).
+	lfd int
+	// reserve is this shard's EMFILE reserve descriptor (reuseport
+	// mode; -1 under fan-out, where the acceptor holds the reserve).
+	reserve int
+	// ring is the SPSC handoff from the acceptor (fan-out mode; nil in
+	// reuseport mode).
+	ring *spscRing
 	// conns is this loop's connection table — the state reactor
 	// sharding partitions, so it must never be touched off-loop.
 	//nio:loop-owned
 	conns map[int]*conn
-	inbox chan pendingConn
 	//nio:loop-owned
 	buf []byte
 	// fbuf is the lazily-allocated scratch for buffered sendfile
@@ -658,19 +867,61 @@ type worker struct {
 	// every pass through the hot loop.
 	//nio:loop-owned
 	loopTicks uint64
+	// wheel is this shard's timer wheel (nil when neither timeout knob
+	// is configured).
+	//nio:loop-owned
+	wheel *timerWheel
+	// Accept-gate state (reuseport mode): after a resource-exhausted
+	// accept the listener is REMOVED from the interest set and re-added
+	// when the gate expires — the loop must keep serving its existing
+	// connections, so it can never park in a blocking sleep the way the
+	// dedicated acceptor thread does.
+	//nio:loop-owned
+	acceptGated bool
+	//nio:loop-owned
+	gateUntil time.Time
+	//nio:loop-owned
+	gateBackoff time.Duration
 }
 
-func newWorker(s *Server, idx int) (*worker, error) {
-	p, err := reactor.NewPoller(1024)
+func newShard(s *Server, idx int) (*shard, error) {
+	lane := sysfault.Lane(0)
+	if s.cfg.Shards > 0 {
+		// Shard i draws fault decisions from lane i: independent
+		// deterministic streams per loop, with shard 0 on the legacy
+		// stream so a single-shard server replays byte-identically to
+		// the pre-sharding server. Legacy Workers mode keeps every
+		// loop on lane 0, the historical behavior.
+		lane = sysfault.Lane(idx)
+	}
+	p, err := reactor.NewPollerLane(1024, lane)
 	if err != nil {
 		return nil, err
 	}
-	w := &worker{
-		srv:    s,
-		poller: p,
-		conns:  make(map[int]*conn),
-		inbox:  make(chan pendingConn, 4096),
-		buf:    make([]byte, s.cfg.ReadBuf),
+	w := &shard{
+		srv:     s,
+		idx:     idx,
+		lane:    lane,
+		poller:  p,
+		stats:   &statBlock{},
+		lfd:     -1,
+		reserve: -1,
+		conns:   make(map[int]*conn),
+		buf:     make([]byte, s.cfg.ReadBuf),
+		wheel:   newTimerWheel(s.cfg, time.Now()),
+	}
+	if s.fanout {
+		w.ring = newSPSCRing(4096)
+	} else {
+		w.lfd = s.shardLfds[idx]
+		if err := p.Add(w.lfd, true, false); err != nil {
+			p.Close()
+			return nil, err
+		}
+		w.reserve = openReserve()
+	}
+	if pl := s.cfg.Obs; pl != nil {
+		w.obs = pl.View(idx)
 	}
 	if wd := s.cfg.Watchdog; wd != nil {
 		w.hb = wd.Register(fmt.Sprintf("core-worker-%d", idx))
@@ -678,52 +929,37 @@ func newWorker(s *Server, idx int) (*worker, error) {
 	return w, nil
 }
 
-// pendingConn is an accepted fd in flight to a worker, stamped with its
+// pendingConn is an accepted fd in flight to a shard, stamped with its
 // accept time so the admission controller's latency clock covers the
-// inbox wait as well as the event-loop lag.
+// ring wait as well as the event-loop lag.
 type pendingConn struct {
 	fd int
 	at time.Time
 }
 
-// give transfers an accepted fd to this worker (called from the acceptor
+// give transfers an accepted fd to this shard (called from the acceptor
 // thread; Selector.wakeup semantics). The acceptor has already counted
 // the connection in connsOpen, so every failure path must uncount it.
-func (w *worker) give(fd int) {
-	select {
-	case w.inbox <- pendingConn{fd: fd, at: time.Now()}:
-		w.poller.Wakeup()
-	default:
-		// Inbox overflow: shed the connection rather than block the
+func (w *shard) give(fd int) {
+	if !w.ring.push(pendingConn{fd: fd, at: time.Now()}) {
+		// Ring overflow: shed the connection rather than block the
 		// acceptor; this mirrors a full pending-registration queue.
-		reactor.CloseFD(fd)
+		reactor.CloseFD(0, fd)
 		w.srv.connsOpen.add(-1)
+		return
 	}
+	w.poller.Wakeup()
 }
 
-// loop is the worker thread body: a classic reactor loop.
+// loop is the shard thread body: a classic reactor loop.
 //
 //nio:loop
-func (w *worker) loop() {
+func (w *shard) loop() {
 	defer w.srv.wg.Done()
 	defer w.shutdown()
 	// Dedicated reactor thread (see acceptLoop).
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
-	// With an idle or header timeout configured, the selector wait is
-	// bounded so the worker can sweep offending connections
-	// (Selector.select(timeout)).
-	waitMs := -1
-	sweep := w.srv.cfg.IdleTimeout
-	if ht := w.srv.cfg.HeaderTimeout; ht > 0 && (sweep == 0 || ht < sweep) {
-		sweep = ht
-	}
-	if sweep > 0 {
-		waitMs = int(sweep.Milliseconds() / 2)
-		if waitMs < 10 {
-			waitMs = 10
-		}
-	}
 	for {
 		if w.hb != nil {
 			w.hb.Begin()
@@ -753,25 +989,29 @@ func (w *worker) loop() {
 		if w.draining && len(w.conns) == 0 {
 			return // drained: every in-flight response has flushed
 		}
+		now := time.Now()
+		w.reArmAccept(now)
 		// The poller wait is a legitimate park, not work: close the
 		// heartbeat span so an idle loop is never mistaken for a wedge.
 		if w.hb != nil {
 			w.hb.End()
 		}
-		evs, err := w.poller.Wait(waitMs)
+		evs, err := w.poller.Wait(w.waitMs(now))
 		if err != nil {
 			return
 		}
 		if w.hb != nil {
 			w.hb.Begin()
 		}
-		if w.srv.cfg.IdleTimeout > 0 {
-			w.sweepIdle()
-		}
-		if w.srv.cfg.HeaderTimeout > 0 && !w.draining {
-			w.sweepHeaders()
-		}
+		now = time.Now()
+		w.advanceWheel(now)
 		for _, ev := range evs {
+			if w.lfd >= 0 && ev.FD == w.lfd {
+				if !w.draining {
+					w.acceptReady(now)
+				}
+				continue
+			}
 			c, ok := w.conns[ev.FD]
 			if !ok {
 				continue
@@ -790,27 +1030,179 @@ func (w *worker) loop() {
 	}
 }
 
+// waitMs bounds the poller wait: one wheel tick while timers are
+// pending, the gate remainder while the listener is gated, else block
+// indefinitely (pure event-driven park).
+func (w *shard) waitMs(now time.Time) int {
+	ms := -1
+	if wh := w.wheel; wh != nil && wh.count > 0 {
+		ms = int(wh.tick.Milliseconds())
+		if ms < 1 {
+			ms = 1
+		}
+	}
+	if w.acceptGated {
+		g := int(w.gateUntil.Sub(now).Milliseconds()) + 1
+		if g < 1 {
+			g = 1
+		}
+		if ms < 0 || g < ms {
+			ms = g
+		}
+	}
+	return ms
+}
+
+// acceptReady drains this shard's own listener — the reuseport accept
+// path, running ON the event loop, so every error is absorbed without
+// ever blocking: exhaustion gates the listener (poller removal + timed
+// re-add), it never sleeps.
+func (w *shard) acceptReady(now time.Time) {
+	s := w.srv
+	for {
+		fd, done, err := reactor.Accept(w.lane, w.lfd)
+		if err != nil {
+			if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+				w.stats.acceptEMFILE.add(1)
+				s.recoverFDExhaustion(w.lane, w.lfd, &w.reserve, w.stats, w.obs)
+				w.gateAccept(now)
+				return
+			}
+			if errors.Is(err, syscall.ENOBUFS) || errors.Is(err, syscall.ENOMEM) {
+				w.gateAccept(now)
+				return
+			}
+			// Listener broken: drop it. The shard keeps serving its
+			// existing connections; its siblings keep accepting.
+			if !w.acceptGated {
+				w.poller.Remove(w.lfd)
+			}
+			reactor.CloseFD(w.lane, w.lfd)
+			w.lfd = -1
+			w.acceptGated = false
+			return
+		}
+		if done {
+			return
+		}
+		if fd < 0 {
+			continue // transient (ECONNABORTED): the peer gave up first
+		}
+		w.gateBackoff = 0
+		w.stats.accepted.add(1)
+		if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
+			w.stats.shed.add(1)
+			if v := w.obs; v != nil {
+				v.Record(0, obs.Shed, 0)
+			}
+			shedConn(w.lane, fd, ac.RetryAfterSeconds())
+			continue
+		}
+		if !s.tryAcquireConn() {
+			w.stats.shed.add(1)
+			if v := w.obs; v != nil {
+				v.Record(0, obs.Shed, 0)
+			}
+			shedConn(w.lane, fd, shedRetryAfterSec)
+			continue
+		}
+		w.adopt(fd, now)
+	}
+}
+
+// gateAccept pauses this shard's accepting after a resource-exhausted
+// accept: the listener leaves the interest set (level-triggered, it
+// would wake the loop hot otherwise) and reArmAccept restores it when
+// the exponential backoff expires. Unlike the acceptor thread's gate
+// this never blocks — the loop keeps serving its connections.
+func (w *shard) gateAccept(now time.Time) {
+	b := w.gateBackoff
+	if b < acceptBackoffMin {
+		b = acceptBackoffMin
+	} else if b *= 2; b > acceptBackoffMax {
+		b = acceptBackoffMax
+	}
+	w.gateBackoff = b
+	w.stats.acceptBackoffs.add(1)
+	if !w.acceptGated {
+		w.acceptGated = true
+		w.poller.Remove(w.lfd)
+	}
+	w.gateUntil = now.Add(b)
+}
+
+// reArmAccept restores a gated listener to the interest set once the
+// backoff has expired.
+func (w *shard) reArmAccept(now time.Time) {
+	if !w.acceptGated || now.Before(w.gateUntil) {
+		return
+	}
+	w.acceptGated = false
+	if w.lfd >= 0 && !w.draining {
+		if err := w.poller.Add(w.lfd, true, false); err != nil {
+			reactor.CloseFD(w.lane, w.lfd)
+			w.lfd = -1
+		}
+	}
+}
+
+// adopt registers a freshly accepted (or ring-delivered) connection
+// with this shard: conn state, poller interest, observability birth
+// events, and its first timer-wheel deadline. at is the accept stamp;
+// for ring deliveries the gap to now is the fan-out ride the
+// queue-wait phase accounts for.
+func (w *shard) adopt(fd int, at time.Time) {
+	now := time.Now()
+	c := &conn{fd: fd, lastActive: now, headerStart: now, acceptedAt: at}
+	if err := w.poller.Add(fd, true, false); err != nil {
+		reactor.CloseFD(w.lane, fd)
+		w.srv.connsOpen.add(-1)
+		return
+	}
+	w.conns[fd] = c
+	if v := w.obs; v != nil {
+		c.obsID = v.NextConnID()
+		v.Record(c.obsID, obs.Accept, 0)
+		v.Record(c.obsID, obs.QueueWait, now.Sub(at))
+	}
+	w.scheduleTimeout(c, now)
+}
+
 // assertInterest checks the reactor's connection table against the
 // poller's interest-set shadow — only under -tags invariants, where the
 // shadow is real. Every registered connection must be in the kernel's
 // interest set, and the set must hold exactly the connections plus the
-// wakeup pipe; drift either way means events for a connection the
-// worker no longer owns, or a connection that can never wake again.
-func (w *worker) assertInterest() {
+// wakeup pipe (plus this shard's listener when it is armed); drift
+// either way means events for a connection the shard no longer owns,
+// or a connection that can never wake again.
+func (w *shard) assertInterest() {
 	for fd := range w.conns {
 		invariant.Assertf(w.poller.HasInterest(fd),
 			"core: conn fd %d in table but missing from epoll interest set", fd)
 	}
-	invariant.Assertf(w.poller.InterestCount() == len(w.conns)+1,
-		"core: epoll interest set has %d fds, want %d conns + wakeup pipe",
-		w.poller.InterestCount(), len(w.conns))
+	expected := len(w.conns) + 1
+	if w.lfd >= 0 && !w.acceptGated {
+		expected++
+	}
+	invariant.Assertf(w.poller.InterestCount() == expected,
+		"core: epoll interest set has %d fds, want %d",
+		w.poller.InterestCount(), expected)
 }
 
-// beginDrain flips the worker into drain mode: idle connections close
-// immediately; connections with queued output stop reading (their read
-// interest is dropped) and close once their responses flush.
-func (w *worker) beginDrain() {
+// beginDrain flips the shard into drain mode: the listener closes,
+// idle connections close immediately; connections with queued output
+// stop reading (their read interest is dropped) and close once their
+// responses flush.
+func (w *shard) beginDrain() {
 	w.draining = true
+	if w.lfd >= 0 {
+		if !w.acceptGated {
+			w.poller.Remove(w.lfd)
+		}
+		reactor.CloseFD(w.lane, w.lfd)
+		w.lfd = -1
+		w.acceptGated = false
+	}
 	for _, c := range w.conns {
 		if len(c.out) == 0 {
 			w.closeConn(c)
@@ -822,68 +1214,69 @@ func (w *worker) beginDrain() {
 	}
 }
 
-func (w *worker) shutdown() {
+func (w *shard) shutdown() {
 	for _, c := range w.conns {
-		reactor.CloseFD(c.fd)
+		reactor.CloseFD(w.lane, c.fd)
 		w.srv.connsOpen.add(-1)
-		if pl := w.srv.cfg.Obs; pl != nil && c.obsID != 0 {
-			pl.Record(c.obsID, obs.Close, 0)
+		if v := w.obs; v != nil && c.obsID != 0 {
+			v.Record(c.obsID, obs.Close, 0)
 		}
 		releaseOut(c)
 	}
 	w.conns = nil
+	if w.lfd >= 0 {
+		if !w.acceptGated {
+			w.poller.Remove(w.lfd)
+		}
+		reactor.CloseFD(w.lane, w.lfd)
+		w.lfd = -1
+	}
+	if w.reserve >= 0 {
+		reactor.CloseFD(w.lane, w.reserve)
+		w.reserve = -1
+	}
 	// Connections handed over but never registered still hold a
 	// connsOpen slot; release them too.
-	for {
-		select {
-		case p := <-w.inbox:
-			reactor.CloseFD(p.fd)
+	if w.ring != nil {
+		for {
+			p, ok := w.ring.pop()
+			if !ok {
+				break
+			}
+			reactor.CloseFD(w.lane, p.fd)
 			w.srv.connsOpen.add(-1)
-		default:
-			w.poller.Close()
-			return
 		}
 	}
+	w.poller.Close()
 }
 
-func (w *worker) drainInbox() {
+// drainInbox adopts every fd the acceptor has pushed onto the SPSC
+// ring (fan-out mode only; reuseport shards accept for themselves).
+func (w *shard) drainInbox() {
+	if w.ring == nil {
+		return
+	}
 	for {
-		select {
-		case p := <-w.inbox:
-			if w.draining {
-				// Raced in just as the drain began: shed it.
-				reactor.CloseFD(p.fd)
-				w.srv.connsOpen.add(-1)
-				continue
-			}
-			now := time.Now()
-			c := &conn{fd: p.fd, lastActive: now, headerStart: now, acceptedAt: p.at}
-			if err := w.poller.Add(p.fd, true, false); err != nil {
-				reactor.CloseFD(p.fd)
-				w.srv.connsOpen.add(-1)
-				continue
-			}
-			w.conns[p.fd] = c
-			if pl := w.srv.cfg.Obs; pl != nil {
-				// Queue-wait on the reactor is the inbox ride from the
-				// acceptor to this worker — the lag an overloaded event
-				// loop accrues before a connection is even registered.
-				c.obsID = pl.NextConnID()
-				pl.Record(c.obsID, obs.Accept, 0)
-				pl.Record(c.obsID, obs.QueueWait, now.Sub(p.at))
-			}
-		default:
+		p, ok := w.ring.pop()
+		if !ok {
 			return
 		}
+		if w.draining {
+			// Raced in just as the drain began: shed it.
+			reactor.CloseFD(w.lane, p.fd)
+			w.srv.connsOpen.add(-1)
+			continue
+		}
+		w.adopt(p.fd, p.at)
 	}
 }
 
 // readable drains the socket and serves every parsed request.
-func (w *worker) readable(c *conn) {
-	pl := w.srv.cfg.Obs
+func (w *shard) readable(c *conn) {
+	v := w.obs
 	c.lastActive = time.Now()
 	for {
-		n, eof, again, err := reactor.Read(c.fd, w.buf)
+		n, eof, again, err := reactor.Read(w.lane, c.fd, w.buf)
 		if err != nil || eof {
 			w.closeConn(c)
 			return
@@ -891,18 +1284,18 @@ func (w *worker) readable(c *conn) {
 		if again {
 			break
 		}
-		if pl != nil && n > 0 && c.reqStart.IsZero() {
+		if v != nil && n > 0 && c.reqStart.IsZero() {
 			c.reqStart = time.Now()
-			pl.Record(c.obsID, obs.HeaderRead, 0)
+			v.Record(c.obsID, obs.HeaderRead, 0)
 		}
 		w.reqs = w.reqs[:0]
 		reqs, perr := c.parser.Feed(w.reqs, w.buf[:n])
 		w.reqs = reqs
 		panicked := false
 		for _, req := range reqs {
-			if pl != nil {
+			if v != nil {
 				now := time.Now()
-				pl.Record(c.obsID, obs.Parse, now.Sub(c.reqStart))
+				v.Record(c.obsID, obs.Parse, now.Sub(c.reqStart))
 				// Pipelined followers in the same batch parse from here,
 				// so their parse phase reflects only their own cost.
 				c.reqStart = now
@@ -910,18 +1303,18 @@ func (w *worker) readable(c *conn) {
 			}
 			if !w.serveSafe(c, req) {
 				panicked = true
-				if pl != nil {
-					pl.Record(c.obsID, obs.Panic, 0)
+				if v != nil {
+					v.Record(c.obsID, obs.Panic, 0)
 				}
 				break
 			}
-			if pl != nil {
+			if v != nil {
 				// Recorded after serve bumps Stats.Replies, so at any
 				// instant the handler-phase count never exceeds replies —
 				// the internal-consistency contract the admin scrapers
 				// assert under load.
 				now := time.Now()
-				pl.Record(c.obsID, obs.Handler, now.Sub(c.handlerStart))
+				v.Record(c.obsID, obs.Handler, now.Sub(c.handlerStart))
 				c.serveDone = now
 			}
 		}
@@ -931,7 +1324,7 @@ func (w *worker) readable(c *conn) {
 			break
 		}
 		if perr != nil {
-			w.srv.badRequest.add(1)
+			w.stats.badRequest.add(1)
 			c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 400, "text/plain", 0, false)})
 			c.closing = true
 			break
@@ -949,13 +1342,16 @@ func (w *worker) readable(c *conn) {
 		c.reqStart = time.Time{}
 	}
 	w.flush(c)
+	if c2, still := w.conns[c.fd]; still && c2 == c {
+		w.scheduleTimeout(c, time.Now())
+	}
 }
 
 // serveSafe serves one request with panic isolation: a panicking handler
 // costs its own connection a best-effort 500 and a close — never the
-// process, and never the worker's other connections. It reports whether
+// process, and never the shard's other connections. It reports whether
 // the connection may continue serving pipelined requests.
-func (w *worker) serveSafe(c *conn, req *httpwire.Request) (ok bool) {
+func (w *shard) serveSafe(c *conn, req *httpwire.Request) (ok bool) {
 	mark := len(c.out)
 	defer func() {
 		if r := recover(); r != nil {
@@ -971,8 +1367,8 @@ func (w *worker) serveSafe(c *conn, req *httpwire.Request) (ok bool) {
 			c.out = append(c.out[:mark], outSeg{buf: httpwire.AppendResponseHeader(nil, 500, "text/plain", 0, false)})
 			c.closing = true
 			c.replies++
-			w.srv.replies.add(1)
-			w.srv.handlerPanics.add(1)
+			w.stats.replies.add(1)
+			w.stats.handlerPanics.add(1)
 			ok = false
 		}
 	}()
@@ -981,12 +1377,21 @@ func (w *worker) serveSafe(c *conn, req *httpwire.Request) (ok bool) {
 }
 
 // applyFault executes an injected fault on the reactor thread — exactly
-// where handler work runs in this architecture, so a Delay stalls the
-// owning loop (the architecture's honest cost model for handler work)
-// and a Wedge is precisely what the watchdog exists to flag.
-func (w *worker) applyFault(f Fault) {
+// where handler work runs in this architecture, so a Delay or Spin
+// stalls the owning loop (the architecture's honest cost model for
+// handler work) and a Wedge is precisely what the watchdog exists to
+// flag.
+func (w *shard) applyFault(f Fault) {
 	if f.Delay > 0 {
 		time.Sleep(f.Delay) //nio:ok loopblock -- injected fault: stalling the loop is the point
+	}
+	if f.Spin > 0 {
+		// Busy-burn, not sleep: the shard-scaling sweep needs handler
+		// cost that consumes a real core, so N shards on N cores can
+		// honestly multiply throughput where sleeping handlers would
+		// overlap arbitrarily on one.
+		for end := time.Now().Add(f.Spin); time.Now().Before(end); {
+		}
 	}
 	if f.Wedge != nil {
 		select { //nio:ok loopblock -- injected wedge: the watchdog test drives this
@@ -1000,7 +1405,7 @@ func (w *worker) applyFault(f Fault) {
 }
 
 // serve appends one response to the connection's output queue.
-func (w *worker) serve(c *conn, req *httpwire.Request) {
+func (w *shard) serve(c *conn, req *httpwire.Request) {
 	if invariant.Enabled {
 		invariant.Assertf(!c.closed, "core: response queued on closed conn fd %d", c.fd)
 	}
@@ -1016,17 +1421,17 @@ func (w *worker) serve(c *conn, req *httpwire.Request) {
 		w.serveStore(c, req)
 	}
 	c.replies++
-	w.srv.replies.add(1)
+	w.stats.replies.add(1)
 	if !req.KeepAlive {
 		c.closing = true
 	}
 }
 
 // serveStore resolves the path against the store and queues 200/404.
-func (w *worker) serveStore(c *conn, req *httpwire.Request) {
+func (w *shard) serveStore(c *conn, req *httpwire.Request) {
 	body, ctype, ok := w.srv.cfg.Store.Get(req.Path)
 	if !ok {
-		w.srv.notFound.add(1)
+		w.stats.notFound.add(1)
 		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 404, "text/plain", 0, req.KeepAlive)})
 	} else {
 		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 200, ctype, int64(len(body)), req.KeepAlive)})
@@ -1040,15 +1445,15 @@ func (w *worker) serveStore(c *conn, req *httpwire.Request) {
 // queues 200/304/404. Bodies cached in memory are queued as byte
 // segments (buffered copy); everything else becomes a sendfile segment
 // holding a reference to the entry's shared fd.
-func (w *worker) serveDocroot(c *conn, req *httpwire.Request) {
+func (w *shard) serveDocroot(c *conn, req *httpwire.Request) {
 	ent, err := w.srv.cfg.Docroot.Get(req.Path)
 	if err != nil {
-		w.srv.notFound.add(1)
+		w.stats.notFound.add(1)
 		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeader(nil, 404, "text/plain", 0, req.KeepAlive)})
 		return
 	}
 	if httpwire.NotModified(req, ent.ETag, ent.ModTime) {
-		w.srv.notModified.add(1)
+		w.stats.notModified.add(1)
 		c.out = append(c.out, outSeg{buf: httpwire.AppendResponseHeaderValidators(
 			nil, 304, ent.ContentType, 0, req.KeepAlive, ent.ETag, ent.LastModified)})
 		ent.Release()
@@ -1084,11 +1489,11 @@ const sendfileChunk = 512 << 10
 // where the socket buffer filled.
 //
 //nio:hot
-func (w *worker) flush(c *conn) {
+func (w *shard) flush(c *conn) {
 	if invariant.Enabled {
 		invariant.Assertf(!c.closed, "core: flush on closed conn fd %d", c.fd)
 	}
-	pl := w.srv.cfg.Obs
+	v := w.obs
 	for len(c.out) > 0 {
 		seg := &c.out[0]
 		if seg.ent != nil && !seg.fallback {
@@ -1096,11 +1501,11 @@ func (w *worker) flush(c *conn) {
 			if rem := seg.end - seg.off; int64(max) > rem {
 				max = int(rem)
 			}
-			n, again, err := reactor.Sendfile(c.fd, seg.ent.FD(), &seg.off, max)
+			n, again, err := reactor.Sendfile(w.lane, c.fd, seg.ent.FD(), &seg.off, max)
 			if err != nil {
 				if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
 					// The peer is gone; nothing to deliver to.
-					w.srv.writeResets.add(1)
+					w.stats.writeResets.add(1)
 					w.closeConn(c)
 					return
 				}
@@ -1109,15 +1514,15 @@ func (w *worker) flush(c *conn) {
 				// delivery from the same resume offset — a failing
 				// sendfile(2) never advances *off, so not one response
 				// byte is skipped or repeated.
-				w.srv.sendfileFallbacks.add(1)
+				w.stats.sendfileFallbacks.add(1)
 				seg.fallback = true
 				continue
 			}
-			w.srv.bytesOut.add(int64(n))
-			w.srv.sendfileBytes.add(int64(n))
-			if pl != nil && n > 0 && !c.firstByte {
+			w.stats.bytesOut.add(int64(n))
+			w.stats.sendfileBytes.add(int64(n))
+			if v != nil && n > 0 && !c.firstByte {
 				c.firstByte = true
-				pl.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
+				v.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
 			}
 			if seg.off >= seg.end {
 				seg.ent.Release()
@@ -1137,32 +1542,32 @@ func (w *worker) flush(c *conn) {
 			// ordinary non-blocking write path. A partial write just
 			// advances off; the next pass re-reads from there, so
 			// idempotence is free.
-			if !w.flushFallback(c, seg, pl) {
+			if !w.flushFallback(c, seg, v) {
 				return
 			}
 			continue
 		}
 		head := seg.buf[c.outOff:]
-		n, again, err := reactor.Write(c.fd, head)
+		n, again, err := reactor.Write(w.lane, c.fd, head)
 		if err != nil {
 			if errors.Is(err, syscall.ENOBUFS) {
 				// Transient kernel buffer exhaustion is a stall, not a
 				// failure: keep the queue, re-arm write interest, retry
 				// when the loop next signals writability.
-				w.srv.writeStalls.add(1)
+				w.stats.writeStalls.add(1)
 				w.armWrite(c)
 				return
 			}
 			if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
-				w.srv.writeResets.add(1)
+				w.stats.writeResets.add(1)
 			}
 			w.closeConn(c)
 			return
 		}
-		w.srv.bytesOut.add(int64(n))
-		if pl != nil && n > 0 && !c.firstByte {
+		w.stats.bytesOut.add(int64(n))
+		if v != nil && n > 0 && !c.firstByte {
 			c.firstByte = true
-			pl.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
+			v.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
 		}
 		if n == len(head) {
 			c.out[0] = outSeg{}
@@ -1177,11 +1582,11 @@ func (w *worker) flush(c *conn) {
 		}
 	}
 	// Drained.
-	if pl != nil && !c.serveDone.IsZero() {
+	if v != nil && !c.serveDone.IsZero() {
 		// The write phase closes when the queue drains: for pipelined
 		// batches this is one record per batch, clocked from the last
 		// serve — the honest cost of pushing the batch out the socket.
-		pl.Record(c.obsID, obs.WriteComplete, time.Since(c.serveDone))
+		v.Record(c.obsID, obs.WriteComplete, time.Since(c.serveDone))
 		c.serveDone = time.Time{}
 	}
 	w.observeFirst(c)
@@ -1204,7 +1609,7 @@ const fallbackChunk = 64 << 10
 // outSeg.fallback). It reports whether flush may continue with the
 // queue; false means the connection was torn down or the socket
 // blocked (write interest armed) and flush must return.
-func (w *worker) flushFallback(c *conn, seg *outSeg, pl *obs.Plane) bool {
+func (w *shard) flushFallback(c *conn, seg *outSeg, v *obs.View) bool {
 	if w.fbuf == nil {
 		w.fbuf = make([]byte, fallbackChunk)
 	}
@@ -1221,24 +1626,24 @@ func (w *worker) flushFallback(c *conn, seg *outSeg, pl *obs.Plane) bool {
 		w.closeConn(c)
 		return false
 	}
-	n, again, err := reactor.Write(c.fd, chunk[:rn])
+	n, again, err := reactor.Write(w.lane, c.fd, chunk[:rn])
 	if err != nil {
 		if errors.Is(err, syscall.ENOBUFS) {
-			w.srv.writeStalls.add(1)
+			w.stats.writeStalls.add(1)
 			w.armWrite(c)
 			return false
 		}
 		if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
-			w.srv.writeResets.add(1)
+			w.stats.writeResets.add(1)
 		}
 		w.closeConn(c)
 		return false
 	}
 	seg.off += int64(n)
-	w.srv.bytesOut.add(int64(n))
-	if pl != nil && n > 0 && !c.firstByte {
+	w.stats.bytesOut.add(int64(n))
+	if v != nil && n > 0 && !c.firstByte {
 		c.firstByte = true
-		pl.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
+		v.Record(c.obsID, obs.FirstByte, time.Since(c.acceptedAt))
 	}
 	if seg.off >= seg.end {
 		seg.ent.Release()
@@ -1257,7 +1662,7 @@ func (w *worker) flushFallback(c *conn, seg *outSeg, pl *obs.Plane) bool {
 // accept-to-first-response latency, once, when its first response has
 // fully left the socket. First-response latency captures the event-loop
 // lag an overloaded reactor accrues — the signal the AIMD loop steers by.
-func (w *worker) observeFirst(c *conn) {
+func (w *shard) observeFirst(c *conn) {
 	if c.observed || c.replies == 0 {
 		return
 	}
@@ -1269,76 +1674,56 @@ func (w *worker) observeFirst(c *conn) {
 
 // armWrite enables EPOLLOUT for a connection whose socket buffer is
 // full.
-func (w *worker) armWrite(c *conn) {
+func (w *shard) armWrite(c *conn) {
 	if !c.writeArm {
 		c.writeArm = true
 		_ = w.poller.Modify(c.fd, true, true)
 	}
 }
 
-// writable continues a blocked flush.
-func (w *worker) writable(c *conn) { w.flush(c) }
-
-// sweepIdle force-closes connections idle past the configured timeout,
-// with an RST — the recycling policy of the thread-pool world, here only
-// as an opt-in ablation knob.
-func (w *worker) sweepIdle() {
-	deadline := time.Now().Add(-w.srv.cfg.IdleTimeout)
-	for _, c := range w.conns {
-		if len(c.out) == 0 && c.lastActive.Before(deadline) {
-			w.srv.idleCloses.add(1)
-			w.resetConn(c)
-		}
-	}
-}
-
-// sweepHeaders resets connections that have owed a complete request for
-// longer than HeaderTimeout — the slowloris defense: dribbled header
-// bytes reset lastActive but not headerStart, so a dribbler cannot
-// outrun this sweep the way it outruns an idle timeout.
-func (w *worker) sweepHeaders() {
-	deadline := time.Now().Add(-w.srv.cfg.HeaderTimeout)
-	for _, c := range w.conns {
-		if !c.headerStart.IsZero() && c.headerStart.Before(deadline) {
-			w.srv.headerTimeouts.add(1)
-			w.resetConn(c)
-		}
+// writable continues a blocked flush, then re-arms the idle clock if
+// the queue drained (a blocked writer leaves the wheel; see
+// connDeadline).
+func (w *shard) writable(c *conn) {
+	w.flush(c)
+	if c2, still := w.conns[c.fd]; still && c2 == c {
+		w.scheduleTimeout(c, time.Now())
 	}
 }
 
 // resetConn tears a connection down with an RST.
-func (w *worker) resetConn(c *conn) {
+func (w *shard) resetConn(c *conn) {
 	if _, ok := w.conns[c.fd]; !ok {
 		return
 	}
 	delete(w.conns, c.fd)
 	w.poller.Remove(c.fd)
-	reactor.CloseWithReset(c.fd)
+	reactor.CloseWithReset(w.lane, c.fd)
 	c.closed = true
-	if pl := w.srv.cfg.Obs; pl != nil && c.obsID != 0 {
-		pl.Record(c.obsID, obs.Close, 0)
+	if v := w.obs; v != nil && c.obsID != 0 {
+		v.Record(c.obsID, obs.Close, 0)
 	}
 	w.uncount()
 	releaseOut(c)
 }
 
-func (w *worker) closeConn(c *conn) {
+func (w *shard) closeConn(c *conn) {
 	if _, ok := w.conns[c.fd]; !ok {
 		return
 	}
 	delete(w.conns, c.fd)
 	w.poller.Remove(c.fd)
-	reactor.CloseFD(c.fd)
+	reactor.CloseFD(w.lane, c.fd)
 	c.closed = true
-	if pl := w.srv.cfg.Obs; pl != nil && c.obsID != 0 {
-		pl.Record(c.obsID, obs.Close, 0)
+	if v := w.obs; v != nil && c.obsID != 0 {
+		v.Record(c.obsID, obs.Close, 0)
 	}
 	w.uncount()
 	releaseOut(c)
 }
 
 // uncount gives a torn-down connection's connsOpen slot back.
-func (w *worker) uncount() {
+func (w *shard) uncount() {
 	w.srv.connsOpen.add(-1)
 	if invariant.Enabled {
 		invariant.Assertf(w.srv.connsOpen.get() >= 0,

@@ -1,0 +1,56 @@
+//go:build linux
+
+package core
+
+import "sync/atomic"
+
+// spscRing is a bounded lock-free single-producer/single-consumer
+// queue: the acceptor thread pushes accepted fds and exactly one shard
+// loop pops them — the fan-out fallback's handoff lane when
+// SO_REUSEPORT accept sharding is unavailable. tail is advanced only
+// by the producer and head only by the consumer, so one atomic
+// store/load pair per operation is the whole protocol: the producer's
+// slot write happens-before its tail store, which the consumer's tail
+// load observes before reading the slot.
+type spscRing struct {
+	buf  []pendingConn
+	mask uint64
+	// head and tail are padded apart so the producer and consumer do
+	// not false-share a cache line.
+	head atomic.Uint64 // consumer position
+	_    [56]byte
+	tail atomic.Uint64 // producer position
+}
+
+// newSPSCRing returns a ring holding at least capacity entries
+// (rounded up to a power of two).
+func newSPSCRing(capacity int) *spscRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]pendingConn, n), mask: uint64(n - 1)}
+}
+
+// push appends p; false means the ring is full. Producer only.
+func (r *spscRing) push(p pendingConn) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = p
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop removes the oldest entry; false means empty. Consumer only.
+func (r *spscRing) pop() (pendingConn, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return pendingConn{}, false
+	}
+	p := r.buf[h&r.mask]
+	r.buf[h&r.mask] = pendingConn{}
+	r.head.Store(h + 1)
+	return p, true
+}

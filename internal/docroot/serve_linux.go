@@ -49,7 +49,7 @@ func SendfileTo(conn Writer, e *Entry) (n int64, fellBack bool, err error) {
 			if chunk > sendfileChunk {
 				chunk = sendfileChunk
 			}
-			n, err := sysfault.Sendfile(int(fd), e.FD(), &off, int(chunk))
+			n, err := sysfault.Sendfile(0, int(fd), e.FD(), &off, int(chunk))
 			if n > 0 {
 				sent += int64(n)
 				continue

@@ -129,8 +129,10 @@ func RenderStats(w io.Writer, fields []Field, pl *Plane) {
 	}
 	for _, ph := range phaseOrder {
 		// Dist is a consistent point-in-time copy: every quantile below
-		// comes from the same bucket state even while recording continues.
-		d := ph.get(pl.phases).Dist()
+		// comes from the same bucket state even while recording
+		// continues — merged bucketwise across shard blocks, so the
+		// numbers stay honest under reactor sharding.
+		d := pl.PhaseDist(ph.get)
 		fmt.Fprintf(w, "phase.%s.count %d\n", ph.name, d.Count())
 		fmt.Fprintf(w, "phase.%s.mean %.6f\n", ph.name, d.Mean())
 		fmt.Fprintf(w, "phase.%s.p50 %.6f\n", ph.name, d.Quantile(0.50))

@@ -16,6 +16,7 @@
 package obs
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -246,12 +247,26 @@ func NewPhases() *Phases {
 // Plane bundles the ring, the phase histograms, and per-kind event
 // counters into the single object a server is configured with. All
 // methods are safe for concurrent use.
+//
+// Under reactor sharding the ring, the connection-id stream, and the
+// per-kind counters stay shared (they are already lock-free and
+// multi-writer), but each shard records its phase latencies into its
+// own histogram block (see View) so the hot path never contends on a
+// cache line with another shard. Readers merge the blocks bucketwise
+// via metrics.Dist.Merge — histogram buckets add commutatively, so
+// /stats and /rollup stay honest no matter how work spread across
+// shards.
 type Plane struct {
 	start  time.Time
 	ring   *Ring
 	phases *Phases
 	connID atomic.Uint64
 	counts [NumKinds]atomic.Int64
+
+	// mu guards extra, the lazily-grown phase blocks of shards >= 1
+	// (extra[i] belongs to shard i+1; shard 0 records into phases).
+	mu    sync.Mutex
+	extra []*Phases
 }
 
 // NewPlane returns a plane whose ring retains at least ringCap events.
@@ -294,8 +309,76 @@ func (p *Plane) phaseFor(k Kind) *metrics.Histogram {
 // Ring returns the trace ring.
 func (p *Plane) Ring() *Ring { return p.ring }
 
-// Phases returns the phase histograms.
+// Phases returns shard 0's phase histograms — the only block an
+// unsharded server ever records into. Merged readers (the admin
+// endpoint, rollup snapshots) must use PhaseDist instead.
 func (p *Plane) Phases() *Phases { return p.phases }
+
+// View returns the recording handle for one shard: shard 0 records
+// into the plane's legacy block, higher shards into their own lazily
+// created blocks. Views share the plane's ring, id stream, and kind
+// counters; only the phase histograms are per-shard. Safe to call from
+// any goroutine; each shard should call it once at setup and keep the
+// handle.
+func (p *Plane) View(shard int) *View {
+	if shard <= 0 {
+		return &View{p: p, ph: p.phases}
+	}
+	p.mu.Lock()
+	for len(p.extra) < shard {
+		p.extra = append(p.extra, NewPhases())
+	}
+	ph := p.extra[shard-1]
+	p.mu.Unlock()
+	return &View{p: p, ph: ph}
+}
+
+// PhaseDist returns one phase's latency distribution merged across
+// every shard's histogram block — the consistent read side of sharded
+// recording. get selects the phase from a block (see the admin
+// endpoint's phase table).
+func (p *Plane) PhaseDist(get func(*Phases) *metrics.Histogram) metrics.Dist {
+	d := get(p.phases).Dist()
+	p.mu.Lock()
+	blocks := p.extra
+	p.mu.Unlock()
+	for _, ph := range blocks {
+		d = d.Merge(get(ph).Dist())
+	}
+	return d
+}
+
+// View is one shard's recording handle into a shared Plane.
+type View struct {
+	p  *Plane
+	ph *Phases
+}
+
+// Plane returns the shared plane the view records into.
+func (v *View) Plane() *Plane { return v.p }
+
+// NextConnID issues a fresh connection id from the plane-wide stream.
+func (v *View) NextConnID() uint64 { return v.p.NextConnID() }
+
+// Record logs one lifecycle event exactly like Plane.Record, but phase
+// latencies land in this shard's histogram block. Allocation-free.
+//
+//nio:hot
+func (v *View) Record(conn uint64, k Kind, val time.Duration) {
+	p := v.p
+	p.counts[k].Add(1)
+	p.ring.Record(time.Since(p.start), conn, k, val)
+	switch k {
+	case QueueWait:
+		v.ph.QueueWait.ObserveDuration(val)
+	case Parse:
+		v.ph.Parse.ObserveDuration(val)
+	case Handler:
+		v.ph.Handler.ObserveDuration(val)
+	case WriteComplete:
+		v.ph.Write.ObserveDuration(val)
+	}
+}
 
 // Count returns how many events of the given kind have been recorded.
 func (p *Plane) Count(k Kind) int64 { return p.counts[k].Load() }

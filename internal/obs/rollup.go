@@ -39,7 +39,7 @@ func SnapshotRollup(name string, fields []Field, pl *Plane) RollupSnapshot {
 		return s
 	}
 	for _, ph := range phaseOrder {
-		s.Phases[ph.name] = ph.get(pl.phases).Dist()
+		s.Phases[ph.name] = pl.PhaseDist(ph.get)
 	}
 	for k := Kind(0); int(k) < NumKinds; k++ {
 		s.Kinds[k] = pl.Count(k)

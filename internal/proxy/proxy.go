@@ -43,6 +43,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/reactor"
+	"repro/internal/sysfault"
 )
 
 // ViaToken is the provenance token stamped on every request the proxy
@@ -112,7 +113,22 @@ type Config struct {
 	RetryAfterSec int
 
 	// Obs, when non-nil, receives lifecycle events and phase latencies.
+	// With Shard > 0 the phase histograms go to that per-shard block of
+	// the plane (merged at read time); the trace ring and kind counts
+	// are shared either way.
 	Obs *obs.Plane
+	// Shard identifies this instance inside a Tier: its obs phase
+	// block and (via Lane) its deterministic fault stream. 0 for a
+	// standalone proxy.
+	Shard int
+	// Lane is the sysfault lane this instance's syscalls draw fault
+	// decisions from. A Tier gives each member its own lane so fault
+	// injection stays per-shard deterministic; 0 is the legacy stream.
+	Lane sysfault.Lane
+	// ReusePort binds the listener with SO_REUSEPORT so N tier members
+	// can share one port and the kernel hashes connections across
+	// them. Required (and set) by Tier; off for a standalone proxy.
+	ReusePort bool
 	// Watchdog, when non-nil, monitors the event loop for stalls.
 	Watchdog *overload.Watchdog
 	// OnHealthChange, when non-nil, is called on every ejection and
@@ -202,11 +218,14 @@ type counter struct{ v atomic.Int64 }
 func (c *counter) add(d int64) { c.v.Add(d) }
 func (c *counter) get() int64  { return c.v.Load() }
 
-// Server is the serving tier.
+// Server is the serving tier (one event loop; see Tier for the
+// sharded N-loop arrangement).
 type Server struct {
 	cfg    Config
 	lfd    int
 	port   int
+	lane   sysfault.Lane
+	obs    *obs.View
 	poller *reactor.Poller
 
 	backends []*Backend
@@ -351,19 +370,24 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	lfd, port, err := reactor.Listen(cfg.Port, cfg.Backlog)
+	listenFn := reactor.Listen
+	if cfg.ReusePort {
+		listenFn = reactor.ListenReusePort
+	}
+	lfd, port, err := listenFn(cfg.Port, cfg.Backlog)
 	if err != nil {
 		return nil, err
 	}
-	p, err := reactor.NewPoller(512)
+	p, err := reactor.NewPollerLane(512, cfg.Lane)
 	if err != nil {
-		reactor.CloseFD(lfd)
+		reactor.CloseFD(cfg.Lane, lfd)
 		return nil, err
 	}
 	s := &Server{
 		cfg:       cfg,
 		lfd:       lfd,
 		port:      port,
+		lane:      cfg.Lane,
 		poller:    p,
 		dconns:    make(map[int]*dconn),
 		uconns:    make(map[int]*uconn),
@@ -371,6 +395,9 @@ func NewServer(cfg Config) (*Server, error) {
 		reserveFD: openReserve(),
 		stopping:  make(chan struct{}),
 		drained:   make(chan struct{}),
+	}
+	if pl := cfg.Obs; pl != nil {
+		s.obs = pl.View(cfg.Shard)
 	}
 	s.backends = make([]*Backend, len(cfg.Backends))
 	for i, bc := range cfg.Backends {
@@ -473,8 +500,8 @@ func (s *Server) Stop() {
 		if !s.started && s.reserveFD >= 0 { //nio:ok loopown -- pre-start: the loop never launched, so nothing owns the reserve yet
 			// Never started: the loop's teardown will not run, so the
 			// reserve descriptor must be released here or it leaks.
-			reactor.CloseFD(s.reserveFD) //nio:ok loopown -- pre-start teardown (see above)
-			s.reserveFD = -1             //nio:ok loopown -- pre-start teardown (see above)
+			reactor.CloseFD(s.lane, s.reserveFD) //nio:ok loopown -- pre-start teardown (see above)
+			s.reserveFD = -1                     //nio:ok loopown -- pre-start teardown (see above)
 		}
 		s.poller.Wakeup()
 	})
@@ -511,7 +538,11 @@ func (s *Server) loop() {
 
 	var hb *overload.Heartbeat
 	if s.cfg.Watchdog != nil {
-		hb = s.cfg.Watchdog.Register("proxy-loop")
+		name := "proxy-loop"
+		if s.cfg.Shard > 0 {
+			name = fmt.Sprintf("proxy-loop-%d", s.cfg.Shard)
+		}
+		hb = s.cfg.Watchdog.Register(name)
 	}
 
 	for {
@@ -526,7 +557,7 @@ func (s *Server) loop() {
 				s.poller.Remove(s.lfd)
 			}
 			s.acceptGated = false
-			reactor.CloseFD(s.lfd)
+			reactor.CloseFD(s.lane, s.lfd)
 			s.lfdClosed = true
 		}
 		if !draining {
@@ -623,25 +654,25 @@ func (s *Server) loop() {
 
 func (s *Server) teardown() {
 	for _, d := range s.dconns {
-		reactor.CloseFD(d.fd)
+		reactor.CloseFD(s.lane, d.fd)
 		s.connsOpen.add(-1)
-		if pl := s.cfg.Obs; pl != nil {
+		if pl := s.obs; pl != nil {
 			pl.Record(d.obsID, obs.Close, 0)
 		}
 	}
 	s.dconns = make(map[int]*dconn)
 	for _, u := range s.uconns {
-		reactor.CloseFD(u.fd)
+		reactor.CloseFD(s.lane, u.fd)
 		u.b.open.Add(-1)
 	}
 	s.uconns = make(map[int]*uconn)
 	s.poller.Close()
 	if !s.lfdClosed {
-		reactor.CloseFD(s.lfd)
+		reactor.CloseFD(s.lane, s.lfd)
 		s.lfdClosed = true
 	}
 	if s.reserveFD >= 0 {
-		reactor.CloseFD(s.reserveFD)
+		reactor.CloseFD(s.lane, s.reserveFD)
 		s.reserveFD = -1
 	}
 }
@@ -660,7 +691,7 @@ func (s *Server) teardown() {
 // descriptors to come back.
 func (s *Server) acceptAll() bool {
 	for {
-		fd, done, err := reactor.Accept(s.lfd)
+		fd, done, err := reactor.Accept(s.lane, s.lfd)
 		if err != nil {
 			switch {
 			case errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE):
@@ -684,26 +715,26 @@ func (s *Server) acceptAll() bool {
 		s.accepted.add(1)
 		if ac := s.cfg.Admission; ac != nil && !ac.Admit() {
 			s.shed.add(1)
-			if pl := s.cfg.Obs; pl != nil {
+			if pl := s.obs; pl != nil {
 				pl.Record(pl.NextConnID(), obs.Shed, 0)
 			}
-			shedVia(fd, ac.RetryAfterSeconds())
+			shedVia(s.lane, fd, ac.RetryAfterSeconds())
 			continue
 		}
 		if int(s.connsOpen.get()) >= s.cfg.MaxConns {
 			s.shed.add(1)
-			if pl := s.cfg.Obs; pl != nil {
+			if pl := s.obs; pl != nil {
 				pl.Record(pl.NextConnID(), obs.Shed, 0)
 			}
-			shedVia(fd, s.cfg.RetryAfterSec)
+			shedVia(s.lane, fd, s.cfg.RetryAfterSec)
 			continue
 		}
 		if err := s.poller.Add(fd, true, false); err != nil {
-			reactor.CloseFD(fd)
+			reactor.CloseFD(s.lane, fd)
 			continue
 		}
 		d := &dconn{fd: fd, peer: peerIP(fd), acceptedAt: time.Now()}
-		if pl := s.cfg.Obs; pl != nil {
+		if pl := s.obs; pl != nil {
 			d.obsID = pl.NextConnID()
 			pl.Record(d.obsID, obs.Accept, 0)
 		}
@@ -722,15 +753,15 @@ func (s *Server) recoverFDExhaustion() {
 	if s.reserveFD < 0 {
 		return
 	}
-	reactor.CloseFD(s.reserveFD)
+	reactor.CloseFD(s.lane, s.reserveFD)
 	s.reserveFD = -1
-	fd, done, err := reactor.Accept(s.lfd)
+	fd, done, err := reactor.Accept(s.lane, s.lfd)
 	if err == nil && !done && fd >= 0 {
 		s.shed.add(1)
-		if pl := s.cfg.Obs; pl != nil {
+		if pl := s.obs; pl != nil {
 			pl.Record(pl.NextConnID(), obs.Shed, 0)
 		}
-		shedVia(fd, s.cfg.RetryAfterSec)
+		shedVia(s.lane, fd, s.cfg.RetryAfterSec)
 	}
 	s.reserveFD = openReserve()
 }
@@ -762,12 +793,12 @@ func (s *Server) gateAccepts() {
 
 // shedVia is shedConn with the tier's provenance: the 503 carries the
 // Via token so clients can attribute the refusal to the proxy layer.
-func shedVia(fd int, retryAfterSec int) {
+func shedVia(lane sysfault.Lane, fd int, retryAfterSec int) {
 	resp := httpwire.AppendResponseHeaderExtra(nil, 503, "text/plain", 0, false,
 		httpwire.Header{Name: "Retry-After", Value: strconv.Itoa(retryAfterSec)},
 		httpwire.Header{Name: "Via", Value: ViaToken})
-	_, _, _ = reactor.Write(fd, resp)
-	reactor.CloseFD(fd)
+	_, _, _ = reactor.Write(lane, fd, resp)
+	reactor.CloseFD(lane, fd)
 }
 
 // peerIP returns the connected peer's IPv4 address (for XFF), or "".
@@ -785,7 +816,7 @@ func peerIP(fd int) string {
 
 func (s *Server) dReadable(d *dconn) {
 	for {
-		n, eof, again, err := reactor.Read(d.fd, s.buf)
+		n, eof, again, err := reactor.Read(s.lane, d.fd, s.buf)
 		if again {
 			break
 		}
@@ -793,7 +824,7 @@ func (s *Server) dReadable(d *dconn) {
 			s.closeD(d)
 			return
 		}
-		if pl := s.cfg.Obs; pl != nil && len(d.pending) == 0 && d.active == nil {
+		if pl := s.obs; pl != nil && len(d.pending) == 0 && d.active == nil {
 			pl.Record(d.obsID, obs.HeaderRead, 0)
 		}
 		var perr error
@@ -822,7 +853,7 @@ func (s *Server) admitRequest(d *dconn, req *httpwire.Request) bool {
 	if d.closing {
 		return false
 	}
-	if pl := s.cfg.Obs; pl != nil {
+	if pl := s.obs; pl != nil {
 		pl.Record(d.obsID, obs.Parse, 0)
 	}
 	if cl, found := req.Get("Content-Length"); found && cl != "0" {
@@ -927,7 +958,7 @@ func (s *Server) dispatch(r *relay) {
 		b.inflight.Add(-1)
 		r.b = nil
 		s.shed.add(1)
-		if pl := s.cfg.Obs; pl != nil {
+		if pl := s.obs; pl != nil {
 			pl.Record(d.obsID, obs.Shed, 0)
 		}
 		d.active = nil
@@ -946,7 +977,7 @@ func (s *Server) bindRelay(u *uconn, r *relay) {
 	u.rp.Reset()
 	r.u = u
 	r.bound = time.Now()
-	if pl := s.cfg.Obs; pl != nil {
+	if pl := s.obs; pl != nil {
 		pl.Record(r.d.obsID, obs.QueueWait, r.bound.Sub(r.enq))
 	}
 	u.pendingWrite = r.wire
@@ -980,7 +1011,7 @@ func (s *Server) shedLocalRes(b *Backend, r *relay) {
 	}
 	d.active = nil
 	s.shed.add(1)
-	if pl := s.cfg.Obs; pl != nil {
+	if pl := s.obs; pl != nil {
 		pl.Record(d.obsID, obs.Shed, 0)
 	}
 	s.respondLocal(d, 503, []httpwire.Header{
@@ -988,7 +1019,7 @@ func (s *Server) shedLocalRes(b *Backend, r *relay) {
 }
 
 func (s *Server) dialUpstream(b *Backend, r *relay) {
-	fd, connected, err := reactor.DialTCP4(b.cfg.Addr)
+	fd, connected, err := reactor.DialTCP4(s.lane, b.cfg.Addr)
 	if err != nil {
 		if isLocalResErr(err) {
 			s.shedLocalRes(b, r)
@@ -1002,7 +1033,7 @@ func (s *Server) dialUpstream(b *Backend, r *relay) {
 	b.dials.Add(1)
 	if connected {
 		if err := s.poller.Add(fd, true, false); err != nil {
-			reactor.CloseFD(fd)
+			reactor.CloseFD(s.lane, fd)
 			s.noteRelayFailure(b, r, err)
 			return
 		}
@@ -1018,7 +1049,7 @@ func (s *Server) dialUpstream(b *Backend, r *relay) {
 	u.pendingWrite = r.wire
 	u.writeArm = true
 	if err := s.poller.Add(fd, false, true); err != nil {
-		reactor.CloseFD(fd)
+		reactor.CloseFD(s.lane, fd)
 		r.u = nil
 		s.noteRelayFailure(b, r, err)
 		return
@@ -1038,7 +1069,7 @@ func (s *Server) prewarmBackend(b *Backend) {
 	if !b.healthy.Load() || len(b.idle) > 0 || int(b.open.Load()) >= s.cfg.MaxPerBackend {
 		return
 	}
-	fd, connected, err := reactor.DialTCP4(b.cfg.Addr)
+	fd, connected, err := reactor.DialTCP4(s.lane, b.cfg.Addr)
 	if err != nil {
 		if isLocalResErr(err) {
 			s.localRes.add(1)
@@ -1059,7 +1090,7 @@ func (s *Server) prewarmBackend(b *Backend) {
 	b.dials.Add(1)
 	if connected {
 		if err := s.poller.Add(fd, true, false); err != nil {
-			reactor.CloseFD(fd)
+			reactor.CloseFD(s.lane, fd)
 			return
 		}
 		s.uconns[fd] = u
@@ -1072,7 +1103,7 @@ func (s *Server) prewarmBackend(b *Backend) {
 	u.state = uConnecting
 	u.writeArm = true
 	if err := s.poller.Add(fd, false, true); err != nil {
-		reactor.CloseFD(fd)
+		reactor.CloseFD(s.lane, fd)
 		return
 	}
 	s.uconns[fd] = u
@@ -1135,7 +1166,7 @@ func (s *Server) flushD(d *dconn) {
 	}
 	for len(d.out) > 0 {
 		seg := d.out[0][d.outOff:]
-		n, again, err := reactor.Write(d.fd, seg)
+		n, again, err := reactor.Write(s.lane, d.fd, seg)
 		if err != nil {
 			s.closeD(d)
 			return
@@ -1143,7 +1174,7 @@ func (s *Server) flushD(d *dconn) {
 		s.bytesOut.add(int64(n))
 		if n > 0 && !d.firstByte {
 			d.firstByte = true
-			if pl := s.cfg.Obs; pl != nil {
+			if pl := s.obs; pl != nil {
 				pl.Record(d.obsID, obs.FirstByte, time.Since(d.acceptedAt))
 			}
 		}
@@ -1161,7 +1192,7 @@ func (s *Server) flushD(d *dconn) {
 	}
 	if d.hasDone {
 		d.hasDone = false
-		if pl := s.cfg.Obs; pl != nil {
+		if pl := s.obs; pl != nil {
 			pl.Record(d.obsID, obs.WriteComplete, time.Since(d.serveDone))
 		}
 	}
@@ -1209,9 +1240,9 @@ func (s *Server) closeD(d *dconn) {
 	}
 	delete(s.dconns, d.fd)
 	s.poller.Remove(d.fd)
-	reactor.CloseFD(d.fd)
+	reactor.CloseFD(s.lane, d.fd)
 	s.connsOpen.add(-1)
-	if pl := s.cfg.Obs; pl != nil {
+	if pl := s.obs; pl != nil {
 		pl.Record(d.obsID, obs.Close, 0)
 	}
 	if invariant.Enabled {
@@ -1266,7 +1297,7 @@ func (s *Server) uWritable(u *uconn) {
 		}
 		if r := u.r; r != nil {
 			r.bound = time.Now()
-			if pl := s.cfg.Obs; pl != nil {
+			if pl := s.obs; pl != nil {
 				pl.Record(r.d.obsID, obs.QueueWait, r.bound.Sub(r.enq))
 			}
 		}
@@ -1277,7 +1308,7 @@ func (s *Server) uWritable(u *uconn) {
 //nio:hot
 func (s *Server) writeUpstream(u *uconn) {
 	for u.wOff < len(u.pendingWrite) {
-		n, again, err := reactor.Write(u.fd, u.pendingWrite[u.wOff:])
+		n, again, err := reactor.Write(s.lane, u.fd, u.pendingWrite[u.wOff:])
 		if err != nil {
 			s.upstreamFailed(u, err)
 			return
@@ -1306,7 +1337,7 @@ func (s *Server) writeUpstream(u *uconn) {
 
 func (s *Server) uReadable(u *uconn) {
 	for {
-		n, eof, again, err := reactor.Read(u.fd, s.buf)
+		n, eof, again, err := reactor.Read(s.lane, u.fd, s.buf)
 		if again {
 			return
 		}
@@ -1363,7 +1394,7 @@ func (s *Server) relayComplete(u *uconn, r *relay, resp *httpwire.Response) {
 		b.relayed503.Add(1)
 	}
 	b.noteSuccess(false, s.cfg.ReviveAfter)
-	if pl := s.cfg.Obs; pl != nil {
+	if pl := s.obs; pl != nil {
 		pl.Record(d.obsID, obs.Handler, time.Since(r.bound))
 	}
 	d.serveDone = time.Now()
@@ -1497,7 +1528,7 @@ func (s *Server) removeUpstream(u *uconn) {
 	}
 	delete(s.uconns, u.fd)
 	s.poller.Remove(u.fd)
-	reactor.CloseFD(u.fd)
+	reactor.CloseFD(s.lane, u.fd)
 	b := u.b
 	b.open.Add(-1)
 	if u.state == uIdle {

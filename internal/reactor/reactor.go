@@ -8,9 +8,14 @@
 // bypasses net.Conn and exposes readiness events and raw file
 // descriptors to a single-threaded event loop.
 //
-// One Poller per reactor worker thread; the Wakeup pipe lets other
+// One Poller per reactor shard thread; the Wakeup pipe lets other
 // threads (e.g. the acceptor handing over a new connection) interrupt a
 // blocking Wait, exactly like Selector.wakeup().
+//
+// Every syscall helper takes a sysfault.Lane — the shard index of the
+// calling event loop — so the fault seam's decision streams stay
+// per-shard deterministic. Single-loop callers pass lane 0, the
+// legacy stream.
 package reactor
 
 import (
@@ -42,6 +47,9 @@ type Poller struct {
 	// translation can never grow it.
 	evbuf  []Event
 	closed bool
+	// lane is the fault-seam stream this poller's Waits are addressed
+	// to — the shard index of the loop that owns it.
+	lane sysfault.Lane
 	// reg shadows the kernel's interest set under -tags invariants (a
 	// zero-cost no-op otherwise) so the invariant layer can check it
 	// against the reactor's connection table.
@@ -49,8 +57,11 @@ type Poller struct {
 }
 
 // NewPoller creates an epoll instance sized for n simultaneous events per
-// Wait call (n <= 0 selects a default of 1024).
-func NewPoller(n int) (*Poller, error) {
+// Wait call (n <= 0 selects a default of 1024) on fault lane 0.
+func NewPoller(n int) (*Poller, error) { return NewPollerLane(n, 0) }
+
+// NewPollerLane is NewPoller with the owning shard's fault lane.
+func NewPollerLane(n int, lane sysfault.Lane) (*Poller, error) {
 	if n <= 0 {
 		n = 1024
 	}
@@ -69,6 +80,7 @@ func NewPoller(n int) (*Poller, error) {
 		wakeW:  pipeFDs[1],
 		events: make([]syscall.EpollEvent, n),
 		evbuf:  make([]Event, 0, n),
+		lane:   lane,
 		reg:    newRegSet(),
 	}
 	if err := p.Add(p.wakeR, true, false); err != nil {
@@ -135,7 +147,7 @@ func (p *Poller) InterestCount() int { return p.reg.size() }
 //
 //nio:hot
 func (p *Poller) Wait(timeoutMs int) ([]Event, error) {
-	n, err := sysfault.EpollWait(p.epfd, p.events, timeoutMs)
+	n, err := sysfault.EpollWait(p.lane, p.epfd, p.events, timeoutMs)
 	if err != nil {
 		return nil, fmt.Errorf("reactor: epoll_wait: %w", err)
 	}
@@ -202,34 +214,58 @@ func (p *Poller) Close() {
 // Socket helpers
 // ---------------------------------------------------------------------
 
+// soReusePort is SO_REUSEPORT, which the syscall package does not
+// export on linux. Value from <asm-generic/socket.h>.
+const soReusePort = 0xf
+
 // Listen opens a non-blocking IPv4 listening socket on 127.0.0.1:port
 // (port 0 picks a free port; the chosen port is returned).
 func Listen(port, backlog int) (fd, boundPort int, err error) {
-	fd, err = sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	return listenSock(port, backlog, false)
+}
+
+// ListenReusePort is Listen with SO_REUSEPORT set before bind, so N
+// shards can each own a listening socket on the same port and the
+// kernel hashes incoming connections across them — the accept-sharding
+// path of the N-reactor architecture. Fails with the setsockopt error
+// on kernels without SO_REUSEPORT (< 3.9); callers fall back to
+// acceptor fan-out.
+func ListenReusePort(port, backlog int) (fd, boundPort int, err error) {
+	return listenSock(port, backlog, true)
+}
+
+func listenSock(port, backlog int, reusePort bool) (fd, boundPort int, err error) {
+	fd, err = sysfault.Socket(0, syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
 	if err != nil {
 		return -1, 0, fmt.Errorf("reactor: socket: %w", err)
 	}
 	if err = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1); err != nil {
-		_ = sysfault.Close(fd)
+		_ = sysfault.Close(0, fd)
 		return -1, 0, fmt.Errorf("reactor: SO_REUSEADDR: %w", err)
+	}
+	if reusePort {
+		if err = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, soReusePort, 1); err != nil {
+			_ = sysfault.Close(0, fd)
+			return -1, 0, fmt.Errorf("reactor: SO_REUSEPORT: %w", err)
+		}
 	}
 	sa := &syscall.SockaddrInet4{Port: port, Addr: [4]byte{127, 0, 0, 1}}
 	if err = syscall.Bind(fd, sa); err != nil {
-		_ = sysfault.Close(fd)
+		_ = sysfault.Close(0, fd)
 		return -1, 0, fmt.Errorf("reactor: bind: %w", err)
 	}
 	if err = syscall.Listen(fd, backlog); err != nil {
-		_ = sysfault.Close(fd)
+		_ = sysfault.Close(0, fd)
 		return -1, 0, fmt.Errorf("reactor: listen: %w", err)
 	}
 	got, err := syscall.Getsockname(fd)
 	if err != nil {
-		_ = sysfault.Close(fd)
+		_ = sysfault.Close(0, fd)
 		return -1, 0, fmt.Errorf("reactor: getsockname: %w", err)
 	}
 	inet, ok := got.(*syscall.SockaddrInet4)
 	if !ok {
-		_ = sysfault.Close(fd)
+		_ = sysfault.Close(0, fd)
 		return -1, 0, fmt.Errorf("reactor: unexpected sockaddr %T", got)
 	}
 	return fd, inet.Port, nil
@@ -242,24 +278,24 @@ func Listen(port, backlog int) (fd, boundPort int, err error) {
 // close-on-exec, with Nagle disabled, exactly like an accepted socket —
 // it is the upstream half of a proxy relay, and both halves must behave
 // identically under the reactor.
-func DialTCP4(addr string) (fd int, connected bool, err error) {
+func DialTCP4(lane sysfault.Lane, addr string) (fd int, connected bool, err error) {
 	ip, port, err := parseIPv4Addr(addr)
 	if err != nil {
 		return -1, false, err
 	}
-	fd, err = sysfault.Socket(syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	fd, err = sysfault.Socket(lane, syscall.AF_INET, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
 	if err != nil {
 		return -1, false, fmt.Errorf("reactor: socket: %w", err)
 	}
 	_ = syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
 	sa := &syscall.SockaddrInet4{Port: port, Addr: ip}
-	switch err = sysfault.Connect(fd, sa); err {
+	switch err = sysfault.Connect(lane, fd, sa); err {
 	case nil:
 		return fd, true, nil
 	case syscall.EINPROGRESS:
 		return fd, false, nil
 	default:
-		_ = sysfault.Close(fd)
+		_ = sysfault.Close(lane, fd)
 		return -1, false, fmt.Errorf("reactor: connect %s: %w", addr, err)
 	}
 }
@@ -329,8 +365,8 @@ func parseIPv4Addr(addr string) (ip [4]byte, port int, err error) {
 
 // Accept accepts one pending connection from a non-blocking listener.
 // done reports EAGAIN (nothing pending).
-func Accept(lfd int) (fd int, done bool, err error) {
-	fd, err = sysfault.Accept4(lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+func Accept(lane sysfault.Lane, lfd int) (fd int, done bool, err error) {
+	fd, err = sysfault.Accept4(lane, lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
 	switch err {
 	case nil:
 		// Disable Nagle: the servers write complete responses.
@@ -350,8 +386,8 @@ func Accept(lfd int) (fd int, done bool, err error) {
 // internally, so err never reports an interrupted syscall.
 //
 //nio:hot
-func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
-	n, err = sysfault.Read(fd, buf)
+func Read(lane sysfault.Lane, fd int, buf []byte) (n int, eof, again bool, err error) {
+	n, err = sysfault.Read(lane, fd, buf)
 	switch {
 	case err == syscall.EAGAIN:
 		return 0, false, true, nil
@@ -370,8 +406,8 @@ func Read(fd int, buf []byte) (n int, eof, again bool, err error) {
 // write interest is never armed for a mere signal.
 //
 //nio:hot
-func Write(fd int, buf []byte) (n int, again bool, err error) {
-	n, err = sysfault.Write(fd, buf)
+func Write(lane sysfault.Lane, fd int, buf []byte) (n int, again bool, err error) {
+	n, err = sysfault.Write(lane, fd, buf)
 	switch err {
 	case nil:
 		return n, false, nil
@@ -393,8 +429,8 @@ func Write(fd int, buf []byte) (n int, again bool, err error) {
 // is untouched by a failing sendfile(2).
 //
 //nio:hot
-func Sendfile(fd, srcFD int, off *int64, max int) (n int, again bool, err error) {
-	n, err = sysfault.Sendfile(fd, srcFD, off, max)
+func Sendfile(lane sysfault.Lane, fd, srcFD int, off *int64, max int) (n int, again bool, err error) {
+	n, err = sysfault.Sendfile(lane, fd, srcFD, off, max)
 	switch err {
 	case nil:
 		return n, false, nil
@@ -406,14 +442,14 @@ func Sendfile(fd, srcFD int, off *int64, max int) (n int, again bool, err error)
 }
 
 // CloseFD closes a socket.
-func CloseFD(fd int) { _ = sysfault.Close(fd) }
+func CloseFD(lane sysfault.Lane, fd int) { _ = sysfault.Close(lane, fd) }
 
 // CloseWithReset sets SO_LINGER to zero and closes, so the peer receives
 // an RST instead of an orderly FIN — how a server sheds a connection it
 // no longer wants to account for (Apache's keep-alive recycling surfaces
 // to clients exactly this way).
-func CloseWithReset(fd int) {
+func CloseWithReset(lane sysfault.Lane, fd int) {
 	_ = syscall.SetsockoptLinger(fd, syscall.SOL_SOCKET, syscall.SO_LINGER,
 		&syscall.Linger{Onoff: 1, Linger: 0})
-	_ = sysfault.Close(fd)
+	_ = sysfault.Close(lane, fd)
 }

@@ -26,7 +26,7 @@ func listen(t *testing.T) (lfd, port int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { CloseFD(lfd) })
+	t.Cleanup(func() { CloseFD(0, lfd) })
 	return lfd, port
 }
 
@@ -62,13 +62,13 @@ func TestAcceptAndReadiness(t *testing.T) {
 	if len(evs) != 1 || evs[0].FD != lfd || !evs[0].Readable {
 		t.Fatalf("expected listener readable, got %+v", evs)
 	}
-	fd, done, err := Accept(lfd)
+	fd, done, err := Accept(0, lfd)
 	if err != nil || done {
 		t.Fatalf("accept failed: %v done=%v", err, done)
 	}
-	t.Cleanup(func() { CloseFD(fd) })
+	t.Cleanup(func() { CloseFD(0, fd) })
 	// A second accept should report EAGAIN.
-	if _, done, err := Accept(lfd); err != nil || !done {
+	if _, done, err := Accept(0, lfd); err != nil || !done {
 		t.Fatalf("second accept: done=%v err=%v", done, err)
 	}
 
@@ -93,12 +93,12 @@ func TestAcceptAndReadiness(t *testing.T) {
 		t.Fatalf("conn fd not readable: %+v", evs)
 	}
 	buf := make([]byte, 16)
-	n, eof, again, err := Read(fd, buf)
+	n, eof, again, err := Read(0, fd, buf)
 	if err != nil || eof || again || n != 4 || string(buf[:4]) != "ping" {
 		t.Fatalf("read = %d %v %v %v (%q)", n, eof, again, err, buf[:n])
 	}
 	// No more data: EAGAIN.
-	_, _, again, err = Read(fd, buf)
+	_, _, again, err = Read(0, fd, buf)
 	if err != nil || !again {
 		t.Fatalf("expected EAGAIN, got again=%v err=%v", again, err)
 	}
@@ -111,17 +111,17 @@ func TestReadEOFOnPeerClose(t *testing.T) {
 	client := dial(t, port)
 	// Wait for the connection to be acceptable.
 	waitReadable(t, lfd)
-	fd, _, err := Accept(lfd)
+	fd, _, err := Accept(0, lfd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { CloseFD(fd) })
+	t.Cleanup(func() { CloseFD(0, fd) })
 	client.Close()
 	// Poll until EOF is observable.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		buf := make([]byte, 8)
-		_, eof, again, err := Read(fd, buf)
+		_, eof, again, err := Read(0, fd, buf)
 		if eof {
 			return
 		}
@@ -159,11 +159,11 @@ func TestWriteInterestToggle(t *testing.T) {
 	lfd, port := listen(t)
 	client := dial(t, port)
 	waitReadable(t, lfd)
-	fd, _, err := Accept(lfd)
+	fd, _, err := Accept(0, lfd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { CloseFD(fd) })
+	t.Cleanup(func() { CloseFD(0, fd) })
 	_ = client
 
 	if err := p.Add(fd, true, false); err != nil {
@@ -203,11 +203,11 @@ func TestWriteFillsSocketBuffer(t *testing.T) {
 	lfd, port := listen(t)
 	client := dial(t, port)
 	waitReadable(t, lfd)
-	fd, _, err := Accept(lfd)
+	fd, _, err := Accept(0, lfd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { CloseFD(fd) })
+	t.Cleanup(func() { CloseFD(0, fd) })
 	_ = client // client never reads: the server-side buffer must fill
 	_ = p
 
@@ -215,7 +215,7 @@ func TestWriteFillsSocketBuffer(t *testing.T) {
 	total := 0
 	sawAgain := false
 	for i := 0; i < 100; i++ {
-		n, again, err := Write(fd, payload)
+		n, again, err := Write(0, fd, payload)
 		if err != nil {
 			t.Fatalf("write error: %v", err)
 		}
@@ -290,7 +290,7 @@ func TestHangupReported(t *testing.T) {
 	lfd, port := listen(t)
 	client := dial(t, port)
 	waitReadable(t, lfd)
-	fd, _, err := Accept(lfd)
+	fd, _, err := Accept(0, lfd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestPollerDefaultSize(t *testing.T) {
 
 func TestAcceptOnIdleListenerReturnsDone(t *testing.T) {
 	lfd, _ := listen(t)
-	_, done, err := Accept(lfd)
+	_, done, err := Accept(0, lfd)
 	if err != nil || !done {
 		t.Fatalf("expected done=true, got done=%v err=%v", done, err)
 	}
@@ -348,11 +348,11 @@ func TestWriteToClosedPeer(t *testing.T) {
 	lfd, port := listen(t)
 	client := dial(t, port)
 	waitReadable(t, lfd)
-	fd, _, err := Accept(lfd)
+	fd, _, err := Accept(0, lfd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { CloseFD(fd) })
+	t.Cleanup(func() { CloseFD(0, fd) })
 	tc := client.(*net.TCPConn)
 	_ = tc.SetLinger(0)
 	tc.Close()
@@ -361,7 +361,7 @@ func TestWriteToClosedPeer(t *testing.T) {
 	// with EPIPE/ECONNRESET rather than crash the process.
 	var lastErr error
 	for i := 0; i < 5; i++ {
-		_, _, lastErr = Write(fd, []byte("data"))
+		_, _, lastErr = Write(0, fd, []byte("data"))
 		if lastErr != nil {
 			break
 		}

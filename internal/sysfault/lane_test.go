@@ -1,0 +1,283 @@
+//go:build linux
+
+package sysfault
+
+import (
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+// laneDecisions filters the injector's fire log down to one lane's
+// stream, in fire order — the unit of per-shard replay comparison.
+func laneDecisions(inj *Injector, lane Lane) []Decision {
+	var out []Decision
+	for _, d := range inj.Decisions() {
+		if d.Lane == lane {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// enumerateLane drives every site for n calls on one lane, returning
+// the fired schedule — the per-lane analogue of enumerate().
+func enumerateLane(inj *Injector, lane Lane, n int) []Decision {
+	var out []Decision
+	for i := 0; i < n; i++ {
+		for s := Site(0); int(s) < NumSites; s++ {
+			if d, ok := inj.StepLane(s, lane); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// TestLaneZeroIsLegacyStream pins the shard-0 compatibility contract:
+// lane 0's schedule is byte-identical to the pre-shard seam, so every
+// failure seed recorded before sharding still replays exactly. The
+// golden is the same seed-42 schedule TestDeterminismGolden pins —
+// driving it through StepLane(s, 0) must reproduce it verbatim.
+func TestLaneZeroIsLegacyStream(t *testing.T) {
+	inj := New(42, MustParsePlan(goldenPlan)...)
+	var got string
+	for i := 0; i < 24; i++ {
+		for s := Site(0); int(s) < NumSites; s++ {
+			if d, ok := inj.StepLane(s, 0); ok {
+				got += d.String() + "\n"
+			}
+		}
+	}
+	if got != goldenSeed42 {
+		t.Errorf("lane-0 schedule is not the legacy stream:\ngot:\n%s\nwant:\n%s", got, goldenSeed42)
+	}
+}
+
+// TestLaneStreamsDiffer guards against a degenerate lane mix: distinct
+// lanes under the same seed must not share a schedule (if they did,
+// every shard would fault in lockstep and the sweep's independence
+// claim would be vacuous).
+func TestLaneStreamsDiffer(t *testing.T) {
+	rules := MustParsePlan("write:econnreset:0.3; read:eio:0.2")
+	perLane := make([][]Decision, 4)
+	for lane := Lane(0); lane < 4; lane++ {
+		inj := New(77, rules...)
+		perLane[lane] = enumerateLane(inj, lane, 100)
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			// Compare index schedules only; Lane fields differ trivially.
+			ai, bi := indexSchedule(perLane[a]), indexSchedule(perLane[b])
+			if reflect.DeepEqual(ai, bi) {
+				t.Errorf("lanes %d and %d produced identical 100-call schedules: %v", a, b, ai)
+			}
+		}
+	}
+}
+
+func indexSchedule(ds []Decision) [][2]uint64 {
+	out := make([][2]uint64, len(ds))
+	for i, d := range ds {
+		out[i] = [2]uint64{uint64(d.Site), d.Index}
+	}
+	return out
+}
+
+// TestCrossLaneIsolation is the shard-isolation theorem in miniature:
+// a lane's decision stream is a pure function of (seed, site, lane,
+// index), so traffic on OTHER lanes — any amount, any interleaving —
+// must not move a single fire. Lane 2's schedule driven solo must
+// equal lane 2's schedule with lanes 0, 1 and 3 hammering the same
+// sites between every call.
+func TestCrossLaneIsolation(t *testing.T) {
+	rules := MustParsePlan("write:econnreset:0.3; accept:emfile:0.15")
+	solo := New(99, rules...)
+	want := enumerateLane(solo, 2, 150)
+
+	mixed := New(99, rules...)
+	var got []Decision
+	for i := 0; i < 150; i++ {
+		// Unrelated traffic on every other lane, deliberately uneven.
+		mixed.StepLane(SiteWrite, 0)
+		mixed.StepLane(SiteAccept, 1)
+		mixed.StepLane(SiteWrite, 1)
+		mixed.StepLane(SiteAccept, 3)
+		for s := Site(0); int(s) < NumSites; s++ {
+			if d, ok := mixed.StepLane(s, 2); ok {
+				got = append(got, d)
+			}
+		}
+		mixed.StepLane(SiteWrite, 3)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lane 2 schedule moved under cross-lane traffic:\nsolo:  %v\nmixed: %v", want, got)
+	}
+
+	// And the converse: lane 0 (the legacy stream) is unperturbed by
+	// lane 2's presence — per-lane accounting confirms no bleed.
+	if ls := mixed.LaneStats(0); ls[SiteWrite].Calls != 150 {
+		t.Fatalf("lane 0 write calls = %d, want 150 (lane traffic bled across lanes)", ls[SiteWrite].Calls)
+	}
+	if ls := mixed.LaneStats(2); ls[SiteWrite].Calls != 150 {
+		t.Fatalf("lane 2 write calls = %d, want 150", ls[SiteWrite].Calls)
+	}
+}
+
+// TestInterleavingInvariance replays the same per-lane call pattern
+// under two schedules — all of lane 0 then all of lane 1, versus
+// strict alternation — and requires identical per-lane decision
+// streams. This is exactly the property the sharded server leans on:
+// shard scheduling is nondeterministic, shard fault schedules are not.
+func TestInterleavingInvariance(t *testing.T) {
+	rules := MustParsePlan("read:econnreset:0.25; write:short:0.1:len=2")
+	const n = 200
+
+	serial := New(1234, rules...)
+	for lane := Lane(0); lane < 2; lane++ {
+		for i := 0; i < n; i++ {
+			serial.StepLane(SiteRead, lane)
+			serial.StepLane(SiteWrite, lane)
+		}
+	}
+
+	interleaved := New(1234, rules...)
+	for i := 0; i < n; i++ {
+		for lane := Lane(0); lane < 2; lane++ {
+			interleaved.StepLane(SiteRead, lane)
+			interleaved.StepLane(SiteWrite, lane)
+		}
+	}
+
+	for lane := Lane(0); lane < 2; lane++ {
+		a, b := laneDecisions(serial, lane), laneDecisions(interleaved, lane)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("lane %d stream depends on interleaving:\nserial:      %v\ninterleaved: %v", lane, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("lane %d never fired over %d calls at p=0.25 — test is vacuous", lane, n)
+		}
+	}
+}
+
+// TestLanePinnedRule holds HasLane to its contract: a rule pinned to
+// lane 2 — whether built as a literal or parsed from a ":lane=2"
+// clause — fires only on lane 2's stream, and because the pin makes
+// the count budget single-lane, count-limited replay is exact.
+func TestLanePinnedRule(t *testing.T) {
+	build := map[string]func() *Injector{
+		"literal": func() *Injector {
+			return New(5, Rule{Site: SiteWrite, Errno: syscall.ECONNRESET, Prob: 1, Count: 3, HasLane: true, Lane: 2})
+		},
+		"parsed": func() *Injector {
+			return New(5, MustParsePlan("write:econnreset:1:count=3:lane=2")...)
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			inj := mk()
+			for i := 0; i < 10; i++ {
+				for lane := Lane(0); lane < 4; lane++ {
+					inj.StepLane(SiteWrite, lane)
+				}
+			}
+			for lane := Lane(0); lane < 4; lane++ {
+				ls := inj.LaneStats(lane)
+				wantFires := uint64(0)
+				if lane == 2 {
+					wantFires = 3
+				}
+				if ls[SiteWrite].Calls != 10 || ls[SiteWrite].Fires != wantFires {
+					t.Errorf("lane %d: %d calls / %d fires, want 10 / %d",
+						lane, ls[SiteWrite].Calls, ls[SiteWrite].Fires, wantFires)
+				}
+			}
+			// The pinned count budget fires at exactly indices 0,1,2 of
+			// lane 2's stream — replayable like any other schedule.
+			want := []Decision{
+				{Site: SiteWrite, Lane: 2, Index: 0, Errno: syscall.ECONNRESET, Len: 1},
+				{Site: SiteWrite, Lane: 2, Index: 1, Errno: syscall.ECONNRESET, Len: 1},
+				{Site: SiteWrite, Lane: 2, Index: 2, Errno: syscall.ECONNRESET, Len: 1},
+			}
+			if got := inj.Decisions(); !reflect.DeepEqual(got, want) {
+				t.Errorf("pinned schedule = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestLanePlanRoundTrip pins the ":lane=" clause through the full
+// parse → format → parse cycle, including the lane-0 pin (which must
+// not collapse into "no pin" — HasLane is the discriminator).
+func TestLanePlanRoundTrip(t *testing.T) {
+	spec := "write:econnreset:0.5:lane=3; read:short:0.25:len=4:lane=0; accept:emfile:1:after=2:count=5:lane=63"
+	rules, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Site: SiteWrite, Errno: syscall.ECONNRESET, Prob: 0.5, HasLane: true, Lane: 3},
+		{Site: SiteRead, Prob: 0.25, Len: 4, HasLane: true, Lane: 0},
+		{Site: SiteAccept, Errno: syscall.EMFILE, Prob: 1, After: 2, Count: 5, HasLane: true, Lane: 63},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Fatalf("ParsePlan(%q) = %+v, want %+v", spec, rules, want)
+	}
+	again, err := ParsePlan(FormatPlan(rules))
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", FormatPlan(rules), err)
+	}
+	if !reflect.DeepEqual(rules, again) {
+		t.Fatalf("lane round trip drifted:\n%+v\nvs\n%+v", rules, again)
+	}
+	// Out-of-range lanes are a parse error, not a silent mask.
+	if rules, err := ParsePlan("write:eio:1:lane=64"); err == nil {
+		t.Fatalf("lane=64 accepted: %+v", rules)
+	}
+}
+
+// TestLiveWrappersMatchOfflinePerLane is the per-shard replay theorem
+// end to end: live wrapper traffic spread across four lanes must
+// produce, per lane, exactly the decision stream an offline StepLane
+// enumeration predicts for the same seed and per-lane call counts —
+// even though the live traffic interleaves lanes in an order the
+// offline replay never sees.
+func TestLiveWrappersMatchOfflinePerLane(t *testing.T) {
+	plan := MustParsePlan("write:econnreset:0.25")
+	const perLane = 30
+
+	live := New(21, plan...)
+	Install(live)
+	a, _ := socketpair(t)
+	// Round-robin the lanes the way four shards would: interleaved.
+	for i := 0; i < perLane; i++ {
+		for lane := Lane(0); lane < 4; lane++ {
+			_, _ = Write(lane, a, []byte("x"))
+		}
+	}
+	Uninstall()
+
+	offline := New(21, plan...)
+	// Enumerate lane-major: a completely different interleaving.
+	for lane := Lane(0); lane < 4; lane++ {
+		for i := 0; i < perLane; i++ {
+			offline.StepLane(SiteWrite, lane)
+		}
+	}
+
+	fired := 0
+	for lane := Lane(0); lane < 4; lane++ {
+		lg, og := laneDecisions(live, lane), laneDecisions(offline, lane)
+		if !reflect.DeepEqual(lg, og) {
+			t.Fatalf("lane %d: live %v vs offline %v", lane, lg, og)
+		}
+		fired += len(lg)
+		ls, os := live.LaneStats(lane), offline.LaneStats(lane)
+		if ls[SiteWrite] != os[SiteWrite] {
+			t.Fatalf("lane %d accounting: live %+v vs offline %+v", lane, ls[SiteWrite], os[SiteWrite])
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("no lane fired over %d calls at p=0.25 — test is vacuous", 4*perLane)
+	}
+}

@@ -40,7 +40,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 	if inj == nil {
 		return l.Listener.Accept()
 	}
-	if oc := inj.decide(SiteAccept); oc.fire && oc.errno != 0 {
+	if oc := inj.decide(SiteAccept, 0); oc.fire && oc.errno != 0 {
 		return nil, opError("accept", oc.errno)
 	}
 	c, err := l.Listener.Accept()
@@ -57,7 +57,7 @@ type Conn struct {
 
 func (c *Conn) Read(p []byte) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteRead); oc.fire {
+		if oc := inj.decide(SiteRead, 0); oc.fire {
 			if oc.errno != 0 {
 				return 0, opError("read", oc.errno)
 			}
@@ -77,7 +77,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 // what this injection exercises.
 func (c *Conn) Write(p []byte) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteWrite); oc.fire {
+		if oc := inj.decide(SiteWrite, 0); oc.fire {
 			if oc.errno != 0 {
 				return 0, opError("write", oc.errno)
 			}

@@ -12,11 +12,12 @@ import (
 // The fault-plan spec is the CLI/env surface of the seam: a
 // semicolon-separated list of clauses, each
 //
-//	site:errno:prob[:after=K][:count=N][:len=N]
+//	site:errno:prob[:after=K][:count=N][:len=N][:lane=K]
 //
 // e.g. "accept:emfile:1:after=64:count=8; write:short:0.01:len=3".
 // "short" in the errno position arms a short transfer instead of an
-// error. Parsing is strict — an unknown site, errno, or option is an
+// error; "lane=K" pins the rule to shard K's decision stream (without
+// it a rule arms on every lane). Parsing is strict — an unknown site, errno, or option is an
 // error, never silently ignored — and ParsePlan must never panic on
 // arbitrary input (there is a fuzz target holding it to that).
 
@@ -138,6 +139,12 @@ func parseClause(clause string) (Rule, error) {
 				return Rule{}, fmt.Errorf("sysfault: clause %q: len must be >= 1", clause)
 			}
 			r.Len = int(n)
+		case "lane":
+			if n >= MaxLanes {
+				return Rule{}, fmt.Errorf("sysfault: clause %q: lane must be < %d", clause, MaxLanes)
+			}
+			r.HasLane = true
+			r.Lane = Lane(n)
 		default:
 			return Rule{}, fmt.Errorf("sysfault: clause %q: unknown option %q", clause, key)
 		}
@@ -165,6 +172,9 @@ func (r Rule) String() string {
 	}
 	if r.Errno == 0 && r.Len > 1 {
 		fmt.Fprintf(&b, ":len=%d", r.Len)
+	}
+	if r.HasLane {
+		fmt.Fprintf(&b, ":lane=%d", r.Lane)
 	}
 	return b.String()
 }

@@ -8,16 +8,24 @@
 // from the real syscall (zero allocations, no locks), and with an
 // injector installed every injection decision is a pure function of
 //
-//	(Seed, site, per-site call index)
+//	(Seed, site, lane, per-(site,lane) call index)
 //
 // — the same addressed-determinism discipline as internal/faultline's
 // per-segment draws — so a failure schedule replays byte-identically
 // for a given seed no matter how wall-clock time or scheduling vary.
+// The lane is the shard dimension: each reactor shard drives its own
+// lane, so every shard owns an independent, independently-replayable
+// decision stream, and faults fired on one lane can never perturb the
+// call indices or draws of another. Lane 0 is the legacy stream —
+// byte-identical to the pre-shard seam (unsharded servers and the
+// thread-pool net.Conn seam both live there), which is why the lane is
+// mixed into the hash only when nonzero.
 // Probability rules are exactly reproducible even under concurrent
-// callers (each per-site index is claimed atomically and the draw
-// depends on nothing else); count-limited rules consume a shared
+// callers (each per-(site,lane) index is claimed atomically and the
+// draw depends on nothing else); count-limited rules consume a shared
 // budget and are exactly reproducible when the site is driven from a
-// single thread (the configuration every deterministic test uses).
+// single thread (the configuration every deterministic test uses) or
+// when the rule is pinned to one lane with Rule.HasLane.
 //
 // Two deliberate exclusions: the reactor's wakeup pipe is NOT routed
 // through the seam (wakeups are scheduling-dependent, so routing them
@@ -78,6 +86,21 @@ func ParseSite(name string) (Site, error) {
 	return 0, fmt.Errorf("sysfault: unknown site %q", name)
 }
 
+// Lane identifies one shard's decision stream. Every wrapper takes the
+// caller's lane; each (site, lane) pair owns its own call-index stream
+// and its own position in the seeded hash, so shard 0's faults can
+// never perturb shard 1's decisions. Lane 0 is the legacy pre-shard
+// stream. Lanes at or beyond MaxLanes are folded back by masking
+// (MaxLanes is a power of two), which keeps the arrays bounded while
+// staying deterministic for any shard count.
+type Lane uint32
+
+// MaxLanes bounds the per-lane accounting arrays; lanes wrap modulo
+// MaxLanes. 64 comfortably exceeds any realistic shard count.
+const MaxLanes = 64
+
+func (l Lane) index() int { return int(l) & (MaxLanes - 1) }
+
 // Rule arms one fault class at one site. Errno == 0 means a short
 // transfer of Len bytes (meaningful at write/sendfile/read); any other
 // value is returned from the wrapper without performing the syscall —
@@ -87,25 +110,35 @@ type Rule struct {
 	Site  Site
 	Errno syscall.Errno // 0 => short transfer of Len bytes
 	Prob  float64       // per-call fire probability in [0, 1]
-	After uint64        // first eligible per-site call index (0 = immediately)
+	After uint64        // first eligible per-(site,lane) call index (0 = immediately)
 	Count int           // max fires; <= 0 means unlimited
 	Len   int           // short-transfer length (clamped to >= 1)
+	// HasLane pins the rule to one shard's stream; the zero value arms
+	// the rule on every lane (an unsharded server only ever has lane 0,
+	// so pre-shard rule literals keep their meaning unchanged).
+	HasLane bool
+	Lane    Lane
 }
 
-// Decision is one fired injection, addressed by site and per-site call
-// index — the unit of the determinism golden.
+// Decision is one fired injection, addressed by (site, lane) and the
+// per-(site,lane) call index — the unit of the determinism golden.
 type Decision struct {
 	Site  Site
+	Lane  Lane
 	Index uint64
 	Errno syscall.Errno // 0 => short transfer
 	Len   int
 }
 
 func (d Decision) String() string {
-	if d.Errno == 0 {
-		return fmt.Sprintf("%s[%d] short(%d)", d.Site, d.Index, d.Len)
+	site := d.Site.String()
+	if d.Lane != 0 {
+		site = fmt.Sprintf("%s@%d", site, d.Lane)
 	}
-	return fmt.Sprintf("%s[%d] %s", d.Site, d.Index, ErrnoName(d.Errno))
+	if d.Errno == 0 {
+		return fmt.Sprintf("%s[%d] short(%d)", site, d.Index, d.Len)
+	}
+	return fmt.Sprintf("%s[%d] %s", site, d.Index, ErrnoName(d.Errno))
 }
 
 // SiteStat is one site's call/fire accounting.
@@ -123,12 +156,13 @@ type compiledRule struct {
 // but not retained (the golden tests never come near the cap).
 const decisionLogCap = 4096
 
-// Injector evaluates a rule set against the per-site call streams.
+// Injector evaluates a rule set against the per-(site,lane) call
+// streams.
 type Injector struct {
 	seed   uint64
 	bySite [NumSites][]*compiledRule
-	calls  [NumSites]atomic.Uint64
-	fires  [NumSites]atomic.Uint64
+	calls  [NumSites][MaxLanes]atomic.Uint64
+	fires  [NumSites][MaxLanes]atomic.Uint64
 
 	mu  sync.Mutex
 	log []Decision
@@ -167,12 +201,17 @@ func splitmix64(x uint64) uint64 {
 	return x
 }
 
-// drawFloat maps (seed, site, index, rule) to a uniform float in
+// drawFloat maps (seed, site, lane, index, rule) to a uniform float in
 // [0, 1) by hashing the full address — no sequential RNG stream
-// exists, so concurrent sites cannot perturb each other's draws.
-func drawFloat(seed uint64, s Site, idx uint64, rule int) float64 {
+// exists, so concurrent sites (and concurrent lanes) cannot perturb
+// each other's draws. Lane 0 skips the lane mix so the unsharded
+// stream stays byte-identical to the pre-shard seam.
+func drawFloat(seed uint64, s Site, lane Lane, idx uint64, rule int) float64 {
 	h := splitmix64(seed ^ 0x9e3779b97f4a7c15)
 	h = splitmix64(h ^ (uint64(s) + 1))
+	if lane != 0 {
+		h = splitmix64(h ^ (0xd1b54a32d192ed03 + uint64(lane)))
+	}
 	h = splitmix64(h ^ idx)
 	h = splitmix64(h ^ uint64(rule))
 	return float64(h>>11) / (1 << 53)
@@ -185,14 +224,19 @@ type outcome struct {
 	idx   uint64
 }
 
-// decide claims the next call index at site s and evaluates its rules.
-func (inj *Injector) decide(s Site) outcome {
-	idx := inj.calls[s].Add(1) - 1
+// decide claims the next call index at (site, lane) and evaluates the
+// site's rules against that lane's stream.
+func (inj *Injector) decide(s Site, lane Lane) outcome {
+	li := lane.index()
+	idx := inj.calls[s][li].Add(1) - 1
 	for ri, r := range inj.bySite[s] {
+		if r.HasLane && r.Lane.index() != li {
+			continue
+		}
 		if idx < r.After {
 			continue
 		}
-		if r.Prob < 1 && drawFloat(inj.seed, s, idx, ri) >= r.Prob {
+		if r.Prob < 1 && drawFloat(inj.seed, s, lane, idx, ri) >= r.Prob {
 			continue
 		}
 		if r.Count > 0 && r.fired.Add(1) > int64(r.Count) {
@@ -201,10 +245,10 @@ func (inj *Injector) decide(s Site) outcome {
 		if r.Count <= 0 {
 			r.fired.Add(1)
 		}
-		inj.fires[s].Add(1)
+		inj.fires[s][li].Add(1)
 		inj.mu.Lock()
 		if len(inj.log) < decisionLogCap {
-			inj.log = append(inj.log, Decision{Site: s, Index: idx, Errno: r.Errno, Len: r.Len})
+			inj.log = append(inj.log, Decision{Site: s, Lane: lane, Index: idx, Errno: r.Errno, Len: r.Len})
 		}
 		inj.mu.Unlock()
 		return outcome{fire: true, errno: r.Errno, len: r.Len, idx: idx}
@@ -212,16 +256,21 @@ func (inj *Injector) decide(s Site) outcome {
 	return outcome{idx: idx}
 }
 
-// Step advances site s by one call index exactly as a wrapper would —
-// without any syscall — and reports the decision taken. It exists for
-// the determinism goldens and the demo: a schedule can be enumerated
-// offline and compared against what live wrappers actually did.
-func (inj *Injector) Step(s Site) (Decision, bool) {
-	oc := inj.decide(s)
+// Step advances site s by one call index on lane 0 exactly as a
+// wrapper would — without any syscall — and reports the decision
+// taken. It exists for the determinism goldens and the demo: a
+// schedule can be enumerated offline and compared against what live
+// wrappers actually did.
+func (inj *Injector) Step(s Site) (Decision, bool) { return inj.StepLane(s, 0) }
+
+// StepLane is Step on an explicit lane — the offline replay primitive
+// for per-shard decision streams.
+func (inj *Injector) StepLane(s Site, lane Lane) (Decision, bool) {
+	oc := inj.decide(s, lane)
 	if !oc.fire {
 		return Decision{}, false
 	}
-	return Decision{Site: s, Index: oc.idx, Errno: oc.errno, Len: oc.len}, true
+	return Decision{Site: s, Lane: lane, Index: oc.idx, Errno: oc.errno, Len: oc.len}, true
 }
 
 // Decisions returns a copy of the fired-injection log in fire order.
@@ -233,11 +282,25 @@ func (inj *Injector) Decisions() []Decision {
 	return out
 }
 
-// Stats returns per-site call and fire counts.
+// Stats returns per-site call and fire counts summed across lanes.
 func (inj *Injector) Stats() [NumSites]SiteStat {
 	var out [NumSites]SiteStat
 	for i := range out {
-		out[i] = SiteStat{Calls: inj.calls[i].Load(), Fires: inj.fires[i].Load()}
+		for l := 0; l < MaxLanes; l++ {
+			out[i].Calls += inj.calls[i][l].Load()
+			out[i].Fires += inj.fires[i][l].Load()
+		}
+	}
+	return out
+}
+
+// LaneStats returns per-site call and fire counts for one lane's
+// stream only — the unit the per-shard offline replay compares.
+func (inj *Injector) LaneStats(lane Lane) [NumSites]SiteStat {
+	li := lane.index()
+	var out [NumSites]SiteStat
+	for i := range out {
+		out[i] = SiteStat{Calls: inj.calls[i][li].Load(), Fires: inj.fires[i][li].Load()}
 	}
 	return out
 }
@@ -259,16 +322,16 @@ func Active() *Injector { return current.Load() }
 
 // ---------------------------------------------------------------------
 // Syscall wrappers. Each consumes exactly one injection index per call
-// (EINTR retries happen inside and do not consume indices), injects
-// BEFORE the real syscall, and owes its caller EAGAIN classification
-// only — EINTR never escapes a wrapper.
+// on the caller's lane (EINTR retries happen inside and do not consume
+// indices), injects BEFORE the real syscall, and owes its caller
+// EAGAIN classification only — EINTR never escapes a wrapper.
 // ---------------------------------------------------------------------
 
 // Accept4 accepts one connection. An injected errno (EMFILE, ENFILE,
 // ECONNABORTED, ...) is returned without accepting.
-func Accept4(lfd, flags int) (int, error) {
+func Accept4(lane Lane, lfd, flags int) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteAccept); oc.fire && oc.errno != 0 {
+		if oc := inj.decide(SiteAccept, lane); oc.fire && oc.errno != 0 {
 			return -1, oc.errno
 		}
 	}
@@ -283,9 +346,9 @@ func Accept4(lfd, flags int) (int, error) {
 
 // Read reads into p. An injected errno (ECONNRESET, EIO, ...) is
 // returned without reading; a short injection truncates the buffer.
-func Read(fd int, p []byte) (int, error) {
+func Read(lane Lane, fd int, p []byte) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteRead); oc.fire {
+		if oc := inj.decide(SiteRead, lane); oc.fire {
 			if oc.errno != 0 {
 				return 0, oc.errno
 			}
@@ -307,9 +370,9 @@ func Read(fd int, p []byte) (int, error) {
 // is returned without writing; a short injection truncates p so the
 // kernel really does deliver only the prefix — callers must already
 // cope with partial writes, which is exactly what the injection tests.
-func Write(fd int, p []byte) (int, error) {
+func Write(lane Lane, fd int, p []byte) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteWrite); oc.fire {
+		if oc := inj.decide(SiteWrite, lane); oc.fire {
 			if oc.errno != 0 {
 				return 0, oc.errno
 			}
@@ -331,9 +394,9 @@ func Write(fd int, p []byte) (int, error) {
 // injected errno (EINVAL, EIO, ...) is returned without moving
 // anything (*off untouched — precisely the contract the buffered
 // fallback path relies on); a short injection caps max.
-func Sendfile(fd, srcFD int, off *int64, max int) (int, error) {
+func Sendfile(lane Lane, fd, srcFD int, off *int64, max int) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteSendfile); oc.fire {
+		if oc := inj.decide(SiteSendfile, lane); oc.fire {
 			if oc.errno != 0 {
 				return 0, oc.errno
 			}
@@ -354,9 +417,9 @@ func Sendfile(fd, srcFD int, off *int64, max int) (int, error) {
 // EpollWait waits for readiness events. EINTR is absorbed here (the
 // one place the reactor used to need retryEINTR for it), so callers
 // see only real errors.
-func EpollWait(epfd int, events []syscall.EpollEvent, msec int) (int, error) {
+func EpollWait(lane Lane, epfd int, events []syscall.EpollEvent, msec int) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteEpollWait); oc.fire && oc.errno != 0 {
+		if oc := inj.decide(SiteEpollWait, lane); oc.fire && oc.errno != 0 {
 			return 0, oc.errno
 		}
 	}
@@ -371,9 +434,9 @@ func EpollWait(epfd int, events []syscall.EpollEvent, msec int) (int, error) {
 
 // Socket creates a socket. An injected errno (EMFILE, ENFILE,
 // ENOBUFS, ...) is returned without creating one.
-func Socket(domain, typ, proto int) (int, error) {
+func Socket(lane Lane, domain, typ, proto int) (int, error) {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteSocket); oc.fire && oc.errno != 0 {
+		if oc := inj.decide(SiteSocket, lane); oc.fire && oc.errno != 0 {
 			return -1, oc.errno
 		}
 	}
@@ -383,9 +446,9 @@ func Socket(domain, typ, proto int) (int, error) {
 // Connect starts a connect. An injected errno (ECONNREFUSED,
 // EADDRNOTAVAIL, ETIMEDOUT, ...) is returned without touching the
 // socket; the caller owns — and must still close — the fd either way.
-func Connect(fd int, sa syscall.Sockaddr) error {
+func Connect(lane Lane, fd int, sa syscall.Sockaddr) error {
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteConnect); oc.fire && oc.errno != 0 {
+		if oc := inj.decide(SiteConnect, lane); oc.fire && oc.errno != 0 {
 			return oc.errno
 		}
 	}
@@ -401,10 +464,10 @@ func Connect(fd int, sa syscall.Sockaddr) error {
 // Close closes fd. The REAL close always runs — an injected errno is
 // reported afterwards, so the seam can exercise close-error handling
 // without ever leaking a descriptor.
-func Close(fd int) error {
+func Close(lane Lane, fd int) error {
 	err := syscall.Close(fd)
 	if inj := current.Load(); inj != nil {
-		if oc := inj.decide(SiteClose); oc.fire && oc.errno != 0 {
+		if oc := inj.decide(SiteClose, lane); oc.fire && oc.errno != 0 {
 			return oc.errno
 		}
 	}

@@ -133,11 +133,11 @@ func socketpair(t *testing.T) (a, b int) {
 func TestWrappersPassthroughWhenOff(t *testing.T) {
 	Uninstall()
 	a, b := socketpair(t)
-	if _, err := Write(a, []byte("hello")); err != nil {
+	if _, err := Write(0, a, []byte("hello")); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	buf := make([]byte, 16)
-	n, err := Read(b, buf)
+	n, err := Read(0, b, buf)
 	if err != nil || string(buf[:n]) != "hello" {
 		t.Fatalf("read = %q, %v", buf[:n], err)
 	}
@@ -149,25 +149,25 @@ func TestWriteInjection(t *testing.T) {
 	// Short write: only the injected prefix reaches the kernel.
 	Install(New(3, Rule{Site: SiteWrite, Prob: 1, Len: 2, Count: 1}))
 	defer Uninstall()
-	n, err := Write(a, []byte("hello"))
+	n, err := Write(0, a, []byte("hello"))
 	if err != nil || n != 2 {
 		t.Fatalf("short write = %d, %v; want 2, nil", n, err)
 	}
 	buf := make([]byte, 16)
-	if n, _ := Read(b, buf); string(buf[:n]) != "he" {
+	if n, _ := Read(0, b, buf); string(buf[:n]) != "he" {
 		t.Fatalf("peer saw %q, want %q", buf[:n], "he")
 	}
 
 	// Errno injection: the syscall never runs.
 	Install(New(3, Rule{Site: SiteWrite, Errno: syscall.ENOBUFS, Prob: 1}))
-	if _, err := Write(a, []byte("x")); err != syscall.ENOBUFS {
+	if _, err := Write(0, a, []byte("x")); err != syscall.ENOBUFS {
 		t.Fatalf("err = %v, want ENOBUFS", err)
 	}
 	Uninstall()
-	if _, err := Write(a, []byte("!")); err != nil {
+	if _, err := Write(0, a, []byte("!")); err != nil {
 		t.Fatalf("post-uninstall write: %v", err)
 	}
-	if n, _ := Read(b, buf); string(buf[:n]) != "!" {
+	if n, _ := Read(0, b, buf); string(buf[:n]) != "!" {
 		t.Fatalf("peer saw %q after errno injection, want %q (nothing must have leaked)", buf[:n], "!")
 	}
 }
@@ -177,7 +177,7 @@ func TestSendfileErrnoLeavesOffsetUntouched(t *testing.T) {
 	defer Uninstall()
 	off := int64(7)
 	// fds are never touched on the injected path, so invalid ones are fine.
-	if _, err := Sendfile(-1, -1, &off, 100); err != syscall.EIO {
+	if _, err := Sendfile(0, -1, -1, &off, 100); err != syscall.EIO {
 		t.Fatalf("err = %v, want EIO", err)
 	}
 	if off != 7 {
@@ -194,7 +194,7 @@ func TestCloseAlwaysCloses(t *testing.T) {
 	syscall.Close(fds[1])
 	Install(New(9, Rule{Site: SiteClose, Errno: syscall.EIO, Prob: 1}))
 	defer Uninstall()
-	if err := Close(fds[0]); err != syscall.EIO {
+	if err := Close(0, fds[0]); err != syscall.EIO {
 		t.Fatalf("err = %v, want injected EIO", err)
 	}
 	// The descriptor must really be gone despite the injected error.
@@ -213,7 +213,7 @@ func TestDecisionLogMatchesLiveWrappers(t *testing.T) {
 	Install(live)
 	a, _ := socketpair(t)
 	for i := 0; i < 40; i++ {
-		_, _ = Write(a, []byte("x"))
+		_, _ = Write(0, a, []byte("x"))
 	}
 	Uninstall()
 
@@ -245,7 +245,7 @@ func BenchmarkWritePassthrough(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Write(fds[0], buf); err != nil {
+		if _, err := Write(0, fds[0], buf); err != nil {
 			b.Fatal(err)
 		}
 		_, _ = syscall.Read(fds[1], drain)

@@ -59,16 +59,17 @@ func dumpRollupOnFailure(t *testing.T, name string, coll *rollup.Collector) {
 	})
 }
 
-// startProxyTier builds and starts a proxy over the given backends.
-// Probing is off by default (tests that need it turn it on in mutate).
-func startProxyTier(t *testing.T, backends []proxy.BackendConfig, mutate func(*proxy.Config)) *proxy.Server {
+// startProxyTier builds and starts a proxy tier of the given shard
+// count over the given backends. Probing is off by default (tests that
+// need it turn it on in mutate).
+func startProxyTier(t *testing.T, shards int, backends []proxy.BackendConfig, mutate func(*proxy.Config)) *proxy.Tier {
 	t.Helper()
 	cfg := proxy.DefaultConfig(backends)
 	cfg.ProbeEvery = 0
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	p, err := proxy.NewServer(cfg)
+	p, err := proxy.NewTier(cfg, shards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,10 +87,22 @@ func startProxyTier(t *testing.T, backends []proxy.BackendConfig, mutate func(*p
 // through the proxy must earn bodyless 304s on the raw wire. The
 // backends' rollup exports, merged by the collector, must account for
 // every reply the tier relayed.
+//
+// The matrix runs at 1 and 4 proxy shards: relay fidelity and the
+// exactness of the shard-merged counters must survive SO_REUSEPORT
+// sharding of the tier itself.
 func TestProxyContentParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration-scale")
 	}
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			proxyContentParity(t, shards)
+		})
+	}
+}
+
+func proxyContentParity(t *testing.T, shards int) {
 	cfg := surge.DefaultConfig()
 	cfg.NumObjects = 48
 	cfg.MaxObjectBytes = 128 << 10
@@ -155,10 +168,13 @@ func TestProxyContentParity(t *testing.T) {
 	}
 	defer mt.Stop()
 
-	p := startProxyTier(t, []proxy.BackendConfig{
+	p := startProxyTier(t, shards, []proxy.BackendConfig{
 		{Addr: nio.Addr(), AdminAddr: nioAdmin.Addr(), Name: "nio"},
 		{Addr: mt.Addr(), AdminAddr: mtAdmin.Addr(), Name: "mt"},
 	}, func(c *proxy.Config) { c.Balance = proxy.HashPath })
+	if p.NumShards() != shards {
+		t.Fatalf("tier NumShards = %d, want %d", p.NumShards(), shards)
+	}
 
 	coll := rollup.NewCollector()
 	dumpRollupOnFailure(t, "proxy-parity", coll)
@@ -249,8 +265,8 @@ func TestProxyContentParity(t *testing.T) {
 	// Hash balancing must have spread the 48 paths across both
 	// architectures — a proxy that parks everything on one backend would
 	// pass the parity checks trivially.
-	for _, b := range p.Backends() {
-		if st := b.Stats(); st.Relayed == 0 {
+	for _, st := range p.BackendStats() {
+		if st.Relayed == 0 {
 			t.Fatalf("backend %s relayed nothing: %+v", st.Name, st)
 		}
 	}
@@ -324,7 +340,7 @@ func TestProxyBackendKillFailover(t *testing.T) {
 	defer b.Stop()
 
 	health := make(chan bool, 16)
-	p := startProxyTier(t, []proxy.BackendConfig{
+	p := startProxyTier(t, 1, []proxy.BackendConfig{
 		{Addr: a.Addr(), Name: "a"},
 		{Addr: b.Addr(), Name: "b"},
 	}, func(c *proxy.Config) {
@@ -377,8 +393,8 @@ func TestProxyBackendKillFailover(t *testing.T) {
 			t.Fatalf("warm request %d: status %d", i, code)
 		}
 	}
-	for _, bk := range p.Backends() {
-		if st := bk.Stats(); st.Relayed == 0 {
+	for _, st := range p.BackendStats() {
+		if st.Relayed == 0 {
 			t.Fatalf("backend %s took no warm traffic: %+v", st.Name, st)
 		}
 	}
@@ -432,10 +448,10 @@ func TestProxyBackendKillFailover(t *testing.T) {
 	}
 }
 
-// backendStats finds one backend's snapshot by name.
-func backendStats(p *proxy.Server, name string) proxy.BackendStats {
-	for _, b := range p.Backends() {
-		if st := b.Stats(); st.Name == name {
+// backendStats finds one backend's tier-merged snapshot by name.
+func backendStats(p *proxy.Tier, name string) proxy.BackendStats {
+	for _, st := range p.BackendStats() {
+		if st.Name == name {
 			return st
 		}
 	}
@@ -482,7 +498,7 @@ func TestProxyShedAttribution(t *testing.T) {
 			}()
 		}
 	}()
-	p1 := startProxyTier(t, []proxy.BackendConfig{{Addr: shedder.Addr().String(), Name: "shedder"}}, nil)
+	p1 := startProxyTier(t, 1, []proxy.BackendConfig{{Addr: shedder.Addr().String(), Name: "shedder"}}, nil)
 	res, err := loadgen.Run(loadgen.Options{
 		Addr:       p1.Addr(),
 		Clients:    2,
@@ -518,7 +534,7 @@ func TestProxyShedAttribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer bk.Stop()
-	p2 := startProxyTier(t, []proxy.BackendConfig{{Addr: bk.Addr(), Name: "live"}},
+	p2 := startProxyTier(t, 1, []proxy.BackendConfig{{Addr: bk.Addr(), Name: "live"}},
 		func(c *proxy.Config) { c.MaxConns = 1 })
 	hold, err := net.DialTimeout("tcp", p2.Addr(), time.Second)
 	if err != nil {

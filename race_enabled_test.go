@@ -2,6 +2,205 @@
 
 package repro
 
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
 // raceEnabled reports whether the race detector is compiled in; timing
 // gates skip themselves under its ~10x instrumentation cost.
 const raceEnabled = true
+
+// TestShardedServerRaceStress exists only under the race detector: it
+// drives a 4-shard reactor with concurrent keep-alive, pipelined and
+// mid-stream-closing clients, so every cross-shard seam — the shared
+// conn-budget counter, the per-shard stat blocks, the obs plane's ring
+// and per-shard phase views — is exercised from four loops at once
+// while the detector watches.
+//
+// Beyond "zero races", the counters must stay exact: a complete
+// request is served exactly once no matter when its client hangs up,
+// so shard-merged Replies must equal the requests sent, Accepted the
+// connections opened, and the per-shard blocks must sum to the merged
+// view with nothing lost and nothing double-counted.
+func TestShardedServerRaceStress(t *testing.T) {
+	store := core.MapStore{"/x.txt": []byte("stress-body")}
+	plane := obs.NewPlane(1 << 15)
+	cfg := core.DefaultConfig(store)
+	cfg.Shards = 4
+	cfg.Obs = plane
+	srv, err := core.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	req := "GET /x.txt HTTP/1.1\r\nHost: sut\r\nConnection: keep-alive\r\n\r\n"
+	dial := func() (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+		if err == nil {
+			c.SetDeadline(time.Now().Add(30 * time.Second))
+		}
+		return c, err
+	}
+
+	var conns, requests atomic.Int64
+	var wg sync.WaitGroup
+	fail := make(chan error, 64)
+
+	// Keep-alive clients: one long-lived connection each, sequential
+	// request/response cycles.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := dial()
+			if err != nil {
+				fail <- err
+				return
+			}
+			defer c.Close()
+			conns.Add(1)
+			br := bufio.NewReader(c)
+			for n := 0; n < 50; n++ {
+				if _, err := io.WriteString(c, req); err != nil {
+					fail <- err
+					return
+				}
+				requests.Add(1)
+				resp, err := http.ReadResponse(br, nil)
+				if err != nil {
+					fail <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					fail <- fmt.Errorf("keep-alive status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	// Pipelined clients: bursts of 8 requests in a single write, a
+	// fresh connection per burst.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < 10; b++ {
+				c, err := dial()
+				if err != nil {
+					fail <- err
+					return
+				}
+				conns.Add(1)
+				var burst string
+				for k := 0; k < 8; k++ {
+					burst += req
+				}
+				if _, err := io.WriteString(c, burst); err != nil {
+					fail <- err
+					c.Close()
+					return
+				}
+				requests.Add(8)
+				br := bufio.NewReader(c)
+				for k := 0; k < 8; k++ {
+					resp, err := http.ReadResponse(br, nil)
+					if err != nil {
+						fail <- err
+						c.Close()
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				c.Close()
+			}
+		}()
+	}
+	// Mid-stream closers: send one complete request, then hang up
+	// without reading the response. The FIN follows the request bytes,
+	// so the server parses and serves exactly once per connection —
+	// these clients make the close/flush race constant while keeping
+	// the reply count deterministic.
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 20; n++ {
+				c, err := dial()
+				if err != nil {
+					fail <- err
+					return
+				}
+				conns.Add(1)
+				if _, err := io.WriteString(c, req); err != nil {
+					fail <- err
+					c.Close()
+					return
+				}
+				requests.Add(1)
+				c.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+
+	// Let every teardown land, then require exactness.
+	wantConns, wantReqs := conns.Load(), requests.Load()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.Accepted == wantConns && st.Replies == wantReqs && st.ConnsOpen == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never converged: accepted=%d/%d replies=%d/%d open=%d",
+				st.Accepted, wantConns, st.Replies, wantReqs, st.ConnsOpen)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.BadRequest != 0 || st.Shed != 0 || st.HandlerPanics != 0 {
+		t.Fatalf("spurious failure counters: %+v", st)
+	}
+
+	// The merged view must be exactly the sum of the per-shard blocks.
+	var accepted, replies, bytesOut int64
+	for i := 0; i < srv.NumShards(); i++ {
+		ss := srv.ShardStats(i)
+		accepted += ss.Accepted
+		replies += ss.Replies
+		bytesOut += ss.BytesOut
+	}
+	if accepted != st.Accepted || replies != st.Replies || bytesOut != st.BytesOut {
+		t.Fatalf("shard blocks sum to accepted=%d replies=%d bytes=%d; merged says %d/%d/%d",
+			accepted, replies, bytesOut, st.Accepted, st.Replies, st.BytesOut)
+	}
+	// And the obs plane, fed from four shards concurrently, must agree.
+	if got := plane.Count(obs.Accept); got != wantConns {
+		t.Fatalf("plane accept count = %d, want %d", got, wantConns)
+	}
+	if got := plane.Count(obs.Close); got != wantConns {
+		t.Fatalf("plane close count = %d, want %d", got, wantConns)
+	}
+}

@@ -528,7 +528,7 @@ func TestSysfaultProxyConnectStormRecovery(t *testing.T) {
 	dumpRollupOnFailure(t, "sysfault-proxy-storm", coll)
 	scr := rollup.NewScraper(coll, []rollup.Target{{Name: "b0", Addr: admin.Addr()}}, time.Hour)
 	t.Cleanup(scr.Sweep) // LIFO: the final sweep runs before the dump renders
-	p := startProxyTier(t, []proxy.BackendConfig{{Addr: backend.addr, AdminAddr: admin.Addr(), Name: "b0"}}, func(cfg *proxy.Config) {
+	p := startProxyTier(t, 1, []proxy.BackendConfig{{Addr: backend.addr, AdminAddr: admin.Addr(), Name: "b0"}}, func(cfg *proxy.Config) {
 		cfg.FailAfter = 2
 		cfg.RelayAttempts = 2
 		cfg.ReadmitAfter = 40 * time.Millisecond
@@ -603,7 +603,7 @@ func TestSysfaultProxyLocalResShed(t *testing.T) {
 	seed := sysfaultSeed(t)
 	body := patternBody(8 << 10)
 	backend := startFaultServer(t, "nio", core.MapStore{"/obj/0": body}, nil)
-	p := startProxyTier(t, []proxy.BackendConfig{{Addr: backend.addr, Name: "b0"}}, nil)
+	p := startProxyTier(t, 1, []proxy.BackendConfig{{Addr: backend.addr, Name: "b0"}}, nil)
 
 	const plan = "socket:emfile:1:count=3"
 	inj := installFaults(t, "sysfault-proxy-localres", seed, plan)
